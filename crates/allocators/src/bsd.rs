@@ -1,0 +1,233 @@
+//! The "BSD" baseline: the CSRG/Kingsley power-of-two allocator (§5.2).
+//!
+//! "It rounds allocations up to the nearest power of two. It features
+//! fast allocation and deallocation but has a very large memory
+//! overhead." Each page is carved into blocks of a single size class;
+//! every block carries a one-word overhead tag identifying its class;
+//! free blocks sit on per-class freelists threaded through the blocks
+//! themselves. Because the allocator automatically segregates objects by
+//! size, it also "tends to have fewer stalls than the other explicit
+//! allocators" (Figure 10) — behaviour our cache simulator reproduces.
+
+use std::collections::HashMap;
+
+use region_core::AllocStats;
+use simheap::{Addr, SimHeap, PAGE_SIZE, WORD};
+
+use crate::{OsAccount, RawMalloc};
+
+/// Magic tag in the high bits of a block's overhead word.
+const MAGIC: u32 = 0x5A00_0000;
+/// Smallest block size (including the overhead word).
+const MIN_CLASS_LOG: u32 = 4; // 16 bytes
+/// Largest class that fits in a page; larger requests get page spans.
+const MAX_CLASS_LOG: u32 = 12; // 4096 bytes
+
+/// Power-of-two segregated-freelist malloc.
+///
+/// ```
+/// use malloc_suite::{BsdMalloc, RawMalloc};
+/// use simheap::SimHeap;
+///
+/// let mut heap = SimHeap::new();
+/// let mut m = BsdMalloc::new();
+/// let a = m.malloc(&mut heap, 20); // rounded to a 32-byte block
+/// m.free(&mut heap, a);
+/// assert_eq!(m.malloc(&mut heap, 24), a, "same class reuses the block");
+/// ```
+#[derive(Debug, Default)]
+pub struct BsdMalloc {
+    /// Head of the freelist for each class (log₂ size − MIN_CLASS_LOG).
+    heads: [Addr; (MAX_CLASS_LOG - MIN_CLASS_LOG + 1) as usize],
+    /// Free page spans by page count, for large allocations.
+    span_pool: HashMap<u32, Vec<Addr>>,
+    /// Live page spans: user pointer → page count.
+    live_spans: HashMap<u32, u32>,
+    /// Live blocks: user pointer → accounted (stats) bytes.
+    live: HashMap<u32, u32>,
+    os: OsAccount,
+    stats: AllocStats,
+}
+
+impl BsdMalloc {
+    /// Creates an allocator with no memory.
+    pub fn new() -> BsdMalloc {
+        BsdMalloc::default()
+    }
+
+    fn class_for(need: u32) -> u32 {
+        let bits = need.next_power_of_two().trailing_zeros().max(MIN_CLASS_LOG);
+        bits - MIN_CLASS_LOG
+    }
+
+    /// Carves a fresh page into blocks of the given class and threads them
+    /// onto the freelist (touching the whole page, as the real allocator's
+    /// carving loop does).
+    fn carve_page(&mut self, heap: &mut SimHeap, class: u32) {
+        let bsize = 1u32 << (class + MIN_CLASS_LOG);
+        let page = self.os.sbrk_pages(heap, 1);
+        let mut head = self.heads[class as usize];
+        let mut off = 0;
+        while off + bsize <= PAGE_SIZE {
+            heap.store_addr(page + off, head);
+            head = page + off;
+            off += bsize;
+        }
+        self.heads[class as usize] = head;
+    }
+}
+
+impl RawMalloc for BsdMalloc {
+    fn malloc(&mut self, heap: &mut SimHeap, size: u32) -> Addr {
+        let accounted = self.stats.on_alloc(size);
+        let need = size + WORD; // one word of overhead per block
+        if need > (1 << MAX_CLASS_LOG) {
+            // Page-span path for large requests.
+            let pages = need.div_ceil(PAGE_SIZE);
+            let span = match self.span_pool.get_mut(&pages).and_then(Vec::pop) {
+                Some(s) => s,
+                None => self.os.sbrk_pages(heap, pages),
+            };
+            heap.store_u32(span, MAGIC | 0xFF); // span marker
+            let ptr = span + WORD;
+            self.live_spans.insert(ptr.raw(), pages);
+            self.live.insert(ptr.raw(), accounted);
+            return ptr;
+        }
+        let class = Self::class_for(need);
+        if self.heads[class as usize].is_null() {
+            self.carve_page(heap, class);
+        }
+        let block = self.heads[class as usize];
+        self.heads[class as usize] = heap.load_addr(block);
+        heap.store_u32(block, MAGIC | class);
+        let ptr = block + WORD;
+        self.live.insert(ptr.raw(), accounted);
+        ptr
+    }
+
+    fn free(&mut self, heap: &mut SimHeap, ptr: Addr) {
+        if ptr.is_null() {
+            return;
+        }
+        let accounted = self.live.remove(&ptr.raw()).expect("invalid or double free");
+        self.stats.on_free(u64::from(accounted));
+        let block = ptr - WORD;
+        let tag = heap.load_u32(block);
+        assert_eq!(tag & 0xFFFF_0000, MAGIC, "corrupt block tag");
+        if let Some(pages) = self.live_spans.remove(&ptr.raw()) {
+            self.span_pool.entry(pages).or_default().push(block);
+            return;
+        }
+        let class = tag & 0xFF;
+        heap.store_addr(block, self.heads[class as usize]);
+        self.heads[class as usize] = block;
+    }
+
+    fn name(&self) -> &'static str {
+        "bsd"
+    }
+
+    fn os_pages(&self) -> u64 {
+        self.os.pages
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimHeap, BsdMalloc) {
+        (SimHeap::new(), BsdMalloc::new())
+    }
+
+    #[test]
+    fn classes_round_to_powers_of_two() {
+        assert_eq!(BsdMalloc::class_for(1), 0); // 16
+        assert_eq!(BsdMalloc::class_for(16), 0);
+        assert_eq!(BsdMalloc::class_for(17), 1); // 32
+        assert_eq!(BsdMalloc::class_for(100), 3); // 128
+        assert_eq!(BsdMalloc::class_for(4096), 8);
+    }
+
+    #[test]
+    fn same_class_blocks_are_recycled_lifo() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 28);
+        let b = m.malloc(&mut heap, 28);
+        m.free(&mut heap, a);
+        m.free(&mut heap, b);
+        assert_eq!(m.malloc(&mut heap, 28), b, "LIFO freelist");
+        assert_eq!(m.malloc(&mut heap, 28), a);
+    }
+
+    #[test]
+    fn different_sizes_in_same_class_share_blocks() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 20);
+        m.free(&mut heap, a);
+        let b = m.malloc(&mut heap, 25); // both need a 32-byte block
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn one_page_serves_many_small_blocks() {
+        let (mut heap, mut m) = setup();
+        let ptrs: Vec<Addr> = (0..256).map(|_| m.malloc(&mut heap, 12)).collect();
+        assert_eq!(m.os_pages(), 1, "256 16-byte blocks fit in one page");
+        // all distinct and writable
+        for (i, p) in ptrs.iter().enumerate() {
+            heap.store_u32(*p, i as u32);
+        }
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(heap.load_u32(*p), i as u32);
+        }
+    }
+
+    #[test]
+    fn memory_overhead_is_large_for_odd_sizes() {
+        // A 33-byte request consumes a 64-byte block: the paper's "very
+        // large memory overhead".
+        let (mut heap, mut m) = setup();
+        for _ in 0..64 {
+            m.malloc(&mut heap, 33);
+        }
+        assert_eq!(m.os_pages(), 1); // 64 × 64B = one page
+        let mut m2 = BsdMalloc::new();
+        for _ in 0..64 {
+            m2.malloc(&mut heap, 28); // 32-byte blocks
+        }
+        assert_eq!(m2.os_pages(), 1);
+    }
+
+    #[test]
+    fn large_requests_use_page_spans() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 10_000);
+        heap.store_u32(a + 9996, 1);
+        m.free(&mut heap, a);
+        let b = m.malloc(&mut heap, 10_000);
+        assert_eq!(a, b, "span pool reuses the pages");
+        m.free(&mut heap, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid or double free")]
+    fn double_free_panics() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 16);
+        m.free(&mut heap, a);
+        m.free(&mut heap, a);
+    }
+
+    #[test]
+    fn stats_count_requests_not_blocks() {
+        let (mut heap, mut m) = setup();
+        m.malloc(&mut heap, 33);
+        assert_eq!(m.stats().total_bytes, 36, "stats use the requested size");
+    }
+}

@@ -1,0 +1,293 @@
+//! The region-**emulation** library (§5.2).
+//!
+//! "emulation: a region library that uses malloc and free to allocate and
+//! free each individual object. This library approximates the performance
+//! a region-based application would have if it were written with
+//! malloc/free. ... Using this library imposes a small space overhead:
+//! the objects allocated in a region must be kept in a linked list so
+//! they can be freed when `deleteregion` is called."
+//!
+//! The paper uses it to produce the malloc/free bars for `mudlle` and
+//! `lcc` (which are region-structured programs), over each of the malloc
+//! baselines. [`EmulatedRegions`] is generic over any [`RawMalloc`].
+//!
+//! Emulation provides no safety: `delete_region` always succeeds and the
+//! `store_ptr_*` operations are plain stores.
+
+use region_core::{AllocStats, DescId, DescriptorTable, TypeDescriptor};
+use simheap::{align_up, Addr, SimHeap, WORD};
+
+use crate::RawMalloc;
+
+/// Identifier of an emulated region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EmuRegionId(u32);
+
+impl EmuRegionId {
+    /// Raw index of the region.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an id from [`EmuRegionId::index`] (for hosts that
+    /// round-trip handles through untyped storage).
+    pub fn from_index(index: u32) -> EmuRegionId {
+        EmuRegionId(index)
+    }
+}
+
+#[derive(Debug)]
+struct EmuRegion {
+    live: bool,
+    /// Head of the in-heap linked list of this region's objects (each
+    /// object is preceded by one link word — the emulation overhead).
+    head: Addr,
+    bytes: u64,
+}
+
+/// Regions emulated with malloc/free: one malloc per object, one free per
+/// object at region deletion.
+///
+/// ```
+/// use malloc_suite::{EmulatedRegions, LeaMalloc};
+/// use simheap::SimHeap;
+///
+/// let mut heap = SimHeap::new();
+/// let mut er = EmulatedRegions::new(LeaMalloc::new());
+/// let r = er.new_region();
+/// let a = er.rstralloc(&mut heap, r, 100);
+/// heap.store_u32(a, 7);
+/// er.delete_region(&mut heap, r); // frees each object individually
+/// ```
+#[derive(Debug)]
+pub struct EmulatedRegions<M> {
+    malloc: M,
+    regions: Vec<EmuRegion>,
+    descs: DescriptorTable,
+    /// Region-level statistics *without* the emulation overhead (the
+    /// paper's "(w/o overhead)" rows in Table 3 / Figure 8).
+    stats: AllocStats,
+    /// Host-side shadow of the region-pointer locals API, so workload code
+    /// written for `RegionRuntime` runs unchanged.
+    frames: Vec<Vec<Addr>>,
+}
+
+impl<M: RawMalloc> EmulatedRegions<M> {
+    /// Wraps a malloc implementation in the region interface.
+    pub fn new(malloc: M) -> EmulatedRegions<M> {
+        EmulatedRegions {
+            malloc,
+            regions: Vec::new(),
+            descs: DescriptorTable::new(),
+            stats: AllocStats::default(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// The underlying allocator (its stats include the emulation
+    /// overhead — the paper's raw bars for `lcc` and `mudlle`).
+    pub fn inner(&self) -> &M {
+        &self.malloc
+    }
+
+    /// Registers a type descriptor (kept for interface parity; emulation
+    /// only needs the size).
+    pub fn register_type(&mut self, desc: TypeDescriptor) -> DescId {
+        self.descs.register(desc)
+    }
+
+    /// Region-level statistics without emulation overhead.
+    pub fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    /// Creates a region.
+    pub fn new_region(&mut self) -> EmuRegionId {
+        let id = EmuRegionId(self.regions.len() as u32);
+        self.regions.push(EmuRegion { live: true, head: Addr::NULL, bytes: 0 });
+        self.stats.on_region_created();
+        id
+    }
+
+    /// `true` if the region has not been deleted.
+    pub fn is_live(&self, r: EmuRegionId) -> bool {
+        self.regions[r.0 as usize].live
+    }
+
+    fn alloc_linked(&mut self, heap: &mut SimHeap, r: EmuRegionId, size: u32) -> Addr {
+        let info = &self.regions[r.0 as usize];
+        assert!(info.live, "use of deleted region {r:?}");
+        let block = self.malloc.malloc(heap, WORD + size);
+        let info = &mut self.regions[r.0 as usize];
+        heap.store_addr(block, info.head);
+        info.head = block;
+        let rounded = self.stats.on_alloc(size);
+        let info = &mut self.regions[r.0 as usize];
+        info.bytes += u64::from(rounded);
+        let b = info.bytes;
+        self.stats.note_region_bytes(b);
+        block + WORD
+    }
+
+    /// `ralloc`: allocates a cleared object of the descriptor's type.
+    pub fn ralloc(&mut self, heap: &mut SimHeap, r: EmuRegionId, desc: DescId) -> Addr {
+        let size = self.descs.get(desc).size();
+        let a = self.alloc_linked(heap, r, align_up(size, WORD));
+        heap.fill(a, align_up(size, WORD), 0);
+        a
+    }
+
+    /// `rarrayalloc`: allocates a cleared array.
+    pub fn rarrayalloc(&mut self, heap: &mut SimHeap, r: EmuRegionId, n: u32, elem: DescId) -> Addr {
+        let stride = align_up(self.descs.get(elem).size(), WORD);
+        let payload = n.checked_mul(stride).expect("array size overflow").max(WORD);
+        let a = self.alloc_linked(heap, r, payload);
+        heap.fill(a, payload, 0);
+        a
+    }
+
+    /// `rstralloc`: allocates pointer-free storage (not cleared).
+    pub fn rstralloc(&mut self, heap: &mut SimHeap, r: EmuRegionId, size: u32) -> Addr {
+        assert!(size > 0, "rstralloc of zero bytes");
+        self.alloc_linked(heap, r, align_up(size, WORD))
+    }
+
+    /// `deleteregion`: frees every object individually by walking the
+    /// linked list. Always succeeds (emulation provides no safety).
+    pub fn delete_region(&mut self, heap: &mut SimHeap, r: EmuRegionId) -> bool {
+        let info = &mut self.regions[r.0 as usize];
+        assert!(info.live, "double delete of {r:?}");
+        info.live = false;
+        let mut cur = info.head;
+        let bytes = info.bytes;
+        while !cur.is_null() {
+            let next = heap.load_addr(cur);
+            self.malloc.free(heap, cur);
+            cur = next;
+        }
+        self.stats.on_region_deleted(bytes);
+        true
+    }
+
+    /// Plain store (emulation maintains no counts).
+    pub fn store_ptr_region(&mut self, heap: &mut SimHeap, loc: Addr, v: Addr) {
+        heap.store_addr(loc, v);
+    }
+
+    /// Plain store (emulation maintains no counts).
+    pub fn store_ptr_global(&mut self, heap: &mut SimHeap, loc: Addr, v: Addr) {
+        heap.store_addr(loc, v);
+    }
+
+    /// Interface parity with `RegionRuntime::push_frame`.
+    pub fn push_frame(&mut self, n_slots: u32) {
+        self.frames.push(vec![Addr::NULL; n_slots as usize]);
+    }
+
+    /// Interface parity with `RegionRuntime::pop_frame`.
+    pub fn pop_frame(&mut self) {
+        self.frames.pop().expect("pop_frame with no live frame");
+    }
+
+    /// Interface parity with `RegionRuntime::set_local`.
+    pub fn set_local(&mut self, slot: u32, v: Addr) {
+        let f = self.frames.last_mut().expect("no live frame");
+        f[slot as usize] = v;
+    }
+
+    /// Interface parity with `RegionRuntime::get_local`.
+    pub fn get_local(&mut self, slot: u32) -> Addr {
+        let f = self.frames.last().expect("no live frame");
+        f[slot as usize]
+    }
+
+    /// OS pages of the underlying allocator.
+    pub fn os_pages(&self) -> u64 {
+        self.malloc.os_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LeaMalloc, SunMalloc};
+
+    #[test]
+    fn objects_are_freed_on_delete() {
+        let mut heap = SimHeap::new();
+        let mut er = EmulatedRegions::new(SunMalloc::new());
+        let r = er.new_region();
+        for i in 1..50u32 {
+            let a = er.rstralloc(&mut heap, r, i * 4);
+            heap.store_u32(a, i);
+        }
+        assert!(er.inner().stats().live_bytes > 0);
+        er.delete_region(&mut heap, r);
+        assert_eq!(er.inner().stats().live_bytes, 0, "every object freed");
+        assert_eq!(er.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn overhead_is_one_word_per_object() {
+        let mut heap = SimHeap::new();
+        let mut er = EmulatedRegions::new(LeaMalloc::new());
+        let r = er.new_region();
+        for _ in 0..10 {
+            er.rstralloc(&mut heap, r, 20);
+        }
+        // Region-level stats: 10×20; malloc-level: 10×24.
+        assert_eq!(er.stats().total_bytes, 200);
+        assert_eq!(er.inner().stats().total_bytes, 240);
+    }
+
+    #[test]
+    fn ralloc_clears_memory() {
+        let mut heap = SimHeap::new();
+        let mut er = EmulatedRegions::new(SunMalloc::new());
+        let d = er.register_type(TypeDescriptor::new("list", 8, vec![4]));
+        let r = er.new_region();
+        // Dirty the heap first.
+        let junk = er.rstralloc(&mut heap, r, 64);
+        heap.fill(junk, 64, 0xFF);
+        er.delete_region(&mut heap, r);
+        let r2 = er.new_region();
+        let a = er.ralloc(&mut heap, r2, d);
+        assert_eq!(heap.load_u32(a), 0);
+        assert_eq!(heap.load_u32(a + 4), 0);
+    }
+
+    #[test]
+    fn region_stats_match_region_runtime_shape() {
+        let mut heap = SimHeap::new();
+        let mut er = EmulatedRegions::new(SunMalloc::new());
+        let r1 = er.new_region();
+        let r2 = er.new_region();
+        er.rstralloc(&mut heap, r1, 100);
+        er.rstralloc(&mut heap, r2, 60);
+        assert_eq!(er.stats().total_regions, 2);
+        assert_eq!(er.stats().max_live_regions, 2);
+        assert_eq!(er.stats().max_region_bytes, 100);
+        er.delete_region(&mut heap, r1);
+        assert_eq!(er.stats().live_regions, 1);
+    }
+
+    #[test]
+    fn locals_shadow_works() {
+        let mut er = EmulatedRegions::new(SunMalloc::new());
+        er.push_frame(2);
+        er.set_local(1, Addr::new(0x5000));
+        assert_eq!(er.get_local(1), Addr::new(0x5000));
+        assert_eq!(er.get_local(0), Addr::NULL);
+        er.pop_frame();
+    }
+
+    #[test]
+    #[should_panic(expected = "use of deleted region")]
+    fn alloc_after_delete_panics() {
+        let mut heap = SimHeap::new();
+        let mut er = EmulatedRegions::new(SunMalloc::new());
+        let r = er.new_region();
+        er.delete_region(&mut heap, r);
+        er.rstralloc(&mut heap, r, 8);
+    }
+}

@@ -1,0 +1,449 @@
+//! The "Lea" baseline: Doug Lea's malloc, v2.6.4-style (§5.2).
+//!
+//! "This is an improved version of the allocator used in some previous
+//! surveys of memory allocation costs [DDZ94, Vo96]. In those surveys
+//! this allocator exhibited good performance overall."
+//!
+//! The implementation follows dlmalloc's classic design:
+//!
+//! * every chunk carries **boundary tags** — a size word with `CINUSE`
+//!   (this chunk in use) and `PINUSE` (previous chunk in use) bits, and a
+//!   `prev_size` field valid while the previous chunk is free — enabling
+//!   O(1) coalescing in both directions;
+//! * free chunks live in **bins**: 64 exact bins 8 bytes apart for small
+//!   sizes, log-spaced sorted bins above, searched best-fit;
+//! * a **top chunk** borders the end of the heap and grows by `sbrk`;
+//!   fenceposts terminate segments so coalescing never crosses a gap.
+//!
+//! Free-list links (`fd`/`bk`) are threaded through the free chunks in the
+//! simulated heap, so this allocator's pointer-chasing is visible to the
+//! cache simulator, as it was to the UltraSparc.
+
+use std::collections::HashMap;
+
+use region_core::AllocStats;
+use simheap::{align_up, Addr, SimHeap, PAGE_SIZE, WORD};
+
+use crate::{OsAccount, RawMalloc};
+
+const CINUSE: u32 = 1;
+const PINUSE: u32 = 2;
+const FLAGS: u32 = CINUSE | PINUSE;
+/// Minimum chunk: header (8) + fd/bk (8).
+const MIN_CHUNK: u32 = 16;
+/// Boundary below which bins are exact and 8-byte spaced.
+const SMALL_LIMIT: u32 = 512;
+const NBINS: usize = 96;
+/// Fencepost chunk size at the end of each segment.
+const FENCE: u32 = 8;
+
+/// Doug Lea's malloc: binned best-fit with boundary-tag coalescing.
+///
+/// ```
+/// use malloc_suite::{LeaMalloc, RawMalloc};
+/// use simheap::SimHeap;
+///
+/// let mut heap = SimHeap::new();
+/// let mut m = LeaMalloc::new();
+/// let a = m.malloc(&mut heap, 24);
+/// let b = m.malloc(&mut heap, 1000);
+/// m.free(&mut heap, a);
+/// m.free(&mut heap, b);
+/// let c = m.malloc(&mut heap, 900); // best fit from the coalesced space
+/// assert!(!c.is_null());
+/// ```
+#[derive(Debug)]
+pub struct LeaMalloc {
+    bins: [Addr; NBINS],
+    /// The chunk bordering the segment end, kept out of the bins.
+    top: Option<(Addr, u32)>,
+    /// End of the current segment (one past the fencepost).
+    seg_end: Addr,
+    /// Live blocks: user pointer → accounted (stats) bytes.
+    live: HashMap<u32, u32>,
+    os: OsAccount,
+    stats: AllocStats,
+}
+
+impl Default for LeaMalloc {
+    fn default() -> LeaMalloc {
+        LeaMalloc::new()
+    }
+}
+
+fn bin_index(size: u32) -> usize {
+    if size < SMALL_LIMIT {
+        (size / 8) as usize // 16 → bin 2 ... 504 → bin 63
+    } else {
+        let log = 31 - size.leading_zeros(); // ≥ 9
+        (64 + (log - 9).min(31)) as usize
+    }
+}
+
+impl LeaMalloc {
+    /// Creates an allocator with no memory.
+    pub fn new() -> LeaMalloc {
+        LeaMalloc {
+            bins: [Addr::NULL; NBINS],
+            top: None,
+            seg_end: Addr::NULL,
+            live: HashMap::new(),
+            os: OsAccount::default(),
+            stats: AllocStats::default(),
+        }
+    }
+
+    fn head(heap: &mut SimHeap, c: Addr) -> u32 {
+        heap.load_u32(c + WORD)
+    }
+
+    fn set_head(heap: &mut SimHeap, c: Addr, size: u32, flags: u32) {
+        heap.store_u32(c + WORD, size | flags);
+    }
+
+    fn chunk_size(head: u32) -> u32 {
+        head & !FLAGS
+    }
+
+    /// Inserts a free chunk into its bin (large bins kept sorted
+    /// ascending by size, as dlmalloc 2.6.4 does).
+    fn bin_insert(&mut self, heap: &mut SimHeap, c: Addr, size: u32) {
+        let idx = bin_index(size);
+        let mut cur = self.bins[idx];
+        let mut prev = Addr::NULL;
+        if size >= SMALL_LIMIT {
+            while !cur.is_null() {
+                let csize = Self::chunk_size(Self::head(heap, cur));
+                if csize >= size {
+                    break;
+                }
+                prev = cur;
+                cur = heap.load_addr(cur + 2 * WORD); // fd
+            }
+        }
+        // link: prev <-> c <-> cur
+        heap.store_addr(c + 2 * WORD, cur); // c.fd
+        heap.store_addr(c + 3 * WORD, prev); // c.bk
+        if prev.is_null() {
+            self.bins[idx] = c;
+        } else {
+            heap.store_addr(prev + 2 * WORD, c);
+        }
+        if !cur.is_null() {
+            heap.store_addr(cur + 3 * WORD, c);
+        }
+    }
+
+    /// Unlinks a free chunk from its bin.
+    fn bin_unlink(&mut self, heap: &mut SimHeap, c: Addr, size: u32) {
+        let fd = heap.load_addr(c + 2 * WORD);
+        let bk = heap.load_addr(c + 3 * WORD);
+        if bk.is_null() {
+            self.bins[bin_index(size)] = fd;
+        } else {
+            heap.store_addr(bk + 2 * WORD, fd);
+        }
+        if !fd.is_null() {
+            heap.store_addr(fd + 3 * WORD, bk);
+        }
+    }
+
+    /// Ensures the top chunk can satisfy `need` bytes, growing the heap.
+    fn extend_top(&mut self, heap: &mut SimHeap, need: u32) {
+        let pages = (need + FENCE).div_ceil(PAGE_SIZE);
+        let new = self.os.sbrk_pages(heap, pages);
+        let grown = pages * PAGE_SIZE;
+        match self.top {
+            Some((taddr, tsize)) if new == self.seg_end => {
+                // Contiguous: absorb the old fencepost and the new pages.
+                self.top = Some((taddr, tsize + grown));
+            }
+            _ => {
+                // Discontiguous (or first) segment: retire the old top
+                // into a bin and start a new top.
+                if let Some((taddr, tsize)) = self.top.take() {
+                    if tsize >= MIN_CHUNK {
+                        Self::set_head(heap, taddr, tsize, PINUSE);
+                        // fencepost keeps its CINUSE; record our size for
+                        // form's sake (never read: fenceposts are in use).
+                        heap.store_u32(taddr + tsize, tsize);
+                        self.bin_insert(heap, taddr, tsize);
+                    }
+                }
+                self.top = Some((new, grown - FENCE));
+            }
+        }
+        let (taddr, tsize) = self.top.expect("top just set");
+        Self::set_head(heap, taddr, tsize, PINUSE);
+        // Fencepost: a permanently in-use 8-byte chunk at the segment end.
+        let fence = taddr + tsize;
+        Self::set_head(heap, fence, FENCE, CINUSE);
+        self.seg_end = fence + FENCE;
+    }
+
+    /// Carves an allocation out of the bottom of the top chunk.
+    fn alloc_from_top(&mut self, heap: &mut SimHeap, nb: u32) -> Addr {
+        let (taddr, tsize) = self.top.expect("top exists");
+        debug_assert!(tsize >= nb + MIN_CHUNK);
+        let pin = Self::head(heap, taddr) & PINUSE;
+        Self::set_head(heap, taddr, nb, pin | CINUSE);
+        let rest = taddr + nb;
+        self.top = Some((rest, tsize - nb));
+        Self::set_head(heap, rest, tsize - nb, PINUSE);
+        taddr + 2 * WORD
+    }
+
+    /// Best-fit search of the bins; returns the user pointer or null.
+    fn alloc_from_bins(&mut self, heap: &mut SimHeap, nb: u32) -> Addr {
+        let start = bin_index(nb);
+        for idx in start..NBINS {
+            let mut c = self.bins[idx];
+            while !c.is_null() {
+                let head = Self::head(heap, c);
+                let size = Self::chunk_size(head);
+                if size >= nb {
+                    self.bin_unlink(heap, c, size);
+                    return self.place(heap, c, size, nb);
+                }
+                c = heap.load_addr(c + 2 * WORD);
+            }
+        }
+        Addr::NULL
+    }
+
+    /// Splits chunk `c` (free, unlinked, `size` bytes) for a request of
+    /// `nb` bytes and returns the user pointer.
+    fn place(&mut self, heap: &mut SimHeap, c: Addr, size: u32, nb: u32) -> Addr {
+        let pin = Self::head(heap, c) & PINUSE;
+        if size - nb >= MIN_CHUNK {
+            Self::set_head(heap, c, nb, pin | CINUSE);
+            let rem = c + nb;
+            let rsize = size - nb;
+            Self::set_head(heap, rem, rsize, PINUSE);
+            heap.store_u32(rem + rsize, rsize); // next.prev_size boundary tag
+            // next chunk's PINUSE stays clear (its predecessor is free).
+            self.bin_insert(heap, rem, rsize);
+        } else {
+            Self::set_head(heap, c, size, pin | CINUSE);
+            // The whole chunk is used: tell the successor.
+            let next = c + size;
+            let nhead = Self::head(heap, next);
+            Self::set_head(heap, next, Self::chunk_size(nhead), (nhead & FLAGS) | PINUSE);
+        }
+        c + 2 * WORD
+    }
+}
+
+impl RawMalloc for LeaMalloc {
+    fn malloc(&mut self, heap: &mut SimHeap, size: u32) -> Addr {
+        let accounted = self.stats.on_alloc(size);
+        let nb = align_up(size + 2 * WORD, 8).max(MIN_CHUNK);
+        let mut ptr = self.alloc_from_bins(heap, nb);
+        if ptr.is_null() {
+            if self.top.is_none_or(|(_, tsize)| tsize < nb + MIN_CHUNK) {
+                self.extend_top(heap, nb + MIN_CHUNK);
+            }
+            ptr = self.alloc_from_top(heap, nb);
+        }
+        self.live.insert(ptr.raw(), accounted);
+        ptr
+    }
+
+    fn free(&mut self, heap: &mut SimHeap, ptr: Addr) {
+        if ptr.is_null() {
+            return;
+        }
+        let accounted = self.live.remove(&ptr.raw()).expect("invalid or double free");
+        self.stats.on_free(u64::from(accounted));
+        let mut c = ptr - 2 * WORD;
+        let head = Self::head(heap, c);
+        assert!(head & CINUSE != 0, "freeing a free chunk");
+        let mut size = Self::chunk_size(head);
+        // Backward coalesce (boundary tag).
+        if head & PINUSE == 0 {
+            let psize = heap.load_u32(c);
+            let prev = c - psize;
+            self.bin_unlink(heap, prev, psize);
+            c = prev;
+            size += psize;
+        }
+        // Forward coalesce: into top, or with a free neighbor.
+        let next = c + size;
+        if let Some((taddr, tsize)) = self.top {
+            if next == taddr {
+                let pin = Self::head(heap, c) & PINUSE;
+                self.top = Some((c, size + tsize));
+                Self::set_head(heap, c, size + tsize, pin);
+                return;
+            }
+        }
+        let nhead = Self::head(heap, next);
+        if nhead & CINUSE == 0 {
+            let nsize = Self::chunk_size(nhead);
+            self.bin_unlink(heap, next, nsize);
+            size += nsize;
+        }
+        let pin = Self::head(heap, c) & PINUSE;
+        Self::set_head(heap, c, size, pin); // CINUSE clear
+        heap.store_u32(c + size, size); // boundary tag for successor
+        let after = c + size;
+        let ahead = Self::head(heap, after);
+        Self::set_head(heap, after, Self::chunk_size(ahead), (ahead & FLAGS) & !PINUSE);
+        self.bin_insert(heap, c, size);
+    }
+
+    fn name(&self) -> &'static str {
+        "lea"
+    }
+
+    fn os_pages(&self) -> u64 {
+        self.os.pages
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimHeap, LeaMalloc) {
+        (SimHeap::new(), LeaMalloc::new())
+    }
+
+    #[test]
+    fn bin_index_shape() {
+        assert_eq!(bin_index(16), 2);
+        assert_eq!(bin_index(24), 3);
+        assert_eq!(bin_index(504), 63);
+        assert_eq!(bin_index(512), 64);
+        assert_eq!(bin_index(1023), 64);
+        assert_eq!(bin_index(1024), 65);
+        assert!(bin_index(1 << 20) < NBINS);
+    }
+
+    #[test]
+    fn alloc_and_write_many_sizes() {
+        let (mut heap, mut m) = setup();
+        let mut ptrs = Vec::new();
+        for i in 1..200u32 {
+            let p = m.malloc(&mut heap, i * 3 % 600 + 1);
+            heap.store_u32(p, i);
+            ptrs.push((p, i));
+        }
+        for &(p, i) in &ptrs {
+            assert_eq!(heap.load_u32(p), i);
+        }
+        for &(p, _) in &ptrs {
+            m.free(&mut heap, p);
+        }
+        assert_eq!(m.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_binned_chunk() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 64);
+        let _pin = m.malloc(&mut heap, 64); // prevents merging into top
+        m.free(&mut heap, a);
+        let b = m.malloc(&mut heap, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coalescing_merges_neighbors() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 100);
+        let b = m.malloc(&mut heap, 100);
+        let c = m.malloc(&mut heap, 100);
+        let _pin = m.malloc(&mut heap, 16);
+        m.free(&mut heap, a);
+        m.free(&mut heap, c);
+        m.free(&mut heap, b); // merges a+b+c into one chunk
+        let big = m.malloc(&mut heap, 300);
+        assert_eq!(big, a, "coalesced chunk serves a larger request in place");
+    }
+
+    #[test]
+    fn frees_adjacent_to_top_grow_top() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 2000);
+        let pages = m.os_pages();
+        m.free(&mut heap, a);
+        // The space returned to top: reallocating does not grow the heap.
+        let b = m.malloc(&mut heap, 2000);
+        assert_eq!(m.os_pages(), pages);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn best_fit_over_bins() {
+        let (mut heap, mut m) = setup();
+        let small = m.malloc(&mut heap, 40);
+        let _p1 = m.malloc(&mut heap, 16);
+        let large = m.malloc(&mut heap, 2048);
+        let _p2 = m.malloc(&mut heap, 16);
+        m.free(&mut heap, small);
+        m.free(&mut heap, large);
+        assert_eq!(m.malloc(&mut heap, 40), small, "exact small bin preferred");
+        assert_eq!(m.malloc(&mut heap, 1500), large, "large request splits the big chunk");
+    }
+
+    #[test]
+    fn data_integrity_under_churn() {
+        let (mut heap, mut m) = setup();
+        let keep: Vec<Addr> = (0..50).map(|i| {
+            let p = m.malloc(&mut heap, 36);
+            for w in 0..9u32 {
+                heap.store_u32(p + w * 4, i * 100 + w);
+            }
+            p
+        }).collect();
+        // churn
+        for round in 0..20 {
+            let tmp: Vec<Addr> = (0..30).map(|i| m.malloc(&mut heap, (i * 13 + round) % 700 + 1)).collect();
+            for p in tmp {
+                m.free(&mut heap, p);
+            }
+        }
+        for (i, p) in keep.iter().enumerate() {
+            for w in 0..9u32 {
+                assert_eq!(heap.load_u32(*p + w * 4), i as u32 * 100 + w, "block {i} corrupted");
+            }
+        }
+    }
+
+    #[test]
+    fn discontiguous_segments_are_handled() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 100);
+        // Somebody else grabs address space, breaking contiguity.
+        heap.sbrk_pages(2);
+        let b = m.malloc(&mut heap, 8000);
+        heap.store_u32(b, 1);
+        heap.store_u32(a, 2);
+        m.free(&mut heap, a);
+        m.free(&mut heap, b);
+        let c = m.malloc(&mut heap, 60);
+        assert!(!c.is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid or double free")]
+    fn double_free_panics() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 32);
+        m.free(&mut heap, a);
+        m.free(&mut heap, a);
+    }
+
+    #[test]
+    fn zero_size_is_minimal_chunk() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 0);
+        assert!(!a.is_null());
+        m.free(&mut heap, a);
+    }
+}

@@ -1,0 +1,254 @@
+//! The "Sun" baseline: a best-fit allocator with coalescing, standing in
+//! for the default Solaris 2.5.1 malloc (§5.2).
+//!
+//! The real Solaris allocator keeps free blocks in a self-adjusting
+//! (Cartesian) tree ordered by size and coalesces aggressively; we model
+//! it as exact best-fit over a size-ordered set with immediate
+//! coalescing. Block headers (one word: size plus an in-use bit) live in
+//! the simulated heap; the best-fit index itself is host-side, as the
+//! tree's pointer chasing is not the interesting part of the comparison.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use region_core::AllocStats;
+use simheap::{align_up, Addr, SimHeap, PAGE_SIZE, WORD};
+
+use crate::{OsAccount, RawMalloc};
+
+const INUSE: u32 = 1;
+/// Smallest block (header + minimum payload), in bytes.
+const MIN_BLOCK: u32 = 8;
+
+/// Best-fit malloc with boundary headers and immediate coalescing.
+///
+/// ```
+/// use malloc_suite::{RawMalloc, SunMalloc};
+/// use simheap::SimHeap;
+///
+/// let mut heap = SimHeap::new();
+/// let mut m = SunMalloc::new();
+/// let a = m.malloc(&mut heap, 100);
+/// heap.store_u32(a, 7);
+/// m.free(&mut heap, a);
+/// let b = m.malloc(&mut heap, 100);
+/// assert_eq!(a, b, "best fit reuses the freed block");
+/// ```
+#[derive(Debug, Default)]
+pub struct SunMalloc {
+    /// Free blocks ordered by (size, address) for best-fit.
+    by_size: BTreeSet<(u32, u32)>,
+    /// Free blocks by start address, for coalescing.
+    by_addr: BTreeMap<u32, u32>,
+    /// Live blocks: user pointer → accounted (stats) bytes.
+    live: HashMap<u32, u32>,
+    os: OsAccount,
+    stats: AllocStats,
+}
+
+impl SunMalloc {
+    /// Creates an allocator with no memory.
+    pub fn new() -> SunMalloc {
+        SunMalloc::default()
+    }
+
+    fn insert_free(&mut self, heap: &mut SimHeap, mut start: u32, mut size: u32) {
+        // Coalesce with the predecessor if adjacent.
+        if let Some((&pstart, &psize)) = self.by_addr.range(..start).next_back() {
+            if pstart + psize == start {
+                self.by_addr.remove(&pstart);
+                self.by_size.remove(&(psize, pstart));
+                start = pstart;
+                size += psize;
+            }
+        }
+        // Coalesce with the successor if adjacent.
+        if let Some(&nsize) = self.by_addr.get(&(start + size)) {
+            let nstart = start + size;
+            self.by_addr.remove(&nstart);
+            self.by_size.remove(&(nsize, nstart));
+            size += nsize;
+        }
+        heap.store_u32(Addr::new(start), size); // free header (in-use bit clear)
+        self.by_addr.insert(start, size);
+        self.by_size.insert((size, start));
+    }
+
+    /// Number of blocks on the free list (diagnostics).
+    pub fn free_blocks(&self) -> usize {
+        self.by_addr.len()
+    }
+}
+
+impl RawMalloc for SunMalloc {
+    fn malloc(&mut self, heap: &mut SimHeap, size: u32) -> Addr {
+        let need = (WORD + align_up(size, WORD)).max(MIN_BLOCK);
+        // Best fit: smallest free block that is large enough.
+        let found = self.by_size.range((need, 0)..).next().copied();
+        let (bsize, start) = match found {
+            Some(b) => b,
+            None => {
+                // Grow the heap and retry (the fresh block may coalesce
+                // with a free block at the old break).
+                let pages = need.div_ceil(PAGE_SIZE);
+                let a = self.os.sbrk_pages(heap, pages);
+                self.insert_free(heap, a.raw(), pages * PAGE_SIZE);
+                self.by_size
+                    .range((need, 0)..)
+                    .next()
+                    .copied()
+                    .expect("fresh memory must satisfy the request")
+            }
+        };
+        self.by_size.remove(&(bsize, start));
+        self.by_addr.remove(&start);
+        // Split off the tail if it is big enough to be a block.
+        let (used, rest) = if bsize - need >= MIN_BLOCK { (need, bsize - need) } else { (bsize, 0) };
+        if rest > 0 {
+            self.insert_free(heap, start + used, rest);
+        }
+        heap.store_u32(Addr::new(start), used | INUSE);
+        let accounted = self.stats.on_alloc(size);
+        let ptr = Addr::new(start + WORD);
+        self.live.insert(ptr.raw(), accounted);
+        ptr
+    }
+
+    fn free(&mut self, heap: &mut SimHeap, ptr: Addr) {
+        if ptr.is_null() {
+            return;
+        }
+        let accounted = self.live.remove(&ptr.raw()).expect("invalid or double free");
+        self.stats.on_free(u64::from(accounted));
+        let start = ptr.raw() - WORD;
+        let hdr = heap.load_u32(Addr::new(start));
+        assert!(hdr & INUSE != 0, "freeing a free block");
+        self.insert_free(heap, start, hdr & !INUSE);
+    }
+
+    fn name(&self) -> &'static str {
+        "sun"
+    }
+
+    fn os_pages(&self) -> u64 {
+        self.os.pages
+    }
+
+    fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimHeap, SunMalloc) {
+        (SimHeap::new(), SunMalloc::new())
+    }
+
+    #[test]
+    fn alloc_free_realloc_reuses_memory() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 64);
+        let b = m.malloc(&mut heap, 64);
+        assert_ne!(a, b);
+        m.free(&mut heap, a);
+        let c = m.malloc(&mut heap, 64);
+        assert_eq!(a, c, "freed block is reused");
+        m.free(&mut heap, b);
+        m.free(&mut heap, c);
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let (mut heap, mut m) = setup();
+        let ptrs: Vec<Addr> = (0..8).map(|_| m.malloc(&mut heap, 400)).collect();
+        let pages = m.os_pages();
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+        // All adjacent blocks merged: one big allocation now fits without
+        // growing the heap.
+        assert_eq!(m.free_blocks(), 1);
+        let big = m.malloc(&mut heap, 3000);
+        assert_eq!(m.os_pages(), pages, "no new pages needed after coalescing");
+        m.free(&mut heap, big);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_block() {
+        let (mut heap, mut m) = setup();
+        // Build free blocks of 3 sizes with live separators (so they
+        // cannot coalesce).
+        let big = m.malloc(&mut heap, 512);
+        let _sep1 = m.malloc(&mut heap, 16);
+        let small = m.malloc(&mut heap, 64);
+        let _sep2 = m.malloc(&mut heap, 16);
+        m.free(&mut heap, big);
+        m.free(&mut heap, small);
+        let got = m.malloc(&mut heap, 60);
+        assert_eq!(got, small, "best fit picks the 64-byte hole, not the 512");
+    }
+
+    #[test]
+    fn writes_survive_neighbor_churn() {
+        let (mut heap, mut m) = setup();
+        let keep = m.malloc(&mut heap, 40);
+        for i in 0..10u32 {
+            heap.store_u32(keep + i * 4, i ^ 0xABCD);
+        }
+        for _ in 0..100 {
+            let t = m.malloc(&mut heap, 24);
+            m.free(&mut heap, t);
+        }
+        for i in 0..10u32 {
+            assert_eq!(heap.load_u32(keep + i * 4), i ^ 0xABCD);
+        }
+        m.free(&mut heap, keep);
+    }
+
+    #[test]
+    fn zero_sized_malloc_is_valid() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 0);
+        assert!(!a.is_null());
+        m.free(&mut heap, a);
+    }
+
+    #[test]
+    fn free_null_is_noop() {
+        let (mut heap, mut m) = setup();
+        m.free(&mut heap, Addr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid or double free")]
+    fn double_free_panics() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 16);
+        m.free(&mut heap, a);
+        m.free(&mut heap, a);
+    }
+
+    #[test]
+    fn stats_track_requested_sizes() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 10);
+        let _b = m.malloc(&mut heap, 20);
+        assert_eq!(m.stats().total_allocs, 2);
+        assert_eq!(m.stats().total_bytes, 12 + 20);
+        assert_eq!(m.stats().live_bytes, 32);
+        m.free(&mut heap, a);
+        assert_eq!(m.stats().live_bytes, 20);
+        assert_eq!(m.stats().max_live_bytes, 32);
+    }
+
+    #[test]
+    fn large_allocations_span_pages() {
+        let (mut heap, mut m) = setup();
+        let a = m.malloc(&mut heap, 5 * PAGE_SIZE);
+        heap.store_u32(a + 5 * PAGE_SIZE - 4, 99);
+        assert_eq!(heap.load_u32(a + 5 * PAGE_SIZE - 4), 99);
+        m.free(&mut heap, a);
+    }
+}

@@ -1,0 +1,145 @@
+//! Model-based property tests: every malloc implementation must hand out
+//! non-overlapping, durable blocks under arbitrary alloc/free
+//! interleavings, and its statistics must track the live set exactly.
+
+use proptest::prelude::*;
+use simheap::{Addr, SimHeap};
+
+use malloc_suite::{BsdMalloc, LeaMalloc, RawMalloc, SunMalloc};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `size` bytes.
+    Alloc { size: u32 },
+    /// Free the `k`-th oldest live block (mod live count).
+    Free { k: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u32..2000).prop_map(|size| Op::Alloc { size }),
+            1 => (8000u32..20000).prop_map(|size| Op::Alloc { size }),
+            4 => any::<usize>().prop_map(|k| Op::Free { k }),
+        ],
+        1..200,
+    )
+}
+
+/// A live block in the model: address, size, and the pattern byte written
+/// through it.
+struct Live {
+    ptr: Addr,
+    size: u32,
+    pattern: u8,
+}
+
+fn check_allocator(mut m: impl RawMalloc, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut heap = SimHeap::new();
+    let mut live: Vec<Live> = Vec::new();
+    let mut expected_live_bytes: u64 = 0;
+    let mut next_pattern: u8 = 1;
+
+    for op in ops {
+        match *op {
+            Op::Alloc { size } => {
+                let ptr = m.malloc(&mut heap, size);
+                prop_assert!(!ptr.is_null());
+                prop_assert!(ptr.is_aligned(4));
+                // No overlap with any live block.
+                for l in &live {
+                    let disjoint =
+                        ptr.raw() + size <= l.ptr.raw() || l.ptr.raw() + l.size <= ptr.raw();
+                    prop_assert!(
+                        disjoint,
+                        "{} overlaps live block at {} (+{})",
+                        ptr,
+                        l.ptr,
+                        l.size
+                    );
+                }
+                // Fill with a distinct pattern.
+                let pattern = next_pattern;
+                next_pattern = next_pattern.wrapping_add(1).max(1);
+                heap.fill(ptr, size, pattern);
+                expected_live_bytes += u64::from(size.div_ceil(4) * 4);
+                live.push(Live { ptr, size, pattern });
+            }
+            Op::Free { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let l = live.remove(k % live.len());
+                // Content must have survived every intervening operation.
+                let data = heap.snapshot(l.ptr, l.size);
+                prop_assert!(
+                    data.iter().all(|&b| b == l.pattern),
+                    "block at {} corrupted before free",
+                    l.ptr
+                );
+                m.free(&mut heap, l.ptr);
+                expected_live_bytes -= u64::from(l.size.div_ceil(4) * 4);
+            }
+        }
+        prop_assert_eq!(m.stats().live_bytes, expected_live_bytes);
+    }
+    // Survivors are still intact at the end.
+    for l in &live {
+        let data = heap.snapshot(l.ptr, l.size);
+        prop_assert!(data.iter().all(|&b| b == l.pattern));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sun_is_a_correct_malloc(ops in ops()) {
+        check_allocator(SunMalloc::new(), &ops)?;
+    }
+
+    #[test]
+    fn bsd_is_a_correct_malloc(ops in ops()) {
+        check_allocator(BsdMalloc::new(), &ops)?;
+    }
+
+    #[test]
+    fn lea_is_a_correct_malloc(ops in ops()) {
+        check_allocator(LeaMalloc::new(), &ops)?;
+    }
+
+    /// Freeing everything and reallocating the same sizes must not grow
+    /// the heap (memory is actually recycled) for coalescing allocators.
+    #[test]
+    fn lea_recycles_all_memory(sizes in proptest::collection::vec(1u32..3000, 1..60)) {
+        let mut heap = SimHeap::new();
+        let mut m = LeaMalloc::new();
+        let ptrs: Vec<Addr> = sizes.iter().map(|&s| m.malloc(&mut heap, s)).collect();
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+        let pages = m.os_pages();
+        let ptrs: Vec<Addr> = sizes.iter().map(|&s| m.malloc(&mut heap, s)).collect();
+        prop_assert_eq!(m.os_pages(), pages, "second pass must reuse memory");
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+    }
+
+    #[test]
+    fn bsd_recycles_within_classes(sizes in proptest::collection::vec(1u32..2000, 1..60)) {
+        let mut heap = SimHeap::new();
+        let mut m = BsdMalloc::new();
+        let ptrs: Vec<Addr> = sizes.iter().map(|&s| m.malloc(&mut heap, s)).collect();
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+        let pages = m.os_pages();
+        let ptrs: Vec<Addr> = sizes.iter().map(|&s| m.malloc(&mut heap, s)).collect();
+        prop_assert_eq!(m.os_pages(), pages);
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+    }
+}

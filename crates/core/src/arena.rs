@@ -1,0 +1,344 @@
+//! A host-memory arena: explicit regions as an idiomatic Rust library.
+//!
+//! This is the "regions as they are normally used" API (paper §1) for Rust
+//! programs: objects are bump-allocated into the arena and freed all at
+//! once when the arena is dropped or [`Arena::reset`]. Rust's borrow
+//! checker plays the role of the paper's reference counts: an object
+//! reference borrows the arena, so the arena cannot be destroyed while
+//! external references exist — the *safety* property of §3 enforced
+//! statically, at zero runtime cost.
+//!
+//! The allocator mirrors §4.1: pages are acquired from the OS, allocation
+//! is a pointer increment, and deallocation is O(pages).
+//!
+//! ```
+//! use region_core::Arena;
+//!
+//! let arena = Arena::new();
+//! let xs: &mut [u32] = arena.alloc_slice_copy(&[1, 2, 3]);
+//! xs[0] = 10;
+//! let s = arena.alloc_str("hello");
+//! assert_eq!(xs[0], 10);
+//! assert_eq!(&*s, "hello");
+//! // dropping the arena frees everything at once
+//! ```
+
+#![allow(unsafe_code)]
+
+use std::cell::RefCell;
+use std::mem::{align_of, size_of, MaybeUninit};
+
+/// Initial chunk size; doubles up to [`MAX_CHUNK`]. Matches the paper's
+/// 4 KB pages.
+const FIRST_CHUNK: usize = 4096;
+/// Ceiling on chunk growth.
+const MAX_CHUNK: usize = 1 << 20;
+
+struct Chunks {
+    /// Owned chunks. `Box` contents never move, so pointers into older
+    /// chunks stay valid while new chunks are added.
+    chunks: Vec<Box<[MaybeUninit<u8>]>>,
+    /// Offset of the next free byte in the last chunk.
+    used: usize,
+    /// Total bytes requested by callers (diagnostics).
+    allocated: usize,
+}
+
+/// A bump-allocating region for host Rust values.
+///
+/// Values allocated in an `Arena` live until the arena is reset or
+/// dropped. **`Drop` implementations of allocated values never run** —
+/// like the paper's regions (and like `bumpalo`), the arena reclaims
+/// memory, not resources. Allocate only types whose `Drop` is trivial or
+/// whose cleanup you handle yourself.
+pub struct Arena {
+    inner: RefCell<Chunks>,
+}
+
+impl Default for Arena {
+    fn default() -> Arena {
+        Arena::new()
+    }
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Arena")
+            .field("chunks", &inner.chunks.len())
+            .field("allocated", &inner.allocated)
+            .finish()
+    }
+}
+
+impl Arena {
+    /// Creates an empty arena (`newregion`). No memory is acquired until
+    /// the first allocation.
+    pub fn new() -> Arena {
+        Arena { inner: RefCell::new(Chunks { chunks: Vec::new(), used: 0, allocated: 0 }) }
+    }
+
+    /// Total bytes handed out by this arena since creation or the last
+    /// [`Arena::reset`].
+    pub fn allocated_bytes(&self) -> usize {
+        self.inner.borrow().allocated
+    }
+
+    /// Bytes of capacity currently held from the OS.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Frees every allocation at once (`deleteregion`), keeping only the
+    /// largest chunk for reuse. Requires `&mut self`, so the borrow
+    /// checker has already proven no external references remain.
+    pub fn reset(&mut self) {
+        let inner = self.inner.get_mut();
+        let largest = inner
+            .chunks
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.len())
+            .map(|(i, _)| i);
+        if let Some(i) = largest {
+            let keep = inner.chunks.swap_remove(i);
+            inner.chunks.clear();
+            inner.chunks.push(keep);
+        }
+        inner.used = 0;
+        inner.allocated = 0;
+    }
+
+    /// Reserves `size` bytes aligned to `align` and returns a stable
+    /// pointer to them.
+    fn alloc_raw(&self, size: usize, align: usize) -> *mut u8 {
+        debug_assert!(align.is_power_of_two());
+        let mut inner = self.inner.borrow_mut();
+        inner.allocated += size;
+        // Try the current chunk. (Take the raw pointer and length out of
+        // the borrow so the bump-cursor update below does not conflict.)
+        if let Some((ptr, len)) = inner.chunks.last().map(|c| (c.as_ptr(), c.len())) {
+            let start = (ptr as usize + inner.used).next_multiple_of(align);
+            let offset = start - ptr as usize;
+            if offset + size <= len {
+                inner.used = offset + size;
+                // SAFETY: `offset + size <= len`, so the range is inside
+                // the chunk; the chunk box never moves or shrinks while the
+                // arena lives; bump allocation never hands out overlapping
+                // ranges.
+                return unsafe { ptr.add(offset) as *mut u8 };
+            }
+        }
+        // Need a new chunk: double the last size, and make sure the value
+        // fits even with worst-case alignment padding.
+        let next_size = inner
+            .chunks
+            .last()
+            .map_or(FIRST_CHUNK, |c| (c.len() * 2).min(MAX_CHUNK))
+            .max(size + align);
+        let chunk = vec![MaybeUninit::<u8>::uninit(); next_size].into_boxed_slice();
+        inner.chunks.push(chunk);
+        let (ptr, len) = inner.chunks.last().map(|c| (c.as_ptr(), c.len())).expect("just pushed");
+        let start = (ptr as usize).next_multiple_of(align);
+        let offset = start - ptr as usize;
+        debug_assert!(offset + size <= len);
+        inner.used = offset + size;
+        // SAFETY: as above — in-bounds, stable, exclusive.
+        unsafe { ptr.add(offset) as *mut u8 }
+    }
+
+    /// Moves `value` into the arena and returns a reference living as long
+    /// as the arena (`ralloc`).
+    ///
+    /// `value`'s `Drop` will never run; see the type-level docs.
+    #[allow(clippy::mut_from_ref)] // bump allocation: each call returns a disjoint range
+    pub fn alloc<T>(&self, value: T) -> &mut T {
+        if size_of::<T>() == 0 {
+            // All ZSTs live at a well-aligned dangling address.
+            // SAFETY: reads/writes of ZSTs are no-ops at any non-null
+            // aligned address.
+            return unsafe { &mut *std::ptr::NonNull::<T>::dangling().as_ptr() };
+        }
+        let p = self.alloc_raw(size_of::<T>(), align_of::<T>()) as *mut T;
+        // SAFETY: `p` is valid for writes of `T` (size/align reserved),
+        // exclusive, and lives as long as `self`.
+        unsafe {
+            p.write(value);
+            &mut *p
+        }
+    }
+
+    /// Copies a slice into the arena (`rarrayalloc` for `Copy` data).
+    #[allow(clippy::mut_from_ref)]
+    pub fn alloc_slice_copy<T: Copy>(&self, src: &[T]) -> &mut [T] {
+        if src.is_empty() || size_of::<T>() == 0 {
+            return &mut [];
+        }
+        let p = self.alloc_raw(std::mem::size_of_val(src), align_of::<T>()) as *mut T;
+        // SAFETY: destination reserved and exclusive; `src` cannot overlap
+        // fresh arena memory; `T: Copy` so a bitwise copy is a valid value.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), p, src.len());
+            std::slice::from_raw_parts_mut(p, src.len())
+        }
+    }
+
+    /// Fills a new slice of length `n` with values produced by `f(i)`.
+    #[allow(clippy::mut_from_ref)]
+    pub fn alloc_slice_fill_with<T>(&self, n: usize, mut f: impl FnMut(usize) -> T) -> &mut [T] {
+        if n == 0 || size_of::<T>() == 0 {
+            // ZST slices need no storage; materialize via a dangling base.
+            if size_of::<T>() == 0 {
+                for i in 0..n {
+                    std::mem::forget(f(i));
+                }
+                // SAFETY: ZST slices are valid at any aligned dangling ptr.
+                return unsafe {
+                    std::slice::from_raw_parts_mut(std::ptr::NonNull::<T>::dangling().as_ptr(), n)
+                };
+            }
+            return &mut [];
+        }
+        let size = size_of::<T>().checked_mul(n).expect("arena slice overflow");
+        let p = self.alloc_raw(size, align_of::<T>()) as *mut T;
+        // SAFETY: reserved, exclusive, correctly aligned; each element is
+        // initialized exactly once before the slice is formed.
+        unsafe {
+            for i in 0..n {
+                p.add(i).write(f(i));
+            }
+            std::slice::from_raw_parts_mut(p, n)
+        }
+    }
+
+    /// Copies a string into the arena (`rstralloc`).
+    #[allow(clippy::mut_from_ref)]
+    pub fn alloc_str(&self, src: &str) -> &mut str {
+        let bytes = self.alloc_slice_copy(src.as_bytes());
+        // SAFETY: `bytes` is a verbatim copy of valid UTF-8.
+        unsafe { std::str::from_utf8_unchecked_mut(bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_stable_distinct_values() {
+        let arena = Arena::new();
+        let mut refs = Vec::new();
+        for i in 0..1000u32 {
+            refs.push(arena.alloc(i));
+        }
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(**r, i as u32);
+        }
+        // mutate through the references
+        for r in refs.iter_mut() {
+            **r += 1;
+        }
+        assert_eq!(*refs[999], 1000);
+    }
+
+    #[test]
+    fn paper_figure1_shape() {
+        // for (i = 0; i < 10; i++) { x = ralloc(r, (i+1)*sizeof(int)); ... }
+        let arena = Arena::new();
+        for i in 0..10usize {
+            let x = arena.alloc_slice_fill_with(i + 1, |j| j as u32);
+            assert_eq!(x.len(), i + 1);
+            assert_eq!(x.last().copied(), Some(i as u32));
+        }
+        // deleteregion(&r) is `drop(arena)`
+    }
+
+    #[test]
+    fn slices_and_strings() {
+        let arena = Arena::new();
+        let xs = arena.alloc_slice_copy(&[1u64, 2, 3]);
+        let s = arena.alloc_str("region");
+        let ys = arena.alloc_slice_fill_with(4, |i| i * i);
+        assert_eq!(xs, &[1, 2, 3]);
+        assert_eq!(s, "region");
+        assert_eq!(ys, &[0, 1, 4, 9]);
+        xs[2] = 30;
+        assert_eq!(xs[2], 30);
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let arena = Arena::new();
+        let _pad = arena.alloc(1u8);
+        let a = arena.alloc(7u64);
+        assert_eq!(a as *const u64 as usize % align_of::<u64>(), 0);
+        #[repr(align(64))]
+        #[derive(Clone, Copy)]
+        struct Aligned64([u8; 64]);
+        let b = arena.alloc(Aligned64([3; 64]));
+        assert_eq!(b as *const Aligned64 as usize % 64, 0);
+        assert_eq!(b.0[63], 3);
+    }
+
+    #[test]
+    fn large_allocations_get_own_chunks() {
+        let arena = Arena::new();
+        let big = arena.alloc_slice_fill_with(100_000, |i| i as u8);
+        assert_eq!(big.len(), 100_000);
+        assert_eq!(big[99_999], (99_999 % 256) as u8);
+        let after = arena.alloc(5u32);
+        assert_eq!(*after, 5);
+    }
+
+    #[test]
+    fn zero_sized_types_work() {
+        let arena = Arena::new();
+        let unit = arena.alloc(());
+        assert_eq!(*unit, ());
+        let units = arena.alloc_slice_fill_with(10, |_| ());
+        assert_eq!(units.len(), 10);
+        let empty: &mut [u32] = arena.alloc_slice_copy(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(arena.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_reclaims_and_reuses() {
+        let mut arena = Arena::new();
+        for i in 0..10_000u32 {
+            arena.alloc(i);
+        }
+        let cap = arena.capacity();
+        assert!(cap >= 40_000);
+        arena.reset();
+        assert_eq!(arena.allocated_bytes(), 0);
+        assert!(arena.capacity() <= cap);
+        assert!(arena.capacity() > 0, "largest chunk is retained");
+        let v = arena.alloc(42u32);
+        assert_eq!(*v, 42);
+    }
+
+    #[test]
+    fn allocated_bytes_accumulates() {
+        let arena = Arena::new();
+        arena.alloc(0u64);
+        arena.alloc_slice_copy(&[0u8; 10]);
+        assert_eq!(arena.allocated_bytes(), 18);
+    }
+
+    #[test]
+    fn no_overlap_under_mixed_sizes() {
+        // Write distinct patterns through every allocation, then verify
+        // all of them: any overlap would corrupt an earlier pattern.
+        let arena = Arena::new();
+        let mut slices: Vec<&mut [u8]> = Vec::new();
+        for i in 0..500usize {
+            let n = (i * 7) % 97 + 1;
+            let s = arena.alloc_slice_fill_with(n, move |_| (i % 251) as u8);
+            slices.push(s);
+        }
+        for (i, s) in slices.iter().enumerate() {
+            assert!(s.iter().all(|&b| b == (i % 251) as u8), "allocation {i} corrupted");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Cost accounting for the safety machinery (paper Figure 11 and §4.2–4.3).
+//!
+//! The paper divides the cost of safe regions into three parts:
+//! *reference counting* on region-pointer writes, *stack scanning* when
+//! `deleteregion` is called (plus the paired unscans on return), and
+//! *cleanup* — walking a deleted region's objects to release the counts
+//! they hold on other regions.
+//!
+//! We count each event and also accumulate a simulated instruction total
+//! using the paper's own costs where it gives them: a statically-recognized
+//! write to global storage costs **16** SPARC instructions and a write
+//! within a region costs **23** (Figure 5). Costs the paper does not
+//! quantify (the dynamic-dispatch write, per-slot scan work, per-object
+//! cleanup work) use documented estimates of the same flavour.
+
+/// Instruction cost of a reference-counted write to global storage
+/// (paper Figure 5: "Global writes — 16 instructions").
+pub const GLOBAL_WRITE_INSTRS: u64 = 16;
+
+/// Instruction cost of a reference-counted write within a region
+/// (paper Figure 5: "Region writes — 23 instructions").
+pub const REGION_WRITE_INSTRS: u64 = 23;
+
+/// Instruction cost of a write that could not be classified at compile
+/// time and goes through the runtime dispatch routine (§4.2.2 mentions "a
+/// more expensive runtime routine"; estimated as dispatch + region-write).
+pub const UNKNOWN_WRITE_INSTRS: u64 = 31;
+
+/// Estimated instructions to scan or unscan one stack slot (load the slot,
+/// null test, page-map lookup, count adjustment).
+pub const SCAN_SLOT_INSTRS: u64 = 8;
+
+/// Estimated per-frame overhead of a scan or unscan (locate the liveness
+/// map, adjust the high-water mark, patch the return address).
+pub const SCAN_FRAME_INSTRS: u64 = 12;
+
+/// Estimated instructions of cleanup bookkeeping per object (read the
+/// cleanup word, dispatch, advance the scan pointer).
+pub const CLEANUP_OBJECT_INSTRS: u64 = 6;
+
+/// Estimated instructions per region-pointer word released during cleanup.
+pub const CLEANUP_PTR_INSTRS: u64 = 8;
+
+/// Counters for every component of the safety machinery.
+///
+/// All counters are zero in unsafe mode — the unsafe library is "identical
+/// to the safe version, except that all support for maintaining reference
+/// counts is disabled" (§4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SafetyCosts {
+    /// Reference-counted writes to global storage.
+    pub barriers_global: u64,
+    /// Reference-counted writes to locations inside regions.
+    pub barriers_region: u64,
+    /// Writes classified at runtime (the expensive dispatch path).
+    pub barriers_unknown: u64,
+    /// Simulated instructions spent in write barriers.
+    pub barrier_instrs: u64,
+    /// Frames scanned by `deleteregion` stack scans.
+    pub frames_scanned: u64,
+    /// Stack slots examined during scans.
+    pub slots_scanned: u64,
+    /// Frames unscanned (on return into a scanned frame).
+    pub frames_unscanned: u64,
+    /// Stack slots examined during unscans.
+    pub slots_unscanned: u64,
+    /// Simulated instructions spent scanning/unscanning the stack.
+    pub scan_instrs: u64,
+    /// Objects walked by region cleanup.
+    pub cleanup_objects: u64,
+    /// Region-pointer words released by region cleanup.
+    pub cleanup_ptrs: u64,
+    /// Pages walked by region cleanup.
+    pub cleanup_pages: u64,
+    /// Simulated instructions spent in cleanup.
+    pub cleanup_instrs: u64,
+    /// Successful region deletions.
+    pub deletes: u64,
+    /// `deleteregion` calls refused because external references existed.
+    pub deletes_failed: u64,
+}
+
+impl SafetyCosts {
+    /// Total simulated instructions attributable to safety.
+    pub fn total_instrs(&self) -> u64 {
+        self.barrier_instrs + self.scan_instrs + self.cleanup_instrs
+    }
+
+    /// Fraction of safety instructions in each category
+    /// `(reference counting, stack scan, cleanup)`; `(0, 0, 0)` when no
+    /// safety work happened.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_instrs();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.barrier_instrs as f64 / t,
+            self.scan_instrs as f64 / t,
+            self.cleanup_instrs as f64 / t,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let costs = SafetyCosts {
+            barrier_instrs: 160,
+            scan_instrs: 40,
+            cleanup_instrs: 200,
+            ..SafetyCosts::default()
+        };
+        let (rc, scan, clean) = costs.breakdown();
+        assert!((rc + scan + clean - 1.0).abs() < 1e-12);
+        assert!((rc - 0.4).abs() < 1e-12);
+        assert!((scan - 0.1).abs() < 1e-12);
+        assert!((clean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(SafetyCosts::default().breakdown(), (0.0, 0.0, 0.0));
+        assert_eq!(SafetyCosts::default().total_instrs(), 0);
+    }
+}

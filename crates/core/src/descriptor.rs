@@ -1,0 +1,192 @@
+//! Cleanup descriptors — the compiler-generated form of the paper's
+//! *cleanup functions* (§4.2.4).
+//!
+//! In C@, `ralloc` and `rarrayalloc` take a user-written cleanup function
+//! because C's `union` makes it impossible for the compiler to locate every
+//! region pointer. The paper notes that "for cases without union, and in
+//! higher-level languages, the cleanup function could be generated
+//! automatically by the compiler". Our C@ dialect has no `union`, so the
+//! compiler generates a [`TypeDescriptor`] per type: the object size plus
+//! the offsets of its region-pointer fields. The runtime's region scan
+//! (paper Figure 7) walks a deleted region's pages, reads each object's
+//! descriptor id, releases the reference counts held by its pointer fields
+//! and advances by the descriptor's size — exactly what the hand-written
+//! `cleanup_list` of Figure 6 does for lists.
+
+use std::fmt;
+
+/// Identifier of a registered [`TypeDescriptor`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DescId(pub(crate) u32);
+
+impl DescId {
+    /// The raw index of this descriptor.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Layout information for one allocated type: its size and where its
+/// region pointers live.
+///
+/// ```
+/// use region_core::TypeDescriptor;
+/// // struct list { int i; struct list @next; }  (paper Figure 3)
+/// let list = TypeDescriptor::new("list", 8, vec![4]);
+/// assert_eq!(list.size(), 8);
+/// assert_eq!(list.ptr_offsets(), &[4]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TypeDescriptor {
+    name: String,
+    size: u32,
+    ptr_offsets: Vec<u32>,
+}
+
+impl TypeDescriptor {
+    /// Creates a descriptor for a type called `name` of `size` bytes whose
+    /// region-pointer fields are at the given byte offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero, if any offset is unaligned or out of
+    /// bounds, or if offsets are not strictly increasing.
+    pub fn new(name: impl Into<String>, size: u32, ptr_offsets: Vec<u32>) -> TypeDescriptor {
+        assert!(size > 0, "zero-sized allocation type");
+        let mut prev: Option<u32> = None;
+        for &off in &ptr_offsets {
+            assert!(off % 4 == 0, "unaligned pointer offset {off}");
+            assert!(off + 4 <= size, "pointer offset {off} out of bounds for size {size}");
+            if let Some(p) = prev {
+                assert!(off > p, "pointer offsets must be strictly increasing");
+            }
+            prev = Some(off);
+        }
+        TypeDescriptor { name: name.into(), size, ptr_offsets }
+    }
+
+    /// Creates a descriptor for a pointer-free type (allocatable with
+    /// `ralloc` but better served by `rstralloc`).
+    pub fn pointer_free(name: impl Into<String>, size: u32) -> TypeDescriptor {
+        TypeDescriptor::new(name, size, Vec::new())
+    }
+
+    /// The type's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The object size in bytes (unaligned; the allocator rounds up).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Byte offsets of the region-pointer fields.
+    pub fn ptr_offsets(&self) -> &[u32] {
+        &self.ptr_offsets
+    }
+
+    /// `true` if the type contains no region pointers.
+    pub fn is_pointer_free(&self) -> bool {
+        self.ptr_offsets.is_empty()
+    }
+}
+
+/// Registry of type descriptors, indexed by [`DescId`].
+#[derive(Default, Debug, Clone)]
+pub struct DescriptorTable {
+    descs: Vec<TypeDescriptor>,
+}
+
+impl DescriptorTable {
+    /// Creates an empty table.
+    pub fn new() -> DescriptorTable {
+        DescriptorTable::default()
+    }
+
+    /// Registers a descriptor and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2³⁰ descriptors are registered (the object
+    /// header reserves bits for the array flag).
+    pub fn register(&mut self, desc: TypeDescriptor) -> DescId {
+        let id = self.descs.len() as u32;
+        assert!(id < (1 << 30), "descriptor table overflow");
+        self.descs.push(desc);
+        DescId(id)
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn get(&self, id: DescId) -> &TypeDescriptor {
+        &self.descs[id.0 as usize]
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// `true` if no descriptors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+}
+
+impl fmt::Display for TypeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes, {} ptrs)", self.name, self.size, self.ptr_offsets.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut t = DescriptorTable::new();
+        let a = t.register(TypeDescriptor::new("list", 8, vec![4]));
+        let b = t.register(TypeDescriptor::pointer_free("blob", 32));
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).name(), "list");
+        assert!(t.get(b).is_pointer_free());
+        assert!(!t.get(a).is_pointer_free());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned pointer offset")]
+    fn rejects_unaligned_offset() {
+        TypeDescriptor::new("bad", 8, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_offset() {
+        TypeDescriptor::new("bad", 8, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_offsets() {
+        TypeDescriptor::new("bad", 16, vec![8, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn rejects_zero_size() {
+        TypeDescriptor::new("bad", 0, vec![]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = TypeDescriptor::new("cons", 8, vec![4]);
+        assert_eq!(format!("{d}"), "cons (8 bytes, 1 ptrs)");
+    }
+}

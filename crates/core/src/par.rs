@@ -1,0 +1,355 @@
+//! Parallel regions — the paper's §1 sketch, implemented.
+//!
+//! > "Another advantage of region-based memory management is that it can
+//! > be used nearly unchanged in an explicitly-parallel programming
+//! > language. The only operations that require synchronization amongst
+//! > all processes are region creation and deletion. Each process keeps a
+//! > local reference count for each region which counts the references
+//! > created or deleted by that process. A region can be deleted if the
+//! > sum of all its local reference counts is zero. Writes of references
+//! > to regions must be done with an atomic exchange (rather than a
+//! > simple write) to prevent incorrect behaviour in the presence of data
+//! > races, however the local reference counts can be adjusted without
+//! > synchronization or communication."
+//!
+//! [`ParRegionPool`] implements exactly that protocol for host threads:
+//!
+//! * each registered [`ParThread`] owns a vector of per-region local
+//!   counts, adjusted with `Relaxed` atomics (only the owning thread
+//!   writes them — the atomics exist so `try_delete` can read them);
+//! * [`ParThread::exchange_ref`] updates a shared reference cell with an
+//!   atomic swap and adjusts only the *local* counts for the old and new
+//!   referents;
+//! * [`ParRegionPool::try_delete`] takes the pool lock (the one global
+//!   synchronization point, shared with region creation) and deletes the
+//!   region iff its local counts sum to zero.
+//!
+//! A local count may be negative — thread A can release a reference that
+//! thread B created; only the sum is meaningful.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Identifier of a region in a [`ParRegionPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParRegionId(u32);
+
+impl ParRegionId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+    fn to_cell(self) -> u32 {
+        self.0 + 1
+    }
+    fn from_cell(raw: u32) -> Option<ParRegionId> {
+        raw.checked_sub(1).map(ParRegionId)
+    }
+}
+
+/// A shared mutable cell holding an optional region reference, updated
+/// with atomic exchange as the paper prescribes.
+#[derive(Debug, Default)]
+pub struct RefCell32 {
+    raw: AtomicU32,
+}
+
+impl RefCell32 {
+    /// Creates an empty (null) reference cell.
+    pub fn new() -> RefCell32 {
+        RefCell32::default()
+    }
+
+    /// Current referent (a racy read; counts are not affected).
+    pub fn get(&self) -> Option<ParRegionId> {
+        ParRegionId::from_cell(self.raw.load(Ordering::Acquire))
+    }
+}
+
+#[derive(Debug)]
+struct ThreadCounts {
+    /// counts[r] = references to region r created minus released by this
+    /// thread. Written only by the owning thread; read under the pool
+    /// lock by `try_delete`.
+    counts: boxcar::Counts,
+}
+
+/// A growable vector of atomic counters. (Tiny purpose-built structure —
+/// regions are created under the pool lock, so growth is coordinated.)
+mod boxcar {
+    use super::*;
+
+    #[derive(Debug)]
+    pub(super) struct Counts {
+        inner: Mutex<Vec<Arc<AtomicI64>>>,
+    }
+
+    impl Counts {
+        pub(super) fn new() -> Counts {
+            Counts { inner: Mutex::new(Vec::new()) }
+        }
+
+        pub(super) fn slot(&self, i: usize) -> Arc<AtomicI64> {
+            let mut v = self.inner.lock();
+            while v.len() <= i {
+                v.push(Arc::new(AtomicI64::new(0)));
+            }
+            v[i].clone()
+        }
+
+        pub(super) fn get(&self, i: usize) -> i64 {
+            let v = self.inner.lock();
+            v.get(i).map_or(0, |c| c.load(Ordering::Acquire))
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    /// live[r]: deletion flips this to false under the pool lock.
+    regions: Mutex<Vec<bool>>,
+    threads: Mutex<Vec<Arc<ThreadCounts>>>,
+}
+
+/// A pool of regions shared between threads, with per-thread local
+/// reference counts (paper §1).
+///
+/// # Example
+///
+/// ```
+/// use region_core::par::ParRegionPool;
+///
+/// let pool = ParRegionPool::new();
+/// let mut t = pool.register_thread();
+/// let r = t.create_region();
+/// t.retain(r);
+/// assert!(!pool.try_delete(r), "outstanding reference");
+/// t.release(r);
+/// assert!(pool.try_delete(r));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParRegionPool {
+    shared: Arc<PoolShared>,
+}
+
+impl Default for ParRegionPool {
+    fn default() -> ParRegionPool {
+        ParRegionPool::new()
+    }
+}
+
+impl ParRegionPool {
+    /// Creates an empty pool.
+    pub fn new() -> ParRegionPool {
+        ParRegionPool {
+            shared: Arc::new(PoolShared {
+                regions: Mutex::new(Vec::new()),
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Registers the calling thread, returning its handle. Registration is
+    /// the only per-thread setup cost; afterwards count adjustments are
+    /// unsynchronized (`Relaxed` on thread-owned counters).
+    pub fn register_thread(&self) -> ParThread {
+        let counts = Arc::new(ThreadCounts { counts: boxcar::Counts::new() });
+        self.shared.threads.lock().push(counts.clone());
+        ParThread { pool: self.clone(), counts, cache: Vec::new() }
+    }
+
+    /// `true` if the region has not been deleted.
+    pub fn is_live(&self, r: ParRegionId) -> bool {
+        self.shared.regions.lock().get(r.index()).copied().unwrap_or(false)
+    }
+
+    /// Attempts to delete a region: takes the pool lock (the paper's
+    /// global synchronization for deletion), sums every thread's local
+    /// count, and deletes iff the sum is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region was already deleted or never existed.
+    pub fn try_delete(&self, r: ParRegionId) -> bool {
+        let mut regions = self.shared.regions.lock();
+        assert!(
+            regions.get(r.index()).copied() == Some(true),
+            "try_delete of dead or unknown region {r:?}"
+        );
+        let threads = self.shared.threads.lock();
+        let sum: i64 = threads.iter().map(|t| t.counts.get(r.index())).sum();
+        if sum != 0 {
+            return false;
+        }
+        regions[r.index()] = false;
+        true
+    }
+
+    /// Exact global reference count (sums local counts under the lock);
+    /// for tests and diagnostics.
+    pub fn global_count(&self, r: ParRegionId) -> i64 {
+        let _regions = self.shared.regions.lock();
+        let threads = self.shared.threads.lock();
+        threads.iter().map(|t| t.counts.get(r.index())).sum()
+    }
+}
+
+/// A thread's handle into a [`ParRegionPool`].
+#[derive(Debug)]
+pub struct ParThread {
+    pool: ParRegionPool,
+    counts: Arc<ThreadCounts>,
+    /// Cached counter handles so the hot path is one Relaxed RMW.
+    cache: Vec<Option<Arc<AtomicI64>>>,
+}
+
+impl ParThread {
+    /// Creates a region (global synchronization, like deletion).
+    pub fn create_region(&mut self) -> ParRegionId {
+        let mut regions = self.pool.shared.regions.lock();
+        let id = ParRegionId(regions.len() as u32);
+        regions.push(true);
+        id
+    }
+
+    fn counter(&mut self, r: ParRegionId) -> &AtomicI64 {
+        let i = r.index();
+        if self.cache.len() <= i {
+            self.cache.resize(i + 1, None);
+        }
+        if self.cache[i].is_none() {
+            self.cache[i] = Some(self.counts.counts.slot(i));
+        }
+        self.cache[i].as_ref().expect("just filled")
+    }
+
+    /// Records that this thread created a reference to `r` — no
+    /// synchronization or communication (paper §1).
+    pub fn retain(&mut self, r: ParRegionId) {
+        self.counter(r).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that this thread destroyed a reference to `r`. The local
+    /// count may go negative if the reference was created elsewhere; only
+    /// the cross-thread sum matters.
+    pub fn release(&mut self, r: ParRegionId) {
+        self.counter(r).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes a reference into a shared cell with an **atomic
+    /// exchange**, as the paper requires for racy reference writes, and
+    /// adjusts this thread's local counts for the old and new referents.
+    pub fn exchange_ref(&mut self, cell: &RefCell32, new: Option<ParRegionId>) {
+        let new_raw = new.map_or(0, ParRegionId::to_cell);
+        let old_raw = cell.raw.swap(new_raw, Ordering::AcqRel);
+        if let Some(n) = new {
+            self.retain(n);
+        }
+        if let Some(o) = ParRegionId::from_cell(old_raw) {
+            self.release(o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_protocol() {
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        assert!(pool.is_live(r));
+        t.retain(r);
+        t.retain(r);
+        assert_eq!(pool.global_count(r), 2);
+        assert!(!pool.try_delete(r));
+        t.release(r);
+        t.release(r);
+        assert!(pool.try_delete(r));
+        assert!(!pool.is_live(r));
+    }
+
+    #[test]
+    fn counts_balance_across_threads() {
+        // Thread A creates a reference, thread B destroys it: A's count is
+        // +1, B's is -1, the sum is 0 and deletion succeeds.
+        let pool = ParRegionPool::new();
+        let mut a = pool.register_thread();
+        let mut b = pool.register_thread();
+        let r = a.create_region();
+        a.retain(r);
+        assert!(!pool.try_delete(r));
+        b.release(r);
+        assert_eq!(pool.global_count(r), 0);
+        assert!(pool.try_delete(r));
+    }
+
+    #[test]
+    fn exchange_ref_moves_counts() {
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r1 = t.create_region();
+        let r2 = t.create_region();
+        let cell = RefCell32::new();
+        t.exchange_ref(&cell, Some(r1));
+        assert_eq!(cell.get(), Some(r1));
+        assert_eq!(pool.global_count(r1), 1);
+        t.exchange_ref(&cell, Some(r2));
+        assert_eq!((pool.global_count(r1), pool.global_count(r2)), (0, 1));
+        t.exchange_ref(&cell, None);
+        assert!(cell.get().is_none());
+        assert!(pool.try_delete(r1));
+        assert!(pool.try_delete(r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead or unknown region")]
+    fn double_delete_panics() {
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        assert!(pool.try_delete(r));
+        pool.try_delete(r);
+    }
+
+    #[test]
+    fn concurrent_exchange_never_loses_counts() {
+        // N threads hammer one shared cell with atomic exchanges; when the
+        // dust settles the only outstanding reference is whatever the cell
+        // holds. Clearing it makes every region deletable.
+        const THREADS: usize = 4;
+        const ITERS: usize = 2000;
+        let pool = ParRegionPool::new();
+        let mut main = pool.register_thread();
+        let regions: Vec<_> = (0..THREADS).map(|_| main.create_region()).collect();
+        let cell = RefCell32::new();
+        crossbeam::scope(|s| {
+            for i in 0..THREADS {
+                let pool = pool.clone();
+                let regions = regions.clone();
+                let cell = &cell;
+                s.spawn(move |_| {
+                    let mut t = pool.register_thread();
+                    for k in 0..ITERS {
+                        t.exchange_ref(cell, Some(regions[(i + k) % THREADS]));
+                    }
+                });
+            }
+        })
+        .expect("threads ran");
+        let held = cell.get().expect("cell ends non-null");
+        // All regions except the held one must be deletable.
+        for &r in &regions {
+            if r != held {
+                assert!(pool.try_delete(r), "region {r:?} had leftover counts");
+            } else {
+                assert!(!pool.try_delete(r), "held region must not be deletable");
+            }
+        }
+        main.exchange_ref(&cell, None);
+        assert!(pool.try_delete(held));
+    }
+}

@@ -1,0 +1,1093 @@
+//! The region runtime: pages, allocation, reference counts, deletion.
+//!
+//! This is the library of §4.1–4.2 of the paper. A region is a list of 4 KB
+//! pages with two bump allocators — `normal` for objects that may contain
+//! region pointers and `string` for pointer-free data — plus a reference
+//! count. A page map records which region owns each page, so `regionof` is
+//! a single lookup. Deleting a region releases all its pages at once, after
+//! scanning the stack (deferred local counts, §4.2.1/4.2.3) and walking the
+//! region's own objects to release the counts they hold on other regions
+//! (§4.2.4).
+
+use simheap::{align_up, Addr, HeapConfig, SimHeap, PAGE_SIZE, WORD};
+
+use crate::costs::{
+    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, GLOBAL_WRITE_INSTRS,
+    REGION_WRITE_INSTRS, UNKNOWN_WRITE_INSTRS,
+};
+use crate::descriptor::{DescId, DescriptorTable, TypeDescriptor};
+use crate::stats::AllocStats;
+
+/// Whether the runtime maintains reference counts.
+///
+/// The paper's unsafe library is "identical to the safe version, except
+/// that all support for maintaining reference counts is disabled" (§4):
+/// no object headers, no write barriers, no stack scans, no cleanup, and
+/// `deleteregion` always succeeds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SafetyMode {
+    /// Maintain region reference counts; deletion fails while external
+    /// references exist.
+    #[default]
+    Safe,
+    /// No reference counting; deletion always succeeds (the programmer is
+    /// trusted, as in Hanson's arenas).
+    Unsafe,
+}
+
+/// Configuration for a [`RegionRuntime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RegionConfig {
+    /// Safe or unsafe operation.
+    pub mode: SafetyMode,
+    /// Stagger successive regions' first allocations by 64 bytes (the L2
+    /// line size), up to 512 bytes, "to reduce cache conflicts between
+    /// region structures" (§4.1). Disable for the ablation benchmark.
+    pub stagger: bool,
+    /// Clear memory returned by `ralloc`/`rarrayalloc` (§3.2). Required for
+    /// safety; disable only to measure its cost in unsafe mode.
+    pub clear_on_alloc: bool,
+    /// Pages reserved for the region-pointer shadow stack.
+    pub stack_pages: u32,
+    /// Underlying simulated-heap configuration.
+    pub heap: HeapConfig,
+}
+
+impl Default for RegionConfig {
+    fn default() -> RegionConfig {
+        RegionConfig {
+            mode: SafetyMode::Safe,
+            stagger: true,
+            clear_on_alloc: true,
+            stack_pages: 256,
+            heap: HeapConfig::default(),
+        }
+    }
+}
+
+/// Identifier of a region. Ids are never reused within one runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RegionId(pub(crate) u32);
+
+impl RegionId {
+    /// Raw index of the region (diagnostics only).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `RegionId` from [`RegionId::index`]. Intended for
+    /// hosts (like the C@ VM) that round-trip handles through untyped
+    /// storage; passing an index never issued by the same runtime panics
+    /// on first use.
+    pub fn from_index(index: u32) -> RegionId {
+        RegionId(index)
+    }
+}
+
+/// One bump allocator: a list of pages with allocation on the last page.
+#[derive(Debug, Default, Clone)]
+struct BumpState {
+    /// Pages owned by this allocator with the offset of the first object
+    /// on each (the first page of a region may be staggered).
+    pages: Vec<(Addr, u32)>,
+    /// Offset at which to allocate on the last page (`PAGE_SIZE` = full).
+    alloc_from: u32,
+}
+
+impl BumpState {
+    fn current_page(&self) -> Option<Addr> {
+        self.pages.last().map(|&(p, _)| p)
+    }
+}
+
+#[derive(Debug)]
+struct RegionInfo {
+    rc: i64,
+    live: bool,
+    normal: BumpState,
+    string: BumpState,
+    /// Requested bytes (rounded to four) allocated in this region.
+    bytes: u64,
+    /// Number of allocations in this region.
+    allocs: u64,
+}
+
+/// A stack frame of region-pointer locals (see `stack.rs`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    pub(crate) base_slot: u32,
+    pub(crate) n_slots: u32,
+}
+
+const ARRAY_FLAG: u32 = 0x8000_0000;
+/// Pages of address space covered by one page-map chunk.
+const CHUNK_COVER: u32 = 1024;
+
+/// The region-based memory management runtime of Gay & Aiken.
+///
+/// # Example
+///
+/// The paper's Figure 1, in this API:
+///
+/// ```
+/// use region_core::{RegionRuntime, TypeDescriptor};
+///
+/// let mut rt = RegionRuntime::new_safe();
+/// let r = rt.new_region();
+/// for i in 0..10u32 {
+///     let x = rt.rstralloc(r, (i + 1) * 4); // int arrays: no region pointers
+///     rt.heap_mut().store_u32(x, i);
+/// }
+/// assert!(rt.delete_region(r)); // frees all ten arrays at once
+/// ```
+pub struct RegionRuntime {
+    heap: SimHeap,
+    config: RegionConfig,
+    descs: DescriptorTable,
+    regions: Vec<RegionInfo>,
+    free_pages: Vec<Addr>,
+    /// Root of the two-level page map; each chunk page covers
+    /// [`CHUNK_COVER`] heap pages.
+    map_root: Vec<Option<Addr>>,
+    stats: AllocStats,
+    costs: SafetyCosts,
+    // --- shadow stack of region-pointer locals ---
+    pub(crate) stack_base: Addr,
+    pub(crate) stack_slots: u32,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) top_slot: u32,
+    /// Frames `[0, hwm)` are scanned (their slots are reflected in region
+    /// reference counts).
+    pub(crate) hwm: usize,
+    // --- OS-footprint accounting ---
+    data_pages: u64,
+    map_pages: u64,
+    globals_pages: u64,
+}
+
+impl std::fmt::Debug for RegionRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionRuntime")
+            .field("mode", &self.config.mode)
+            .field("regions", &self.regions.len())
+            .field("live_regions", &self.stats.live_regions)
+            .field("frames", &self.frames.len())
+            .finish()
+    }
+}
+
+impl RegionRuntime {
+    /// Creates a runtime in [`SafetyMode::Safe`] with default configuration.
+    pub fn new_safe() -> RegionRuntime {
+        RegionRuntime::with_config(RegionConfig::default())
+    }
+
+    /// Creates a runtime in [`SafetyMode::Unsafe`] with default
+    /// configuration.
+    pub fn new_unsafe() -> RegionRuntime {
+        RegionRuntime::with_config(RegionConfig { mode: SafetyMode::Unsafe, ..RegionConfig::default() })
+    }
+
+    /// Creates a runtime with the given configuration.
+    pub fn with_config(config: RegionConfig) -> RegionRuntime {
+        let mut heap = SimHeap::with_config(config.heap);
+        let stack_base = heap.sbrk_pages(config.stack_pages);
+        let stack_slots = config.stack_pages * (PAGE_SIZE / WORD);
+        RegionRuntime {
+            heap,
+            config,
+            descs: DescriptorTable::new(),
+            regions: Vec::new(),
+            free_pages: Vec::new(),
+            map_root: Vec::new(),
+            stats: AllocStats::default(),
+            costs: SafetyCosts::default(),
+            stack_base,
+            stack_slots,
+            frames: Vec::new(),
+            top_slot: 0,
+            hwm: 0,
+            data_pages: 0,
+            map_pages: 0,
+            globals_pages: 0,
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RegionConfig {
+        &self.config
+    }
+
+    /// `true` if the runtime maintains reference counts.
+    pub fn is_safe(&self) -> bool {
+        self.config.mode == SafetyMode::Safe
+    }
+
+    /// Read access to the underlying simulated heap.
+    pub fn heap(&self) -> &SimHeap {
+        &self.heap
+    }
+
+    /// Mutable access to the underlying simulated heap (for loads/stores of
+    /// non-pointer data; pointer stores must go through the
+    /// `store_ptr_*` barriers in safe mode).
+    pub fn heap_mut(&mut self) -> &mut SimHeap {
+        &mut self.heap
+    }
+
+    /// Consumes the runtime and returns its heap (e.g. to detach an
+    /// attached cache-simulator sink after a run).
+    pub fn into_heap(self) -> SimHeap {
+        self.heap
+    }
+
+    /// Registers a type descriptor (the compiler-generated cleanup
+    /// function) and returns its id.
+    pub fn register_type(&mut self, desc: TypeDescriptor) -> DescId {
+        self.descs.register(desc)
+    }
+
+    /// The descriptor table.
+    pub fn descriptors(&self) -> &DescriptorTable {
+        &self.descs
+    }
+
+    /// Allocation statistics (paper Table 2).
+    pub fn stats(&self) -> &AllocStats {
+        &self.stats
+    }
+
+    /// Safety-cost counters (paper Figure 11).
+    pub fn costs(&self) -> &SafetyCosts {
+        &self.costs
+    }
+
+    pub(crate) fn costs_mut(&mut self) -> &mut SafetyCosts {
+        &mut self.costs
+    }
+
+    /// Pages of region data obtained from the OS (never returned; freed
+    /// pages are recycled through the runtime's pool).
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages
+    }
+
+    /// Pages used by the page map.
+    pub fn map_pages(&self) -> u64 {
+        self.map_pages
+    }
+
+    /// Bytes of OS memory attributable to the allocator (data + page map),
+    /// the "OS" bar of the paper's Figure 8.
+    pub fn os_heap_bytes(&self) -> u64 {
+        (self.data_pages + self.map_pages) * u64::from(PAGE_SIZE)
+    }
+
+    /// Allocates a zeroed area of global storage (outside any region).
+    /// Pointers stored here must use [`RegionRuntime::store_ptr_global`].
+    pub fn alloc_globals(&mut self, bytes: u32) -> Addr {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.globals_pages += u64::from(pages);
+        self.heap.sbrk_pages(pages)
+    }
+
+    // ------------------------------------------------------------------
+    // Page management
+    // ------------------------------------------------------------------
+
+    fn acquire_page(&mut self, owner: Option<RegionId>) -> Addr {
+        let page = match self.free_pages.pop() {
+            Some(p) => p,
+            None => {
+                self.data_pages += 1;
+                self.heap.sbrk_pages(1)
+            }
+        };
+        self.set_page_owner(page, owner);
+        page
+    }
+
+    fn release_page(&mut self, page: Addr) {
+        self.set_page_owner(page, None);
+        self.free_pages.push(page);
+    }
+
+    fn set_page_owner(&mut self, page: Addr, owner: Option<RegionId>) {
+        let page_index = page.page_index();
+        let root = (page_index / CHUNK_COVER) as usize;
+        if self.map_root.len() <= root {
+            self.map_root.resize(root + 1, None);
+        }
+        let chunk = match self.map_root[root] {
+            Some(c) => c,
+            None => {
+                // Map chunks come straight from the OS (they are zeroed,
+                // i.e. "no owner", which is what a fresh chunk must say).
+                self.map_pages += 1;
+                let c = self.heap.sbrk_pages(1);
+                self.map_root[root] = Some(c);
+                c
+            }
+        };
+        let entry = chunk + (page_index % CHUNK_COVER) * WORD;
+        self.heap.store_u32(entry, owner.map_or(0, |r| r.0 + 1));
+    }
+
+    /// The region containing `addr`, if any — the paper's `regionof`.
+    /// One page-map load (§4.1: "an array mapping page addresses to
+    /// regions").
+    pub fn region_of(&mut self, addr: Addr) -> Option<RegionId> {
+        if addr.is_null() {
+            return None;
+        }
+        let page_index = addr.page_index();
+        let chunk = *self.map_root.get((page_index / CHUNK_COVER) as usize)?;
+        let chunk = chunk?;
+        let entry = self.heap.load_u32(chunk + (page_index % CHUNK_COVER) * WORD);
+        if entry == 0 {
+            None
+        } else {
+            Some(RegionId(entry - 1))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Region creation and allocation
+    // ------------------------------------------------------------------
+
+    /// Creates a new, empty region (`newregion`). Constant time; the first
+    /// page is acquired eagerly, as the paper stores the region structure
+    /// in its region's first page.
+    pub fn new_region(&mut self) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        // Stagger successive regions by 64 bytes (L2 line), wrapping at 512+64.
+        let first_off = if self.config.stagger {
+            align_up((self.stats.total_regions as u32 % 9) * 64, WORD)
+        } else {
+            0
+        };
+        self.regions.push(RegionInfo {
+            rc: 0,
+            live: true,
+            normal: BumpState::default(),
+            string: BumpState::default(),
+            bytes: 0,
+            allocs: 0,
+        });
+        let page = self.acquire_page(Some(id));
+        let region = &mut self.regions[id.0 as usize];
+        region.normal.pages.push((page, first_off));
+        region.normal.alloc_from = first_off;
+        // The page may be recycled (dirty); the cleanup scan must find a
+        // null cleanup word at the scan start even if nothing is ever
+        // allocated here.
+        if self.config.mode == SafetyMode::Safe {
+            self.heap.store_u32(page + first_off, 0);
+        }
+        self.stats.on_region_created();
+        id
+    }
+
+    /// Reference count of a region (diagnostics and tests). Always zero in
+    /// unsafe mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was deleted.
+    pub fn rc(&self, r: RegionId) -> i64 {
+        let info = &self.regions[r.0 as usize];
+        assert!(info.live, "rc of deleted region {r:?}");
+        info.rc
+    }
+
+    /// `true` if the region has not been deleted.
+    pub fn is_live(&self, r: RegionId) -> bool {
+        self.regions[r.0 as usize].live
+    }
+
+    fn info(&self, r: RegionId) -> &RegionInfo {
+        let info = &self.regions[r.0 as usize];
+        assert!(info.live, "use of deleted region {r:?}");
+        info
+    }
+
+    /// Bump-allocates `total` bytes (word-aligned) in the given allocator
+    /// of region `r`; returns the start address.
+    fn bump(&mut self, r: RegionId, total: u32, string: bool) -> Addr {
+        debug_assert_eq!(total % WORD, 0);
+        assert!(
+            total <= PAGE_SIZE,
+            "region allocation of {total} bytes exceeds one page \
+             (the prototype only handles allocations of at most one page, §4.1)"
+        );
+        self.info(r); // liveness check
+        fn state_of(info: &mut RegionInfo, string: bool) -> &mut BumpState {
+            if string {
+                &mut info.string
+            } else {
+                &mut info.normal
+            }
+        }
+        // "If the allocation fits on the first page just return
+        //  firstpage+allocfrom and increment allocfrom, if not allocate a
+        //  new page and try again." (§4.1)
+        let (page, offset) = {
+            let s = state_of(&mut self.regions[r.0 as usize], string);
+            match s.current_page() {
+                Some(p) if s.alloc_from + total <= PAGE_SIZE => {
+                    let off = s.alloc_from;
+                    s.alloc_from += total;
+                    (p, off)
+                }
+                _ => {
+                    let p = self.acquire_page(Some(r));
+                    let s = state_of(&mut self.regions[r.0 as usize], string);
+                    s.pages.push((p, 0));
+                    s.alloc_from = total;
+                    (p, 0)
+                }
+            }
+        };
+        let addr = page + offset;
+        // Maintain the end-of-page marker for the cleanup scan: the word
+        // after the last object must read as a null cleanup (Figure 7).
+        if self.is_safe() && !string {
+            let next = offset + total;
+            if next + WORD <= PAGE_SIZE {
+                self.heap.store_u32(page + next, 0);
+            }
+        }
+        addr
+    }
+
+    fn account_alloc(&mut self, r: RegionId, requested: u32) {
+        let rounded = self.stats.on_alloc(requested);
+        let info = &mut self.regions[r.0 as usize];
+        info.bytes += u64::from(rounded);
+        info.allocs += 1;
+        let bytes = info.bytes;
+        self.stats.note_region_bytes(bytes);
+    }
+
+    /// Allocates one object of the given type in region `r` (`ralloc`).
+    /// The returned memory is cleared. In safe mode the object is preceded
+    /// by a four-byte cleanup header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region was deleted or the object exceeds one page.
+    pub fn ralloc(&mut self, r: RegionId, desc: DescId) -> Addr {
+        let size = self.descs.get(desc).size();
+        let asize = align_up(size, WORD);
+        let data = if self.is_safe() {
+            let start = self.bump(r, WORD + asize, false);
+            self.heap.store_u32(start, desc.index() + 1);
+            start + WORD
+        } else {
+            self.bump(r, asize, false)
+        };
+        if self.config.clear_on_alloc {
+            self.heap.fill(data, asize, 0);
+        }
+        self.account_alloc(r, size);
+        data
+    }
+
+    /// Allocates an array of `n` objects of the given element type
+    /// (`rarrayalloc`). The memory is cleared. In safe mode the array is
+    /// preceded by a twelve-byte header (cleanup, count, stride) — the
+    /// paper's "twelve bytes of bookkeeping for arrays".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region was deleted or the array exceeds one page.
+    pub fn rarrayalloc(&mut self, r: RegionId, n: u32, elem: DescId) -> Addr {
+        let stride = align_up(self.descs.get(elem).size(), WORD);
+        let payload = n.checked_mul(stride).expect("array size overflow");
+        let data = if self.is_safe() {
+            let start = self.bump(r, 3 * WORD + payload, false);
+            self.heap.store_u32(start, (elem.index() + 1) | ARRAY_FLAG);
+            self.heap.store_u32(start + WORD, n);
+            self.heap.store_u32(start + 2 * WORD, stride);
+            start + 3 * WORD
+        } else {
+            self.bump(r, payload.max(WORD), false)
+        };
+        if self.config.clear_on_alloc {
+            self.heap.fill(data, payload, 0);
+        }
+        self.account_alloc(r, payload);
+        data
+    }
+
+    /// Allocates `size` bytes of pointer-free storage (`rstralloc`). The
+    /// memory is **not** cleared and carries no bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region was deleted, `size` is zero, or the block
+    /// exceeds one page.
+    pub fn rstralloc(&mut self, r: RegionId, size: u32) -> Addr {
+        assert!(size > 0, "rstralloc of zero bytes");
+        let asize = align_up(size, WORD);
+        let addr = self.bump(r, asize, true);
+        self.account_alloc(r, size);
+        addr
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting
+    // ------------------------------------------------------------------
+
+    pub(crate) fn inc_rc(&mut self, r: RegionId) {
+        let info = &mut self.regions[r.0 as usize];
+        debug_assert!(info.live, "reference to deleted region {r:?}");
+        info.rc += 1;
+    }
+
+    pub(crate) fn dec_rc(&mut self, r: RegionId) {
+        let info = &mut self.regions[r.0 as usize];
+        debug_assert!(info.live, "reference to deleted region {r:?}");
+        info.rc -= 1;
+        assert!(info.rc >= 0, "reference count of {r:?} went negative");
+    }
+
+    /// Adjusts counts for replacing `old` with `new` at a location whose
+    /// own region is `loc_region` (`None` for global storage). This is the
+    /// body of both methods of paper Figure 5.
+    fn barrier_update(&mut self, loc_region: Option<RegionId>, old: Addr, new: Addr) {
+        let ro = self.region_of(old);
+        let rn = self.region_of(new);
+        if ro != rn {
+            if ro != loc_region {
+                if let Some(s) = ro {
+                    self.dec_rc(s);
+                }
+            }
+            if rn != loc_region {
+                if let Some(s) = rn {
+                    self.inc_rc(s);
+                }
+            }
+        }
+    }
+
+    /// Stores region pointer `new` into global storage at `loc`,
+    /// maintaining reference counts (paper Figure 5, "Global writes — 16
+    /// instructions"). A plain store in unsafe mode.
+    pub fn store_ptr_global(&mut self, loc: Addr, new: Addr) {
+        if self.is_safe() {
+            debug_assert!(
+                self.region_of(loc).is_none(),
+                "store_ptr_global to a location inside a region"
+            );
+            self.costs.barriers_global += 1;
+            self.costs.barrier_instrs += GLOBAL_WRITE_INSTRS;
+            let old = self.heap.load_addr(loc);
+            self.barrier_update(None, old, new);
+        }
+        self.heap.store_addr(loc, new);
+    }
+
+    /// Stores region pointer `new` into a location inside a region,
+    /// maintaining reference counts and exploiting *sameregion* pointers
+    /// (paper Figure 5, "Region writes — 23 instructions").
+    pub fn store_ptr_region(&mut self, loc: Addr, new: Addr) {
+        if self.is_safe() {
+            let lr = self.region_of(loc);
+            debug_assert!(lr.is_some(), "store_ptr_region to a non-region location");
+            self.costs.barriers_region += 1;
+            self.costs.barrier_instrs += REGION_WRITE_INSTRS;
+            let old = self.heap.load_addr(loc);
+            self.barrier_update(lr, old, new);
+        }
+        self.heap.store_addr(loc, new);
+    }
+
+    /// Stores region pointer `new` at a location that could not be
+    /// classified at compile time — the paper's "more expensive runtime
+    /// routine" (§4.2.2). Dispatches on whether `loc` is on the shadow
+    /// stack (and whether that frame is scanned), in a region, or in
+    /// global storage.
+    pub fn store_ptr_unknown(&mut self, loc: Addr, new: Addr) {
+        if !self.is_safe() {
+            self.heap.store_addr(loc, new);
+            return;
+        }
+        self.costs.barriers_unknown += 1;
+        self.costs.barrier_instrs += UNKNOWN_WRITE_INSTRS;
+        let stack_end = self.stack_base + self.stack_slots * WORD;
+        if loc >= self.stack_base && loc < stack_end {
+            // A write to a local through a pointer. Only counts if the
+            // frame holding the slot has been scanned.
+            let slot = (loc - self.stack_base) / WORD;
+            if self.slot_in_scanned_frame(slot) {
+                let old = self.heap.load_addr(loc);
+                self.barrier_update(None, old, new);
+            }
+            self.heap.store_addr(loc, new);
+            return;
+        }
+        let lr = self.region_of(loc);
+        let old = self.heap.load_addr(loc);
+        self.barrier_update(lr, old, new);
+        self.heap.store_addr(loc, new);
+    }
+
+    fn slot_in_scanned_frame(&self, slot: u32) -> bool {
+        for (i, f) in self.frames.iter().enumerate() {
+            if slot >= f.base_slot && slot < f.base_slot + f.n_slots {
+                return i < self.hwm;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Attempts to delete region `r` (`deleteregion`).
+    ///
+    /// In safe mode the shadow stack is scanned to bring the region's
+    /// reference count up to date (§4.2.1); if the count is non-zero the
+    /// deletion fails, nothing is freed, and `false` is returned. On
+    /// success the region's objects are walked to release the counts they
+    /// hold on other regions (§4.2.4, Figure 7), all pages are returned to
+    /// the page pool, and `true` is returned.
+    ///
+    /// In unsafe mode deletion is unconditional.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was already deleted.
+    pub fn delete_region(&mut self, r: RegionId) -> bool {
+        assert!(self.regions[r.0 as usize].live, "double delete of {r:?}");
+        if self.is_safe() {
+            self.scan_stack();
+            if self.regions[r.0 as usize].rc != 0 {
+                self.costs.deletes_failed += 1;
+                self.unscan_top();
+                return false;
+            }
+            self.cleanup_region(r);
+            self.costs.deletes += 1;
+        }
+        // Release every page of both allocators.
+        let info = &mut self.regions[r.0 as usize];
+        info.live = false;
+        let pages: Vec<Addr> = info
+            .normal
+            .pages
+            .drain(..)
+            .chain(info.string.pages.drain(..))
+            .map(|(p, _)| p)
+            .collect();
+        let bytes = info.bytes;
+        for p in pages {
+            self.release_page(p);
+        }
+        self.stats.on_region_deleted(bytes);
+        if self.is_safe() {
+            self.unscan_top();
+        }
+        true
+    }
+
+    /// Walks every object of a deleted region and releases the reference
+    /// counts held by its region-pointer fields (paper Figure 7; the
+    /// descriptor plays the role of the cleanup function of Figure 6).
+    fn cleanup_region(&mut self, r: RegionId) {
+        let pages: Vec<(Addr, u32)> = self.regions[r.0 as usize].normal.pages.clone();
+        for (page, start) in pages {
+            self.costs.cleanup_pages += 1;
+            let mut cur = page + start;
+            let end = page + PAGE_SIZE;
+            while cur + WORD <= end {
+                let hdr = self.heap.load_u32(cur);
+                if hdr == 0 {
+                    break; // "the end of unfilled pages is marked with a NULL"
+                }
+                self.costs.cleanup_objects += 1;
+                self.costs.cleanup_instrs += CLEANUP_OBJECT_INSTRS;
+                if hdr & ARRAY_FLAG != 0 {
+                    let desc = DescId((hdr & !ARRAY_FLAG) - 1);
+                    let n = self.heap.load_u32(cur + WORD);
+                    let stride = self.heap.load_u32(cur + 2 * WORD);
+                    let data = cur + 3 * WORD;
+                    let offsets = self.descs.get(desc).ptr_offsets().to_vec();
+                    for i in 0..n {
+                        for &off in &offsets {
+                            self.cleanup_release(r, data + i * stride + off);
+                        }
+                    }
+                    cur = data + n * stride;
+                } else {
+                    let desc = DescId(hdr - 1);
+                    let data = cur + WORD;
+                    let (size, offsets) = {
+                        let d = self.descs.get(desc);
+                        (d.size(), d.ptr_offsets().to_vec())
+                    };
+                    for &off in &offsets {
+                        self.cleanup_release(r, data + off);
+                    }
+                    cur = data + align_up(size, WORD);
+                }
+            }
+        }
+    }
+
+    /// `destroy(x->field)` of paper Figure 6: release the count a pointer
+    /// field of a dying object holds on another region.
+    fn cleanup_release(&mut self, dying: RegionId, field: Addr) {
+        self.costs.cleanup_ptrs += 1;
+        self.costs.cleanup_instrs += CLEANUP_PTR_INSTRS;
+        let v = self.heap.load_addr(field);
+        if let Some(s) = self.region_of(v) {
+            if s != dying {
+                self.dec_rc(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_desc(rt: &mut RegionRuntime) -> DescId {
+        // struct list { int i; struct list @next; }
+        rt.register_type(TypeDescriptor::new("list", 8, vec![4]))
+    }
+
+    #[test]
+    fn figure1_loop_allocate_then_delete() {
+        let mut rt = RegionRuntime::new_safe();
+        let r = rt.new_region();
+        for i in 0..10u32 {
+            let x = rt.rstralloc(r, (i + 1) * 4);
+            rt.heap_mut().store_u32(x, i * 7);
+            assert_eq!(rt.heap_mut().load_u32(x), i * 7);
+        }
+        assert_eq!(rt.stats().total_allocs, 10);
+        assert!(rt.delete_region(r));
+        assert!(!rt.is_live(r));
+        assert_eq!(rt.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn ralloc_clears_memory() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        assert_eq!(rt.heap_mut().load_u32(a), 0);
+        assert_eq!(rt.heap_mut().load_u32(a + 4), 0);
+    }
+
+    #[test]
+    fn region_of_identifies_owner() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        assert_eq!(rt.region_of(a), Some(r1));
+        assert_eq!(rt.region_of(b), Some(r2));
+        assert_eq!(rt.region_of(Addr::NULL), None);
+        let g = rt.alloc_globals(16);
+        assert_eq!(rt.region_of(g), None);
+    }
+
+    #[test]
+    fn same_region_pointers_are_not_counted() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        let b = rt.ralloc(r, d);
+        rt.store_ptr_region(a + 4, b); // a.next = b, same region
+        assert_eq!(rt.rc(r), 0);
+        assert!(rt.delete_region(r)); // cycle-free same-region data deletes fine
+    }
+
+    #[test]
+    fn cross_region_pointer_blocks_deletion() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        rt.store_ptr_region(a + 4, b); // r1 object points into r2
+        assert_eq!(rt.rc(r2), 1);
+        assert!(!rt.delete_region(r2), "deletion must fail: external ref exists");
+        assert!(rt.is_live(r2));
+        // Deleting r1 releases the count via cleanup...
+        assert!(rt.delete_region(r1));
+        assert_eq!(rt.rc(r2), 0);
+        // ...after which r2 can be deleted.
+        assert!(rt.delete_region(r2));
+    }
+
+    #[test]
+    fn overwriting_pointer_moves_count() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let r3 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        let c = rt.ralloc(r3, d);
+        rt.store_ptr_region(a + 4, b);
+        assert_eq!((rt.rc(r2), rt.rc(r3)), (1, 0));
+        rt.store_ptr_region(a + 4, c); // overwrite: r2 count drops, r3 rises
+        assert_eq!((rt.rc(r2), rt.rc(r3)), (0, 1));
+        rt.store_ptr_region(a + 4, Addr::NULL);
+        assert_eq!((rt.rc(r2), rt.rc(r3)), (0, 0));
+    }
+
+    #[test]
+    fn global_pointer_blocks_and_releases() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        rt.store_ptr_global(g, a);
+        assert_eq!(rt.rc(r), 1);
+        assert!(!rt.delete_region(r));
+        rt.store_ptr_global(g, Addr::NULL); // clear the stale global (as mudlle required!)
+        assert_eq!(rt.rc(r), 0);
+        assert!(rt.delete_region(r));
+    }
+
+    #[test]
+    fn cycles_within_a_region_are_collected() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        let b = rt.ralloc(r, d);
+        rt.store_ptr_region(a + 4, b);
+        rt.store_ptr_region(b + 4, a); // cycle
+        assert!(rt.delete_region(r), "cycles within one region must not block deletion");
+    }
+
+    #[test]
+    fn cleanup_releases_array_elements() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let arr = rt.rarrayalloc(r1, 5, d);
+        let target = rt.ralloc(r2, d);
+        for i in 0..5u32 {
+            rt.store_ptr_region(arr + i * 8 + 4, target);
+        }
+        assert_eq!(rt.rc(r2), 5);
+        assert!(rt.delete_region(r1));
+        assert_eq!(rt.rc(r2), 0);
+    }
+
+    #[test]
+    fn unsafe_mode_ignores_counts() {
+        let mut rt = RegionRuntime::new_unsafe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        rt.store_ptr_region(a + 4, b);
+        assert_eq!(rt.rc(r2), 0, "unsafe mode maintains no counts");
+        assert!(rt.delete_region(r2), "unsafe deletion is unconditional");
+        assert_eq!(rt.costs().total_instrs(), 0);
+    }
+
+    #[test]
+    fn unsafe_mode_has_no_headers() {
+        // Two identical allocation sequences; unsafe mode must use
+        // strictly less page space for header-bearing objects.
+        let mut safe = RegionRuntime::new_safe();
+        let mut unsf = RegionRuntime::new_unsafe();
+        let ds = list_desc(&mut safe);
+        let du = list_desc(&mut unsf);
+        let rs = safe.new_region();
+        let ru = unsf.new_region();
+        // 1024 8-byte objects with 4-byte headers need more pages than
+        // 1024 header-less ones.
+        for _ in 0..1024 {
+            safe.ralloc(rs, ds);
+            unsf.ralloc(ru, du);
+        }
+        assert!(safe.data_pages() > unsf.data_pages());
+    }
+
+    #[test]
+    fn recycled_dirty_pages_do_not_confuse_cleanup() {
+        // Regression: fill string pages with non-zero data, delete the
+        // region, then let a fresh region adopt a dirty page as its first
+        // normal page without ever allocating on it. Its deletion must
+        // still scan cleanly (null marker written at creation).
+        let mut rt = RegionRuntime::new_safe();
+        let a = rt.new_region();
+        for _ in 0..8 {
+            let s = rt.rstralloc(a, 4000);
+            rt.heap_mut().fill(s, 4000, 0xE3); // plausible garbage headers
+        }
+        assert!(rt.delete_region(a));
+        for _ in 0..8 {
+            let b = rt.new_region(); // adopts recycled dirty pages
+            assert!(rt.delete_region(b), "cleanup must not read stale data");
+        }
+    }
+
+    #[test]
+    fn pages_are_recycled_after_delete() {
+        let mut rt = RegionRuntime::new_safe();
+        let r1 = rt.new_region();
+        for _ in 0..100 {
+            rt.rstralloc(r1, 1024);
+        }
+        let pages_after_r1 = rt.data_pages();
+        assert!(rt.delete_region(r1));
+        let r2 = rt.new_region();
+        for _ in 0..100 {
+            rt.rstralloc(r2, 1024);
+        }
+        assert_eq!(rt.data_pages(), pages_after_r1, "freed pages must be reused");
+        assert!(rt.delete_region(r2));
+    }
+
+    #[test]
+    fn stagger_offsets_first_allocations() {
+        let mut rt = RegionRuntime::with_config(RegionConfig::default());
+        let d = list_desc(&mut rt);
+        let r0 = rt.new_region();
+        let r1 = rt.new_region();
+        let a0 = rt.ralloc(r0, d);
+        let a1 = rt.ralloc(r1, d);
+        assert_eq!(a0.page_offset(), 4); // header word first
+        assert_eq!(a1.page_offset(), 64 + 4);
+        let mut plain = RegionRuntime::with_config(RegionConfig { stagger: false, ..RegionConfig::default() });
+        let d = list_desc(&mut plain);
+        let r0 = plain.new_region();
+        let r1 = plain.new_region();
+        assert_eq!(plain.ralloc(r0, d).page_offset(), 4);
+        assert_eq!(plain.ralloc(r1, d).page_offset(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one page")]
+    fn oversized_allocation_panics() {
+        let mut rt = RegionRuntime::new_safe();
+        let r = rt.new_region();
+        rt.rstralloc(r, PAGE_SIZE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double delete")]
+    fn double_delete_panics() {
+        let mut rt = RegionRuntime::new_unsafe();
+        let r = rt.new_region();
+        assert!(rt.delete_region(r));
+        rt.delete_region(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of deleted region")]
+    fn alloc_in_deleted_region_panics() {
+        let mut rt = RegionRuntime::new_unsafe();
+        let r = rt.new_region();
+        rt.delete_region(r);
+        rt.rstralloc(r, 8);
+    }
+
+    #[test]
+    fn failed_delete_frees_nothing() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        rt.heap_mut().store_u32(a, 42);
+        rt.store_ptr_global(g, a);
+        let live = rt.stats().live_bytes;
+        assert!(!rt.delete_region(r));
+        assert_eq!(rt.stats().live_bytes, live);
+        assert_eq!(rt.heap_mut().load_u32(a), 42, "object must be untouched");
+        assert_eq!(rt.costs().deletes_failed, 1);
+    }
+
+    #[test]
+    fn string_allocations_use_separate_pages() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        let s = rt.rstralloc(r, 16);
+        assert_ne!(a.page_base(), s.page_base(), "normal and string allocators use distinct pages");
+        assert_eq!(rt.region_of(s), Some(r));
+        assert!(rt.delete_region(r));
+    }
+
+    #[test]
+    fn table2_statistics_track_regions() {
+        let mut rt = RegionRuntime::new_safe();
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        rt.rstralloc(r1, 100);
+        rt.rstralloc(r1, 100);
+        rt.rstralloc(r2, 50);
+        assert_eq!(rt.stats().total_regions, 2);
+        assert_eq!(rt.stats().max_live_regions, 2);
+        assert_eq!(rt.stats().max_region_bytes, 200);
+        assert_eq!(rt.stats().total_bytes, 252);
+        assert!(rt.delete_region(r1));
+        assert_eq!(rt.stats().live_bytes, 52);
+        assert_eq!(rt.stats().live_regions, 1);
+    }
+
+    #[test]
+    fn barrier_instruction_costs_match_figure5() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        rt.store_ptr_global(g, a);
+        assert_eq!(rt.costs().barrier_instrs, 16);
+        rt.store_ptr_region(a + 4, a);
+        assert_eq!(rt.costs().barrier_instrs, 16 + 23);
+        rt.store_ptr_unknown(g, Addr::NULL);
+        assert_eq!(rt.costs().barrier_instrs, 16 + 23 + 31);
+        assert_eq!(rt.costs().barriers_global, 1);
+        assert_eq!(rt.costs().barriers_region, 1);
+        assert_eq!(rt.costs().barriers_unknown, 1);
+    }
+
+    #[test]
+    fn store_ptr_unknown_classifies_all_targets() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        // global location
+        rt.store_ptr_unknown(g, a);
+        assert_eq!(rt.rc(r1), 1);
+        // region location (sameregion: no count)
+        rt.store_ptr_unknown(a + 4, a);
+        assert_eq!(rt.rc(r1), 1);
+        // region location, cross-region
+        rt.store_ptr_unknown(a + 4, b);
+        assert_eq!(rt.rc(r2), 1);
+        rt.store_ptr_unknown(g, Addr::NULL);
+        assert_eq!(rt.rc(r1), 0);
+    }
+}

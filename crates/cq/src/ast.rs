@@ -1,0 +1,196 @@
+//! Abstract syntax for C@.
+
+/// A type as written in source, before resolution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `void` (function returns only)
+    Void,
+    /// `Region`
+    Region,
+    /// `int @` — a region-allocated array of ints (from `rstralloc`).
+    IntArray,
+    /// `S @` — region pointer to struct `S` (the paper's `struct S @`).
+    RegionPtr(String),
+    /// `S *` — normal pointer to struct `S`.
+    NormalPtr(String),
+}
+
+/// One `struct` definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(TypeExpr, String)>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// One `global` variable.
+#[derive(Clone, Debug)]
+pub struct GlobalDef {
+    /// Declared type. `TypeExpr::RegionPtr`/`NormalPtr`/`Int`/`Region` are
+    /// word-sized; a bare struct global is declared as `global S name;`
+    /// via [`GlobalDef::struct_value`].
+    pub ty: TypeExpr,
+    /// `Some(struct name)` when this global is an in-place struct value
+    /// (addressable with `&name`).
+    pub struct_value: Option<String>,
+    /// Variable name.
+    pub name: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Return type (`TypeExpr::Void` for `void`).
+    pub ret: TypeExpr,
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(TypeExpr, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Unit {
+    /// Struct definitions, in order.
+    pub structs: Vec<StructDef>,
+    /// Global variables, in order.
+    pub globals: Vec<GlobalDef>,
+    /// Functions, in order.
+    pub funcs: Vec<FuncDef>,
+}
+
+/// Statements.
+///
+/// Variant fields are self-describing syntax parts (`cond`, `body`,
+/// `line`, …).
+#[allow(missing_docs)]
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `T x = e;` — every local is initialized at declaration (C@
+    /// requires this for anything containing region pointers; we require
+    /// it uniformly).
+    Decl { ty: TypeExpr, name: String, init: Expr, line: u32 },
+    /// `lv = e;`
+    Assign { target: Expr, value: Expr, line: u32 },
+    /// An expression evaluated for effect.
+    Expr { expr: Expr, line: u32 },
+    /// `if (c) s1 else s2`
+    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, line: u32 },
+    /// `while (c) s`
+    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    /// `for (init; c; step) s` — `continue` jumps to `step`.
+    For { init: Box<Stmt>, cond: Expr, step: Box<Stmt>, body: Vec<Stmt>, line: u32 },
+    /// `return e?;`
+    Return { value: Option<Expr>, line: u32 },
+    /// `print(e);` — appends an int to the program output.
+    Print { value: Expr, line: u32 },
+    /// `break;` — exit the innermost loop.
+    Break { line: u32 },
+    /// `continue;` — next iteration of the innermost loop.
+    Continue { line: u32 },
+}
+
+/// Binary operators.
+#[allow(missing_docs)] // names are the documentation
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[allow(missing_docs)] // names are the documentation
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Expressions. Every node carries its source line.
+///
+/// Variant fields are self-describing syntax parts.
+#[allow(missing_docs)]
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int { value: i32, line: u32 },
+    /// `null` (assignable to any pointer type).
+    Null { line: u32 },
+    /// Variable reference (local, parameter, or global).
+    Var { name: String, line: u32 },
+    /// `e.f` or `e->f` (identical in C@: member access auto-dereferences).
+    Field { base: Box<Expr>, field: String, line: u32 },
+    /// `e[i]` on an `int@` array.
+    Index { base: Box<Expr>, index: Box<Expr>, line: u32 },
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: u32 },
+    /// Unary operation.
+    Un { op: UnOp, operand: Box<Expr>, line: u32 },
+    /// `f(args)`.
+    Call { name: String, args: Vec<Expr>, line: u32 },
+    /// `newregion()`.
+    NewRegion { line: u32 },
+    /// `deleteregion(var)` — the argument must name a `Region` variable;
+    /// on success it is set to the null region (the paper's
+    /// `deleteregion(Region *r)` writes NULL through its argument).
+    DeleteRegion { var: String, line: u32 },
+    /// `ralloc(r, S)` — allocate one cleared `S` in `r`.
+    Ralloc { region: Box<Expr>, struct_name: String, line: u32 },
+    /// `rarrayalloc(r, n, S)` — allocate a cleared array of `n` `S`.
+    RArrayAlloc { region: Box<Expr>, count: Box<Expr>, struct_name: String, line: u32 },
+    /// `rstralloc(r, n)` — allocate `n` ints of pointer-free storage.
+    RStrAlloc { region: Box<Expr>, count: Box<Expr>, line: u32 },
+    /// `regionof(e)`.
+    RegionOf { operand: Box<Expr>, line: u32 },
+    /// `cast<T>(e)` — the explicit (unsafe) conversion between pointer
+    /// kinds that C@ allows (§3.1).
+    Cast { ty: TypeExpr, operand: Box<Expr>, line: u32 },
+    /// `&g` where `g` is a global struct value.
+    AddrOfGlobal { name: String, line: u32 },
+}
+
+impl Expr {
+    /// The source line of this expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int { line, .. }
+            | Expr::Null { line }
+            | Expr::Var { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Bin { line, .. }
+            | Expr::Un { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::NewRegion { line }
+            | Expr::DeleteRegion { line, .. }
+            | Expr::Ralloc { line, .. }
+            | Expr::RArrayAlloc { line, .. }
+            | Expr::RStrAlloc { line, .. }
+            | Expr::RegionOf { line, .. }
+            | Expr::Cast { line, .. }
+            | Expr::AddrOfGlobal { line, .. } => *line,
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The C@ virtual machine's instruction set and program representation.
+//!
+//! The compiler classifies every pointer store at compile time — local,
+//! global, region, or statically unknown — and emits a distinct
+//! instruction for each, mirroring §4.2.2: local stores are free, global
+//! and region stores carry the Figure 5 barriers, and unknown stores
+//! dispatch at runtime.
+
+use region_core::TypeDescriptor;
+
+/// One VM instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Insn {
+    /// Push a constant.
+    Const(i32),
+    /// Push the null pointer / null region (0).
+    Null,
+    /// Discard the top of stack.
+    Pop,
+    // --- locals ---
+    /// Push host (int/Region/normal-pointer) local `slot`.
+    LoadLocal(u16),
+    /// Pop into host local `slot`.
+    StoreLocal(u16),
+    /// Push region-pointer local `slot` (a shadow-stack slot).
+    LoadRLocal(u16),
+    /// Pop into region-pointer local `slot` — **no reference counting**
+    /// (§4.2.1: local writes are free under the deferred scheme).
+    StoreRLocal(u16),
+    // --- globals ---
+    /// Push the word at globals+`off`.
+    LoadGlobal(u32),
+    /// Pop the word into globals+`off` (non-pointer data).
+    StoreGlobal(u32),
+    /// Pop a region pointer into globals+`off` with the 16-instruction
+    /// global write barrier (Figure 5).
+    StoreGlobalPtr(u32),
+    /// Push the address of globals+`off` (for `&global_struct`).
+    AddrOfGlobal(u32),
+    // --- fields and arrays ---
+    /// Pop a pointer, push the word at `ptr+off`. Traps on null.
+    LoadField(u32),
+    /// Pop value then pointer; store non-pointer data at `ptr+off`.
+    StoreFieldInt(u32),
+    /// Pop value then pointer; store a region pointer at `ptr+off` with
+    /// the 23-instruction region write barrier (Figure 5).
+    StoreFieldRPtr(u32),
+    /// Pop value then pointer; the location's kind is unknown at compile
+    /// time (a `*`-pointer target) — classify at runtime (§4.2.2).
+    StoreFieldUnknown(u32),
+    /// Pop index then `int@` base; push the int at `base + 4*index`.
+    IndexLoad,
+    /// Pop value, index, `int@` base; store the int (pointer-free data).
+    IndexStore,
+    /// Pop index then `S@` base; push `base + index*size` (address
+    /// arithmetic on region pointers is allowed, §3.1).
+    IndexStruct(u32),
+    // --- arithmetic / logic ---
+    /// Pop two ints, push their sum (wrapping).
+    Add,
+    /// Pop two ints, push lhs − rhs.
+    Sub,
+    /// Pop two ints, push product.
+    Mul,
+    /// Pop two ints, push quotient. Traps on division by zero.
+    Div,
+    /// Pop two ints, push remainder. Traps on division by zero.
+    Mod,
+    /// Negate the top int.
+    Neg,
+    /// Logical not: 0 → 1, non-zero → 0.
+    Not,
+    /// Pop two words, push 1 if equal else 0.
+    CmpEq,
+    /// Pop two words, push 1 if unequal else 0.
+    CmpNe,
+    /// Signed less-than.
+    CmpLt,
+    /// Signed less-or-equal.
+    CmpLe,
+    /// Signed greater-than.
+    CmpGt,
+    /// Signed greater-or-equal.
+    CmpGe,
+    // --- control ---
+    /// Unconditional jump to code index.
+    Jump(u32),
+    /// Pop; jump if zero.
+    JumpIfZero(u32),
+    /// Pop; jump if non-zero.
+    JumpIfNonZero(u32),
+    /// Call function by index (arguments on the stack, left to right).
+    Call(u16),
+    /// Return the top of stack.
+    Ret,
+    /// Return from a void function.
+    RetVoid,
+    // --- regions ---
+    /// Push a fresh region handle.
+    NewRegion,
+    /// Attempt to delete the region named by host local `slot`; on
+    /// success the local is set to the null region (the paper's
+    /// `deleteregion(&r)` writes NULL through its argument). Pushes 1/0.
+    DeleteRegionLocal(u16),
+    /// As [`Insn::DeleteRegionLocal`] for a `Region` global at `off`.
+    DeleteRegionGlobal(u32),
+    /// Pop a pointer, push its region handle (null region for globals).
+    RegionOf,
+    /// Pop a region handle, `ralloc` one object of struct `desc`.
+    Ralloc(u16),
+    /// Pop count then region, `rarrayalloc` an array of struct `desc`.
+    RArrayAlloc(u16),
+    /// Pop count then region, `rstralloc` `4*count` bytes of pointer-free
+    /// storage. Traps if count ≤ 0.
+    RStrAlloc,
+    // --- scan-point bookkeeping ---
+    /// Copy the eval-stack entry `depth` below the top into shadow slot
+    /// `slot`, so a region pointer held in a "register" is visible to the
+    /// stack scan across a call (the paper's per-call-site liveness maps,
+    /// §4.2.3).
+    DupToRtmp {
+        /// 0 = top of stack.
+        depth: u16,
+        /// Destination shadow slot.
+        slot: u16,
+    },
+    /// Null out shadow slot `slot` after the call completes.
+    ClearRtmp(u16),
+    // --- I/O ---
+    /// Pop an int and append it to the program output.
+    Print,
+}
+
+/// How a parameter is bound on function entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamSlot {
+    /// Bound to a host local.
+    Host(u16),
+    /// Bound to a shadow (region-pointer) slot.
+    Shadow(u16),
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Function name (diagnostics).
+    pub name: String,
+    /// Where each parameter lands, in order.
+    pub params: Vec<ParamSlot>,
+    /// Number of host (non-region-pointer) local slots.
+    pub host_slots: u16,
+    /// Number of shadow slots (named region-pointer locals plus spill
+    /// temporaries).
+    pub shadow_slots: u16,
+    /// Instructions.
+    pub code: Vec<Insn>,
+    /// Source line per instruction (diagnostics).
+    pub lines: Vec<u32>,
+}
+
+/// A compiled C@ program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Compiled functions; `main_idx` is the entry.
+    pub funcs: Vec<Func>,
+    /// Index of `main`.
+    pub main_idx: usize,
+    /// Bytes of global storage (zero-initialized; region pointers start
+    /// null as §3.1 requires).
+    pub globals_size: u32,
+    /// One cleanup descriptor per struct, in struct-id order; the VM
+    /// registers these with the region runtime so `DescId` = struct id.
+    pub descriptors: Vec<TypeDescriptor>,
+}
+
+impl Program {
+    /// Total instruction count across all functions.
+    pub fn code_len(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}

@@ -1,0 +1,1073 @@
+//! Body type checking and bytecode generation.
+//!
+//! The compiler's load-bearing duties, mirroring §3–4 of the paper:
+//!
+//! * enforce the `@`/`*` distinction (no implicit conversions; explicit
+//!   `cast<>` only);
+//! * classify every pointer **store** as local / global / region /
+//!   statically-unknown and emit the matching barrier instruction
+//!   ("our compiler attempts to distinguish writes to local variables,
+//!   global storage and regions at compile-time", §4.2.2);
+//! * keep every live region pointer visible to the stack scan: named
+//!   region-pointer locals live in shadow-stack slots, and any region
+//!   pointer held on the evaluation stack across a potential scan point
+//!   (a call or `deleteregion`) is spilled to a shadow temporary — the
+//!   moral equivalent of the paper's per-call-site liveness maps
+//!   (§4.2.3);
+//! * generate a cleanup descriptor per struct (C@ has no `union`, so
+//!   "the cleanup function could be generated automatically by the
+//!   compiler", §4.2.4).
+
+use std::collections::HashMap;
+
+use region_core::TypeDescriptor;
+
+use crate::ast::*;
+use crate::bytecode::{Func, Insn, ParamSlot, Program};
+use crate::sema::{analyze, Decls, Ty};
+use crate::CompileError;
+
+/// Compiles a C@ source file to a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or type error with its line.
+pub fn compile(source: &str) -> Result<Program, CompileError> {
+    let unit = crate::parser::parse(source)?;
+    let decls = analyze(&unit)?;
+    let mut funcs = Vec::new();
+    for f in &unit.funcs {
+        funcs.push(FuncCompiler::new(&decls, f).compile()?);
+    }
+    let descriptors = decls
+        .structs
+        .iter()
+        .map(|s| TypeDescriptor::new(s.name.clone(), s.size, s.ptr_offsets.clone()))
+        .collect();
+    Ok(Program {
+        main_idx: decls.func_ids["main"],
+        funcs,
+        globals_size: decls.globals_size,
+        descriptors,
+    })
+}
+
+#[derive(Clone, Copy)]
+enum Slot {
+    Host(u16),
+    Shadow(u16),
+}
+
+#[derive(Clone, Copy)]
+struct Local {
+    ty: Ty,
+    slot: Slot,
+}
+
+struct FuncCompiler<'a> {
+    decls: &'a Decls,
+    func: &'a FuncDef,
+    ret: Ty,
+    scopes: Vec<HashMap<String, Local>>,
+    n_host: u16,
+    n_shadow: u16,
+    tmp_free: Vec<u16>,
+    stack: Vec<Ty>,
+    code: Vec<Insn>,
+    lines: Vec<u32>,
+    loops: Vec<LoopCtx>,
+}
+
+/// Break/continue bookkeeping for one enclosing loop.
+struct LoopCtx {
+    /// Indices of `Jump` placeholders to patch to the loop exit.
+    break_jumps: Vec<usize>,
+    /// Where `continue` goes: a known code index (`while`: the condition)
+    /// or pending patches (`for`: the step clause, not yet emitted).
+    continue_target: Option<u32>,
+    /// `Jump` placeholders to patch once the continue target is known.
+    continue_jumps: Vec<usize>,
+    /// Scope depth just outside the loop body: jumping out must clear the
+    /// region-pointer locals of every deeper scope (they would otherwise
+    /// be the stale pointers of §5.1).
+    scope_depth: usize,
+}
+
+impl<'a> FuncCompiler<'a> {
+    fn new(decls: &'a Decls, func: &'a FuncDef) -> FuncCompiler<'a> {
+        let ret = decls.resolve(&func.ret, func.line, true).expect("checked by analyze");
+        FuncCompiler {
+            decls,
+            func,
+            ret,
+            scopes: vec![HashMap::new()],
+            n_host: 0,
+            n_shadow: 0,
+            tmp_free: Vec::new(),
+            stack: Vec::new(),
+            code: Vec::new(),
+            lines: Vec::new(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Emits `ClearRtmp` for the region-pointer locals of every scope
+    /// deeper than `depth` (used when a jump leaves those scopes).
+    fn clear_scopes_deeper_than(&mut self, depth: usize, line: u32) {
+        let slots: Vec<u16> = self
+            .scopes
+            .iter()
+            .skip(depth)
+            .flat_map(|scope| {
+                scope.values().filter_map(|l| match l.slot {
+                    Slot::Shadow(s) => Some(s),
+                    Slot::Host(_) => None,
+                })
+            })
+            .collect();
+        for slot in slots {
+            self.emit(Insn::ClearRtmp(slot), line);
+        }
+    }
+
+    fn err(&self, line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError::new(line, msg)
+    }
+
+    fn emit(&mut self, insn: Insn, line: u32) {
+        self.code.push(insn);
+        self.lines.push(line);
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emits a jump whose target is patched later.
+    fn emit_patch(&mut self, make: fn(u32) -> Insn, line: u32) -> usize {
+        let at = self.code.len();
+        self.emit(make(u32::MAX), line);
+        at
+    }
+
+    fn patch(&mut self, at: usize) {
+        let target = self.here();
+        self.code[at] = match self.code[at] {
+            Insn::Jump(_) => Insn::Jump(target),
+            Insn::JumpIfZero(_) => Insn::JumpIfZero(target),
+            Insn::JumpIfNonZero(_) => Insn::JumpIfNonZero(target),
+            other => unreachable!("patching non-jump {other:?}"),
+        };
+    }
+
+    fn define(&mut self, name: &str, ty: Ty, line: u32) -> Result<Slot, CompileError> {
+        let slot = if ty.is_region_ptr() {
+            let s = Slot::Shadow(self.n_shadow);
+            self.n_shadow += 1;
+            s
+        } else {
+            let s = Slot::Host(self.n_host);
+            self.n_host += 1;
+            s
+        };
+        let scope = self.scopes.last_mut().expect("scope");
+        if scope.insert(name.to_string(), Local { ty, slot }).is_some() {
+            return Err(self.err(line, format!("duplicate local `{name}`")));
+        }
+        Ok(slot)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Local> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn alloc_tmp(&mut self) -> u16 {
+        self.tmp_free.pop().unwrap_or_else(|| {
+            let s = self.n_shadow;
+            self.n_shadow += 1;
+            s
+        })
+    }
+
+    /// At a scan point (call or `deleteregion`), copy every region
+    /// pointer on the evaluation stack below the top `keep_top` entries
+    /// into shadow temporaries so the stack scan can see them.
+    fn spill_for_scan(&mut self, keep_top: usize, line: u32) -> Vec<u16> {
+        let len = self.stack.len();
+        let mut tmps = Vec::new();
+        for i in 0..len.saturating_sub(keep_top) {
+            if self.stack[i].is_region_ptr() {
+                let slot = self.alloc_tmp();
+                self.emit(Insn::DupToRtmp { depth: (len - 1 - i) as u16, slot }, line);
+                tmps.push(slot);
+            }
+        }
+        tmps
+    }
+
+    fn release_tmps(&mut self, tmps: Vec<u16>, line: u32) {
+        for slot in tmps {
+            self.emit(Insn::ClearRtmp(slot), line);
+            self.tmp_free.push(slot);
+        }
+    }
+
+    fn compile(mut self) -> Result<Func, CompileError> {
+        // Bind parameters in order.
+        let mut params = Vec::new();
+        for (te, name) in &self.func.params {
+            let ty = self.decls.resolve(te, self.func.line, false)?;
+            let slot = self.define(name, ty, self.func.line)?;
+            params.push(match slot {
+                Slot::Host(s) => ParamSlot::Host(s),
+                Slot::Shadow(s) => ParamSlot::Shadow(s),
+            });
+        }
+        let body = self.func.body.clone();
+        self.block(&body)?;
+        // Implicit return (C-like leniency: a non-void function falling
+        // off the end returns 0).
+        let last_line = self.lines.last().copied().unwrap_or(self.func.line);
+        if self.ret == Ty::Void {
+            self.emit(Insn::RetVoid, last_line);
+        } else {
+            self.emit(Insn::Const(0), last_line);
+            self.emit(Insn::Ret, last_line);
+        }
+        Ok(Func {
+            name: self.func.name.clone(),
+            params,
+            host_slots: self.n_host,
+            shadow_slots: self.n_shadow,
+            code: self.code,
+            lines: self.lines,
+        })
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.stmt(s)?;
+            debug_assert!(self.stack.is_empty(), "stack imbalance after statement");
+        }
+        // The prototype "considers all variables in scope to be live"
+        // (§4.2.3) — so variables that leave scope must stop being live:
+        // null out the block's region-pointer locals, or they would be
+        // exactly the "stale pointers that prevent a region from being
+        // deleted" the paper complains about (§5.1).
+        let line = self.lines.last().copied().unwrap_or(self.func.line);
+        let dead: Vec<u16> = self
+            .scopes
+            .last()
+            .expect("scope")
+            .values()
+            .filter_map(|l| match l.slot {
+                Slot::Shadow(s) => Some(s),
+                Slot::Host(_) => None,
+            })
+            .collect();
+        for slot in dead {
+            self.emit(Insn::ClearRtmp(slot), line);
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { ty, name, init, line } => {
+                let ty = self.decls.resolve(ty, *line, false)?;
+                let vty = self.expr(init)?;
+                if !ty.accepts(vty) {
+                    return Err(self.err(
+                        *line,
+                        format!(
+                            "cannot initialize `{}` of type {} with {}",
+                            name,
+                            self.decls.ty_name(ty),
+                            self.decls.ty_name(vty)
+                        ),
+                    ));
+                }
+                let slot = self.define(name, ty, *line)?;
+                self.stack.pop();
+                match slot {
+                    Slot::Host(i) => self.emit(Insn::StoreLocal(i), *line),
+                    Slot::Shadow(i) => self.emit(Insn::StoreRLocal(i), *line),
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value, line } => self.assign(target, value, *line),
+            Stmt::Expr { expr, line } => {
+                let ty = self.expr(expr)?;
+                if ty != Ty::Void {
+                    self.stack.pop();
+                    self.emit(Insn::Pop, *line);
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch, line } => {
+                let cty = self.expr(cond)?;
+                if cty != Ty::Int {
+                    return Err(self.err(*line, "if condition must be int"));
+                }
+                self.stack.pop();
+                let jelse = self.emit_patch(Insn::JumpIfZero, *line);
+                self.block(then_branch)?;
+                if else_branch.is_empty() {
+                    self.patch(jelse);
+                } else {
+                    let jend = self.emit_patch(Insn::Jump, *line);
+                    self.patch(jelse);
+                    self.block(else_branch)?;
+                    self.patch(jend);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                let top = self.here();
+                let cty = self.expr(cond)?;
+                if cty != Ty::Int {
+                    return Err(self.err(*line, "while condition must be int"));
+                }
+                self.stack.pop();
+                let jexit = self.emit_patch(Insn::JumpIfZero, *line);
+                self.loops.push(LoopCtx {
+                    break_jumps: Vec::new(),
+                    continue_target: Some(top),
+                    continue_jumps: Vec::new(),
+                    scope_depth: self.scopes.len(),
+                });
+                self.block(body)?;
+                self.emit(Insn::Jump(top), *line);
+                self.patch(jexit);
+                let ctx = self.loops.pop().expect("loop context");
+                debug_assert!(ctx.continue_jumps.is_empty());
+                for j in ctx.break_jumps {
+                    self.patch(j);
+                }
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                // Desugared with its own scope:
+                //   { init; top: if (!cond) exit; body; step: step; goto top; }
+                self.scopes.push(HashMap::new());
+                self.stmt(init)?;
+                let top = self.here();
+                let cty = self.expr(cond)?;
+                if cty != Ty::Int {
+                    return Err(self.err(*line, "for condition must be int"));
+                }
+                self.stack.pop();
+                let jexit = self.emit_patch(Insn::JumpIfZero, *line);
+                self.loops.push(LoopCtx {
+                    break_jumps: Vec::new(),
+                    continue_target: None, // the step is not yet emitted
+                    continue_jumps: Vec::new(),
+                    scope_depth: self.scopes.len(),
+                });
+                self.block(body)?;
+                let ctx = self.loops.pop().expect("loop context");
+                // `continue` lands here, on the step clause.
+                for j in ctx.continue_jumps {
+                    self.patch(j);
+                }
+                self.stmt(step)?;
+                self.emit(Insn::Jump(top), *line);
+                self.patch(jexit);
+                for j in ctx.break_jumps {
+                    self.patch(j);
+                }
+                // Clear the init-scope region pointers (as block() does).
+                let last_line = self.lines.last().copied().unwrap_or(*line);
+                self.clear_scopes_deeper_than(self.scopes.len() - 1, last_line);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(self.err(*line, "`break` outside a loop"));
+                };
+                let depth = ctx.scope_depth;
+                self.clear_scopes_deeper_than(depth, *line);
+                let j = self.emit_patch(Insn::Jump, *line);
+                self.loops.last_mut().expect("loop context").break_jumps.push(j);
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(self.err(*line, "`continue` outside a loop"));
+                };
+                let (depth, target) = (ctx.scope_depth, ctx.continue_target);
+                self.clear_scopes_deeper_than(depth, *line);
+                match target {
+                    Some(t) => self.emit(Insn::Jump(t), *line),
+                    None => {
+                        let j = self.emit_patch(Insn::Jump, *line);
+                        self.loops.last_mut().expect("loop context").continue_jumps.push(j);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                match (value, self.ret) {
+                    (None, Ty::Void) => self.emit(Insn::RetVoid, *line),
+                    (None, _) => return Err(self.err(*line, "missing return value")),
+                    (Some(_), Ty::Void) => {
+                        return Err(self.err(*line, "void function returns a value"))
+                    }
+                    (Some(e), ret) => {
+                        let ty = self.expr(e)?;
+                        if !ret.accepts(ty) {
+                            return Err(self.err(
+                                *line,
+                                format!(
+                                    "return type mismatch: expected {}, found {}",
+                                    self.decls.ty_name(ret),
+                                    self.decls.ty_name(ty)
+                                ),
+                            ));
+                        }
+                        self.stack.pop();
+                        self.emit(Insn::Ret, *line);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Print { value, line } => {
+                let ty = self.expr(value)?;
+                if ty != Ty::Int {
+                    return Err(self.err(*line, "print takes an int"));
+                }
+                self.stack.pop();
+                self.emit(Insn::Print, *line);
+                Ok(())
+            }
+        }
+    }
+
+    /// Compiles `target = value`, classifying the write (§4.2.2).
+    fn assign(&mut self, target: &Expr, value: &Expr, line: u32) -> Result<(), CompileError> {
+        match target {
+            Expr::Var { name, .. } => {
+                if let Some(local) = self.lookup(name) {
+                    let vty = self.expr(value)?;
+                    if !local.ty.accepts(vty) {
+                        return Err(self.type_mismatch(line, local.ty, vty));
+                    }
+                    self.stack.pop();
+                    match local.slot {
+                        // "Writes to local variables never update
+                        // reference counts" (§4.2.1).
+                        Slot::Host(i) => self.emit(Insn::StoreLocal(i), line),
+                        Slot::Shadow(i) => self.emit(Insn::StoreRLocal(i), line),
+                    }
+                    return Ok(());
+                }
+                let Some(&gi) = self.decls.global_ids.get(name) else {
+                    return Err(self.err(line, format!("unknown variable `{name}`")));
+                };
+                let g = &self.decls.globals[gi];
+                if g.struct_value.is_some() {
+                    return Err(self.err(line, "cannot assign to a struct global (copying structs is forbidden)"));
+                }
+                let (gty, off) = (g.ty, g.offset);
+                let vty = self.expr(value)?;
+                if !gty.accepts(vty) {
+                    return Err(self.type_mismatch(line, gty, vty));
+                }
+                self.stack.pop();
+                if gty.is_region_ptr() {
+                    self.emit(Insn::StoreGlobalPtr(off), line); // 16-insn barrier
+                } else {
+                    self.emit(Insn::StoreGlobal(off), line);
+                }
+                Ok(())
+            }
+            Expr::Field { base, field, line: fline } => {
+                let bty = self.expr(base)?;
+                let (fty, off, base_is_region) = self.field_of(bty, field, *fline)?;
+                let vty = self.expr(value)?;
+                if !fty.accepts(vty) {
+                    return Err(self.type_mismatch(line, fty, vty));
+                }
+                self.stack.pop();
+                self.stack.pop();
+                let insn = if !fty.is_region_ptr() {
+                    Insn::StoreFieldInt(off)
+                } else if base_is_region {
+                    Insn::StoreFieldRPtr(off) // 23-insn region barrier
+                } else {
+                    // A `*`-pointer target may point at global storage or
+                    // (via a cast) into a region: classify at runtime.
+                    Insn::StoreFieldUnknown(off)
+                };
+                self.emit(insn, line);
+                Ok(())
+            }
+            Expr::Index { base, index, line: iline } => {
+                let bty = self.expr(base)?;
+                if bty != Ty::IntArray {
+                    return Err(self.err(
+                        *iline,
+                        "only int@ arrays support indexed assignment (struct elements are assigned by field)",
+                    ));
+                }
+                let ity = self.expr(index)?;
+                if ity != Ty::Int {
+                    return Err(self.err(*iline, "array index must be int"));
+                }
+                let vty = self.expr(value)?;
+                if vty != Ty::Int {
+                    return Err(self.err(line, "int@ arrays hold pointer-free data (ints) only"));
+                }
+                self.stack.truncate(self.stack.len() - 3);
+                self.emit(Insn::IndexStore, line);
+                Ok(())
+            }
+            _ => Err(self.err(line, "this expression is not assignable")),
+        }
+    }
+
+    fn type_mismatch(&self, line: u32, want: Ty, got: Ty) -> CompileError {
+        self.err(
+            line,
+            format!(
+                "type mismatch: expected {}, found {} (explicit cast<> required between @ and *)",
+                self.decls.ty_name(want),
+                self.decls.ty_name(got)
+            ),
+        )
+    }
+
+    /// Resolves `base.field`; returns (field type, offset, base-is-@).
+    fn field_of(&self, bty: Ty, field: &str, line: u32) -> Result<(Ty, u32, bool), CompileError> {
+        let (sid, is_region) = match bty {
+            Ty::RPtr(s) => (s, true),
+            Ty::NPtr(s) => (s, false),
+            other => {
+                return Err(self.err(
+                    line,
+                    format!("member access on non-struct-pointer type {}", self.decls.ty_name(other)),
+                ))
+            }
+        };
+        let info = &self.decls.structs[sid];
+        let (fty, off) = info.field(field).ok_or_else(|| {
+            self.err(line, format!("struct `{}` has no field `{field}`", info.name))
+        })?;
+        Ok((fty, off, is_region))
+    }
+
+    /// Compiles an expression, pushing its abstract type; returns it.
+    fn expr(&mut self, e: &Expr) -> Result<Ty, CompileError> {
+        let ty = self.expr_inner(e)?;
+        if ty != Ty::Void {
+            self.stack.push(ty);
+        }
+        Ok(ty)
+    }
+
+    fn expr_inner(&mut self, e: &Expr) -> Result<Ty, CompileError> {
+        match e {
+            Expr::Int { value, line } => {
+                self.emit(Insn::Const(*value), *line);
+                Ok(Ty::Int)
+            }
+            Expr::Null { line } => {
+                self.emit(Insn::Null, *line);
+                Ok(Ty::Null)
+            }
+            Expr::Var { name, line } => {
+                if let Some(local) = self.lookup(name) {
+                    match local.slot {
+                        Slot::Host(i) => self.emit(Insn::LoadLocal(i), *line),
+                        Slot::Shadow(i) => self.emit(Insn::LoadRLocal(i), *line),
+                    }
+                    return Ok(local.ty);
+                }
+                let Some(&gi) = self.decls.global_ids.get(name) else {
+                    return Err(self.err(*line, format!("unknown variable `{name}`")));
+                };
+                let g = &self.decls.globals[gi];
+                if g.struct_value.is_some() {
+                    return Err(self.err(
+                        *line,
+                        format!("struct global `{name}` is not a value; use `&{name}`"),
+                    ));
+                }
+                self.emit(Insn::LoadGlobal(g.offset), *line);
+                Ok(g.ty)
+            }
+            Expr::Field { base, field, line } => {
+                let bty = self.expr(base)?;
+                let (fty, off, _) = self.field_of(bty, field, *line)?;
+                self.stack.pop();
+                self.emit(Insn::LoadField(off), *line);
+                Ok(fty)
+            }
+            Expr::Index { base, index, line } => {
+                let bty = self.expr(base)?;
+                let ity = self.expr(index)?;
+                if ity != Ty::Int {
+                    return Err(self.err(*line, "array index must be int"));
+                }
+                self.stack.pop();
+                self.stack.pop();
+                match bty {
+                    Ty::IntArray => {
+                        self.emit(Insn::IndexLoad, *line);
+                        Ok(Ty::Int)
+                    }
+                    Ty::RPtr(s) => {
+                        // Address arithmetic on region pointers (§3.1):
+                        // arr[i] is the i-th element's address.
+                        let size = self.decls.structs[s].size;
+                        self.emit(Insn::IndexStruct(size), *line);
+                        Ok(Ty::RPtr(s))
+                    }
+                    other => Err(self.err(
+                        *line,
+                        format!("cannot index type {}", self.decls.ty_name(other)),
+                    )),
+                }
+            }
+            Expr::Un { op, operand, line } => {
+                let ty = self.expr(operand)?;
+                if ty != Ty::Int {
+                    return Err(self.err(*line, "unary operator needs an int"));
+                }
+                self.stack.pop();
+                self.emit(if *op == UnOp::Neg { Insn::Neg } else { Insn::Not }, *line);
+                Ok(Ty::Int)
+            }
+            Expr::Bin { op: BinOp::And, lhs, rhs, line } => self.short_circuit(lhs, rhs, true, *line),
+            Expr::Bin { op: BinOp::Or, lhs, rhs, line } => self.short_circuit(lhs, rhs, false, *line),
+            Expr::Bin { op, lhs, rhs, line } => {
+                let lty = self.expr(lhs)?;
+                let rty = self.expr(rhs)?;
+                self.stack.pop();
+                self.stack.pop();
+                let insn = match op {
+                    BinOp::Add => Insn::Add,
+                    BinOp::Sub => Insn::Sub,
+                    BinOp::Mul => Insn::Mul,
+                    BinOp::Div => Insn::Div,
+                    BinOp::Mod => Insn::Mod,
+                    BinOp::Lt => Insn::CmpLt,
+                    BinOp::Le => Insn::CmpLe,
+                    BinOp::Gt => Insn::CmpGt,
+                    BinOp::Ge => Insn::CmpGe,
+                    BinOp::Eq => Insn::CmpEq,
+                    BinOp::Ne => Insn::CmpNe,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                match op {
+                    BinOp::Eq | BinOp::Ne => {
+                        if !lty.comparable(rty) {
+                            return Err(self.err(
+                                *line,
+                                format!(
+                                    "cannot compare {} with {}",
+                                    self.decls.ty_name(lty),
+                                    self.decls.ty_name(rty)
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {
+                        if lty != Ty::Int || rty != Ty::Int {
+                            return Err(self.err(*line, "arithmetic needs int operands"));
+                        }
+                    }
+                }
+                self.emit(insn, *line);
+                Ok(Ty::Int)
+            }
+            Expr::Call { name, args, line } => {
+                let Some(&fi) = self.decls.func_ids.get(name) else {
+                    return Err(self.err(*line, format!("unknown function `{name}`")));
+                };
+                let sig = self.decls.funcs[fi].clone();
+                if sig.params.len() != args.len() {
+                    return Err(self.err(
+                        *line,
+                        format!(
+                            "`{name}` takes {} arguments, {} given",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for (arg, want) in args.iter().zip(&sig.params) {
+                    let got = self.expr(arg)?;
+                    if !want.accepts(got) {
+                        return Err(self.type_mismatch(arg.line(), *want, got));
+                    }
+                }
+                // A call may transitively reach `deleteregion`: make the
+                // region pointers currently held on the eval stack visible
+                // to the scan.
+                let tmps = self.spill_for_scan(args.len(), *line);
+                self.emit(Insn::Call(fi as u16), *line);
+                self.stack.truncate(self.stack.len() - args.len());
+                self.release_tmps(tmps, *line);
+                Ok(sig.ret)
+            }
+            Expr::NewRegion { line } => {
+                self.emit(Insn::NewRegion, *line);
+                Ok(Ty::Region)
+            }
+            Expr::DeleteRegion { var, line } => {
+                let tmps = self.spill_for_scan(0, *line);
+                if let Some(local) = self.lookup(var) {
+                    if local.ty != Ty::Region {
+                        return Err(self.err(*line, "deleteregion needs a Region variable"));
+                    }
+                    let Slot::Host(slot) = local.slot else { unreachable!("Region is host-slotted") };
+                    self.emit(Insn::DeleteRegionLocal(slot), *line);
+                } else if let Some(&gi) = self.decls.global_ids.get(var) {
+                    let g = &self.decls.globals[gi];
+                    if g.ty != Ty::Region {
+                        return Err(self.err(*line, "deleteregion needs a Region variable"));
+                    }
+                    self.emit(Insn::DeleteRegionGlobal(g.offset), *line);
+                } else {
+                    return Err(self.err(*line, format!("unknown variable `{var}`")));
+                }
+                self.release_tmps(tmps, *line);
+                Ok(Ty::Int)
+            }
+            Expr::Ralloc { region, struct_name, line } => {
+                let rty = self.expr(region)?;
+                if rty != Ty::Region {
+                    return Err(self.err(*line, "ralloc needs a Region"));
+                }
+                let sid = self.decls.struct_id(struct_name, *line)?;
+                self.stack.pop();
+                self.emit(Insn::Ralloc(sid as u16), *line);
+                Ok(Ty::RPtr(sid))
+            }
+            Expr::RArrayAlloc { region, count, struct_name, line } => {
+                let rty = self.expr(region)?;
+                if rty != Ty::Region {
+                    return Err(self.err(*line, "rarrayalloc needs a Region"));
+                }
+                let cty = self.expr(count)?;
+                if cty != Ty::Int {
+                    return Err(self.err(*line, "array count must be int"));
+                }
+                let sid = self.decls.struct_id(struct_name, *line)?;
+                self.stack.pop();
+                self.stack.pop();
+                self.emit(Insn::RArrayAlloc(sid as u16), *line);
+                Ok(Ty::RPtr(sid))
+            }
+            Expr::RStrAlloc { region, count, line } => {
+                let rty = self.expr(region)?;
+                if rty != Ty::Region {
+                    return Err(self.err(*line, "rstralloc needs a Region"));
+                }
+                let cty = self.expr(count)?;
+                if cty != Ty::Int {
+                    return Err(self.err(*line, "rstralloc count must be int"));
+                }
+                self.stack.pop();
+                self.stack.pop();
+                self.emit(Insn::RStrAlloc, *line);
+                Ok(Ty::IntArray)
+            }
+            Expr::RegionOf { operand, line } => {
+                let ty = self.expr(operand)?;
+                if !ty.is_pointer() && ty != Ty::Null {
+                    return Err(self.err(*line, "regionof needs a pointer"));
+                }
+                self.stack.pop();
+                self.emit(Insn::RegionOf, *line);
+                Ok(Ty::Region)
+            }
+            Expr::Cast { ty, operand, line } => {
+                let want = self.decls.resolve(ty, *line, false)?;
+                let got = self.expr(operand)?;
+                if !want.is_pointer() || (!got.is_pointer() && got != Ty::Null) {
+                    return Err(self.err(*line, "cast<> converts between pointer types only"));
+                }
+                // Casts are free at runtime — and unsafe, like the paper's
+                // casts between T@ and T* (§3.1).
+                self.stack.pop();
+                Ok(want)
+            }
+            Expr::AddrOfGlobal { name, line } => {
+                let Some(&gi) = self.decls.global_ids.get(name) else {
+                    return Err(self.err(*line, format!("unknown global `{name}`")));
+                };
+                let g = &self.decls.globals[gi];
+                let Some(sid) = g.struct_value else {
+                    return Err(self.err(*line, "`&` applies to struct globals only"));
+                };
+                self.emit(Insn::AddrOfGlobal(g.offset), *line);
+                Ok(Ty::NPtr(sid))
+            }
+        }
+    }
+
+    /// `a && b` / `a || b` with short-circuit evaluation, yielding 0/1.
+    fn short_circuit(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+        line: u32,
+    ) -> Result<Ty, CompileError> {
+        let lty = self.expr(lhs)?;
+        if lty != Ty::Int {
+            return Err(self.err(line, "logical operator needs int operands"));
+        }
+        self.stack.pop();
+        let jshort = self.emit_patch(
+            if is_and { Insn::JumpIfZero } else { Insn::JumpIfNonZero },
+            line,
+        );
+        let rty = self.expr(rhs)?;
+        if rty != Ty::Int {
+            return Err(self.err(line, "logical operator needs int operands"));
+        }
+        self.stack.pop();
+        let jshort2 = self.emit_patch(
+            if is_and { Insn::JumpIfZero } else { Insn::JumpIfNonZero },
+            line,
+        );
+        self.emit(Insn::Const(if is_and { 1 } else { 0 }), line);
+        let jend = self.emit_patch(Insn::Jump, line);
+        self.patch(jshort);
+        self.patch(jshort2);
+        self.emit(Insn::Const(if is_and { 0 } else { 1 }), line);
+        self.patch(jend);
+        Ok(Ty::Int)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        compile(src).unwrap()
+    }
+
+    fn fails(src: &str) -> CompileError {
+        compile(src).unwrap_err()
+    }
+
+    #[test]
+    fn compiles_figure3() {
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            list@ cons(Region r, int x, list@ l) {
+                list@ p = ralloc(r, list);
+                p.i = x;
+                p.next = l;
+                return p;
+            }
+            list@ copy_list(Region r, list@ l) {
+                if (l == null) return null;
+                else return cons(r, l.i, copy_list(r, l.next));
+            }
+            void main() {
+                Region tmp = newregion();
+                list@ l = cons(tmp, 1, null);
+                l = copy_list(tmp, l);
+                deleteregion(tmp);
+            }
+        "#);
+        assert_eq!(p.funcs.len(), 3);
+        assert_eq!(p.descriptors.len(), 1);
+        assert_eq!(p.descriptors[0].ptr_offsets(), &[4]);
+    }
+
+    #[test]
+    fn region_field_store_gets_region_barrier() {
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                p.next = p;
+                p.i = 3;
+            }
+        "#);
+        let code = &p.funcs[p.main_idx].code;
+        assert!(code.contains(&Insn::StoreFieldRPtr(4)), "pointer field: region barrier");
+        assert!(code.contains(&Insn::StoreFieldInt(0)), "int field: plain store");
+    }
+
+    #[test]
+    fn global_pointer_store_gets_global_barrier() {
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            global list@ head;
+            global int n;
+            void main() {
+                head = null;
+                n = 5;
+            }
+        "#);
+        let code = &p.funcs[p.main_idx].code;
+        assert!(code.contains(&Insn::StoreGlobalPtr(0)));
+        assert!(code.contains(&Insn::StoreGlobal(4)));
+    }
+
+    #[test]
+    fn normal_pointer_store_is_unknown() {
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            global list gv;
+            void main() {
+                list* p = &gv;
+                p.next = null;
+            }
+        "#);
+        let code = &p.funcs[p.main_idx].code;
+        assert!(
+            code.contains(&Insn::StoreFieldUnknown(4)),
+            "store through a * pointer must use the runtime-dispatch barrier"
+        );
+    }
+
+    #[test]
+    fn local_pointer_store_is_free() {
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                p = null;
+            }
+        "#);
+        let code = &p.funcs[p.main_idx].code;
+        assert!(code.iter().filter(|i| matches!(i, Insn::StoreRLocal(_))).count() >= 2);
+        assert!(!code.iter().any(|i| matches!(
+            i,
+            Insn::StoreGlobalPtr(_) | Insn::StoreFieldRPtr(_) | Insn::StoreFieldUnknown(_)
+        )));
+    }
+
+    #[test]
+    fn pointer_across_call_is_spilled() {
+        // `use2(p, mk(r))`: p's value sits on the eval stack while mk runs;
+        // the compiler must make it scannable.
+        let p = ok(r#"
+            struct list { int i; list@ next; };
+            list@ mk(Region r) { return ralloc(r, list); }
+            int use2(list@ a, list@ b) { return a.i + b.i; }
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                int x = use2(p, mk(r));
+            }
+        "#);
+        let code = &p.funcs[p.main_idx].code;
+        assert!(
+            code.iter().any(|i| matches!(i, Insn::DupToRtmp { .. })),
+            "a region pointer live across a call must be spilled to a shadow temp"
+        );
+        assert!(code.iter().any(|i| matches!(i, Insn::ClearRtmp(_))));
+    }
+
+    #[test]
+    fn no_implicit_pointer_kind_conversion() {
+        let err = fails(r#"
+            struct s { int v; };
+            global s gv;
+            void main() {
+                Region r = newregion();
+                s@ p = ralloc(r, s);
+                s* q = p;
+            }
+        "#);
+        assert!(
+            err.message.contains("s*") && err.message.contains("s@"),
+            "got: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn explicit_cast_is_allowed() {
+        ok(r#"
+            struct s { int v; };
+            void main() {
+                Region r = newregion();
+                s@ p = ralloc(r, s);
+                s* q = cast<s*>(p);
+                q.v = 3;
+            }
+        "#);
+    }
+
+    #[test]
+    fn struct_copy_is_rejected() {
+        let err = fails(r#"
+            struct s { int v; };
+            global s a;
+            global s b;
+            void main() { a = b; }
+        "#);
+        assert!(err.message.contains("struct"), "got: {}", err.message);
+    }
+
+    #[test]
+    fn deleteregion_requires_region_variable() {
+        let err = fails(r#"
+            void main() {
+                int x = 3;
+                deleteregion(x);
+            }
+        "#);
+        assert!(err.message.contains("Region"));
+    }
+
+    #[test]
+    fn condition_must_be_int() {
+        let err = fails(r#"
+            struct s { int v; };
+            void main() {
+                Region r = newregion();
+                s@ p = ralloc(r, s);
+                if (p) { }
+            }
+        "#);
+        assert!(err.message.contains("int"));
+    }
+
+    #[test]
+    fn int_array_rejects_pointer_elements() {
+        // Casting to int@ and indexing yields an int, so this is legal...
+        ok(r#"
+            struct s { int v; };
+            void main() {
+                Region r = newregion();
+                int@ a = rstralloc(r, 4);
+                s@ p = ralloc(r, s);
+                a[0] = cast<int@>(p)[0];
+            }
+        "#);
+        // ...but an int cannot be assigned to the array variable itself.
+        let err = fails(r#"
+            struct s { int v; };
+            void main() {
+                Region r = newregion();
+                int@ a = rstralloc(r, 4);
+                a = 1;
+            }
+        "#);
+        assert!(err.message.contains("type mismatch"));
+    }
+
+    #[test]
+    fn undeclared_names_error_with_line() {
+        let err = fails("void main() {\n  x = 3;\n}");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown variable"));
+    }
+}

@@ -1,0 +1,96 @@
+//! **C@** — the C dialect with explicit regions of Gay & Aiken
+//! (PLDI 1998, §3), as a compiler and virtual machine.
+//!
+//! C@ extends a C subset with a second pointer kind: `T @` is a pointer
+//! to an object in a region, distinct from `T *` with no implicit
+//! conversion between them. Objects are allocated with
+//! `ralloc(r, S)` / `rarrayalloc(r, n, S)` / `rstralloc(r, n)`, and a
+//! region is destroyed — all at once — by `deleteregion(r)`, which fails
+//! (returning 0) while external references to the region's objects exist.
+//!
+//! The compiler does what the paper's modified lcc does:
+//!
+//! * classifies every pointer write as *local* (free), *global*
+//!   (16-instruction barrier), *region* (23-instruction barrier, with the
+//!   *sameregion* optimization) or *statically unknown* (runtime
+//!   dispatch) — §4.2.2, Figure 5;
+//! * records which locals hold region pointers so the `deleteregion`
+//!   stack scan can find them (shadow-stack slots plus spill temporaries
+//!   around calls — the per-call-site liveness maps of §4.2.3);
+//! * auto-generates cleanup descriptors per struct (§4.2.4 — possible
+//!   because C@ as implemented here has no `union`).
+//!
+//! # Example — the paper's Figure 3
+//!
+//! ```
+//! use cq_lang::{compile, Vm};
+//! use region_core::SafetyMode;
+//!
+//! let program = compile(r#"
+//!     struct list { int i; list@ next; };
+//!
+//!     list@ cons(Region r, int x, list@ l) {
+//!         list@ p = ralloc(r, list);
+//!         p.i = x;
+//!         p.next = l;
+//!         return p;
+//!     }
+//!
+//!     list@ copy_list(Region r, list@ l) {
+//!         if (l == null) return null;
+//!         return cons(r, l.i, copy_list(r, l.next));
+//!     }
+//!
+//!     void main() {
+//!         Region r = newregion();
+//!         Region tmp = newregion();
+//!         list@ l = cons(r, 2, cons(r, 1, null));
+//!         list@ c = copy_list(tmp, l);
+//!         print(c.i);
+//!         c = null;
+//!         print(deleteregion(tmp));   // 1: the copy is dead
+//!     }
+//! "#)?;
+//! let mut vm = Vm::new(program, SafetyMode::Safe);
+//! vm.run()?;
+//! assert_eq!(vm.output(), &[2, 1]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod bytecode;
+mod compile;
+pub mod parser;
+pub mod sema;
+pub mod token;
+mod vm;
+
+pub use compile::compile;
+pub use vm::{Vm, VmError};
+
+/// A compile-time error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,659 @@
+//! Recursive-descent parser for C@.
+
+use crate::ast::*;
+use crate::token::{lex, Tok, Token};
+use crate::CompileError;
+
+/// Parses a C@ translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its source line.
+pub fn parse(source: &str) -> Result<Unit, CompileError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), CompileError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected `{want}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError::new(
+                self.tokens[self.pos.saturating_sub(1)].line,
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, CompileError> {
+        let mut unit = Unit::default();
+        while *self.peek() != Tok::Eof {
+            match self.peek() {
+                Tok::KwStruct => unit.structs.push(self.struct_def()?),
+                Tok::KwGlobal => unit.globals.push(self.global_def()?),
+                _ => unit.funcs.push(self.func_def()?),
+            }
+        }
+        Ok(unit)
+    }
+
+    /// `struct S { fields };`
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let line = self.line();
+        self.eat(&Tok::KwStruct)?;
+        let name = self.ident()?;
+        self.eat(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            let ty = self.type_expr()?;
+            let fname = self.ident()?;
+            self.eat(&Tok::Semi)?;
+            fields.push((ty, fname));
+        }
+        self.eat(&Tok::RBrace)?;
+        self.eat(&Tok::Semi)?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    /// `global T name;` — `T` may also be a bare struct name (an in-place
+    /// global struct value).
+    fn global_def(&mut self) -> Result<GlobalDef, CompileError> {
+        let line = self.line();
+        self.eat(&Tok::KwGlobal)?;
+        // A bare `global S name;` (struct value) is the case where an
+        // identifier type is NOT followed by `@`/`*`.
+        if let Tok::Ident(s) = self.peek().clone() {
+            if !matches!(self.peek2(), Tok::At | Tok::Star) {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(&Tok::Semi)?;
+                return Ok(GlobalDef {
+                    ty: TypeExpr::NormalPtr(s.clone()),
+                    struct_value: Some(s),
+                    name,
+                    line,
+                });
+            }
+        }
+        let ty = self.type_expr()?;
+        let name = self.ident()?;
+        self.eat(&Tok::Semi)?;
+        Ok(GlobalDef { ty, struct_value: None, name, line })
+    }
+
+    /// `int` | `void` | `Region` | `int@` | `S@` | `S*`
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::KwInt => {
+                if *self.peek() == Tok::At {
+                    self.bump();
+                    Ok(TypeExpr::IntArray)
+                } else {
+                    Ok(TypeExpr::Int)
+                }
+            }
+            Tok::KwVoid => Ok(TypeExpr::Void),
+            Tok::KwRegion => Ok(TypeExpr::Region),
+            Tok::KwStruct => {
+                // Allow the C spelling `struct S @`.
+                let name = self.ident()?;
+                match self.bump() {
+                    Tok::At => Ok(TypeExpr::RegionPtr(name)),
+                    Tok::Star => Ok(TypeExpr::NormalPtr(name)),
+                    other => Err(CompileError::new(
+                        line,
+                        format!("expected `@` or `*` after struct type, found `{other}`"),
+                    )),
+                }
+            }
+            Tok::Ident(name) => match self.bump() {
+                Tok::At => Ok(TypeExpr::RegionPtr(name)),
+                Tok::Star => Ok(TypeExpr::NormalPtr(name)),
+                other => Err(CompileError::new(
+                    line,
+                    format!("expected `@` or `*` after type name `{name}`, found `{other}`"),
+                )),
+            },
+            other => Err(CompileError::new(line, format!("expected a type, found `{other}`"))),
+        }
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, CompileError> {
+        let line = self.line();
+        let ret = self.type_expr()?;
+        let name = self.ident()?;
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Tok::RParen {
+            loop {
+                let ty = self.type_expr()?;
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(FuncDef { ret, name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.eat(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if *self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// `true` if the upcoming tokens start a declaration (`T name = ...`).
+    fn at_decl(&self) -> bool {
+        match self.peek() {
+            Tok::KwInt | Tok::KwRegion | Tok::KwStruct => true,
+            Tok::Ident(_) => matches!(self.peek2(), Tok::At | Tok::Star),
+            _ => false,
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::KwIf => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, line })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                // init: a declaration or an assignment (consumes its ';').
+                let init = if self.at_decl() {
+                    let ty = self.type_expr()?;
+                    let name = self.ident()?;
+                    self.eat(&Tok::Assign)?;
+                    let e = self.expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Stmt::Decl { ty, name, init: e, line }
+                } else {
+                    let target = self.expr()?;
+                    self.eat(&Tok::Assign)?;
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Stmt::Assign { target, value, line }
+                };
+                let cond = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                // step: an assignment without a trailing ';'.
+                let target = self.expr()?;
+                self.eat(&Tok::Assign)?;
+                let value = self.expr()?;
+                let step = Stmt::Assign { target, value, line };
+                self.eat(&Tok::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    step: Box::new(step),
+                    body,
+                    line,
+                })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::KwPrint => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let value = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Print { value, line })
+            }
+            _ if self.at_decl() => {
+                let ty = self.type_expr()?;
+                let name = self.ident()?;
+                self.eat(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Decl { ty, name, init, line })
+            }
+            _ => {
+                let e = self.expr()?;
+                if *self.peek() == Tok::Assign {
+                    self.bump();
+                    let value = self.expr()?;
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Assign { target: e, value, line })
+                } else {
+                    self.eat(&Tok::Semi)?;
+                    Ok(Stmt::Expr { expr: e, line })
+                }
+            }
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.eq_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::EqEq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(e), line })
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un { op: UnOp::Not, operand: Box::new(e), line })
+            }
+            Tok::Amp => {
+                self.bump();
+                let name = self.ident()?;
+                Ok(Expr::AddrOfGlobal { name, line })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::Dot | Tok::Arrow => {
+                    let line = self.line();
+                    self.bump();
+                    let field = self.ident()?;
+                    e = Expr::Field { base: Box::new(e), field, line };
+                }
+                Tok::LBracket => {
+                    let line = self.line();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    e = Expr::Index { base: Box::new(e), index: Box::new(idx), line };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(value) => Ok(Expr::Int { value, line }),
+            Tok::KwNull => Ok(Expr::Null { line }),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::KwNewregion => {
+                self.eat(&Tok::LParen)?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::NewRegion { line })
+            }
+            Tok::KwDeleteregion => {
+                self.eat(&Tok::LParen)?;
+                let var = self.ident()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::DeleteRegion { var, line })
+            }
+            Tok::KwRalloc => {
+                self.eat(&Tok::LParen)?;
+                let region = self.expr()?;
+                self.eat(&Tok::Comma)?;
+                let struct_name = self.ident()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::Ralloc { region: Box::new(region), struct_name, line })
+            }
+            Tok::KwRarrayalloc => {
+                self.eat(&Tok::LParen)?;
+                let region = self.expr()?;
+                self.eat(&Tok::Comma)?;
+                let count = self.expr()?;
+                self.eat(&Tok::Comma)?;
+                let struct_name = self.ident()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::RArrayAlloc {
+                    region: Box::new(region),
+                    count: Box::new(count),
+                    struct_name,
+                    line,
+                })
+            }
+            Tok::KwRstralloc => {
+                self.eat(&Tok::LParen)?;
+                let region = self.expr()?;
+                self.eat(&Tok::Comma)?;
+                let count = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::RStrAlloc { region: Box::new(region), count: Box::new(count), line })
+            }
+            Tok::KwRegionof => {
+                self.eat(&Tok::LParen)?;
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::RegionOf { operand: Box::new(e), line })
+            }
+            Tok::KwCast => {
+                self.eat(&Tok::Lt)?;
+                let ty = self.type_expr()?;
+                self.eat(&Tok::Gt)?;
+                self.eat(&Tok::LParen)?;
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(Expr::Cast { ty, operand: Box::new(e), line })
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(&Tok::RParen)?;
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var { name, line })
+                }
+            }
+            other => Err(CompileError::new(line, format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure3_list_copy() {
+        let src = r#"
+            struct list { int i; list@ next; };
+
+            list@ cons(Region r, int x, list@ l) {
+                list@ p = ralloc(r, list);
+                p.i = x;
+                p.next = l;
+                return p;
+            }
+
+            list@ copy_list(Region r, list@ l) {
+                if (l == null) return null;
+                else return cons(r, l.i, copy_list(r, l.next));
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.structs.len(), 1);
+        assert_eq!(unit.structs[0].fields.len(), 2);
+        assert_eq!(unit.funcs.len(), 2);
+        assert_eq!(unit.funcs[1].name, "copy_list");
+    }
+
+    #[test]
+    fn parses_figure1_loop() {
+        let src = r#"
+            void f() {
+                Region r = newregion();
+                int i = 0;
+                while (i < 10) {
+                    int@ x = rstralloc(r, i + 1);
+                    i = i + 1;
+                }
+                deleteregion(r);
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.funcs[0].name, "f");
+        assert_eq!(unit.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_globals_and_struct_values() {
+        let src = r#"
+            struct point { int x; int y; };
+            global list@ head;
+            global int counter;
+            global point origin;
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.globals.len(), 3);
+        assert!(unit.globals[2].struct_value.is_some());
+    }
+
+    #[test]
+    fn parses_casts_and_addressof() {
+        let src = r#"
+            struct s { int v; };
+            global s gs;
+            void f(s@ p) {
+                s* n = cast<s*>(p);
+                s* g = &gs;
+                n.v = 1;
+            }
+        "#;
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.funcs[0].params.len(), 1);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let src = "int f() { return 1 + 2 * 3 < 7 && 4 == 4; }";
+        let unit = parse(src).unwrap();
+        // shape: ((1 + (2*3)) < 7) && (4 == 4)
+        let Stmt::Return { value: Some(Expr::Bin { op: BinOp::And, lhs, .. }), .. } =
+            &unit.funcs[0].body[0]
+        else {
+            panic!("expected return of &&");
+        };
+        let Expr::Bin { op: BinOp::Lt, .. } = lhs.as_ref() else {
+            panic!("expected < under &&");
+        };
+    }
+
+    #[test]
+    fn arrow_and_dot_are_synonyms() {
+        let unit = parse("int f(list@ l) { return l->i + l.i; }").unwrap();
+        assert_eq!(unit.funcs.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("int f() {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        assert!(parse("int f() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn struct_type_spelling_with_keyword() {
+        let unit = parse("void f(struct list@ l) { }").unwrap();
+        assert_eq!(unit.funcs[0].params[0].0, TypeExpr::RegionPtr("list".into()));
+    }
+}

@@ -1,0 +1,346 @@
+//! Declaration-level semantic analysis: struct layouts, global storage
+//! layout, and function signatures.
+//!
+//! C@'s type system distinguishes region pointers (`S @`) from normal
+//! pointers (`S *`); "the types `T@` and `T*` are different types, and no
+//! implicit conversion exists between them although explicit casts are
+//! allowed" (§3.1). Struct fields are all word-sized (ints, `Region`
+//! handles, pointers, `int@` arrays), so a struct of *n* fields occupies
+//! *4n* bytes; structs never appear as values, which enforces the paper's
+//! ban on copying structs that contain region pointers by construction.
+
+use std::collections::HashMap;
+
+use crate::ast::{TypeExpr, Unit};
+use crate::CompileError;
+
+/// Index of a struct in the unit.
+pub type StructId = usize;
+
+/// A resolved C@ type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// `int`
+    Int,
+    /// `void` (function returns only)
+    Void,
+    /// `Region` (a first-class region handle; not reference-counted)
+    Region,
+    /// `int@` — region-allocated int array (a region pointer for
+    /// reference-counting purposes)
+    IntArray,
+    /// `S@` — region pointer
+    RPtr(StructId),
+    /// `S*` — normal pointer (not reference-counted; the unsafe escape
+    /// hatch reached via `cast<>`)
+    NPtr(StructId),
+    /// The type of `null`, assignable to any pointer type.
+    Null,
+}
+
+impl Ty {
+    /// `true` for the pointer kinds the reference-counting machinery must
+    /// track (region pointers, including `int@`).
+    pub fn is_region_ptr(self) -> bool {
+        matches!(self, Ty::RPtr(_) | Ty::IntArray)
+    }
+
+    /// `true` for any pointer kind (region or normal).
+    pub fn is_pointer(self) -> bool {
+        matches!(self, Ty::RPtr(_) | Ty::NPtr(_) | Ty::IntArray)
+    }
+
+    /// Can a value of type `src` be assigned to a location of type `self`?
+    pub fn accepts(self, src: Ty) -> bool {
+        self == src || (src == Ty::Null && self.is_pointer())
+    }
+
+    /// Can values of these types be compared with `==`/`!=`?
+    pub fn comparable(self, other: Ty) -> bool {
+        self == other
+            || (self == Ty::Null && (other.is_pointer() || other == Ty::Region))
+            || (other == Ty::Null && (self.is_pointer() || self == Ty::Region))
+    }
+}
+
+/// A struct's layout.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// (name, type, byte offset) per field.
+    pub fields: Vec<(String, Ty, u32)>,
+    /// Size in bytes (4 × field count).
+    pub size: u32,
+    /// Byte offsets of region-pointer fields — the auto-generated cleanup
+    /// function (§4.2.4).
+    pub ptr_offsets: Vec<u32>,
+}
+
+impl StructInfo {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<(Ty, u32)> {
+        self.fields.iter().find(|(n, _, _)| n == name).map(|&(_, ty, off)| (ty, off))
+    }
+}
+
+/// A global variable's storage.
+#[derive(Clone, Debug)]
+pub struct GlobalInfo {
+    /// Variable name.
+    pub name: String,
+    /// Type of the variable (`NPtr` for in-place struct values, with
+    /// [`GlobalInfo::struct_value`] set).
+    pub ty: Ty,
+    /// Byte offset in the globals area.
+    pub offset: u32,
+    /// `Some(struct id)` when this is an in-place struct value.
+    pub struct_value: Option<StructId>,
+}
+
+/// A function's signature.
+#[derive(Clone, Debug)]
+pub struct FuncSig {
+    /// Function name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+/// The declaration tables produced by [`analyze`].
+#[derive(Debug, Default)]
+pub struct Decls {
+    /// Struct layouts, indexed by [`StructId`].
+    pub structs: Vec<StructInfo>,
+    /// Struct name → id.
+    pub struct_ids: HashMap<String, StructId>,
+    /// Globals, in declaration order.
+    pub globals: Vec<GlobalInfo>,
+    /// Global name → index in [`Decls::globals`].
+    pub global_ids: HashMap<String, usize>,
+    /// Total size of the globals area in bytes.
+    pub globals_size: u32,
+    /// Function signatures, in declaration order.
+    pub funcs: Vec<FuncSig>,
+    /// Function name → index.
+    pub func_ids: HashMap<String, usize>,
+}
+
+impl Decls {
+    /// Resolves a syntactic type. `allow_void` permits `void` (function
+    /// returns).
+    pub fn resolve(&self, te: &TypeExpr, line: u32, allow_void: bool) -> Result<Ty, CompileError> {
+        Ok(match te {
+            TypeExpr::Int => Ty::Int,
+            TypeExpr::Region => Ty::Region,
+            TypeExpr::IntArray => Ty::IntArray,
+            TypeExpr::Void => {
+                if allow_void {
+                    Ty::Void
+                } else {
+                    return Err(CompileError::new(line, "`void` is only a return type"));
+                }
+            }
+            TypeExpr::RegionPtr(name) => Ty::RPtr(self.struct_id(name, line)?),
+            TypeExpr::NormalPtr(name) => Ty::NPtr(self.struct_id(name, line)?),
+        })
+    }
+
+    /// Looks up a struct by name.
+    pub fn struct_id(&self, name: &str, line: u32) -> Result<StructId, CompileError> {
+        self.struct_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::new(line, format!("unknown struct `{name}`")))
+    }
+
+    /// Human-readable type name for diagnostics.
+    pub fn ty_name(&self, ty: Ty) -> String {
+        match ty {
+            Ty::Int => "int".into(),
+            Ty::Void => "void".into(),
+            Ty::Region => "Region".into(),
+            Ty::IntArray => "int@".into(),
+            Ty::RPtr(s) => format!("{}@", self.structs[s].name),
+            Ty::NPtr(s) => format!("{}*", self.structs[s].name),
+            Ty::Null => "null".into(),
+        }
+    }
+}
+
+/// Builds the declaration tables and checks all declarations.
+///
+/// # Errors
+///
+/// Reports duplicate names, unknown struct references, and a missing or
+/// ill-typed `main`.
+pub fn analyze(unit: &Unit) -> Result<Decls, CompileError> {
+    let mut decls = Decls::default();
+
+    // Struct names first (so fields may reference any struct, including
+    // forward and self references, as in `struct list`).
+    for (i, s) in unit.structs.iter().enumerate() {
+        if decls.struct_ids.insert(s.name.clone(), i).is_some() {
+            return Err(CompileError::new(s.line, format!("duplicate struct `{}`", s.name)));
+        }
+    }
+    for s in &unit.structs {
+        let mut fields = Vec::new();
+        let mut ptr_offsets = Vec::new();
+        let mut seen = HashMap::new();
+        for (i, (te, fname)) in s.fields.iter().enumerate() {
+            if seen.insert(fname.clone(), ()).is_some() {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("duplicate field `{fname}` in struct `{}`", s.name),
+                ));
+            }
+            let ty = decls.resolve(te, s.line, false)?;
+            let off = (i as u32) * 4;
+            if ty.is_region_ptr() {
+                ptr_offsets.push(off);
+            }
+            fields.push((fname.clone(), ty, off));
+        }
+        let size = (s.fields.len() as u32).max(1) * 4;
+        decls.structs.push(StructInfo { name: s.name.clone(), fields, size, ptr_offsets });
+    }
+
+    // Globals.
+    let mut offset = 0u32;
+    for g in &unit.globals {
+        if decls.global_ids.contains_key(&g.name) {
+            return Err(CompileError::new(g.line, format!("duplicate global `{}`", g.name)));
+        }
+        let (ty, struct_value, size) = match &g.struct_value {
+            Some(sname) => {
+                let sid = decls.struct_id(sname, g.line)?;
+                (Ty::NPtr(sid), Some(sid), decls.structs[sid].size)
+            }
+            None => (decls.resolve(&g.ty, g.line, false)?, None, 4),
+        };
+        decls.global_ids.insert(g.name.clone(), decls.globals.len());
+        decls.globals.push(GlobalInfo { name: g.name.clone(), ty, offset, struct_value });
+        offset += size;
+    }
+    decls.globals_size = offset.max(4);
+
+    // Function signatures.
+    for f in &unit.funcs {
+        if decls.func_ids.contains_key(&f.name) {
+            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        let ret = decls.resolve(&f.ret, f.line, true)?;
+        let mut params = Vec::new();
+        for (te, _) in &f.params {
+            params.push(decls.resolve(te, f.line, false)?);
+        }
+        decls.func_ids.insert(f.name.clone(), decls.funcs.len());
+        decls.funcs.push(FuncSig { name: f.name.clone(), params, ret });
+    }
+
+    // main must exist as `void main()`.
+    match decls.func_ids.get("main") {
+        Some(&i) if decls.funcs[i].params.is_empty() && decls.funcs[i].ret == Ty::Void => {}
+        Some(&i) => {
+            return Err(CompileError::new(
+                unit.funcs[i].line,
+                "`main` must be declared `void main()`",
+            ))
+        }
+        None => return Err(CompileError::new(1, "missing `void main()`")),
+    }
+
+    Ok(decls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn decls(src: &str) -> Result<Decls, CompileError> {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn struct_layout_is_word_per_field() {
+        let d = decls(
+            "struct list { int i; list@ next; int@ data; list* alias; Region home; }\
+             ; void main() { }",
+        )
+        .unwrap();
+        let s = &d.structs[0];
+        assert_eq!(s.size, 20);
+        assert_eq!(s.field("i"), Some((Ty::Int, 0)));
+        assert_eq!(s.field("next"), Some((Ty::RPtr(0), 4)));
+        assert_eq!(s.field("data"), Some((Ty::IntArray, 8)));
+        assert_eq!(s.field("alias"), Some((Ty::NPtr(0), 12)));
+        assert_eq!(s.field("home"), Some((Ty::Region, 16)));
+        // cleanup covers the region pointers only: next and data.
+        assert_eq!(s.ptr_offsets, vec![4, 8]);
+    }
+
+    #[test]
+    fn globals_are_laid_out_in_order() {
+        let d = decls(
+            "struct p { int x; int y; };\
+             global int a; global p v; global p@ q; void main() { }",
+        )
+        .unwrap();
+        assert_eq!(d.globals[0].offset, 0);
+        assert_eq!(d.globals[1].offset, 4);
+        assert!(d.globals[1].struct_value.is_some());
+        assert_eq!(d.globals[2].offset, 12, "struct value occupies 8 bytes");
+        assert_eq!(d.globals_size, 16);
+    }
+
+    #[test]
+    fn type_compatibility_rules() {
+        let d = decls("struct s { int v; }; void main() { }").unwrap();
+        let rp = Ty::RPtr(0);
+        let np = Ty::NPtr(0);
+        assert!(rp.accepts(Ty::Null));
+        assert!(!rp.accepts(np), "no implicit @/* conversion (paper §3.1)");
+        assert!(!np.accepts(rp));
+        assert!(rp.comparable(Ty::Null));
+        assert!(!rp.comparable(np));
+        assert!(Ty::Region.comparable(Ty::Null));
+        assert!(Ty::IntArray.is_region_ptr());
+        assert!(!np.is_region_ptr());
+        assert_eq!(d.ty_name(rp), "s@");
+        assert_eq!(d.ty_name(np), "s*");
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        assert!(decls("struct s { int v; };").is_err());
+    }
+
+    #[test]
+    fn bad_main_signature_is_an_error() {
+        assert!(decls("int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_are_errors() {
+        assert!(decls("struct s { int v; }; struct s { int w; }; void main() { }").is_err());
+        assert!(decls("global int x; global int x; void main() { }").is_err());
+        assert!(decls("void f() { } void f() { } void main() { }").is_err());
+        assert!(decls("struct s { int v; int v; }; void main() { }").is_err());
+    }
+
+    #[test]
+    fn unknown_struct_is_an_error() {
+        let err = decls("global nothere@ g; void main() { }").unwrap_err();
+        assert!(err.message.contains("unknown struct"));
+    }
+
+    #[test]
+    fn self_referential_structs_work() {
+        let d = decls("struct tree { tree@ l; tree@ r; int v; }; void main() { }").unwrap();
+        assert_eq!(d.structs[0].ptr_offsets, vec![0, 4]);
+    }
+}

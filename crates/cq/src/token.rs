@@ -1,0 +1,376 @@
+//! Lexical analysis for C@.
+
+use std::fmt;
+
+use crate::CompileError;
+
+/// A token kind (with payload for literals and identifiers).
+///
+/// Variants map one-to-one onto C@'s lexemes; their names are their
+/// documentation.
+#[allow(missing_docs)]
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    // literals / names
+    Int(i32),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwVoid,
+    KwRegion,
+    KwStruct,
+    KwGlobal,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwNull,
+    KwPrint,
+    KwNewregion,
+    KwDeleteregion,
+    KwRalloc,
+    KwRarrayalloc,
+    KwRstralloc,
+    KwRegionof,
+    KwCast,
+    // punctuation
+    At,        // @
+    Star,      // *
+    Amp,       // &
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow, // ->
+    Assign,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwVoid => write!(f, "void"),
+            Tok::KwRegion => write!(f, "Region"),
+            Tok::KwStruct => write!(f, "struct"),
+            Tok::KwGlobal => write!(f, "global"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::KwBreak => write!(f, "break"),
+            Tok::KwContinue => write!(f, "continue"),
+            Tok::KwNull => write!(f, "null"),
+            Tok::KwPrint => write!(f, "print"),
+            Tok::KwNewregion => write!(f, "newregion"),
+            Tok::KwDeleteregion => write!(f, "deleteregion"),
+            Tok::KwRalloc => write!(f, "ralloc"),
+            Tok::KwRarrayalloc => write!(f, "rarrayalloc"),
+            Tok::KwRstralloc => write!(f, "rstralloc"),
+            Tok::KwRegionof => write!(f, "regionof"),
+            Tok::KwCast => write!(f, "cast"),
+            Tok::At => write!(f, "@"),
+            Tok::Star => write!(f, "*"),
+            Tok::Amp => write!(f, "&"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (for diagnostics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "int" => Tok::KwInt,
+        "void" => Tok::KwVoid,
+        "Region" => Tok::KwRegion,
+        "struct" => Tok::KwStruct,
+        "global" => Tok::KwGlobal,
+        "if" => Tok::KwIf,
+        "else" => Tok::KwElse,
+        "while" => Tok::KwWhile,
+        "for" => Tok::KwFor,
+        "return" => Tok::KwReturn,
+        "break" => Tok::KwBreak,
+        "continue" => Tok::KwContinue,
+        "null" => Tok::KwNull,
+        "print" => Tok::KwPrint,
+        "newregion" => Tok::KwNewregion,
+        "deleteregion" => Tok::KwDeleteregion,
+        "ralloc" => Tok::KwRalloc,
+        "rarrayalloc" => Tok::KwRarrayalloc,
+        "rstralloc" => Tok::KwRstralloc,
+        "regionof" => Tok::KwRegionof,
+        "cast" => Tok::KwCast,
+        _ => return None,
+    })
+}
+
+/// Tokenizes C@ source. Supports `//` and `/* */` comments.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters, malformed numbers, or
+/// unterminated comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Token { tok: $t, line })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let v: i32 = text
+                    .parse()
+                    .map_err(|_| CompileError::new(line, format!("integer literal too large: {text}")))?;
+                push!(Tok::Int(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                match keyword(word) {
+                    Some(t) => push!(t),
+                    None => push!(Tok::Ident(word.to_string())),
+                }
+            }
+            _ => {
+                let two = |a: char, b: char| c == a && bytes.get(i + 1) == Some(&(b as u8));
+                let (tok, len) = if two('-', '>') {
+                    (Tok::Arrow, 2)
+                } else if two('=', '=') {
+                    (Tok::EqEq, 2)
+                } else if two('!', '=') {
+                    (Tok::Ne, 2)
+                } else if two('<', '=') {
+                    (Tok::Le, 2)
+                } else if two('>', '=') {
+                    (Tok::Ge, 2)
+                } else if two('&', '&') {
+                    (Tok::AndAnd, 2)
+                } else if two('|', '|') {
+                    (Tok::OrOr, 2)
+                } else {
+                    let t = match c {
+                        '@' => Tok::At,
+                        '*' => Tok::Star,
+                        '&' => Tok::Amp,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        '{' => Tok::LBrace,
+                        '}' => Tok::RBrace,
+                        '[' => Tok::LBracket,
+                        ']' => Tok::RBracket,
+                        ';' => Tok::Semi,
+                        ',' => Tok::Comma,
+                        '.' => Tok::Dot,
+                        '=' => Tok::Assign,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        '/' => Tok::Slash,
+                        '%' => Tok::Percent,
+                        '<' => Tok::Lt,
+                        '>' => Tok::Gt,
+                        '!' => Tok::Bang,
+                        other => {
+                            return Err(CompileError::new(line, format!("unexpected character {other:?}")))
+                        }
+                    };
+                    (t, 1)
+                };
+                push!(tok);
+                i += len;
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_figure1_flavor() {
+        let ts = toks("Region r = newregion();");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::KwRegion,
+                Tok::Ident("r".into()),
+                Tok::Assign,
+                Tok::KwNewregion,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_region_pointer_types() {
+        assert_eq!(
+            toks("list@ p; list* q;"),
+            vec![
+                Tok::Ident("list".into()),
+                Tok::At,
+                Tok::Ident("p".into()),
+                Tok::Semi,
+                Tok::Ident("list".into()),
+                Tok::Star,
+                Tok::Ident("q".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("a->b == c != d <= e >= f && g || h"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::EqEq,
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::Ge,
+                Tok::Ident("f".into()),
+                Tok::AndAnd,
+                Tok::Ident("g".into()),
+                Tok::OrOr,
+                Tok::Ident("h".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let tokens = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("x".into()));
+        assert_eq!(tokens[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unknown_character_errors_with_line() {
+        let err = lex("x\n$").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn huge_integer_errors() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! The C@ virtual machine.
+//!
+//! The VM executes compiled [`Program`]s against a
+//! [`RegionRuntime`]: region-pointer locals live on the runtime's shadow
+//! stack (scanned by `deleteregion`), object fields live in simulated
+//! heap pages, and every pointer store goes through the barrier the
+//! compiler chose. Running the same program on a
+//! [`SafetyMode::Unsafe`] runtime reproduces the paper's unsafe-region
+//! measurements: identical code, with all reference-count maintenance
+//! disabled.
+
+use region_core::{DescId, RegionId, RegionRuntime, SafetyMode};
+use simheap::Addr;
+
+use crate::bytecode::{Insn, ParamSlot, Program};
+
+/// A runtime trap (C@ is memory-safe: errors stop execution cleanly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// What went wrong.
+    pub message: String,
+    /// Function in which the trap occurred.
+    pub func: String,
+    /// Source line of the trapping instruction.
+    pub line: u32,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trap in `{}` (line {}): {}", self.func, self.line, self.message)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    locals: Vec<u32>,
+    stack_base: usize,
+}
+
+/// The C@ virtual machine.
+///
+/// ```
+/// use cq_lang::{compile, Vm};
+/// use region_core::SafetyMode;
+///
+/// let program = compile("void main() { print(6 * 7); }")?;
+/// let mut vm = Vm::new(program, SafetyMode::Safe);
+/// vm.run()?;
+/// assert_eq!(vm.output(), &[42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Vm {
+    program: Program,
+    runtime: RegionRuntime,
+    descs: Vec<DescId>,
+    globals: Addr,
+    stack: Vec<u32>,
+    output: Vec<i32>,
+    instructions: u64,
+    fuel: u64,
+}
+
+impl Vm {
+    /// Creates a VM for `program` with the given safety mode and the
+    /// default instruction budget (200 million).
+    pub fn new(program: Program, mode: SafetyMode) -> Vm {
+        let mut runtime = match mode {
+            SafetyMode::Safe => RegionRuntime::new_safe(),
+            SafetyMode::Unsafe => RegionRuntime::new_unsafe(),
+        };
+        let descs = program.descriptors.iter().map(|d| runtime.register_type(d.clone())).collect();
+        let globals = runtime.alloc_globals(program.globals_size);
+        Vm {
+            program,
+            runtime,
+            descs,
+            globals,
+            stack: Vec::new(),
+            output: Vec::new(),
+            instructions: 0,
+            fuel: 200_000_000,
+        }
+    }
+
+    /// Sets the instruction budget (a trap fires when exhausted).
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The ints printed so far.
+    pub fn output(&self) -> &[i32] {
+        &self.output
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The underlying region runtime (statistics, safety costs, heap).
+    pub fn runtime(&self) -> &RegionRuntime {
+        &self.runtime
+    }
+
+    /// Mutable access to the runtime (e.g. to attach a cache simulator to
+    /// the heap before running).
+    pub fn runtime_mut(&mut self) -> &mut RegionRuntime {
+        &mut self.runtime
+    }
+
+    fn region_handle(id: Option<RegionId>) -> u32 {
+        id.map_or(0, |r| r.index() + 1)
+    }
+
+    /// Runs `main` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on null dereference, division by zero, use of
+    /// a deleted or null region, or fuel exhaustion.
+    pub fn run(&mut self) -> Result<(), VmError> {
+        let main = self.program.main_idx;
+        let mut frames = vec![Frame {
+            func: main,
+            pc: 0,
+            locals: vec![0; self.program.funcs[main].host_slots as usize],
+            stack_base: 0,
+        }];
+        self.runtime.push_frame(self.program.funcs[main].shadow_slots as u32);
+
+        macro_rules! trap {
+            ($frames:expr, $msg:expr) => {{
+                let f = $frames.last().expect("frame");
+                let fun = &self.program.funcs[f.func];
+                let line = fun.lines.get(f.pc.saturating_sub(1)).copied().unwrap_or(0);
+                return Err(VmError { message: $msg.into(), func: fun.name.clone(), line });
+            }};
+        }
+
+        loop {
+            self.instructions += 1;
+            if self.instructions > self.fuel {
+                trap!(frames, "instruction budget exhausted (infinite loop?)");
+            }
+            let frame = frames.last_mut().expect("frame");
+            let func = &self.program.funcs[frame.func];
+            let Some(&insn) = func.code.get(frame.pc) else {
+                trap!(frames, "fell off the end of the code");
+            };
+            frame.pc += 1;
+            match insn {
+                Insn::Const(v) => self.stack.push(v as u32),
+                Insn::Null => self.stack.push(0),
+                Insn::Pop => {
+                    self.stack.pop();
+                }
+                Insn::LoadLocal(s) => {
+                    let v = frame.locals[s as usize];
+                    self.stack.push(v);
+                }
+                Insn::StoreLocal(s) => {
+                    let v = self.stack.pop().expect("value");
+                    frame.locals[s as usize] = v;
+                }
+                Insn::LoadRLocal(s) => {
+                    let v = self.runtime.get_local(u32::from(s));
+                    self.stack.push(v.raw());
+                }
+                Insn::StoreRLocal(s) => {
+                    let v = self.stack.pop().expect("value");
+                    self.runtime.set_local(u32::from(s), Addr::new(v));
+                }
+                Insn::LoadGlobal(off) => {
+                    let v = self.runtime.heap_mut().load_u32(self.globals + off);
+                    self.stack.push(v);
+                }
+                Insn::StoreGlobal(off) => {
+                    let v = self.stack.pop().expect("value");
+                    self.runtime.heap_mut().store_u32(self.globals + off, v);
+                }
+                Insn::StoreGlobalPtr(off) => {
+                    let v = self.stack.pop().expect("value");
+                    self.runtime.store_ptr_global(self.globals + off, Addr::new(v));
+                }
+                Insn::AddrOfGlobal(off) => self.stack.push((self.globals + off).raw()),
+                Insn::LoadField(off) => {
+                    let p = self.stack.pop().expect("pointer");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    let v = self.runtime.heap_mut().load_u32(Addr::new(p) + off);
+                    self.stack.push(v);
+                }
+                Insn::StoreFieldInt(off) => {
+                    let v = self.stack.pop().expect("value");
+                    let p = self.stack.pop().expect("pointer");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    self.runtime.heap_mut().store_u32(Addr::new(p) + off, v);
+                }
+                Insn::StoreFieldRPtr(off) => {
+                    let v = self.stack.pop().expect("value");
+                    let p = self.stack.pop().expect("pointer");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    self.runtime.store_ptr_region(Addr::new(p) + off, Addr::new(v));
+                }
+                Insn::StoreFieldUnknown(off) => {
+                    let v = self.stack.pop().expect("value");
+                    let p = self.stack.pop().expect("pointer");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    self.runtime.store_ptr_unknown(Addr::new(p) + off, Addr::new(v));
+                }
+                Insn::IndexLoad => {
+                    let i = self.stack.pop().expect("index") as i32;
+                    let p = self.stack.pop().expect("base");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    if i < 0 {
+                        trap!(frames, "negative array index");
+                    }
+                    let v = self.runtime.heap_mut().load_u32(Addr::new(p) + (i as u32) * 4);
+                    self.stack.push(v);
+                }
+                Insn::IndexStore => {
+                    let v = self.stack.pop().expect("value");
+                    let i = self.stack.pop().expect("index") as i32;
+                    let p = self.stack.pop().expect("base");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    if i < 0 {
+                        trap!(frames, "negative array index");
+                    }
+                    self.runtime.heap_mut().store_u32(Addr::new(p) + (i as u32) * 4, v);
+                }
+                Insn::IndexStruct(size) => {
+                    let i = self.stack.pop().expect("index") as i32;
+                    let p = self.stack.pop().expect("base");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    if i < 0 {
+                        trap!(frames, "negative array index");
+                    }
+                    self.stack.push(p.wrapping_add((i as u32).wrapping_mul(size)));
+                }
+                Insn::Add | Insn::Sub | Insn::Mul | Insn::Div | Insn::Mod => {
+                    let b = self.stack.pop().expect("rhs") as i32;
+                    let a = self.stack.pop().expect("lhs") as i32;
+                    let r = match insn {
+                        Insn::Add => a.wrapping_add(b),
+                        Insn::Sub => a.wrapping_sub(b),
+                        Insn::Mul => a.wrapping_mul(b),
+                        Insn::Div => {
+                            if b == 0 {
+                                trap!(frames, "division by zero");
+                            }
+                            a.wrapping_div(b)
+                        }
+                        Insn::Mod => {
+                            if b == 0 {
+                                trap!(frames, "division by zero");
+                            }
+                            a.wrapping_rem(b)
+                        }
+                        _ => unreachable!(),
+                    };
+                    self.stack.push(r as u32);
+                }
+                Insn::Neg => {
+                    let a = self.stack.pop().expect("operand") as i32;
+                    self.stack.push(a.wrapping_neg() as u32);
+                }
+                Insn::Not => {
+                    let a = self.stack.pop().expect("operand");
+                    self.stack.push(u32::from(a == 0));
+                }
+                Insn::CmpEq | Insn::CmpNe => {
+                    let b = self.stack.pop().expect("rhs");
+                    let a = self.stack.pop().expect("lhs");
+                    let eq = a == b;
+                    self.stack.push(u32::from(if insn == Insn::CmpEq { eq } else { !eq }));
+                }
+                Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe => {
+                    let b = self.stack.pop().expect("rhs") as i32;
+                    let a = self.stack.pop().expect("lhs") as i32;
+                    let r = match insn {
+                        Insn::CmpLt => a < b,
+                        Insn::CmpLe => a <= b,
+                        Insn::CmpGt => a > b,
+                        Insn::CmpGe => a >= b,
+                        _ => unreachable!(),
+                    };
+                    self.stack.push(u32::from(r));
+                }
+                Insn::Jump(t) => frame.pc = t as usize,
+                Insn::JumpIfZero(t) => {
+                    let v = self.stack.pop().expect("cond");
+                    if v == 0 {
+                        frame.pc = t as usize;
+                    }
+                }
+                Insn::JumpIfNonZero(t) => {
+                    let v = self.stack.pop().expect("cond");
+                    if v != 0 {
+                        frame.pc = t as usize;
+                    }
+                }
+                Insn::Call(fi) => {
+                    if frames.len() >= 10_000 {
+                        trap!(frames, "call stack overflow (runaway recursion?)");
+                    }
+                    let callee = &self.program.funcs[fi as usize];
+                    let argc = callee.params.len();
+                    let args: Vec<u32> = self.stack.split_off(self.stack.len() - argc);
+                    let mut locals = vec![0u32; callee.host_slots as usize];
+                    // Bind parameters: the runtime frame must exist before
+                    // shadow params are stored, and binding happens before
+                    // any callee instruction — no scan can intervene.
+                    self.runtime.push_frame(u32::from(callee.shadow_slots));
+                    for (v, ps) in args.iter().zip(&callee.params) {
+                        match *ps {
+                            ParamSlot::Host(s) => locals[s as usize] = *v,
+                            ParamSlot::Shadow(s) => {
+                                self.runtime.set_local(u32::from(s), Addr::new(*v))
+                            }
+                        }
+                    }
+                    let stack_base = self.stack.len();
+                    frames.push(Frame { func: fi as usize, pc: 0, locals, stack_base });
+                }
+                Insn::Ret => {
+                    let rv = self.stack.pop().expect("return value");
+                    let done = frames.len() == 1;
+                    let f = frames.pop().expect("frame");
+                    self.runtime.pop_frame();
+                    self.stack.truncate(f.stack_base);
+                    if done {
+                        return Ok(());
+                    }
+                    self.stack.push(rv);
+                }
+                Insn::RetVoid => {
+                    let done = frames.len() == 1;
+                    let f = frames.pop().expect("frame");
+                    self.runtime.pop_frame();
+                    self.stack.truncate(f.stack_base);
+                    if done {
+                        return Ok(());
+                    }
+                }
+                Insn::NewRegion => {
+                    let r = self.runtime.new_region();
+                    self.stack.push(Self::region_handle(Some(r)));
+                }
+                Insn::DeleteRegionLocal(slot) => {
+                    let h = frame.locals[slot as usize];
+                    if h == 0 {
+                        trap!(frames, "deleteregion of the null region");
+                    }
+                    let r = RegionId::from_index(h - 1);
+                    if !self.runtime.is_live(r) {
+                        trap!(frames, "deleteregion of an already-deleted region");
+                    }
+                    let ok = self.runtime.delete_region(r);
+                    if ok {
+                        frames.last_mut().expect("frame").locals[slot as usize] = 0;
+                    }
+                    self.stack.push(u32::from(ok));
+                }
+                Insn::DeleteRegionGlobal(off) => {
+                    let h = self.runtime.heap_mut().load_u32(self.globals + off);
+                    if h == 0 {
+                        trap!(frames, "deleteregion of the null region");
+                    }
+                    let r = RegionId::from_index(h - 1);
+                    if !self.runtime.is_live(r) {
+                        trap!(frames, "deleteregion of an already-deleted region");
+                    }
+                    let ok = self.runtime.delete_region(r);
+                    if ok {
+                        self.runtime.heap_mut().store_u32(self.globals + off, 0);
+                    }
+                    self.stack.push(u32::from(ok));
+                }
+                Insn::RegionOf => {
+                    let p = self.stack.pop().expect("pointer");
+                    let r = self.runtime.region_of(Addr::new(p));
+                    self.stack.push(Self::region_handle(r));
+                }
+                Insn::Ralloc(sid) => {
+                    let r = self.pop_live_region(&frames)?;
+                    let a = self.runtime.ralloc(r, self.descs[sid as usize]);
+                    self.stack.push(a.raw());
+                }
+                Insn::RArrayAlloc(sid) => {
+                    let n = self.stack.pop().expect("count") as i32;
+                    if n < 0 {
+                        trap!(frames, "negative array allocation count");
+                    }
+                    let r = self.pop_live_region(&frames)?;
+                    let a = self.runtime.rarrayalloc(r, n as u32, self.descs[sid as usize]);
+                    self.stack.push(a.raw());
+                }
+                Insn::RStrAlloc => {
+                    let n = self.stack.pop().expect("count") as i32;
+                    if n <= 0 {
+                        trap!(frames, "rstralloc of a non-positive size");
+                    }
+                    let r = self.pop_live_region(&frames)?;
+                    let a = self.runtime.rstralloc(r, (n as u32) * 4);
+                    self.stack.push(a.raw());
+                }
+                Insn::DupToRtmp { depth, slot } => {
+                    let v = self.stack[self.stack.len() - 1 - depth as usize];
+                    self.runtime.set_local(u32::from(slot), Addr::new(v));
+                }
+                Insn::ClearRtmp(slot) => {
+                    self.runtime.set_local(u32::from(slot), Addr::NULL);
+                }
+                Insn::Print => {
+                    let v = self.stack.pop().expect("value") as i32;
+                    self.output.push(v);
+                }
+            }
+        }
+    }
+
+    fn pop_live_region(&mut self, frames: &[Frame]) -> Result<RegionId, VmError> {
+        let h = self.stack.pop().expect("region");
+        let trap = |msg: &str| {
+            let f = frames.last().expect("frame");
+            let fun = &self.program.funcs[f.func];
+            let line = fun.lines.get(f.pc.saturating_sub(1)).copied().unwrap_or(0);
+            Err(VmError { message: msg.into(), func: fun.name.clone(), line })
+        };
+        if h == 0 {
+            return trap("allocation in the null region");
+        }
+        let r = RegionId::from_index(h - 1);
+        if !self.runtime.is_live(r) {
+            return trap("allocation in a deleted region");
+        }
+        Ok(r)
+    }
+}

@@ -1,0 +1,598 @@
+//! End-to-end C@ programs exercising the paper's semantics: safe
+//! deletion, stale pointers, cleanup, the unsafe mode, and the cost
+//! counters.
+
+use cq_lang::{compile, Vm, VmError};
+use region_core::SafetyMode;
+
+fn run(src: &str) -> Vm {
+    let program = compile(src).expect("program compiles");
+    let mut vm = Vm::new(program, SafetyMode::Safe);
+    vm.run().expect("program runs");
+    vm
+}
+
+fn run_unsafe(src: &str) -> Vm {
+    let program = compile(src).expect("program compiles");
+    let mut vm = Vm::new(program, SafetyMode::Unsafe);
+    vm.run().expect("program runs");
+    vm
+}
+
+fn trap(src: &str) -> VmError {
+    let program = compile(src).expect("program compiles");
+    let mut vm = Vm::new(program, SafetyMode::Safe);
+    vm.run().expect_err("program traps")
+}
+
+#[test]
+fn figure1_allocation_loop() {
+    // The paper's Figure 1: ten growing int arrays, freed all at once.
+    let vm = run(r#"
+        void work(int i, int@ x) { x[i] = i; }
+        void main() {
+            Region r = newregion();
+            int i = 0;
+            while (i < 10) {
+                int@ x = rstralloc(r, i + 1);
+                work(i, x);
+                i = i + 1;
+            }
+            x_check(r);
+            print(deleteregion(r));
+        }
+        void x_check(Region r) { }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+    assert_eq!(vm.runtime().stats().total_allocs, 10);
+    assert_eq!(vm.runtime().stats().live_regions, 0);
+}
+
+#[test]
+fn figure3_list_copy_with_temporary_region() {
+    // work() copies a list into a temporary region, uses it, deletes it.
+    let vm = run(r#"
+        struct list { int i; list@ next; };
+        list@ cons(Region r, int x, list@ l) {
+            list@ p = ralloc(r, list);
+            p.i = x;
+            p.next = l;
+            return p;
+        }
+        list@ copy_list(Region r, list@ l) {
+            if (l == null) return null;
+            return cons(r, l.i, copy_list(r, l.next));
+        }
+        int sum(list@ l) {
+            if (l == null) return 0;
+            return l.i + sum(l.next);
+        }
+        void main() {
+            Region r = newregion();
+            list@ l = cons(r, 3, cons(r, 2, cons(r, 1, null)));
+            Region tmp = newregion();
+            list@ c = copy_list(tmp, l);
+            print(sum(c));
+            c = null;
+            print(deleteregion(tmp));
+            print(sum(l));
+        }
+    "#);
+    assert_eq!(vm.output(), &[6, 1, 6]);
+}
+
+#[test]
+fn delete_fails_while_stack_reference_lives() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region r = newregion();
+            node@ p = ralloc(r, node);
+            print(deleteregion(r));  // 0: p is live on the stack
+            p = null;
+            print(deleteregion(r));  // 1
+        }
+    "#);
+    assert_eq!(vm.output(), &[0, 1]);
+    assert_eq!(vm.runtime().costs().deletes_failed, 1);
+}
+
+#[test]
+fn delete_fails_while_global_reference_lives_mudlle_style() {
+    // The paper had to clear stale globals in mudlle to let regions die.
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        global node@ stale;
+        void main() {
+            Region r = newregion();
+            stale = ralloc(r, node);
+            print(deleteregion(r));  // 0: global points in
+            stale = null;            // "clear some global variables with stale pointers"
+            print(deleteregion(r));  // 1
+        }
+    "#);
+    assert_eq!(vm.output(), &[0, 1]);
+}
+
+#[test]
+fn cross_region_references_block_until_source_dies() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region a = newregion();
+            Region b = newregion();
+            node@ pa = ralloc(a, node);
+            node@ pb = ralloc(b, node);
+            pa.next = pb;             // a -> b
+            pa = null;
+            pb = null;
+            print(deleteregion(b));   // 0: referenced from region a
+            print(deleteregion(a));   // 1: cleanup releases the count
+            print(deleteregion(b));   // 1: now free
+        }
+    "#);
+    assert_eq!(vm.output(), &[0, 1, 1]);
+}
+
+#[test]
+fn same_region_cycles_are_collected() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region r = newregion();
+            node@ a = ralloc(r, node);
+            node@ b = ralloc(r, node);
+            a.next = b;
+            b.next = a;              // cycle within r: not counted
+            a = null;
+            b = null;
+            print(deleteregion(r));
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+}
+
+#[test]
+fn deleteregion_nulls_its_argument() {
+    // Paper: "On success, *x is set to NULL". Using the region afterwards
+    // traps as a *null region*, not as a dangling one.
+    let err = trap(r#"
+        struct node { int v; };
+        void main() {
+            Region r = newregion();
+            deleteregion(r);
+            node@ p = ralloc(r, node);
+        }
+    "#);
+    assert!(err.message.contains("null region"), "got: {err}");
+}
+
+#[test]
+fn null_dereference_traps() {
+    let err = trap(r#"
+        struct node { int v; };
+        void main() {
+            node@ p = null;
+            print(p.v);
+        }
+    "#);
+    assert!(err.message.contains("null pointer"));
+    assert_eq!(err.func, "main");
+}
+
+#[test]
+fn division_by_zero_traps() {
+    let err = trap("void main() { int x = 0; print(7 / x); }");
+    assert!(err.message.contains("division by zero"));
+}
+
+#[test]
+fn infinite_loop_runs_out_of_fuel() {
+    let program = compile("void main() { while (1) { } }").unwrap();
+    let mut vm = Vm::new(program, SafetyMode::Safe);
+    vm.set_fuel(100_000);
+    let err = vm.run().unwrap_err();
+    assert!(err.message.contains("budget"));
+}
+
+#[test]
+fn unsafe_mode_deletes_unconditionally() {
+    let vm = run_unsafe(r#"
+        struct node { int v; node@ next; };
+        global node@ stale;
+        void main() {
+            Region r = newregion();
+            stale = ralloc(r, node);
+            print(deleteregion(r));  // 1 even with a live global reference!
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+    assert_eq!(vm.runtime().costs().total_instrs(), 0, "no safety work in unsafe mode");
+}
+
+#[test]
+fn safety_cost_counters_reflect_barrier_mix() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        global node@ head;
+        void main() {
+            Region r = newregion();
+            int i = 0;
+            while (i < 10) {
+                node@ n = ralloc(r, node);
+                n.next = head;       // region write (23 instrs each)
+                head = n;            // global write (16 instrs each)
+                i = i + 1;
+            }
+            head = null;
+            print(deleteregion(r));
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+    let costs = vm.runtime().costs();
+    assert_eq!(costs.barriers_region, 10);
+    assert_eq!(costs.barriers_global, 11); // 10 stores + the final clear
+    assert_eq!(costs.barrier_instrs, 10 * 23 + 11 * 16);
+    assert!(costs.cleanup_objects >= 10, "cleanup walked the nodes");
+}
+
+#[test]
+fn struct_arrays_with_address_arithmetic() {
+    let vm = run(r#"
+        struct pair { int a; int b; };
+        void main() {
+            Region r = newregion();
+            pair@ arr = rarrayalloc(r, 5, pair);
+            int i = 0;
+            while (i < 5) {
+                arr[i].a = i;
+                arr[i].b = i * i;
+                i = i + 1;
+            }
+            print(arr[4].a + arr[4].b);
+            print(deleteregion(r));   // fails: arr is live
+            arr = null;
+            print(deleteregion(r));
+        }
+    "#);
+    assert_eq!(vm.output(), &[20, 0, 1]);
+}
+
+#[test]
+fn int_arrays_work_and_are_pointer_free() {
+    let vm = run(r#"
+        void main() {
+            Region r = newregion();
+            int@ a = rstralloc(r, 100);
+            int i = 0;
+            while (i < 100) { a[i] = i * 3; i = i + 1; }
+            int sum = 0;
+            i = 0;
+            while (i < 100) { sum = sum + a[i]; i = i + 1; }
+            print(sum);
+        }
+    "#);
+    assert_eq!(vm.output(), &[3 * 99 * 100 / 2]);
+    // rstralloc data is pointer-free: the cleanup scan must not have
+    // walked any objects for it.
+    assert_eq!(run("void main() { Region r = newregion(); int@ a = rstralloc(r, 8); a = null; print(deleteregion(r)); }")
+        .runtime().costs().cleanup_objects, 0);
+}
+
+#[test]
+fn regionof_identifies_owning_region() {
+    let vm = run(r#"
+        struct node { int v; };
+        void main() {
+            Region a = newregion();
+            Region b = newregion();
+            node@ pa = ralloc(a, node);
+            node@ pb = ralloc(b, node);
+            print(regionof(pa) == a);
+            print(regionof(pb) == b);
+            print(regionof(pa) == regionof(pb));
+            print(regionof(pa) == regionof(cast<node@>(pa)));
+        }
+    "#);
+    assert_eq!(vm.output(), &[1, 1, 0, 1]);
+}
+
+#[test]
+fn unknown_barrier_through_cast_still_counts() {
+    // A region pointer laundered through a * pointer: the write through
+    // the * pointer is classified at runtime and still maintains counts,
+    // so safety is preserved.
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region a = newregion();
+            Region b = newregion();
+            node@ pa = ralloc(a, node);
+            node@ pb = ralloc(b, node);
+            node* np = cast<node*>(pa);
+            np.next = pb;             // runtime-classified write into region a
+            pa = null;
+            pb = null;
+            np = null;
+            print(deleteregion(b));   // 0! the laundered pointer still counts
+            print(deleteregion(a));
+            print(deleteregion(b));
+        }
+    "#);
+    assert_eq!(vm.output(), &[0, 1, 1]);
+    assert_eq!(vm.runtime().costs().barriers_unknown, 1);
+}
+
+#[test]
+fn global_struct_values_are_global_storage() {
+    let vm = run(r#"
+        struct holder { int v; holder@ link; };
+        global holder anchor;
+        void main() {
+            Region r = newregion();
+            holder* a = &anchor;
+            a.v = 99;
+            a.link = ralloc(r, holder);   // pointer FROM global storage
+            print(a.v);
+            print(deleteregion(r));       // 0
+            a.link = null;
+            print(deleteregion(r));       // 1
+        }
+    "#);
+    assert_eq!(vm.output(), &[99, 0, 1]);
+}
+
+#[test]
+fn pointer_live_across_call_survives_attempted_delete() {
+    // The callee tries to delete the region whose object the CALLER still
+    // holds on its evaluation stack (spilled to a shadow temp): deletion
+    // must fail, and the value must remain usable.
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        global Region g;
+        int try_delete() {
+            return deleteregion(g);
+        }
+        int second(node@ a, int x) { return a.v + x; }
+        void main() {
+            g = newregion();
+            node@ p = ralloc(g, node);
+            p.v = 40;
+            print(second(p, try_delete()));  // p spilled across try_delete()
+            p = null;
+            print(try_delete());
+        }
+    "#);
+    // try_delete returns 0 (p live), second returns 40 + 0.
+    assert_eq!(vm.output(), &[40, 1]);
+    assert!(vm.runtime().costs().deletes_failed >= 1);
+}
+
+#[test]
+fn deep_recursion_scans_all_frames() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        global Region g;
+        int deep(int n, node@ carried) {
+            if (n == 0) {
+                return deleteregion(g);   // every frame above holds `carried`
+            }
+            return deep(n - 1, carried);
+        }
+        void main() {
+            g = newregion();
+            node@ p = ralloc(g, node);
+            print(deep(50, p));   // 0: fifty frames hold the pointer
+            p = null;
+            print(deep(50, null));
+        }
+    "#);
+    assert_eq!(vm.output(), &[0, 1]);
+    let costs = vm.runtime().costs();
+    assert!(costs.frames_scanned > 50, "the scan walked the recursion");
+    assert!(costs.frames_unscanned > 50, "returns unscanned the scanned frames");
+}
+
+#[test]
+fn allocation_stats_shape_matches_table2() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            int outer = 0;
+            while (outer < 8) {
+                Region r = newregion();
+                int i = 0;
+                while (i < 20) {
+                    node@ n = ralloc(r, node);
+                    i = i + 1;
+                }
+                deleteregion(r);
+                outer = outer + 1;
+            }
+        }
+    "#);
+    let stats = vm.runtime().stats();
+    assert_eq!(stats.total_regions, 8);
+    assert_eq!(stats.max_live_regions, 1);
+    assert_eq!(stats.total_allocs, 160);
+    assert_eq!(stats.live_regions, 0);
+    assert!((stats.avg_allocs_per_region() - 20.0).abs() < 1e-9);
+}
+
+#[test]
+fn output_identical_between_safe_and_unsafe_modes() {
+    // A program with no failed deletions behaves identically in both
+    // modes — the paper's safe/unsafe comparison depends on this.
+    let src = r#"
+        struct list { int i; list@ next; };
+        list@ cons(Region r, int x, list@ l) {
+            list@ p = ralloc(r, list);
+            p.i = x;
+            p.next = l;
+            return p;
+        }
+        void main() {
+            int round = 0;
+            while (round < 5) {
+                Region r = newregion();
+                list@ l = null;
+                int i = 0;
+                while (i < 30) { l = cons(r, i, l); i = i + 1; }
+                int sum = 0;
+                while (l != null) { sum = sum + l.i; l = l.next; }
+                print(sum);
+                deleteregion(r);
+                round = round + 1;
+            }
+        }
+    "#;
+    let safe = run(src);
+    let unsafe_vm = run_unsafe(src);
+    assert_eq!(safe.output(), unsafe_vm.output());
+    assert!(safe.runtime().costs().total_instrs() > 0);
+    assert_eq!(unsafe_vm.runtime().costs().total_instrs(), 0);
+    // Unsafe regions carry no per-object headers, so they use fewer pages.
+    assert!(unsafe_vm.runtime().data_pages() <= safe.runtime().data_pages());
+}
+
+#[test]
+fn break_and_continue_work() {
+    let vm = run(r#"
+        void main() {
+            int i = 0;
+            int sum = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) break;
+                if (i % 2 == 0) continue;
+                sum = sum + i;     // odd numbers 1..9
+            }
+            print(sum);
+            print(i);
+        }
+    "#);
+    assert_eq!(vm.output(), &[25, 11]);
+}
+
+#[test]
+fn break_clears_loop_scoped_region_pointers() {
+    // A pointer declared inside the loop body must not survive the break
+    // as a stale shadow slot — or the delete would fail.
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region r = newregion();
+            int i = 0;
+            while (i < 100) {
+                node@ scratch = ralloc(r, node);
+                scratch.v = i;
+                if (i == 5) break;   // jumps out with `scratch` in scope
+                i = i + 1;
+            }
+            print(deleteregion(r)); // must be 1: break cleared `scratch`
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+}
+
+#[test]
+fn continue_clears_loop_scoped_region_pointers() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            int round = 0;
+            while (round < 5) {
+                Region r = newregion();
+                node@ p = ralloc(r, node);
+                round = round + 1;
+                if (deleteregion(r) == 0) {
+                    print(0 - 1);   // would mean p blocked the delete
+                    continue;
+                }
+                print(round);
+            }
+        }
+    "#);
+    // deleteregion is called while p is live → always 0 → -1 five times?
+    // No: p is in scope at the delete, so the first print is -1 … the
+    // test actually asserts the scan sees p:
+    assert_eq!(vm.output(), &[-1, -1, -1, -1, -1]);
+}
+
+#[test]
+fn break_outside_loop_is_an_error() {
+    let err = cq_lang::compile("void main() { break; }").unwrap_err();
+    assert!(err.message.contains("outside a loop"));
+    let err = cq_lang::compile("void main() { continue; }").unwrap_err();
+    assert!(err.message.contains("outside a loop"));
+}
+
+#[test]
+fn for_loops_work() {
+    let vm = run(r#"
+        void main() {
+            int sum = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                sum = sum + i;
+            }
+            print(sum);
+            // init may also be an assignment; bodies may be single stmts.
+            int j = 0;
+            for (j = 10; j > 0; j = j - 2) sum = sum + 1;
+            print(sum);
+        }
+    "#);
+    assert_eq!(vm.output(), &[45, 50]);
+}
+
+#[test]
+fn continue_in_for_runs_the_step() {
+    // The classic desugaring bug: continue must execute the step, or the
+    // loop never advances.
+    let vm = run(r#"
+        void main() {
+            int sum = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                if (i % 2 == 0) continue;
+                sum = sum + i;   // 1+3+5+7+9
+            }
+            print(sum);
+        }
+    "#);
+    assert_eq!(vm.output(), &[25]);
+}
+
+#[test]
+fn break_in_for_exits_and_clears_pointers() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        void main() {
+            Region r = newregion();
+            for (int i = 0; i < 100; i = i + 1) {
+                node@ scratch = ralloc(r, node);
+                scratch.v = i;
+                if (i == 7) break;
+            }
+            print(deleteregion(r));  // scratch must not linger
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+}
+
+#[test]
+fn for_scoped_region_pointer_is_cleared_after_the_loop() {
+    let vm = run(r#"
+        struct node { int v; node@ next; };
+        node@ first(Region r) { return ralloc(r, node); }
+        void main() {
+            Region r = newregion();
+            // The loop variable's scope ends with the loop; a region
+            // pointer declared in the init clause must not outlive it.
+            for (node@ p = first(r); p != null; p = p.next) {
+                p.v = 1;
+            }
+            print(deleteregion(r));
+        }
+    "#);
+    assert_eq!(vm.output(), &[1]);
+}

@@ -1,0 +1,111 @@
+//! Robustness: the C@ compiler must reject garbage gracefully (errors,
+//! never panics), and compiled programs must stay memory-safe under the
+//! VM's traps.
+
+use cq_lang::{compile, Vm};
+use proptest::prelude::*;
+use region_core::SafetyMode;
+
+// Random byte soup: the compiler returns an error or a program, and
+// never panics.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compiler_never_panics_on_ascii_soup(src in "[ -~\\n]{0,200}") {
+        let _ = compile(&src);
+    }
+
+    /// Structured soup biased toward C@ tokens — more likely to get deep
+    /// into the parser and type checker.
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("struct"), Just("int"), Just("Region"), Just("void"),
+                Just("if"), Just("else"), Just("while"), Just("return"),
+                Just("null"), Just("print"), Just("newregion()"),
+                Just("deleteregion"), Just("ralloc"), Just("rstralloc"),
+                Just("cast"), Just("@"), Just("*"), Just("&"), Just("("),
+                Just(")"), Just("{"), Just("}"), Just(";"), Just(","),
+                Just("="), Just("=="), Just("+"), Just("x"), Just("main"),
+                Just("list"), Just("7"), Just("->"), Just("."), Just("["),
+                Just("]"), Just("<"), Just(">"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = compile(&src);
+    }
+
+    /// Well-formed arithmetic main()s: compile, run, and match a host
+    /// evaluation of the same expression.
+    #[test]
+    fn arithmetic_matches_host(a in -1000i32..1000, b in -1000i32..1000, c in 1i32..100) {
+        let src = format!(
+            "void main() {{ print(({a} + {b}) * 3 - {b} / {c}); print(({a} < {b}) + ({a} == {a})); }}"
+        );
+        let p = compile(&src).unwrap();
+        let mut vm = Vm::new(p, SafetyMode::Safe);
+        vm.run().unwrap();
+        let expected0 = (a.wrapping_add(b)).wrapping_mul(3).wrapping_sub(b.wrapping_div(c));
+        let expected1 = i32::from(a < b) + 1;
+        prop_assert_eq!(vm.output(), &[expected0, expected1]);
+    }
+}
+
+/// Every trap keeps the simulated heap intact: after a trap we can still
+/// inspect runtime statistics without panicking.
+#[test]
+fn traps_leave_the_vm_inspectable() {
+    let cases = [
+        ("void main() { int x = 0; print(1 / x); }", "division"),
+        ("struct s { int v; }; void main() { s@ p = null; print(p.v); }", "null pointer"),
+        (
+            "void main() { Region r = newregion(); deleteregion(r); int@ a = rstralloc(r, 4); }",
+            "null region",
+        ),
+        ("void main() { Region r = newregion(); int@ a = rstralloc(r, 0 - 4); }", "non-positive"),
+    ];
+    for (src, needle) in cases {
+        let p = compile(src).unwrap();
+        let mut vm = Vm::new(p, SafetyMode::Safe);
+        let err = vm.run().unwrap_err();
+        assert!(err.message.contains(needle), "{src}: got {err}");
+        // Post-trap introspection works.
+        let _ = vm.runtime().stats();
+        let _ = vm.instructions();
+    }
+}
+
+/// Deep-but-bounded recursion works; unbounded recursion exhausts the
+/// shadow stack with a clean trap, not a host stack overflow.
+#[test]
+fn runaway_recursion_traps_cleanly() {
+    let p = compile(
+        r#"
+        struct s { int v; s@ p; };
+        int down(Region r, int n, s@ x) {
+            s@ y = ralloc(r, s);
+            return down(r, n + 1, y);
+        }
+        void main() {
+            Region r = newregion();
+            int x = down(r, 0, null);
+        }
+    "#,
+    )
+    .unwrap();
+    let mut vm = Vm::new(p, SafetyMode::Safe);
+    vm.set_fuel(50_000_000);
+    let err = vm.run().unwrap_err();
+    // Either the shadow stack or the region heap gives out first — both
+    // are in-simulation failures, not host crashes.
+    assert!(
+        err.message.contains("budget")
+            || err.message.contains("stack")
+            || err.message.contains("memory"),
+        "got: {err}"
+    );
+}

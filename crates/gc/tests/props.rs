@@ -1,0 +1,146 @@
+//! Property test: collection preserves *exactly* the reachable set.
+//!
+//! Non-pointer words are kept below 4096 (the guard page), so they can
+//! never alias a heap address — making the conservative collector's
+//! behaviour exact and model-checkable.
+
+use conservative_gc::BoehmGc;
+use malloc_suite::RawMalloc;
+use proptest::prelude::*;
+use simheap::{Addr, SimHeap};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate an object with `links` pointer slots.
+    Alloc { links: usize },
+    /// obj[a].slot[s] = obj[b]
+    Link { a: usize, s: usize, b: usize },
+    /// obj[a].slot[s] = null
+    Unlink { a: usize, s: usize },
+    /// root slot r = obj[a]
+    Root { r: usize, a: usize },
+    /// root slot r = null
+    Unroot { r: usize },
+    Collect,
+}
+
+const NROOTS: usize = 4;
+const MAX_LINKS: usize = 3;
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..=MAX_LINKS).prop_map(|links| Op::Alloc { links }),
+            4 => (any::<usize>(), 0..MAX_LINKS, any::<usize>())
+                .prop_map(|(a, s, b)| Op::Link { a, s, b }),
+            2 => (any::<usize>(), 0..MAX_LINKS).prop_map(|(a, s)| Op::Unlink { a, s }),
+            3 => (0..NROOTS, any::<usize>()).prop_map(|(r, a)| Op::Root { r, a }),
+            1 => (0..NROOTS).prop_map(|r| Op::Unroot { r }),
+            2 => Just(Op::Collect),
+        ],
+        1..100,
+    )
+}
+
+/// Host-side mirror of the object graph.
+struct Graph {
+    /// (address, link slots) per object, in allocation order.
+    objects: Vec<(Addr, Vec<Option<usize>>)>,
+    roots: [Option<usize>; NROOTS],
+}
+
+impl Graph {
+    fn reachable(&self) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut work: Vec<usize> = self.roots.iter().flatten().copied().collect();
+        while let Some(i) = work.pop() {
+            if seen.insert(i) {
+                work.extend(self.objects[i].1.iter().flatten().copied());
+            }
+        }
+        seen
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collection_preserves_exactly_the_reachable_set(ops in ops()) {
+        let mut heap = SimHeap::new();
+        let mut gc = BoehmGc::new(&mut heap);
+        gc.push_roots(&mut heap, NROOTS as u32);
+        let mut g = Graph { objects: Vec::new(), roots: [None; NROOTS] };
+        // Addresses get recycled after a sweep: remember which model
+        // object currently owns each address.
+        let mut owner: HashMap<u32, usize> = HashMap::new();
+
+        // Object layout: MAX_LINKS pointer words then one tag word whose
+        // value is `index * 8 + 1` (< 4096, so never address-like).
+        for op in ops {
+            match op {
+                Op::Alloc { links } => {
+                    if g.objects.len() >= 500 { continue; }
+                    let a = gc.malloc(&mut heap, (MAX_LINKS as u32 + 1) * 4);
+                    heap.store_u32(a + MAX_LINKS as u32 * 4, (g.objects.len() as u32 % 500) * 8 + 1);
+                    g.objects.push((a, vec![None; links.max(1)]));
+                    owner.insert(a.raw(), g.objects.len() - 1);
+                    // Freshly allocated but unrooted: root it in slot 0 so
+                    // it is not immediately collectable garbage unless the
+                    // sequence overwrites the root.
+                    gc.set_root(&mut heap, 0, a);
+                    g.roots[0] = Some(g.objects.len() - 1);
+                }
+                Op::Link { a, s, b } => {
+                    let reach = g.reachable();
+                    if reach.is_empty() { continue; }
+                    let live: Vec<usize> = reach.into_iter().collect();
+                    let ai = live[a % live.len()];
+                    let bi = live[b % live.len()];
+                    let slots = g.objects[ai].1.len();
+                    let s = s % slots;
+                    heap.store_addr(g.objects[ai].0 + (s as u32) * 4, g.objects[bi].0);
+                    g.objects[ai].1[s] = Some(bi);
+                }
+                Op::Unlink { a, s } => {
+                    let reach: Vec<usize> = g.reachable().into_iter().collect();
+                    if reach.is_empty() { continue; }
+                    let ai = reach[a % reach.len()];
+                    let s = s % g.objects[ai].1.len();
+                    heap.store_addr(g.objects[ai].0 + (s as u32) * 4, Addr::NULL);
+                    g.objects[ai].1[s] = None;
+                }
+                Op::Root { r, a } => {
+                    let reach: Vec<usize> = g.reachable().into_iter().collect();
+                    if reach.is_empty() { continue; }
+                    let ai = reach[a % reach.len()];
+                    gc.set_root(&mut heap, r as u32, g.objects[ai].0);
+                    g.roots[r] = Some(ai);
+                }
+                Op::Unroot { r } => {
+                    gc.set_root(&mut heap, r as u32, Addr::NULL);
+                    g.roots[r] = None;
+                }
+                Op::Collect => {
+                    gc.collect(&mut heap);
+                    let reach = g.reachable();
+                    for (&addr, &i) in &owner {
+                        prop_assert_eq!(
+                            gc.is_allocated(Addr::new(addr)),
+                            reach.contains(&i),
+                            "object {} (addr {:#x}) wrong liveness after collect", i, addr
+                        );
+                    }
+                }
+            }
+        }
+
+        // Final: unroot everything and collect twice → empty heap.
+        for r in 0..NROOTS {
+            gc.set_root(&mut heap, r as u32, Addr::NULL);
+        }
+        gc.collect(&mut heap);
+        prop_assert_eq!(gc.stats().live_bytes, 0);
+    }
+}

@@ -1,0 +1,493 @@
+//! The simulated process heap.
+
+use crate::addr::{Addr, PAGE_SIZE, WORD};
+use crate::trace::{Access, AccessSink};
+
+/// Configuration for a [`SimHeap`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Maximum size of the simulated address space in bytes. Growing past
+    /// this limit panics (simulated out-of-memory); it exists to catch
+    /// runaway allocation in buggy clients. Defaults to 512 MB.
+    pub max_bytes: u64,
+}
+
+impl Default for HeapConfig {
+    fn default() -> HeapConfig {
+        HeapConfig { max_bytes: 512 << 20 }
+    }
+}
+
+/// A simulated 32-bit address space growing upward in 4 KB pages.
+///
+/// Page 0 is a permanently unmapped guard page, so [`Addr::NULL`] (and any
+/// address below [`PAGE_SIZE`]) can never be dereferenced; doing so panics,
+/// which is this simulator's analogue of a segmentation fault.
+///
+/// The heap records the high-water mark of its break, which the benchmark
+/// harness reports as "memory requested from the OS" (paper Figure 8).
+///
+/// # Example
+///
+/// ```
+/// use simheap::SimHeap;
+/// let mut heap = SimHeap::new();
+/// let block = heap.sbrk(100);            // rounded up to one page
+/// heap.store_u32(block, 7);
+/// assert_eq!(heap.load_u32(block), 7);
+/// ```
+pub struct SimHeap {
+    memory: Vec<u8>,
+    config: HeapConfig,
+    sink: Option<Box<dyn AccessSink>>,
+    tracing: bool,
+    loads: u64,
+    stores: u64,
+}
+
+impl std::fmt::Debug for SimHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHeap")
+            .field("brk", &self.brk())
+            .field("tracing", &self.tracing)
+            .field("loads", &self.loads)
+            .field("stores", &self.stores)
+            .finish()
+    }
+}
+
+impl Default for SimHeap {
+    fn default() -> SimHeap {
+        SimHeap::new()
+    }
+}
+
+impl SimHeap {
+    /// Creates an empty heap containing only the unmapped guard page.
+    pub fn new() -> SimHeap {
+        SimHeap::with_config(HeapConfig::default())
+    }
+
+    /// Creates an empty heap with the given configuration.
+    pub fn with_config(config: HeapConfig) -> SimHeap {
+        SimHeap {
+            memory: vec![0u8; PAGE_SIZE as usize], // guard page
+            config,
+            sink: None,
+            tracing: false,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Current program break (one past the last mapped byte).
+    pub fn brk(&self) -> Addr {
+        Addr::new(self.memory.len() as u32)
+    }
+
+    /// Total bytes obtained from the simulated OS, including the guard page.
+    ///
+    /// The break never moves down, so this is also the footprint high-water
+    /// mark — the quantity plotted in the paper's Figure 8.
+    pub fn os_bytes(&self) -> u64 {
+        self.memory.len() as u64
+    }
+
+    /// Extends the heap by `pages` pages and returns the address of the
+    /// first new page. The new memory is zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured address-space limit would be exceeded.
+    pub fn sbrk_pages(&mut self, pages: u32) -> Addr {
+        let old = self.brk();
+        let new_len = self.memory.len() as u64 + u64::from(pages) * u64::from(PAGE_SIZE);
+        assert!(
+            new_len <= self.config.max_bytes && new_len <= u64::from(u32::MAX),
+            "simulated out of memory: requested {} bytes (limit {})",
+            new_len,
+            self.config.max_bytes
+        );
+        self.memory.resize(new_len as usize, 0);
+        old
+    }
+
+    /// Extends the heap by at least `bytes` bytes (rounded up to whole
+    /// pages) and returns the address of the first new byte.
+    pub fn sbrk(&mut self, bytes: u32) -> Addr {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.sbrk_pages(pages)
+    }
+
+    /// Number of loads performed since construction.
+    pub fn load_count(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of stores performed since construction.
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// Attaches an access sink; subsequent loads/stores are forwarded to it.
+    /// Replaces (and drops) any previously attached sink.
+    pub fn attach_sink(&mut self, sink: Box<dyn AccessSink>) {
+        self.sink = Some(sink);
+        self.tracing = true;
+    }
+
+    /// Detaches and returns the current access sink, if any.
+    pub fn detach_sink(&mut self) -> Option<Box<dyn AccessSink>> {
+        self.tracing = false;
+        self.sink.take()
+    }
+
+    /// Runs `f` with the attached sink downcast-free: sinks are trait
+    /// objects, so callers that need results back should use a sink type
+    /// they own and recover it with [`SimHeap::detach_sink`].
+    fn emit(&mut self, access: Access) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.access(access);
+        }
+    }
+
+    #[inline]
+    fn check(&self, addr: Addr, size: u32, align: u32, what: &str) {
+        assert!(
+            addr.raw() >= PAGE_SIZE,
+            "simulated segfault: {what} of {size} bytes at {addr} (null/guard page)"
+        );
+        assert!(
+            (addr.raw() as u64 + u64::from(size)) <= self.memory.len() as u64,
+            "simulated segfault: {what} of {size} bytes at {addr} past break {}",
+            self.brk()
+        );
+        assert!(
+            addr.is_aligned(align),
+            "simulated bus error: misaligned {what} of {size} bytes at {addr}"
+        );
+    }
+
+    /// Loads a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped or misaligned addresses (simulated SIGSEGV /
+    /// SIGBUS) — these always indicate a bug in the client allocator or VM.
+    #[inline]
+    pub fn load_u32(&mut self, addr: Addr) -> u32 {
+        self.check(addr, WORD, WORD, "load");
+        self.loads += 1;
+        if self.tracing {
+            self.emit(Access::read(addr.raw(), 4));
+        }
+        let i = addr.raw() as usize;
+        u32::from_le_bytes([self.memory[i], self.memory[i + 1], self.memory[i + 2], self.memory[i + 3]])
+    }
+
+    /// Stores a 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped or misaligned addresses.
+    #[inline]
+    pub fn store_u32(&mut self, addr: Addr, value: u32) {
+        self.check(addr, WORD, WORD, "store");
+        self.stores += 1;
+        if self.tracing {
+            self.emit(Access::write(addr.raw(), 4));
+        }
+        let i = addr.raw() as usize;
+        self.memory[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Loads a byte.
+    #[inline]
+    pub fn load_u8(&mut self, addr: Addr) -> u8 {
+        self.check(addr, 1, 1, "load");
+        self.loads += 1;
+        if self.tracing {
+            self.emit(Access::read(addr.raw(), 1));
+        }
+        self.memory[addr.raw() as usize]
+    }
+
+    /// Stores a byte.
+    #[inline]
+    pub fn store_u8(&mut self, addr: Addr, value: u8) {
+        self.check(addr, 1, 1, "store");
+        self.stores += 1;
+        if self.tracing {
+            self.emit(Access::write(addr.raw(), 1));
+        }
+        self.memory[addr.raw() as usize] = value;
+    }
+
+    /// Loads an address-sized value and interprets it as an address.
+    #[inline]
+    pub fn load_addr(&mut self, addr: Addr) -> Addr {
+        Addr::new(self.load_u32(addr))
+    }
+
+    /// Stores an address.
+    #[inline]
+    pub fn store_addr(&mut self, addr: Addr, value: Addr) {
+        self.store_u32(addr, value.raw());
+    }
+
+    /// Fills `len` bytes starting at `addr` with `byte`, word-at-a-time
+    /// where possible (each touched word counts as one store, matching the
+    /// cost of a real `memset`).
+    pub fn fill(&mut self, addr: Addr, len: u32, byte: u8) {
+        if len == 0 {
+            return;
+        }
+        self.check(addr, len, 1, "fill");
+        let mut cur = addr;
+        let end = addr + len;
+        let word = u32::from_le_bytes([byte; 4]);
+        while !cur.is_aligned(WORD) && cur < end {
+            self.store_u8(cur, byte);
+            cur = cur + 1;
+        }
+        while cur + WORD <= end {
+            self.store_u32(cur, word);
+            cur = cur + WORD;
+        }
+        while cur < end {
+            self.store_u8(cur, byte);
+            cur = cur + 1;
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (non-overlapping or
+    /// `dst <= src`), word-at-a-time where aligned.
+    pub fn copy(&mut self, dst: Addr, src: Addr, len: u32) {
+        if len == 0 {
+            return;
+        }
+        self.check(src, len, 1, "copy-load");
+        self.check(dst, len, 1, "copy-store");
+        if dst.is_aligned(WORD) && src.is_aligned(WORD) {
+            let words = len / WORD;
+            for w in 0..words {
+                let v = self.load_u32(src + w * WORD);
+                self.store_u32(dst + w * WORD, v);
+            }
+            for b in (words * WORD)..len {
+                let v = self.load_u8(src + b);
+                self.store_u8(dst + b, v);
+            }
+        } else {
+            for b in 0..len {
+                let v = self.load_u8(src + b);
+                self.store_u8(dst + b, v);
+            }
+        }
+    }
+
+    /// Reads `len` bytes into a host `Vec` without counting simulated
+    /// accesses. Intended for test assertions and I/O boundaries (e.g.
+    /// printing a simulated string), not for simulated computation.
+    pub fn snapshot(&self, addr: Addr, len: u32) -> Vec<u8> {
+        let i = addr.raw() as usize;
+        assert!(i + len as usize <= self.memory.len(), "snapshot out of range");
+        self.memory[i..i + len as usize].to_vec()
+    }
+
+    /// Writes host bytes into the heap without counting simulated accesses.
+    /// Intended for loading test fixtures / program inputs.
+    pub fn load_bytes_untraced(&mut self, addr: Addr, bytes: &[u8]) {
+        let i = addr.raw() as usize;
+        assert!(i >= PAGE_SIZE as usize && i + bytes.len() <= self.memory.len(), "write out of range");
+        self.memory[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Peeks a word without counting a simulated access (for debuggers,
+    /// validators and conservative scans that model their cost separately).
+    pub fn peek_u32(&self, addr: Addr) -> u32 {
+        assert!(addr.is_aligned(WORD), "misaligned peek at {addr}");
+        let i = addr.raw() as usize;
+        assert!(i + 4 <= self.memory.len(), "peek out of range at {addr}");
+        u32::from_le_bytes([self.memory[i], self.memory[i + 1], self.memory[i + 2], self.memory[i + 3]])
+    }
+
+    /// Returns `true` if `addr` lies in mapped, non-guard memory.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        addr.raw() >= PAGE_SIZE && (addr.raw() as usize) < self.memory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, RecordingSink};
+
+    #[test]
+    fn new_heap_has_only_guard_page() {
+        let heap = SimHeap::new();
+        assert_eq!(heap.os_bytes(), u64::from(PAGE_SIZE));
+        assert_eq!(heap.brk(), Addr::new(PAGE_SIZE));
+    }
+
+    #[test]
+    fn sbrk_returns_old_break_and_zeroes() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(2);
+        assert_eq!(a, Addr::new(PAGE_SIZE));
+        assert_eq!(heap.os_bytes(), u64::from(PAGE_SIZE) * 3);
+        assert_eq!(heap.load_u32(a), 0);
+        assert_eq!(heap.load_u32(a + 2 * PAGE_SIZE - WORD), 0);
+    }
+
+    #[test]
+    fn sbrk_bytes_rounds_to_pages() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk(1);
+        assert_eq!(heap.brk() - a, PAGE_SIZE);
+        let b = heap.sbrk(PAGE_SIZE + 1);
+        assert_eq!(heap.brk() - b, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32(a + 8, 0x1234_5678);
+        assert_eq!(heap.load_u32(a + 8), 0x1234_5678);
+        heap.store_u8(a + 3, 0xAB);
+        assert_eq!(heap.load_u8(a + 3), 0xAB);
+        heap.store_addr(a, a + 8);
+        assert_eq!(heap.load_addr(a), a + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn null_deref_panics() {
+        let mut heap = SimHeap::new();
+        heap.sbrk_pages(1);
+        heap.load_u32(Addr::NULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn guard_page_deref_panics() {
+        let mut heap = SimHeap::new();
+        heap.sbrk_pages(1);
+        heap.load_u32(Addr::new(PAGE_SIZE - WORD));
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn past_brk_panics() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32(a + PAGE_SIZE, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated bus error")]
+    fn misaligned_word_panics() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.load_u32(a + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated out of memory")]
+    fn address_space_limit_enforced() {
+        let mut heap = SimHeap::with_config(HeapConfig { max_bytes: 8 * u64::from(PAGE_SIZE) });
+        heap.sbrk_pages(16);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.fill(a, 64, 0xCD);
+        assert_eq!(heap.load_u8(a + 63), 0xCD);
+        assert_eq!(heap.load_u32(a + 32), 0xCDCD_CDCD);
+        // Unaligned fill.
+        heap.fill(a + 1, 9, 0x11);
+        assert_eq!(heap.load_u8(a), 0xCD);
+        assert_eq!(heap.load_u8(a + 1), 0x11);
+        assert_eq!(heap.load_u8(a + 9), 0x11);
+        assert_eq!(heap.load_u8(a + 10), 0xCD);
+        heap.copy(a + 128, a, 16);
+        assert_eq!(heap.load_u8(a + 129), 0x11);
+    }
+
+    #[test]
+    fn copy_unaligned_falls_back_to_bytes() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        for i in 0..8 {
+            heap.store_u8(a + i, i as u8);
+        }
+        heap.copy(a + 17, a + 1, 6);
+        for i in 0..6u32 {
+            assert_eq!(heap.load_u8(a + 17 + i), (i + 1) as u8);
+        }
+    }
+
+    #[test]
+    fn counters_count() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        let (l0, s0) = (heap.load_count(), heap.store_count());
+        heap.store_u32(a, 1);
+        heap.load_u32(a);
+        heap.load_u8(a);
+        assert_eq!(heap.load_count() - l0, 2);
+        assert_eq!(heap.store_count() - s0, 1);
+    }
+
+    #[test]
+    fn sink_receives_accesses_in_order() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(RecordingSink::default()));
+        heap.store_u32(a, 5);
+        heap.load_u8(a + 1);
+        // detach and inspect — we know the concrete type we attached, but the
+        // API hands back a trait object; for tests use counting via a fresh
+        // recording pass instead of downcasting.
+        let _ = heap.detach_sink().expect("sink attached");
+        // after detaching, accesses are no longer forwarded (no panic, no effect)
+        heap.load_u32(a);
+    }
+
+    #[test]
+    fn counting_sink_through_heap() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(CountingSink::default()));
+        heap.store_u32(a, 1);
+        heap.load_u32(a);
+        heap.load_u32(a + 4);
+        assert!(heap.detach_sink().is_some());
+    }
+
+    #[test]
+    fn snapshot_and_untraced_write() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        let (l0, s0) = (heap.load_count(), heap.store_count());
+        heap.load_bytes_untraced(a, b"hello");
+        assert_eq!(heap.snapshot(a, 5), b"hello");
+        assert_eq!(heap.load_count(), l0);
+        assert_eq!(heap.store_count(), s0);
+        assert_eq!(heap.peek_u32(a), u32::from_le_bytes(*b"hell"));
+    }
+
+    #[test]
+    fn is_mapped_bounds() {
+        let mut heap = SimHeap::new();
+        assert!(!heap.is_mapped(Addr::NULL));
+        assert!(!heap.is_mapped(Addr::new(PAGE_SIZE)));
+        let a = heap.sbrk_pages(1);
+        assert!(heap.is_mapped(a));
+        assert!(heap.is_mapped(a + PAGE_SIZE - 1));
+        assert!(!heap.is_mapped(a + PAGE_SIZE));
+    }
+}

@@ -1,0 +1,44 @@
+//! A simulated 32-bit process address space.
+//!
+//! Every memory-management system in this repository — the region runtime of
+//! [Gay & Aiken, PLDI 1998], the malloc baselines, the conservative garbage
+//! collector, and the C@ virtual machine — allocates out of a [`SimHeap`]
+//! rather than out of host memory. This buys three things the paper's
+//! evaluation needs:
+//!
+//! 1. **Deterministic footprint measurement.** The heap grows with an
+//!    `sbrk`-style call in 4 KB pages and records its high-water mark, which
+//!    is exactly the "memory requested from the operating system" series of
+//!    the paper's Figure 8.
+//! 2. **Observable access streams.** Every load and store can be forwarded to
+//!    an [`AccessSink`] (the cache simulator implements one), reproducing the
+//!    read/write-stall measurements of Figure 10.
+//! 3. **Conservative scanning.** Pointers are plain `u32` offsets
+//!    ([`Addr`]), so a Boehm–Weiser-style collector can scan any range of
+//!    the address space for values that look like pointers — no host
+//!    `unsafe` required anywhere in the simulation stack.
+//!
+//! # Example
+//!
+//! ```
+//! use simheap::{SimHeap, Addr, PAGE_SIZE};
+//!
+//! let mut heap = SimHeap::new();
+//! let page = heap.sbrk_pages(1);
+//! heap.store_u32(page, 0xdead_beef);
+//! assert_eq!(heap.load_u32(page), 0xdead_beef);
+//! assert_eq!(heap.os_bytes(), PAGE_SIZE as u64 * 2); // one guard + one data page
+//! ```
+//!
+//! [Gay & Aiken, PLDI 1998]: https://doi.org/10.1145/277650.277748
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod heap;
+mod trace;
+
+pub use addr::{align_up, Addr, PAGE_SIZE, WORD};
+pub use heap::{HeapConfig, SimHeap};
+pub use trace::{Access, AccessKind, AccessSink, CountingSink, RecordingSink};

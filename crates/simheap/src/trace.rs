@@ -1,0 +1,133 @@
+//! Memory access tracing.
+//!
+//! A [`SimHeap`](crate::SimHeap) can forward every load and store it performs
+//! to an [`AccessSink`]. The cache simulator in the `cache-sim` crate is the
+//! main consumer; [`CountingSink`] and [`RecordingSink`] are lightweight
+//! sinks used in tests and diagnostics.
+
+/// Whether an access reads or writes memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One memory access performed by the simulated program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Byte address of the access.
+    pub addr: u32,
+    /// Size of the access in bytes (1, 2 or 4).
+    pub size: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Convenience constructor for a read.
+    pub fn read(addr: u32, size: u8) -> Access {
+        Access { addr, size, kind: AccessKind::Read }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(addr: u32, size: u8) -> Access {
+        Access { addr, size, kind: AccessKind::Write }
+    }
+}
+
+/// A consumer of simulated memory accesses.
+///
+/// Implementors receive every load/store the heap performs while attached.
+/// The `cache-sim` crate implements this for its memory-system model.
+pub trait AccessSink {
+    /// Called once per memory access, in program order.
+    fn access(&mut self, access: Access);
+
+    /// Converts the boxed sink into `Any`, so callers of
+    /// [`SimHeap::detach_sink`](crate::SimHeap::detach_sink) can downcast
+    /// back to the concrete sink they attached. The canonical
+    /// implementation is `fn into_any(self: Box<Self>) -> Box<dyn Any> { self }`.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+/// An [`AccessSink`] that simply counts reads and writes.
+///
+/// ```
+/// use simheap::{SimHeap, CountingSink, AccessSink};
+///
+/// let mut heap = SimHeap::new();
+/// let p = heap.sbrk_pages(1);
+/// heap.attach_sink(Box::new(CountingSink::default()));
+/// heap.store_u32(p, 1);
+/// heap.load_u32(p);
+/// let sink = heap.detach_sink().unwrap();
+/// ```
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Number of read accesses observed.
+    pub reads: u64,
+    /// Number of write accesses observed.
+    pub writes: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+}
+
+impl AccessSink for CountingSink {
+    fn access(&mut self, access: Access) {
+        match access.kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+        self.bytes += u64::from(access.size);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// An [`AccessSink`] that records every access; intended for small tests
+/// only (it grows without bound).
+#[derive(Default, Debug, Clone)]
+pub struct RecordingSink {
+    /// The accesses observed so far, in program order.
+    pub log: Vec<Access>,
+}
+
+impl AccessSink for RecordingSink {
+    fn access(&mut self, access: Access) {
+        self.log.push(access);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        s.access(Access::read(16, 4));
+        s.access(Access::write(20, 1));
+        s.access(Access::write(24, 4));
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes, 9);
+    }
+
+    #[test]
+    fn recording_sink_records_in_order() {
+        let mut s = RecordingSink::default();
+        s.access(Access::read(4, 4));
+        s.access(Access::write(8, 4));
+        assert_eq!(s.log.len(), 2);
+        assert_eq!(s.log[0], Access::read(4, 4));
+        assert_eq!(s.log[1].kind, AccessKind::Write);
+    }
+}

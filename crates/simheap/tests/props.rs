@@ -1,0 +1,94 @@
+//! Property tests: the simulated heap behaves like flat byte-addressable
+//! memory with an append-only break.
+
+use proptest::prelude::*;
+use simheap::{Addr, SimHeap, PAGE_SIZE, WORD};
+
+/// Model: a plain host byte vector addressed the same way.
+#[derive(Debug, Clone)]
+enum Op {
+    StoreU8 { off: u32, val: u8 },
+    StoreU32 { off: u32, val: u32 },
+    Fill { off: u32, len: u32, byte: u8 },
+    Copy { dst: u32, src: u32, len: u32 },
+}
+
+const AREA: u32 = 4 * PAGE_SIZE;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..AREA - 1, any::<u8>()).prop_map(|(off, val)| Op::StoreU8 { off, val }),
+        (0..(AREA / WORD) - 1, any::<u32>())
+            .prop_map(|(w, val)| Op::StoreU32 { off: w * WORD, val }),
+        (0..AREA - 64, 0u32..64, any::<u8>()).prop_map(|(off, len, byte)| Op::Fill { off, len, byte }),
+        (0..AREA / 2 - 64, 0u32..64).prop_map(|(d, len)| Op::Copy {
+            dst: AREA / 2 + d,
+            src: d,
+            len
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn heap_matches_flat_memory_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut heap = SimHeap::new();
+        let base = heap.sbrk_pages(AREA / PAGE_SIZE);
+        let mut model = vec![0u8; AREA as usize];
+
+        for op in &ops {
+            match *op {
+                Op::StoreU8 { off, val } => {
+                    heap.store_u8(base + off, val);
+                    model[off as usize] = val;
+                }
+                Op::StoreU32 { off, val } => {
+                    heap.store_u32(base + off, val);
+                    model[off as usize..off as usize + 4].copy_from_slice(&val.to_le_bytes());
+                }
+                Op::Fill { off, len, byte } => {
+                    heap.fill(base + off, len, byte);
+                    for b in &mut model[off as usize..(off + len) as usize] {
+                        *b = byte;
+                    }
+                }
+                Op::Copy { dst, src, len } => {
+                    heap.copy(base + dst, base + src, len);
+                    let (lo, hi) = model.split_at_mut(dst as usize);
+                    hi[..len as usize].copy_from_slice(&lo[src as usize..(src + len) as usize]);
+                }
+            }
+        }
+        prop_assert_eq!(heap.snapshot(base, AREA), model);
+    }
+
+    #[test]
+    fn sbrk_never_moves_down_and_zeroes(pages in proptest::collection::vec(1u32..4, 1..12)) {
+        let mut heap = SimHeap::new();
+        let mut prev_brk = heap.brk();
+        for p in pages {
+            let got = heap.sbrk_pages(p);
+            prop_assert_eq!(got, prev_brk);
+            prop_assert_eq!(heap.brk() - got, p * PAGE_SIZE);
+            // new memory is zeroed
+            prop_assert_eq!(heap.load_u32(got), 0);
+            prop_assert_eq!(heap.load_u32(heap.brk() - WORD), 0);
+            prev_brk = heap.brk();
+        }
+    }
+
+    #[test]
+    fn word_roundtrip(vals in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let mut heap = SimHeap::new();
+        let base = heap.sbrk_pages(1);
+        for (i, v) in vals.iter().enumerate() {
+            heap.store_u32(base + (i as u32) * WORD, *v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(heap.load_u32(base + (i as u32) * WORD), *v);
+            prop_assert_eq!(heap.load_addr(base + (i as u32) * WORD), Addr::new(*v));
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Uniform environments the workloads run against.
+//!
+//! Every benchmark exists in two source variants, as in the paper:
+//! a malloc/free version (run against Sun, BSD, Lea and the collector —
+//! [`MallocEnv`]) and a region version (run against the safe runtime,
+//! the unsafe runtime, and malloc-backed emulation — [`RegionEnv`]).
+//! The environments accumulate the wall-clock time spent inside memory
+//! management, which becomes the "memory" share of Figure 9.
+
+use std::time::{Duration, Instant};
+
+use conservative_gc::BoehmGc;
+use malloc_suite::{BsdMalloc, EmuRegionId, EmulatedRegions, LeaMalloc, RawMalloc, SunMalloc};
+use region_core::{AllocStats, RegionConfig, RegionId, RegionRuntime, SafetyMode, TypeDescriptor};
+use simheap::{Addr, SimHeap};
+
+/// Which malloc/free implementation a [`MallocEnv`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MallocKind {
+    /// Solaris-default stand-in (best fit, coalescing).
+    Sun,
+    /// Power-of-two freelists.
+    Bsd,
+    /// Doug Lea's malloc.
+    Lea,
+    /// Boehm–Weiser conservative collection (frees ignored).
+    Gc,
+}
+
+impl MallocKind {
+    /// All four baselines, in the paper's presentation order.
+    pub const ALL: [MallocKind; 4] = [MallocKind::Sun, MallocKind::Bsd, MallocKind::Lea, MallocKind::Gc];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MallocKind::Sun => "Sun",
+            MallocKind::Bsd => "BSD",
+            MallocKind::Lea => "Lea",
+            MallocKind::Gc => "GC",
+        }
+    }
+}
+
+/// A malloc/free world: one allocator over one simulated heap.
+pub struct MallocEnv {
+    heap: SimHeap,
+    alloc: Box<dyn RawMalloc>,
+    kind: MallocKind,
+    mem_time: Duration,
+}
+
+impl MallocEnv {
+    /// Creates an environment for the given allocator.
+    pub fn new(kind: MallocKind) -> MallocEnv {
+        let mut heap = SimHeap::new();
+        let alloc: Box<dyn RawMalloc> = match kind {
+            MallocKind::Sun => Box::new(SunMalloc::new()),
+            MallocKind::Bsd => Box::new(BsdMalloc::new()),
+            MallocKind::Lea => Box::new(LeaMalloc::new()),
+            MallocKind::Gc => Box::new(BoehmGc::new(&mut heap)),
+        };
+        MallocEnv { heap, alloc, kind, mem_time: Duration::ZERO }
+    }
+
+    /// Which allocator this is.
+    pub fn kind(&self) -> MallocKind {
+        self.kind
+    }
+
+    /// Allocates `size` bytes (timed as memory-management work).
+    pub fn malloc(&mut self, size: u32) -> Addr {
+        let t = Instant::now();
+        let a = self.alloc.malloc(&mut self.heap, size);
+        self.mem_time += t.elapsed();
+        a
+    }
+
+    /// Frees a block (no-op under GC).
+    pub fn free(&mut self, ptr: Addr) {
+        let t = Instant::now();
+        self.alloc.free(&mut self.heap, ptr);
+        self.mem_time += t.elapsed();
+    }
+
+    /// The underlying heap, for data loads/stores.
+    pub fn heap(&mut self) -> &mut SimHeap {
+        &mut self.heap
+    }
+
+    /// Allocates zeroed global storage and registers it as GC roots.
+    pub fn alloc_globals(&mut self, bytes: u32) -> Addr {
+        let a = self.heap.sbrk(bytes);
+        self.alloc.add_global_roots(a, bytes);
+        a
+    }
+
+    /// Pushes a frame of `n` GC-root slots (no-op for real mallocs).
+    pub fn push_roots(&mut self, n: u32) {
+        self.alloc.push_roots(&mut self.heap, n);
+    }
+
+    /// Mirrors a pointer into root slot `i` (no-op for real mallocs).
+    pub fn set_root(&mut self, i: u32, v: Addr) {
+        self.alloc.set_root(&mut self.heap, i, v);
+    }
+
+    /// Pops the newest root frame.
+    pub fn pop_roots(&mut self) {
+        self.alloc.pop_roots(&mut self.heap);
+    }
+
+    /// Time spent inside the allocator so far.
+    pub fn mem_time(&self) -> Duration {
+        self.mem_time
+    }
+
+    /// Allocator statistics (Table 3).
+    pub fn stats(&self) -> &AllocStats {
+        self.alloc.stats()
+    }
+
+    /// Pages requested from the OS (Figure 8).
+    pub fn os_pages(&self) -> u64 {
+        self.alloc.os_pages()
+    }
+
+    /// Consumes the environment, returning its heap (e.g. to detach an
+    /// attached cache-simulator sink).
+    pub fn into_heap(self) -> SimHeap {
+        self.heap
+    }
+}
+
+/// Which region implementation a [`RegionEnv`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionKind {
+    /// The safe runtime (reference counts maintained).
+    Safe,
+    /// The unsafe runtime (no reference counts — Hanson-style arenas).
+    Unsafe,
+    /// Region emulation over a malloc (the paper's `emulation` library).
+    Emulated(MallocKind),
+}
+
+impl RegionKind {
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionKind::Safe => "Reg",
+            RegionKind::Unsafe => "unsafe",
+            RegionKind::Emulated(MallocKind::Sun) => "emu-Sun",
+            RegionKind::Emulated(MallocKind::Bsd) => "emu-BSD",
+            RegionKind::Emulated(MallocKind::Lea) => "emu-Lea",
+            RegionKind::Emulated(MallocKind::Gc) => "emu-GC",
+        }
+    }
+}
+
+/// A uniform region handle (valid for whichever backend created it).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rh(u32);
+
+/// A uniform type-descriptor handle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dh(u32);
+
+enum RegionBackend {
+    Real(Box<RegionRuntime>),
+    Emulated { heap: SimHeap, er: Box<EmulatedRegions<Box<dyn RawMalloc>>> },
+}
+
+/// A region world: the real runtime (safe or unsafe) or emulation.
+pub struct RegionEnv {
+    backend: RegionBackend,
+    kind: RegionKind,
+    mem_time: Duration,
+    /// Parallel descriptor tables give identical `Dh` values.
+    descs_real: Vec<region_core::DescId>,
+    descs_emu: Vec<region_core::DescId>,
+}
+
+impl RegionEnv {
+    /// Creates an environment of the given kind.
+    pub fn new(kind: RegionKind) -> RegionEnv {
+        let backend = match kind {
+            RegionKind::Safe => RegionBackend::Real(Box::new(RegionRuntime::new_safe())),
+            RegionKind::Unsafe => RegionBackend::Real(Box::new(RegionRuntime::new_unsafe())),
+            RegionKind::Emulated(mk) => {
+                let mut heap = SimHeap::new();
+                let alloc: Box<dyn RawMalloc> = match mk {
+                    MallocKind::Sun => Box::new(SunMalloc::new()),
+                    MallocKind::Bsd => Box::new(BsdMalloc::new()),
+                    MallocKind::Lea => Box::new(LeaMalloc::new()),
+                    MallocKind::Gc => Box::new(BoehmGc::new(&mut heap)),
+                };
+                RegionBackend::Emulated { heap, er: Box::new(EmulatedRegions::new(alloc)) }
+            }
+        };
+        RegionEnv { backend, kind, mem_time: Duration::ZERO, descs_real: Vec::new(), descs_emu: Vec::new() }
+    }
+
+    /// Creates a safe environment with a custom runtime configuration
+    /// (for ablations: staggering off, clearing off, …).
+    pub fn with_config(config: RegionConfig) -> RegionEnv {
+        let kind = match config.mode {
+            SafetyMode::Safe => RegionKind::Safe,
+            SafetyMode::Unsafe => RegionKind::Unsafe,
+        };
+        RegionEnv {
+            backend: RegionBackend::Real(Box::new(RegionRuntime::with_config(config))),
+            kind,
+            mem_time: Duration::ZERO,
+            descs_real: Vec::new(),
+            descs_emu: Vec::new(),
+        }
+    }
+
+    /// Which backend this is.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Registers a type descriptor.
+    pub fn register_type(&mut self, desc: TypeDescriptor) -> Dh {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => {
+                let id = rt.register_type(desc);
+                self.descs_real.push(id);
+                Dh(self.descs_real.len() as u32 - 1)
+            }
+            RegionBackend::Emulated { er, .. } => {
+                let id = er.register_type(desc);
+                self.descs_emu.push(id);
+                Dh(self.descs_emu.len() as u32 - 1)
+            }
+        }
+    }
+
+    /// Creates a region.
+    pub fn new_region(&mut self) -> Rh {
+        let t = Instant::now();
+        let rh = match &mut self.backend {
+            RegionBackend::Real(rt) => Rh(rt.new_region().index()),
+            RegionBackend::Emulated { er, .. } => Rh(er.new_region().index()),
+        };
+        self.mem_time += t.elapsed();
+        rh
+    }
+
+    /// Deletes a region; `false` if live references blocked it (safe
+    /// runtime only — emulation and the unsafe runtime always succeed).
+    pub fn delete_region(&mut self, r: Rh) -> bool {
+        let t = Instant::now();
+        let ok = match &mut self.backend {
+            RegionBackend::Real(rt) => rt.delete_region(RegionId::from_index(r.0)),
+            RegionBackend::Emulated { heap, er } => er.delete_region(heap, EmuRegionId::from_index(r.0)),
+        };
+        self.mem_time += t.elapsed();
+        ok
+    }
+
+    /// `ralloc`: one cleared object of type `d` in region `r`.
+    pub fn ralloc(&mut self, r: Rh, d: Dh) -> Addr {
+        let t = Instant::now();
+        let a = match &mut self.backend {
+            RegionBackend::Real(rt) => rt.ralloc(RegionId::from_index(r.0), self.descs_real[d.0 as usize]),
+            RegionBackend::Emulated { heap, er } => {
+                er.ralloc(heap, EmuRegionId::from_index(r.0), self.descs_emu[d.0 as usize])
+            }
+        };
+        self.mem_time += t.elapsed();
+        a
+    }
+
+    /// `rarrayalloc`: a cleared array of `n` objects of type `d`.
+    pub fn rarrayalloc(&mut self, r: Rh, n: u32, d: Dh) -> Addr {
+        let t = Instant::now();
+        let a = match &mut self.backend {
+            RegionBackend::Real(rt) => {
+                rt.rarrayalloc(RegionId::from_index(r.0), n, self.descs_real[d.0 as usize])
+            }
+            RegionBackend::Emulated { heap, er } => {
+                er.rarrayalloc(heap, EmuRegionId::from_index(r.0), n, self.descs_emu[d.0 as usize])
+            }
+        };
+        self.mem_time += t.elapsed();
+        a
+    }
+
+    /// `rstralloc`: `size` bytes of pointer-free storage (uncleared).
+    pub fn rstralloc(&mut self, r: Rh, size: u32) -> Addr {
+        let t = Instant::now();
+        let a = match &mut self.backend {
+            RegionBackend::Real(rt) => rt.rstralloc(RegionId::from_index(r.0), size),
+            RegionBackend::Emulated { heap, er } => er.rstralloc(heap, EmuRegionId::from_index(r.0), size),
+        };
+        self.mem_time += t.elapsed();
+        a
+    }
+
+    /// Barriered store of a region pointer into a region object.
+    pub fn store_ptr_region(&mut self, loc: Addr, v: Addr) {
+        let t = Instant::now();
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.store_ptr_region(loc, v),
+            RegionBackend::Emulated { heap, er } => er.store_ptr_region(heap, loc, v),
+        }
+        self.mem_time += t.elapsed();
+    }
+
+    /// Barriered store of a region pointer into global storage.
+    pub fn store_ptr_global(&mut self, loc: Addr, v: Addr) {
+        let t = Instant::now();
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.store_ptr_global(loc, v),
+            RegionBackend::Emulated { heap, er } => er.store_ptr_global(heap, loc, v),
+        }
+        self.mem_time += t.elapsed();
+    }
+
+    /// Allocates zeroed global storage.
+    pub fn alloc_globals(&mut self, bytes: u32) -> Addr {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.alloc_globals(bytes),
+            RegionBackend::Emulated { heap, .. } => heap.sbrk(bytes),
+        }
+    }
+
+    /// Pushes a frame of region-pointer locals (scanned by the safe
+    /// runtime at `deleteregion`).
+    pub fn push_frame(&mut self, n: u32) {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.push_frame(n),
+            RegionBackend::Emulated { er, .. } => er.push_frame(n),
+        }
+    }
+
+    /// Pops the newest frame.
+    pub fn pop_frame(&mut self) {
+        let t = Instant::now();
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.pop_frame(),
+            RegionBackend::Emulated { er, .. } => er.pop_frame(),
+        }
+        self.mem_time += t.elapsed();
+    }
+
+    /// Writes a region-pointer local (never reference-counted).
+    pub fn set_local(&mut self, slot: u32, v: Addr) {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.set_local(slot, v),
+            RegionBackend::Emulated { er, .. } => er.set_local(slot, v),
+        }
+    }
+
+    /// Reads a region-pointer local.
+    pub fn get_local(&mut self, slot: u32) -> Addr {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.get_local(slot),
+            RegionBackend::Emulated { er, .. } => er.get_local(slot),
+        }
+    }
+
+    /// The underlying heap, for data loads/stores.
+    pub fn heap(&mut self) -> &mut SimHeap {
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.heap_mut(),
+            RegionBackend::Emulated { heap, .. } => heap,
+        }
+    }
+
+    /// Region-level statistics (Table 2; for emulation, the "w/o
+    /// overhead" view).
+    pub fn stats(&self) -> &AllocStats {
+        match &self.backend {
+            RegionBackend::Real(rt) => rt.stats(),
+            RegionBackend::Emulated { er, .. } => er.stats(),
+        }
+    }
+
+    /// Underlying-malloc statistics when emulating (the "with overhead"
+    /// view), `None` for the real runtime.
+    pub fn emulation_inner_stats(&self) -> Option<&AllocStats> {
+        match &self.backend {
+            RegionBackend::Real(_) => None,
+            RegionBackend::Emulated { er, .. } => Some(er.inner().stats()),
+        }
+    }
+
+    /// Safety-cost counters (real runtime only).
+    pub fn costs(&self) -> Option<&region_core::SafetyCosts> {
+        match &self.backend {
+            RegionBackend::Real(rt) => Some(rt.costs()),
+            RegionBackend::Emulated { .. } => None,
+        }
+    }
+
+    /// Pages requested from the OS (Figure 8).
+    pub fn os_pages(&self) -> u64 {
+        match &self.backend {
+            RegionBackend::Real(rt) => rt.os_heap_bytes() / u64::from(simheap::PAGE_SIZE),
+            RegionBackend::Emulated { er, .. } => er.os_pages(),
+        }
+    }
+
+    /// Time spent inside region operations so far.
+    pub fn mem_time(&self) -> Duration {
+        self.mem_time
+    }
+
+    /// Consumes the environment, returning its heap.
+    pub fn into_heap(self) -> SimHeap {
+        match self.backend {
+            RegionBackend::Real(rt) => {
+                // The runtime owns its heap; rebuild by moving out.
+                rt.into_heap()
+            }
+            RegionBackend::Emulated { heap, .. } => heap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_env_round_trip_all_kinds() {
+        for kind in MallocKind::ALL {
+            let mut env = MallocEnv::new(kind);
+            env.push_roots(1);
+            let a = env.malloc(40);
+            env.set_root(0, a);
+            env.heap().store_u32(a, 123);
+            assert_eq!(env.heap().load_u32(a), 123, "{}", kind.name());
+            env.free(a);
+            env.pop_roots();
+            assert!(env.os_pages() > 0 || kind == MallocKind::Gc);
+        }
+    }
+
+    #[test]
+    fn region_env_uniform_over_backends() {
+        for kind in [
+            RegionKind::Safe,
+            RegionKind::Unsafe,
+            RegionKind::Emulated(MallocKind::Sun),
+            RegionKind::Emulated(MallocKind::Lea),
+        ] {
+            let mut env = RegionEnv::new(kind);
+            let d = env.register_type(TypeDescriptor::new("node", 8, vec![4]));
+            let r = env.new_region();
+            let a = env.ralloc(r, d);
+            let b = env.ralloc(r, d);
+            env.heap().store_u32(a, 7);
+            env.store_ptr_region(a + 4, b);
+            assert_eq!(env.heap().load_u32(a), 7, "{}", kind.name());
+            let s = env.rstralloc(r, 100);
+            env.heap().store_u32(s + 96, 9);
+            assert!(env.delete_region(r), "{}", kind.name());
+            assert_eq!(env.stats().total_allocs, 3);
+        }
+    }
+
+    #[test]
+    fn safe_env_blocks_deletion_on_live_local() {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        let d = env.register_type(TypeDescriptor::new("node", 8, vec![4]));
+        let r = env.new_region();
+        let a = env.ralloc(r, d);
+        env.push_frame(1);
+        env.set_local(0, a);
+        assert!(!env.delete_region(r));
+        env.set_local(0, Addr::NULL);
+        assert!(env.delete_region(r));
+        env.pop_frame();
+    }
+
+    #[test]
+    fn emulation_reports_both_stat_views() {
+        let mut env = RegionEnv::new(RegionKind::Emulated(MallocKind::Bsd));
+        let r = env.new_region();
+        env.rstralloc(r, 20);
+        assert_eq!(env.stats().total_bytes, 20);
+        assert_eq!(env.emulation_inner_stats().unwrap().total_bytes, 24);
+        assert!(RegionEnv::new(RegionKind::Safe).emulation_inner_stats().is_none());
+    }
+}

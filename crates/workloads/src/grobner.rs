@@ -1,0 +1,629 @@
+//! `grobner` — Gröbner basis of a set of polynomials via Buchberger's
+//! algorithm (§5.1).
+//!
+//! Polynomials are linked lists of term nodes in the simulated heap,
+//! over GF(32003) in four variables (exponents packed one byte per
+//! variable, graded-lex order). Every arithmetic operation allocates a
+//! fresh list, which is what makes the original benchmark
+//! allocation-intensive: S-polynomials and reductions generate heaps of
+//! short-lived terms.
+//!
+//! Region structure, per the paper: a temporary region per S-pair
+//! reduction, with surviving remainders *copied* into a result region —
+//! "add copies of the polynomials that form the basis to a result
+//! region". The malloc variant instead frees every intermediate
+//! polynomial node by node.
+
+use simheap::{Addr, SimHeap};
+
+use crate::env::{MallocEnv, RegionEnv};
+use crate::util::{rng, Checksum};
+use rand::Rng;
+
+/// The field: GF(32003), as in the classic Gröbner benchmarks.
+pub const P: u64 = 32003;
+
+// Term node: [coef][exps][next], 12 bytes.
+const T_COEF: u32 = 0;
+const T_EXPS: u32 = 4;
+const T_NEXT: u32 = 8;
+const T_SIZE: u32 = 12;
+
+/// Packed-exponent helpers (four variables, one byte each).
+fn deg(exps: u32) -> u32 {
+    (exps & 0xff) + (exps >> 8 & 0xff) + (exps >> 16 & 0xff) + (exps >> 24 & 0xff)
+}
+
+/// Graded lex: higher total degree first, then higher packed value.
+fn mono_before(a: u32, b: u32) -> bool {
+    let (da, db) = (deg(a), deg(b));
+    da > db || (da == db && a > b)
+}
+
+fn mono_divides(b: u32, a: u32) -> bool {
+    // b | a: every exponent of b ≤ a's.
+    (0..4).all(|i| (b >> (8 * i)) & 0xff <= (a >> (8 * i)) & 0xff)
+}
+
+fn mono_div(a: u32, b: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..4 {
+        let e = ((a >> (8 * i)) & 0xff) - ((b >> (8 * i)) & 0xff);
+        out |= e << (8 * i);
+    }
+    out
+}
+
+fn mono_mul(a: u32, b: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..4 {
+        let e = ((a >> (8 * i)) & 0xff) + ((b >> (8 * i)) & 0xff);
+        assert!(e < 256, "exponent overflow");
+        out |= e << (8 * i);
+    }
+    out
+}
+
+fn mono_lcm(a: u32, b: u32) -> u32 {
+    let mut out = 0u32;
+    for i in 0..4 {
+        let e = ((a >> (8 * i)) & 0xff).max((b >> (8 * i)) & 0xff);
+        out |= e << (8 * i);
+    }
+    out
+}
+
+fn inv_mod(c: u64) -> u64 {
+    // Fermat: c^(P-2) mod P.
+    let mut base = c % P;
+    let mut exp = P - 2;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % P;
+        }
+        base = base * base % P;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The generator set: `3 + scale` random polynomials, 3–5 terms each,
+/// degree ≤ 3, as host-side (coef, exps) lists.
+pub fn generators(scale: u32) -> Vec<Vec<(u32, u32)>> {
+    let mut r = rng(0x6b0b);
+    let mut out = Vec::new();
+    for _ in 0..3 + scale {
+        let nterms = r.gen_range(3..6);
+        let mut terms: Vec<(u32, u32)> = (0..nterms)
+            .map(|_| {
+                let mut exps = 0u32;
+                for i in 0..4 {
+                    exps |= r.gen_range(0..3u32) << (8 * i);
+                }
+                (r.gen_range(1..P as u32), exps)
+            })
+            .collect();
+        terms.sort_by(|a, b| {
+            if mono_before(a.1, b.1) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        terms.dedup_by_key(|t| t.1);
+        out.push(terms);
+    }
+    out
+}
+
+/// Number of terms in a polynomial.
+fn term_count(heap: &mut SimHeap, mut p: Addr) -> u32 {
+    let mut n = 0;
+    while !p.is_null() {
+        n += 1;
+        p = heap.load_addr(p + T_NEXT);
+    }
+    n
+}
+
+/// Remainders denser than this are discarded rather than admitted to the
+/// basis — a growth cap that keeps the benchmark's running time bounded
+/// (applied identically in both variants so the answers agree).
+const MAX_TERMS: u32 = 64;
+
+/// Reads the lead term of a non-null polynomial.
+fn lead(heap: &mut SimHeap, p: Addr) -> (u64, u32) {
+    (u64::from(heap.load_u32(p + T_COEF)), heap.load_u32(p + T_EXPS))
+}
+
+/// Folds a finished basis polynomial into the checksum.
+fn account_poly(heap: &mut SimHeap, mut p: Addr, sum: &mut Checksum) {
+    while !p.is_null() {
+        sum.add(u64::from(heap.load_u32(p + T_COEF)));
+        sum.add(u64::from(heap.load_u32(p + T_EXPS)));
+        p = heap.load_addr(p + T_NEXT);
+    }
+    sum.add(0xb0);
+}
+
+// --- begin malloc variant ---
+
+/// Buchberger with malloc/free: every intermediate polynomial is freed
+/// node by node as soon as it is dead.
+pub fn run_malloc(env: &mut MallocEnv, scale: u32) -> u64 {
+    let gens = generators(scale);
+    let mut sum = Checksum::new();
+    // Root slots: 0..=19 basis heads; 20/21 S-poly operands; 22 the
+    // reduction multiple; 24 the polynomial being reduced; 25/26 the
+    // list heads under construction inside scale/sub.
+    env.push_roots(27);
+    let mut basis: Vec<Addr> = Vec::new();
+    for g in &gens {
+        let p = poly_from_terms_m(env, g);
+        env.set_root(24, p);
+        let n = normalize_m(env, p);
+        basis.push(n);
+        env.set_root(basis.len() as u32 - 1, n);
+        env.set_root(24, Addr::NULL);
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..basis.len() {
+        for j in i + 1..basis.len() {
+            pairs.push((i, j));
+        }
+    }
+    let max_pairs = 15 * scale as usize;
+    let max_basis = 20usize;
+    let mut processed = 0usize;
+    while let Some((i, j)) = pairs.pop() {
+        if processed >= max_pairs || basis.len() >= max_basis {
+            break;
+        }
+        processed += 1;
+        let s = spoly_m(env, basis[i], basis[j]);
+        env.set_root(24, s);
+        let r = reduce_m(env, s, &basis); // consumes s
+        if r.is_null() {
+            env.set_root(24, Addr::NULL);
+            continue;
+        }
+        env.set_root(24, r);
+        let n = normalize_m(env, r);
+        env.set_root(24, n);
+        if term_count(env.heap(), n) > MAX_TERMS {
+            free_poly_m(env, n);
+            env.set_root(24, Addr::NULL);
+            continue;
+        }
+        basis.push(n);
+        env.set_root(basis.len() as u32 - 1, n);
+        env.set_root(24, Addr::NULL);
+        for k in 0..basis.len() - 1 {
+            pairs.push((k, basis.len() - 1));
+        }
+    }
+    sum.add(processed as u64);
+    sum.add(basis.len() as u64);
+    for &b in &basis {
+        account_poly(env.heap(), b, &mut sum);
+    }
+    // Free the basis, walking each list.
+    for b in basis {
+        free_poly_m(env, b);
+    }
+    env.pop_roots();
+    sum.value()
+}
+
+fn node_m(env: &mut MallocEnv, coef: u64, exps: u32, next: Addr) -> Addr {
+    let n = env.malloc(T_SIZE);
+    env.heap().store_u32(n + T_COEF, coef as u32);
+    env.heap().store_u32(n + T_EXPS, exps);
+    env.heap().store_addr(n + T_NEXT, next);
+    n
+}
+
+fn free_poly_m(env: &mut MallocEnv, mut p: Addr) {
+    while !p.is_null() {
+        let next = env.heap().load_addr(p + T_NEXT);
+        env.free(p);
+        p = next;
+    }
+}
+
+/// Builds a polynomial from host terms (already sorted, lead first).
+fn poly_from_terms_m(env: &mut MallocEnv, terms: &[(u32, u32)]) -> Addr {
+    let mut head = Addr::NULL;
+    for &(c, e) in terms.iter().rev() {
+        env.set_root(25, head);
+        head = node_m(env, u64::from(c), e, head);
+    }
+    env.set_root(25, Addr::NULL);
+    head
+}
+
+/// Multiplies every term by `coef`·`exps` into a fresh list; input is
+/// left alive (the caller owns it).
+fn scale_m(env: &mut MallocEnv, p: Addr, coef: u64, exps: u32) -> Addr {
+    // Build in order, keeping the partial list rooted.
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    let mut cur = p;
+    while !cur.is_null() {
+        let c = u64::from(env.heap().load_u32(cur + T_COEF));
+        let e = env.heap().load_u32(cur + T_EXPS);
+        let n = node_m(env, c * coef % P, mono_mul(e, exps), Addr::NULL);
+        if head.is_null() {
+            head = n;
+            env.set_root(25, head);
+        } else {
+            env.heap().store_addr(tail + T_NEXT, n);
+        }
+        tail = n;
+        cur = env.heap().load_addr(cur + T_NEXT);
+    }
+    env.set_root(25, Addr::NULL);
+    head
+}
+
+/// `a - b` into a fresh list; frees nothing (caller owns inputs).
+fn sub_m(env: &mut MallocEnv, a: Addr, b: Addr) -> Addr {
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    let mut x = a;
+    let mut y = b;
+    let push = |env: &mut MallocEnv, coef: u64, exps: u32, head: &mut Addr, tail: &mut Addr| {
+        if coef == 0 {
+            return;
+        }
+        let n = node_m(env, coef, exps, Addr::NULL);
+        if head.is_null() {
+            *head = n;
+            env.set_root(26, *head);
+        } else {
+            env.heap().store_addr(*tail + T_NEXT, n);
+        }
+        *tail = n;
+    };
+    while !x.is_null() || !y.is_null() {
+        if y.is_null() || (!x.is_null() && mono_before(env.heap().load_u32(x + T_EXPS), env.heap().load_u32(y + T_EXPS))) {
+            let (c, e) = lead(env.heap(), x);
+            push(env, c, e, &mut head, &mut tail);
+            x = env.heap().load_addr(x + T_NEXT);
+        } else if x.is_null() || mono_before(env.heap().load_u32(y + T_EXPS), env.heap().load_u32(x + T_EXPS)) {
+            let (c, e) = lead(env.heap(), y);
+            push(env, (P - c) % P, e, &mut head, &mut tail);
+            y = env.heap().load_addr(y + T_NEXT);
+        } else {
+            let (cx, e) = lead(env.heap(), x);
+            let (cy, _) = lead(env.heap(), y);
+            push(env, (cx + P - cy) % P, e, &mut head, &mut tail);
+            x = env.heap().load_addr(x + T_NEXT);
+            y = env.heap().load_addr(y + T_NEXT);
+        }
+    }
+    env.set_root(26, Addr::NULL);
+    head
+}
+
+/// Makes the lead coefficient 1, freeing the input.
+fn normalize_m(env: &mut MallocEnv, p: Addr) -> Addr {
+    if p.is_null() {
+        return p;
+    }
+    let (c, _) = lead(env.heap(), p);
+    let out = scale_m(env, p, inv_mod(c), 0);
+    free_poly_m(env, p);
+    out
+}
+
+/// The S-polynomial of f and g (fresh list; inputs kept).
+fn spoly_m(env: &mut MallocEnv, f: Addr, g: Addr) -> Addr {
+    let (cf_, ef) = lead(env.heap(), f);
+    let (cg, eg) = lead(env.heap(), g);
+    let l = mono_lcm(ef, eg);
+    let uf = scale_m(env, f, inv_mod(cf_), mono_div(l, ef));
+    env.set_root(20, uf); // scale/sub use 25/26 internally
+    let ug = scale_m(env, g, inv_mod(cg), mono_div(l, eg));
+    env.set_root(21, ug);
+    let s = sub_m(env, uf, ug);
+    free_poly_m(env, uf);
+    free_poly_m(env, ug);
+    env.set_root(20, Addr::NULL);
+    env.set_root(21, Addr::NULL);
+    s
+}
+
+/// Fully reduces `p` modulo the basis, consuming `p`; intermediate
+/// polynomials are freed eagerly.
+fn reduce_m(env: &mut MallocEnv, mut p: Addr, basis: &[Addr]) -> Addr {
+    let mut steps = 0;
+    'outer: while !p.is_null() && steps < 150 {
+        let (cp, ep) = lead(env.heap(), p);
+        for &g in basis {
+            let (cg, eg) = lead(env.heap(), g);
+            if mono_divides(eg, ep) {
+                steps += 1;
+                let t = scale_m(env, g, cp * inv_mod(cg) % P, mono_div(ep, eg));
+                env.set_root(22, t);
+                let next = sub_m(env, p, t);
+                free_poly_m(env, t);
+                free_poly_m(env, p);
+                p = next;
+                env.set_root(24, p);
+                env.set_root(22, Addr::NULL);
+                continue 'outer;
+            }
+        }
+        // Lead term irreducible: the whole tail is the remainder.
+        break;
+    }
+    p
+}
+
+// --- end malloc variant ---
+
+// --- begin region variant ---
+
+/// Buchberger with regions: every S-pair reduction works in its own
+/// temporary region, and surviving remainders are copied into the basis
+/// region before the temporary region is thrown away whole.
+pub fn run_region(env: &mut RegionEnv, scale: u32) -> u64 {
+    let gens = generators(scale);
+    let mut sum = Checksum::new();
+    let d_term =
+        env.register_type(region_core::TypeDescriptor::new("grob_term", T_SIZE, vec![T_NEXT]));
+    let basis_region = env.new_region();
+    let mut basis: Vec<Addr> = Vec::new();
+    // Frame slot 0 roots nothing here — regions need no rooting — but the
+    // basis heads live in the basis region and are held in host locals.
+    for g in &gens {
+        let tmp = env.new_region();
+        let p = poly_from_terms_r(env, tmp, d_term, g);
+        let n = normalize_r(env, tmp, d_term, p);
+        let kept = copy_poly_r(env, basis_region, d_term, n);
+        basis.push(kept);
+        assert!(env.delete_region(tmp));
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..basis.len() {
+        for j in i + 1..basis.len() {
+            pairs.push((i, j));
+        }
+    }
+    let max_pairs = 15 * scale as usize;
+    let max_basis = 20usize;
+    let mut processed = 0usize;
+    while let Some((i, j)) = pairs.pop() {
+        if processed >= max_pairs || basis.len() >= max_basis {
+            break;
+        }
+        processed += 1;
+        // All temporaries of this pair live in one region.
+        let tmp = env.new_region();
+        let s = spoly_r(env, tmp, d_term, basis[i], basis[j]);
+        let r = reduce_r(env, tmp, d_term, s, &basis);
+        if !r.is_null() {
+            let n = normalize_r(env, tmp, d_term, r);
+            if term_count(env.heap(), n) <= MAX_TERMS {
+                let kept = copy_poly_r(env, basis_region, d_term, n);
+                basis.push(kept);
+                for k in 0..basis.len() - 1 {
+                    pairs.push((k, basis.len() - 1));
+                }
+            }
+        }
+        // One deletion reclaims every intermediate of the reduction.
+        assert!(env.delete_region(tmp), "temp region must delete");
+    }
+    sum.add(processed as u64);
+    sum.add(basis.len() as u64);
+    for &b in &basis {
+        account_poly(env.heap(), b, &mut sum);
+    }
+    basis.clear();
+    assert!(env.delete_region(basis_region), "basis region must delete");
+    sum.value()
+}
+
+fn node_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, coef: u64, exps: u32, next: Addr) -> Addr {
+    let n = env.ralloc(r, d);
+    env.heap().store_u32(n + T_COEF, coef as u32);
+    env.heap().store_u32(n + T_EXPS, exps);
+    env.store_ptr_region(n + T_NEXT, next);
+    n
+}
+
+fn poly_from_terms_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, terms: &[(u32, u32)]) -> Addr {
+    let mut head = Addr::NULL;
+    for &(c, e) in terms.iter().rev() {
+        head = node_r(env, r, d, u64::from(c), e, head);
+    }
+    head
+}
+
+/// Copies a polynomial into another region (the paper's explicit copies
+/// into the result region).
+fn copy_poly_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, mut p: Addr) -> Addr {
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    while !p.is_null() {
+        let (c, e) = lead(env.heap(), p);
+        let n = node_r(env, r, d, c, e, Addr::NULL);
+        if head.is_null() {
+            head = n;
+        } else {
+            env.store_ptr_region(tail + T_NEXT, n);
+        }
+        tail = n;
+        p = env.heap().load_addr(p + T_NEXT);
+    }
+    head
+}
+
+fn scale_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, p: Addr, coef: u64, exps: u32) -> Addr {
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    let mut cur = p;
+    while !cur.is_null() {
+        let c = u64::from(env.heap().load_u32(cur + T_COEF));
+        let e = env.heap().load_u32(cur + T_EXPS);
+        let n = node_r(env, r, d, c * coef % P, mono_mul(e, exps), Addr::NULL);
+        if head.is_null() {
+            head = n;
+        } else {
+            env.store_ptr_region(tail + T_NEXT, n);
+        }
+        tail = n;
+        cur = env.heap().load_addr(cur + T_NEXT);
+    }
+    head
+}
+
+fn sub_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, a: Addr, b: Addr) -> Addr {
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    let mut x = a;
+    let mut y = b;
+    let push = |env: &mut RegionEnv, coef: u64, exps: u32, head: &mut Addr, tail: &mut Addr| {
+        if coef == 0 {
+            return;
+        }
+        let n = node_r(env, r, d, coef, exps, Addr::NULL);
+        if head.is_null() {
+            *head = n;
+        } else {
+            env.store_ptr_region(*tail + T_NEXT, n);
+        }
+        *tail = n;
+    };
+    while !x.is_null() || !y.is_null() {
+        if y.is_null() || (!x.is_null() && mono_before(env.heap().load_u32(x + T_EXPS), env.heap().load_u32(y + T_EXPS))) {
+            let (c, e) = lead(env.heap(), x);
+            push(env, c, e, &mut head, &mut tail);
+            x = env.heap().load_addr(x + T_NEXT);
+        } else if x.is_null() || mono_before(env.heap().load_u32(y + T_EXPS), env.heap().load_u32(x + T_EXPS)) {
+            let (c, e) = lead(env.heap(), y);
+            push(env, (P - c) % P, e, &mut head, &mut tail);
+            y = env.heap().load_addr(y + T_NEXT);
+        } else {
+            let (cx, e) = lead(env.heap(), x);
+            let (cy, _) = lead(env.heap(), y);
+            push(env, (cx + P - cy) % P, e, &mut head, &mut tail);
+            x = env.heap().load_addr(x + T_NEXT);
+            y = env.heap().load_addr(y + T_NEXT);
+        }
+    }
+    head
+}
+
+fn normalize_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, p: Addr) -> Addr {
+    if p.is_null() {
+        return p;
+    }
+    let (c, _) = lead(env.heap(), p);
+    scale_r(env, r, d, p, inv_mod(c), 0) // the old list is region garbage
+}
+
+fn spoly_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, f: Addr, g: Addr) -> Addr {
+    let (cf_, ef) = lead(env.heap(), f);
+    let (cg, eg) = lead(env.heap(), g);
+    let l = mono_lcm(ef, eg);
+    let uf = scale_r(env, r, d, f, inv_mod(cf_), mono_div(l, ef));
+    let ug = scale_r(env, r, d, g, inv_mod(cg), mono_div(l, eg));
+    sub_r(env, r, d, uf, ug) // uf/ug become region garbage — no frees
+}
+
+fn reduce_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, mut p: Addr, basis: &[Addr]) -> Addr {
+    let mut steps = 0;
+    'outer: while !p.is_null() && steps < 150 {
+        let (cp, ep) = lead(env.heap(), p);
+        for &g in basis {
+            let (cg, eg) = lead(env.heap(), g);
+            if mono_divides(eg, ep) {
+                steps += 1;
+                let t = scale_r(env, r, d, g, cp * inv_mod(cg) % P, mono_div(ep, eg));
+                p = sub_r(env, r, d, p, t); // old p and t: region garbage
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    p
+}
+
+// --- end region variant ---
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MallocKind, RegionKind};
+
+    #[test]
+    fn field_and_monomial_helpers() {
+        assert_eq!(inv_mod(2) * 2 % P, 1);
+        assert_eq!(inv_mod(31999) * 31999 % P, 1);
+        let a = 0x0102_0301; // exps (1,3,2,1) packed little-end first
+        let b = 0x0001_0201;
+        assert!(mono_divides(b, a));
+        assert!(!mono_divides(a, b));
+        assert_eq!(mono_mul(mono_div(a, b), b), a);
+        assert_eq!(mono_lcm(a, b), a);
+        assert_eq!(deg(a), 7);
+        assert!(mono_before(a, b), "higher degree comes first");
+    }
+
+    #[test]
+    fn all_allocators_agree_on_the_answer() {
+        let expected = run_malloc(&mut MallocEnv::new(MallocKind::Sun), 1);
+        for kind in [MallocKind::Bsd, MallocKind::Lea, MallocKind::Gc] {
+            assert_eq!(run_malloc(&mut MallocEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+        for kind in [RegionKind::Safe, RegionKind::Unsafe, RegionKind::Emulated(MallocKind::Bsd)] {
+            assert_eq!(run_region(&mut RegionEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn subtraction_cancels_identical_polys() {
+        let mut env = MallocEnv::new(MallocKind::Lea);
+        env.push_roots(27);
+        let p = poly_from_terms_m(&mut env, &[(5, 0x0101), (3, 0x0001), (1, 0)]);
+        let q = poly_from_terms_m(&mut env, &[(5, 0x0101), (3, 0x0001), (1, 0)]);
+        let z = sub_m(&mut env, p, q);
+        assert!(z.is_null(), "p - p = 0");
+        env.pop_roots();
+    }
+
+    #[test]
+    fn spoly_cancels_lead_terms() {
+        let mut env = MallocEnv::new(MallocKind::Lea);
+        env.push_roots(27);
+        let f = poly_from_terms_m(&mut env, &[(2, 0x0200), (7, 0x0001)]); // 2y² + 7x
+        let g = poly_from_terms_m(&mut env, &[(3, 0x0102), (5, 0)]); // 3x²y + 5
+        let s = spoly_m(&mut env, f, g);
+        assert!(!s.is_null());
+        let (_, es) = lead(env.heap(), s);
+        let l = mono_lcm(0x0200, 0x0102);
+        assert!(mono_before(l, es), "lead of the S-poly is below the lcm");
+        env.pop_roots();
+    }
+
+    #[test]
+    fn malloc_variant_frees_everything() {
+        let mut env = MallocEnv::new(MallocKind::Sun);
+        run_malloc(&mut env, 1);
+        assert_eq!(env.stats().live_bytes, 0);
+        assert!(env.stats().total_allocs > 500);
+    }
+
+    #[test]
+    fn region_variant_deletes_all_regions() {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        run_region(&mut env, 1);
+        assert_eq!(env.stats().live_regions, 0);
+        assert_eq!(env.costs().unwrap().deletes_failed, 0);
+        assert!(env.stats().total_regions > 4, "a region per reduction");
+    }
+}

@@ -1,0 +1,858 @@
+//! `lcc` — a C compiler front end (§5.1).
+//!
+//! The paper's lcc is the real retargetable C compiler (the same one the
+//! authors modified to build C@); its benchmark input is a 6000-line C
+//! file. This reproduction implements the allocation-relevant part — a
+//! lexer, a recursive-descent parser building per-statement ASTs in the
+//! simulated heap, per-function symbol tables, and a constant-folding
+//! walk over every statement — over a generated C-subset file.
+//!
+//! Region structure, per the paper: lcc processes (and discards) data
+//! statement by statement, and the port "create\[s\] a region for every
+//! hundred statements compiled rather than for every statement" — so
+//! statement ASTs live in a rotating region, while symbol tables live in
+//! a per-function region. Statement nodes point at symbol entries
+//! *across* regions, exercising the cross-region reference counts.
+
+use simheap::{Addr, SimHeap};
+
+use crate::env::{MallocEnv, RegionEnv};
+use crate::util::{rng, Checksum};
+use rand::Rng;
+
+// AST node: [kind][a][b][c][val], 20 bytes; a/b/c are node or symbol
+// pointers (or null).
+const N_KIND: u32 = 0;
+const N_A: u32 = 4;
+const N_B: u32 = 8;
+const N_C: u32 = 12;
+const N_VAL: u32 = 16;
+const NODE: u32 = 20;
+
+const K_INT: u32 = 1;
+const K_VAR: u32 = 2;
+const K_ADD: u32 = 3;
+const K_SUB: u32 = 4;
+const K_MUL: u32 = 5;
+const K_LT: u32 = 6;
+const K_GT: u32 = 7;
+const K_ASSIGN: u32 = 8;
+const K_DECL: u32 = 9;
+const K_IF: u32 = 10;
+const K_WHILE: u32 = 11;
+const K_RET: u32 = 12;
+const K_SEQ: u32 = 13;
+
+// Symbol entry: [next][name][len][idx], 16 bytes.
+const S_NEXT: u32 = 0;
+const S_NAME: u32 = 4;
+const S_LEN: u32 = 8;
+const S_IDX: u32 = 12;
+const SYM: u32 = 16;
+
+/// Generates the input file: `6 × scale` functions of ~25 statements.
+pub fn input(scale: u32) -> String {
+    let mut r = rng(0x1cc);
+    let mut src = String::new();
+    for f in 0..6 * scale {
+        src.push_str(&format!("int f{f}(int a, int b) {{\n"));
+        let mut vars = vec!["a".to_string(), "b".to_string()];
+        let mut stmts = 0;
+        while stmts < 25 {
+            let pick = r.gen_range(0..10);
+            let expr = gen_expr(&mut r, &vars, 3);
+            match pick {
+                0..=3 => {
+                    let v = format!("x{}", vars.len());
+                    src.push_str(&format!("  int {v} = {expr};\n"));
+                    vars.push(v);
+                }
+                4..=6 => {
+                    let v = &vars[r.gen_range(0..vars.len())];
+                    src.push_str(&format!("  {v} = {expr};\n"));
+                }
+                7 => {
+                    let v = &vars[r.gen_range(0..vars.len())];
+                    let e2 = gen_expr(&mut r, &vars, 2);
+                    src.push_str(&format!(
+                        "  if ({expr} < {e2}) {{ {v} = {v} + 1; }} else {{ {v} = {v} - 1; }}\n"
+                    ));
+                }
+                8 => {
+                    let v = &vars[r.gen_range(0..vars.len())];
+                    src.push_str(&format!("  while ({v} > 0) {{ {v} = {v} - 17; }}\n"));
+                }
+                _ => {
+                    src.push_str(&format!("  return {expr};\n"));
+                }
+            }
+            stmts += 1;
+        }
+        src.push_str("  return a;\n}\n");
+    }
+    src
+}
+
+fn gen_expr(r: &mut rand::rngs::StdRng, vars: &[String], depth: u32) -> String {
+    if depth == 0 || r.gen_ratio(2, 5) {
+        if r.gen_bool(0.5) {
+            vars[r.gen_range(0..vars.len())].clone()
+        } else {
+            r.gen_range(0..1000i32).to_string()
+        }
+    } else {
+        let op = ["+", "-", "*"][r.gen_range(0..3)];
+        format!("({} {} {})", gen_expr(r, vars, depth - 1), op, gen_expr(r, vars, depth - 1))
+    }
+}
+
+/// Host-side token over the in-heap source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tok {
+    Int(i32),
+    Ident { start: u32, len: u32 },
+    KwInt,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    Punct(u8),
+    Eof,
+}
+
+struct Lexer {
+    base: Addr,
+    len: u32,
+    pos: u32,
+    tok: Tok,
+}
+
+impl Lexer {
+    fn new(heap: &mut SimHeap, base: Addr, len: u32) -> Lexer {
+        let mut lx = Lexer { base, len, pos: 0, tok: Tok::Eof };
+        lx.advance(heap);
+        lx
+    }
+
+    fn text_is(&self, heap: &mut SimHeap, start: u32, len: u32, word: &[u8]) -> bool {
+        len == word.len() as u32
+            && word.iter().enumerate().all(|(i, &b)| heap.load_u8(self.base + start + i as u32) == b)
+    }
+
+    fn advance(&mut self, heap: &mut SimHeap) {
+        while self.pos < self.len {
+            let c = heap.load_u8(self.base + self.pos);
+            if c == b' ' || c == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos >= self.len {
+            self.tok = Tok::Eof;
+            return;
+        }
+        let c = heap.load_u8(self.base + self.pos);
+        self.tok = if c.is_ascii_digit() {
+            let mut v = 0i64;
+            while self.pos < self.len {
+                let c = heap.load_u8(self.base + self.pos);
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                v = v * 10 + i64::from(c - b'0');
+                self.pos += 1;
+            }
+            Tok::Int(v as i32)
+        } else if c.is_ascii_alphabetic() {
+            let start = self.pos;
+            while self.pos < self.len {
+                let c = heap.load_u8(self.base + self.pos);
+                if !c.is_ascii_alphanumeric() {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let len = self.pos - start;
+            if self.text_is(heap, start, len, b"int") {
+                Tok::KwInt
+            } else if self.text_is(heap, start, len, b"if") {
+                Tok::KwIf
+            } else if self.text_is(heap, start, len, b"else") {
+                Tok::KwElse
+            } else if self.text_is(heap, start, len, b"while") {
+                Tok::KwWhile
+            } else if self.text_is(heap, start, len, b"return") {
+                Tok::KwReturn
+            } else {
+                Tok::Ident { start, len }
+            }
+        } else {
+            self.pos += 1;
+            Tok::Punct(c)
+        };
+    }
+
+    fn eat_punct(&mut self, heap: &mut SimHeap, c: u8) {
+        assert_eq!(self.tok, Tok::Punct(c), "expected {:?}", c as char);
+        self.advance(heap);
+    }
+}
+
+/// Constant-fold/checksum walk over one statement tree (pure reads).
+fn fold(heap: &mut SimHeap, node: Addr) -> i64 {
+    if node.is_null() {
+        return 0;
+    }
+    let kind = heap.load_u32(node + N_KIND);
+    let a = heap.load_addr(node + N_A);
+    let b = heap.load_addr(node + N_B);
+    let c = heap.load_addr(node + N_C);
+    match kind {
+        K_INT => i64::from(heap.load_u32(node + N_VAL) as i32),
+        K_VAR => {
+            let idx = heap.load_u32(a + S_IDX);
+            i64::from(idx) * 7 + 1
+        }
+        K_ADD => fold(heap, a).wrapping_add(fold(heap, b)),
+        K_SUB => fold(heap, a).wrapping_sub(fold(heap, b)),
+        K_MUL => fold(heap, a).wrapping_mul(fold(heap, b)) & 0xFFFF_FFFF,
+        K_LT => i64::from(fold(heap, a) < fold(heap, b)),
+        K_GT => i64::from(fold(heap, a) > fold(heap, b)),
+        K_ASSIGN => fold(heap, a).wrapping_add(fold(heap, b)).wrapping_mul(3),
+        K_DECL => {
+            // `a` is the declared symbol's table entry, not a node.
+            let idx = heap.load_u32(a + S_IDX);
+            (i64::from(idx) * 7 + 1).wrapping_add(fold(heap, b)).wrapping_mul(3)
+        }
+        K_IF => fold(heap, a)
+            .wrapping_add(fold(heap, b).wrapping_mul(5))
+            .wrapping_add(fold(heap, c).wrapping_mul(7)),
+        K_WHILE => fold(heap, a).wrapping_add(fold(heap, b).wrapping_mul(11)),
+        K_RET => fold(heap, a).wrapping_mul(13),
+        K_SEQ => fold(heap, a).wrapping_add(fold(heap, b).wrapping_mul(17)),
+        other => unreachable!("bad node kind {other}"),
+    }
+}
+
+/// Looks a source identifier up in a symbol chain (heap-to-heap compare).
+fn sym_lookup(heap: &mut SimHeap, mut chain: Addr, src: Addr, start: u32, len: u32) -> Addr {
+    while !chain.is_null() {
+        if heap.load_u32(chain + S_LEN) == len {
+            let name = heap.load_addr(chain + S_NAME);
+            if (0..len).all(|i| heap.load_u8(name + i) == heap.load_u8(src + start + i)) {
+                return chain;
+            }
+        }
+        chain = heap.load_addr(chain + S_NEXT);
+    }
+    Addr::NULL
+}
+
+// --- begin malloc variant ---
+
+/// lcc with malloc/free: statement ASTs freed tree by tree after each
+/// statement is processed, symbol tables at function end.
+pub fn run_malloc(env: &mut MallocEnv, scale: u32) -> u64 {
+    let src = input(scale);
+    let area = env.heap().sbrk(src.len() as u32);
+    env.heap().load_bytes_untraced(area, src.as_bytes());
+    let mut sum = Checksum::new();
+    // Roots: 0 = symtab chain, 1 = current statement, 2.. parser depth.
+    env.push_roots(24);
+    let mut lx = Lexer::new(env.heap(), area, src.len() as u32);
+    let mut functions = 0u64;
+    let mut statements = 0u64;
+    while lx.tok != Tok::Eof {
+        // int f(int a, int b) {
+        assert_eq!(lx.tok, Tok::KwInt);
+        lx.advance(env.heap());
+        let Tok::Ident { .. } = lx.tok else { panic!("function name expected") };
+        lx.advance(env.heap());
+        lx.eat_punct(env.heap(), b'(');
+        let mut symtab = Addr::NULL;
+        let mut nsyms = 0u32;
+        env.set_root(0, symtab);
+        while lx.tok != Tok::Punct(b')') {
+            if lx.tok == Tok::KwInt || lx.tok == Tok::Punct(b',') {
+                lx.advance(env.heap());
+                continue;
+            }
+            let Tok::Ident { start, len } = lx.tok else { panic!("param expected") };
+            symtab = sym_insert_m(env, symtab, area, start, len, nsyms);
+            env.set_root(0, symtab);
+            nsyms += 1;
+            lx.advance(env.heap());
+        }
+        lx.eat_punct(env.heap(), b')');
+        lx.eat_punct(env.heap(), b'{');
+        // Statements, processed and freed one at a time.
+        while lx.tok != Tok::Punct(b'}') {
+            let stmt = parse_stmt_m(env, &mut lx, area, &mut symtab, &mut nsyms, 2);
+            env.set_root(1, stmt);
+            statements += 1;
+            sum.add(fold(env.heap(), stmt) as u64);
+            free_tree_m(env, stmt);
+            env.set_root(1, Addr::NULL);
+        }
+        lx.eat_punct(env.heap(), b'}');
+        // Function over: free the symbol table.
+        let mut s = symtab;
+        while !s.is_null() {
+            let next = env.heap().load_addr(s + S_NEXT);
+            let name = env.heap().load_addr(s + S_NAME);
+            env.free(name);
+            env.free(s);
+            s = next;
+        }
+        env.set_root(0, Addr::NULL);
+        functions += 1;
+        sum.add(u64::from(nsyms));
+    }
+    env.pop_roots();
+    sum.add(functions);
+    sum.add(statements);
+    sum.value()
+}
+
+fn node_m(env: &mut MallocEnv, kind: u32, a: Addr, b: Addr, c: Addr, val: u32) -> Addr {
+    let n = env.malloc(NODE);
+    env.heap().store_u32(n + N_KIND, kind);
+    env.heap().store_addr(n + N_A, a);
+    env.heap().store_addr(n + N_B, b);
+    env.heap().store_addr(n + N_C, c);
+    env.heap().store_u32(n + N_VAL, val);
+    n
+}
+
+fn sym_insert_m(env: &mut MallocEnv, chain: Addr, src: Addr, start: u32, len: u32, idx: u32) -> Addr {
+    let name = env.malloc(len);
+    env.set_root(20, name);
+    env.heap().copy(name, src + start, len);
+    let s = env.malloc(SYM);
+    env.heap().store_addr(s + S_NEXT, chain);
+    env.heap().store_addr(s + S_NAME, name);
+    env.heap().store_u32(s + S_LEN, len);
+    env.heap().store_u32(s + S_IDX, idx);
+    env.set_root(20, Addr::NULL);
+    s
+}
+
+/// Frees a statement tree (symbol entries are shared — not freed here).
+fn free_tree_m(env: &mut MallocEnv, n: Addr) {
+    if n.is_null() {
+        return;
+    }
+    let kind = env.heap().load_u32(n + N_KIND);
+    if kind != K_VAR && kind != K_DECL {
+        // K_VAR's and K_DECL's `a` is a symbol entry, owned by the
+        // symbol table — not part of this tree.
+        let a = env.heap().load_addr(n + N_A);
+        free_tree_m(env, a);
+    }
+    let b = env.heap().load_addr(n + N_B);
+    let c = env.heap().load_addr(n + N_C);
+    free_tree_m(env, b);
+    free_tree_m(env, c);
+    env.free(n);
+}
+
+fn parse_stmt_m(
+    env: &mut MallocEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    symtab: &mut Addr,
+    nsyms: &mut u32,
+    slot: u32,
+) -> Addr {
+    match lx.tok {
+        Tok::KwInt => {
+            // int x = expr ;
+            lx.advance(env.heap());
+            let Tok::Ident { start, len } = lx.tok else { panic!("name expected") };
+            lx.advance(env.heap());
+            *symtab = sym_insert_m(env, *symtab, src, start, len, *nsyms);
+            env.set_root(0, *symtab);
+            *nsyms += 1;
+            lx.eat_punct(env.heap(), b'=');
+            let init = parse_expr_m(env, lx, src, *symtab, slot);
+            lx.eat_punct(env.heap(), b';');
+            env.set_root(slot, init);
+            node_m(env, K_DECL, *symtab, init, Addr::NULL, 0)
+        }
+        Tok::KwIf => {
+            lx.advance(env.heap());
+            lx.eat_punct(env.heap(), b'(');
+            let cond = parse_expr_m(env, lx, src, *symtab, slot);
+            env.set_root(slot, cond);
+            lx.eat_punct(env.heap(), b')');
+            let then_b = parse_block_m(env, lx, src, symtab, nsyms, slot + 1);
+            env.set_root(slot + 1, then_b);
+            let else_b = if lx.tok == Tok::KwElse {
+                lx.advance(env.heap());
+                parse_block_m(env, lx, src, symtab, nsyms, slot + 2)
+            } else {
+                Addr::NULL
+            };
+            env.set_root(slot + 2, else_b);
+            node_m(env, K_IF, cond, then_b, else_b, 0)
+        }
+        Tok::KwWhile => {
+            lx.advance(env.heap());
+            lx.eat_punct(env.heap(), b'(');
+            let cond = parse_expr_m(env, lx, src, *symtab, slot);
+            env.set_root(slot, cond);
+            lx.eat_punct(env.heap(), b')');
+            let body = parse_block_m(env, lx, src, symtab, nsyms, slot + 1);
+            env.set_root(slot + 1, body);
+            node_m(env, K_WHILE, cond, body, Addr::NULL, 0)
+        }
+        Tok::KwReturn => {
+            lx.advance(env.heap());
+            let e = parse_expr_m(env, lx, src, *symtab, slot);
+            env.set_root(slot, e);
+            lx.eat_punct(env.heap(), b';');
+            node_m(env, K_RET, e, Addr::NULL, Addr::NULL, 0)
+        }
+        Tok::Ident { start, len } => {
+            // x = expr ;
+            lx.advance(env.heap());
+            let entry = sym_lookup(env.heap(), *symtab, src, start, len);
+            assert!(!entry.is_null(), "undeclared identifier");
+            let var = node_m(env, K_VAR, entry, Addr::NULL, Addr::NULL, 0);
+            env.set_root(slot, var);
+            lx.eat_punct(env.heap(), b'=');
+            let e = parse_expr_m(env, lx, src, *symtab, slot + 1);
+            env.set_root(slot + 1, e);
+            lx.eat_punct(env.heap(), b';');
+            node_m(env, K_ASSIGN, var, e, Addr::NULL, 0)
+        }
+        other => panic!("unexpected token {other:?}"),
+    }
+}
+
+/// `{ stmt* }` as a K_SEQ chain.
+fn parse_block_m(
+    env: &mut MallocEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    symtab: &mut Addr,
+    nsyms: &mut u32,
+    slot: u32,
+) -> Addr {
+    lx.eat_punct(env.heap(), b'{');
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    while lx.tok != Tok::Punct(b'}') {
+        let s = parse_stmt_m(env, lx, src, symtab, nsyms, slot + 1);
+        env.set_root(slot + 1, s);
+        let cell = node_m(env, K_SEQ, s, Addr::NULL, Addr::NULL, 0);
+        if head.is_null() {
+            head = cell;
+            env.set_root(slot, head);
+        } else {
+            env.heap().store_addr(tail + N_B, cell);
+        }
+        tail = cell;
+    }
+    lx.eat_punct(env.heap(), b'}');
+    head
+}
+
+fn parse_expr_m(env: &mut MallocEnv, lx: &mut Lexer, src: Addr, symtab: Addr, slot: u32) -> Addr {
+    // add := mul (('+'|'-') mul)*
+    let mut lhs = parse_term_m(env, lx, src, symtab, slot);
+    loop {
+        let kind = match lx.tok {
+            Tok::Punct(b'+') => K_ADD,
+            Tok::Punct(b'-') => K_SUB,
+            Tok::Punct(b'<') => K_LT,
+            Tok::Punct(b'>') => K_GT,
+            _ => break,
+        };
+        lx.advance(env.heap());
+        env.set_root(slot, lhs);
+        let rhs = parse_term_m(env, lx, src, symtab, slot + 1);
+        env.set_root(slot + 1, rhs);
+        lhs = node_m(env, kind, lhs, rhs, Addr::NULL, 0);
+    }
+    lhs
+}
+
+fn parse_term_m(env: &mut MallocEnv, lx: &mut Lexer, src: Addr, symtab: Addr, slot: u32) -> Addr {
+    let mut lhs = parse_atom_m(env, lx, src, symtab, slot);
+    while lx.tok == Tok::Punct(b'*') {
+        lx.advance(env.heap());
+        env.set_root(slot, lhs);
+        let rhs = parse_atom_m(env, lx, src, symtab, slot + 1);
+        env.set_root(slot + 1, rhs);
+        lhs = node_m(env, K_MUL, lhs, rhs, Addr::NULL, 0);
+    }
+    lhs
+}
+
+fn parse_atom_m(env: &mut MallocEnv, lx: &mut Lexer, src: Addr, symtab: Addr, slot: u32) -> Addr {
+    match lx.tok {
+        Tok::Int(v) => {
+            lx.advance(env.heap());
+            node_m(env, K_INT, Addr::NULL, Addr::NULL, Addr::NULL, v as u32)
+        }
+        Tok::Ident { start, len } => {
+            lx.advance(env.heap());
+            let entry = sym_lookup(env.heap(), symtab, src, start, len);
+            assert!(!entry.is_null(), "undeclared identifier");
+            node_m(env, K_VAR, entry, Addr::NULL, Addr::NULL, 0)
+        }
+        Tok::Punct(b'(') => {
+            lx.advance(env.heap());
+            let e = parse_expr_m(env, lx, src, symtab, slot);
+            lx.eat_punct(env.heap(), b')');
+            e
+        }
+        other => panic!("unexpected token in expression: {other:?}"),
+    }
+}
+
+// --- end malloc variant ---
+
+// --- begin region variant ---
+
+/// lcc with regions: symbol tables in a per-function region, statement
+/// ASTs in a region rotated every hundred statements (the paper's
+/// choice). Statement nodes point into the function region, so rotation
+/// exercises cross-region reference counting and cleanup.
+pub fn run_region(env: &mut RegionEnv, scale: u32) -> u64 {
+    let src = input(scale);
+    let area = env.heap().sbrk(src.len() as u32);
+    env.heap().load_bytes_untraced(area, src.as_bytes());
+    let mut sum = Checksum::new();
+    let d_node =
+        env.register_type(region_core::TypeDescriptor::new("lcc_node", NODE, vec![N_A, N_B, N_C]));
+    let d_sym =
+        env.register_type(region_core::TypeDescriptor::new("lcc_sym", SYM, vec![S_NEXT, S_NAME]));
+    let mut lx = Lexer::new(env.heap(), area, src.len() as u32);
+    let mut functions = 0u64;
+    let mut statements = 0u64;
+    let mut stmt_region = env.new_region();
+    let mut in_region = 0u32; // statements compiled into the current region
+    env.push_frame(1); // local for the statement being processed
+    while lx.tok != Tok::Eof {
+        assert_eq!(lx.tok, Tok::KwInt);
+        lx.advance(env.heap());
+        let Tok::Ident { .. } = lx.tok else { panic!("function name expected") };
+        lx.advance(env.heap());
+        lx.eat_punct(env.heap(), b'(');
+        let func_region = env.new_region();
+        let mut symtab = Addr::NULL;
+        let mut nsyms = 0u32;
+        while lx.tok != Tok::Punct(b')') {
+            if lx.tok == Tok::KwInt || lx.tok == Tok::Punct(b',') {
+                lx.advance(env.heap());
+                continue;
+            }
+            let Tok::Ident { start, len } = lx.tok else { panic!("param expected") };
+            symtab = sym_insert_r(env, func_region, d_sym, symtab, area, start, len, nsyms);
+            nsyms += 1;
+            lx.advance(env.heap());
+        }
+        lx.eat_punct(env.heap(), b')');
+        lx.eat_punct(env.heap(), b'{');
+        while lx.tok != Tok::Punct(b'}') {
+            let stmt = parse_stmt_r(
+                env,
+                &mut lx,
+                area,
+                stmt_region,
+                func_region,
+                d_node,
+                d_sym,
+                &mut symtab,
+                &mut nsyms,
+            );
+            env.set_local(0, stmt);
+            statements += 1;
+            in_region += 1;
+            sum.add(fold(env.heap(), stmt) as u64);
+            env.set_local(0, Addr::NULL);
+            // "a region for every hundred statements compiled"
+            if in_region == 100 {
+                assert!(env.delete_region(stmt_region), "statement region must delete");
+                stmt_region = env.new_region();
+                in_region = 0;
+            }
+        }
+        lx.eat_punct(env.heap(), b'}');
+        // Function over: the statement region may still hold pointers to
+        // this function's symbols, so rotate it before deleting the
+        // function region.
+        assert!(env.delete_region(stmt_region));
+        stmt_region = env.new_region();
+        in_region = 0;
+        symtab = Addr::NULL;
+        let _ = symtab;
+        assert!(env.delete_region(func_region), "function region must delete");
+        functions += 1;
+        sum.add(u64::from(nsyms));
+    }
+    env.pop_frame();
+    assert!(env.delete_region(stmt_region));
+    sum.add(functions);
+    sum.add(statements);
+    sum.value()
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the C API shape
+fn node_r(
+    env: &mut RegionEnv,
+    r: crate::env::Rh,
+    d: crate::env::Dh,
+    kind: u32,
+    a: Addr,
+    b: Addr,
+    c: Addr,
+    val: u32,
+) -> Addr {
+    let n = env.ralloc(r, d);
+    env.heap().store_u32(n + N_KIND, kind);
+    env.store_ptr_region(n + N_A, a);
+    env.store_ptr_region(n + N_B, b);
+    env.store_ptr_region(n + N_C, c);
+    env.heap().store_u32(n + N_VAL, val);
+    n
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sym_insert_r(
+    env: &mut RegionEnv,
+    r: crate::env::Rh,
+    d_sym: crate::env::Dh,
+    chain: Addr,
+    src: Addr,
+    start: u32,
+    len: u32,
+    idx: u32,
+) -> Addr {
+    let name = env.rstralloc(r, len);
+    env.heap().copy(name, src + start, len);
+    let s = env.ralloc(r, d_sym);
+    env.store_ptr_region(s + S_NEXT, chain);
+    env.store_ptr_region(s + S_NAME, name);
+    env.heap().store_u32(s + S_LEN, len);
+    env.heap().store_u32(s + S_IDX, idx);
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_stmt_r(
+    env: &mut RegionEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    sr: crate::env::Rh,
+    fr: crate::env::Rh,
+    d_node: crate::env::Dh,
+    d_sym: crate::env::Dh,
+    symtab: &mut Addr,
+    nsyms: &mut u32,
+) -> Addr {
+    match lx.tok {
+        Tok::KwInt => {
+            lx.advance(env.heap());
+            let Tok::Ident { start, len } = lx.tok else { panic!("name expected") };
+            lx.advance(env.heap());
+            *symtab = sym_insert_r(env, fr, d_sym, *symtab, src, start, len, *nsyms);
+            *nsyms += 1;
+            lx.eat_punct(env.heap(), b'=');
+            let init = parse_expr_r(env, lx, src, sr, d_node, *symtab);
+            lx.eat_punct(env.heap(), b';');
+            node_r(env, sr, d_node, K_DECL, *symtab, init, Addr::NULL, 0)
+        }
+        Tok::KwIf => {
+            lx.advance(env.heap());
+            lx.eat_punct(env.heap(), b'(');
+            let cond = parse_expr_r(env, lx, src, sr, d_node, *symtab);
+            lx.eat_punct(env.heap(), b')');
+            let then_b = parse_block_r(env, lx, src, sr, fr, d_node, d_sym, symtab, nsyms);
+            let else_b = if lx.tok == Tok::KwElse {
+                lx.advance(env.heap());
+                parse_block_r(env, lx, src, sr, fr, d_node, d_sym, symtab, nsyms)
+            } else {
+                Addr::NULL
+            };
+            node_r(env, sr, d_node, K_IF, cond, then_b, else_b, 0)
+        }
+        Tok::KwWhile => {
+            lx.advance(env.heap());
+            lx.eat_punct(env.heap(), b'(');
+            let cond = parse_expr_r(env, lx, src, sr, d_node, *symtab);
+            lx.eat_punct(env.heap(), b')');
+            let body = parse_block_r(env, lx, src, sr, fr, d_node, d_sym, symtab, nsyms);
+            node_r(env, sr, d_node, K_WHILE, cond, body, Addr::NULL, 0)
+        }
+        Tok::KwReturn => {
+            lx.advance(env.heap());
+            let e = parse_expr_r(env, lx, src, sr, d_node, *symtab);
+            lx.eat_punct(env.heap(), b';');
+            node_r(env, sr, d_node, K_RET, e, Addr::NULL, Addr::NULL, 0)
+        }
+        Tok::Ident { start, len } => {
+            lx.advance(env.heap());
+            let entry = sym_lookup(env.heap(), *symtab, src, start, len);
+            assert!(!entry.is_null(), "undeclared identifier");
+            let var = node_r(env, sr, d_node, K_VAR, entry, Addr::NULL, Addr::NULL, 0);
+            lx.eat_punct(env.heap(), b'=');
+            let e = parse_expr_r(env, lx, src, sr, d_node, *symtab);
+            lx.eat_punct(env.heap(), b';');
+            node_r(env, sr, d_node, K_ASSIGN, var, e, Addr::NULL, 0)
+        }
+        other => panic!("unexpected token {other:?}"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_block_r(
+    env: &mut RegionEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    sr: crate::env::Rh,
+    fr: crate::env::Rh,
+    d_node: crate::env::Dh,
+    d_sym: crate::env::Dh,
+    symtab: &mut Addr,
+    nsyms: &mut u32,
+) -> Addr {
+    lx.eat_punct(env.heap(), b'{');
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    while lx.tok != Tok::Punct(b'}') {
+        let s = parse_stmt_r(env, lx, src, sr, fr, d_node, d_sym, symtab, nsyms);
+        let cell = node_r(env, sr, d_node, K_SEQ, s, Addr::NULL, Addr::NULL, 0);
+        if head.is_null() {
+            head = cell;
+        } else {
+            env.store_ptr_region(tail + N_B, cell);
+        }
+        tail = cell;
+    }
+    lx.eat_punct(env.heap(), b'}');
+    head
+}
+
+fn parse_expr_r(
+    env: &mut RegionEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    sr: crate::env::Rh,
+    d_node: crate::env::Dh,
+    symtab: Addr,
+) -> Addr {
+    let mut lhs = parse_term_r(env, lx, src, sr, d_node, symtab);
+    loop {
+        let kind = match lx.tok {
+            Tok::Punct(b'+') => K_ADD,
+            Tok::Punct(b'-') => K_SUB,
+            Tok::Punct(b'<') => K_LT,
+            Tok::Punct(b'>') => K_GT,
+            _ => break,
+        };
+        lx.advance(env.heap());
+        let rhs = parse_term_r(env, lx, src, sr, d_node, symtab);
+        lhs = node_r(env, sr, d_node, kind, lhs, rhs, Addr::NULL, 0);
+    }
+    lhs
+}
+
+fn parse_term_r(
+    env: &mut RegionEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    sr: crate::env::Rh,
+    d_node: crate::env::Dh,
+    symtab: Addr,
+) -> Addr {
+    let mut lhs = parse_atom_r(env, lx, src, sr, d_node, symtab);
+    while lx.tok == Tok::Punct(b'*') {
+        lx.advance(env.heap());
+        let rhs = parse_atom_r(env, lx, src, sr, d_node, symtab);
+        lhs = node_r(env, sr, d_node, K_MUL, lhs, rhs, Addr::NULL, 0);
+    }
+    lhs
+}
+
+fn parse_atom_r(
+    env: &mut RegionEnv,
+    lx: &mut Lexer,
+    src: Addr,
+    sr: crate::env::Rh,
+    d_node: crate::env::Dh,
+    symtab: Addr,
+) -> Addr {
+    match lx.tok {
+        Tok::Int(v) => {
+            lx.advance(env.heap());
+            node_r(env, sr, d_node, K_INT, Addr::NULL, Addr::NULL, Addr::NULL, v as u32)
+        }
+        Tok::Ident { start, len } => {
+            lx.advance(env.heap());
+            let entry = sym_lookup(env.heap(), symtab, src, start, len);
+            assert!(!entry.is_null(), "undeclared identifier");
+            node_r(env, sr, d_node, K_VAR, entry, Addr::NULL, Addr::NULL, 0)
+        }
+        Tok::Punct(b'(') => {
+            lx.advance(env.heap());
+            let e = parse_expr_r(env, lx, src, sr, d_node, symtab);
+            lx.eat_punct(env.heap(), b')');
+            e
+        }
+        other => panic!("unexpected token in expression: {other:?}"),
+    }
+}
+
+// --- end region variant ---
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MallocKind, RegionKind};
+
+    #[test]
+    fn input_looks_like_c() {
+        let src = input(1);
+        assert_eq!(src.matches("int f").count(), 6);
+        assert!(src.contains("while ("));
+        assert!(src.contains("if ("));
+        assert!(src.contains("return"));
+    }
+
+    #[test]
+    fn all_allocators_agree_on_the_answer() {
+        let expected = run_malloc(&mut MallocEnv::new(MallocKind::Sun), 1);
+        for kind in [MallocKind::Bsd, MallocKind::Lea, MallocKind::Gc] {
+            assert_eq!(run_malloc(&mut MallocEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+        for kind in [RegionKind::Safe, RegionKind::Unsafe, RegionKind::Emulated(MallocKind::Sun)] {
+            assert_eq!(run_region(&mut RegionEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn malloc_variant_frees_everything() {
+        let mut env = MallocEnv::new(MallocKind::Lea);
+        run_malloc(&mut env, 1);
+        assert_eq!(env.stats().live_bytes, 0);
+        assert!(env.stats().total_allocs > 1_000, "got {}", env.stats().total_allocs);
+    }
+
+    #[test]
+    fn region_variant_rotates_and_cleans_up() {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        run_region(&mut env, 1);
+        let stats = env.stats();
+        assert_eq!(stats.live_regions, 0);
+        // 6 function regions + at least one statement region per function.
+        assert!(stats.total_regions >= 12, "got {}", stats.total_regions);
+        assert_eq!(env.costs().unwrap().deletes_failed, 0);
+        // Cross-region pointers (statement nodes → symbols) exercised the
+        // cleanup scan.
+        assert!(env.costs().unwrap().cleanup_ptrs > 0);
+    }
+}

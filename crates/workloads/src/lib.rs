@@ -1,0 +1,138 @@
+//! The six allocation-intensive benchmark programs of Gay & Aiken's
+//! evaluation (§5.1), re-implemented over the simulated heap in two
+//! source variants each — malloc/free and regions — exactly as the paper
+//! ran them.
+//!
+//! | Benchmark | What it does | Region structure (from §5.1) |
+//! |---|---|---|
+//! | [`cfrac`] | factors a large integer with multiprecision arithmetic | temp region every few iterations; partial solutions copied to a solution region |
+//! | [`grobner`] | Gröbner basis of a polynomial set (Buchberger) | temp region per reduction; basis polynomials copied to a result region |
+//! | [`mudlle`] | byte-code compiler for a scheme-like language | one region for the file's AST, one per function compilation |
+//! | [`lcc`] | a C front end | a region per hundred statements compiled |
+//! | [`tile`] | partitions text by word frequency | a region per text block |
+//! | [`moss`] | software plagiarism detection (winnowing) | interleaved ("slow") vs small/large segregated regions |
+//!
+//! Each workload returns a checksum that must be identical under every
+//! allocator — that equality is asserted by tests and is the harness's
+//! correctness anchor. Inputs are seeded and deterministic
+//! ([`util::text`]); the `scale` parameter grows them for benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfrac;
+pub mod env;
+pub mod grobner;
+pub mod lcc;
+pub mod moss;
+pub mod mudlle;
+pub mod tile;
+pub mod util;
+
+pub use env::{Dh, MallocEnv, MallocKind, RegionEnv, RegionKind, Rh};
+
+/// The six workloads, for iteration by the benchmark harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Continued-fraction-style integer factoring (bignum substrate).
+    Cfrac,
+    /// Gröbner basis (Buchberger's algorithm).
+    Grobner,
+    /// Scheme-like byte-code compiler.
+    Mudlle,
+    /// C front end.
+    Lcc,
+    /// Text partitioning.
+    Tile,
+    /// Plagiarism detection (winnowing fingerprints).
+    Moss,
+}
+
+impl Workload {
+    /// All six, in the paper's order.
+    pub const ALL: [Workload; 6] = [
+        Workload::Cfrac,
+        Workload::Grobner,
+        Workload::Mudlle,
+        Workload::Lcc,
+        Workload::Tile,
+        Workload::Moss,
+    ];
+
+    /// The paper's name for this program.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Cfrac => "cfrac",
+            Workload::Grobner => "grobner",
+            Workload::Mudlle => "mudlle",
+            Workload::Lcc => "lcc",
+            Workload::Tile => "tile",
+            Workload::Moss => "moss",
+        }
+    }
+
+    /// Runs the malloc/free variant; returns the checksum.
+    pub fn run_malloc(self, env: &mut MallocEnv, scale: u32) -> u64 {
+        match self {
+            Workload::Cfrac => cfrac::run_malloc(env, scale),
+            Workload::Grobner => grobner::run_malloc(env, scale),
+            Workload::Mudlle => mudlle::run_malloc(env, scale),
+            Workload::Lcc => lcc::run_malloc(env, scale),
+            Workload::Tile => tile::run_malloc(env, scale),
+            Workload::Moss => moss::run_malloc(env, scale),
+        }
+    }
+
+    /// Runs the region variant; returns the checksum. For `moss` this is
+    /// the optimized (two-region) layout; see [`moss::run_region_slow`]
+    /// for the paper's "slow" bar.
+    pub fn run_region(self, env: &mut RegionEnv, scale: u32) -> u64 {
+        match self {
+            Workload::Cfrac => cfrac::run_region(env, scale),
+            Workload::Grobner => grobner::run_region(env, scale),
+            Workload::Mudlle => mudlle::run_region(env, scale),
+            Workload::Lcc => lcc::run_region(env, scale),
+            Workload::Tile => tile::run_region(env, scale),
+            Workload::Moss => moss::run_region(env, scale),
+        }
+    }
+
+    /// The marker-delimited sources of the two variants, for the Table 1
+    /// porting-effort diff: (whole file, malloc section, region section).
+    pub fn variant_sources(self) -> (&'static str, &'static str, &'static str) {
+        let file = match self {
+            Workload::Cfrac => include_str!("cfrac.rs"),
+            Workload::Grobner => include_str!("grobner.rs"),
+            Workload::Mudlle => include_str!("mudlle.rs"),
+            Workload::Lcc => include_str!("lcc.rs"),
+            Workload::Tile => include_str!("tile.rs"),
+            Workload::Moss => include_str!("moss.rs"),
+        };
+        let malloc = section(file, "malloc variant");
+        let region = section(file, "region variant");
+        (file, malloc, region)
+    }
+}
+
+/// Extracts the `// --- begin NAME --- ... // --- end NAME ---` span.
+fn section(file: &'static str, name: &str) -> &'static str {
+    let begin = format!("// --- begin {name} ---");
+    let end = format!("// --- end {name} ---");
+    let s = file.find(&begin).unwrap_or_else(|| panic!("missing marker {begin}"));
+    let e = file.find(&end).unwrap_or_else(|| panic!("missing marker {end}"));
+    &file[s + begin.len()..e]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_both_variant_sections() {
+        for w in Workload::ALL {
+            let (_, m, r) = w.variant_sources();
+            assert!(m.lines().count() > 10, "{}: malloc section too small", w.name());
+            assert!(r.lines().count() > 10, "{}: region section too small", w.name());
+        }
+    }
+}

@@ -1,0 +1,678 @@
+//! `mudlle` — a byte-code compiler for a scheme-like language (§5.1).
+//!
+//! The original mudlle already used unsafe regions; the paper's port
+//! gives it "one region \[that\] holds the abstract syntax tree of the
+//! file being compiled and one region ... created to hold the data
+//! structures needed to compile each function", and notes that stale
+//! global pointers had to be cleared before regions would delete.
+//!
+//! This reproduction parses a generated file of `define` forms into
+//! in-heap cons cells, compiles each function to stack bytecode (emitted
+//! into chained chunks, then flattened into an output buffer), and
+//! repeats for several iterations — the paper compiles "the same
+//! 500-line file 100 times".
+
+use simheap::{Addr, SimHeap};
+
+use crate::env::{MallocEnv, RegionEnv};
+use crate::util::{rng, Checksum};
+use rand::Rng;
+
+// Cell layout: [tag][a][b][ival], 16 bytes. a/b are always pointers (or
+// null), so one cleanup descriptor covers every tag.
+const TAG_PAIR: u32 = 0; // a = car, b = cdr
+const TAG_INT: u32 = 1; // ival = value
+const TAG_SYM: u32 = 2; // a = string buffer, ival = length
+const C_TAG: u32 = 0;
+const C_A: u32 = 4;
+const C_B: u32 = 8;
+const C_IVAL: u32 = 12;
+const CELL: u32 = 16;
+
+// Bytecode chunk: [next][used][256 data bytes].
+const CH_NEXT: u32 = 0;
+const CH_USED: u32 = 4;
+const CH_DATA: u32 = 8;
+const CH_CAP: u32 = 256;
+const CHUNK: u32 = CH_DATA + CH_CAP;
+
+// Opcodes.
+const OP_PUSHI: u8 = 1;
+const OP_LOAD: u8 = 2;
+const OP_ADD: u8 = 3;
+const OP_SUB: u8 = 4;
+const OP_MUL: u8 = 5;
+const OP_LT: u8 = 6;
+const OP_JZ: u8 = 7;
+const OP_JMP: u8 = 8;
+const OP_RET: u8 = 9;
+
+/// Generates the source file: `30 × scale` function definitions over
+/// two parameters, with arithmetic, comparisons and `if`.
+pub fn input(scale: u32) -> String {
+    let mut r = rng(0x0d11e);
+    fn expr(r: &mut rand::rngs::StdRng, depth: u32, out: &mut String) {
+        if depth == 0 || r.gen_ratio(1, 4) {
+            if r.gen_bool(0.5) {
+                out.push_str(if r.gen_bool(0.5) { "a" } else { "b" });
+            } else {
+                out.push_str(&r.gen_range(0..100i32).to_string());
+            }
+            return;
+        }
+        let op = ["+", "-", "*", "<", "if"][r.gen_range(0..5)];
+        out.push('(');
+        out.push_str(op);
+        let arity = if op == "if" { 3 } else { 2 };
+        for _ in 0..arity {
+            out.push(' ');
+            expr(r, depth - 1, out);
+        }
+        out.push(')');
+    }
+    let mut src = String::new();
+    for i in 0..30 * scale {
+        src.push_str(&format!("(define (f{i} a b) "));
+        expr(&mut r, 4, &mut src);
+        src.push_str(")\n");
+    }
+    src
+}
+
+/// A host-side cursor over the in-heap source text.
+struct Cursor {
+    base: Addr,
+    len: u32,
+    pos: u32,
+}
+
+impl Cursor {
+    fn peek(&self, heap: &mut SimHeap) -> Option<u8> {
+        if self.pos < self.len {
+            Some(heap.load_u8(self.base + self.pos))
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self, heap: &mut SimHeap) {
+        while let Some(c) = self.peek(heap) {
+            if c == b' ' || c == b'\n' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The abstract allocation interface both variants hand to the shared
+/// parser/compiler walkers would defeat the purpose of measuring the
+/// porting diff — instead each variant carries its own allocation code
+/// and shares only the pure helpers below.
+fn is_atom_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'+' || c == b'-' || c == b'*' || c == b'<'
+}
+
+/// Reads a cell field.
+fn cf(heap: &mut SimHeap, cell: Addr, off: u32) -> u32 {
+    heap.load_u32(cell + off)
+}
+
+/// Compares an in-heap symbol cell's name with a byte string.
+fn sym_is(heap: &mut SimHeap, cell: Addr, name: &[u8]) -> bool {
+    if cf(heap, cell, C_TAG) != TAG_SYM || cf(heap, cell, C_IVAL) != name.len() as u32 {
+        return false;
+    }
+    let s = Addr::new(cf(heap, cell, C_A));
+    name.iter().enumerate().all(|(i, &b)| heap.load_u8(s + i as u32) == b)
+}
+
+/// Appends `flat` bytecode bytes and folds them into the checksum.
+fn account_code(heap: &mut SimHeap, flat: Addr, len: u32, sum: &mut Checksum) {
+    let mut h = 0u64;
+    for i in 0..len {
+        h = h.wrapping_mul(131).wrapping_add(u64::from(heap.load_u8(flat + i)));
+    }
+    sum.add(u64::from(len));
+    sum.add(h);
+}
+
+// --- begin malloc variant ---
+
+/// mudlle with malloc/free: cons cells and chunks are malloc'd; the AST
+/// is freed by a recursive walk after each compile iteration, compile
+/// temporaries after each function.
+pub fn run_malloc(env: &mut MallocEnv, scale: u32) -> u64 {
+    let src = input(scale);
+    let area = env.heap().sbrk(src.len() as u32);
+    env.heap().load_bytes_untraced(area, src.as_bytes());
+    let mut sum = Checksum::new();
+    // Roots: 0 = file AST, 1..=40 protect stack for the parser/compiler.
+    env.push_roots(48);
+    let iterations = 2 * scale;
+    for _ in 0..iterations {
+        let mut cur = Cursor { base: area, len: src.len() as u32, pos: 0 };
+        let ast = parse_file_m(env, &mut cur);
+        env.set_root(0, ast);
+        // Compile every (define ...) form.
+        let mut form = ast;
+        while !form.is_null() {
+            let def = Addr::new(cf(env.heap(), form, C_A));
+            compile_define_m(env, def, &mut sum);
+            form = Addr::new(cf(env.heap(), form, C_B));
+        }
+        free_cells_m(env, ast);
+        env.set_root(0, Addr::NULL);
+    }
+    env.pop_roots();
+    sum.add(u64::from(iterations));
+    sum.value()
+}
+
+/// Parses the whole file into a list of forms. Under the collector,
+/// every malloc may trigger a collection, so partially-built structures
+/// are kept reachable: each nesting level roots its list head (slot
+/// `base`) and the element being linked (slot `base+1`); children use
+/// `base+2`. Everything linked into the head is reachable through it.
+fn parse_file_m(env: &mut MallocEnv, cur: &mut Cursor) -> Addr {
+    parse_list_m(env, cur, 1, None)
+}
+
+/// Parses expressions until `terminator` (`)` for inner lists, EOF for
+/// the file), building the cons list left to right.
+fn parse_list_m(env: &mut MallocEnv, cur: &mut Cursor, slot: u32, terminator: Option<u8>) -> Addr {
+    let mut head = Addr::NULL;
+    let mut tail = Addr::NULL;
+    loop {
+        cur.skip_ws(env.heap());
+        match (cur.peek(env.heap()), terminator) {
+            (None, None) => break,
+            (None, Some(_)) => panic!("unexpected eof in list"),
+            (Some(c), Some(t)) if c == t => {
+                cur.pos += 1;
+                break;
+            }
+            _ => {}
+        }
+        let e = parse_expr_m(env, cur, slot + 2);
+        env.set_root(slot + 1, e); // keep `e` alive across the cons malloc
+        let cell = alloc_cell_m(env, TAG_PAIR, e, Addr::NULL, 0);
+        if head.is_null() {
+            head = cell;
+            env.set_root(slot, head);
+        } else {
+            env.heap().store_addr(tail + C_B, cell);
+        }
+        tail = cell;
+    }
+    head
+}
+
+fn parse_expr_m(env: &mut MallocEnv, cur: &mut Cursor, slot: u32) -> Addr {
+    cur.skip_ws(env.heap());
+    match cur.peek(env.heap()).expect("unexpected eof") {
+        b'(' => {
+            cur.pos += 1;
+            parse_list_m(env, cur, slot, Some(b')'))
+        }
+        c if c.is_ascii_digit() => {
+            let mut v: i64 = 0;
+            while let Some(c) = cur.peek(env.heap()) {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                v = v * 10 + i64::from(c - b'0');
+                cur.pos += 1;
+            }
+            alloc_cell_m(env, TAG_INT, Addr::NULL, Addr::NULL, v as u32)
+        }
+        _ => {
+            let start = cur.pos;
+            while let Some(c) = cur.peek(env.heap()) {
+                if !is_atom_char(c) {
+                    break;
+                }
+                cur.pos += 1;
+            }
+            let len = cur.pos - start;
+            let buf = env.malloc(len);
+            env.set_root(slot, buf); // keep the name alive across the cell malloc
+            env.heap().copy(buf, cur.base + start, len);
+            alloc_cell_m(env, TAG_SYM, buf, Addr::NULL, len)
+        }
+    }
+}
+
+fn alloc_cell_m(env: &mut MallocEnv, tag: u32, a: Addr, b: Addr, ival: u32) -> Addr {
+    let c = env.malloc(CELL);
+    env.heap().store_u32(c + C_TAG, tag);
+    env.heap().store_addr(c + C_A, a);
+    env.heap().store_addr(c + C_B, b);
+    env.heap().store_u32(c + C_IVAL, ival);
+    c
+}
+
+/// Frees an AST recursively — the walk that regions make unnecessary.
+fn free_cells_m(env: &mut MallocEnv, cell: Addr) {
+    if cell.is_null() {
+        return;
+    }
+    let tag = cf(env.heap(), cell, C_TAG);
+    let a = Addr::new(cf(env.heap(), cell, C_A));
+    let b = Addr::new(cf(env.heap(), cell, C_B));
+    if tag == TAG_PAIR {
+        free_cells_m(env, a);
+        free_cells_m(env, b);
+    } else if tag == TAG_SYM {
+        env.free(a);
+    }
+    env.free(cell);
+}
+
+/// Compiles one `(define (name a b) body)` form.
+fn compile_define_m(env: &mut MallocEnv, def: Addr, sum: &mut Checksum) {
+    // def = (define (name a b) body)
+    let rest = Addr::new(cf(env.heap(), def, C_B)); // ((name a b) body)
+    let body_cell = Addr::new(cf(env.heap(), rest, C_B)); // (body)
+    let body = Addr::new(cf(env.heap(), body_cell, C_A));
+    // Emit into chained chunks (compile temporaries).
+    let first = alloc_chunk_m(env);
+    env.set_root(46, first);
+    let mut state = EmitM { head: first, tail: first, len: 0, patches: Vec::new() };
+    compile_expr_m(env, body, &mut state);
+    emit_m(env, &mut state, OP_RET, &[]);
+    // Flatten into an output buffer, apply jump patches.
+    let flat = env.malloc(state.len);
+    env.set_root(47, flat);
+    let mut off = 0u32;
+    let mut ch = state.head;
+    while !ch.is_null() {
+        let used = cf(env.heap(), ch, CH_USED);
+        env.heap().copy(flat + off, ch + CH_DATA, used);
+        off += used;
+        ch = Addr::new(cf(env.heap(), ch, CH_NEXT));
+    }
+    for &(at, target) in &state.patches {
+        env.heap().store_u8(flat + at, (target & 0xff) as u8);
+        env.heap().store_u8(flat + at + 1, (target >> 8) as u8);
+    }
+    account_code(env.heap(), flat, state.len, sum);
+    // Free the compile temporaries and the output.
+    let mut ch = state.head;
+    while !ch.is_null() {
+        let next = Addr::new(cf(env.heap(), ch, CH_NEXT));
+        env.free(ch);
+        ch = next;
+    }
+    env.free(flat);
+    env.set_root(46, Addr::NULL);
+    env.set_root(47, Addr::NULL);
+}
+
+struct EmitM {
+    head: Addr,
+    tail: Addr,
+    len: u32,
+    patches: Vec<(u32, u32)>,
+}
+
+fn alloc_chunk_m(env: &mut MallocEnv) -> Addr {
+    let c = env.malloc(CHUNK);
+    env.heap().store_addr(c + CH_NEXT, Addr::NULL);
+    env.heap().store_u32(c + CH_USED, 0);
+    c
+}
+
+fn emit_m(env: &mut MallocEnv, st: &mut EmitM, op: u8, args: &[u8]) {
+    let need = 1 + args.len() as u32;
+    let used = cf(env.heap(), st.tail, CH_USED);
+    if used + need > CH_CAP {
+        let fresh = alloc_chunk_m(env);
+        env.heap().store_addr(st.tail + CH_NEXT, fresh);
+        st.tail = fresh;
+    }
+    let used = cf(env.heap(), st.tail, CH_USED);
+    env.heap().store_u8(st.tail + CH_DATA + used, op);
+    for (i, &b) in args.iter().enumerate() {
+        env.heap().store_u8(st.tail + CH_DATA + used + 1 + i as u32, b);
+    }
+    env.heap().store_u32(st.tail + CH_USED, used + need);
+    st.len += need;
+}
+
+fn compile_expr_m(env: &mut MallocEnv, e: Addr, st: &mut EmitM) {
+    match cf(env.heap(), e, C_TAG) {
+        TAG_INT => {
+            let v = cf(env.heap(), e, C_IVAL);
+            emit_m(env, st, OP_PUSHI, &v.to_le_bytes());
+        }
+        TAG_SYM => {
+            let slot = if sym_is(env.heap(), e, b"a") { 0 } else { 1 };
+            emit_m(env, st, OP_LOAD, &[slot]);
+        }
+        _ => {
+            // (op args...)
+            let head = Addr::new(cf(env.heap(), e, C_A));
+            let args = Addr::new(cf(env.heap(), e, C_B));
+            if sym_is(env.heap(), head, b"if") {
+                let c = Addr::new(cf(env.heap(), args, C_A));
+                let rest = Addr::new(cf(env.heap(), args, C_B));
+                let t = Addr::new(cf(env.heap(), rest, C_A));
+                let rest2 = Addr::new(cf(env.heap(), rest, C_B));
+                let f = Addr::new(cf(env.heap(), rest2, C_A));
+                compile_expr_m(env, c, st);
+                let jz_at = st.len + 1;
+                emit_m(env, st, OP_JZ, &[0, 0]);
+                compile_expr_m(env, t, st);
+                let jmp_at = st.len + 1;
+                emit_m(env, st, OP_JMP, &[0, 0]);
+                st.patches.push((jz_at, st.len));
+                compile_expr_m(env, f, st);
+                st.patches.push((jmp_at, st.len));
+            } else {
+                let x = Addr::new(cf(env.heap(), args, C_A));
+                let rest = Addr::new(cf(env.heap(), args, C_B));
+                let y = Addr::new(cf(env.heap(), rest, C_A));
+                compile_expr_m(env, x, st);
+                compile_expr_m(env, y, st);
+                let op = if sym_is(env.heap(), head, b"+") {
+                    OP_ADD
+                } else if sym_is(env.heap(), head, b"-") {
+                    OP_SUB
+                } else if sym_is(env.heap(), head, b"*") {
+                    OP_MUL
+                } else {
+                    OP_LT
+                };
+                emit_m(env, st, op, &[]);
+            }
+        }
+    }
+}
+
+// --- end malloc variant ---
+
+// --- begin region variant ---
+
+/// mudlle with regions: the file AST lives in one region, each
+/// function's compile temporaries in their own region, outputs in an
+/// output region — all deleted wholesale, no walks.
+pub fn run_region(env: &mut RegionEnv, scale: u32) -> u64 {
+    let src = input(scale);
+    let area = env.heap().sbrk(src.len() as u32);
+    env.heap().load_bytes_untraced(area, src.as_bytes());
+    let mut sum = Checksum::new();
+    let d_cell =
+        env.register_type(region_core::TypeDescriptor::new("mud_cell", CELL, vec![C_A, C_B]));
+    let d_chunk =
+        env.register_type(region_core::TypeDescriptor::new("mud_chunk", CHUNK, vec![CH_NEXT]));
+    env.push_frame(2); // 0 = file AST, 1 = current flat output
+    let iterations = 2 * scale;
+    for _ in 0..iterations {
+        let file_region = env.new_region();
+        let out_region = env.new_region();
+        let mut cur = Cursor { base: area, len: src.len() as u32, pos: 0 };
+        let ast = parse_file_r(env, file_region, d_cell, &mut cur);
+        env.set_local(0, ast);
+        let mut form = ast;
+        while !form.is_null() {
+            let def = Addr::new(cf(env.heap(), form, C_A));
+            compile_define_r(env, out_region, d_chunk, def, &mut sum);
+            form = Addr::new(cf(env.heap(), form, C_B));
+        }
+        // No walking: throw both regions away at once. The AST local is
+        // the stale pointer that must be cleared first (§5.1's mudlle!).
+        env.set_local(0, Addr::NULL);
+        assert!(env.delete_region(file_region), "file region must delete");
+        assert!(env.delete_region(out_region), "output region must delete");
+    }
+    env.pop_frame();
+    sum.add(u64::from(iterations));
+    sum.value()
+}
+
+/// Parses the file into cells allocated in `r` (no rooting gymnastics:
+/// nothing is ever collected out from under a region).
+fn parse_file_r(env: &mut RegionEnv, r: crate::env::Rh, d_cell: crate::env::Dh, cur: &mut Cursor) -> Addr {
+    let mut forms: Vec<Addr> = Vec::new();
+    loop {
+        cur.skip_ws(env.heap());
+        if cur.peek(env.heap()).is_none() {
+            break;
+        }
+        forms.push(parse_expr_r(env, r, d_cell, cur));
+    }
+    let mut list = Addr::NULL;
+    for &f in forms.iter().rev() {
+        list = alloc_cell_r(env, r, d_cell, TAG_PAIR, f, list, 0);
+    }
+    list
+}
+
+fn parse_expr_r(env: &mut RegionEnv, r: crate::env::Rh, d_cell: crate::env::Dh, cur: &mut Cursor) -> Addr {
+    cur.skip_ws(env.heap());
+    match cur.peek(env.heap()).expect("unexpected eof") {
+        b'(' => {
+            cur.pos += 1;
+            let mut elems: Vec<Addr> = Vec::new();
+            loop {
+                cur.skip_ws(env.heap());
+                if cur.peek(env.heap()) == Some(b')') {
+                    cur.pos += 1;
+                    break;
+                }
+                elems.push(parse_expr_r(env, r, d_cell, cur));
+            }
+            let mut list = Addr::NULL;
+            for &e in elems.iter().rev() {
+                list = alloc_cell_r(env, r, d_cell, TAG_PAIR, e, list, 0);
+            }
+            list
+        }
+        c if c.is_ascii_digit() => {
+            let mut v: i64 = 0;
+            while let Some(c) = cur.peek(env.heap()) {
+                if !c.is_ascii_digit() {
+                    break;
+                }
+                v = v * 10 + i64::from(c - b'0');
+                cur.pos += 1;
+            }
+            alloc_cell_r(env, r, d_cell, TAG_INT, Addr::NULL, Addr::NULL, v as u32)
+        }
+        _ => {
+            let start = cur.pos;
+            while let Some(c) = cur.peek(env.heap()) {
+                if !is_atom_char(c) {
+                    break;
+                }
+                cur.pos += 1;
+            }
+            let len = cur.pos - start;
+            let buf = env.rstralloc(r, len);
+            env.heap().copy(buf, cur.base + start, len);
+            alloc_cell_r(env, r, d_cell, TAG_SYM, buf, Addr::NULL, len)
+        }
+    }
+}
+
+fn alloc_cell_r(
+    env: &mut RegionEnv,
+    r: crate::env::Rh,
+    d_cell: crate::env::Dh,
+    tag: u32,
+    a: Addr,
+    b: Addr,
+    ival: u32,
+) -> Addr {
+    let c = env.ralloc(r, d_cell);
+    env.heap().store_u32(c + C_TAG, tag);
+    env.store_ptr_region(c + C_A, a);
+    env.store_ptr_region(c + C_B, b);
+    env.heap().store_u32(c + C_IVAL, ival);
+    c
+}
+
+/// Compiles one define form; temporaries in a fresh region, output in
+/// the output region ("one region is created to hold the data structures
+/// needed to compile each function").
+fn compile_define_r(
+    env: &mut RegionEnv,
+    out_region: crate::env::Rh,
+    d_chunk: crate::env::Dh,
+    def: Addr,
+    sum: &mut Checksum,
+) {
+    let tmp = env.new_region();
+    let rest = Addr::new(cf(env.heap(), def, C_B));
+    let body_cell = Addr::new(cf(env.heap(), rest, C_B));
+    let body = Addr::new(cf(env.heap(), body_cell, C_A));
+    let first = alloc_chunk_r(env, tmp, d_chunk);
+    let mut state = EmitR { region: tmp, d_chunk, head: first, tail: first, len: 0, patches: Vec::new() };
+    compile_expr_r(env, body, &mut state);
+    emit_r(env, &mut state, OP_RET, &[]);
+    // Flatten into the output region (the copy out of the temp region,
+    // exactly as cfrac/grobner copy their survivors).
+    let flat = env.rstralloc(out_region, state.len.max(4));
+    let mut off = 0u32;
+    let mut ch = state.head;
+    while !ch.is_null() {
+        let used = cf(env.heap(), ch, CH_USED);
+        env.heap().copy(flat + off, ch + CH_DATA, used);
+        off += used;
+        ch = Addr::new(cf(env.heap(), ch, CH_NEXT));
+    }
+    for &(at, target) in &state.patches {
+        env.heap().store_u8(flat + at, (target & 0xff) as u8);
+        env.heap().store_u8(flat + at + 1, (target >> 8) as u8);
+    }
+    account_code(env.heap(), flat, state.len, sum);
+    assert!(env.delete_region(tmp), "compile region must delete");
+}
+
+struct EmitR {
+    region: crate::env::Rh,
+    d_chunk: crate::env::Dh,
+    head: Addr,
+    tail: Addr,
+    len: u32,
+    patches: Vec<(u32, u32)>,
+}
+
+fn alloc_chunk_r(env: &mut RegionEnv, r: crate::env::Rh, d_chunk: crate::env::Dh) -> Addr {
+    // ralloc clears the chunk: next = null, used = 0.
+    env.ralloc(r, d_chunk)
+}
+
+fn emit_r(env: &mut RegionEnv, st: &mut EmitR, op: u8, args: &[u8]) {
+    let need = 1 + args.len() as u32;
+    let used = cf(env.heap(), st.tail, CH_USED);
+    if used + need > CH_CAP {
+        let fresh = alloc_chunk_r(env, st.region, st.d_chunk);
+        env.store_ptr_region(st.tail + CH_NEXT, fresh);
+        st.tail = fresh;
+    }
+    let used = cf(env.heap(), st.tail, CH_USED);
+    env.heap().store_u8(st.tail + CH_DATA + used, op);
+    for (i, &b) in args.iter().enumerate() {
+        env.heap().store_u8(st.tail + CH_DATA + used + 1 + i as u32, b);
+    }
+    env.heap().store_u32(st.tail + CH_USED, used + need);
+    st.len += need;
+}
+
+fn compile_expr_r(env: &mut RegionEnv, e: Addr, st: &mut EmitR) {
+    match cf(env.heap(), e, C_TAG) {
+        TAG_INT => {
+            let v = cf(env.heap(), e, C_IVAL);
+            emit_r(env, st, OP_PUSHI, &v.to_le_bytes());
+        }
+        TAG_SYM => {
+            let slot = if sym_is(env.heap(), e, b"a") { 0 } else { 1 };
+            emit_r(env, st, OP_LOAD, &[slot]);
+        }
+        _ => {
+            let head = Addr::new(cf(env.heap(), e, C_A));
+            let args = Addr::new(cf(env.heap(), e, C_B));
+            if sym_is(env.heap(), head, b"if") {
+                let c = Addr::new(cf(env.heap(), args, C_A));
+                let rest = Addr::new(cf(env.heap(), args, C_B));
+                let t = Addr::new(cf(env.heap(), rest, C_A));
+                let rest2 = Addr::new(cf(env.heap(), rest, C_B));
+                let f = Addr::new(cf(env.heap(), rest2, C_A));
+                compile_expr_r(env, c, st);
+                let jz_at = st.len + 1;
+                emit_r(env, st, OP_JZ, &[0, 0]);
+                compile_expr_r(env, t, st);
+                let jmp_at = st.len + 1;
+                emit_r(env, st, OP_JMP, &[0, 0]);
+                st.patches.push((jz_at, st.len));
+                compile_expr_r(env, f, st);
+                st.patches.push((jmp_at, st.len));
+            } else {
+                let x = Addr::new(cf(env.heap(), args, C_A));
+                let rest = Addr::new(cf(env.heap(), args, C_B));
+                let y = Addr::new(cf(env.heap(), rest, C_A));
+                compile_expr_r(env, x, st);
+                compile_expr_r(env, y, st);
+                let op = if sym_is(env.heap(), head, b"+") {
+                    OP_ADD
+                } else if sym_is(env.heap(), head, b"-") {
+                    OP_SUB
+                } else if sym_is(env.heap(), head, b"*") {
+                    OP_MUL
+                } else {
+                    OP_LT
+                };
+                emit_r(env, st, op, &[]);
+            }
+        }
+    }
+}
+
+// --- end region variant ---
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MallocKind, RegionKind};
+
+    #[test]
+    fn input_is_well_formed() {
+        let src = input(1);
+        assert_eq!(src.matches("(define").count(), 30);
+        let opens = src.matches('(').count();
+        let closes = src.matches(')').count();
+        assert_eq!(opens, closes, "balanced parens");
+    }
+
+    #[test]
+    fn all_allocators_agree_on_the_answer() {
+        let expected = run_malloc(&mut MallocEnv::new(MallocKind::Sun), 1);
+        for kind in [MallocKind::Bsd, MallocKind::Lea, MallocKind::Gc] {
+            assert_eq!(run_malloc(&mut MallocEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+        for kind in [RegionKind::Safe, RegionKind::Unsafe, RegionKind::Emulated(MallocKind::Lea)] {
+            assert_eq!(run_region(&mut RegionEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn region_structure_matches_the_paper() {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        run_region(&mut env, 1);
+        // 2 iterations × (file + output + 30 per-function) regions.
+        assert_eq!(env.stats().total_regions, 2 * 32);
+        assert_eq!(env.stats().live_regions, 0);
+        assert_eq!(env.costs().unwrap().deletes_failed, 0);
+    }
+
+    #[test]
+    fn malloc_variant_frees_everything() {
+        let mut env = MallocEnv::new(MallocKind::Lea);
+        run_malloc(&mut env, 1);
+        assert_eq!(env.stats().live_bytes, 0);
+        assert!(env.stats().total_allocs > 2000);
+    }
+}

@@ -1,0 +1,356 @@
+//! `tile` — partitions text into subsections based on frequency and
+//! grouping of words (§5.1).
+//!
+//! The original tile takes text files and splits them where the word
+//! distribution shifts. This reproduction tokenizes the input in the
+//! simulated heap, builds an in-heap chained hash table of word
+//! frequencies per fixed-size block, computes a similarity score between
+//! adjacent blocks, and places a section boundary where similarity
+//! drops. The paper's input is "twenty copies of a 14K text"; ours is
+//! `4 × scale` copies of a generated 14 KB text.
+//!
+//! Allocation behaviour: one bucket array, one entry per distinct word,
+//! and one string buffer per distinct word, per block — freed (or
+//! region-deleted) as soon as the block has been compared with its
+//! successor. The paper notes "for tile, one local variable must be
+//! cleared to allow a region to be deleted"; the region variant
+//! reproduces exactly that dance with its shadow-stack locals.
+
+use simheap::{Addr, SimHeap};
+
+use crate::env::{MallocEnv, RegionEnv};
+use crate::util::{isqrt, text, Checksum};
+
+const NBUCKETS: u32 = 64;
+const WORDS_PER_BLOCK: usize = 150;
+const SIM_THRESHOLD: u64 = 350;
+
+// Entry layout: [count][hash][next][word][len], 20 bytes.
+const E_COUNT: u32 = 0;
+const E_HASH: u32 = 4;
+const E_NEXT: u32 = 8;
+const E_WORD: u32 = 12;
+const E_LEN: u32 = 16;
+const E_SIZE: u32 = 20;
+
+/// The benchmark input: `4 × scale` copies of a 14 KB generated text.
+pub fn input(scale: u32) -> String {
+    let base = text(0x7113, 800, 14_000);
+    base.repeat((4 * scale) as usize)
+}
+
+/// Loads the input into a fresh heap area; returns (start, len).
+fn load_input(heap: &mut SimHeap, input: &str) -> (Addr, u32) {
+    let area = heap.sbrk(input.len() as u32);
+    heap.load_bytes_untraced(area, input.as_bytes());
+    (area, input.len() as u32)
+}
+
+/// Scans the next word (a run of lowercase letters) at or after `pos`;
+/// returns (start, len, next_pos).
+fn next_word(heap: &mut SimHeap, base: Addr, end: u32, mut pos: u32) -> Option<(u32, u32, u32)> {
+    while pos < end && !heap.load_u8(base + pos).is_ascii_lowercase() {
+        pos += 1;
+    }
+    if pos >= end {
+        return None;
+    }
+    let start = pos;
+    while pos < end && heap.load_u8(base + pos).is_ascii_lowercase() {
+        pos += 1;
+    }
+    Some((start, pos - start, pos))
+}
+
+fn hash_word(heap: &mut SimHeap, base: Addr, start: u32, len: u32) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for i in 0..len {
+        h ^= u32::from(heap.load_u8(base + start + i));
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn words_equal(heap: &mut SimHeap, a: Addr, b: Addr, len: u32) -> bool {
+    for i in 0..len {
+        if heap.load_u8(a + i) != heap.load_u8(b + i) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Looks up `hash`/word in a table; returns the entry or null.
+fn table_find(heap: &mut SimHeap, buckets: Addr, hash: u32, word: Addr, len: u32) -> Addr {
+    let mut e = heap.load_addr(buckets + (hash % NBUCKETS) * 4);
+    while !e.is_null() {
+        if heap.load_u32(e + E_HASH) == hash && heap.load_u32(e + E_LEN) == len {
+            let w = heap.load_addr(e + E_WORD);
+            if words_equal(heap, w, word, len) {
+                return e;
+            }
+        }
+        e = heap.load_addr(e + E_NEXT);
+    }
+    Addr::NULL
+}
+
+/// Similarity of two block tables: scaled cosine over word counts.
+fn similarity(heap: &mut SimHeap, a: Addr, b: Addr) -> u64 {
+    let mut dot: u64 = 0;
+    let mut norm_a: u64 = 0;
+    for bucket in 0..NBUCKETS {
+        let mut e = heap.load_addr(a + bucket * 4);
+        while !e.is_null() {
+            let ca = u64::from(heap.load_u32(e + E_COUNT));
+            norm_a += ca * ca;
+            let hash = heap.load_u32(e + E_HASH);
+            let w = heap.load_addr(e + E_WORD);
+            let len = heap.load_u32(e + E_LEN);
+            let other = table_find(heap, b, hash, w, len);
+            if !other.is_null() {
+                dot += ca * u64::from(heap.load_u32(other + E_COUNT));
+            }
+            e = heap.load_addr(e + E_NEXT);
+        }
+    }
+    let mut norm_b: u64 = 0;
+    for bucket in 0..NBUCKETS {
+        let mut e = heap.load_addr(b + bucket * 4);
+        while !e.is_null() {
+            let cb = u64::from(heap.load_u32(e + E_COUNT));
+            norm_b += cb * cb;
+            e = heap.load_addr(e + E_NEXT);
+        }
+    }
+    dot * 1000 / (isqrt(norm_a * norm_b) + 1)
+}
+
+/// Folds a finished partitioning decision into the checksum.
+fn account_block(sum: &mut Checksum, distinct: u64, sim: u64, boundary: bool) {
+    sum.add(distinct);
+    sum.add(sim);
+    sum.add(u64::from(boundary));
+}
+
+// --- begin malloc variant ---
+
+/// Runs tile against a malloc/free allocator (or the collector).
+pub fn run_malloc(env: &mut MallocEnv, scale: u32) -> u64 {
+    let input = input(scale);
+    let (base, len) = load_input(env.heap(), &input);
+    let mut sum = Checksum::new();
+    // Roots: 0 = previous block's table, 1 = current, 2 = word buffer
+    // in flight between its malloc and the entry malloc.
+    env.push_roots(3);
+
+    let mut prev: Addr = Addr::NULL; // previous block's bucket array
+    let mut pos = 0u32;
+    let mut sections = 1u64;
+    loop {
+        // Build the frequency table for the next block.
+        let buckets = env.malloc(NBUCKETS * 4);
+        env.set_root(1, buckets);
+        for i in 0..NBUCKETS {
+            env.heap().store_addr(buckets + i * 4, Addr::NULL);
+        }
+        let mut words = 0usize;
+        let mut distinct = 0u64;
+        while words < WORDS_PER_BLOCK {
+            let Some((start, wlen, next)) = next_word(env.heap(), base, len, pos) else {
+                break;
+            };
+            pos = next;
+            words += 1;
+            let hash = hash_word(env.heap(), base, start, wlen);
+            let found = table_find(env.heap(), buckets, hash, base + start, wlen);
+            if found.is_null() {
+                distinct += 1;
+                let word = env.malloc(wlen);
+                env.set_root(2, word); // survive the entry allocation
+                env.heap().copy(word, base + start, wlen);
+                let entry = env.malloc(E_SIZE);
+                env.set_root(2, Addr::NULL);
+                let head = env.heap().load_addr(buckets + (hash % NBUCKETS) * 4);
+                env.heap().store_u32(entry + E_COUNT, 1);
+                env.heap().store_u32(entry + E_HASH, hash);
+                env.heap().store_addr(entry + E_NEXT, head);
+                env.heap().store_addr(entry + E_WORD, word);
+                env.heap().store_u32(entry + E_LEN, wlen);
+                env.heap().store_addr(buckets + (hash % NBUCKETS) * 4, entry);
+            } else {
+                let c = env.heap().load_u32(found + E_COUNT);
+                env.heap().store_u32(found + E_COUNT, c + 1);
+            }
+        }
+        if words == 0 {
+            free_table(env, buckets);
+            break;
+        }
+        // Compare with the previous block, then free it entry by entry —
+        // the walk regions make unnecessary.
+        if !prev.is_null() {
+            let sim = similarity(env.heap(), prev, buckets);
+            let boundary = sim < SIM_THRESHOLD;
+            if boundary {
+                sections += 1;
+            }
+            account_block(&mut sum, distinct, sim, boundary);
+            free_table(env, prev);
+        }
+        prev = buckets;
+        env.set_root(0, prev);
+        env.set_root(1, Addr::NULL);
+    }
+    if !prev.is_null() {
+        free_table(env, prev);
+    }
+    env.pop_roots();
+    sum.add(sections);
+    sum.value()
+}
+
+/// Frees one block table: every entry, every word buffer, the buckets.
+fn free_table(env: &mut MallocEnv, buckets: Addr) {
+    for i in 0..NBUCKETS {
+        let mut e = env.heap().load_addr(buckets + i * 4);
+        while !e.is_null() {
+            let next = env.heap().load_addr(e + E_NEXT);
+            let word = env.heap().load_addr(e + E_WORD);
+            env.free(word);
+            env.free(e);
+            e = next;
+        }
+    }
+    env.free(buckets);
+}
+
+// --- end malloc variant ---
+
+// --- begin region variant ---
+
+/// Runs tile against a region backend: one region per block table,
+/// deleted wholesale after the block is compared — no walking.
+pub fn run_region(env: &mut RegionEnv, scale: u32) -> u64 {
+    let input = input(scale);
+    let (base, len) = load_input(env.heap(), &input);
+    let mut sum = Checksum::new();
+    let d_entry = env.register_type(region_core::TypeDescriptor::new(
+        "tile_entry",
+        E_SIZE,
+        vec![E_NEXT, E_WORD],
+    ));
+    let d_bucket =
+        env.register_type(region_core::TypeDescriptor::new("tile_bucket", 4, vec![0]));
+    // Locals: slot 0 = previous table, slot 1 = current table.
+    env.push_frame(2);
+
+    let mut prev_region = None;
+    let mut pos = 0u32;
+    let mut sections = 1u64;
+    loop {
+        let r = env.new_region();
+        let buckets = env.rarrayalloc(r, NBUCKETS, d_bucket); // cleared
+        env.set_local(1, buckets);
+        let mut words = 0usize;
+        let mut distinct = 0u64;
+        while words < WORDS_PER_BLOCK {
+            let Some((start, wlen, next)) = next_word(env.heap(), base, len, pos) else {
+                break;
+            };
+            pos = next;
+            words += 1;
+            let hash = hash_word(env.heap(), base, start, wlen);
+            let found = table_find(env.heap(), buckets, hash, base + start, wlen);
+            if found.is_null() {
+                distinct += 1;
+                let word = env.rstralloc(r, wlen);
+                env.heap().copy(word, base + start, wlen);
+                let entry = env.ralloc(r, d_entry);
+                let head = env.heap().load_addr(buckets + (hash % NBUCKETS) * 4);
+                env.heap().store_u32(entry + E_COUNT, 1);
+                env.heap().store_u32(entry + E_HASH, hash);
+                env.store_ptr_region(entry + E_NEXT, head);
+                env.store_ptr_region(entry + E_WORD, word);
+                env.heap().store_u32(entry + E_LEN, wlen);
+                env.store_ptr_region(buckets + (hash % NBUCKETS) * 4, entry);
+            } else {
+                let c = env.heap().load_u32(found + E_COUNT);
+                env.heap().store_u32(found + E_COUNT, c + 1);
+            }
+        }
+        if words == 0 {
+            env.set_local(1, Addr::NULL);
+            assert!(env.delete_region(r), "empty block region must delete");
+            break;
+        }
+        if let Some(pr) = prev_region {
+            let prev = env.get_local(0);
+            let sim = similarity(env.heap(), prev, buckets);
+            let boundary = sim < SIM_THRESHOLD;
+            if boundary {
+                sections += 1;
+            }
+            account_block(&mut sum, distinct, sim, boundary);
+            // "One local variable must be cleared to allow a region to be
+            // deleted" (§5.1) — here it is:
+            env.set_local(0, Addr::NULL);
+            assert!(env.delete_region(pr), "previous block region must delete");
+        }
+        prev_region = Some(r);
+        env.set_local(0, buckets);
+        env.set_local(1, Addr::NULL);
+    }
+    if let Some(pr) = prev_region {
+        env.set_local(0, Addr::NULL);
+        assert!(env.delete_region(pr));
+    }
+    env.pop_frame();
+    sum.add(sections);
+    sum.value()
+}
+
+// --- end region variant ---
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{MallocKind, RegionKind};
+
+    #[test]
+    fn all_allocators_agree_on_the_answer() {
+        let expected = run_malloc(&mut MallocEnv::new(MallocKind::Sun), 1);
+        for kind in [MallocKind::Bsd, MallocKind::Lea, MallocKind::Gc] {
+            assert_eq!(run_malloc(&mut MallocEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+        for kind in [RegionKind::Safe, RegionKind::Unsafe, RegionKind::Emulated(MallocKind::Lea)] {
+            assert_eq!(run_region(&mut RegionEnv::new(kind), 1), expected, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn malloc_variant_frees_everything() {
+        let mut env = MallocEnv::new(MallocKind::Lea);
+        run_malloc(&mut env, 1);
+        assert_eq!(env.stats().live_bytes, 0, "tile must free every block");
+        assert!(env.stats().total_allocs > 1000);
+    }
+
+    #[test]
+    fn region_variant_deletes_all_regions() {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        run_region(&mut env, 1);
+        assert_eq!(env.stats().live_regions, 0);
+        assert!(env.stats().total_regions > 30, "one region per block");
+        assert_eq!(env.costs().unwrap().deletes_failed, 0);
+    }
+
+    #[test]
+    fn partitioning_finds_multiple_sections() {
+        let mut env = MallocEnv::new(MallocKind::Sun);
+        let c1 = run_malloc(&mut env, 1);
+        // Different scale → different partitioning → different checksum.
+        let c2 = run_malloc(&mut MallocEnv::new(MallocKind::Sun), 2);
+        assert_ne!(c1, c2);
+    }
+}

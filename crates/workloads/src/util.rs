@@ -1,0 +1,129 @@
+//! Shared input generation and hashing for the benchmark workloads.
+//!
+//! The paper's inputs (a 4 KB C file for lcc, twenty copies of a 14 KB
+//! text for tile, 180 student projects for moss, …) are not available;
+//! these generators produce deterministic synthetic equivalents of the
+//! same shape. Everything is seeded, so every run — and every allocator —
+//! sees byte-identical input.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for workload input generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// FNV-1a over 64-bit words — used for workload checksums, which must be
+/// identical across every allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct Checksum(u64);
+
+impl Default for Checksum {
+    fn default() -> Checksum {
+        Checksum::new()
+    }
+}
+
+impl Checksum {
+    /// Starts a checksum.
+    pub fn new() -> Checksum {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes in one value.
+    pub fn add(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// The digest.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A small synthetic vocabulary (letter frequencies vaguely English).
+fn word(r: &mut StdRng) -> String {
+    const LETTERS: &[u8] = b"etaoinshrdlucmfwyp";
+    let len = r.gen_range(2..9);
+    (0..len).map(|_| LETTERS[r.gen_range(0..LETTERS.len())] as char).collect()
+}
+
+/// Generates `bytes` bytes of word text with a Zipf-ish vocabulary of
+/// `vocab` words, '\n' between sentences.
+pub fn text(seed: u64, vocab: usize, bytes: usize) -> String {
+    let mut r = rng(seed);
+    let vocabulary: Vec<String> = (0..vocab).map(|_| word(&mut r)).collect();
+    let mut out = String::with_capacity(bytes + 16);
+    let mut in_sentence = 0;
+    while out.len() < bytes {
+        // Zipf-ish: square the uniform draw to favour early words.
+        let u: f64 = r.gen();
+        let idx = ((u * u) * vocabulary.len() as f64) as usize;
+        out.push_str(&vocabulary[idx.min(vocabulary.len() - 1)]);
+        in_sentence += 1;
+        if in_sentence >= 12 {
+            out.push('\n');
+            in_sentence = 0;
+        } else {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Integer square root of a u64.
+pub fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as u64;
+    // Correct the float estimate exactly.
+    while x.saturating_mul(x) > n {
+        x -= 1;
+    }
+    while (x + 1).saturating_mul(x + 1) <= n {
+        x += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_deterministic() {
+        assert_eq!(text(7, 100, 1000), text(7, 100, 1000));
+        assert_ne!(text(7, 100, 1000), text(8, 100, 1000));
+    }
+
+    #[test]
+    fn text_has_words_and_sentences() {
+        let t = text(1, 50, 2000);
+        assert!(t.len() >= 2000);
+        assert!(t.contains('\n'));
+        assert!(t.split_whitespace().count() > 100);
+    }
+
+    #[test]
+    fn checksum_mixes_order_sensitively() {
+        let mut a = Checksum::new();
+        a.add(1);
+        a.add(2);
+        let mut b = Checksum::new();
+        b.add(2);
+        b.add(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn isqrt_is_exact() {
+        for n in [0u64, 1, 2, 3, 4, 15, 16, 17, 1 << 40, u32::MAX as u64 * u32::MAX as u64] {
+            let r = isqrt(n);
+            assert!(r * r <= n);
+            assert!((r + 1).saturating_mul(r + 1) > n);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Allocator bake-off: one workload, every memory manager.
+//!
+//! Runs `tile` (text partitioning) under Sun/BSD/Lea malloc, the
+//! conservative collector, safe regions, unsafe regions, and
+//! malloc-backed region emulation — verifying they all compute the same
+//! answer, and printing time and footprint side by side (a miniature of
+//! the paper's Figures 8 and 9).
+//!
+//! Run with `cargo run --release --example allocator_bakeoff`.
+//! Pick a different workload with e.g. `-- mudlle`.
+
+use std::time::Instant;
+
+use explicit_regions::workloads::{MallocEnv, MallocKind, RegionEnv, RegionKind, Workload};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "tile".into());
+    let w = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("unknown workload {name}; pick from cfrac/grobner/mudlle/lcc/tile/moss"));
+    let scale = 2;
+    println!("workload: {} (scale {scale})\n", w.name());
+    println!("{:<10} {:>10} {:>12} {:>12} {:>14}", "allocator", "ms", "mem ms", "OS kbytes", "checksum");
+
+    let mut checksums = Vec::new();
+    for kind in MallocKind::ALL {
+        let mut env = MallocEnv::new(kind);
+        let t = Instant::now();
+        let c = w.run_malloc(&mut env, scale);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<10} {:>10.1} {:>12.1} {:>12} {:>14x}",
+            kind.name(),
+            ms,
+            env.mem_time().as_secs_f64() * 1e3,
+            env.os_pages() * 4,
+            c
+        );
+        checksums.push(c);
+    }
+    for kind in [RegionKind::Safe, RegionKind::Unsafe, RegionKind::Emulated(MallocKind::Lea)] {
+        let mut env = RegionEnv::new(kind);
+        let t = Instant::now();
+        let c = w.run_region(&mut env, scale);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<10} {:>10.1} {:>12.1} {:>12} {:>14x}",
+            kind.name(),
+            ms,
+            env.mem_time().as_secs_f64() * 1e3,
+            env.os_pages() * 4,
+            c
+        );
+        checksums.push(c);
+    }
+    assert!(checksums.windows(2).all(|w| w[0] == w[1]), "all allocators must agree");
+    println!("\nall {} runs agree on the answer ✓", checksums.len());
+}

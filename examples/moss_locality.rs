@@ -1,0 +1,48 @@
+//! The moss locality experiment (§5.5): "the 24% improvement in
+//! execution time in moss is obtained by using two regions: one for the
+//! small objects and one for the large objects."
+//!
+//! Runs the plagiarism detector in its naive single-region layout
+//! (small fingerprint nodes interleaved with large context buffers) and
+//! in the optimized two-region layout, under the UltraSparc-like cache
+//! simulator, and compares stalls and time — the paper's Figures 9/10
+//! moss story in one binary.
+//!
+//! Run with `cargo run --release --example moss_locality`.
+
+use std::time::Instant;
+
+use explicit_regions::cache_sim::MemorySystem;
+use explicit_regions::workloads::moss;
+use explicit_regions::workloads::{RegionEnv, RegionKind};
+
+fn run(label: &str, slow: bool) -> (u64, u64) {
+    let mut env = RegionEnv::new(RegionKind::Safe);
+    env.heap().attach_sink(Box::new(MemorySystem::default()));
+    let t = Instant::now();
+    let checksum = if slow { moss::run_region_slow(&mut env, 2) } else { moss::run_region(&mut env, 2) };
+    let secs = t.elapsed().as_secs_f64();
+    let mut heap = env.into_heap();
+    let stats = MemorySystem::from_sink(heap.detach_sink().expect("sink")).stats();
+    println!("{label}:");
+    println!("  read stalls  {:>10} cycles", stats.read_stall_cycles);
+    println!("  write stalls {:>10} cycles", stats.write_stall_cycles);
+    println!("  total cycles {:>10}", stats.total_cycles);
+    println!("  host time    {:>10.1} ms", secs * 1e3);
+    (stats.stall_cycles(), checksum)
+}
+
+fn main() {
+    println!("moss: one interleaved region vs segregated small/large regions\n");
+    let (slow_stalls, c1) = run("Slow (single region, nodes interleaved with 512B contexts)", true);
+    println!();
+    let (fast_stalls, c2) = run("Reg  (two regions: hot nodes packed, cold contexts apart)", false);
+    assert_eq!(c1, c2, "the layout must not change the answer");
+    println!();
+    println!(
+        "stall reduction: {:.1}% (paper: optimized moss has ~half the stalls,\n\
+         and runs 24% faster — 'neither malloc/free nor garbage-collected\n\
+         systems provide any mechanism for expressing locality')",
+        100.0 * (slow_stalls.saturating_sub(fast_stalls)) as f64 / slow_stalls.max(1) as f64
+    );
+}

@@ -1,0 +1,79 @@
+//! The paper's §1 parallel-regions sketch, running on real threads:
+//!
+//! > "Each process keeps a local reference count for each region ...
+//! > A region can be deleted if the sum of all its local reference
+//! > counts is zero. Writes of references to regions must be done with
+//! > an atomic exchange ... however the local reference counts can be
+//! > adjusted without synchronization or communication."
+//!
+//! Four worker threads hammer a set of shared reference cells with
+//! atomic exchanges, adjusting only their *local* counts. The main
+//! thread then deletes every region the moment its cross-thread count
+//! sum reaches zero — no per-write synchronization ever happened.
+//!
+//! Run with `cargo run --release --example parallel_regions`.
+
+use explicit_regions::region_core::par::{ParRegionPool, RefCell32};
+
+const THREADS: usize = 4;
+const REGIONS: usize = 8;
+const CELLS: usize = 16;
+const OPS: usize = 50_000;
+
+fn main() {
+    let pool = ParRegionPool::new();
+    let mut main_thread = pool.register_thread();
+    let regions: Vec<_> = (0..REGIONS).map(|_| main_thread.create_region()).collect();
+    let cells: Vec<RefCell32> = (0..CELLS).map(|_| RefCell32::new()).collect();
+
+    crossbeam::scope(|s| {
+        for t in 0..THREADS {
+            let pool = pool.clone();
+            let regions = regions.clone();
+            let cells = &cells;
+            s.spawn(move |_| {
+                let mut me = pool.register_thread();
+                for k in 0..OPS {
+                    // Publish a reference with an atomic exchange; the
+                    // count adjustments below are thread-local (Relaxed).
+                    let cell = &cells[(t * 7 + k * 13) % CELLS];
+                    let region = regions[(t + k) % REGIONS];
+                    me.exchange_ref(cell, Some(region));
+                }
+            });
+        }
+    })
+    .expect("workers ran");
+
+    println!("{} threads × {} atomic-exchange publishes done", THREADS, OPS);
+    // Exactly CELLS references remain outstanding (whatever each cell
+    // holds); their regions are undeletable until the cells are cleared.
+    let mut held = 0;
+    for r in &regions {
+        let count = pool.global_count(*r);
+        let deletable = pool.try_delete(*r);
+        println!(
+            "  region {:?}: summed count {} → {}",
+            r,
+            count,
+            if deletable { "deleted" } else { "still referenced" }
+        );
+        if !deletable {
+            held += 1;
+        }
+    }
+    // Clear the cells (releasing through the main thread's local counts —
+    // counts may go negative locally; only the sum matters).
+    for cell in &cells {
+        main_thread.exchange_ref(cell, None);
+    }
+    let mut deleted = 0;
+    for r in &regions {
+        if pool.is_live(*r) && pool.try_delete(*r) {
+            deleted += 1;
+        }
+    }
+    println!("cleared the cells: {deleted} of {held} held regions now deleted");
+    assert!(regions.iter().all(|r| !pool.is_live(*r)), "every region reclaimed");
+    println!("all {} regions reclaimed with zero per-write synchronization ✓", REGIONS);
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the reproduction of Gay & Aiken,
+//! *Memory Management with Explicit Regions* (PLDI 1998).
+//!
+//! This crate re-exports the member crates so examples and integration
+//! tests can reach the whole system through one dependency:
+//!
+//! * [`region_core`] — the paper's safe region runtime and a host-Rust
+//!   [`region_core::Arena`];
+//! * [`simheap`] — the simulated 32-bit address space everything runs on;
+//! * [`malloc_suite`] — the Sun/BSD/Lea malloc baselines and region
+//!   emulation;
+//! * [`conservative_gc`] — the Boehm–Weiser-style collector;
+//! * [`cq_lang`] — the C@ language: compiler and VM with region pointers;
+//! * [`workloads`] — the six benchmark programs of the evaluation;
+//! * [`cache_sim`] — the UltraSparc-like cache simulator behind Figure 10.
+
+#![forbid(unsafe_code)]
+
+pub use cache_sim;
+pub use conservative_gc;
+pub use cq_lang;
+pub use malloc_suite;
+pub use region_core;
+pub use simheap;
+pub use workloads;

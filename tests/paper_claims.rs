@@ -1,0 +1,184 @@
+//! Qualitative claims of the paper, checked as executable assertions.
+//! Each test names the claim and the section it comes from.
+
+use explicit_regions::cache_sim::MemorySystem;
+use explicit_regions::malloc_suite::{BsdMalloc, LeaMalloc, RawMalloc, SunMalloc};
+use explicit_regions::region_core::{RegionRuntime, TypeDescriptor};
+use explicit_regions::simheap::SimHeap;
+use explicit_regions::workloads::{moss, RegionEnv, RegionKind};
+
+/// §1: "allocation is about twice as fast [as malloc] and deallocation
+/// is much faster." We check the operation-count version of the claim:
+/// region allocation touches far less memory per object than any malloc,
+/// and deallocation is O(pages) instead of O(objects).
+#[test]
+fn region_allocation_touches_less_memory_than_malloc() {
+    const N: u32 = 1000;
+    // Region: count heap operations for N allocations + one delete.
+    let mut rt = RegionRuntime::new_unsafe();
+    let r = rt.new_region();
+    let base = rt.heap().load_count() + rt.heap().store_count();
+    for _ in 0..N {
+        rt.rstralloc(r, 16);
+    }
+    rt.delete_region(r);
+    let region_ops = rt.heap().load_count() + rt.heap().store_count() - base;
+
+    let mut malloc_ops = Vec::new();
+    fn measure(mut m: impl RawMalloc) -> u64 {
+        let mut heap = SimHeap::new();
+        let mut ptrs = Vec::new();
+        let base = heap.load_count() + heap.store_count();
+        for _ in 0..1000 {
+            ptrs.push(m.malloc(&mut heap, 16));
+        }
+        for p in ptrs {
+            m.free(&mut heap, p);
+        }
+        heap.load_count() + heap.store_count() - base
+    }
+    malloc_ops.push(("sun", measure(SunMalloc::new())));
+    malloc_ops.push(("bsd", measure(BsdMalloc::new())));
+    malloc_ops.push(("lea", measure(LeaMalloc::new())));
+    for (name, ops) in malloc_ops {
+        assert!(
+            region_ops * 2 <= ops,
+            "regions should do less than half the memory work of {name}: {region_ops} vs {ops}"
+        );
+    }
+}
+
+/// §5.4: "The BSD allocator ... use[s] a lot of memory" — power-of-two
+/// rounding wastes almost half the space on unlucky sizes.
+#[test]
+fn bsd_memory_overhead_is_large() {
+    let mut heap_bsd = SimHeap::new();
+    let mut bsd = BsdMalloc::new();
+    let mut heap_lea = SimHeap::new();
+    let mut lea = LeaMalloc::new();
+    for _ in 0..2000 {
+        bsd.malloc(&mut heap_bsd, 129); // rounds to a 256-byte block
+        lea.malloc(&mut heap_lea, 129); // a 144-byte chunk
+    }
+    assert!(
+        bsd.os_pages() as f64 > lea.os_pages() as f64 * 1.4,
+        "bsd {} pages vs lea {}",
+        bsd.os_pages(),
+        lea.os_pages()
+    );
+}
+
+/// §5.5/Figure 10: moss's two-region layout has roughly half the stalls
+/// of the naive single-region port, and fewer total cycles.
+#[test]
+fn moss_segregated_layout_halves_stalls() {
+    let run = |slow: bool| {
+        let mut env = RegionEnv::new(RegionKind::Unsafe);
+        env.heap().attach_sink(Box::new(MemorySystem::default()));
+        if slow {
+            moss::run_region_slow(&mut env, 1);
+        } else {
+            moss::run_region(&mut env, 1);
+        }
+        let mut heap = env.into_heap();
+        MemorySystem::from_sink(heap.detach_sink().unwrap()).stats()
+    };
+    let slow = run(true);
+    let fast = run(false);
+    assert!(
+        fast.stall_cycles() * 2 <= slow.stall_cycles(),
+        "optimized {} stalls vs slow {}",
+        fast.stall_cycles(),
+        slow.stall_cycles()
+    );
+    assert!(fast.total_cycles < slow.total_cycles);
+}
+
+/// §1: "cyclic structures can be collected so long as they are allocated
+/// within a single region" — the advantage over per-object reference
+/// counting.
+#[test]
+fn intra_region_cycles_do_not_leak() {
+    let mut rt = RegionRuntime::new_safe();
+    let d = rt.register_type(TypeDescriptor::new("node", 8, vec![4]));
+    let r = rt.new_region();
+    // A 100-node cycle.
+    let first = rt.ralloc(r, d);
+    let mut prev = first;
+    for _ in 0..99 {
+        let n = rt.ralloc(r, d);
+        rt.store_ptr_region(prev + 4, n);
+        prev = n;
+    }
+    rt.store_ptr_region(prev + 4, first); // close the cycle
+    assert_eq!(rt.rc(r), 0, "sameregion pointers are not counted");
+    assert!(rt.delete_region(r), "the cycle dies with its region");
+    assert_eq!(rt.stats().live_bytes, 0);
+}
+
+/// §4.1: region metadata is cheap — "eight bytes per page for the map of
+/// pages to regions and the list of allocated pages."
+#[test]
+fn page_map_overhead_is_small() {
+    let mut rt = RegionRuntime::new_unsafe();
+    let r = rt.new_region();
+    // Fill ~200 pages of data.
+    for _ in 0..50_000 {
+        rt.rstralloc(r, 16);
+    }
+    let data = rt.data_pages();
+    let map = rt.map_pages();
+    assert!(data > 100);
+    // One 4 KB map chunk covers 1024 pages of address space.
+    assert!(map * 100 < data, "map pages {map} must be ≪ data pages {data}");
+}
+
+/// §4.3: the amortized cost argument — safety work grows linearly with
+/// program activity, not quadratically: doubling the workload roughly
+/// doubles total safety instructions.
+#[test]
+fn safety_cost_is_linear_in_work() {
+    let run = |rounds: u32| {
+        let mut rt = RegionRuntime::new_safe();
+        let d = rt.register_type(TypeDescriptor::new("node", 8, vec![4]));
+        for _ in 0..rounds {
+            let r = rt.new_region();
+            rt.push_frame(2);
+            let mut prev = simheap::Addr::NULL;
+            for _ in 0..100 {
+                let n = rt.ralloc(r, d);
+                rt.store_ptr_region(n + 4, prev);
+                prev = n;
+                rt.set_local(0, prev);
+            }
+            rt.set_local(0, simheap::Addr::NULL);
+            assert!(rt.delete_region(r));
+            rt.pop_frame();
+        }
+        rt.costs().total_instrs()
+    };
+    let one = run(50);
+    let two = run(100);
+    let ratio = two as f64 / one as f64;
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "doubling work should double safety cost, got ratio {ratio:.2}"
+    );
+}
+
+/// §5.4 headline: safe regions stay within a modest factor of the
+/// best allocator's footprint on a region-friendly workload.
+#[test]
+fn region_footprint_is_competitive() {
+    use explicit_regions::workloads::{MallocEnv, MallocKind, Workload};
+    let mut reg = RegionEnv::new(RegionKind::Safe);
+    Workload::Tile.run_region(&mut reg, 1);
+    let mut lea = MallocEnv::new(MallocKind::Lea);
+    Workload::Tile.run_malloc(&mut lea, 1);
+    assert!(
+        reg.os_pages() <= lea.os_pages() * 3,
+        "regions {} pages vs lea {} pages",
+        reg.os_pages(),
+        lea.os_pages()
+    );
+}
