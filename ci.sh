@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus a smoke pass of every benchmark
+# binary at --quick scale. Fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests (all crates) =="
+cargo test --workspace -q
+
+echo "== bench binaries, --quick smoke =="
+cargo build --release -p bench-harness
+for bin in table1 table2_3 fig8 fig9 fig10 fig11 ablations cq_bench; do
+    echo "-- $bin --quick"
+    ./target/release/"$bin" --quick >/dev/null
+done
+
+echo "== criterion benches, quick mode =="
+BENCH_QUICK=1 cargo bench -p bench-harness >/dev/null
+
+echo "ci.sh: all green"

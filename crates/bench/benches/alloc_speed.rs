@@ -58,6 +58,21 @@ fn bench_allocators(c: &mut Criterion) {
     g.bench_function("malloc_bsd", |b| malloc_case(b, BsdMalloc::new()));
     g.bench_function("malloc_lea", |b| malloc_case(b, LeaMalloc::new()));
 
+    // Clear-dominated allocation: 100 one-kilobyte zeroed objects per
+    // region. Exercises the `ralloc` clearing path (bulk memset when no
+    // trace sink is attached).
+    g.bench_function("region_safe_100x1KB_cleared", |b| {
+        let mut rt = RegionRuntime::new_safe();
+        let d = rt.register_type(TypeDescriptor::pointer_free("kb_blob", 1024));
+        b.iter(|| {
+            let r = rt.new_region();
+            for _ in 0..100 {
+                black_box(rt.ralloc(r, d));
+            }
+            rt.delete_region(r);
+        });
+    });
+
     g.bench_function("host_arena", |b| {
         let mut arena = Arena::new();
         b.iter(|| {

@@ -1,0 +1,65 @@
+//! Micro-benchmark of `regionof` — the paper's one-load page-map query
+//! that sits inside every write barrier. Untraced runs answer from the
+//! host-mirrored page map; traced runs walk the in-heap chunked map so
+//! cache simulation sees the real access pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cache_sim::MemorySystem;
+use region_core::{RegionRuntime, TypeDescriptor};
+use simheap::Addr;
+
+fn populated_runtime() -> (RegionRuntime, Vec<Addr>) {
+    let mut rt = RegionRuntime::new_safe();
+    let d = rt.register_type(TypeDescriptor::new("node", 8, vec![4]));
+    let mut addrs = Vec::new();
+    for _ in 0..64 {
+        let r = rt.new_region();
+        for _ in 0..256 {
+            addrs.push(rt.ralloc(r, d));
+        }
+    }
+    (rt, addrs)
+}
+
+fn bench_region_of(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_of");
+    g.sample_size(20);
+
+    g.bench_function("mirror(untraced)", |b| {
+        let (mut rt, addrs) = populated_runtime();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 127) % addrs.len();
+            black_box(rt.region_of(black_box(addrs[i])));
+        });
+    });
+
+    g.bench_function("in_heap(traced)", |b| {
+        let (mut rt, addrs) = populated_runtime();
+        rt.heap_mut().attach_sink(Box::new(MemorySystem::default()));
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 127) % addrs.len();
+            black_box(rt.region_of(black_box(addrs[i])));
+        });
+    });
+
+    g.bench_function("null_pointer", |b| {
+        let (mut rt, _) = populated_runtime();
+        b.iter(|| black_box(rt.region_of(black_box(Addr::NULL))));
+    });
+
+    g.bench_function("barrier_self_overwrite", |b| {
+        let (mut rt, addrs) = populated_runtime();
+        let g_slot = rt.alloc_globals(4);
+        rt.store_ptr_global(g_slot, addrs[0]);
+        b.iter(|| rt.store_ptr_global(g_slot, black_box(addrs[0])));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_region_of);
+criterion_main!(benches);

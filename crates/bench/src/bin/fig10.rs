@@ -4,9 +4,13 @@
 //! Paper shape: BSD's automatic size segregation stalls less than the
 //! other explicit allocators; moss's optimized two-region version has
 //! roughly half the stalls of its naive single-region port.
+//!
+//! Traced cells are the most expensive in the harness (every simulated
+//! access feeds the cache model), so fanning the matrix across worker
+//! threads pays off most here.
 
 use bench_harness::runner::{
-    measure_malloc, measure_region, measure_region_slow, scale_from_env, Measurement,
+    run_matrix, scale_from_env, write_results_json, Job, Measurement,
 };
 use workloads::{MallocKind, RegionKind, Workload};
 
@@ -17,29 +21,43 @@ fn kstalls(m: &Measurement) -> (f64, f64) {
 
 fn main() {
     let scale = scale_from_env();
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        for kind in MallocKind::ALL {
+            jobs.push(Job::Malloc(w, kind));
+        }
+        jobs.push(Job::Region(w, RegionKind::Safe));
+        jobs.push(Job::Region(w, RegionKind::Unsafe));
+        if w == Workload::Moss {
+            jobs.push(Job::MossSlow(RegionKind::Safe));
+        }
+    }
+    let rows = run_matrix(&jobs, scale, true);
+
     println!("Figure 10: kilocycles lost to stalls, read+write (write), scale {scale}");
     println!(
         "{:<9} {:>15} {:>15} {:>15} {:>15} {:>15} {:>15}",
         "Name", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
     );
+    let mut cursor = rows.iter();
     for w in Workload::ALL {
         let mut row = format!("{:<9}", w.name());
-        for kind in MallocKind::ALL {
-            let m = measure_malloc(w, kind, scale, true);
-            let (r, wr) = kstalls(&m);
+        for _ in MallocKind::ALL {
+            let m = cursor.next().expect("malloc cell");
+            let (r, wr) = kstalls(m);
             row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
         }
-        let reg = measure_region(w, RegionKind::Safe, scale, true);
-        let (r, wr) = kstalls(&reg);
+        let reg = cursor.next().expect("safe-region cell");
+        let (r, wr) = kstalls(reg);
         row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
-        let unsf = measure_region(w, RegionKind::Unsafe, scale, true);
-        let (r, wr) = kstalls(&unsf);
+        let unsf = cursor.next().expect("unsafe-region cell");
+        let (r, wr) = kstalls(unsf);
         row += &format!(" {:>8.0} ({:>4.0})", r + wr, wr);
         println!("{row}");
         if w == Workload::Moss {
-            let slow = measure_region_slow(RegionKind::Safe, scale, true);
-            let (sr, sw) = kstalls(&slow);
-            let (or_, ow) = kstalls(&reg);
+            let slow = cursor.next().expect("moss-slow cell");
+            let (sr, sw) = kstalls(slow);
+            let (or_, ow) = kstalls(reg);
             println!(
                 "{:<9}  moss 'Slow': {:.0}k stalls vs optimized {:.0}k — ratio {:.2}×",
                 "",
@@ -48,6 +66,10 @@ fn main() {
                 (sr + sw) / (or_ + ow).max(1.0),
             );
         }
+    }
+    match write_results_json("fig10", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
     }
     println!();
     println!("Shape check vs paper: the optimized moss layout roughly halves its");

@@ -4,32 +4,49 @@
 //! Paper shape: regions rank first or second everywhere (from 9% less to
 //! 19% more than Lea's allocator); BSD and the collector "use a lot of
 //! memory, which makes them unsuitable for some applications".
+//!
+//! The workload × allocator matrix runs on worker threads; rows print
+//! in matrix order.
 
-use bench_harness::runner::{kb, measure_malloc, measure_region, pages_kb, scale_from_env};
+use bench_harness::runner::{kb, pages_kb, run_matrix, scale_from_env, write_results_json, Job};
 use workloads::{MallocKind, RegionKind, Workload};
 
 fn main() {
     let scale = scale_from_env();
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::Region(w, RegionKind::Safe));
+        for kind in MallocKind::ALL {
+            jobs.push(Job::Malloc(w, kind));
+        }
+        jobs.push(Job::Region(w, RegionKind::Unsafe));
+        if matches!(w, Workload::Mudlle | Workload::Lcc) {
+            jobs.push(Job::Region(w, RegionKind::Emulated(MallocKind::Lea)));
+        }
+    }
+    let rows = run_matrix(&jobs, scale, false);
+
     println!("Figure 8: Memory overhead, OS kbytes (requested kbytes in parens), scale {scale}");
     println!(
         "{:<9} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "Name", "requested", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
     );
+    let mut cursor = rows.iter();
     for w in Workload::ALL {
         let mut row = format!("{:<9}", w.name());
-        let reg = measure_region(w, RegionKind::Safe, scale, false);
+        let reg = cursor.next().expect("safe-region cell");
         row += &format!(" {:>12.1}", kb(reg.stats.max_live_bytes));
-        for kind in MallocKind::ALL {
-            let m = measure_malloc(w, kind, scale, false);
+        for _ in MallocKind::ALL {
+            let m = cursor.next().expect("malloc cell");
             row += &format!(" {:>9.0}", pages_kb(m.os_pages));
         }
         row += &format!(" {:>9.0}", pages_kb(reg.os_pages));
-        let unsf = measure_region(w, RegionKind::Unsafe, scale, false);
+        let unsf = cursor.next().expect("unsafe-region cell");
         row += &format!(" {:>9.0}", pages_kb(unsf.os_pages));
         println!("{row}");
         // The paper's extra bars for the emulated programs.
         if matches!(w, Workload::Mudlle | Workload::Lcc) {
-            let e = measure_region(w, RegionKind::Emulated(MallocKind::Lea), scale, false);
+            let e = cursor.next().expect("emulation cell");
             println!(
                 "{:<9} {:>12} {:>9} (emulation over Lea; region data w/o overhead {:.0} KB)",
                 "  emu",
@@ -38,6 +55,10 @@ fn main() {
                 kb(e.stats.max_live_bytes),
             );
         }
+    }
+    match write_results_json("fig8", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
     }
     println!();
     println!("Shape check vs paper: Reg ranks first or second on every row;");

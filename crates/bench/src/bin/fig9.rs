@@ -6,8 +6,11 @@
 //! the best malloc); safe regions are as fast or faster on cfrac, tile
 //! and moss and at worst ~5% behind on mudlle/lcc; moss's optimized
 //! two-region layout beats the naive port by ~24%.
+//!
+//! The workload × allocator matrix runs on worker threads (every cell
+//! owns its own simulated heap); rows print in matrix order.
 
-use bench_harness::runner::{measure_malloc, measure_region, measure_region_slow, scale_from_env};
+use bench_harness::runner::{run_matrix, scale_from_env, write_results_json, Job, Measurement};
 use workloads::{MallocKind, RegionKind, Workload};
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -16,21 +19,35 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn main() {
     let scale = scale_from_env();
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        for kind in MallocKind::ALL {
+            jobs.push(Job::Malloc(w, kind));
+        }
+        jobs.push(Job::Region(w, RegionKind::Safe));
+        jobs.push(Job::Region(w, RegionKind::Unsafe));
+        if w == Workload::Moss {
+            jobs.push(Job::MossSlow(RegionKind::Safe));
+        }
+    }
+    let rows = run_matrix(&jobs, scale, false);
+
     println!("Figure 9: execution time, total ms (memory-management ms), scale {scale}");
     println!(
         "{:<9} {:>16} {:>16} {:>16} {:>16} {:>16} {:>16}",
         "Name", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
     );
+    let mut cursor = rows.iter();
     for w in Workload::ALL {
         let mut row = format!("{:<9}", w.name());
         let mut best_malloc = f64::MAX;
-        for kind in MallocKind::ALL {
-            let m = measure_malloc(w, kind, scale, false);
+        for _ in MallocKind::ALL {
+            let m: &Measurement = cursor.next().expect("matrix covers every cell");
             best_malloc = best_malloc.min(ms(m.total));
             row += &format!(" {:>9.0} ({:>4.0})", ms(m.total), ms(m.mem));
         }
-        let reg = measure_region(w, RegionKind::Safe, scale, false);
-        let unsf = measure_region(w, RegionKind::Unsafe, scale, false);
+        let reg = cursor.next().expect("safe-region cell");
+        let unsf = cursor.next().expect("unsafe-region cell");
         row += &format!(" {:>9.0} ({:>4.0})", ms(reg.total), ms(reg.mem));
         row += &format!(" {:>9.0} ({:>4.0})", ms(unsf.total), ms(unsf.mem));
         println!("{row}");
@@ -41,7 +58,7 @@ fn main() {
             100.0 * (ms(unsf.total) - best_malloc) / best_malloc,
         );
         if w == Workload::Moss {
-            let slow = measure_region_slow(RegionKind::Safe, scale, false);
+            let slow = cursor.next().expect("moss-slow cell");
             println!(
                 "{:<9}  moss 'Slow' (one interleaved region): {:.0} ms — optimized layout {:+.1}%",
                 "",
@@ -49,6 +66,10 @@ fn main() {
                 100.0 * (ms(reg.total) - ms(slow.total)) / ms(slow.total),
             );
         }
+    }
+    match write_results_json("fig9", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
     }
     println!();
     println!("Shape check vs paper: unsafe regions lead; safe regions are close to");

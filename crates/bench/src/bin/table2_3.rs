@@ -4,19 +4,35 @@
 //! total regions, max regions, max kbytes in a region, avg kbytes per
 //! region, avg allocs per region. Table 3 (malloc): the first three
 //! columns, plus with/without-overhead rows for the emulated programs.
+//!
+//! All cells run in parallel on worker threads; rows print in matrix
+//! order.
 
-use bench_harness::runner::{kb, measure_malloc, measure_region, scale_from_env};
+use bench_harness::runner::{kb, run_matrix, scale_from_env, write_results_json, Job};
 use workloads::{MallocKind, RegionKind, Workload};
 
 fn main() {
     let scale = scale_from_env();
+    let mut jobs = Vec::new();
+    for w in Workload::ALL {
+        jobs.push(Job::Region(w, RegionKind::Safe));
+    }
+    for w in Workload::ALL {
+        jobs.push(Job::Malloc(w, MallocKind::Lea));
+        if matches!(w, Workload::Mudlle | Workload::Lcc) {
+            jobs.push(Job::Region(w, RegionKind::Emulated(MallocKind::Lea)));
+        }
+    }
+    let rows = run_matrix(&jobs, scale, false);
+    let mut cursor = rows.iter();
+
     println!("Table 2: Allocation behaviour with regions (scale {scale})");
     println!(
         "{:<9} {:>10} {:>10} {:>9} {:>8} {:>6} {:>10} {:>9} {:>9}",
         "Name", "Allocs", "TotKB", "MaxKB", "Regions", "MaxRg", "MaxRgKB", "AvgKB/Rg", "Allocs/Rg"
     );
-    for w in Workload::ALL {
-        let m = measure_region(w, RegionKind::Safe, scale, false);
+    for _ in Workload::ALL {
+        let m = cursor.next().expect("region cell");
         let s = m.stats;
         println!(
             "{:<9} {:>10} {:>10.1} {:>9.1} {:>8} {:>6} {:>10.2} {:>9.2} {:>9.1}",
@@ -35,7 +51,7 @@ fn main() {
     println!("Table 3: Allocation behaviour with malloc (scale {scale})");
     println!("{:<16} {:>10} {:>10} {:>9}", "Name", "Allocs", "TotKB", "MaxKB");
     for w in Workload::ALL {
-        let m = measure_malloc(w, MallocKind::Lea, scale, false);
+        let m = cursor.next().expect("malloc cell");
         let s = m.stats;
         println!(
             "{:<16} {:>10} {:>10.1} {:>9.1}",
@@ -48,23 +64,27 @@ fn main() {
         // malloc numbers through the emulation library, with and without
         // its one-word-per-object overhead.
         if matches!(w, Workload::Mudlle | Workload::Lcc) {
-            let e = measure_region(w, RegionKind::Emulated(MallocKind::Lea), scale, false);
+            let e = cursor.next().expect("emulation cell");
             let inner = e.inner_stats.expect("emulated");
             println!(
                 "{:<16} {:>10} {:>10.1} {:>9.1}",
-                format!("  emulated"),
+                "  emulated",
                 inner.total_allocs,
                 kb(inner.total_bytes),
                 kb(inner.max_live_bytes)
             );
             println!(
                 "{:<16} {:>10} {:>10.1} {:>9.1}",
-                format!("  (w/o overhead)"),
+                "  (w/o overhead)",
                 e.stats.total_allocs,
                 kb(e.stats.total_bytes),
                 kb(e.stats.max_live_bytes)
             );
         }
+    }
+    match write_results_json("table2_3", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
     }
     println!();
     println!("Shape check vs paper: region and malloc allocation counts are close");

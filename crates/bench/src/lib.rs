@@ -23,5 +23,6 @@ pub mod runner;
 
 pub use diff::changed_lines;
 pub use runner::{
-    measure_malloc, measure_region, measure_region_slow, scale_from_env, Measurement,
+    measure_malloc, measure_region, measure_region_slow, results_json, run_matrix,
+    run_matrix_with, scale_from_env, write_results_json, Job, Measurement,
 };

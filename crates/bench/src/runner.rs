@@ -1,6 +1,8 @@
 //! Workload execution and measurement shared by every table/figure
 //! binary.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cache_sim::{MemStats, MemorySystem};
@@ -8,8 +10,22 @@ use region_core::{AllocStats, SafetyCosts};
 use workloads::{MallocEnv, MallocKind, RegionEnv, RegionKind, Workload};
 
 /// Workload scale, from the `SCALE` environment variable (default 2).
+/// Passing `--quick` to a benchmark binary forces scale 1 (CI smoke
+/// runs). An unparseable `SCALE` warns instead of silently defaulting.
 pub fn scale_from_env() -> u32 {
-    std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(2)
+    if std::env::args().any(|a| a == "--quick") {
+        return 1;
+    }
+    match std::env::var("SCALE") {
+        Ok(s) => match s.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: SCALE={s:?} is not an unsigned integer; using default 2");
+                2
+            }
+        },
+        Err(_) => 2,
+    }
 }
 
 /// Everything measured from one workload × allocator run.
@@ -133,6 +149,117 @@ fn run_region_fn(
     }
 }
 
+// ----------------------------------------------------------------------
+// Parallel workload × allocator matrix
+// ----------------------------------------------------------------------
+
+/// One cell of a workload × allocator matrix.
+#[derive(Clone, Copy, Debug)]
+pub enum Job {
+    /// The malloc/free variant of a workload under one allocator.
+    Malloc(Workload, MallocKind),
+    /// The region variant of a workload under one region backend.
+    Region(Workload, RegionKind),
+    /// moss's "slow" single-region layout (Figures 9/10 extra bar).
+    MossSlow(RegionKind),
+}
+
+impl Job {
+    /// Runs this cell and returns its measurement.
+    pub fn run(self, scale: u32, traced: bool) -> Measurement {
+        match self {
+            Job::Malloc(w, kind) => measure_malloc(w, kind, scale, traced),
+            Job::Region(w, kind) => measure_region(w, kind, scale, traced),
+            Job::MossSlow(kind) => measure_region_slow(kind, scale, traced),
+        }
+    }
+}
+
+/// Runs every cell of a matrix, fanning jobs across worker threads.
+///
+/// Each [`Measurement`] owns an independent `SimHeap`, so cells are
+/// embarrassingly parallel; workers (bounded by the machine's available
+/// parallelism) pull cells from a shared cursor, and results are
+/// returned **in matrix order** regardless of completion order, so
+/// output stays deterministic.
+pub fn run_matrix(jobs: &[Job], scale: u32, traced: bool) -> Vec<Measurement> {
+    let workers = match std::env::var("BENCH_WORKERS").ok().and_then(|w| w.parse().ok()) {
+        Some(w) if w >= 1 => w,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    run_matrix_with(jobs, scale, traced, workers)
+}
+
+/// [`run_matrix`] with an explicit worker count (normally taken from the
+/// machine, overridable with `BENCH_WORKERS`).
+pub fn run_matrix_with(jobs: &[Job], scale: u32, traced: bool, workers: usize) -> Vec<Measurement> {
+    let workers = workers.min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.iter().map(|j| j.run(scale, traced)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Measurement>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let m = job.run(scale, traced);
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(m);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every matrix cell measured")
+        })
+        .collect()
+}
+
+/// Serializes measurements as a JSON array and writes them to
+/// `results/<name>.json` (creating the directory), returning the path.
+/// Hand-rolled: the harness has no serialization dependency.
+pub fn write_results_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, results_json(rows))?;
+    Ok(path)
+}
+
+/// The JSON document written by [`write_results_json`].
+pub fn results_json(rows: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in rows.iter().enumerate() {
+        let s = &m.stats;
+        out.push_str("  {");
+        out.push_str(&format!("\"workload\": \"{}\", ", m.workload));
+        out.push_str(&format!("\"allocator\": \"{}\", ", m.allocator));
+        out.push_str(&format!("\"total_ms\": {:.3}, ", m.total.as_secs_f64() * 1e3));
+        out.push_str(&format!("\"mem_ms\": {:.3}, ", m.mem.as_secs_f64() * 1e3));
+        out.push_str(&format!("\"os_pages\": {}, ", m.os_pages));
+        out.push_str(&format!("\"total_allocs\": {}, ", s.total_allocs));
+        out.push_str(&format!("\"total_bytes\": {}, ", s.total_bytes));
+        out.push_str(&format!("\"max_live_bytes\": {}, ", s.max_live_bytes));
+        if let Some(c) = &m.costs {
+            out.push_str(&format!("\"safety_instrs\": {}, ", c.total_instrs()));
+        }
+        if let Some(c) = &m.cache {
+            out.push_str(&format!(
+                "\"read_stall_cycles\": {}, \"write_stall_cycles\": {}, ",
+                c.read_stall_cycles, c.write_stall_cycles
+            ));
+        }
+        out.push_str(&format!("\"checksum\": {}}}", m.checksum));
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Formats a byte count as the paper's kbytes.
 pub fn kb(bytes: u64) -> f64 {
     bytes as f64 / 1024.0
@@ -164,6 +291,42 @@ mod tests {
         let cache = m.cache.expect("traced");
         assert!(cache.reads > 10_000);
         assert!(cache.writes > 1_000);
+    }
+
+    #[test]
+    fn matrix_results_follow_job_order() {
+        let jobs = [
+            Job::Malloc(Workload::Cfrac, MallocKind::Lea),
+            Job::Region(Workload::Cfrac, RegionKind::Safe),
+            Job::Region(Workload::Cfrac, RegionKind::Unsafe),
+            Job::Malloc(Workload::Tile, MallocKind::Lea),
+        ];
+        // Force real worker threads: the deterministic ordering must hold
+        // even on a single-core machine where run_matrix would go serial.
+        let rows = run_matrix_with(&jobs, 1, false, 3);
+        assert_eq!(rows.len(), 4);
+        assert_eq!((rows[0].workload, rows[0].allocator), ("cfrac", MallocKind::Lea.name()));
+        assert_eq!(rows[1].allocator, RegionKind::Safe.name());
+        assert_eq!(rows[2].allocator, RegionKind::Unsafe.name());
+        assert_eq!(rows[3].workload, "tile");
+        // Parallel execution must not perturb simulated results.
+        assert_eq!(rows[0].checksum, rows[1].checksum);
+        assert_eq!(rows[1].checksum, rows[2].checksum);
+        let serial = jobs[1].run(1, false);
+        assert_eq!(rows[1].checksum, serial.checksum);
+        assert_eq!(rows[1].os_pages, serial.os_pages);
+        assert_eq!(rows[1].stats.total_allocs, serial.stats.total_allocs);
+    }
+
+    #[test]
+    fn results_json_is_wellformed() {
+        let rows = run_matrix(&[Job::Region(Workload::Cfrac, RegionKind::Safe)], 1, false);
+        let json = results_json(&rows);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"workload\": \"cfrac\""));
+        assert!(json.contains("\"safety_instrs\""));
+        assert!(json.contains("\"checksum\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -28,9 +28,13 @@
 //! thread B created; only the sum is meaningful.
 
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use parking_lot::Mutex;
+/// Locks a mutex, ignoring poison: every critical section here is a
+/// handful of loads/stores that cannot leave the structures inconsistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Identifier of a region in a [`ParRegionPool`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -91,7 +95,7 @@ mod boxcar {
         }
 
         pub(super) fn slot(&self, i: usize) -> Arc<AtomicI64> {
-            let mut v = self.inner.lock();
+            let mut v = super::lock(&self.inner);
             while v.len() <= i {
                 v.push(Arc::new(AtomicI64::new(0)));
             }
@@ -99,7 +103,7 @@ mod boxcar {
         }
 
         pub(super) fn get(&self, i: usize) -> i64 {
-            let v = self.inner.lock();
+            let v = super::lock(&self.inner);
             v.get(i).map_or(0, |c| c.load(Ordering::Acquire))
         }
     }
@@ -155,13 +159,13 @@ impl ParRegionPool {
     /// unsynchronized (`Relaxed` on thread-owned counters).
     pub fn register_thread(&self) -> ParThread {
         let counts = Arc::new(ThreadCounts { counts: boxcar::Counts::new() });
-        self.shared.threads.lock().push(counts.clone());
+        lock(&self.shared.threads).push(counts.clone());
         ParThread { pool: self.clone(), counts, cache: Vec::new() }
     }
 
     /// `true` if the region has not been deleted.
     pub fn is_live(&self, r: ParRegionId) -> bool {
-        self.shared.regions.lock().get(r.index()).copied().unwrap_or(false)
+        lock(&self.shared.regions).get(r.index()).copied().unwrap_or(false)
     }
 
     /// Attempts to delete a region: takes the pool lock (the paper's
@@ -172,12 +176,12 @@ impl ParRegionPool {
     ///
     /// Panics if the region was already deleted or never existed.
     pub fn try_delete(&self, r: ParRegionId) -> bool {
-        let mut regions = self.shared.regions.lock();
+        let mut regions = lock(&self.shared.regions);
         assert!(
             regions.get(r.index()).copied() == Some(true),
             "try_delete of dead or unknown region {r:?}"
         );
-        let threads = self.shared.threads.lock();
+        let threads = lock(&self.shared.threads);
         let sum: i64 = threads.iter().map(|t| t.counts.get(r.index())).sum();
         if sum != 0 {
             return false;
@@ -189,8 +193,8 @@ impl ParRegionPool {
     /// Exact global reference count (sums local counts under the lock);
     /// for tests and diagnostics.
     pub fn global_count(&self, r: ParRegionId) -> i64 {
-        let _regions = self.shared.regions.lock();
-        let threads = self.shared.threads.lock();
+        let _regions = lock(&self.shared.regions);
+        let threads = lock(&self.shared.threads);
         threads.iter().map(|t| t.counts.get(r.index())).sum()
     }
 }
@@ -207,7 +211,7 @@ pub struct ParThread {
 impl ParThread {
     /// Creates a region (global synchronization, like deletion).
     pub fn create_region(&mut self) -> ParRegionId {
-        let mut regions = self.pool.shared.regions.lock();
+        let mut regions = lock(&self.pool.shared.regions);
         let id = ParRegionId(regions.len() as u32);
         regions.push(true);
         id
@@ -326,20 +330,19 @@ mod tests {
         let mut main = pool.register_thread();
         let regions: Vec<_> = (0..THREADS).map(|_| main.create_region()).collect();
         let cell = RefCell32::new();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for i in 0..THREADS {
                 let pool = pool.clone();
                 let regions = regions.clone();
                 let cell = &cell;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut t = pool.register_thread();
                     for k in 0..ITERS {
                         t.exchange_ref(cell, Some(regions[(i + k) % THREADS]));
                     }
                 });
             }
-        })
-        .expect("threads ran");
+        });
         let held = cell.get().expect("cell ends non-null");
         // All regions except the held one must be deletable.
         for &r in &regions {

@@ -149,6 +149,12 @@ pub struct RegionRuntime {
     /// Root of the two-level page map; each chunk page covers
     /// [`CHUNK_COVER`] heap pages.
     map_root: Vec<Option<Addr>>,
+    /// Host-side mirror of the in-heap page map, indexed by page number
+    /// (same `owner + 1` encoding, 0 = no owner). The in-heap map stays
+    /// authoritative — the paper charges footprint for it and traced runs
+    /// read it — but untraced `region_of` answers from the mirror with one
+    /// charged load instead of a simulated chunk walk.
+    map_mirror: Vec<u32>,
     stats: AllocStats,
     costs: SafetyCosts,
     // --- shadow stack of region-pointer locals ---
@@ -200,6 +206,7 @@ impl RegionRuntime {
             regions: Vec::new(),
             free_pages: Vec::new(),
             map_root: Vec::new(),
+            map_mirror: Vec::new(),
             stats: AllocStats::default(),
             costs: SafetyCosts::default(),
             stack_base,
@@ -330,12 +337,22 @@ impl RegionRuntime {
             }
         };
         let entry = chunk + (page_index % CHUNK_COVER) * WORD;
-        self.heap.store_u32(entry, owner.map_or(0, |r| r.0 + 1));
+        let cell = owner.map_or(0, |r| r.0 + 1);
+        self.heap.store_u32(entry, cell);
+        if self.map_mirror.len() <= page_index as usize {
+            self.map_mirror.resize(page_index as usize + 1, 0);
+        }
+        self.map_mirror[page_index as usize] = cell;
     }
 
     /// The region containing `addr`, if any — the paper's `regionof`.
     /// One page-map load (§4.1: "an array mapping page addresses to
     /// regions").
+    ///
+    /// With a sink attached the load is performed against the in-heap map
+    /// so cache traces see the real page-map access pattern; untraced, the
+    /// host mirror answers and the load is charged to the counters, so
+    /// totals are identical either way.
     pub fn region_of(&mut self, addr: Addr) -> Option<RegionId> {
         if addr.is_null() {
             return None;
@@ -343,12 +360,38 @@ impl RegionRuntime {
         let page_index = addr.page_index();
         let chunk = *self.map_root.get((page_index / CHUNK_COVER) as usize)?;
         let chunk = chunk?;
-        let entry = self.heap.load_u32(chunk + (page_index % CHUNK_COVER) * WORD);
+        let entry = if self.heap.is_tracing() {
+            self.heap.load_u32(chunk + (page_index % CHUNK_COVER) * WORD)
+        } else {
+            self.heap.charge_loads(1);
+            self.map_mirror.get(page_index as usize).copied().unwrap_or(0)
+        };
         if entry == 0 {
             None
         } else {
             Some(RegionId(entry - 1))
         }
+    }
+
+    /// Verifies that the host mirror agrees with the authoritative in-heap
+    /// page map on every entry of every mapped chunk; for tests. Returns
+    /// the number of entries compared.
+    pub fn check_page_map_mirror(&self) -> u64 {
+        let mut compared = 0;
+        for (root, chunk) in self.map_root.iter().enumerate() {
+            let Some(chunk) = *chunk else { continue };
+            for slot in 0..CHUNK_COVER {
+                let in_heap = self.heap.peek_u32(chunk + slot * WORD);
+                let page_index = root as u32 * CHUNK_COVER + slot;
+                let mirrored = self.map_mirror.get(page_index as usize).copied().unwrap_or(0);
+                assert_eq!(
+                    in_heap, mirrored,
+                    "page-map mirror out of sync for page {page_index}"
+                );
+                compared += 1;
+            }
+        }
+        compared
     }
 
     // ------------------------------------------------------------------
@@ -556,6 +599,11 @@ impl RegionRuntime {
     /// own region is `loc_region` (`None` for global storage). This is the
     /// body of both methods of paper Figure 5.
     fn barrier_update(&mut self, loc_region: Option<RegionId>, old: Addr, new: Addr) {
+        // Overwriting a pointer with itself moves no counts; skip the
+        // page-map lookups entirely.
+        if old == new {
+            return;
+        }
         let ro = self.region_of(old);
         let rn = self.region_of(new);
         if ro != rn {
@@ -635,12 +683,16 @@ impl RegionRuntime {
     }
 
     fn slot_in_scanned_frame(&self, slot: u32) -> bool {
-        for (i, f) in self.frames.iter().enumerate() {
-            if slot >= f.base_slot && slot < f.base_slot + f.n_slots {
-                return i < self.hwm;
+        // Frames are pushed/popped stack-wise, so they are sorted by
+        // `base_slot`; binary-search the candidate instead of scanning.
+        let i = self.frames.partition_point(|f| f.base_slot <= slot);
+        match i.checked_sub(1) {
+            Some(i) => {
+                let f = self.frames[i];
+                slot < f.base_slot + f.n_slots && i < self.hwm
             }
+            None => false,
         }
-        false
     }
 
     // ------------------------------------------------------------------
@@ -704,7 +756,7 @@ impl RegionRuntime {
             let mut cur = page + start;
             let end = page + PAGE_SIZE;
             while cur + WORD <= end {
-                let hdr = self.heap.load_u32(cur);
+                let hdr = self.heap.load_u32_fast(cur);
                 if hdr == 0 {
                     break; // "the end of unfilled pages is marked with a NULL"
                 }
@@ -712,8 +764,8 @@ impl RegionRuntime {
                 self.costs.cleanup_instrs += CLEANUP_OBJECT_INSTRS;
                 if hdr & ARRAY_FLAG != 0 {
                     let desc = DescId((hdr & !ARRAY_FLAG) - 1);
-                    let n = self.heap.load_u32(cur + WORD);
-                    let stride = self.heap.load_u32(cur + 2 * WORD);
+                    let n = self.heap.load_u32_fast(cur + WORD);
+                    let stride = self.heap.load_u32_fast(cur + 2 * WORD);
                     let data = cur + 3 * WORD;
                     let offsets = self.descs.get(desc).ptr_offsets().to_vec();
                     for i in 0..n {
@@ -743,7 +795,7 @@ impl RegionRuntime {
     fn cleanup_release(&mut self, dying: RegionId, field: Addr) {
         self.costs.cleanup_ptrs += 1;
         self.costs.cleanup_instrs += CLEANUP_PTR_INSTRS;
-        let v = self.heap.load_addr(field);
+        let v = Addr::new(self.heap.load_u32_fast(field));
         if let Some(s) = self.region_of(v) {
             if s != dying {
                 self.dec_rc(s);
@@ -1067,6 +1119,63 @@ mod tests {
         assert_eq!(rt.costs().barriers_global, 1);
         assert_eq!(rt.costs().barriers_region, 1);
         assert_eq!(rt.costs().barriers_unknown, 1);
+    }
+
+    #[test]
+    fn page_map_mirror_stays_consistent() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let mut live = Vec::new();
+        for round in 0..6 {
+            let r = rt.new_region();
+            for _ in 0..(round * 300) {
+                rt.ralloc(r, d);
+            }
+            live.push(r);
+            if round % 2 == 1 {
+                let victim = live.remove(0);
+                assert!(rt.delete_region(victim));
+            }
+            assert!(rt.check_page_map_mirror() > 0);
+        }
+        for r in live {
+            assert!(rt.delete_region(r));
+            rt.check_page_map_mirror();
+        }
+    }
+
+    #[test]
+    fn region_of_charges_one_load_untraced() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        let l0 = rt.heap().load_count();
+        assert_eq!(rt.region_of(a), Some(r));
+        assert_eq!(rt.heap().load_count() - l0, 1, "regionof is one page-map load");
+        // Unmapped chunk: no load at all, same as the in-heap walk.
+        let l1 = rt.heap().load_count();
+        assert_eq!(rt.region_of(Addr::new(0xF000_0000)), None);
+        assert_eq!(rt.heap().load_count(), l1);
+    }
+
+    #[test]
+    fn self_overwrite_barrier_moves_no_counts() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        rt.store_ptr_global(g, a);
+        assert_eq!(rt.rc(r), 1);
+        let l0 = rt.heap().load_count();
+        rt.store_ptr_unknown(g, a); // overwrite with itself
+        assert_eq!(rt.rc(r), 1, "rc unchanged by self-overwrite");
+        // classify loc (1 load) + read old value (1); the old == new
+        // fast-out skips both barrier page-map lookups
+        assert_eq!(rt.heap().load_count() - l0, 2);
+        rt.store_ptr_global(g, Addr::NULL);
+        assert!(rt.delete_region(r));
     }
 
     #[test]

@@ -213,3 +213,71 @@ proptest! {
         rt.pop_frame();
     }
 }
+
+/// (a) The host-side page-map mirror must agree with the authoritative
+/// in-heap chunked map after any interleaving of region creation,
+/// allocation (page acquisition), and deletion (page release/recycling),
+/// and `region_of` must report the same owner that a fresh traced lookup
+/// of the in-heap map would.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Create,
+    /// Allocate `blocks` quarter-page string blocks in a region.
+    Grow { region: usize, blocks: usize },
+    Delete { region: usize },
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => Just(MapOp::Create),
+            4 => (any::<usize>(), 1usize..12)
+                .prop_map(|(region, blocks)| MapOp::Grow { region, blocks }),
+            2 => any::<usize>().prop_map(|region| MapOp::Delete { region }),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_map_mirror_matches_in_heap_map(ops in map_ops()) {
+        let mut rt = RegionRuntime::new_safe();
+        let mut regions: Vec<(region_core::RegionId, bool)> = Vec::new();
+        let mut probes: Vec<(Addr, region_core::RegionId)> = Vec::new();
+
+        for op in ops {
+            match op {
+                MapOp::Create => {
+                    regions.push((rt.new_region(), true));
+                }
+                MapOp::Grow { region, blocks } => {
+                    if regions.is_empty() { continue; }
+                    let (r, live) = regions[region % regions.len()];
+                    if !live { continue; }
+                    for _ in 0..blocks {
+                        let a = rt.rstralloc(r, simheap::PAGE_SIZE / 4);
+                        probes.push((a, r));
+                    }
+                }
+                MapOp::Delete { region } => {
+                    if regions.is_empty() { continue; }
+                    let i = region % regions.len();
+                    let (r, live) = regions[i];
+                    if !live { continue; }
+                    prop_assert!(rt.delete_region(r));
+                    regions[i].1 = false;
+                    probes.retain(|&(_, owner)| owner != r);
+                }
+            }
+            prop_assert!(rt.check_page_map_mirror() > 0);
+        }
+        // Every live allocation's owner must still resolve through the
+        // mirror-backed regionof.
+        for (a, owner) in probes {
+            prop_assert_eq!(rt.region_of(a), Some(owner));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! small wall-clock benchmarking harness with criterion's surface API
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `Bencher`).
+//! Each benchmark is auto-calibrated to a target sample time, run for
+//! `sample_size` samples, and reported as the median ns/iteration —
+//! enough statistical hygiene to compare hot paths before/after a change.
+//!
+//! Set `BENCH_QUICK=1` to cut sample counts for CI smoke runs, and
+//! `BENCH_JSON=<path>` to also append machine-readable result lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(8);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    quick: bool,
+    json: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            quick: std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()),
+            json: std::env::var_os("BENCH_JSON").map(Into::into),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup { criterion: self, group: name.to_string(), sample_size: 20 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let quick = self.quick;
+        let json = self.json.clone();
+        run_one(&json, quick, "", name, 20, f);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            &self.criterion.json,
+            self.criterion.quick,
+            &self.group,
+            name,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+/// Measures the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    json: &Option<std::path::PathBuf>,
+    quick: bool,
+    group: &str,
+    name: &str,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        assert!(b.elapsed != Duration::ZERO || iters > 0, "Bencher::iter never called in {full}");
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (TARGET_SAMPLE.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2));
+    }
+    let samples = if quick { 3 } else { sample_size };
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!("  {full:<40} {:>12} /iter  [{} .. {}]  ({samples} × {iters} iters)",
+        fmt_ns(median), fmt_ns(lo), fmt_ns(hi));
+    if let Some(path) = json {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"bench\":\"{full}\",\"median_ns\":{median:.1},\"min_ns\":{lo:.1},\"max_ns\":{hi:.1},\"iters\":{iters},\"samples\":{samples}}}"
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::remove_var("BENCH_QUICK");
+        let mut c = Criterion { quick: true, json: None };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small, deterministic subset of the `rand` 0.8 API that the
+//! workload generators and tests actually use: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] sampling helpers.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — high quality
+//! and fully deterministic, though the streams differ from upstream
+//! `StdRng` (ChaCha12). Every consumer in this repository only relies on
+//! determinism, not on matching upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (the one constructor we use).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the generator's full range.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. `lo < hi` is the caller's duty.
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+    /// The successor of `v` (for inclusive ranges); saturates.
+    fn successor(v: Self) -> Self;
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with an empty range");
+        T::sample_half_open(rng, lo, T::successor(hi))
+    }
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn successor(v: $t) -> $t {
+                v.saturating_add(1)
+            }
+        }
+        impl Standard for $t {
+            fn draw(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, usize);
+
+impl SampleUniform for u64 {
+    fn sample_half_open(rng: &mut rngs::StdRng, lo: u64, hi: u64) -> u64 {
+        lo.wrapping_add(rng.next_u64() % (hi - lo))
+    }
+    fn successor(v: u64) -> u64 {
+        v.saturating_add(1)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut rngs::StdRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                ((lo as i64).wrapping_add((rng.next_u64() % span) as i64)) as $t
+            }
+            fn successor(v: $t) -> $t {
+                v.saturating_add(1)
+            }
+        }
+        impl Standard for $t {
+            fn draw(rng: &mut rngs::StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut rngs::StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// The sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Draws one uniformly distributed value.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws one value from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        <f64 as Standard>::draw(self) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0 && numerator <= denominator, "gen_ratio out of range");
+        self.next_u64() % u64::from(denominator) < u64::from(numerator)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// A deterministic 64-bit generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The raw 64-bit output used by every sampling helper.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u32 = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = r.gen_range(-50..=50);
+            assert!((-50..=50).contains(&w));
+            let u: usize = r.gen_range(0..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05, "mean {sum}");
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..4000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
+    }
+}

@@ -142,6 +142,31 @@ impl SimHeap {
         self.sink.take()
     }
 
+    /// `true` if an access sink is attached, i.e. every load/store is being
+    /// forwarded as an individual [`Access`] record. Clients with a cheaper
+    /// host-side way to answer a query (e.g. a mirrored page map) may use
+    /// it only when this is `false`, charging the simulated cost through
+    /// [`SimHeap::charge_loads`] so counter totals stay identical.
+    pub fn is_tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Charges `n` simulated loads without touching memory. For host-side
+    /// mirrors of in-heap structures: the mirror answers the query, this
+    /// charges what the simulated program would have paid. Must not be used
+    /// while a sink is attached (the sink would miss the accesses).
+    pub fn charge_loads(&mut self, n: u64) {
+        debug_assert!(!self.tracing, "charge_loads while tracing loses sink records");
+        self.loads += n;
+    }
+
+    /// Charges `n` simulated stores without touching memory; see
+    /// [`SimHeap::charge_loads`].
+    pub fn charge_stores(&mut self, n: u64) {
+        debug_assert!(!self.tracing, "charge_stores while tracing loses sink records");
+        self.stores += n;
+    }
+
     /// Runs `f` with the attached sink downcast-free: sinks are trait
     /// objects, so callers that need results back should use a sink type
     /// they own and recover it with [`SimHeap::detach_sink`].
@@ -149,6 +174,17 @@ impl SimHeap {
         if let Some(sink) = self.sink.as_mut() {
             sink.access(access);
         }
+    }
+
+    /// Single-branch validation for the common case of an aligned in-bounds
+    /// word; falls back to [`SimHeap::check`] for the detailed panic.
+    #[inline]
+    fn check_word(&self, addr: Addr, what: &str) {
+        let a = addr.raw();
+        if a >= PAGE_SIZE && a % WORD == 0 && (u64::from(a) + u64::from(WORD)) <= self.memory.len() as u64 {
+            return;
+        }
+        self.check(addr, WORD, WORD, what);
     }
 
     #[inline]
@@ -176,7 +212,7 @@ impl SimHeap {
     /// SIGBUS) — these always indicate a bug in the client allocator or VM.
     #[inline]
     pub fn load_u32(&mut self, addr: Addr) -> u32 {
-        self.check(addr, WORD, WORD, "load");
+        self.check_word(addr, "load");
         self.loads += 1;
         if self.tracing {
             self.emit(Access::read(addr.raw(), 4));
@@ -192,7 +228,7 @@ impl SimHeap {
     /// Panics on unmapped or misaligned addresses.
     #[inline]
     pub fn store_u32(&mut self, addr: Addr, value: u32) {
-        self.check(addr, WORD, WORD, "store");
+        self.check_word(addr, "store");
         self.stores += 1;
         if self.tracing {
             self.emit(Access::write(addr.raw(), 4));
@@ -223,6 +259,33 @@ impl SimHeap {
         self.memory[addr.raw() as usize] = value;
     }
 
+    /// Loads a 32-bit word on the fast path: one combined bounds/alignment
+    /// branch instead of three, with panics, counters and (when a sink is
+    /// attached) trace records identical to [`SimHeap::load_u32`]. Intended
+    /// for hot scan loops in the runtime.
+    #[inline]
+    pub fn load_u32_fast(&mut self, addr: Addr) -> u32 {
+        if self.tracing {
+            return self.load_u32(addr);
+        }
+        self.check_word(addr, "load");
+        self.loads += 1;
+        let i = addr.raw() as usize;
+        u32::from_le_bytes([self.memory[i], self.memory[i + 1], self.memory[i + 2], self.memory[i + 3]])
+    }
+
+    /// Stores a 32-bit word on the fast path; see [`SimHeap::load_u32_fast`].
+    #[inline]
+    pub fn store_u32_fast(&mut self, addr: Addr, value: u32) {
+        if self.tracing {
+            return self.store_u32(addr, value);
+        }
+        self.check_word(addr, "store");
+        self.stores += 1;
+        let i = addr.raw() as usize;
+        self.memory[i..i + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
     /// Loads an address-sized value and interprets it as an address.
     #[inline]
     pub fn load_addr(&mut self, addr: Addr) -> Addr {
@@ -235,14 +298,34 @@ impl SimHeap {
         self.store_u32(addr, value.raw());
     }
 
+    /// Number of simulated stores a `fill(addr, len, _)` performs: head
+    /// bytes to reach word alignment, whole words, then tail bytes — the
+    /// cost model of a real `memset`.
+    fn fill_store_ops(addr: Addr, len: u32) -> u64 {
+        let head = ((WORD - addr.raw() % WORD) % WORD).min(len);
+        let rest = len - head;
+        u64::from(head) + u64::from(rest / WORD) + u64::from(rest % WORD)
+    }
+
     /// Fills `len` bytes starting at `addr` with `byte`, word-at-a-time
     /// where possible (each touched word counts as one store, matching the
     /// cost of a real `memset`).
+    ///
+    /// With no sink attached the fill is one bounds check plus one host
+    /// `memset`, with counter totals identical to the per-word path; with a
+    /// sink attached every store is emitted individually so cache traces
+    /// are unchanged.
     pub fn fill(&mut self, addr: Addr, len: u32, byte: u8) {
         if len == 0 {
             return;
         }
         self.check(addr, len, 1, "fill");
+        if !self.tracing {
+            self.stores += SimHeap::fill_store_ops(addr, len);
+            let i = addr.raw() as usize;
+            self.memory[i..i + len as usize].fill(byte);
+            return;
+        }
         let mut cur = addr;
         let end = addr + len;
         let word = u32::from_le_bytes([byte; 4]);
@@ -260,14 +343,42 @@ impl SimHeap {
         }
     }
 
+    /// Number of load/store pairs a `copy(dst, src, len)` performs: whole
+    /// words plus tail bytes when both ends are word-aligned, else all
+    /// bytes.
+    fn copy_ops(dst: Addr, src: Addr, len: u32) -> u64 {
+        if dst.is_aligned(WORD) && src.is_aligned(WORD) {
+            u64::from(len / WORD) + u64::from(len % WORD)
+        } else {
+            u64::from(len)
+        }
+    }
+
     /// Copies `len` bytes from `src` to `dst` (non-overlapping or
     /// `dst <= src`), word-at-a-time where aligned.
+    ///
+    /// With no sink attached the copy is two bounds checks plus one host
+    /// `memmove`, with counter totals identical to the per-word path; with
+    /// a sink attached every access is emitted individually.
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u32) {
         if len == 0 {
             return;
         }
         self.check(src, len, 1, "copy-load");
         self.check(dst, len, 1, "copy-store");
+        // A forward element-wise copy into an overlapping higher range
+        // smears the source; keep the per-element path there so the (out of
+        // contract) behaviour matches the traced path bit for bit.
+        let smearing = u64::from(dst.raw()) > u64::from(src.raw())
+            && u64::from(dst.raw()) < u64::from(src.raw()) + u64::from(len);
+        if !self.tracing && !smearing {
+            let ops = SimHeap::copy_ops(dst, src, len);
+            self.loads += ops;
+            self.stores += ops;
+            let (d, s) = (dst.raw() as usize, src.raw() as usize);
+            self.memory.copy_within(s..s + len as usize, d);
+            return;
+        }
         if dst.is_aligned(WORD) && src.is_aligned(WORD) {
             let words = len / WORD;
             for w in 0..words {
@@ -478,6 +589,92 @@ mod tests {
         assert_eq!(heap.load_count(), l0);
         assert_eq!(heap.store_count(), s0);
         assert_eq!(heap.peek_u32(a), u32::from_le_bytes(*b"hell"));
+    }
+
+    /// Runs `f` twice — once untraced (bulk paths), once with a sink
+    /// attached (per-word paths) — and asserts the counter deltas agree.
+    fn parity<F: Fn(&mut SimHeap)>(f: F) -> (u64, u64) {
+        let mut fast = SimHeap::new();
+        fast.sbrk_pages(4);
+        f(&mut fast);
+        let mut slow = SimHeap::new();
+        slow.sbrk_pages(4);
+        slow.attach_sink(Box::new(CountingSink::default()));
+        f(&mut slow);
+        assert_eq!(fast.load_count(), slow.load_count(), "load parity");
+        assert_eq!(fast.store_count(), slow.store_count(), "store parity");
+        assert_eq!(
+            fast.snapshot(Addr::new(PAGE_SIZE), 4 * PAGE_SIZE),
+            slow.snapshot(Addr::new(PAGE_SIZE), 4 * PAGE_SIZE),
+            "memory parity"
+        );
+        (fast.load_count(), fast.store_count())
+    }
+
+    #[test]
+    fn bulk_fill_counter_parity() {
+        let base = Addr::new(PAGE_SIZE);
+        // aligned start, word multiple
+        parity(|h| h.fill(base, 64, 0xAA));
+        // unaligned start, odd length (head + words + tail)
+        let (_, s) = parity(|h| h.fill(base + 3, 11, 0x55));
+        assert_eq!(s, 1 + 2 + 2, "1 head byte, 2 words, 2 tail bytes");
+        // sub-word fill
+        parity(|h| h.fill(base + 1, 2, 0x01));
+    }
+
+    #[test]
+    fn bulk_copy_counter_parity() {
+        let base = Addr::new(PAGE_SIZE);
+        parity(|h| {
+            h.fill(base, 32, 0x7E);
+            h.copy(base + 64, base, 32); // aligned
+        });
+        let (l, _) = parity(|h| {
+            h.fill(base, 32, 0x7E);
+            h.copy(base + 65, base + 1, 13); // unaligned: byte-wise
+        });
+        assert_eq!(l, 13, "byte-wise copy loads once per byte");
+        // overlapping backward copy (dst <= src) stays in contract
+        parity(|h| {
+            h.fill(base, 64, 0x3C);
+            h.copy(base + 8, base + 16, 32);
+        });
+    }
+
+    #[test]
+    fn fast_word_paths_match_slow() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32_fast(a, 0xDEAD_BEEF);
+        assert_eq!(heap.load_u32(a), 0xDEAD_BEEF);
+        assert_eq!(heap.load_u32_fast(a), 0xDEAD_BEEF);
+        assert_eq!(heap.load_count(), 2);
+        assert_eq!(heap.store_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn fast_load_checks_bounds() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.load_u32_fast(a + PAGE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated bus error")]
+    fn fast_store_checks_alignment() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32_fast(a + 2, 1);
+    }
+
+    #[test]
+    fn charge_counters() {
+        let mut heap = SimHeap::new();
+        heap.charge_loads(5);
+        heap.charge_stores(2);
+        assert_eq!((heap.load_count(), heap.store_count()), (5, 2));
     }
 
     #[test]

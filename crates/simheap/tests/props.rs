@@ -1,8 +1,10 @@
 //! Property tests: the simulated heap behaves like flat byte-addressable
-//! memory with an append-only break.
+//! memory with an append-only break, and the bulk fast paths (taken when
+//! no trace sink is attached) are observationally identical to the
+//! per-word paths.
 
 use proptest::prelude::*;
-use simheap::{Addr, SimHeap, PAGE_SIZE, WORD};
+use simheap::{Access, Addr, CountingSink, RecordingSink, SimHeap, PAGE_SIZE, WORD};
 
 /// Model: a plain host byte vector addressed the same way.
 #[derive(Debug, Clone)]
@@ -62,6 +64,84 @@ proptest! {
             }
         }
         prop_assert_eq!(heap.snapshot(base, AREA), model);
+    }
+
+    /// (b) Bulk vs per-word: running the same op sequence untraced (bulk
+    /// fill/copy, mirror-style fast paths) and with a sink attached
+    /// (per-word loops) must give identical memory contents and identical
+    /// load/store counter totals.
+    #[test]
+    fn bulk_and_perword_paths_agree(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut bulk = SimHeap::new();
+        let bulk_base = bulk.sbrk_pages(AREA / PAGE_SIZE);
+        let mut word = SimHeap::new();
+        let word_base = word.sbrk_pages(AREA / PAGE_SIZE);
+        word.attach_sink(Box::new(CountingSink::default()));
+        prop_assert_eq!(bulk_base, word_base);
+
+        for op in &ops {
+            for (heap, base) in [(&mut bulk, bulk_base), (&mut word, word_base)] {
+                match *op {
+                    Op::StoreU8 { off, val } => heap.store_u8(base + off, val),
+                    Op::StoreU32 { off, val } => heap.store_u32(base + off, val),
+                    Op::Fill { off, len, byte } => heap.fill(base + off, len, byte),
+                    Op::Copy { dst, src, len } => heap.copy(base + dst, base + src, len),
+                }
+            }
+        }
+        prop_assert_eq!(bulk.load_count(), word.load_count());
+        prop_assert_eq!(bulk.store_count(), word.store_count());
+        prop_assert_eq!(bulk.snapshot(bulk_base, AREA), word.snapshot(word_base, AREA));
+    }
+
+    /// (c) The traced access stream is pinned to per-word semantics: a
+    /// sink-attached fill/copy emits exactly the head-bytes / words /
+    /// tail-bytes sequence, in order — bulk optimizations must never leak
+    /// into traced runs.
+    #[test]
+    fn traced_stream_is_perword(off in 0u32..256, len in 0u32..160, shift in 0u32..5) {
+        let mut heap = SimHeap::new();
+        let base = heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(RecordingSink::default()));
+        let start = base + off;
+        heap.fill(start, len, 0xAB);
+        let dst = base + 2048 + shift;
+        heap.copy(dst, start, len);
+        let sink = heap.detach_sink().expect("sink attached");
+        let log = sink.into_any().downcast::<RecordingSink>().expect("recording sink").log;
+
+        // Expected stream, derived independently of the implementation.
+        let mut expect = Vec::new();
+        let mut cur = start;
+        let end = start + len;
+        while cur < end && !cur.is_aligned(WORD) {
+            expect.push(Access::write(cur.raw(), 1));
+            cur = cur + 1;
+        }
+        while cur + WORD <= end {
+            expect.push(Access::write(cur.raw(), 4));
+            cur = cur + WORD;
+        }
+        while cur < end {
+            expect.push(Access::write(cur.raw(), 1));
+            cur = cur + 1;
+        }
+        if dst.is_aligned(WORD) && start.is_aligned(WORD) {
+            for w in 0..len / WORD {
+                expect.push(Access::read(start.raw() + w * WORD, 4));
+                expect.push(Access::write(dst.raw() + w * WORD, 4));
+            }
+            for b in (len / WORD * WORD)..len {
+                expect.push(Access::read(start.raw() + b, 1));
+                expect.push(Access::write(dst.raw() + b, 1));
+            }
+        } else {
+            for b in 0..len {
+                expect.push(Access::read(start.raw() + b, 1));
+                expect.push(Access::write(dst.raw() + b, 1));
+            }
+        }
+        prop_assert_eq!(log, expect);
     }
 
     #[test]

@@ -26,12 +26,12 @@ fn main() {
     let regions: Vec<_> = (0..REGIONS).map(|_| main_thread.create_region()).collect();
     let cells: Vec<RefCell32> = (0..CELLS).map(|_| RefCell32::new()).collect();
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..THREADS {
             let pool = pool.clone();
             let regions = regions.clone();
             let cells = &cells;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut me = pool.register_thread();
                 for k in 0..OPS {
                     // Publish a reference with an atomic exchange; the
@@ -42,8 +42,7 @@ fn main() {
                 }
             });
         }
-    })
-    .expect("workers ran");
+    });
 
     println!("{} threads × {} atomic-exchange publishes done", THREADS, OPS);
     // Exactly CELLS references remain outstanding (whatever each cell
