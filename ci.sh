@@ -20,6 +20,15 @@ for bin in table1 table2_3 fig8 fig9 fig10 fig11 ablations cq_bench; do
     ./target/release/"$bin" --quick >/dev/null
 done
 
+echo "== chaos soak (fault injection + sanitizer), --quick =="
+./target/release/chaos --quick >/dev/null
+
+echo "== REGION_SANITIZE=1 smoke (one fig8 row, audited after the run) =="
+REGION_SANITIZE=1 ./target/release/fig8 --quick --only tile >/dev/null
+
+echo "== results schema self-compare =="
+./target/release/compare_results results/fig8.json results/fig8.json --ignore-time >/dev/null
+
 echo "== criterion benches, quick mode =="
 BENCH_QUICK=1 cargo bench -p bench-harness >/dev/null
 

@@ -1,0 +1,582 @@
+//! Chaos soak: randomized region workloads under injected faults.
+//!
+//! Drives a [`RegionRuntime`] through a long, seeded stream of
+//! create/alloc/store/call/delete operations while a [`FaultPlan`]
+//! (and a squeezed [`HeapConfig`]) injects failures, asserting after
+//! **every** fault that
+//!
+//! * `sanitize()` is clean — recomputed reference counts, the page-map
+//!   mirror, and the violation log all agree with the incremental state;
+//! * a failed `deleteregion` freed nothing (refcount, page count, and
+//!   liveness are unchanged, and the region still allocates);
+//! * a faulted allocation was observationally a no-op;
+//! * the whole soak is deterministic: the same seed produces a
+//!   bit-identical event digest on a second run.
+//!
+//! Three scenarios cover the three fault families:
+//!
+//! | scenario | injects |
+//! |---|---|
+//! | `alloc-faults`  | every-Mth + seeded 1-in-N allocation faults, Nth-page-acquisition faults |
+//! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
+//! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
+//!
+//! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
+//! scenario). Exit code 0 means every invariant held.
+
+use region_core::{
+    FaultPlan, FaultSite, RegionConfig, RegionError, RegionId, RegionRuntime, TypeDescriptor,
+};
+use simheap::{Addr, HeapConfig, PAGE_SIZE};
+
+/// xorshift64* with a splitmix64-scrambled seed — the same shape the
+/// fault plan uses internally, but an independent stream: operation
+/// choice and fault dice must not perturb each other.
+struct Rng(u64);
+
+impl Rng {
+    fn seeded(seed: u64) -> Rng {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// FNV-1a fold; the digest is the soak's whole observable history.
+fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x1000_0000_01b3)
+}
+
+fn err_code(e: RegionError) -> u64 {
+    match e {
+        RegionError::OutOfMemory { requested, limit } => fold(fold(1, requested), limit),
+        RegionError::RegionDeleted { region } => fold(2, region.index() as u64),
+        RegionError::DeleteBlocked { region, rc } => {
+            fold(fold(3, region.index() as u64), rc as u64)
+        }
+        RegionError::SizeOverflow { count, stride } => {
+            fold(fold(4, count as u64), stride as u64)
+        }
+        RegionError::ObjectTooLarge { bytes } => fold(5, bytes as u64),
+        RegionError::ZeroAlloc => 6,
+        RegionError::NullDeref => 7,
+        RegionError::StackOverflow { slots } => fold(8, slots as u64),
+        RegionError::FaultInjected { site, count } => {
+            let s = match site {
+                FaultSite::PageAcquisition => 1u64,
+                FaultSite::Allocation => 2,
+                FaultSite::Sbrk => 3,
+            };
+            fold(fold(9, s), count)
+        }
+    }
+}
+
+/// One allocated object the soak can later store pointers into/of.
+#[derive(Clone, Copy)]
+enum Obj {
+    /// `node { word; node@ next; word; word }` — pointer field at +4.
+    Node(RegionId, Addr),
+    /// Array of `n` nodes; element pointer fields at `+i*16+4`.
+    Array(RegionId, Addr, u32),
+}
+
+impl Obj {
+    fn region(self) -> RegionId {
+        match self {
+            Obj::Node(r, _) | Obj::Array(r, _, _) => r,
+        }
+    }
+
+    fn addr(self) -> Addr {
+        match self {
+            Obj::Node(_, a) | Obj::Array(_, a, _) => a,
+        }
+    }
+
+    /// A pointer-typed location inside the object, as declared by its
+    /// type descriptor (the sanitizer's object walk must see every
+    /// pointer the soak stores).
+    fn ptr_field(self, rng: &mut Rng) -> Addr {
+        match self {
+            Obj::Node(_, a) => a + 4,
+            Obj::Array(_, a, n) => a + (rng.below(n as u64) as u32) * 16 + 4,
+        }
+    }
+}
+
+/// Everything counted over one scenario; digests must match re-runs.
+#[derive(Default)]
+struct Tally {
+    ops: u64,
+    digest: u64,
+    alloc_faults: u64,
+    page_faults: u64,
+    sbrk_faults: u64,
+    oom: u64,
+    blocked_deletes: u64,
+    double_deletes: u64,
+    sanitize_runs: u64,
+}
+
+impl Tally {
+    fn faults(&self) -> u64 {
+        self.alloc_faults + self.page_faults + self.sbrk_faults + self.oom
+    }
+}
+
+struct Soak {
+    rt: RegionRuntime,
+    rng: Rng,
+    node: region_core::DescId,
+    live: Vec<RegionId>,
+    dead: Vec<RegionId>,
+    pool: Vec<Obj>,
+    globals: Addr,
+    n_globals: u32,
+    frames: u32,
+    tally: Tally,
+}
+
+const MAX_REGIONS: usize = 24;
+const MAX_POOL: usize = 2048;
+const MAX_FRAMES: u32 = 8;
+const GLOBAL_SLOTS: u32 = 64;
+
+impl Soak {
+    fn new(seed: u64, config: RegionConfig, plan: Option<FaultPlan>) -> Soak {
+        let mut rt = RegionRuntime::with_config(config);
+        let node = rt.register_type(TypeDescriptor::new("chaos_node", 16, vec![4]));
+        let globals = rt.alloc_globals(GLOBAL_SLOTS * 4);
+        rt.push_frame(8); // the "main" frame
+        if let Some(plan) = plan {
+            rt.set_fault_plan(plan);
+        }
+        Soak {
+            rt,
+            rng: Rng::seeded(seed),
+            node,
+            live: Vec::new(),
+            dead: Vec::new(),
+            pool: Vec::new(),
+            globals,
+            n_globals: GLOBAL_SLOTS,
+            frames: 1,
+            tally: Tally::default(),
+        }
+    }
+
+    fn note(&mut self, v: u64) {
+        self.tally.digest = fold(self.tally.digest, v);
+    }
+
+    /// Runs `sanitize()` and asserts the runtime is perfectly coherent.
+    /// Called after every injected fault (and at scenario end).
+    fn assert_clean(&mut self, when: &str) {
+        let report = self.rt.sanitize();
+        self.tally.sanitize_runs += 1;
+        assert!(report.is_clean(), "sanitize dirty {when}: {report}");
+        assert!(self.rt.violations().is_empty(), "rc violations recorded {when}");
+        self.tally.digest = fold(self.tally.digest, report.objects_walked);
+        self.tally.digest = fold(self.tally.digest, report.live_regions);
+    }
+
+    /// Classifies a typed failure, asserts the runtime is still clean,
+    /// and folds the error into the digest. Panics (failing the soak) on
+    /// error kinds the operation cannot legally produce.
+    fn on_err(&mut self, e: RegionError, allowed_deleted: bool) {
+        self.note(err_code(e));
+        match e {
+            RegionError::FaultInjected { site: FaultSite::Allocation, .. } => {
+                self.tally.alloc_faults += 1
+            }
+            RegionError::FaultInjected { site: FaultSite::PageAcquisition, .. } => {
+                self.tally.page_faults += 1
+            }
+            RegionError::FaultInjected { site: FaultSite::Sbrk, .. } => {
+                self.tally.sbrk_faults += 1
+            }
+            RegionError::OutOfMemory { .. } => self.tally.oom += 1,
+            RegionError::RegionDeleted { .. } if allowed_deleted => {
+                self.tally.double_deletes += 1
+            }
+            other => panic!("unexpected error from soak op: {other}"),
+        }
+        self.assert_clean("after injected fault");
+    }
+
+    fn random_live(&mut self) -> Option<RegionId> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let i = self.rng.below(self.live.len() as u64) as usize;
+        Some(self.live[i])
+    }
+
+    fn op_create(&mut self) {
+        if self.live.len() >= MAX_REGIONS {
+            return self.op_delete();
+        }
+        match self.rt.try_new_region() {
+            Ok(r) => {
+                self.note(fold(11, r.index() as u64));
+                self.live.push(r);
+            }
+            Err(e) => self.on_err(e, false),
+        }
+    }
+
+    fn op_alloc(&mut self) {
+        let Some(r) = self.random_live() else { return self.op_create() };
+        let allocs_before = self.rt.stats().total_allocs;
+        let pages_before = self.rt.data_pages();
+        let res = match self.rng.below(4) {
+            0 => {
+                let n = 1 + self.rng.below(12) as u32;
+                self.rt.try_rarrayalloc(r, n, self.node).map(|a| Some(Obj::Array(r, a, n)))
+            }
+            1 => {
+                // Pointer-free storage: folded into the digest but never
+                // handed to stores (string pages carry no descriptors, so
+                // the sanitizer's object walk would miss a pointer there).
+                let size = 1 + self.rng.below(64) as u32;
+                self.rt.try_rstralloc(r, size).map(|a| {
+                    self.tally.digest = fold(self.tally.digest, a.raw() as u64);
+                    None
+                })
+            }
+            _ => self.rt.try_ralloc(r, self.node).map(|a| Some(Obj::Node(r, a))),
+        };
+        match res {
+            Ok(obj) => {
+                if let Some(obj) = obj {
+                    self.note(fold(12, obj.addr().raw() as u64));
+                    if self.pool.len() >= MAX_POOL {
+                        let i = self.rng.below(self.pool.len() as u64) as usize;
+                        self.pool.swap_remove(i);
+                    }
+                    self.pool.push(obj);
+                }
+            }
+            Err(e) => {
+                // A failed allocation is observationally a no-op.
+                assert_eq!(self.rt.stats().total_allocs, allocs_before, "faulted alloc counted");
+                assert_eq!(self.rt.data_pages(), pages_before, "faulted alloc took a page");
+                self.on_err(e, false);
+            }
+        }
+    }
+
+    fn op_store(&mut self) {
+        if self.pool.is_empty() {
+            return self.op_alloc();
+        }
+        let src = self.pool[self.rng.below(self.pool.len() as u64) as usize];
+        let target = if self.rng.below(4) == 0 {
+            Addr::NULL
+        } else {
+            self.pool[self.rng.below(self.pool.len() as u64) as usize].addr()
+        };
+        match self.rng.below(4) {
+            // Global slot: the canonical "external reference".
+            0 => {
+                let slot = self.globals + (self.rng.below(self.n_globals as u64) as u32) * 4;
+                self.rt.store_ptr_global(slot, target);
+                self.note(fold(13, slot.raw() as u64));
+            }
+            // Stack local in the current frame.
+            1 => {
+                let slot = self.rng.below(8) as u32;
+                self.rt.set_local(slot, target);
+                self.note(fold(14, slot as u64));
+            }
+            // Heap field, statically-known-region barrier.
+            2 => {
+                let loc = src.ptr_field(&mut self.rng);
+                self.rt.store_ptr_region(loc, target);
+                self.note(fold(15, loc.raw() as u64));
+            }
+            // Heap field through the "unknown location" barrier.
+            _ => {
+                let loc = src.ptr_field(&mut self.rng);
+                self.rt.store_ptr_unknown(loc, target);
+                self.note(fold(16, loc.raw() as u64));
+            }
+        }
+        self.note(target.raw() as u64);
+    }
+
+    fn op_call(&mut self) {
+        if self.frames < MAX_FRAMES && self.rng.below(2) == 0 {
+            self.rt.push_frame(8);
+            self.frames += 1;
+            self.note(17);
+        } else if self.frames > 1 {
+            self.rt.pop_frame();
+            self.frames -= 1;
+            self.note(18);
+        }
+    }
+
+    fn op_delete(&mut self) {
+        // Occasionally aim at a tombstone to exercise the double-delete
+        // error path.
+        if !self.dead.is_empty() && self.rng.below(16) == 0 {
+            let r = self.dead[self.rng.below(self.dead.len() as u64) as usize];
+            match self.rt.try_delete_region(r) {
+                Ok(()) => panic!("deleted {r:?} twice"),
+                Err(e @ RegionError::RegionDeleted { .. }) => return self.on_err(e, true),
+                Err(e) => panic!("double delete of {r:?} produced {e}"),
+            }
+        }
+        let Some(r) = self.random_live() else { return self.op_create() };
+        let pages_before = self.rt.data_pages();
+        let allocs_before = self.rt.stats().total_allocs;
+        match self.rt.try_delete_region(r) {
+            Ok(()) => {
+                self.note(fold(19, r.index() as u64));
+                self.live.retain(|&x| x != r);
+                self.pool.retain(|o| o.region() != r);
+                if self.dead.len() < 64 {
+                    self.dead.push(r);
+                }
+            }
+            Err(e @ RegionError::DeleteBlocked { region, rc }) => {
+                assert_eq!(region, r);
+                assert!(rc > 0, "blocked delete with rc {rc}");
+                // The blocked delete must have freed nothing. (The rc
+                // itself may legally *grow*: the attempt scans stack
+                // frames up to the high-water mark, and scanned frames'
+                // references stay counted — the paper's deferred scan.)
+                assert!(self.rt.is_live(r), "blocked delete killed {r:?}");
+                assert_eq!(self.rt.data_pages(), pages_before, "blocked delete freed pages");
+                assert_eq!(self.rt.stats().total_allocs, allocs_before);
+                self.tally.blocked_deletes += 1;
+                self.note(err_code(e));
+                // …and the region must still be usable.
+                match self.rt.try_ralloc(r, self.node) {
+                    Ok(a) => self.note(fold(20, a.raw() as u64)),
+                    Err(probe) => self.on_err(probe, false),
+                }
+                self.assert_clean("after blocked delete");
+            }
+            Err(e) => panic!("delete of live {r:?} produced {e}"),
+        }
+    }
+
+    /// When the heap is squeezed shut (sbrk fault budget or OOM), shed
+    /// load so the soak keeps making progress: clear all global roots and
+    /// pop back to the main frame, then delete every region that will go.
+    fn relieve(&mut self) {
+        for i in 0..self.n_globals {
+            self.rt.store_ptr_global(self.globals + i * 4, Addr::NULL);
+        }
+        while self.frames > 1 {
+            self.rt.pop_frame();
+            self.frames -= 1;
+        }
+        let regions: Vec<RegionId> = self.live.clone();
+        for r in regions {
+            if self.rt.try_delete_region(r).is_ok() {
+                self.live.retain(|&x| x != r);
+                self.pool.retain(|o| o.region() != r);
+            }
+        }
+        self.note(21);
+        self.assert_clean("after pressure relief");
+    }
+
+    fn step(&mut self) {
+        self.tally.ops += 1;
+        let before = self.tally.faults();
+        match self.rng.below(100) {
+            0..=7 => self.op_create(),
+            8..=55 => self.op_alloc(),
+            56..=77 => self.op_store(),
+            78..=87 => self.op_call(),
+            _ => self.op_delete(),
+        }
+        // Under sustained memory pressure (sbrk squeeze / tiny heap),
+        // shed load once faults start landing so later ops still exercise
+        // the success paths too.
+        let t = &self.tally;
+        if t.faults() > before && (t.sbrk_faults + t.oom) % 7 == 3 {
+            self.relieve();
+        }
+    }
+
+    fn finish(mut self) -> Tally {
+        self.assert_clean("at scenario end");
+        let stats = *self.rt.stats();
+        self.note(stats.total_allocs);
+        self.note(stats.total_bytes);
+        self.note(self.rt.data_pages());
+        self.note(self.rt.os_heap_bytes());
+        self.tally
+    }
+}
+
+fn scenario_alloc_faults(seed: u64, ops: u64) -> Tally {
+    let mut plan = FaultPlan::seeded(seed)
+        .fail_every_mth_alloc(41)
+        .fail_allocs_one_in(127);
+    // A seeded scatter of page-acquisition ordinals.
+    let mut rng = Rng::seeded(seed ^ 0xface);
+    for _ in 0..(ops / 200).max(8) {
+        plan = plan.fail_page_acquisition(1 + rng.below(ops / 4 + 1));
+    }
+    let mut soak = Soak::new(seed, RegionConfig::default(), Some(plan));
+    for _ in 0..ops {
+        soak.step();
+    }
+    soak.finish()
+}
+
+fn scenario_sbrk_squeeze(seed: u64, ops: u64) -> Tally {
+    let config = RegionConfig {
+        stack_pages: 16,
+        heap: HeapConfig { max_bytes: 512 << 20, sbrk_fault_after: None },
+        ..RegionConfig::default()
+    };
+    let budget = 40 * PAGE_SIZE as u64;
+    let plan = FaultPlan::seeded(seed).fail_sbrk_after(budget);
+    let mut soak = Soak::new(seed, config, Some(plan));
+    for _ in 0..ops {
+        soak.step();
+    }
+    soak.finish()
+}
+
+fn scenario_oom(seed: u64, ops: u64) -> Tally {
+    let config = RegionConfig {
+        stack_pages: 16,
+        heap: HeapConfig { max_bytes: 40 * PAGE_SIZE as u64, sbrk_fault_after: None },
+        ..RegionConfig::default()
+    };
+    let mut soak = Soak::new(seed, config, None);
+    for _ in 0..ops {
+        soak.step();
+    }
+    soak.finish()
+}
+
+struct RunSummary {
+    digest: u64,
+    ops: u64,
+    faults: u64,
+    alloc_faults: u64,
+    page_faults: u64,
+    sbrk_faults: u64,
+    oom: u64,
+    blocked_deletes: u64,
+    double_deletes: u64,
+    sanitize_runs: u64,
+}
+
+fn run_all(seed: u64, ops: u64) -> RunSummary {
+    let scenarios = [
+        ("alloc-faults", scenario_alloc_faults as fn(u64, u64) -> Tally, ops),
+        ("sbrk-squeeze", scenario_sbrk_squeeze as fn(u64, u64) -> Tally, ops / 2),
+        ("oom", scenario_oom as fn(u64, u64) -> Tally, ops / 2),
+    ];
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut sum = RunSummary {
+        digest: 0,
+        ops: 0,
+        faults: 0,
+        alloc_faults: 0,
+        page_faults: 0,
+        sbrk_faults: 0,
+        oom: 0,
+        blocked_deletes: 0,
+        double_deletes: 0,
+        sanitize_runs: 0,
+    };
+    for (name, f, n) in scenarios {
+        let t = f(seed, n);
+        println!(
+            "  {name:<13} ops {:>6}  faults {:>4} (alloc {} page {} sbrk {} oom {})  \
+             blocked deletes {}  double deletes {}  sanitize runs {}  digest {:016x}",
+            t.ops,
+            t.faults(),
+            t.alloc_faults,
+            t.page_faults,
+            t.sbrk_faults,
+            t.oom,
+            t.blocked_deletes,
+            t.double_deletes,
+            t.sanitize_runs,
+            t.digest
+        );
+        digest = fold(digest, t.digest);
+        sum.ops += t.ops;
+        sum.faults += t.faults();
+        sum.alloc_faults += t.alloc_faults;
+        sum.page_faults += t.page_faults;
+        sum.sbrk_faults += t.sbrk_faults;
+        sum.oom += t.oom;
+        sum.blocked_deletes += t.blocked_deletes;
+        sum.double_deletes += t.double_deletes;
+        sum.sanitize_runs += t.sanitize_runs;
+    }
+    sum.digest = digest;
+    sum
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let seed = flag("--seed").unwrap_or(0xC4A05);
+    let ops = flag("--ops").unwrap_or(if quick { 1500 } else { 6000 });
+
+    println!("chaos soak: seed {seed}, {ops} ops/scenario (×2 for the determinism re-run)");
+    println!("run 1:");
+    let a = run_all(seed, ops);
+    println!("run 2:");
+    let b = run_all(seed, ops);
+
+    assert_eq!(a.digest, b.digest, "same-seed re-run diverged");
+    assert_eq!(a.faults, b.faults);
+    assert!(a.faults >= if quick { 25 } else { 100 }, "too few faults: {}", a.faults);
+    assert!(a.alloc_faults > 0, "no allocation faults injected");
+    assert!(a.page_faults > 0, "no page-acquisition faults injected");
+    assert!(a.sbrk_faults > 0, "no sbrk faults injected");
+    assert!(a.oom > 0, "no simulated OOM hit");
+    assert!(a.blocked_deletes > 0, "no delete was ever blocked");
+    assert!(a.double_deletes > 0, "double-delete path never exercised");
+    assert!(a.ops >= if quick { 3000 } else { 12_000 });
+
+    println!(
+        "OK: {} ops, {} faults (alloc {} page {} sbrk {} oom {}), {} blocked deletes, \
+         {} sanitize audits, digest {:016x} (bit-identical re-run)",
+        a.ops,
+        a.faults,
+        a.alloc_faults,
+        a.page_faults,
+        a.sbrk_faults,
+        a.oom,
+        a.blocked_deletes,
+        a.sanitize_runs,
+        a.digest
+    );
+}

@@ -1,0 +1,80 @@
+//! Diffs two versioned `results/*.json` documents, failing (exit 1) on
+//! schema/shape changes, on any drift in the deterministic simulation
+//! counters, or on wall-clock regressions beyond a tolerance.
+//!
+//! ```text
+//! compare_results <old.json> <new.json> [--tolerance <pct>] [--ignore-time]
+//! ```
+//!
+//! Typical use: re-run a figure before and after a change and gate on
+//! the diff —
+//!
+//! ```text
+//! cargo run --release --bin fig8 && cp results/fig8.json /tmp/fig8-old.json
+//! # ...hack...
+//! cargo run --release --bin fig8
+//! cargo run --release --bin compare_results -- /tmp/fig8-old.json results/fig8.json
+//! ```
+
+use bench_harness::results::{compare_docs, Json};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("compare_results: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("compare_results: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 25.0;
+    let mut ignore_time = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--ignore-time" => ignore_time = true,
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("compare_results: --tolerance needs a number (percent)");
+                        std::process::exit(2);
+                    });
+            }
+            f if !f.starts_with("--") => files.push(f.to_string()),
+            other => {
+                eprintln!("compare_results: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: compare_results <old.json> <new.json> [--tolerance <pct>] [--ignore-time]");
+        std::process::exit(2);
+    };
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let diffs = compare_docs(&old, &new, tolerance, ignore_time);
+    if diffs.is_empty() {
+        let rows = new.get("rows").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        println!(
+            "OK: {rows} rows agree (deterministic counters exact, time within {tolerance}%{})",
+            if ignore_time { ", time ignored" } else { "" }
+        );
+        return;
+    }
+    eprintln!("compare_results: {} difference(s) between {old_path} and {new_path}:", diffs.len());
+    for d in &diffs {
+        eprintln!("  - {d}");
+    }
+    std::process::exit(1);
+}

@@ -9,6 +9,7 @@
 //! access feeds the cache model), so fanning the matrix across worker
 //! threads pays off most here.
 
+use bench_harness::golden::{golden_path, record_region_trace, GoldenTrace};
 use bench_harness::runner::{
     run_matrix, scale_from_env, write_results_json, Job, Measurement,
 };
@@ -19,8 +20,73 @@ fn kstalls(m: &Measurement) -> (f64, f64) {
     (c.read_stall_cycles as f64 / 1e3, c.write_stall_cycles as f64 / 1e3)
 }
 
+fn workload_by_name(name: &str) -> Workload {
+    *Workload::ALL.iter().find(|w| w.name() == name).unwrap_or_else(|| {
+        let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+        eprintln!("fig10: unknown workload {name:?}; expected one of {names:?}");
+        std::process::exit(2);
+    })
+}
+
+/// `--record-golden <workload>` / `--check-golden <workload>`: pin down
+/// or re-verify the safe-region access stream feeding the cache model.
+/// Returns `true` if a golden-trace mode ran (the matrix is skipped).
+fn golden_mode(scale: u32) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    if let Some(name) = value_of("--record-golden") {
+        let w = workload_by_name(name);
+        let rec = record_region_trace(w, scale);
+        let golden = GoldenTrace::from_recorder(&rec, scale);
+        let path = golden_path("fig10", name, scale);
+        std::fs::create_dir_all(path.parent().expect("under results/")).expect("mkdir");
+        std::fs::write(&path, golden.to_bytes()).expect("write golden trace");
+        println!(
+            "recorded golden trace for {name} at scale {scale}: {} accesses \
+             ({} kept verbatim), hash {:016x} -> {}",
+            rec.total,
+            golden.prefix.len(),
+            rec.hash,
+            path.display()
+        );
+        return true;
+    }
+    if let Some(name) = value_of("--check-golden") {
+        let w = workload_by_name(name);
+        let path = golden_path("fig10", name, scale);
+        let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "fig10: no golden trace at {} ({e}); record one with --record-golden {name}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        let golden = GoldenTrace::from_bytes(&bytes).unwrap_or_else(|e| {
+            eprintln!("fig10: {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let rec = record_region_trace(w, scale);
+        match golden.compare(&rec, scale) {
+            Ok(()) => println!(
+                "golden trace for {name} holds: {} accesses, hash {:016x}",
+                rec.total, rec.hash
+            ),
+            Err(e) => {
+                eprintln!("fig10: golden trace for {name} DIVERGED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return true;
+    }
+    false
+}
+
 fn main() {
     let scale = scale_from_env();
+    if golden_mode(scale) {
+        return;
+    }
     let mut jobs = Vec::new();
     for w in Workload::ALL {
         for kind in MallocKind::ALL {

@@ -6,15 +6,30 @@
 //! memory, which makes them unsuitable for some applications".
 //!
 //! The workload × allocator matrix runs on worker threads; rows print
-//! in matrix order.
+//! in matrix order. `--only <workload>` restricts the matrix to one
+//! row — handy for CI smoke runs (e.g. the `REGION_SANITIZE=1` check).
 
 use bench_harness::runner::{kb, pages_kb, run_matrix, scale_from_env, write_results_json, Job};
 use workloads::{MallocKind, RegionKind, Workload};
 
 fn main() {
     let scale = scale_from_env();
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<Workload> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|name| {
+            *Workload::ALL.iter().find(|w| w.name() == name.as_str()).unwrap_or_else(|| {
+                let names: Vec<&str> = Workload::ALL.iter().map(|w| w.name()).collect();
+                eprintln!("fig8: unknown workload {name:?}; expected one of {names:?}");
+                std::process::exit(2);
+            })
+        });
+    let selected: Vec<Workload> =
+        Workload::ALL.iter().copied().filter(|w| only.is_none_or(|o| o == *w)).collect();
     let mut jobs = Vec::new();
-    for w in Workload::ALL {
+    for &w in &selected {
         jobs.push(Job::Region(w, RegionKind::Safe));
         for kind in MallocKind::ALL {
             jobs.push(Job::Malloc(w, kind));
@@ -32,7 +47,7 @@ fn main() {
         "Name", "requested", "Sun", "BSD", "Lea", "GC", "Reg", "unsafe"
     );
     let mut cursor = rows.iter();
-    for w in Workload::ALL {
+    for &w in &selected {
         let mut row = format!("{:<9}", w.name());
         let reg = cursor.next().expect("safe-region cell");
         row += &format!(" {:>12.1}", kb(reg.stats.max_live_bytes));
@@ -56,9 +71,13 @@ fn main() {
             );
         }
     }
-    match write_results_json("fig8", &rows) {
-        Ok(path) => println!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
+    // A filtered run is a smoke check, not the artifact: only the full
+    // matrix may replace results/fig8.json.
+    if only.is_none() {
+        match write_results_json("fig8", &rows) {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
+        }
     }
     println!();
     println!("Shape check vs paper: Reg ranks first or second on every row;");

@@ -1,0 +1,292 @@
+//! Golden access-trace recording and comparison for Figure 10.
+//!
+//! The cache simulator's stall counts are only as trustworthy as the
+//! access stream feeding them. A *golden trace* pins that stream down: a
+//! recording of every simulated load/store a workload performs, written
+//! to `results/golden/`, that later runs are diffed against. Because the
+//! whole heap is simulated, the stream is bit-deterministic — any
+//! divergence is a real behaviour change, and the comparison reports the
+//! **first diverging access** so the culprit operation can be found by
+//! ordinal.
+//!
+//! The file format is a small binary (the full stream for `cfrac` at
+//! scale 2 is tens of millions of accesses — JSON would be absurd):
+//!
+//! ```text
+//! magic   b"RGLD"        4 bytes
+//! version u32 LE         currently 1
+//! scale   u32 LE         workload scale the trace was recorded at
+//! total   u64 LE         total accesses in the run
+//! hash    u64 LE         FNV-1a over the entire stream
+//! kept    u32 LE         number of prefix records that follow
+//! record  5 bytes each   addr u32 LE, then (size & 0x7f) | kind<<7
+//! ```
+//!
+//! Only a bounded prefix ([`TraceRecorder::CAP`]) is stored verbatim;
+//! the `total`/`hash` pair still covers the whole stream, so a
+//! divergence past the prefix is detected (reported as "beyond the
+//! recorded prefix") even though the exact offset is then unknown.
+
+use simheap::{Access, AccessKind, AccessSink};
+use workloads::{RegionEnv, RegionKind, Workload};
+
+/// Runs the safe-region variant of a workload with a [`TraceRecorder`]
+/// attached, returning the finished recording.
+pub fn record_region_trace(w: Workload, scale: u32) -> TraceRecorder {
+    let mut env = RegionEnv::new(RegionKind::Safe);
+    env.heap().attach_sink(Box::new(TraceRecorder::new()));
+    w.run_region(&mut env, scale);
+    let mut heap = env.into_heap();
+    let sink = heap.detach_sink().expect("sink attached");
+    *sink.into_any().downcast::<TraceRecorder>().expect("TraceRecorder attached")
+}
+
+/// An [`AccessSink`] that keeps a bounded prefix of the stream plus a
+/// running hash and count of all of it.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    /// Verbatim prefix of the stream, capped at [`TraceRecorder::CAP`].
+    pub prefix: Vec<Access>,
+    /// Total accesses observed (may exceed the prefix length).
+    pub total: u64,
+    /// FNV-1a hash over every access observed.
+    pub hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+fn access_word(a: Access) -> u64 {
+    let kind = match a.kind {
+        AccessKind::Read => 0u64,
+        AccessKind::Write => 1,
+    };
+    (a.addr as u64) | ((a.size as u64) << 32) | (kind << 40)
+}
+
+impl TraceRecorder {
+    /// Maximum number of accesses stored verbatim (~5 MB on disk).
+    pub const CAP: usize = 1_000_000;
+
+    /// An empty recorder.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder { prefix: Vec::new(), total: 0, hash: FNV_OFFSET }
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder::new()
+    }
+}
+
+impl AccessSink for TraceRecorder {
+    fn access(&mut self, access: Access) {
+        self.total += 1;
+        self.hash = fold(self.hash, access_word(access));
+        if self.prefix.len() < TraceRecorder::CAP {
+            self.prefix.push(access);
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// A golden trace, as stored on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenTrace {
+    /// Workload scale the trace was recorded at.
+    pub scale: u32,
+    /// Total accesses in the recorded run.
+    pub total: u64,
+    /// FNV-1a hash of the whole stream.
+    pub hash: u64,
+    /// Verbatim prefix of the stream.
+    pub prefix: Vec<Access>,
+}
+
+const MAGIC: &[u8; 4] = b"RGLD";
+const VERSION: u32 = 1;
+
+impl GoldenTrace {
+    /// Builds a golden trace from a finished recorder.
+    pub fn from_recorder(rec: &TraceRecorder, scale: u32) -> GoldenTrace {
+        GoldenTrace { scale, total: rec.total, hash: rec.hash, prefix: rec.prefix.clone() }
+    }
+
+    /// Serializes to the binary golden format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + self.prefix.len() * 5);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.scale.to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.hash.to_le_bytes());
+        out.extend_from_slice(&(self.prefix.len() as u32).to_le_bytes());
+        for a in &self.prefix {
+            out.extend_from_slice(&a.addr.to_le_bytes());
+            let kind = match a.kind {
+                AccessKind::Read => 0u8,
+                AccessKind::Write => 0x80,
+            };
+            out.push((a.size & 0x7f) | kind);
+        }
+        out
+    }
+
+    /// Parses the binary golden format, validating magic and version.
+    pub fn from_bytes(data: &[u8]) -> Result<GoldenTrace, String> {
+        let take4 = |at: usize| -> Result<[u8; 4], String> {
+            data.get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| format!("truncated golden trace at byte {at}"))
+        };
+        let take8 = |at: usize| -> Result<[u8; 8], String> {
+            data.get(at..at + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| format!("truncated golden trace at byte {at}"))
+        };
+        if data.get(..4) != Some(MAGIC.as_slice()) {
+            return Err("not a golden trace (bad magic)".to_string());
+        }
+        let version = u32::from_le_bytes(take4(4)?);
+        if version != VERSION {
+            return Err(format!("golden trace version {version}, expected {VERSION}"));
+        }
+        let scale = u32::from_le_bytes(take4(8)?);
+        let total = u64::from_le_bytes(take8(12)?);
+        let hash = u64::from_le_bytes(take8(20)?);
+        let kept = u32::from_le_bytes(take4(28)?) as usize;
+        let body = data
+            .get(32..32 + kept * 5)
+            .ok_or_else(|| format!("truncated golden trace: {kept} records promised"))?;
+        let mut prefix = Vec::with_capacity(kept);
+        for rec in body.chunks_exact(5) {
+            let addr = u32::from_le_bytes(rec[..4].try_into().expect("chunk of 5"));
+            let kind = if rec[4] & 0x80 != 0 { AccessKind::Write } else { AccessKind::Read };
+            prefix.push(Access { addr, size: rec[4] & 0x7f, kind });
+        }
+        Ok(GoldenTrace { scale, total, hash, prefix })
+    }
+
+    /// Compares a fresh recording against this golden trace. `Ok(())`
+    /// means the streams are identical (same total, same whole-stream
+    /// hash); `Err` describes the first observable divergence.
+    pub fn compare(&self, fresh: &TraceRecorder, fresh_scale: u32) -> Result<(), String> {
+        if self.scale != fresh_scale {
+            return Err(format!(
+                "scale mismatch: golden recorded at scale {}, replay ran at {fresh_scale}",
+                self.scale
+            ));
+        }
+        let n = self.prefix.len().min(fresh.prefix.len());
+        for i in 0..n {
+            let (g, f) = (self.prefix[i], fresh.prefix[i]);
+            if g != f {
+                return Err(format!(
+                    "first divergence at access #{i}: golden {g:?}, replay {f:?}"
+                ));
+            }
+        }
+        if self.total != fresh.total {
+            return Err(format!(
+                "prefix matches but stream length changed: golden {} accesses, replay {} \
+                 (first divergence beyond the recorded prefix of {})",
+                self.total, fresh.total, n
+            ));
+        }
+        if self.hash != fresh.hash {
+            return Err(format!(
+                "prefix and length match but whole-stream hash differs \
+                 (divergence beyond the recorded prefix of {n}): \
+                 golden {:016x}, replay {:016x}",
+                self.hash, fresh.hash
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The on-disk location for a figure's golden trace.
+pub fn golden_path(bench: &str, workload: &str, scale: u32) -> std::path::PathBuf {
+    std::path::Path::new("results")
+        .join("golden")
+        .join(format!("{bench}-{workload}-s{scale}.trace"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u32) -> TraceRecorder {
+        let mut rec = TraceRecorder::new();
+        for i in 0..n {
+            rec.access(Access::read(0x1000 + i * 4, 4));
+            rec.access(Access::write(0x2000 + i * 4, if i % 2 == 0 { 4 } else { 1 }));
+        }
+        rec
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let rec = stream(100);
+        let g = GoldenTrace::from_recorder(&rec, 2);
+        let back = GoldenTrace::from_bytes(&g.to_bytes()).expect("parses");
+        assert_eq!(g, back);
+        assert!(back.compare(&rec, 2).is_ok());
+    }
+
+    #[test]
+    fn reports_first_divergence_offset() {
+        let golden = GoldenTrace::from_recorder(&stream(100), 1);
+        let mut fresh = TraceRecorder::new();
+        for (i, &a) in golden.prefix.iter().enumerate() {
+            let mut a = a;
+            if i == 57 {
+                a.addr ^= 4; // a single flipped access
+            }
+            fresh.access(a);
+        }
+        let err = golden.compare(&fresh, 1).expect_err("must diverge");
+        assert!(err.contains("access #57"), "got: {err}");
+    }
+
+    #[test]
+    fn detects_divergence_past_the_prefix_by_hash_and_length() {
+        let mut golden_rec = stream(50);
+        let mut fresh = stream(50);
+        // Same prefix, one extra access in the replay.
+        fresh.access(Access::read(0x9000, 4));
+        let golden = GoldenTrace::from_recorder(&golden_rec, 1);
+        let err = golden.compare(&fresh, 1).expect_err("length changed");
+        assert!(err.contains("stream length changed"), "got: {err}");
+
+        // Same length, but pretend the tail (past the stored prefix)
+        // differed: truncate the stored prefix, then perturb the hash.
+        golden_rec.hash ^= 1;
+        let golden = GoldenTrace {
+            prefix: golden_rec.prefix[..10].to_vec(),
+            ..GoldenTrace::from_recorder(&golden_rec, 1)
+        };
+        let fresh = stream(50);
+        let err = golden.compare(&fresh, 1).expect_err("hash differs");
+        assert!(err.contains("hash differs"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        assert!(GoldenTrace::from_bytes(b"JSON{}").is_err());
+        let mut bytes = GoldenTrace::from_recorder(&stream(3), 1).to_bytes();
+        bytes[4] = 99; // version
+        assert!(GoldenTrace::from_bytes(&bytes).unwrap_err().contains("version"));
+        bytes.truncate(30);
+        bytes[4] = 1;
+        assert!(GoldenTrace::from_bytes(&bytes).is_err());
+    }
+}

@@ -19,10 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod golden;
+pub mod results;
 pub mod runner;
 
 pub use diff::changed_lines;
 pub use runner::{
     measure_malloc, measure_region, measure_region_slow, results_json, run_matrix,
-    run_matrix_with, scale_from_env, write_results_json, Job, Measurement,
+    run_matrix_checked, run_matrix_with, scale_from_env, write_results_json, Job, Measurement,
+    RESULTS_SCHEMA_VERSION,
 };

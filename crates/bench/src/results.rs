@@ -1,0 +1,395 @@
+//! Parsing and comparison of the versioned `results/*.json` documents.
+//!
+//! The harness has no serialization dependency, so this is a minimal
+//! hand-rolled JSON reader — complete for the documents
+//! [`results_json`](crate::runner::results_json) emits (objects, arrays,
+//! strings without exotic escapes, numbers, booleans, null), not a
+//! general-purpose parser.
+//!
+//! [`compare_docs`] implements the regression gate used by the
+//! `compare_results` binary: two documents must have the same schema
+//! version, the same row set (workload × allocator, in order), identical
+//! *deterministic* fields (simulated counters and checksums), and
+//! wall-clock fields within a tolerance.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`, which is exact for our counters up
+    /// to 2^53 — far beyond anything the simulator produces).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is not preserved (sorted).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The value at `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        other => Err(format!("unexpected {other:?} at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = match b.get(*pos) {
+                    Some(b'"') => '"',
+                    Some(b'\\') => '\\',
+                    Some(b'/') => '/',
+                    Some(b'n') => '\n',
+                    Some(b't') => '\t',
+                    other => return Err(format!("unsupported escape {other:?}")),
+                };
+                out.push(escaped);
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through byte-wise.
+                out.push(c as char);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        map.insert(key, parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Results comparison
+// ----------------------------------------------------------------------
+
+/// Row fields that are pure functions of the simulation and must match
+/// **exactly** between runs of the same code.
+const EXACT_FIELDS: &[&str] = &[
+    "os_pages",
+    "total_allocs",
+    "total_bytes",
+    "max_live_bytes",
+    "safety_instrs",
+    "read_stall_cycles",
+    "write_stall_cycles",
+    "checksum",
+];
+
+/// Row fields measured in wall-clock time; compared within a tolerance
+/// (or ignored entirely with `ignore_time`).
+const TIME_FIELDS: &[&str] = &["total_ms", "mem_ms"];
+
+/// Compares two parsed results documents. `tolerance_pct` bounds the
+/// allowed relative regression of time fields (e.g. `25.0` = new may be
+/// up to 25 % slower *or faster* than old). Returns every difference
+/// found; an empty vector means the documents agree.
+pub fn compare_docs(
+    old: &Json,
+    new: &Json,
+    tolerance_pct: f64,
+    ignore_time: bool,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    let version = |doc: &Json| doc.get("schema_version").and_then(Json::as_num);
+    match (version(old), version(new)) {
+        (Some(a), Some(b)) if a == b => {}
+        (a, b) => {
+            diffs.push(format!("schema_version mismatch: old {a:?}, new {b:?}"));
+            return diffs; // shapes may differ arbitrarily across versions
+        }
+    }
+    if old.get("bench").and_then(Json::as_str) != new.get("bench").and_then(Json::as_str) {
+        diffs.push("bench name mismatch".to_string());
+    }
+    let (Some(old_rows), Some(new_rows)) = (
+        old.get("rows").and_then(Json::as_arr),
+        new.get("rows").and_then(Json::as_arr),
+    ) else {
+        diffs.push("missing rows array".to_string());
+        return diffs;
+    };
+    if old_rows.len() != new_rows.len() {
+        diffs.push(format!("row count: old {}, new {}", old_rows.len(), new_rows.len()));
+        return diffs;
+    }
+    for (i, (o, n)) in old_rows.iter().zip(new_rows).enumerate() {
+        let label = |row: &Json| {
+            format!(
+                "{}/{}",
+                row.get("workload").and_then(Json::as_str).unwrap_or("?"),
+                row.get("allocator").and_then(Json::as_str).unwrap_or("?"),
+            )
+        };
+        if label(o) != label(n) {
+            diffs.push(format!("row {i}: identity changed, {} -> {}", label(o), label(n)));
+            continue;
+        }
+        for &field in EXACT_FIELDS {
+            match (o.get(field).and_then(Json::as_num), n.get(field).and_then(Json::as_num)) {
+                (Some(a), Some(b)) if a == b => {}
+                (None, None) => {}
+                (a, b) => diffs.push(format!(
+                    "row {i} ({}): {field} changed, old {a:?}, new {b:?}",
+                    label(o)
+                )),
+            }
+        }
+        if ignore_time {
+            continue;
+        }
+        for &field in TIME_FIELDS {
+            match (o.get(field).and_then(Json::as_num), n.get(field).and_then(Json::as_num)) {
+                (Some(a), Some(b)) => {
+                    // Sub-millisecond cells are all noise; skip them.
+                    if a < 1.0 && b < 1.0 {
+                        continue;
+                    }
+                    let rel = (b - a).abs() / a.max(1e-9) * 100.0;
+                    if rel > tolerance_pct {
+                        diffs.push(format!(
+                            "row {i} ({}): {field} moved {rel:.1}% (old {a:.3} ms, new {b:.3} \
+                             ms), tolerance {tolerance_pct}%",
+                            label(o)
+                        ));
+                    }
+                }
+                (None, None) => {}
+                (a, b) => diffs.push(format!(
+                    "row {i} ({}): {field} present in one document only (old {a:?}, new {b:?})",
+                    label(o)
+                )),
+            }
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{results_json, run_matrix, Job, RESULTS_SCHEMA_VERSION};
+    use workloads::{RegionKind, Workload};
+
+    #[test]
+    fn parses_its_own_output() {
+        let rows = run_matrix(&[Job::Region(Workload::Tile, RegionKind::Safe)], 1, false);
+        let doc = Json::parse(&results_json("fig_test", &rows)).expect("own output parses");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_num),
+            Some(RESULTS_SCHEMA_VERSION as f64)
+        );
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("fig_test"));
+        let parsed_rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(parsed_rows.len(), 1);
+        assert_eq!(parsed_rows[0].get("workload").and_then(Json::as_str), Some("tile"));
+        assert!(parsed_rows[0].get("checksum").and_then(Json::as_num).is_some());
+        // And the document agrees with itself.
+        assert!(compare_docs(&doc, &doc, 25.0, false).is_empty());
+    }
+
+    #[test]
+    fn parser_handles_the_small_stuff() {
+        let doc = Json::parse(r#"{"a": [1, -2.5, true, null], "b": "x\"y"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(4));
+        assert_eq!(doc.get("b").and_then(Json::as_str), Some("x\"y"));
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn flags_shape_and_perf_regressions() {
+        let old = Json::parse(
+            r#"{"schema_version": 2, "bench": "fig8", "commit": "a", "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+
+        // Same doc, slower but inside tolerance: clean.
+        let ok = Json::parse(
+            r#"{"schema_version": 2, "bench": "fig8", "commit": "b", "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 110.0,
+                 "mem_ms": 11.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        assert!(compare_docs(&old, &ok, 25.0, false).is_empty());
+
+        // 50% slower: flagged, unless time is ignored.
+        let slow = Json::parse(
+            r#"{"schema_version": 2, "bench": "fig8", "commit": "c", "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 150.0,
+                 "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let diffs = compare_docs(&old, &slow, 25.0, false);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].contains("total_ms moved 50.0%"), "got: {}", diffs[0]);
+        assert!(compare_docs(&old, &slow, 25.0, true).is_empty());
+
+        // A changed deterministic counter is always an error.
+        let wrong = Json::parse(
+            r#"{"schema_version": 2, "bench": "fig8", "commit": "d", "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 8, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        assert!(compare_docs(&old, &wrong, 25.0, true)[0].contains("os_pages"));
+
+        // Schema version gates everything else.
+        let v1 = Json::parse(r#"{"schema_version": 1, "rows": []}"#).unwrap();
+        assert!(compare_docs(&old, &v1, 25.0, false)[0].contains("schema_version"));
+    }
+}

@@ -128,6 +128,15 @@ fn run_region_fn(
     let stats = *env.stats();
     let inner_stats = env.emulation_inner_stats().copied();
     let costs = env.costs().copied();
+    if std::env::var("REGION_SANITIZE").is_ok_and(|v| v == "1") {
+        if let Some(report) = env.sanitize() {
+            assert!(
+                report.is_clean(),
+                "REGION_SANITIZE: {name}/{} left a dirty runtime: {report}",
+                kind.name()
+            );
+        }
+    }
     let cache = if traced {
         let mut heap = env.into_heap();
         let sink = heap.detach_sink().expect("sink attached");
@@ -192,19 +201,55 @@ pub fn run_matrix(jobs: &[Job], scale: u32, traced: bool) -> Vec<Measurement> {
 
 /// [`run_matrix`] with an explicit worker count (normally taken from the
 /// machine, overridable with `BENCH_WORKERS`).
+///
+/// Panics only after **every** cell has finished, listing each failed
+/// cell — one faulted job costs that job, not the matrix.
 pub fn run_matrix_with(jobs: &[Job], scale: u32, traced: bool, workers: usize) -> Vec<Measurement> {
+    let rows = run_matrix_checked(jobs, scale, traced, workers);
+    let failures: Vec<String> = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|e| format!("{:?}: {e}", jobs[i])))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} matrix cells failed:\n  {}",
+        failures.len(),
+        jobs.len(),
+        failures.join("\n  ")
+    );
+    rows.into_iter().map(|r| r.expect("failures checked above")).collect()
+}
+
+/// [`run_matrix_with`], but a cell that panics yields `Err(message)` in
+/// its slot instead of taking down the matrix: each job runs under
+/// `catch_unwind`, a poisoned slot lock is ignored (every slot has
+/// exactly one writer), and the other workers keep draining the cursor.
+/// The chaos harness uses this to assert that an injected fault degrades
+/// one measurement, not the run.
+pub fn run_matrix_checked(
+    jobs: &[Job],
+    scale: u32,
+    traced: bool,
+    workers: usize,
+) -> Vec<Result<Measurement, String>> {
+    let run_one = |job: &Job| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(scale, traced)))
+            .map_err(panic_message)
+    };
     let workers = workers.min(jobs.len().max(1));
     if workers <= 1 {
-        return jobs.iter().map(|j| j.run(scale, traced)).collect();
+        return jobs.iter().map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Measurement>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<Measurement, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let m = job.run(scale, traced);
+                let m = run_one(job);
                 *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(m);
             });
         }
@@ -214,25 +259,64 @@ pub fn run_matrix_with(jobs: &[Job], scale: u32, traced: bool, workers: usize) -
         .map(|s| {
             s.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every matrix cell measured")
+                .expect("every matrix cell ran")
         })
         .collect()
 }
 
-/// Serializes measurements as a JSON array and writes them to
-/// `results/<name>.json` (creating the directory), returning the path.
-/// Hand-rolled: the harness has no serialization dependency.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// The version stamped into every `results/*.json` document. Bump it
+/// whenever the shape of [`results_json`] changes; `compare_results`
+/// refuses to diff documents with mismatched versions.
+pub const RESULTS_SCHEMA_VERSION: u64 = 2;
+
+/// Serializes measurements as a versioned JSON document and writes them
+/// to `results/<name>.json` (creating the directory), returning the
+/// path. Hand-rolled: the harness has no serialization dependency.
 pub fn write_results_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, results_json(rows))?;
+    std::fs::write(&path, results_json(name, rows))?;
     Ok(path)
 }
 
-/// The JSON document written by [`write_results_json`].
-pub fn results_json(rows: &[Measurement]) -> String {
-    let mut out = String::from("[\n");
+/// The commit the results were produced from: `GIT_COMMIT` if set, else
+/// `.git/HEAD` (following one level of `ref:` indirection), else
+/// `"unknown"`. Best-effort — benches may run outside a checkout.
+fn commit_id() -> String {
+    if let Ok(c) = std::env::var("GIT_COMMIT") {
+        return c.trim().to_string();
+    }
+    let head = match std::fs::read_to_string(".git/HEAD") {
+        Ok(h) => h.trim().to_string(),
+        Err(_) => return "unknown".to_string(),
+    };
+    match head.strip_prefix("ref: ") {
+        Some(r) => std::fs::read_to_string(format!(".git/{r}"))
+            .map_or_else(|_| "unknown".to_string(), |c| c.trim().to_string()),
+        None => head,
+    }
+}
+
+/// The JSON document written by [`write_results_json`]: a schema-v2
+/// envelope (`schema_version`, `bench`, `commit`) wrapping the row
+/// array.
+pub fn results_json(name: &str, rows: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION},\n"));
+    out.push_str(&format!("\"bench\": \"{name}\",\n"));
+    out.push_str(&format!("\"commit\": \"{}\",\n", commit_id()));
+    out.push_str("\"rows\": [\n");
     for (i, m) in rows.iter().enumerate() {
         let s = &m.stats;
         out.push_str("  {");
@@ -256,7 +340,7 @@ pub fn results_json(rows: &[Measurement]) -> String {
         out.push_str(&format!("\"checksum\": {}}}", m.checksum));
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("]\n");
+    out.push_str("]\n}\n");
     out
 }
 
@@ -319,14 +403,48 @@ mod tests {
     }
 
     #[test]
-    fn results_json_is_wellformed() {
+    fn results_json_is_wellformed_and_versioned() {
         let rows = run_matrix(&[Job::Region(Workload::Cfrac, RegionKind::Safe)], 1, false);
-        let json = results_json(&rows);
-        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        let json = results_json("smoke", &rows);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert!(json.contains(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION}")));
+        assert!(json.contains("\"bench\": \"smoke\""));
+        assert!(json.contains("\"commit\": \""));
+        assert!(json.contains("\"rows\": [\n"));
         assert!(json.contains("\"workload\": \"cfrac\""));
         assert!(json.contains("\"safety_instrs\""));
         assert!(json.contains("\"checksum\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn region_sanitize_hook_passes_on_a_clean_run() {
+        // Env vars are process-global: serialize against any parallel
+        // test also measuring regions by keeping the window tiny.
+        std::env::set_var("REGION_SANITIZE", "1");
+        let m = measure_region(Workload::Cfrac, RegionKind::Safe, 1, false);
+        std::env::remove_var("REGION_SANITIZE");
+        assert!(m.os_pages > 0);
+    }
+
+    #[test]
+    fn checked_matrix_returns_ok_cells_and_decodes_panics() {
+        let jobs = [
+            Job::Region(Workload::Cfrac, RegionKind::Unsafe),
+            Job::Malloc(Workload::Cfrac, MallocKind::Lea),
+        ];
+        let rows = run_matrix_checked(&jobs, 1, false, 2);
+        assert!(rows.iter().all(Result::is_ok));
+        assert_eq!(
+            rows[0].as_ref().unwrap().checksum,
+            rows[1].as_ref().unwrap().checksum
+        );
+        // Panic payloads of both common shapes decode to their message;
+        // anything else degrades to a placeholder instead of panicking
+        // again inside the matrix.
+        assert_eq!(super::panic_message(Box::new("boom")), "boom");
+        assert_eq!(super::panic_message(Box::new(String::from("kaboom"))), "kaboom");
+        assert!(super::panic_message(Box::new(17u32)).contains("non-string"));
     }
 
     #[test]

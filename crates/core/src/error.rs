@@ -1,0 +1,160 @@
+//! Typed errors for the region runtime.
+//!
+//! The paper's prototype aborts on every failure (simulated OOM, misuse of
+//! a deleted region, oversized allocation). A production runtime must
+//! instead *report* — a benchmark matrix or a server must survive one
+//! failed allocation. Every fallible `try_*` entry point of
+//! [`crate::RegionRuntime`] returns a [`RegionError`]; the historical
+//! panicking APIs are thin wrappers that `panic!` with the error's
+//! [`Display`](std::fmt::Display) text, preserving the original messages.
+
+use std::fmt;
+
+use simheap::HeapError;
+
+use crate::fault::FaultSite;
+use crate::runtime::RegionId;
+
+/// Everything that can go wrong in the region runtime.
+///
+/// `Copy` on purpose: errors carry only scalars, so they can be recorded,
+/// compared, and folded into deterministic chaos digests without
+/// allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionError {
+    /// The simulated OS refused to grow the heap (`max_bytes` or the
+    /// 32-bit address space was exhausted).
+    OutOfMemory {
+        /// Total heap size the failed growth would have reached.
+        requested: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// An operation named a region that has already been deleted.
+    RegionDeleted {
+        /// The dead region.
+        region: RegionId,
+    },
+    /// `try_delete_region` found external references after a full stack
+    /// scan; nothing was freed and the region is still usable (§4.2).
+    DeleteBlocked {
+        /// The region that could not be deleted.
+        region: RegionId,
+        /// Its exact reference count at the scan.
+        rc: i64,
+    },
+    /// `count * stride` (or the header bytes on top) overflowed `u32` in
+    /// `try_rarrayalloc`.
+    SizeOverflow {
+        /// Requested element count.
+        count: u32,
+        /// Aligned element stride in bytes.
+        stride: u32,
+    },
+    /// A single allocation exceeded one page — the prototype's documented
+    /// limit ("allocations of at most one page", §4.1).
+    ObjectTooLarge {
+        /// Requested size including headers, in bytes.
+        bytes: u32,
+    },
+    /// `try_rstralloc` of zero bytes.
+    ZeroAlloc,
+    /// An operation dereferenced or named the null region/pointer.
+    NullDeref,
+    /// The shadow stack of region-pointer locals is full.
+    StackOverflow {
+        /// Total slot capacity of the shadow stack.
+        slots: u32,
+    },
+    /// A [`crate::FaultPlan`] deliberately failed this operation.
+    FaultInjected {
+        /// Which operation class was failed.
+        site: FaultSite,
+        /// Ordinal of the faulted operation at that site (1-based for
+        /// page acquisitions and allocations; granted bytes for sbrk).
+        count: u64,
+    },
+}
+
+impl fmt::Display for RegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RegionError::OutOfMemory { requested, limit } => write!(
+                f,
+                "simulated out of memory: requested {requested} bytes (limit {limit})"
+            ),
+            RegionError::RegionDeleted { region } => {
+                write!(f, "use of deleted region {region:?}")
+            }
+            RegionError::DeleteBlocked { region, rc } => write!(
+                f,
+                "deletion of {region:?} blocked: {rc} external reference(s) remain"
+            ),
+            RegionError::SizeOverflow { count, stride } => write!(
+                f,
+                "array size overflow: {count} elements of {stride} bytes"
+            ),
+            RegionError::ObjectTooLarge { bytes } => write!(
+                f,
+                "region allocation of {bytes} bytes exceeds one page \
+                 (the prototype only handles allocations of at most one page, §4.1)"
+            ),
+            RegionError::ZeroAlloc => write!(f, "rstralloc of zero bytes"),
+            RegionError::NullDeref => write!(f, "null region dereference"),
+            RegionError::StackOverflow { slots } => {
+                write!(f, "simulated stack overflow ({slots} slots)")
+            }
+            RegionError::FaultInjected { site, count } => {
+                write!(f, "injected fault: {site} #{count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<HeapError> for RegionError {
+    fn from(e: HeapError) -> RegionError {
+        match e {
+            HeapError::OutOfMemory { requested, limit } => {
+                RegionError::OutOfMemory { requested, limit }
+            }
+            HeapError::FaultInjected { granted, .. } => {
+                RegionError::FaultInjected { site: FaultSite::Sbrk, count: granted }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_historical_panic_messages() {
+        // The panicking wrappers panic with `Display` text; these
+        // substrings are what existing `#[should_panic]` tests (and VM
+        // trap-message tests) match on.
+        let r = RegionId(3);
+        assert!(RegionError::RegionDeleted { region: r }.to_string().contains("use of deleted region"));
+        assert!(RegionError::ObjectTooLarge { bytes: 9000 }.to_string().contains("exceeds one page"));
+        assert!(RegionError::SizeOverflow { count: u32::MAX, stride: 8 }
+            .to_string()
+            .contains("array size overflow"));
+        assert!(RegionError::ZeroAlloc.to_string().contains("rstralloc of zero bytes"));
+        assert!(RegionError::StackOverflow { slots: 64 }
+            .to_string()
+            .contains("simulated stack overflow"));
+        assert!(RegionError::OutOfMemory { requested: 1, limit: 0 }
+            .to_string()
+            .contains("simulated out of memory"));
+    }
+
+    #[test]
+    fn heap_errors_convert() {
+        let e: RegionError = HeapError::OutOfMemory { requested: 10, limit: 5 }.into();
+        assert_eq!(e, RegionError::OutOfMemory { requested: 10, limit: 5 });
+        let e: RegionError = HeapError::FaultInjected { granted: 4096, budget: 4096 }.into();
+        assert_eq!(e, RegionError::FaultInjected { site: FaultSite::Sbrk, count: 4096 });
+    }
+}

@@ -54,8 +54,11 @@
 mod arena;
 mod costs;
 mod descriptor;
+mod error;
+mod fault;
 pub mod par;
 mod runtime;
+mod sanitize;
 mod stack;
 mod stats;
 
@@ -65,5 +68,8 @@ pub use costs::{
     REGION_WRITE_INSTRS, SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS, UNKNOWN_WRITE_INSTRS,
 };
 pub use descriptor::{DescId, DescriptorTable, TypeDescriptor};
+pub use error::RegionError;
+pub use fault::{FaultPlan, FaultSite};
 pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
+pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
 pub use stats::AllocStats;

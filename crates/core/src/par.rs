@@ -355,4 +355,31 @@ mod tests {
         main.exchange_ref(&cell, None);
         assert!(pool.try_delete(held));
     }
+
+    #[test]
+    fn pool_survives_a_poisoned_lock() {
+        // `try_delete` of an unknown region panics *inside* the regions
+        // critical section, poisoning the mutex. The poison-ignoring
+        // `lock` helper must keep the pool fully usable for every other
+        // worker afterwards — one faulted worker degrades its own jobs,
+        // not the whole pool (chaos-harness invariant).
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        t.retain(r);
+        let poisoner = pool.clone();
+        let panicked = std::thread::spawn(move || {
+            poisoner.try_delete(ParRegionId(999)); // panics holding the lock
+        })
+        .join();
+        assert!(panicked.is_err(), "expected the bad delete to panic");
+        // The surviving worker sees consistent state and full function.
+        assert!(pool.is_live(r));
+        assert_eq!(pool.global_count(r), 1);
+        assert!(!pool.try_delete(r));
+        let r2 = t.create_region();
+        t.release(r);
+        assert!(pool.try_delete(r));
+        assert!(pool.try_delete(r2));
+    }
 }

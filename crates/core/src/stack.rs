@@ -29,22 +29,18 @@
 use simheap::{Addr, WORD};
 
 use crate::costs::{SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS};
+use crate::error::RegionError;
 use crate::runtime::{Frame, RegionRuntime};
 
 impl RegionRuntime {
     /// Pushes a frame with `n_slots` region-pointer locals, all initialized
     /// to null (C@ requires initialization of all locals that contain
-    /// region pointers, §3.1).
-    ///
-    /// # Panics
-    ///
-    /// Panics on shadow-stack overflow.
-    pub fn push_frame(&mut self, n_slots: u32) {
-        assert!(
-            self.top_slot + n_slots <= self.stack_slots,
-            "simulated stack overflow ({} slots)",
-            self.stack_slots
-        );
+    /// region pointers, §3.1). Fails without side effects when the shadow
+    /// stack is full.
+    pub fn try_push_frame(&mut self, n_slots: u32) -> Result<(), RegionError> {
+        if self.top_slot + n_slots > self.stack_slots {
+            return Err(RegionError::StackOverflow { slots: self.stack_slots });
+        }
         let base_slot = self.top_slot;
         for i in 0..n_slots {
             let addr = self.slot_addr(base_slot + i);
@@ -52,6 +48,16 @@ impl RegionRuntime {
         }
         self.frames.push(Frame { base_slot, n_slots });
         self.top_slot += n_slots;
+        Ok(())
+    }
+
+    /// Panicking form of [`RegionRuntime::try_push_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shadow-stack overflow.
+    pub fn push_frame(&mut self, n_slots: u32) {
+        self.try_push_frame(n_slots).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Pops the newest frame. If control thereby returns to a *scanned*

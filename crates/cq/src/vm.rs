@@ -9,7 +9,7 @@
 //! measurements: identical code, with all reference-count maintenance
 //! disabled.
 
-use region_core::{DescId, RegionId, RegionRuntime, SafetyMode};
+use region_core::{DescId, RegionError, RegionId, RegionRuntime, SafetyMode};
 use simheap::Addr;
 
 use crate::bytecode::{Insn, ParamSlot, Program};
@@ -129,8 +129,6 @@ impl Vm {
             locals: vec![0; self.program.funcs[main].host_slots as usize],
             stack_base: 0,
         }];
-        self.runtime.push_frame(self.program.funcs[main].shadow_slots as u32);
-
         macro_rules! trap {
             ($frames:expr, $msg:expr) => {{
                 let f = $frames.last().expect("frame");
@@ -138,6 +136,10 @@ impl Vm {
                 let line = fun.lines.get(f.pc.saturating_sub(1)).copied().unwrap_or(0);
                 return Err(VmError { message: $msg.into(), func: fun.name.clone(), line });
             }};
+        }
+
+        if let Err(e) = self.runtime.try_push_frame(self.program.funcs[main].shadow_slots as u32) {
+            trap!(frames, format!("entering main: {e}"));
         }
 
         loop {
@@ -326,7 +328,9 @@ impl Vm {
                     // Bind parameters: the runtime frame must exist before
                     // shadow params are stored, and binding happens before
                     // any callee instruction — no scan can intervene.
-                    self.runtime.push_frame(u32::from(callee.shadow_slots));
+                    if let Err(e) = self.runtime.try_push_frame(u32::from(callee.shadow_slots)) {
+                        trap!(frames, format!("calling {}: {e}", callee.name));
+                    }
                     for (v, ps) in args.iter().zip(&callee.params) {
                         match *ps {
                             ParamSlot::Host(s) => locals[s as usize] = *v,
@@ -358,20 +362,24 @@ impl Vm {
                         return Ok(());
                     }
                 }
-                Insn::NewRegion => {
-                    let r = self.runtime.new_region();
-                    self.stack.push(Self::region_handle(Some(r)));
-                }
+                Insn::NewRegion => match self.runtime.try_new_region() {
+                    Ok(r) => self.stack.push(Self::region_handle(Some(r))),
+                    Err(e) => trap!(frames, format!("newregion failed: {e}")),
+                },
                 Insn::DeleteRegionLocal(slot) => {
                     let h = frame.locals[slot as usize];
                     if h == 0 {
                         trap!(frames, "deleteregion of the null region");
                     }
                     let r = RegionId::from_index(h - 1);
-                    if !self.runtime.is_live(r) {
-                        trap!(frames, "deleteregion of an already-deleted region");
-                    }
-                    let ok = self.runtime.delete_region(r);
+                    let ok = match self.runtime.try_delete_region(r) {
+                        Ok(()) => true,
+                        Err(RegionError::DeleteBlocked { .. }) => false,
+                        Err(RegionError::RegionDeleted { .. }) => {
+                            trap!(frames, "deleteregion of an already-deleted region");
+                        }
+                        Err(e) => trap!(frames, format!("deleteregion of region {}: {e}", h - 1)),
+                    };
                     if ok {
                         frames.last_mut().expect("frame").locals[slot as usize] = 0;
                     }
@@ -383,10 +391,14 @@ impl Vm {
                         trap!(frames, "deleteregion of the null region");
                     }
                     let r = RegionId::from_index(h - 1);
-                    if !self.runtime.is_live(r) {
-                        trap!(frames, "deleteregion of an already-deleted region");
-                    }
-                    let ok = self.runtime.delete_region(r);
+                    let ok = match self.runtime.try_delete_region(r) {
+                        Ok(()) => true,
+                        Err(RegionError::DeleteBlocked { .. }) => false,
+                        Err(RegionError::RegionDeleted { .. }) => {
+                            trap!(frames, "deleteregion of an already-deleted region");
+                        }
+                        Err(e) => trap!(frames, format!("deleteregion of region {}: {e}", h - 1)),
+                    };
                     if ok {
                         self.runtime.heap_mut().store_u32(self.globals + off, 0);
                     }
@@ -399,8 +411,10 @@ impl Vm {
                 }
                 Insn::Ralloc(sid) => {
                     let r = self.pop_live_region(&frames)?;
-                    let a = self.runtime.ralloc(r, self.descs[sid as usize]);
-                    self.stack.push(a.raw());
+                    match self.runtime.try_ralloc(r, self.descs[sid as usize]) {
+                        Ok(a) => self.stack.push(a.raw()),
+                        Err(e) => trap!(frames, format!("ralloc in region {}: {e}", r.index())),
+                    }
                 }
                 Insn::RArrayAlloc(sid) => {
                     let n = self.stack.pop().expect("count") as i32;
@@ -408,8 +422,12 @@ impl Vm {
                         trap!(frames, "negative array allocation count");
                     }
                     let r = self.pop_live_region(&frames)?;
-                    let a = self.runtime.rarrayalloc(r, n as u32, self.descs[sid as usize]);
-                    self.stack.push(a.raw());
+                    match self.runtime.try_rarrayalloc(r, n as u32, self.descs[sid as usize]) {
+                        Ok(a) => self.stack.push(a.raw()),
+                        Err(e) => {
+                            trap!(frames, format!("rarrayalloc in region {}: {e}", r.index()))
+                        }
+                    }
                 }
                 Insn::RStrAlloc => {
                     let n = self.stack.pop().expect("count") as i32;
@@ -417,8 +435,13 @@ impl Vm {
                         trap!(frames, "rstralloc of a non-positive size");
                     }
                     let r = self.pop_live_region(&frames)?;
-                    let a = self.runtime.rstralloc(r, (n as u32) * 4);
-                    self.stack.push(a.raw());
+                    let Some(bytes) = (n as u32).checked_mul(4) else {
+                        trap!(frames, format!("rstralloc size overflow: {n} words"));
+                    };
+                    match self.runtime.try_rstralloc(r, bytes) {
+                        Ok(a) => self.stack.push(a.raw()),
+                        Err(e) => trap!(frames, format!("rstralloc in region {}: {e}", r.index())),
+                    }
                 }
                 Insn::DupToRtmp { depth, slot } => {
                     let v = self.stack[self.stack.len() - 1 - depth as usize];

@@ -3,18 +3,68 @@
 use crate::addr::{Addr, PAGE_SIZE, WORD};
 use crate::trace::{Access, AccessSink};
 
+/// Why a heap-growth request was refused.
+///
+/// Returned by [`SimHeap::try_sbrk_pages`]; the panicking
+/// [`SimHeap::sbrk_pages`] wrapper aborts with the error's `Display` text,
+/// so the two surfaces report identical diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HeapError {
+    /// Growth would exceed [`HeapConfig::max_bytes`] (or the 32-bit
+    /// address space) — the simulated machine is out of memory.
+    OutOfMemory {
+        /// Total bytes the heap would have occupied after the request.
+        requested: u64,
+        /// The configured address-space limit.
+        limit: u64,
+    },
+    /// Growth was refused by an injected fault: the heap had already
+    /// granted [`HeapConfig::sbrk_fault_after`] bytes. Distinguishable
+    /// from real OOM so chaos tests can assert the fault actually fired.
+    FaultInjected {
+        /// Bytes granted before the fault budget ran out.
+        granted: u64,
+        /// The configured fault budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory { requested, limit } => write!(
+                f,
+                "simulated out of memory: requested {requested} bytes (limit {limit})"
+            ),
+            HeapError::FaultInjected { granted, budget } => write!(
+                f,
+                "injected sbrk fault: {granted} bytes granted (fault budget {budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
 /// Configuration for a [`SimHeap`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeapConfig {
     /// Maximum size of the simulated address space in bytes. Growing past
-    /// this limit panics (simulated out-of-memory); it exists to catch
-    /// runaway allocation in buggy clients. Defaults to 512 MB.
+    /// this limit fails (simulated out-of-memory) — a panic through the
+    /// classic [`SimHeap::sbrk_pages`] surface, a typed
+    /// [`HeapError::OutOfMemory`] through [`SimHeap::try_sbrk_pages`].
+    /// Defaults to 512 MB.
     pub max_bytes: u64,
+    /// Fault injection: once the heap occupies this many bytes, every
+    /// further growth request fails with [`HeapError::FaultInjected`].
+    /// `None` (the default) injects nothing. Deterministic: the fault
+    /// depends only on the sequence of sbrk calls.
+    pub sbrk_fault_after: Option<u64>,
 }
 
 impl Default for HeapConfig {
     fn default() -> HeapConfig {
-        HeapConfig { max_bytes: 512 << 20 }
+        HeapConfig { max_bytes: 512 << 20, sbrk_fault_after: None }
     }
 }
 
@@ -96,20 +146,45 @@ impl SimHeap {
     /// Extends the heap by `pages` pages and returns the address of the
     /// first new page. The new memory is zeroed.
     ///
-    /// # Panics
-    ///
-    /// Panics if the configured address-space limit would be exceeded.
-    pub fn sbrk_pages(&mut self, pages: u32) -> Addr {
+    /// This is the fallible surface: exceeding the address-space limit or
+    /// the injected-fault budget returns a typed [`HeapError`] and leaves
+    /// the heap untouched (the break does not move, counters unchanged),
+    /// so a caller can refuse the allocation and keep running.
+    pub fn try_sbrk_pages(&mut self, pages: u32) -> Result<Addr, HeapError> {
         let old = self.brk();
         let new_len = self.memory.len() as u64 + u64::from(pages) * u64::from(PAGE_SIZE);
-        assert!(
-            new_len <= self.config.max_bytes && new_len <= u64::from(u32::MAX),
-            "simulated out of memory: requested {} bytes (limit {})",
-            new_len,
-            self.config.max_bytes
-        );
+        if let Some(budget) = self.config.sbrk_fault_after {
+            if new_len > budget {
+                return Err(HeapError::FaultInjected { granted: self.memory.len() as u64, budget });
+            }
+        }
+        if new_len > self.config.max_bytes || new_len > u64::from(u32::MAX) {
+            return Err(HeapError::OutOfMemory {
+                requested: new_len,
+                limit: self.config.max_bytes.min(u64::from(u32::MAX)),
+            });
+        }
         self.memory.resize(new_len as usize, 0);
-        old
+        Ok(old)
+    }
+
+    /// Extends the heap by `pages` pages and returns the address of the
+    /// first new page. The new memory is zeroed. Thin panicking wrapper
+    /// over [`SimHeap::try_sbrk_pages`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured address-space limit would be exceeded or
+    /// an injected sbrk fault fires.
+    pub fn sbrk_pages(&mut self, pages: u32) -> Addr {
+        self.try_sbrk_pages(pages).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SimHeap::sbrk`]: extends the heap by at least `bytes`
+    /// bytes (rounded up to whole pages).
+    pub fn try_sbrk(&mut self, bytes: u32) -> Result<Addr, HeapError> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        self.try_sbrk_pages(pages)
     }
 
     /// Extends the heap by at least `bytes` bytes (rounded up to whole
@@ -117,6 +192,12 @@ impl SimHeap {
     pub fn sbrk(&mut self, bytes: u32) -> Addr {
         let pages = bytes.div_ceil(PAGE_SIZE).max(1);
         self.sbrk_pages(pages)
+    }
+
+    /// Sets (or clears) the injected sbrk fault budget after construction;
+    /// see [`HeapConfig::sbrk_fault_after`].
+    pub fn set_sbrk_fault_after(&mut self, budget: Option<u64>) {
+        self.config.sbrk_fault_after = budget;
     }
 
     /// Number of loads performed since construction.
@@ -507,8 +588,62 @@ mod tests {
     #[test]
     #[should_panic(expected = "simulated out of memory")]
     fn address_space_limit_enforced() {
-        let mut heap = SimHeap::with_config(HeapConfig { max_bytes: 8 * u64::from(PAGE_SIZE) });
+        let mut heap = SimHeap::with_config(HeapConfig {
+            max_bytes: 8 * u64::from(PAGE_SIZE),
+            ..HeapConfig::default()
+        });
         heap.sbrk_pages(16);
+    }
+
+    #[test]
+    fn try_sbrk_oom_is_typed_and_side_effect_free() {
+        let mut heap = SimHeap::with_config(HeapConfig {
+            max_bytes: 4 * u64::from(PAGE_SIZE),
+            ..HeapConfig::default()
+        });
+        let a = heap.try_sbrk_pages(2).expect("within limit");
+        heap.store_u32(a, 77);
+        let brk = heap.brk();
+        let err = heap.try_sbrk_pages(8).unwrap_err();
+        assert_eq!(
+            err,
+            HeapError::OutOfMemory {
+                requested: 11 * u64::from(PAGE_SIZE),
+                limit: 4 * u64::from(PAGE_SIZE)
+            }
+        );
+        assert_eq!(heap.brk(), brk, "failed sbrk must not move the break");
+        assert_eq!(heap.load_u32(a), 77, "memory untouched by the failure");
+        // The heap keeps working after the refusal.
+        assert!(heap.try_sbrk_pages(1).is_ok());
+    }
+
+    #[test]
+    fn injected_sbrk_fault_fires_deterministically() {
+        let mut heap = SimHeap::with_config(HeapConfig {
+            sbrk_fault_after: Some(3 * u64::from(PAGE_SIZE)),
+            ..HeapConfig::default()
+        });
+        assert!(heap.try_sbrk_pages(2).is_ok()); // guard + 2 = 3 pages
+        let err = heap.try_sbrk_pages(1).unwrap_err();
+        assert!(
+            matches!(err, HeapError::FaultInjected { granted, budget }
+                if granted == 3 * u64::from(PAGE_SIZE) && budget == 3 * u64::from(PAGE_SIZE)),
+            "got {err:?}"
+        );
+        // Lifting the budget resumes normal growth.
+        heap.set_sbrk_fault_after(None);
+        assert!(heap.try_sbrk_pages(1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected sbrk fault")]
+    fn panicking_sbrk_reports_injected_faults() {
+        let mut heap = SimHeap::with_config(HeapConfig {
+            sbrk_fault_after: Some(u64::from(PAGE_SIZE)),
+            ..HeapConfig::default()
+        });
+        heap.sbrk_pages(1);
     }
 
     #[test]

@@ -40,5 +40,5 @@ mod heap;
 mod trace;
 
 pub use addr::{align_up, Addr, PAGE_SIZE, WORD};
-pub use heap::{HeapConfig, SimHeap};
+pub use heap::{HeapConfig, HeapError, SimHeap};
 pub use trace::{Access, AccessKind, AccessSink, CountingSink, RecordingSink};

@@ -396,6 +396,17 @@ impl RegionEnv {
         }
     }
 
+    /// Runs the refcount sanitizer (real runtime only): recomputes every
+    /// region's reference count from first principles and diffs against
+    /// the incremental counts and the page-map mirror. `None` for
+    /// emulated backends (no counts to audit).
+    pub fn sanitize(&self) -> Option<region_core::SanitizeReport> {
+        match &self.backend {
+            RegionBackend::Real(rt) => Some(rt.sanitize()),
+            RegionBackend::Emulated { .. } => None,
+        }
+    }
+
     /// Pages requested from the OS (Figure 8).
     pub fn os_pages(&self) -> u64 {
         match &self.backend {
