@@ -20,7 +20,24 @@ for bin in table1 table2_3 fig8 fig9 fig10 fig11 ablations cq_bench; do
     ./target/release/"$bin" --quick >/dev/null
 done
 
-echo "== chaos soak (fault injection + sanitizer), --quick =="
+echo "== golden access traces =="
+# Committed goldens: tile is format v1 (recorded before batching — its
+# passing proves the canonicalizing expander's compatibility path),
+# cfrac is format v2 (range records).
+./target/release/fig10 --quick --check-golden tile
+./target/release/fig10 --quick --check-golden cfrac
+# Remaining workloads: record fresh, then immediately re-check, so every
+# access stream is exercised through the golden writer+reader round trip
+# and any in-run nondeterminism fails CI.
+for wl in grobner mudlle lcc moss; do
+    ./target/release/fig10 --quick --record-golden "$wl" >/dev/null
+    ./target/release/fig10 --quick --check-golden "$wl"
+done
+
+echo "== parallel region pool smoke =="
+BENCH_WORKERS="${BENCH_WORKERS:-4}" ./target/release/par_regions --quick >/dev/null
+
+echo "== chaos soak (fault injection + sanitizer + VM), --quick =="
 ./target/release/chaos --quick >/dev/null
 
 echo "== REGION_SANITIZE=1 smoke (one fig8 row, audited after the run) =="

@@ -20,6 +20,7 @@
 //! | `alloc-faults`  | every-Mth + seeded 1-in-N allocation faults, Nth-page-acquisition faults |
 //! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
+//! | `vm-chaos`      | seeded random C@ programs through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
 //! scenario). Exit code 0 means every invariant held.
@@ -474,6 +475,151 @@ fn scenario_oom(seed: u64, ops: u64) -> Tally {
     soak.finish()
 }
 
+/// Folds a string into the digest byte by byte (trap messages are part
+/// of the observable history).
+fn fold_str(mut h: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        h = fold(h, u64::from(b));
+    }
+    h
+}
+
+/// Renders a seeded random C@ program: a couple of regions, linked
+/// lists built into them, and a deletion pattern that (depending on the
+/// dice) deletes cleanly, is blocked by a live stack reference, or
+/// leaves regions for the VM teardown. Every generated program is
+/// well-typed; what varies under fault injection is how far it gets.
+fn gen_program(rng: &mut Rng) -> String {
+    let na = 1 + rng.below(24);
+    let nb = 1 + rng.below(24);
+    let hold = rng.below(3) == 0; // keep a live ref so deleteregion is blocked
+    let delete_b = rng.below(4) != 0;
+    let body = if hold {
+        format!(
+            "node@ keep = x;\n    print(deleteregion(a));\n    keep = null;\n    \
+             x = null;\n    print(deleteregion(a));"
+        )
+    } else {
+        format!("x = null;\n    print(deleteregion(a));")
+    };
+    let tail = if delete_b {
+        "y = null;\n    print(deleteregion(b));"
+    } else {
+        "print(sum(y));"
+    };
+    format!(
+        r#"
+struct node {{ int v; node@ next; }};
+
+node@ build(Region r, int n) {{
+    node@ head = null;
+    while (n > 0) {{
+        node@ p = ralloc(r, node);
+        p.v = n;
+        p.next = head;
+        head = p;
+        n = n - 1;
+    }}
+    return head;
+}}
+
+int sum(node@ l) {{
+    int s = 0;
+    while (l != null) {{ s = s + l.v; l = l.next; }}
+    return s;
+}}
+
+void main() {{
+    Region a = newregion();
+    Region b = newregion();
+    node@ x = build(a, {na});
+    node@ y = build(b, {nb});
+    print(sum(x));
+    print(sum(y));
+    {body}
+    {tail}
+}}
+"#
+    )
+}
+
+/// Seeded random C@ programs through the full compiler + VM pipeline
+/// with a [`FaultPlan`] injected into the VM's runtime: whatever the
+/// fault timing, the VM must **trap** (a typed [`cq_lang::VmError`]) or
+/// finish — never panic — and its runtime must sanitize clean
+/// afterwards.
+fn scenario_vm(seed: u64, ops: u64) -> Tally {
+    use region_core::SafetyMode;
+
+    let mut rng = Rng::seeded(seed ^ 0x5EED_C0DE);
+    let mut tally = Tally::default();
+    let programs = (ops / 100).max(12);
+    let (mut finished, mut trapped) = (0u64, 0u64);
+    for i in 0..programs {
+        tally.ops += 1;
+        let source = gen_program(&mut rng);
+        let program = cq_lang::compile(&source)
+            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
+        let mut vm = cq_lang::Vm::new(program, SafetyMode::Safe);
+        // Program 0 always runs clean and program 1 always faults its
+        // very first allocation, so the finished/trapped floor below is
+        // structural rather than a bet on the dice.
+        if i != 0 {
+            // Small budgets make some runs die of fuel exhaustion: the
+            // fuel trap must be as clean as a fault trap.
+            if rng.below(6) == 0 {
+                vm.set_fuel(200 + rng.below(2000));
+            }
+            let plan = if i == 1 {
+                FaultPlan::seeded(seed ^ i).fail_every_mth_alloc(1)
+            } else {
+                FaultPlan::seeded(seed ^ i)
+                    .fail_every_mth_alloc(3 + rng.below(40))
+                    .fail_allocs_one_in(4 + rng.below(40))
+            };
+            let plan = if rng.below(4) == 0 {
+                plan.fail_sbrk_after(PAGE_SIZE as u64 * (1 + rng.below(6)))
+            } else {
+                plan
+            };
+            vm.runtime_mut().set_fault_plan(plan);
+        }
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vm.run()))
+                .unwrap_or_else(|p| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                        .unwrap_or_else(|| "non-string payload".into());
+                    panic!("VM panicked instead of trapping (program {i}): {msg}\n{source}")
+                });
+        match outcome {
+            Ok(()) => {
+                finished += 1;
+                tally.digest = fold(tally.digest, 31);
+            }
+            Err(trap) => {
+                trapped += 1;
+                tally.digest = fold_str(fold(tally.digest, 32), &trap.message);
+                if trap.message.contains("injected fault") {
+                    tally.alloc_faults += 1;
+                }
+            }
+        }
+        for &v in vm.output() {
+            tally.digest = fold(tally.digest, v as u64);
+        }
+        tally.digest = fold(tally.digest, vm.instructions());
+        let report = vm.runtime_mut().sanitize();
+        tally.sanitize_runs += 1;
+        assert!(report.is_clean(), "VM runtime dirty after program {i}: {report}");
+    }
+    assert!(finished > 0, "no generated program ever finished");
+    assert!(trapped > 0, "no generated program ever trapped");
+    tally
+}
+
 struct RunSummary {
     digest: u64,
     ops: u64,
@@ -492,6 +638,7 @@ fn run_all(seed: u64, ops: u64) -> RunSummary {
         ("alloc-faults", scenario_alloc_faults as fn(u64, u64) -> Tally, ops),
         ("sbrk-squeeze", scenario_sbrk_squeeze as fn(u64, u64) -> Tally, ops / 2),
         ("oom", scenario_oom as fn(u64, u64) -> Tally, ops / 2),
+        ("vm-chaos", scenario_vm as fn(u64, u64) -> Tally, ops / 2),
     ];
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     let mut sum = RunSummary {

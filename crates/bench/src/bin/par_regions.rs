@@ -1,0 +1,162 @@
+//! Parallel-region stress bench — the paper's §1 sketch under real
+//! threads.
+//!
+//! Every worker registers with a shared [`ParRegionPool`], creates a
+//! batch of regions, and then hammers a shared array of [`RefCell32`]
+//! cells with atomic-exchange reference publishes (`exchange_ref`),
+//! exactly the racy-write pattern the paper says must use an exchange.
+//! Local reference counts are adjusted without synchronization; at the
+//! end the main thread clears every cell and `try_delete` must succeed
+//! for every region — the cross-thread count sums must all be zero no
+//! matter how the schedule interleaved.
+//!
+//! The run is timed at one worker and at `BENCH_WORKERS` (default: the
+//! machine) workers, and writes a schema-v2 results envelope to
+//! `results/par_regions.json`. The checksum folds only
+//! schedule-independent facts (regions created, operations performed,
+//! final liveness and final global counts), so for a fixed worker count
+//! it is identical across runs no matter how the threads interleaved:
+//! an interleaving-dependent digest would make the row useless as a
+//! regression anchor.
+
+use std::time::Instant;
+
+use bench_harness::runner::{scale_from_env, write_results_json, Measurement};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use region_core::par::{ParRegionPool, RefCell32};
+
+/// Cells shared by every worker.
+const CELLS: usize = 64;
+/// Regions created by each worker.
+const REGIONS_PER_WORKER: usize = 16;
+/// Exchange operations per worker per unit of scale.
+const OPS_PER_SCALE: u64 = 100_000;
+
+/// FNV-1a, the same fold the golden traces use.
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+struct RunResult {
+    elapsed: std::time::Duration,
+    regions: u64,
+    ops: u64,
+    digest: u64,
+}
+
+/// Runs the protocol with `workers` threads and verifies every
+/// schedule-independent postcondition.
+fn run(workers: usize, scale: u32) -> RunResult {
+    let pool = ParRegionPool::new();
+    let cells: Vec<RefCell32> = (0..CELLS).map(|_| RefCell32::new()).collect();
+    let ops_per_worker = OPS_PER_SCALE * u64::from(scale);
+
+    let t = Instant::now();
+    let regions = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let pool = &pool;
+                let cells = &cells;
+                s.spawn(move || {
+                    let mut thread = pool.register_thread();
+                    let mine: Vec<_> =
+                        (0..REGIONS_PER_WORKER).map(|_| thread.create_region()).collect();
+                    // Deterministic per-thread schedule; the interleaving
+                    // across threads is whatever the machine does.
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ w as u64);
+                    for _ in 0..ops_per_worker {
+                        let cell = &cells[rng.gen_range(0..CELLS)];
+                        if rng.gen_range(0..4) == 0 {
+                            thread.exchange_ref(cell, None);
+                        } else {
+                            let r = mine[rng.gen_range(0..mine.len())];
+                            thread.exchange_ref(cell, Some(r));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("worker panicked"));
+        }
+        all
+    });
+
+    // Drop the references still parked in cells, then deletion must
+    // succeed everywhere: the local counts sum to zero exactly when every
+    // publish was balanced by a displacement or a clear.
+    let mut main_thread = pool.register_thread();
+    for cell in &cells {
+        main_thread.exchange_ref(cell, None);
+    }
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for &r in &regions {
+        let count = pool.global_count(r);
+        assert_eq!(count, 0, "unbalanced local counts for {r:?}");
+        assert!(pool.try_delete(r), "zero-count region must delete");
+        assert!(!pool.is_live(r));
+        digest = fnv(digest, count as u64);
+        digest = fnv(digest, u64::from(!pool.is_live(r)));
+    }
+    let elapsed = t.elapsed();
+    let regions = regions.len() as u64;
+    let ops = ops_per_worker * workers as u64;
+    digest = fnv(digest, regions);
+    RunResult { elapsed, regions, ops, digest }
+}
+
+fn measurement(label: &'static str, m: &RunResult) -> Measurement {
+    Measurement {
+        workload: "par_regions",
+        allocator: label,
+        total: m.elapsed,
+        mem: m.elapsed,
+        os_pages: 0,
+        stats: region_core::AllocStats {
+            total_allocs: m.ops,
+            total_regions: m.regions,
+            ..Default::default()
+        },
+        inner_stats: None,
+        costs: None,
+        cache: None,
+        checksum: m.digest,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let workers = match std::env::var("BENCH_WORKERS").ok().and_then(|w| w.parse().ok()) {
+        Some(w) if w >= 1 => w,
+        _ => std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
+    };
+
+    println!("Parallel regions: exchange-published references, scale {scale}");
+    let serial = run(1, scale);
+    let par = run(workers, scale);
+    let par_again = run(workers, scale);
+    assert_eq!(
+        par.digest, par_again.digest,
+        "schedule-independent digest must not vary between runs"
+    );
+    for (label, r) in [("1 worker", &serial), ("N workers", &par)] {
+        let mops = r.ops as f64 / r.elapsed.as_secs_f64() / 1e6;
+        println!(
+            "  {label:<10} ({} threads): {} exchanges over {} regions in {:>7.1} ms ({mops:.1} M ops/s)",
+            if std::ptr::eq(r, &serial) { 1 } else { workers },
+            r.ops,
+            r.regions,
+            r.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+    println!("  digest {:016x}; every region deleted with a zero count sum", par.digest);
+
+    let rows = [measurement("par1", &serial), measurement("parN", &par)];
+    match write_results_json("par_regions", &rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 8 footprint accounting: the host-side page-map mirror must
+//! never be charged to a footprint row.
+//!
+//! The runtime keeps a host `Vec<u32>` mirror of the in-heap page map
+//! so untraced `regionof` queries answer in one indexed load instead of
+//! a simulated heap walk. The *simulated* cost of the page map is
+//! already paid — `map_pages()` counts the in-heap map's pages, and
+//! those pages are part of `os_heap_bytes()` — so folding the mirror in
+//! as well would double-count the paper's page-map overhead and make
+//! Figure 8 report host bookkeeping as simulated memory.
+
+use bench_harness::runner::measure_region;
+use simheap::PAGE_SIZE;
+use workloads::{RegionEnv, RegionKind, Workload};
+
+#[test]
+fn fig8_rows_exclude_host_page_map_mirror() {
+    // The exact path a fig8 row takes…
+    let row = measure_region(Workload::Lcc, RegionKind::Safe, 1, false);
+
+    // …and the same deterministic run with the runtime held open so the
+    // internal counters can be audited directly.
+    let mut env = RegionEnv::new(RegionKind::Safe);
+    Workload::Lcc.run_region(&mut env, 1);
+    let rt = env.runtime().expect("Safe uses the real runtime");
+
+    // The mirror was actually populated — otherwise the exclusion
+    // claims below would be vacuous.
+    assert!(rt.host_mirror_bytes() > 0, "page-map mirror never grew");
+
+    // The footprint is exactly the simulated pages (data + in-heap page
+    // map); any mirror contribution would break this equality.
+    assert_eq!(
+        rt.os_heap_bytes(),
+        (rt.data_pages() + rt.map_pages()) * u64::from(PAGE_SIZE),
+        "os_heap_bytes must be data pages + in-heap map pages, nothing else"
+    );
+
+    // The fig8 row's page count is that same figure, so the row
+    // inherits the exclusion.
+    assert_eq!(row.os_pages, rt.os_heap_bytes() / u64::from(PAGE_SIZE));
+
+    // And the in-heap map genuinely is charged: the simulated page-map
+    // overhead comes from map_pages, not the mirror.
+    assert!(rt.map_pages() > 0, "in-heap page map must be charged");
+}
+
+#[test]
+fn mirror_exclusion_holds_across_workloads() {
+    for wl in [Workload::Cfrac, Workload::Tile] {
+        let mut env = RegionEnv::new(RegionKind::Safe);
+        wl.run_region(&mut env, 1);
+        let rt = env.runtime().expect("real runtime");
+        assert!(rt.host_mirror_bytes() > 0);
+        assert_eq!(
+            rt.os_heap_bytes(),
+            (rt.data_pages() + rt.map_pages()) * u64::from(PAGE_SIZE),
+            "{wl:?}: mirror bytes leaked into the footprint"
+        );
+    }
+}

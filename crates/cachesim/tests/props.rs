@@ -4,7 +4,7 @@
 
 use cache_sim::{CacheConfig, MemStats, MemorySystem};
 use proptest::prelude::*;
-use simheap::{Access, AccessSink};
+use simheap::{Access, AccessEvent, AccessKind, AccessRange, AccessSink, CopyRange};
 
 /// A naive LRU model of one cache level.
 struct ModelCache {
@@ -47,6 +47,41 @@ fn accesses() -> impl Strategy<Value = Vec<(u32, bool)>> {
         (0x1000u32..0x40000, any::<bool>()).prop_map(|(a, w)| (a & !3, w)),
         1..400,
     )
+}
+
+/// Strides chosen to sit below, at, and above the L1 (32 B) and L2 (64 B)
+/// line sizes, plus 0 (same-address run) and a page-sized hop.
+const STRIDES: [u32; 8] = [0, 1, 4, 8, 32, 64, 100, 4096];
+
+fn events() -> impl Strategy<Value = Vec<AccessEvent>> {
+    let word = (0x1000u32..0x40000, any::<bool>()).prop_map(|(a, w)| {
+        AccessEvent::Word(if w { Access::write(a & !3, 4) } else { Access::read(a & !3, 4) })
+    });
+    let range = (0x1000u32..0x40000, 0u32..70, 0usize..STRIDES.len(), any::<bool>()).prop_map(
+        |(start, len, si, w)| {
+            AccessEvent::Range(AccessRange {
+                start: start & !3,
+                len,
+                stride: STRIDES[si],
+                size: 4,
+                kind: if w { AccessKind::Write } else { AccessKind::Read },
+            })
+        },
+    );
+    // dst offset down to 0 covers overlapping windows and src/dst sharing
+    // a cache line.
+    let copy = (0x1000u32..0x20000, 0u32..0x10000, 0u32..70, 0usize..STRIDES.len()).prop_map(
+        |(src, doff, len, si)| {
+            AccessEvent::CopyRange(CopyRange {
+                src: src & !3,
+                dst: (src & !3).wrapping_add(doff & !3),
+                len,
+                stride: STRIDES[si],
+                size: 4,
+            })
+        },
+    );
+    proptest::collection::vec(prop_oneof![word, range, copy], 1..60)
 }
 
 proptest! {
@@ -112,6 +147,33 @@ proptest! {
         prop_assert!(s.total_cycles >= (reads + writes) * cfg.gap_cycles);
     }
 
+    /// **Expansion equivalence** (the batched-protocol contract): feeding a
+    /// random event sequence through the native range consumer must
+    /// produce counters bit-identical to feeding its canonical word
+    /// expansion through the per-access path — for direct-mapped *and*
+    /// set-associative configurations (associativity exercises the LRU
+    /// subtleties of the skipped refreshes).
+    ///
+    /// The strategy deliberately covers the edge cases: len == 0, stride 0
+    /// (same-address runs), sub-line strides, exact line strides, strides
+    /// crossing L1/L2 line boundaries, and page-crossing ranges; copies
+    /// include overlapping src/dst windows and src/dst in the same line.
+    #[test]
+    fn native_range_consumption_matches_word_expansion(evs in events(), assoc in 1u32..3) {
+        let cfg = CacheConfig {
+            l1_assoc: assoc,
+            l2_assoc: assoc,
+            ..CacheConfig::default()
+        };
+        let mut native = MemorySystem::new(cfg);
+        let mut expanded = MemorySystem::new(cfg);
+        for &ev in &evs {
+            native.event(ev);
+            ev.for_each_word(|a| expanded.access(a));
+        }
+        prop_assert_eq!(native.stats(), expanded.stats());
+    }
+
     /// Determinism: the same access stream always produces identical
     /// counters.
     #[test]
@@ -125,4 +187,41 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+}
+
+/// Directed edge cases for the batched protocol: a range that crosses both
+/// 4 KB page and L1/L2 cache-line boundaries, strides wider than a line,
+/// and the degenerate len == 0 record, each checked against its word
+/// expansion.
+#[test]
+fn boundary_crossing_ranges_match_expansion() {
+    let cases = [
+        // Starts mid-line, 3 bytes short of a page boundary, runs across it.
+        AccessEvent::Range(AccessRange { start: 0x1FFC - 8, len: 40, stride: 4, size: 4, kind: AccessKind::Read }),
+        AccessEvent::Range(AccessRange { start: 0x1FFC - 8, len: 40, stride: 4, size: 4, kind: AccessKind::Write }),
+        // Stride wider than the L1 line but inside the L2 line.
+        AccessEvent::Range(AccessRange { start: 0x3010, len: 33, stride: 48, size: 4, kind: AccessKind::Read }),
+        // Stride wider than both line sizes: every access is a run leader.
+        AccessEvent::Range(AccessRange { start: 0x3010, len: 17, stride: 96, size: 4, kind: AccessKind::Write }),
+        // Empty records must be observationally absent.
+        AccessEvent::Range(AccessRange { start: 0x5000, len: 0, stride: 4, size: 4, kind: AccessKind::Read }),
+        AccessEvent::CopyRange(CopyRange { src: 0x5000, dst: 0x6000, len: 0, stride: 4, size: 4 }),
+        // A copy straddling a page boundary with src and dst in one L1 set.
+        AccessEvent::CopyRange(CopyRange { src: 0x1FF0, dst: 0x1FF0 + 16 * 1024, len: 16, stride: 4, size: 4 }),
+    ];
+    for ev in cases {
+        let mut native = MemorySystem::default();
+        let mut expanded = MemorySystem::default();
+        native.event(ev);
+        ev.for_each_word(|a| expanded.access(a));
+        assert_eq!(native.stats(), expanded.stats(), "case {ev:?}");
+    }
+    // And the whole sequence back to back, sharing cache state.
+    let mut native = MemorySystem::default();
+    let mut expanded = MemorySystem::default();
+    for ev in cases {
+        native.event(ev);
+        ev.for_each_word(|a| expanded.access(a));
+    }
+    assert_eq!(native.stats(), expanded.stats());
 }

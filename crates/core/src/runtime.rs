@@ -331,8 +331,22 @@ impl RegionRuntime {
 
     /// Bytes of OS memory attributable to the allocator (data + page map),
     /// the "OS" bar of the paper's Figure 8.
+    ///
+    /// Deliberately excludes [`RegionRuntime::host_mirror_bytes`]: the
+    /// host-side page-map mirror is a simulator acceleration whose
+    /// simulated cost is already paid by the in-heap map (`map_pages`),
+    /// so charging the mirror would double-count the paper's page-map
+    /// overhead. See DESIGN "Footprint accounting".
     pub fn os_heap_bytes(&self) -> u64 {
         (self.data_pages + self.map_pages) * u64::from(PAGE_SIZE)
+    }
+
+    /// Host memory held by the page-map mirror (the untraced `regionof`
+    /// accelerator). Exposed so tests can assert it is *never* part of a
+    /// footprint figure: the mirror is host bookkeeping, not simulated
+    /// memory.
+    pub fn host_mirror_bytes(&self) -> u64 {
+        (self.map_mirror.len() * std::mem::size_of::<u32>()) as u64
     }
 
     /// Allocates a zeroed area of global storage (outside any region).
@@ -922,9 +936,28 @@ impl RegionRuntime {
                     let stride = self.heap.load_u32_fast(cur + 2 * WORD);
                     let data = cur + 3 * WORD;
                     let offsets = self.descs.get(desc).ptr_offsets().to_vec();
-                    for i in 0..n {
-                        for &off in &offsets {
-                            self.cleanup_release(r, data + i * stride + off);
+                    // Single-pointer arrays whose fields are all still null
+                    // (common: cleared on alloc, never linked) release
+                    // nothing, so the walk is one strided bulk load — a
+                    // single Range record to any attached sink. Bit-for-bit
+                    // equal to the per-field walk: `region_of(null)` loads
+                    // nothing, so the baseline stream is exactly these n
+                    // word reads.
+                    let all_null = match offsets[..] {
+                        [off] if n > 1 && stride > 0 => {
+                            (0..n).all(|i| self.heap.peek_u32(data + i * stride + off) == 0)
+                        }
+                        _ => false,
+                    };
+                    if all_null {
+                        self.costs.cleanup_ptrs += u64::from(n);
+                        self.costs.cleanup_instrs += u64::from(n) * CLEANUP_PTR_INSTRS;
+                        self.heap.load_u32_range(data + offsets[0], n, stride);
+                    } else {
+                        for i in 0..n {
+                            for &off in &offsets {
+                                self.cleanup_release(r, data + i * stride + off);
+                            }
                         }
                     }
                     cur = data + n * stride;

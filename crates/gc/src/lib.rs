@@ -231,7 +231,13 @@ impl BoehmGc {
             }
         }
         // Sweep class pages: unmarked allocated blocks back to freelists.
-        let page_indices: Vec<u32> = self.pages.keys().copied().collect();
+        // Sweep in address order, not `HashMap` iteration order: the sweep
+        // emits traced stores (freelist threading) and permutes the
+        // freelists, so a per-process hash seed would otherwise make every
+        // traced GC run — and all downstream cache statistics — vary from
+        // run to run.
+        let mut page_indices: Vec<u32> = self.pages.keys().copied().collect();
+        page_indices.sort_unstable();
         for pi in page_indices {
             let (class, dead) = match self.pages.get_mut(&pi) {
                 Some(PageKind::Class { class, alloc, mark }) => {

@@ -1,7 +1,7 @@
 //! The simulated process heap.
 
 use crate::addr::{Addr, PAGE_SIZE, WORD};
-use crate::trace::{Access, AccessSink};
+use crate::trace::{Access, AccessEvent, AccessKind, AccessRange, AccessSink, CopyRange};
 
 /// Why a heap-growth request was refused.
 ///
@@ -248,12 +248,22 @@ impl SimHeap {
         self.stores += n;
     }
 
-    /// Runs `f` with the attached sink downcast-free: sinks are trait
-    /// objects, so callers that need results back should use a sink type
-    /// they own and recover it with [`SimHeap::detach_sink`].
+    /// Forwards one scalar access to the attached sink, if any. Sinks are
+    /// trait objects, so callers that need results back should use a sink
+    /// type they own and recover it with [`SimHeap::detach_sink`].
     fn emit(&mut self, access: Access) {
         if let Some(sink) = self.sink.as_mut() {
-            sink.access(access);
+            sink.event(AccessEvent::Word(access));
+        }
+    }
+
+    /// Forwards one batched protocol event to the attached sink, if any.
+    /// Word-only sinks see it through the canonical expansion (the default
+    /// [`AccessSink::event`]), so the observable per-word stream is
+    /// identical to the pre-batching per-word emit loops.
+    fn emit_event(&mut self, event: AccessEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.event(event);
         }
     }
 
@@ -392,35 +402,51 @@ impl SimHeap {
     /// where possible (each touched word counts as one store, matching the
     /// cost of a real `memset`).
     ///
-    /// With no sink attached the fill is one bounds check plus one host
-    /// `memset`, with counter totals identical to the per-word path; with a
-    /// sink attached every store is emitted individually so cache traces
-    /// are unchanged.
+    /// Either way the fill is one bounds check plus one host `memset`, with
+    /// counter totals identical to the historic per-word path; with a sink
+    /// attached the stores are announced as at most three batched
+    /// [`AccessEvent::Range`] records (head bytes, whole words, tail bytes)
+    /// whose word expansion equals the old per-store emit loop exactly.
     pub fn fill(&mut self, addr: Addr, len: u32, byte: u8) {
         if len == 0 {
             return;
         }
         self.check(addr, len, 1, "fill");
+        self.stores += SimHeap::fill_store_ops(addr, len);
+        let i = addr.raw() as usize;
+        self.memory[i..i + len as usize].fill(byte);
         if !self.tracing {
-            self.stores += SimHeap::fill_store_ops(addr, len);
-            let i = addr.raw() as usize;
-            self.memory[i..i + len as usize].fill(byte);
             return;
         }
-        let mut cur = addr;
-        let end = addr + len;
-        let word = u32::from_le_bytes([byte; 4]);
-        while !cur.is_aligned(WORD) && cur < end {
-            self.store_u8(cur, byte);
-            cur = cur + 1;
+        let head = ((WORD - addr.raw() % WORD) % WORD).min(len);
+        let rest = len - head;
+        let (words, tail) = (rest / WORD, rest % WORD);
+        if head > 0 {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: addr.raw(),
+                len: head,
+                stride: 1,
+                size: 1,
+                kind: AccessKind::Write,
+            }));
         }
-        while cur + WORD <= end {
-            self.store_u32(cur, word);
-            cur = cur + WORD;
+        if words > 0 {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: addr.raw() + head,
+                len: words,
+                stride: WORD,
+                size: WORD as u8,
+                kind: AccessKind::Write,
+            }));
         }
-        while cur < end {
-            self.store_u8(cur, byte);
-            cur = cur + 1;
+        if tail > 0 {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: addr.raw() + head + words * WORD,
+                len: tail,
+                stride: 1,
+                size: 1,
+                kind: AccessKind::Write,
+            }));
         }
     }
 
@@ -438,9 +464,12 @@ impl SimHeap {
     /// Copies `len` bytes from `src` to `dst` (non-overlapping or
     /// `dst <= src`), word-at-a-time where aligned.
     ///
-    /// With no sink attached the copy is two bounds checks plus one host
-    /// `memmove`, with counter totals identical to the per-word path; with
-    /// a sink attached every access is emitted individually.
+    /// Either way the copy is two bounds checks plus one host `memmove`,
+    /// with counter totals identical to the historic per-word path; with a
+    /// sink attached the traffic is announced as at most two batched
+    /// [`AccessEvent::CopyRange`] records (whole words, then tail bytes)
+    /// whose interleaved load/store expansion equals the old per-element
+    /// emit loop exactly.
     pub fn copy(&mut self, dst: Addr, src: Addr, len: u32) {
         if len == 0 {
             return;
@@ -449,15 +478,47 @@ impl SimHeap {
         self.check(dst, len, 1, "copy-store");
         // A forward element-wise copy into an overlapping higher range
         // smears the source; keep the per-element path there so the (out of
-        // contract) behaviour matches the traced path bit for bit.
+        // contract) behaviour matches the historic element loop bit for bit.
         let smearing = u64::from(dst.raw()) > u64::from(src.raw())
             && u64::from(dst.raw()) < u64::from(src.raw()) + u64::from(len);
-        if !self.tracing && !smearing {
+        if !smearing {
             let ops = SimHeap::copy_ops(dst, src, len);
             self.loads += ops;
             self.stores += ops;
             let (d, s) = (dst.raw() as usize, src.raw() as usize);
             self.memory.copy_within(s..s + len as usize, d);
+            if !self.tracing {
+                return;
+            }
+            if dst.is_aligned(WORD) && src.is_aligned(WORD) {
+                let (words, tail) = (len / WORD, len % WORD);
+                if words > 0 {
+                    self.emit_event(AccessEvent::CopyRange(CopyRange {
+                        src: src.raw(),
+                        dst: dst.raw(),
+                        len: words,
+                        stride: WORD,
+                        size: WORD as u8,
+                    }));
+                }
+                if tail > 0 {
+                    self.emit_event(AccessEvent::CopyRange(CopyRange {
+                        src: src.raw() + words * WORD,
+                        dst: dst.raw() + words * WORD,
+                        len: tail,
+                        stride: 1,
+                        size: 1,
+                    }));
+                }
+            } else {
+                self.emit_event(AccessEvent::CopyRange(CopyRange {
+                    src: src.raw(),
+                    dst: dst.raw(),
+                    len,
+                    stride: 1,
+                    size: 1,
+                }));
+            }
             return;
         }
         if dst.is_aligned(WORD) && src.is_aligned(WORD) {
@@ -476,6 +537,52 @@ impl SimHeap {
                 self.store_u8(dst + b, v);
             }
         }
+    }
+
+    /// Loads `len` words at `start`, `start + stride`, … and returns them,
+    /// observationally equivalent to `len` calls of [`SimHeap::load_u32`]:
+    /// same counter totals, and the single batched [`AccessEvent::Range`]
+    /// it announces expands to the same per-word access stream. Intended
+    /// for strided runtime scans (e.g. walking one pointer field down a
+    /// homogeneous array during region cleanup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is not word-aligned or any touched word is
+    /// unmapped/misaligned, exactly as the per-word loop would.
+    pub fn load_u32_range(&mut self, start: Addr, len: u32, stride: u32) -> Vec<u32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        assert!(stride % WORD == 0, "misaligned stride {stride} in bulk load at {start}");
+        self.check_word(start, "load");
+        let last = u64::from(start.raw()) + u64::from(len - 1) * u64::from(stride);
+        assert!(
+            last + u64::from(WORD) <= self.memory.len() as u64,
+            "simulated segfault: bulk load of {len} words (stride {stride}) at {start} past break {}",
+            self.brk()
+        );
+        self.loads += u64::from(len);
+        if self.tracing {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: start.raw(),
+                len,
+                stride,
+                size: WORD as u8,
+                kind: AccessKind::Read,
+            }));
+        }
+        (0..len)
+            .map(|i| {
+                let j = (start.raw() + i * stride) as usize;
+                u32::from_le_bytes([
+                    self.memory[j],
+                    self.memory[j + 1],
+                    self.memory[j + 2],
+                    self.memory[j + 3],
+                ])
+            })
+            .collect()
     }
 
     /// Reads `len` bytes into a host `Vec` without counting simulated

@@ -41,4 +41,7 @@ mod trace;
 
 pub use addr::{align_up, Addr, PAGE_SIZE, WORD};
 pub use heap::{HeapConfig, HeapError, SimHeap};
-pub use trace::{Access, AccessKind, AccessSink, CountingSink, RecordingSink};
+pub use trace::{
+    Access, AccessEvent, AccessKind, AccessRange, AccessSink, CopyRange, CountingSink,
+    EventRecordingSink, RecordingSink,
+};

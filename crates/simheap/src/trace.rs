@@ -4,6 +4,33 @@
 //! to an [`AccessSink`]. The cache simulator in the `cache-sim` crate is the
 //! main consumer; [`CountingSink`] and [`RecordingSink`] are lightweight
 //! sinks used in tests and diagnostics.
+//!
+//! # The batched access-event protocol
+//!
+//! The heap describes its memory traffic as a stream of [`AccessEvent`]s.
+//! Scalar loads and stores arrive as [`AccessEvent::Word`]; the bulk
+//! operations (`fill`, `copy`, strided bulk reads) arrive as a single
+//! [`AccessEvent::Range`] or [`AccessEvent::CopyRange`] record instead of
+//! one `Word` per touched word. Every event has one **canonical word
+//! expansion** ([`AccessEvent::for_each_word`]), and the protocol contract
+//! is:
+//!
+//! > the expansion of the event stream is bit-identical — same addresses,
+//! > sizes, kinds, **and order** — to the per-word stream the heap emitted
+//! > before batching existed.
+//!
+//! Sinks that only implement [`AccessSink::access`] keep working unchanged:
+//! the provided [`AccessSink::event`] method expands each event through the
+//! canonical expansion. Sinks that can consume ranges natively (the cache
+//! simulator, counters) override `event` and must produce results
+//! bit-identical to the expanded stream — property tests in this crate and
+//! in `cache-sim` enforce exactly that.
+//!
+//! `CopyRange` exists because a two-variant protocol (`Word` | `Range`)
+//! cannot express a `memcpy` faithfully: the per-word stream of a copy is
+//! *interleaved* load/store pairs, and splitting it into one read range
+//! plus one write range would reorder the stream, changing cache hit/miss
+//! behaviour and diverging from recorded golden traces.
 
 /// Whether an access reads or writes memory.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -37,13 +64,117 @@ impl Access {
     }
 }
 
+/// `len` equally-sized, equally-spaced accesses of one kind: the batched
+/// record a bulk `fill` or strided bulk read emits.
+///
+/// Canonical expansion: `Access { addr: start + i*stride, size, kind }`
+/// for `i` in `0..len`, in increasing `i`. `len == 0` expands to nothing;
+/// `stride == 0` means `len` accesses to the same address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessRange {
+    /// Address of the first access.
+    pub start: u32,
+    /// Number of accesses.
+    pub len: u32,
+    /// Byte distance between consecutive access addresses.
+    pub stride: u32,
+    /// Bytes touched by each access (1, 2 or 4).
+    pub size: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// `len` interleaved load/store pairs: the batched record a bulk `copy`
+/// emits.
+///
+/// Canonical expansion, for `i` in `0..len`:
+/// `Read(src + i*stride, size)` then `Write(dst + i*stride, size)` —
+/// exactly the element-at-a-time order of a simulated `memcpy`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CopyRange {
+    /// Address of the first load.
+    pub src: u32,
+    /// Address of the first store.
+    pub dst: u32,
+    /// Number of load/store pairs.
+    pub len: u32,
+    /// Byte distance between consecutive elements.
+    pub stride: u32,
+    /// Bytes per element (1, 2 or 4).
+    pub size: u8,
+}
+
+/// One record of the batched access protocol. See the module docs for the
+/// expansion contract.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessEvent {
+    /// A single scalar access.
+    Word(Access),
+    /// A batched run of same-kind accesses (bulk fill, strided bulk read).
+    Range(AccessRange),
+    /// A batched run of interleaved load/store pairs (bulk copy).
+    CopyRange(CopyRange),
+}
+
+impl AccessEvent {
+    /// The canonical word expansion, in stream order.
+    pub fn for_each_word(self, mut f: impl FnMut(Access)) {
+        match self {
+            AccessEvent::Word(a) => f(a),
+            AccessEvent::Range(r) => {
+                for i in 0..r.len {
+                    f(Access { addr: r.start.wrapping_add(i.wrapping_mul(r.stride)), size: r.size, kind: r.kind });
+                }
+            }
+            AccessEvent::CopyRange(c) => {
+                for i in 0..c.len {
+                    let off = i.wrapping_mul(c.stride);
+                    f(Access::read(c.src.wrapping_add(off), c.size));
+                    f(Access::write(c.dst.wrapping_add(off), c.size));
+                }
+            }
+        }
+    }
+
+    /// Number of word-level accesses this event expands to.
+    pub fn word_count(self) -> u64 {
+        match self {
+            AccessEvent::Word(_) => 1,
+            AccessEvent::Range(r) => u64::from(r.len),
+            AccessEvent::CopyRange(c) => 2 * u64::from(c.len),
+        }
+    }
+
+    /// Total bytes transferred by the expansion.
+    pub fn byte_count(self) -> u64 {
+        match self {
+            AccessEvent::Word(a) => u64::from(a.size),
+            AccessEvent::Range(r) => u64::from(r.len) * u64::from(r.size),
+            AccessEvent::CopyRange(c) => 2 * u64::from(c.len) * u64::from(c.size),
+        }
+    }
+}
+
 /// A consumer of simulated memory accesses.
 ///
 /// Implementors receive every load/store the heap performs while attached.
 /// The `cache-sim` crate implements this for its memory-system model.
+///
+/// The heap delivers traffic through [`AccessSink::event`]. A sink only
+/// interested in word-level accesses implements [`AccessSink::access`] and
+/// inherits the default `event`, which expands each event canonically. A
+/// sink overriding `event` for speed must be observationally identical to
+/// the expansion.
 pub trait AccessSink {
-    /// Called once per memory access, in program order.
+    /// Called once per word-level memory access, in program order (unless
+    /// [`AccessSink::event`] is overridden).
     fn access(&mut self, access: Access);
+
+    /// Called once per protocol event, in program order. The default
+    /// implementation is the canonicalizing word-expansion adapter.
+    fn event(&mut self, event: AccessEvent) {
+        event.for_each_word(|a| self.access(a));
+    }
 
     /// Converts the boxed sink into `Any`, so callers of
     /// [`SimHeap::detach_sink`](crate::SimHeap::detach_sink) can downcast
@@ -52,7 +183,8 @@ pub trait AccessSink {
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
 }
 
-/// An [`AccessSink`] that simply counts reads and writes.
+/// An [`AccessSink`] that simply counts reads and writes. Consumes batched
+/// events in O(1).
 ///
 /// ```
 /// use simheap::{SimHeap, CountingSink, AccessSink};
@@ -83,13 +215,32 @@ impl AccessSink for CountingSink {
         self.bytes += u64::from(access.size);
     }
 
+    fn event(&mut self, event: AccessEvent) {
+        match event {
+            AccessEvent::Word(a) => self.access(a),
+            AccessEvent::Range(r) => {
+                match r.kind {
+                    AccessKind::Read => self.reads += u64::from(r.len),
+                    AccessKind::Write => self.writes += u64::from(r.len),
+                }
+                self.bytes += event.byte_count();
+            }
+            AccessEvent::CopyRange(c) => {
+                self.reads += u64::from(c.len);
+                self.writes += u64::from(c.len);
+                self.bytes += event.byte_count();
+            }
+        }
+    }
+
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
     }
 }
 
-/// An [`AccessSink`] that records every access; intended for small tests
-/// only (it grows without bound).
+/// An [`AccessSink`] that records every word-level access; intended for
+/// small tests only (it grows without bound). Batched events are recorded
+/// through the canonical expansion, so the log is the per-word stream.
 #[derive(Default, Debug, Clone)]
 pub struct RecordingSink {
     /// The accesses observed so far, in program order.
@@ -99,6 +250,28 @@ pub struct RecordingSink {
 impl AccessSink for RecordingSink {
     fn access(&mut self, access: Access) {
         self.log.push(access);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// An [`AccessSink`] that records raw protocol events *without* expanding
+/// them — for tests asserting that bulk operations actually batch.
+#[derive(Default, Debug, Clone)]
+pub struct EventRecordingSink {
+    /// The events observed so far, in program order.
+    pub log: Vec<AccessEvent>,
+}
+
+impl AccessSink for EventRecordingSink {
+    fn access(&mut self, access: Access) {
+        self.log.push(AccessEvent::Word(access));
+    }
+
+    fn event(&mut self, event: AccessEvent) {
+        self.log.push(event);
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
@@ -129,5 +302,105 @@ mod tests {
         assert_eq!(s.log.len(), 2);
         assert_eq!(s.log[0], Access::read(4, 4));
         assert_eq!(s.log[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn range_expansion_is_strided() {
+        let ev = AccessEvent::Range(AccessRange {
+            start: 0x1000,
+            len: 3,
+            stride: 8,
+            size: 4,
+            kind: AccessKind::Write,
+        });
+        let mut out = Vec::new();
+        ev.for_each_word(|a| out.push(a));
+        assert_eq!(
+            out,
+            vec![Access::write(0x1000, 4), Access::write(0x1008, 4), Access::write(0x1010, 4)]
+        );
+        assert_eq!(ev.word_count(), 3);
+        assert_eq!(ev.byte_count(), 12);
+    }
+
+    #[test]
+    fn empty_range_expands_to_nothing() {
+        let ev = AccessEvent::Range(AccessRange {
+            start: 0x1000,
+            len: 0,
+            stride: 4,
+            size: 4,
+            kind: AccessKind::Read,
+        });
+        let mut n = 0;
+        ev.for_each_word(|_| n += 1);
+        assert_eq!(n, 0);
+        assert_eq!(ev.word_count(), 0);
+        assert_eq!(ev.byte_count(), 0);
+    }
+
+    #[test]
+    fn copy_expansion_interleaves_pairs() {
+        let ev = AccessEvent::CopyRange(CopyRange {
+            src: 0x2000,
+            dst: 0x3000,
+            len: 2,
+            stride: 4,
+            size: 4,
+        });
+        let mut out = Vec::new();
+        ev.for_each_word(|a| out.push(a));
+        assert_eq!(
+            out,
+            vec![
+                Access::read(0x2000, 4),
+                Access::write(0x3000, 4),
+                Access::read(0x2004, 4),
+                Access::write(0x3004, 4),
+            ]
+        );
+        assert_eq!(ev.word_count(), 4);
+    }
+
+    #[test]
+    fn default_event_adapter_expands_for_word_sinks() {
+        let mut s = RecordingSink::default();
+        s.event(AccessEvent::Range(AccessRange {
+            start: 64,
+            len: 2,
+            stride: 1,
+            size: 1,
+            kind: AccessKind::Write,
+        }));
+        assert_eq!(s.log, vec![Access::write(64, 1), Access::write(65, 1)]);
+    }
+
+    #[test]
+    fn counting_sink_consumes_events_in_o1() {
+        let mut batched = CountingSink::default();
+        let mut expanded = CountingSink::default();
+        let events = [
+            AccessEvent::Word(Access::read(16, 4)),
+            AccessEvent::Range(AccessRange { start: 32, len: 9, stride: 4, size: 4, kind: AccessKind::Write }),
+            AccessEvent::Range(AccessRange { start: 5, len: 3, stride: 1, size: 1, kind: AccessKind::Read }),
+            AccessEvent::CopyRange(CopyRange { src: 100, dst: 200, len: 7, stride: 4, size: 4 }),
+            AccessEvent::Range(AccessRange { start: 0, len: 0, stride: 4, size: 4, kind: AccessKind::Read }),
+        ];
+        for ev in events {
+            batched.event(ev);
+            ev.for_each_word(|a| expanded.access(a));
+        }
+        assert_eq!(batched, expanded);
+    }
+
+    #[test]
+    fn event_recording_sink_keeps_events_raw() {
+        let mut s = EventRecordingSink::default();
+        let r = AccessEvent::Range(AccessRange { start: 8, len: 4, stride: 4, size: 4, kind: AccessKind::Write });
+        s.event(r);
+        s.access(Access::read(8, 4));
+        assert_eq!(s.log.len(), 2);
+        assert_eq!(s.log[0], r);
+        assert_eq!(s.log[1], AccessEvent::Word(Access::read(8, 4)));
     }
 }

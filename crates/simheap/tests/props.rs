@@ -4,7 +4,10 @@
 //! per-word paths.
 
 use proptest::prelude::*;
-use simheap::{Access, Addr, CountingSink, RecordingSink, SimHeap, PAGE_SIZE, WORD};
+use simheap::{
+    Access, AccessEvent, Addr, CountingSink, EventRecordingSink, RecordingSink, SimHeap,
+    PAGE_SIZE, WORD,
+};
 
 /// Model: a plain host byte vector addressed the same way.
 #[derive(Debug, Clone)]
@@ -142,6 +145,66 @@ proptest! {
             }
         }
         prop_assert_eq!(log, expect);
+    }
+
+    /// (d) Traced bulk ops actually batch: a fill is at most three events
+    /// (head/words/tail ranges) and an aligned copy at most two, never one
+    /// event per word — and their canonical expansion still equals the
+    /// per-word stream checked in (c).
+    #[test]
+    fn traced_bulk_ops_emit_batched_events(off in 0u32..256, len in 1u32..160, shift in 0u32..5) {
+        let mut heap = SimHeap::new();
+        let base = heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(EventRecordingSink::default()));
+        let start = base + off;
+        heap.fill(start, len, 0xAB);
+        let dst = base + 2048 + shift;
+        heap.copy(dst, start, len);
+        let sink = heap.detach_sink().expect("sink attached");
+        let log = sink.into_any().downcast::<EventRecordingSink>().expect("event sink").log;
+
+        prop_assert!(log.len() <= 5, "fill ≤ 3 events + copy ≤ 2 events, got {}", log.len());
+        prop_assert!(
+            log.iter().all(|ev| !matches!(ev, AccessEvent::Word(_))),
+            "bulk ops must not emit per-word events: {log:?}"
+        );
+        let bytes: u64 = log.iter().map(|ev| ev.byte_count()).sum();
+        prop_assert_eq!(bytes, 3 * u64::from(len), "fill touches len bytes, copy 2*len");
+    }
+
+    /// (e) `load_u32_range` is observationally `len` scalar loads: same
+    /// counters, same values, and its one Range event expands to the same
+    /// word stream a scalar-load loop announces.
+    #[test]
+    fn strided_bulk_read_matches_scalar_loads(
+        woff in 0u32..32,
+        len in 0u32..48,
+        stride_words in 1u32..5,
+    ) {
+        let mut bulk = SimHeap::new();
+        let base = bulk.sbrk_pages(AREA / PAGE_SIZE);
+        for w in 0..AREA / WORD {
+            bulk.store_u32(base + w * WORD, w.wrapping_mul(0x9E37_79B9));
+        }
+        let mut scalar = SimHeap::new();
+        scalar.sbrk_pages(AREA / PAGE_SIZE);
+        for w in 0..AREA / WORD {
+            scalar.store_u32(base + w * WORD, w.wrapping_mul(0x9E37_79B9));
+        }
+        bulk.attach_sink(Box::new(RecordingSink::default()));
+        scalar.attach_sink(Box::new(RecordingSink::default()));
+
+        let start = base + woff * WORD;
+        let stride = stride_words * WORD;
+        let got = bulk.load_u32_range(start, len, stride);
+        let want: Vec<u32> = (0..len).map(|i| scalar.load_u32(start + i * stride)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(bulk.load_count(), scalar.load_count());
+        prop_assert_eq!(bulk.store_count(), scalar.store_count());
+
+        let blog = bulk.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+        let slog = scalar.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+        prop_assert_eq!(blog, slog);
     }
 
     #[test]

@@ -388,6 +388,17 @@ impl RegionEnv {
         }
     }
 
+    /// The underlying runtime (real backends only): lets tests audit
+    /// accounting the aggregate getters fold away, e.g. that
+    /// [`region_core::RegionRuntime::host_mirror_bytes`] never leaks
+    /// into a footprint figure.
+    pub fn runtime(&self) -> Option<&region_core::RegionRuntime> {
+        match &self.backend {
+            RegionBackend::Real(rt) => Some(rt),
+            RegionBackend::Emulated { .. } => None,
+        }
+    }
+
     /// Safety-cost counters (real runtime only).
     pub fn costs(&self) -> Option<&region_core::SafetyCosts> {
         match &self.backend {

@@ -1,0 +1,56 @@
+//! Regression test: traced malloc runs must be bit-reproducible.
+//!
+//! The conservative GC once swept pages in `HashMap` iteration order, which
+//! is seeded per `RandomState` instance — so two identical runs emitted the
+//! freelist-threading stores in different orders, permuted the freelists,
+//! and every downstream cache statistic varied from run to run (and from
+//! the committed `results/*.json`). Two environments constructed in one
+//! process get distinct hash seeds, so running the same workload twice here
+//! catches any reintroduction without needing separate processes.
+
+use simheap::{Access, AccessEvent, AccessSink};
+use workloads::{MallocEnv, MallocKind, Workload};
+
+/// Records the raw event stream for comparison.
+struct Log(Vec<AccessEvent>);
+
+impl AccessSink for Log {
+    fn access(&mut self, access: Access) {
+        self.0.push(AccessEvent::Word(access));
+    }
+    fn event(&mut self, ev: AccessEvent) {
+        self.0.push(ev);
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+fn traced_stream(kind: MallocKind, wl: Workload) -> Vec<AccessEvent> {
+    let mut env = MallocEnv::new(kind);
+    env.heap().attach_sink(Box::new(Log(Vec::new())));
+    wl.run_malloc(&mut env, 1);
+    let mut heap = env.into_heap();
+    let sink = heap.detach_sink().expect("sink attached");
+    sink.into_any().downcast::<Log>().expect("Log sink").0
+}
+
+#[test]
+fn gc_traced_stream_is_reproducible() {
+    // Cfrac allocates ~190 KB against a 64 KB collection threshold, so the
+    // run performs several full mark–sweep cycles (Lcc, by contrast, never
+    // collects and would leave the sweep untested).
+    let a = traced_stream(MallocKind::Gc, Workload::Cfrac);
+    let b = traced_stream(MallocKind::Gc, Workload::Cfrac);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "traced GC access stream must not depend on hash seeds");
+}
+
+#[test]
+fn malloc_traced_streams_are_reproducible() {
+    for kind in [MallocKind::Sun, MallocKind::Bsd, MallocKind::Lea] {
+        let a = traced_stream(kind, Workload::Lcc);
+        let b = traced_stream(kind, Workload::Lcc);
+        assert_eq!(a, b, "traced {kind:?} stream must be reproducible");
+    }
+}
