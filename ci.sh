@@ -34,11 +34,14 @@ for wl in grobner mudlle lcc moss; do
     ./target/release/fig10 --quick --check-golden "$wl"
 done
 
-echo "== parallel region pool smoke =="
-BENCH_WORKERS="${BENCH_WORKERS:-4}" ./target/release/par_regions --quick >/dev/null
+echo "== parallel region pool smoke (digest + audit, sanitize on) =="
+REGION_SANITIZE=1 BENCH_WORKERS="${BENCH_WORKERS:-4}" ./target/release/par_regions --quick >/dev/null
 
 echo "== chaos soak (fault injection + sanitizer + VM), --quick =="
 ./target/release/chaos --quick >/dev/null
+
+echo "== par-chaos: contained worker faults, quarantine + reap, sanitize on =="
+REGION_SANITIZE=1 ./target/release/chaos --quick --scenario par-chaos >/dev/null
 
 echo "== REGION_SANITIZE=1 smoke (one fig8 row, audited after the run) =="
 REGION_SANITIZE=1 ./target/release/fig8 --quick --only tile >/dev/null

@@ -20,13 +20,17 @@
 //! | `alloc-faults`  | every-Mth + seeded 1-in-N allocation faults, Nth-page-acquisition faults |
 //! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
-//! | `vm-chaos`      | seeded random C@ programs through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
+//! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions) through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
+//! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
-//! scenario). Exit code 0 means every invariant held.
+//! scenario), `--scenario <name>` (run one scenario only). Exit code 0
+//! means every invariant held.
 
+use bench_harness::{supervise, JobOutcome, SuperviseConfig};
 use region_core::{
-    FaultPlan, FaultSite, RegionConfig, RegionError, RegionId, RegionRuntime, TypeDescriptor,
+    FaultPlan, FaultSite, ParRegionError, RegionConfig, RegionError, RegionId, RegionRuntime,
+    TypeDescriptor,
 };
 use simheap::{Addr, HeapConfig, PAGE_SIZE};
 
@@ -132,6 +136,12 @@ struct Tally {
     blocked_deletes: u64,
     double_deletes: u64,
     sanitize_runs: u64,
+    /// Injected worker panics contained by `supervise` (par-chaos).
+    worker_panics: u64,
+    /// Regions a delete attempt explicitly quarantined (par-chaos).
+    quarantined: u64,
+    /// Quarantined regions `reap_orphans` reclaimed (par-chaos).
+    reaped: u64,
 }
 
 impl Tally {
@@ -484,12 +494,26 @@ fn fold_str(mut h: u64, s: &str) -> u64 {
     h
 }
 
-/// Renders a seeded random C@ program: a couple of regions, linked
-/// lists built into them, and a deletion pattern that (depending on the
-/// dice) deletes cleanly, is blocked by a live stack reference, or
-/// leaves regions for the VM teardown. Every generated program is
-/// well-typed; what varies under fault injection is how far it gets.
-fn gen_program(rng: &mut Rng) -> String {
+/// Renders a seeded random C@ program from one of two template
+/// families. Every generated program is well-typed; what varies under
+/// fault injection is how far it gets.
+///
+/// * family 0 — linked lists across two regions with a deletion pattern
+///   that (depending on the dice) deletes cleanly, is blocked by a live
+///   stack reference, or leaves regions for the VM teardown;
+/// * family 1 — struct arrays indexed at the bounds-adjacent first and
+///   last elements, filled inside nested per-iteration regions that are
+///   deleted as soon as their summary escapes by value.
+fn gen_program(rng: &mut Rng, family: u64) -> String {
+    if family == 1 {
+        return gen_array_program(rng);
+    }
+    gen_list_program(rng)
+}
+
+/// Family 0: linked lists, blocked deletes (the original vm-chaos
+/// template).
+fn gen_list_program(rng: &mut Rng) -> String {
     let na = 1 + rng.below(24);
     let nb = 1 + rng.below(24);
     let hold = rng.below(3) == 0; // keep a live ref so deleteregion is blocked
@@ -543,6 +567,57 @@ void main() {{
     )
 }
 
+/// Family 1: struct arrays with bounds-adjacent indexing plus nested
+/// regions — an outer region holding a long-lived array while a loop
+/// creates, fills, and deletes one inner region per iteration.
+fn gen_array_program(rng: &mut Rng) -> String {
+    let n_outer = 2 + rng.below(20);
+    let n_inner = 1 + rng.below(12);
+    let rounds = 1 + rng.below(5);
+    // Sometimes keep the outer array live across the deleteregion so the
+    // blocked path is exercised in the array family too.
+    let hold_outer = rng.below(3) == 0;
+    let outer_tail = if hold_outer {
+        "print(deleteregion(outer));\n    big = null;\n    print(deleteregion(outer));"
+    } else {
+        "big = null;\n    print(deleteregion(outer));"
+    };
+    format!(
+        r#"
+struct cell {{ int v; cell@ peer; }};
+
+int fill(Region r, int n) {{
+    cell@ arr = rarrayalloc(r, n, cell);
+    int i = 0;
+    while (i < n) {{
+        arr[i].v = i + 1;
+        i = i + 1;
+    }}
+    int edges = arr[0].v + arr[n - 1].v;
+    arr = null;
+    return edges;
+}}
+
+void main() {{
+    Region outer = newregion();
+    cell@ big = rarrayalloc(outer, {n_outer}, cell);
+    big[0].v = 100;
+    big[{n_outer} - 1].v = 1;
+    int total = big[0].v + big[{n_outer} - 1].v;
+    int k = 0;
+    while (k < {rounds}) {{
+        Region inner = newregion();
+        total = total + fill(inner, {n_inner});
+        print(deleteregion(inner));
+        k = k + 1;
+    }}
+    print(total);
+    {outer_tail}
+}}
+"#
+    )
+}
+
 /// Seeded random C@ programs through the full compiler + VM pipeline
 /// with a [`FaultPlan`] injected into the VM's runtime: whatever the
 /// fault timing, the VM must **trap** (a typed [`cq_lang::VmError`]) or
@@ -555,9 +630,19 @@ fn scenario_vm(seed: u64, ops: u64) -> Tally {
     let mut tally = Tally::default();
     let programs = (ops / 100).max(12);
     let (mut finished, mut trapped) = (0u64, 0u64);
+    let mut family_runs = [0u64; 2];
     for i in 0..programs {
         tally.ops += 1;
-        let source = gen_program(&mut rng);
+        // Programs 0 and 1 pin one template family each so both families
+        // are exercised structurally, not by a bet on the dice.
+        let family = match i {
+            0 => 0,
+            1 => 1,
+            _ => rng.below(2),
+        };
+        family_runs[family as usize] += 1;
+        tally.digest = fold(tally.digest, 30 + family);
+        let source = gen_program(&mut rng, family);
         let program = cq_lang::compile(&source)
             .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
         let mut vm = cq_lang::Vm::new(program, SafetyMode::Safe);
@@ -617,9 +702,254 @@ fn scenario_vm(seed: u64, ops: u64) -> Tally {
     }
     assert!(finished > 0, "no generated program ever finished");
     assert!(trapped > 0, "no generated program ever trapped");
+    assert!(
+        family_runs.iter().all(|&n| n > 0),
+        "a template family was never generated: {family_runs:?}"
+    );
     tally
 }
 
+/// The marker every injected par-chaos panic message carries; the
+/// supervisor asserts it on every contained panic (anything else would
+/// be a pool-API panic escaping through the worker), and the panic hook
+/// installed in `main` silences exactly these.
+const PAR_PANIC_MARKER: &str = "par-chaos injected panic";
+
+/// Shared reference cells per round.
+const PAR_CELLS: usize = 24;
+/// Regions the main thread creates and shares with every worker.
+const PAR_SHARED: usize = 8;
+/// Supervised worker jobs per round: 3 soft panickers (die on attempt 0,
+/// succeed on retry), 1 hard panicker (dies every attempt), 2 clean.
+const PAR_JOBS: usize = 6;
+/// Pool operations per worker attempt.
+const PAR_JOB_OPS: u64 = 40;
+
+/// Supervised `ParRegionPool` workers panic mid-schedule while holding
+/// published [`RefCell32`] references, leaked RAII handles, and
+/// unbalanced raw retains. Invariants, asserted every round:
+///
+/// * **trap, not panic, at the pool API** — every contained panic is one
+///   of ours (it carries [`PAR_PANIC_MARKER`]); the pool itself never
+///   panics under the supervisor;
+/// * **audit-clean after every fault** — [`ParRegionPool::audit`]
+///   balances the books right after the crashed workers settle, and
+///   again after reclamation;
+/// * **no silent leak** — after the main thread clears the cells, every
+///   region is either deleted or explicitly reported
+///   [`ParRegionError::BlockedByOrphans`] (quarantined), and one
+///   [`reap_orphans`] pass reclaims every quarantined region;
+/// * **determinism** — the digest folds only schedule-independent facts
+///   (per-job op digests, outcome kinds and attempt counts, stranded
+///   totals after the cells are cleared, quarantine/reap counts), so the
+///   same seed reproduces it bit-identically.
+///
+/// [`ParRegionPool::audit`]: region_core::par::ParRegionPool::audit
+/// [`reap_orphans`]: region_core::par::ParRegionPool::reap_orphans
+/// [`RefCell32`]: region_core::par::RefCell32
+fn scenario_par(seed: u64, ops: u64) -> Tally {
+    use region_core::par::{ParRef, ParRegionId, ParRegionPool, RefCell32};
+    use std::sync::Arc;
+
+    let mut tally = Tally::default();
+    let rounds = (ops / 60).max(3);
+    let cfg = SuperviseConfig {
+        workers: PAR_JOBS,
+        deadline: Some(std::time::Duration::from_secs(60)),
+        max_attempts: 2,
+        backoff: std::time::Duration::from_millis(1),
+        retry_timeouts: false,
+    };
+    for round in 0..rounds {
+        let pool = ParRegionPool::new();
+        let cells: Vec<Arc<RefCell32>> = (0..PAR_CELLS).map(|_| pool.register_cell()).collect();
+        let mut main = pool.register_thread();
+        let shared: Vec<ParRegionId> = (0..PAR_SHARED).map(|_| main.create_region()).collect();
+
+        let mut jobs: Vec<Box<dyn Fn(u32) -> u64 + Send + Sync>> = Vec::new();
+        for w in 0..PAR_JOBS {
+            let pool = pool.clone();
+            let cells = cells.clone();
+            let shared = shared.clone();
+            let job_seed = seed ^ fold(round, w as u64 + 100);
+            let (soft, hard) = (w <= 2, w == 3);
+            jobs.push(Box::new(move |attempt: u32| {
+                // Retries get their own stream: a retried schedule need
+                // not mirror the crashed one, only be deterministic.
+                let mut rng = Rng::seeded(job_seed ^ (u64::from(attempt) << 32));
+                // Late registration: the shared regions (and possibly
+                // orphan residue from this worker's own crashed attempt)
+                // pre-exist this thread.
+                let mut t = pool.register_thread();
+                let mut digest = 0u64;
+                let mut held: Vec<ParRef> = Vec::new();
+                let mut raw_held: Vec<ParRegionId> = Vec::new();
+                let mut own: Vec<ParRegionId> = Vec::new();
+                // Drawn unconditionally so every role consumes the same
+                // stream prefix regardless of whether it will die.
+                let panic_at = 5 + rng.below(PAR_JOB_OPS - 10);
+                for op in 0..PAR_JOB_OPS {
+                    if op == panic_at && (hard || (soft && attempt == 0)) {
+                        // Die mid-schedule holding live state: leak one
+                        // handle outright (only the settle can release
+                        // it); the rest unwind through ParRef::drop and
+                        // ParThread::drop inside catch_unwind.
+                        if let Some(h) = held.pop() {
+                            std::mem::forget(h);
+                        }
+                        panic!(
+                            "{PAR_PANIC_MARKER} (round {round} worker {w} attempt {attempt})"
+                        );
+                    }
+                    match rng.below(10) {
+                        // A private region, kept alive by an RAII handle.
+                        0 => {
+                            if own.len() < 4 {
+                                let r = t.create_region();
+                                held.push(t.acquire(r));
+                                own.push(r);
+                                digest = fold(digest, 41);
+                            }
+                        }
+                        // Owned reference to a shared region.
+                        1..=2 => {
+                            let i = rng.below(PAR_SHARED as u64) as usize;
+                            if held.len() >= 8 {
+                                held.remove(0);
+                            }
+                            held.push(t.acquire(shared[i]));
+                            digest = fold(fold(digest, 42), i as u64);
+                        }
+                        // Raw retain — the reference the pool cannot see.
+                        // Mostly kept unbalanced: if this worker dies,
+                        // these become the orphaned counts that force
+                        // quarantine.
+                        3..=4 => {
+                            let i = rng.below(PAR_SHARED as u64) as usize;
+                            t.retain(shared[i]);
+                            if rng.below(4) == 0 {
+                                t.release(shared[i]);
+                                digest = fold(fold(digest, 43), i as u64);
+                            } else {
+                                raw_held.push(shared[i]);
+                                digest = fold(fold(digest, 44), i as u64);
+                            }
+                        }
+                        // Atomic-exchange publish/clear on a shared cell.
+                        _ => {
+                            let c = rng.below(PAR_CELLS as u64) as usize;
+                            let target = if rng.below(4) != 0 {
+                                Some(shared[rng.below(PAR_SHARED as u64) as usize])
+                            } else {
+                                None
+                            };
+                            t.exchange_ref(&cells[c], target);
+                            digest = fold(fold(digest, 45), c as u64);
+                        }
+                    }
+                }
+                // Clean exit: balance every raw reference, drop the RAII
+                // handles, delete the private regions. Residual exchange
+                // counts settle into the orphan ledger when `t` drops —
+                // that fold must leave every sum exactly as it was.
+                for r in raw_held.drain(..) {
+                    t.release(r);
+                }
+                drop(held);
+                for r in own.drain(..) {
+                    assert!(pool.try_delete(r), "private region must delete cleanly");
+                }
+                digest
+            }));
+        }
+
+        let reports = supervise(jobs, &cfg);
+        let mut round_panics = 0u64;
+        for rep in &reports {
+            match &rep.outcome {
+                JobOutcome::Completed(d) => {
+                    // attempts − 1 contained panics preceded the success.
+                    round_panics += u64::from(rep.attempts - 1);
+                    tally.digest =
+                        fold(fold(fold(tally.digest, 1), u64::from(rep.attempts)), *d);
+                }
+                JobOutcome::Panicked(msg) => {
+                    assert!(
+                        msg.contains(PAR_PANIC_MARKER),
+                        "a pool-API panic escaped through worker {}: {msg}",
+                        rep.job
+                    );
+                    round_panics += u64::from(rep.attempts);
+                    tally.digest = fold(fold(tally.digest, 2), u64::from(rep.attempts));
+                }
+                JobOutcome::TimedOut(d) => {
+                    panic!("par-chaos worker {} wedged ({d:?}) — the pool blocked it", rep.job)
+                }
+            }
+        }
+        tally.worker_panics += round_panics;
+
+        // Audit right after the crashed workers settled, before cleanup.
+        let audit = pool.audit();
+        tally.sanitize_runs += 1;
+        assert!(audit.is_clean(), "round {round}: audit dirty after faults: {audit}");
+        tally.digest = fold(tally.digest, audit.regions_audited);
+        tally.digest = fold(tally.digest, audit.threads_audited);
+        tally.digest = fold(tally.digest, audit.cells_audited);
+
+        // The main thread clears every published reference; what remains
+        // on each shared region is exactly the raw references stranded by
+        // dead workers — a schedule-independent number.
+        for c in &cells {
+            main.exchange_ref(c, None);
+        }
+        for (i, &r) in shared.iter().enumerate() {
+            tally.digest = fold(fold(tally.digest, i as u64), pool.global_count(r) as u64);
+        }
+
+        // Every region now deletes or is *explicitly* quarantined.
+        let mut quarantined = 0u64;
+        for r in pool.live_regions() {
+            match pool.try_delete_checked(r) {
+                Ok(()) => {}
+                Err(e @ ParRegionError::BlockedByOrphans { .. }) => {
+                    quarantined += 1;
+                    tally.blocked_deletes += 1;
+                    tally.digest = fold(tally.digest, 46);
+                    assert!(pool.is_quarantined(r), "orphan-blocked region not quarantined: {e}");
+                }
+                Err(e) => panic!("round {round}: delete of {r:?} failed unexpectedly: {e}"),
+            }
+        }
+        tally.quarantined += quarantined;
+        tally.digest = fold(fold(tally.digest, 47), quarantined);
+
+        // One reap pass reclaims everything: nothing is held, published,
+        // or positively counted by a live thread any more.
+        let reap = pool.reap_orphans();
+        assert!(
+            reap.is_fully_reclaimed(),
+            "round {round}: regions left quarantined: {reap}"
+        );
+        assert_eq!(reap.reaped.len() as u64, quarantined, "reap must account for every quarantine");
+        tally.reaped += reap.reaped.len() as u64;
+        for rr in &reap.reaped {
+            // orphan + live residue = the stranded total (deterministic);
+            // the two components on their own are interleaving-dependent.
+            tally.digest =
+                fold(tally.digest, (rr.orphan_count + rr.live_residue) as u64);
+        }
+
+        let audit = pool.audit();
+        tally.sanitize_runs += 1;
+        assert!(audit.is_clean(), "round {round}: audit dirty after reap: {audit}");
+        assert!(pool.live_regions().is_empty(), "round {round}: regions leaked");
+        tally.ops += PAR_JOBS as u64 * PAR_JOB_OPS;
+    }
+    tally
+}
+
+#[derive(Default)]
 struct RunSummary {
     digest: u64,
     ops: u64,
@@ -631,33 +961,39 @@ struct RunSummary {
     blocked_deletes: u64,
     double_deletes: u64,
     sanitize_runs: u64,
+    worker_panics: u64,
+    quarantined: u64,
+    reaped: u64,
+    scenarios_run: u64,
 }
 
-fn run_all(seed: u64, ops: u64) -> RunSummary {
+/// Scenario names accepted by `--scenario`, in run order.
+const SCENARIO_NAMES: [&str; 5] =
+    ["alloc-faults", "sbrk-squeeze", "oom", "vm-chaos", "par-chaos"];
+
+fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
     let scenarios = [
         ("alloc-faults", scenario_alloc_faults as fn(u64, u64) -> Tally, ops),
         ("sbrk-squeeze", scenario_sbrk_squeeze as fn(u64, u64) -> Tally, ops / 2),
         ("oom", scenario_oom as fn(u64, u64) -> Tally, ops / 2),
         ("vm-chaos", scenario_vm as fn(u64, u64) -> Tally, ops / 2),
+        ("par-chaos", scenario_par as fn(u64, u64) -> Tally, ops / 2),
     ];
+    debug_assert!(
+        scenarios.iter().map(|(name, _, _)| *name).eq(SCENARIO_NAMES),
+        "SCENARIO_NAMES is out of sync with the scenario table"
+    );
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
-    let mut sum = RunSummary {
-        digest: 0,
-        ops: 0,
-        faults: 0,
-        alloc_faults: 0,
-        page_faults: 0,
-        sbrk_faults: 0,
-        oom: 0,
-        blocked_deletes: 0,
-        double_deletes: 0,
-        sanitize_runs: 0,
-    };
+    let mut sum = RunSummary::default();
     for (name, f, n) in scenarios {
+        if only.is_some_and(|o| o != name) {
+            continue;
+        }
         let t = f(seed, n);
         println!(
             "  {name:<13} ops {:>6}  faults {:>4} (alloc {} page {} sbrk {} oom {})  \
-             blocked deletes {}  double deletes {}  sanitize runs {}  digest {:016x}",
+             blocked deletes {}  double deletes {}  worker panics {}  \
+             quarantined {}  reaped {}  sanitize runs {}  digest {:016x}",
             t.ops,
             t.faults(),
             t.alloc_faults,
@@ -666,6 +1002,9 @@ fn run_all(seed: u64, ops: u64) -> RunSummary {
             t.oom,
             t.blocked_deletes,
             t.double_deletes,
+            t.worker_panics,
+            t.quarantined,
+            t.reaped,
             t.sanitize_runs,
             t.digest
         );
@@ -679,9 +1018,31 @@ fn run_all(seed: u64, ops: u64) -> RunSummary {
         sum.blocked_deletes += t.blocked_deletes;
         sum.double_deletes += t.double_deletes;
         sum.sanitize_runs += t.sanitize_runs;
+        sum.worker_panics += t.worker_panics;
+        sum.quarantined += t.quarantined;
+        sum.reaped += t.reaped;
+        sum.scenarios_run += 1;
     }
     sum.digest = digest;
     sum
+}
+
+/// Silences the panic output of the *intentional* par-chaos worker
+/// panics (hundreds per soak would drown the log); every other panic
+/// still reports through the previous hook.
+fn install_panic_filter() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<String>()
+            .map(|s| s.contains(PAR_PANIC_MARKER))
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.contains(PAR_PANIC_MARKER)))
+            .unwrap_or(false);
+        if !injected {
+            prev(info);
+        }
+    }));
 }
 
 fn main() {
@@ -695,26 +1056,69 @@ fn main() {
     };
     let seed = flag("--seed").unwrap_or(0xC4A05);
     let ops = flag("--ops").unwrap_or(if quick { 1500 } else { 6000 });
+    let only = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    if let Some(o) = only {
+        if !SCENARIO_NAMES.contains(&o) {
+            eprintln!("chaos: unknown scenario {o:?}; known: {SCENARIO_NAMES:?}");
+            std::process::exit(2);
+        }
+    }
+    install_panic_filter();
 
-    println!("chaos soak: seed {seed}, {ops} ops/scenario (×2 for the determinism re-run)");
+    match only {
+        Some(o) => println!(
+            "chaos soak: seed {seed}, {ops} ops, scenario {o} (×2 for the determinism re-run)"
+        ),
+        None => println!("chaos soak: seed {seed}, {ops} ops/scenario (×2 for the determinism re-run)"),
+    }
     println!("run 1:");
-    let a = run_all(seed, ops);
+    let a = run_all(seed, ops, only);
     println!("run 2:");
-    let b = run_all(seed, ops);
+    let b = run_all(seed, ops, only);
 
+    assert!(a.scenarios_run > 0, "no scenario ran");
     assert_eq!(a.digest, b.digest, "same-seed re-run diverged");
     assert_eq!(a.faults, b.faults);
-    assert!(a.faults >= if quick { 25 } else { 100 }, "too few faults: {}", a.faults);
-    assert!(a.alloc_faults > 0, "no allocation faults injected");
-    assert!(a.page_faults > 0, "no page-acquisition faults injected");
-    assert!(a.sbrk_faults > 0, "no sbrk faults injected");
-    assert!(a.oom > 0, "no simulated OOM hit");
-    assert!(a.blocked_deletes > 0, "no delete was ever blocked");
-    assert!(a.double_deletes > 0, "double-delete path never exercised");
-    assert!(a.ops >= if quick { 3000 } else { 12_000 });
+    assert_eq!(a.worker_panics, b.worker_panics);
+    let ran = |name: &str| only.is_none_or(|o| o == name);
+    if ran("alloc-faults") {
+        assert!(a.alloc_faults > 0, "no allocation faults injected");
+        assert!(a.page_faults > 0, "no page-acquisition faults injected");
+    }
+    if ran("sbrk-squeeze") {
+        assert!(a.sbrk_faults > 0, "no sbrk faults injected");
+    }
+    if ran("oom") {
+        assert!(a.oom > 0, "no simulated OOM hit");
+    }
+    if only.is_none() {
+        assert!(a.faults >= if quick { 25 } else { 100 }, "too few faults: {}", a.faults);
+        assert!(a.blocked_deletes > 0, "no delete was ever blocked");
+        assert!(a.double_deletes > 0, "double-delete path never exercised");
+        assert!(a.ops >= if quick { 3000 } else { 12_000 });
+    }
+    if ran("par-chaos") {
+        // The acceptance floor: a full soak injects ≥ 200 worker panics,
+        // every one contained (the Panicked-marker assert in the
+        // scenario), every round audit-clean with explicit reclamation.
+        let floor = if quick { 40 } else { 200 };
+        assert!(
+            a.worker_panics >= floor,
+            "too few injected worker panics: {} < {floor}",
+            a.worker_panics
+        );
+        assert!(a.quarantined > 0, "no region was ever quarantined");
+        assert!(a.reaped > 0, "the reaper never reclaimed a region");
+        assert_eq!(a.quarantined, a.reaped, "every quarantined region must be reaped");
+    }
 
     println!(
         "OK: {} ops, {} faults (alloc {} page {} sbrk {} oom {}), {} blocked deletes, \
+         {} worker panics contained, {} quarantined / {} reaped, \
          {} sanitize audits, digest {:016x} (bit-identical re-run)",
         a.ops,
         a.faults,
@@ -723,6 +1127,9 @@ fn main() {
         a.sbrk_faults,
         a.oom,
         a.blocked_deletes,
+        a.worker_panics,
+        a.quarantined,
+        a.reaped,
         a.sanitize_runs,
         a.digest
     );

@@ -11,17 +11,19 @@
 //! matter how the schedule interleaved.
 //!
 //! The run is timed at one worker and at `BENCH_WORKERS` (default: the
-//! machine) workers, and writes a schema-v2 results envelope to
+//! machine) workers, and writes a schema-v3 results envelope (which
+//! records the worker count alongside the rows) to
 //! `results/par_regions.json`. The checksum folds only
 //! schedule-independent facts (regions created, operations performed,
-//! final liveness and final global counts), so for a fixed worker count
-//! it is identical across runs no matter how the threads interleaved:
-//! an interleaving-dependent digest would make the row useless as a
-//! regression anchor.
+//! final liveness, final global counts, and the pool auditor's
+//! counters), so for a fixed worker count it is identical across runs
+//! no matter how the threads interleaved: an interleaving-dependent
+//! digest would make the row useless as a regression anchor.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use bench_harness::runner::{scale_from_env, write_results_json, Measurement};
+use bench_harness::runner::{bench_workers, scale_from_env, write_results_json, Measurement};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use region_core::par::{ParRegionPool, RefCell32};
@@ -49,7 +51,9 @@ struct RunResult {
 /// schedule-independent postcondition.
 fn run(workers: usize, scale: u32) -> RunResult {
     let pool = ParRegionPool::new();
-    let cells: Vec<RefCell32> = (0..CELLS).map(|_| RefCell32::new()).collect();
+    // Registering the cells lets `pool.audit()` recompute the published
+    // side of the books after the run.
+    let cells: Vec<Arc<RefCell32>> = (0..CELLS).map(|_| pool.register_cell()).collect();
     let ops_per_worker = OPS_PER_SCALE * u64::from(scale);
 
     let t = Instant::now();
@@ -93,6 +97,12 @@ fn run(workers: usize, scale: u32) -> RunResult {
         main_thread.exchange_ref(cell, None);
     }
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    // The books must balance before any deletion: counted == recomputed
+    // for every region, no dead-thread residue, no dangling cells.
+    let audit = pool.audit();
+    assert!(audit.is_clean(), "pre-delete audit failed:\n{audit}");
+    digest = fnv(digest, audit.regions_audited as u64);
+    digest = fnv(digest, audit.cells_audited as u64);
     for &r in &regions {
         let count = pool.global_count(r);
         assert_eq!(count, 0, "unbalanced local counts for {r:?}");
@@ -101,6 +111,11 @@ fn run(workers: usize, scale: u32) -> RunResult {
         digest = fnv(digest, count as u64);
         digest = fnv(digest, u64::from(!pool.is_live(r)));
     }
+    // And they must still balance after every region is gone.
+    let audit = pool.audit();
+    assert!(audit.is_clean(), "post-delete audit failed:\n{audit}");
+    assert_eq!(audit.quarantined, 0, "a clean run must quarantine nothing");
+    digest = fnv(digest, audit.quarantined as u64);
     let elapsed = t.elapsed();
     let regions = regions.len() as u64;
     let ops = ops_per_worker * workers as u64;
@@ -129,10 +144,7 @@ fn measurement(label: &'static str, m: &RunResult) -> Measurement {
 
 fn main() {
     let scale = scale_from_env();
-    let workers = match std::env::var("BENCH_WORKERS").ok().and_then(|w| w.parse().ok()) {
-        Some(w) if w >= 1 => w,
-        _ => std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get),
-    };
+    let workers = bench_workers();
 
     println!("Parallel regions: exchange-published references, scale {scale}");
     let serial = run(1, scale);
@@ -152,7 +164,10 @@ fn main() {
             r.elapsed.as_secs_f64() * 1e3,
         );
     }
-    println!("  digest {:016x}; every region deleted with a zero count sum", par.digest);
+    println!(
+        "  digest {:016x}; every region deleted with a zero count sum, audit clean",
+        par.digest
+    );
 
     let rows = [measurement("par1", &serial), measurement("parN", &par)];
     match write_results_json("par_regions", &rows) {

@@ -22,10 +22,12 @@ pub mod diff;
 pub mod golden;
 pub mod results;
 pub mod runner;
+pub mod supervise;
 
 pub use diff::changed_lines;
 pub use runner::{
-    measure_malloc, measure_region, measure_region_slow, results_json, run_matrix,
-    run_matrix_checked, run_matrix_with, scale_from_env, write_results_json, Job, Measurement,
-    RESULTS_SCHEMA_VERSION,
+    bench_workers, host_cores, measure_malloc, measure_region, measure_region_slow, results_json,
+    run_matrix, run_matrix_checked, run_matrix_with, scale_from_env, write_results_json, Job,
+    Measurement, RESULTS_SCHEMA_VERSION,
 };
+pub use supervise::{supervise, JobOutcome, SuperviseConfig, WorkerReport};

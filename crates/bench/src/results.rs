@@ -232,38 +232,88 @@ const EXACT_FIELDS: &[&str] = &[
 /// (or ignored entirely with `ignore_time`).
 const TIME_FIELDS: &[&str] = &["total_ms", "mem_ms"];
 
+/// Outcome of a document comparison, split by severity.
+///
+/// `errors` gate a CI run; `warnings` are advisory context. The split
+/// exists for multi-core reruns: wall-clock fields are only comparable
+/// between documents produced with the same `workers` fan-out, so time
+/// drift between documents that *disagree* on `workers` is degraded to a
+/// warning (schema v3; the deterministic counters stay hard errors —
+/// they are worker-count-independent by construction).
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Differences that must fail the gate.
+    pub errors: Vec<String>,
+    /// Advisory differences (e.g. time drift across unequal `workers`).
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when nothing gates: the documents agree on everything that
+    /// is comparable.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
 /// Compares two parsed results documents. `tolerance_pct` bounds the
 /// allowed relative regression of time fields (e.g. `25.0` = new may be
-/// up to 25 % slower *or faster* than old). Returns every difference
-/// found; an empty vector means the documents agree.
+/// up to 25 % slower *or faster* than old). Returns every **gating**
+/// difference found; an empty vector means the documents agree (there
+/// may still be advisory warnings — use [`compare_docs_full`] to see
+/// them).
 pub fn compare_docs(
     old: &Json,
     new: &Json,
     tolerance_pct: f64,
     ignore_time: bool,
 ) -> Vec<String> {
-    let mut diffs = Vec::new();
+    compare_docs_full(old, new, tolerance_pct, ignore_time).errors
+}
+
+/// [`compare_docs`] with the full severity split.
+pub fn compare_docs_full(
+    old: &Json,
+    new: &Json,
+    tolerance_pct: f64,
+    ignore_time: bool,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    let diffs = &mut cmp.errors;
     let version = |doc: &Json| doc.get("schema_version").and_then(Json::as_num);
     match (version(old), version(new)) {
         (Some(a), Some(b)) if a == b => {}
         (a, b) => {
             diffs.push(format!("schema_version mismatch: old {a:?}, new {b:?}"));
-            return diffs; // shapes may differ arbitrarily across versions
+            return cmp; // shapes may differ arbitrarily across versions
         }
     }
     if old.get("bench").and_then(Json::as_str) != new.get("bench").and_then(Json::as_str) {
         diffs.push("bench name mismatch".to_string());
     }
+    // Documents produced with different worker fan-outs have incomparable
+    // wall-clock fields: downgrade time drift to warnings.
+    let workers = |doc: &Json| doc.get("workers").and_then(Json::as_num);
+    let workers_differ = match (workers(old), workers(new)) {
+        (Some(a), Some(b)) if a != b => {
+            cmp.warnings.push(format!(
+                "workers differ (old {a}, new {b}): time fields compared advisorily"
+            ));
+            true
+        }
+        _ => false,
+    };
+    let diffs = &mut cmp.errors;
     let (Some(old_rows), Some(new_rows)) = (
         old.get("rows").and_then(Json::as_arr),
         new.get("rows").and_then(Json::as_arr),
     ) else {
         diffs.push("missing rows array".to_string());
-        return diffs;
+        return cmp;
     };
     if old_rows.len() != new_rows.len() {
         diffs.push(format!("row count: old {}, new {}", old_rows.len(), new_rows.len()));
-        return diffs;
+        return cmp;
     }
     for (i, (o, n)) in old_rows.iter().zip(new_rows).enumerate() {
         let label = |row: &Json| {
@@ -274,14 +324,14 @@ pub fn compare_docs(
             )
         };
         if label(o) != label(n) {
-            diffs.push(format!("row {i}: identity changed, {} -> {}", label(o), label(n)));
+            cmp.errors.push(format!("row {i}: identity changed, {} -> {}", label(o), label(n)));
             continue;
         }
         for &field in EXACT_FIELDS {
             match (o.get(field).and_then(Json::as_num), n.get(field).and_then(Json::as_num)) {
                 (Some(a), Some(b)) if a == b => {}
                 (None, None) => {}
-                (a, b) => diffs.push(format!(
+                (a, b) => cmp.errors.push(format!(
                     "row {i} ({}): {field} changed, old {a:?}, new {b:?}",
                     label(o)
                 )),
@@ -299,22 +349,27 @@ pub fn compare_docs(
                     }
                     let rel = (b - a).abs() / a.max(1e-9) * 100.0;
                     if rel > tolerance_pct {
-                        diffs.push(format!(
+                        let diff = format!(
                             "row {i} ({}): {field} moved {rel:.1}% (old {a:.3} ms, new {b:.3} \
                              ms), tolerance {tolerance_pct}%",
                             label(o)
-                        ));
+                        );
+                        if workers_differ {
+                            cmp.warnings.push(diff);
+                        } else {
+                            cmp.errors.push(diff);
+                        }
                     }
                 }
                 (None, None) => {}
-                (a, b) => diffs.push(format!(
+                (a, b) => cmp.errors.push(format!(
                     "row {i} ({}): {field} present in one document only (old {a:?}, new {b:?})",
                     label(o)
                 )),
             }
         }
     }
-    diffs
+    cmp
 }
 
 #[cfg(test)]
@@ -352,7 +407,8 @@ mod tests {
     #[test]
     fn flags_shape_and_perf_regressions() {
         let old = Json::parse(
-            r#"{"schema_version": 2, "bench": "fig8", "commit": "a", "rows": [
+            r#"{"schema_version": 3, "bench": "fig8", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
                 {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
                  "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
         )
@@ -360,7 +416,8 @@ mod tests {
 
         // Same doc, slower but inside tolerance: clean.
         let ok = Json::parse(
-            r#"{"schema_version": 2, "bench": "fig8", "commit": "b", "rows": [
+            r#"{"schema_version": 3, "bench": "fig8", "commit": "b", "workers": 1,
+                "host_cores": 1, "rows": [
                 {"workload": "tile", "allocator": "Lea", "total_ms": 110.0,
                  "mem_ms": 11.0, "os_pages": 7, "checksum": 5}]}"#,
         )
@@ -369,7 +426,8 @@ mod tests {
 
         // 50% slower: flagged, unless time is ignored.
         let slow = Json::parse(
-            r#"{"schema_version": 2, "bench": "fig8", "commit": "c", "rows": [
+            r#"{"schema_version": 3, "bench": "fig8", "commit": "c", "workers": 1,
+                "host_cores": 1, "rows": [
                 {"workload": "tile", "allocator": "Lea", "total_ms": 150.0,
                  "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
         )
@@ -381,7 +439,8 @@ mod tests {
 
         // A changed deterministic counter is always an error.
         let wrong = Json::parse(
-            r#"{"schema_version": 2, "bench": "fig8", "commit": "d", "rows": [
+            r#"{"schema_version": 3, "bench": "fig8", "commit": "d", "workers": 1,
+                "host_cores": 1, "rows": [
                 {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
                  "mem_ms": 10.0, "os_pages": 8, "checksum": 5}]}"#,
         )
@@ -391,5 +450,55 @@ mod tests {
         // Schema version gates everything else.
         let v1 = Json::parse(r#"{"schema_version": 1, "rows": []}"#).unwrap();
         assert!(compare_docs(&old, &v1, 25.0, false)[0].contains("schema_version"));
+    }
+
+    #[test]
+    fn differing_workers_downgrade_time_drift_to_warnings() {
+        let single = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        // A 4-worker rerun: wall clock halves (incomparable), counters equal.
+        let multi = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "b", "workers": 4,
+                "host_cores": 8, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 50.0,
+                 "mem_ms": 5.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&single, &multi, 25.0, false);
+        assert!(cmp.is_ok(), "time drift across workers must not gate: {:?}", cmp.errors);
+        assert!(cmp.warnings.iter().any(|w| w.contains("workers differ")));
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("total_ms moved")),
+            "drift still reported, as a warning: {:?}",
+            cmp.warnings
+        );
+
+        // Same workers, same drift: a hard error as before.
+        let multi_same_workers = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "c", "workers": 1,
+                "host_cores": 8, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 50.0,
+                 "mem_ms": 5.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&single, &multi_same_workers, 25.0, false);
+        assert!(!cmp.is_ok(), "same-workers drift must still gate");
+
+        // A counter change across differing workers is still an error:
+        // simulated counters are worker-count-independent.
+        let multi_wrong = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "d", "workers": 4,
+                "host_cores": 8, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 50.0,
+                 "mem_ms": 5.0, "os_pages": 9, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&single, &multi_wrong, 25.0, false);
+        assert!(cmp.errors.iter().any(|e| e.contains("os_pages")));
     }
 }

@@ -1,13 +1,13 @@
 //! Workload execution and measurement shared by every table/figure
 //! binary.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cache_sim::{MemStats, MemorySystem};
 use region_core::{AllocStats, SafetyCosts};
 use workloads::{MallocEnv, MallocKind, RegionEnv, RegionKind, Workload};
+
+use crate::supervise::{supervise, JobOutcome, SuperviseConfig};
 
 /// Workload scale, from the `SCALE` environment variable (default 2).
 /// Passing `--quick` to a benchmark binary forces scale 1 (CI smoke
@@ -192,11 +192,24 @@ impl Job {
 /// returned **in matrix order** regardless of completion order, so
 /// output stays deterministic.
 pub fn run_matrix(jobs: &[Job], scale: u32, traced: bool) -> Vec<Measurement> {
-    let workers = match std::env::var("BENCH_WORKERS").ok().and_then(|w| w.parse().ok()) {
+    run_matrix_with(jobs, scale, traced, bench_workers())
+}
+
+/// The worker count benches fan across: `BENCH_WORKERS` if set (min 1),
+/// else the machine's available parallelism. Recorded in every
+/// `results/*.json` envelope so multi-core reruns are comparable with
+/// single-core baselines.
+pub fn bench_workers() -> usize {
+    match std::env::var("BENCH_WORKERS").ok().and_then(|w| w.parse().ok()) {
         Some(w) if w >= 1 => w,
-        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-    };
-    run_matrix_with(jobs, scale, traced, workers)
+        _ => host_cores(),
+    }
+}
+
+/// The machine's detected core count (available parallelism), 1 if
+/// undetectable.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// [`run_matrix`] with an explicit worker count (normally taken from the
@@ -222,62 +235,39 @@ pub fn run_matrix_with(jobs: &[Job], scale: u32, traced: bool, workers: usize) -
 }
 
 /// [`run_matrix_with`], but a cell that panics yields `Err(message)` in
-/// its slot instead of taking down the matrix: each job runs under
-/// `catch_unwind`, a poisoned slot lock is ignored (every slot has
-/// exactly one writer), and the other workers keep draining the cursor.
-/// The chaos harness uses this to assert that an injected fault degrades
-/// one measurement, not the run.
+/// its slot instead of taking down the matrix. A thin wrapper over
+/// [`supervise`] (single attempt, no deadline): each job runs under
+/// `catch_unwind` and the other workers keep draining the cursor. The
+/// chaos harness uses this to assert that an injected fault degrades one
+/// measurement, not the run.
 pub fn run_matrix_checked(
     jobs: &[Job],
     scale: u32,
     traced: bool,
     workers: usize,
 ) -> Vec<Result<Measurement, String>> {
-    let run_one = |job: &Job| {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(scale, traced)))
-            .map_err(panic_message)
-    };
-    let workers = workers.min(jobs.len().max(1));
-    if workers <= 1 {
-        return jobs.iter().map(run_one).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<Measurement, String>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let m = run_one(job);
-                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(m);
-            });
-        }
-    });
-    slots
+    let cfg = SuperviseConfig { workers, ..SuperviseConfig::default() };
+    let closures: Vec<_> = jobs
+        .iter()
+        .map(|&job| move |_attempt: u32| job.run(scale, traced))
+        .collect();
+    supervise(closures, &cfg)
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every matrix cell ran")
+        .map(|r| match r.outcome {
+            JobOutcome::Completed(m) => Ok(m),
+            JobOutcome::Panicked(msg) => Err(msg),
+            JobOutcome::TimedOut(d) => Err(format!("timed out after {d:?}")),
         })
         .collect()
-}
-
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panicked with a non-string payload".to_string()
-    }
 }
 
 /// The version stamped into every `results/*.json` document. Bump it
 /// whenever the shape of [`results_json`] changes; `compare_results`
 /// refuses to diff documents with mismatched versions.
-pub const RESULTS_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `workers` and `host_cores` to the envelope so multi-core
+/// reruns are comparable with single-core baselines.
+pub const RESULTS_SCHEMA_VERSION: u64 = 3;
 
 /// Serializes measurements as a versioned JSON document and writes them
 /// to `results/<name>.json` (creating the directory), returning the
@@ -308,14 +298,20 @@ fn commit_id() -> String {
     }
 }
 
-/// The JSON document written by [`write_results_json`]: a schema-v2
-/// envelope (`schema_version`, `bench`, `commit`) wrapping the row
-/// array.
+/// The JSON document written by [`write_results_json`]: a schema-v3
+/// envelope (`schema_version`, `bench`, `commit`, `workers`,
+/// `host_cores`) wrapping the row array. Deterministic counters are
+/// worker-count-independent (each cell owns its `SimHeap`); wall-clock
+/// fields are not, which is why the envelope records how wide the run
+/// fanned out — `compare_results` downgrades time drift to a warning
+/// when the two documents disagree on `workers`.
 pub fn results_json(name: &str, rows: &[Measurement]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION},\n"));
     out.push_str(&format!("\"bench\": \"{name}\",\n"));
     out.push_str(&format!("\"commit\": \"{}\",\n", commit_id()));
+    out.push_str(&format!("\"workers\": {},\n", bench_workers()));
+    out.push_str(&format!("\"host_cores\": {},\n", host_cores()));
     out.push_str("\"rows\": [\n");
     for (i, m) in rows.iter().enumerate() {
         let s = &m.stats;
@@ -357,6 +353,7 @@ pub fn pages_kb(pages: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervise::panic_message;
 
     #[test]
     fn malloc_and_region_measurements_agree_on_checksum() {
@@ -410,6 +407,8 @@ mod tests {
         assert!(json.contains(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION}")));
         assert!(json.contains("\"bench\": \"smoke\""));
         assert!(json.contains("\"commit\": \""));
+        assert!(json.contains("\"workers\": "));
+        assert!(json.contains("\"host_cores\": "));
         assert!(json.contains("\"rows\": [\n"));
         assert!(json.contains("\"workload\": \"cfrac\""));
         assert!(json.contains("\"safety_instrs\""));
@@ -442,9 +441,9 @@ mod tests {
         // Panic payloads of both common shapes decode to their message;
         // anything else degrades to a placeholder instead of panicking
         // again inside the matrix.
-        assert_eq!(super::panic_message(Box::new("boom")), "boom");
-        assert_eq!(super::panic_message(Box::new(String::from("kaboom"))), "kaboom");
-        assert!(super::panic_message(Box::new(17u32)).contains("non-string"));
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("kaboom"))), "kaboom");
+        assert!(panic_message(Box::new(17u32)).contains("non-string"));
     }
 
     #[test]

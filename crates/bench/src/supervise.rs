@@ -1,0 +1,308 @@
+//! Supervised job execution: `catch_unwind` containment, per-job
+//! deadlines, and bounded deterministic retry.
+//!
+//! [`supervise`] generalizes what `run_matrix_checked` did for benchmark
+//! cells to arbitrary jobs: every job runs under
+//! [`std::panic::catch_unwind`], optionally on a watchdog deadline, and
+//! is retried a bounded number of times with a deterministic linear
+//! backoff. The caller gets a structured [`WorkerReport`] per job —
+//! completed, panicked (with the decoded message), or timed out — in
+//! job order, regardless of completion order.
+//!
+//! The chaos harness (`chaos --scenario par-chaos`) uses this to drive
+//! `ParRegionPool` workers that are *expected* to crash: supervision
+//! guarantees the faults are contained and reported, and the retry path
+//! exercises re-registration against a pool carrying orphaned counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// How [`supervise`] runs a batch of jobs.
+#[derive(Clone, Debug)]
+pub struct SuperviseConfig {
+    /// Concurrent worker threads draining the job queue (min 1).
+    pub workers: usize,
+    /// Watchdog deadline per *attempt*. `None` runs attempts inline on
+    /// the worker; `Some(d)` runs each attempt on its own watchdog
+    /// thread and abandons it after `d` (the thread is detached — a
+    /// stuck attempt leaks rather than wedging supervision).
+    pub deadline: Option<Duration>,
+    /// Maximum attempts per job (min 1). A job that panics on its last
+    /// attempt is reported [`JobOutcome::Panicked`].
+    pub max_attempts: u32,
+    /// Base of the deterministic linear backoff: attempt `n` (1-based
+    /// retry) is preceded by a sleep of `backoff * n`.
+    pub backoff: Duration,
+    /// Whether a timed-out attempt is retried like a panicked one.
+    /// Defaults to `false`: a deadline miss usually means the job is
+    /// stuck, and rerunning it doubles the leaked watchdog threads.
+    pub retry_timeouts: bool,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> SuperviseConfig {
+        SuperviseConfig {
+            workers: 1,
+            deadline: None,
+            max_attempts: 1,
+            backoff: Duration::from_millis(1),
+            retry_timeouts: false,
+        }
+    }
+}
+
+/// Terminal outcome of one supervised job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome<T> {
+    /// The job returned normally; the value is its result.
+    Completed(T),
+    /// The final attempt panicked; the payload is the decoded panic
+    /// message.
+    Panicked(String),
+    /// The final attempt exceeded the deadline and was abandoned.
+    TimedOut(Duration),
+}
+
+impl<T> JobOutcome<T> {
+    /// `true` for [`JobOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// What happened to one job under [`supervise`].
+#[derive(Clone, Debug)]
+pub struct WorkerReport<T> {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Attempts consumed (1 = first try succeeded or was terminal).
+    pub attempts: u32,
+    /// Terminal outcome of the last attempt.
+    pub outcome: JobOutcome<T>,
+}
+
+/// Decodes a `catch_unwind` payload into the panic message. The two
+/// shapes `panic!` produces (`&str`, `String`) decode exactly; anything
+/// else degrades to a placeholder instead of panicking again inside the
+/// supervisor.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// One attempt's result, before retry policy is applied.
+enum Attempt<T> {
+    Done(T),
+    Panic(String),
+    Timeout(Duration),
+}
+
+fn run_attempt<T, F>(jobs: &Arc<Vec<F>>, job: usize, attempt: u32, deadline: Option<Duration>) -> Attempt<T>
+where
+    F: Fn(u32) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    match deadline {
+        None => match catch_unwind(AssertUnwindSafe(|| jobs[job](attempt))) {
+            Ok(v) => Attempt::Done(v),
+            Err(p) => Attempt::Panic(panic_message(p)),
+        },
+        Some(d) => {
+            // Watchdog: the attempt runs on a detached thread so a stuck
+            // job can be abandoned (std::thread::scope would join — and
+            // hang — on it). The channel send after abandonment fails
+            // harmlessly.
+            let (tx, rx) = mpsc::channel();
+            let jobs = Arc::clone(jobs);
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| jobs[job](attempt)))
+                    .map_err(panic_message);
+                let _ = tx.send(result);
+            });
+            match rx.recv_timeout(d) {
+                Ok(Ok(v)) => Attempt::Done(v),
+                Ok(Err(msg)) => Attempt::Panic(msg),
+                Err(_) => Attempt::Timeout(d),
+            }
+        }
+    }
+}
+
+fn run_job<T, F>(jobs: &Arc<Vec<F>>, job: usize, cfg: &SuperviseConfig) -> WorkerReport<T>
+where
+    F: Fn(u32) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let max_attempts = cfg.max_attempts.max(1);
+    let mut attempt = 0;
+    loop {
+        if attempt > 0 {
+            // Deterministic linear backoff before each retry.
+            std::thread::sleep(cfg.backoff.saturating_mul(attempt));
+        }
+        let outcome = match run_attempt(jobs, job, attempt, cfg.deadline) {
+            Attempt::Done(v) => JobOutcome::Completed(v),
+            Attempt::Panic(msg) => JobOutcome::Panicked(msg),
+            Attempt::Timeout(d) => JobOutcome::TimedOut(d),
+        };
+        let retryable = match &outcome {
+            JobOutcome::Completed(_) => false,
+            JobOutcome::Panicked(_) => true,
+            JobOutcome::TimedOut(_) => cfg.retry_timeouts,
+        };
+        attempt += 1;
+        if !retryable || attempt >= max_attempts {
+            return WorkerReport { job, attempts: attempt, outcome };
+        }
+    }
+}
+
+/// Runs every job under supervision and returns one [`WorkerReport`]
+/// per job, **in job order**.
+///
+/// Each job is a closure receiving its attempt index (0 on the first
+/// try), so a job can behave differently on retry — the chaos harness
+/// injects "panic on attempt 0 only" faults this way. Workers pull jobs
+/// from a shared cursor; a panicked or abandoned job costs that job,
+/// never the batch.
+pub fn supervise<T, F>(jobs: Vec<F>, cfg: &SuperviseConfig) -> Vec<WorkerReport<T>>
+where
+    F: Fn(u32) -> T + Send + Sync + 'static,
+    T: Send + 'static,
+{
+    let n = jobs.len();
+    let jobs = Arc::new(jobs);
+    let workers = cfg.workers.max(1).min(n.max(1));
+    if workers <= 1 && cfg.deadline.is_none() {
+        // Inline fast path: no worker threads on a serial machine.
+        return (0..n).map(|i| run_job(&jobs, i, cfg)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<WorkerReport<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let report = run_job(&jobs, i, cfg);
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(fns: Vec<Box<dyn Fn(u32) -> u32 + Send + Sync>>) -> Vec<Box<dyn Fn(u32) -> u32 + Send + Sync>> {
+        fns
+    }
+
+    #[test]
+    fn completed_jobs_report_in_order() {
+        let jobs = boxed(vec![
+            Box::new(|_| 10),
+            Box::new(|_| 20),
+            Box::new(|_| 30),
+        ]);
+        let cfg = SuperviseConfig { workers: 3, ..SuperviseConfig::default() };
+        let reports = supervise(jobs, &cfg);
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.outcome, JobOutcome::Completed(10 * (i as u32 + 1)));
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_reported() {
+        let jobs = boxed(vec![
+            Box::new(|_| 1),
+            Box::new(|_| panic!("job two dies")),
+            Box::new(|_| 3),
+        ]);
+        let reports = supervise(jobs, &SuperviseConfig::default());
+        assert!(reports[0].outcome.is_completed());
+        assert_eq!(reports[1].outcome, JobOutcome::Panicked("job two dies".to_string()));
+        assert!(reports[2].outcome.is_completed(), "a panicked job must not cost the batch");
+    }
+
+    #[test]
+    fn bounded_retry_reruns_panicked_jobs() {
+        // Fails on attempt 0, succeeds on attempt 1: the retry path must
+        // pass the attempt index through.
+        let jobs = boxed(vec![Box::new(|attempt| {
+            if attempt == 0 {
+                panic!("flaky");
+            }
+            attempt
+        })]);
+        let cfg = SuperviseConfig { max_attempts: 2, ..SuperviseConfig::default() };
+        let reports = supervise(jobs, &cfg);
+        assert_eq!(reports[0].attempts, 2);
+        assert_eq!(reports[0].outcome, JobOutcome::Completed(1));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let jobs = boxed(vec![Box::new(|_| panic!("always dies"))]);
+        let cfg = SuperviseConfig { max_attempts: 3, ..SuperviseConfig::default() };
+        let reports = supervise(jobs, &cfg);
+        assert_eq!(reports[0].attempts, 3);
+        assert_eq!(reports[0].outcome, JobOutcome::Panicked("always dies".to_string()));
+    }
+
+    #[test]
+    fn deadline_abandons_stuck_jobs() {
+        let jobs = boxed(vec![
+            Box::new(|_| {
+                std::thread::sleep(Duration::from_secs(30));
+                0
+            }),
+            Box::new(|_| 7),
+        ]);
+        let cfg = SuperviseConfig {
+            workers: 2,
+            deadline: Some(Duration::from_millis(50)),
+            ..SuperviseConfig::default()
+        };
+        let reports = supervise(jobs, &cfg);
+        assert_eq!(reports[0].outcome, JobOutcome::TimedOut(Duration::from_millis(50)));
+        assert_eq!(reports[0].attempts, 1, "timeouts are not retried by default");
+        assert_eq!(reports[1].outcome, JobOutcome::Completed(7));
+    }
+
+    #[test]
+    fn panic_payload_shapes_decode() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("kaboom"))), "kaboom");
+        assert!(panic_message(Box::new(17u32)).contains("non-string"));
+    }
+}

@@ -13,6 +13,7 @@ use std::fmt;
 use simheap::HeapError;
 
 use crate::fault::FaultSite;
+use crate::par::ParRegionId;
 use crate::runtime::RegionId;
 
 /// Everything that can go wrong in the region runtime.
@@ -112,6 +113,65 @@ impl fmt::Display for RegionError {
 }
 
 impl std::error::Error for RegionError {}
+
+/// Everything that can go wrong in the parallel pool
+/// ([`crate::par::ParRegionPool`]).
+///
+/// Like [`RegionError`], `Copy` on purpose: chaos harnesses record and
+/// fold these into deterministic digests without allocation. The key
+/// distinction the crash-safety layer introduces (DESIGN §12) is *why* a
+/// deletion is blocked — by references live threads still hold (retry
+/// after they release), or by counts orphaned by dead threads (only
+/// [`crate::par::ParRegionPool::reap_orphans`] can clear those).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParRegionError {
+    /// The region was already deleted or never existed.
+    DeadOrUnknown {
+        /// The region named.
+        region: ParRegionId,
+    },
+    /// Deletion blocked by live threads' references; the caller can retry
+    /// once they are released. The region stays in the live state.
+    BlockedByLiveRefs {
+        /// The region that could not be deleted.
+        region: ParRegionId,
+        /// Sum of live threads' local counts (> 0).
+        sum: i64,
+    },
+    /// Deletion blocked (at least in part) by counts orphaned by dead
+    /// threads; the region has been moved to the quarantined state and
+    /// only an explicit [`crate::par::ParRegionPool::reap_orphans`] pass
+    /// will reclaim it.
+    BlockedByOrphans {
+        /// The region quarantined.
+        region: ParRegionId,
+        /// Sum of live threads' local counts (may be negative).
+        live_sum: i64,
+        /// The orphan-ledger residue (nonzero).
+        orphan_sum: i64,
+    },
+}
+
+impl fmt::Display for ParRegionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParRegionError::DeadOrUnknown { region } => {
+                write!(f, "try_delete of dead or unknown region {region:?}")
+            }
+            ParRegionError::BlockedByLiveRefs { region, sum } => write!(
+                f,
+                "deletion of {region:?} blocked: {sum} live reference(s) remain"
+            ),
+            ParRegionError::BlockedByOrphans { region, live_sum, orphan_sum } => write!(
+                f,
+                "deletion of {region:?} blocked by orphaned counts: \
+                 {orphan_sum} orphaned + {live_sum} live — region quarantined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParRegionError {}
 
 impl From<HeapError> for RegionError {
     fn from(e: HeapError) -> RegionError {

@@ -22,7 +22,12 @@
 //!
 //! A multi-threaded extension ([`par::ParRegionPool`]) implements the
 //! paper's §1 sketch: per-thread local reference counts, with a region
-//! deletable when the counts sum to zero.
+//! deletable when the counts sum to zero. The pool is crash-safe: a
+//! worker thread that dies mid-schedule settles its ledger into a
+//! pool-owned orphan ledger, blocked regions are quarantined with a
+//! typed [`ParRegionError`], and [`par::ParRegionPool::reap_orphans`] /
+//! [`par::ParRegionPool::audit`] reclaim and verify explicitly
+//! (DESIGN §12).
 //!
 //! # Quick start
 //!
@@ -68,7 +73,7 @@ pub use costs::{
     REGION_WRITE_INSTRS, SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS, UNKNOWN_WRITE_INSTRS,
 };
 pub use descriptor::{DescId, DescriptorTable, TypeDescriptor};
-pub use error::RegionError;
+pub use error::{ParRegionError, RegionError};
 pub use fault::{FaultPlan, FaultSite};
 pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
 pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};

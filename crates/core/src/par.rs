@@ -1,4 +1,4 @@
-//! Parallel regions — the paper's §1 sketch, implemented.
+//! Parallel regions — the paper's §1 sketch, implemented crash-safely.
 //!
 //! > "Another advantage of region-based memory management is that it can
 //! > be used nearly unchanged in an explicitly-parallel programming
@@ -26,9 +26,48 @@
 //!
 //! A local count may be negative — thread A can release a reference that
 //! thread B created; only the sum is meaningful.
+//!
+//! # Crash safety
+//!
+//! The paper's sketch assumes every process lives to settle its counts: a
+//! worker that dies mid-schedule strands its local counts and makes the
+//! sum-to-zero test meaningless forever. This module closes that hole
+//! with four mechanisms (DESIGN §12):
+//!
+//! * **Owned-reference accounting.** [`ParThread::acquire`] returns an
+//!   RAII [`ParRef`]; the thread's ledger records every handle it still
+//!   holds. When a `ParThread` is dropped — *including drop during a
+//!   panic unwind* — it settles: held handles are released (the thread
+//!   owned them, they die with it) and any residual ± counts are folded
+//!   into a pool-owned **orphan ledger**, so the global sum stays exactly
+//!   what it was and deletion stays meaningful.
+//! * **Quarantine.** [`ParRegionPool::try_delete_checked`] distinguishes
+//!   a region blocked by live threads' references
+//!   ([`ParRegionError::BlockedByLiveRefs`]) from one blocked by counts
+//!   orphaned by dead threads ([`ParRegionError::BlockedByOrphans`]);
+//!   the latter moves the region into a quarantined state — still alive,
+//!   but flagged for the reaper.
+//! * **Reaping.** [`ParRegionPool::reap_orphans`] reclaims quarantined
+//!   regions *explicitly and with a report*, never silently: a region is
+//!   reaped only when no live thread holds any count or handle on it and
+//!   no registered cell publishes it, so the only residue is untracked
+//!   raw counts attributable to dead threads.
+//! * **Auditing.** [`ParRegionPool::audit`] is the pool's counterpart to
+//!   the runtime's `sanitize()`: it recomputes every region's expected
+//!   count from first principles (registered cells' current referents +
+//!   RAII-held handles + the raw-retain tally) and diffs it against the
+//!   incrementally maintained local counts plus the orphan ledger.
+//!
+//! `audit` and `reap_orphans` are supervisor-phase operations: call them
+//! from a quiescent point (after workers joined or were reaped), like
+//! `sanitize()`. The hot-path operations stay exactly as cheap as the
+//! paper promises — `exchange_ref` is one atomic swap plus two `Relaxed`
+//! RMWs on thread-owned counters.
 
 use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+pub use crate::error::ParRegionError;
 
 /// Locks a mutex, ignoring poison: every critical section here is a
 /// handful of loads/stores that cannot leave the structures inconsistent.
@@ -38,7 +77,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Identifier of a region in a [`ParRegionPool`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct ParRegionId(u32);
+pub struct ParRegionId(pub(crate) u32);
 
 impl ParRegionId {
     fn index(self) -> usize {
@@ -54,6 +93,12 @@ impl ParRegionId {
 
 /// A shared mutable cell holding an optional region reference, updated
 /// with atomic exchange as the paper prescribes.
+///
+/// Cells created through [`ParRegionPool::register_cell`] are known to
+/// the pool's [auditor](ParRegionPool::audit) and
+/// [reaper](ParRegionPool::reap_orphans); free-standing cells work for
+/// the count protocol but make the audit's recomputation blind to the
+/// references they publish.
 #[derive(Debug, Default)]
 pub struct RefCell32 {
     raw: AtomicU32,
@@ -71,12 +116,37 @@ impl RefCell32 {
     }
 }
 
+/// Everything one registered thread owns: the paper's local counts plus
+/// the crash-safety ledgers.
 #[derive(Debug)]
-struct ThreadCounts {
+struct ThreadLedger {
     /// counts[r] = references to region r created minus released by this
     /// thread. Written only by the owning thread; read under the pool
     /// lock by `try_delete`.
     counts: boxcar::Counts,
+    /// Audit tally of *raw* [`ParThread::retain`]/[`ParThread::release`]
+    /// calls — references the pool cannot locate (they live in program
+    /// memory, not in registered cells or RAII handles).
+    raw: boxcar::Counts,
+    /// RAII-held [`ParRef`] handles per region, plus the settled flag
+    /// that makes a late `ParRef` drop a no-op after the thread died.
+    held: Mutex<HeldState>,
+}
+
+#[derive(Debug, Default)]
+struct HeldState {
+    per_region: Vec<u64>,
+    settled: bool,
+}
+
+impl ThreadLedger {
+    fn new() -> ThreadLedger {
+        ThreadLedger {
+            counts: boxcar::Counts::new(),
+            raw: boxcar::Counts::new(),
+            held: Mutex::new(HeldState::default()),
+        }
+    }
 }
 
 /// A growable vector of atomic counters. (Tiny purpose-built structure —
@@ -106,18 +176,51 @@ mod boxcar {
             let v = super::lock(&self.inner);
             v.get(i).map_or(0, |c| c.load(Ordering::Acquire))
         }
+
+        /// Overwrites slot `i` (reaper only; see [`super::ParRegionPool::reap_orphans`]).
+        pub(super) fn reset(&self, i: usize) {
+            let v = super::lock(&self.inner);
+            if let Some(c) = v.get(i) {
+                c.store(0, Ordering::Release);
+            }
+        }
     }
+}
+
+/// Lifecycle of one region slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RegionState {
+    /// Created, not deleted.
+    Live,
+    /// Alive, but a delete attempt found it blocked by orphaned counts;
+    /// waiting for live threads to settle the sum or for the reaper.
+    Quarantined,
+    /// Deleted (normally or by the reaper).
+    Deleted,
+}
+
+/// The region table: states plus the orphan ledgers, all mutated under
+/// one lock so `try_delete`'s sum and the settle of a dying thread are
+/// atomic with respect to each other.
+#[derive(Debug, Default)]
+struct RegionTable {
+    state: Vec<RegionState>,
+    /// Per-region residual counts folded in from dead threads.
+    orphan: Vec<i64>,
+    /// Per-region residual *raw-tally* folded in from dead threads (audit
+    /// bookkeeping only; always a sub-component of `orphan`'s history).
+    orphan_raw: Vec<i64>,
 }
 
 #[derive(Debug)]
 struct PoolShared {
-    /// live[r]: deletion flips this to false under the pool lock.
-    regions: Mutex<Vec<bool>>,
-    threads: Mutex<Vec<Arc<ThreadCounts>>>,
+    regions: Mutex<RegionTable>,
+    threads: Mutex<Vec<Arc<ThreadLedger>>>,
+    cells: Mutex<Vec<Arc<RefCell32>>>,
 }
 
 /// A pool of regions shared between threads, with per-thread local
-/// reference counts (paper §1).
+/// reference counts (paper §1) and crash-safe settlement (DESIGN §12).
 ///
 /// # Example
 ///
@@ -131,6 +234,34 @@ struct PoolShared {
 /// assert!(!pool.try_delete(r), "outstanding reference");
 /// t.release(r);
 /// assert!(pool.try_delete(r));
+/// ```
+///
+/// A worker that panics while holding references no longer wedges the
+/// pool: its [`ParThread`] settles on drop, `try_delete_checked` reports
+/// the orphaned residue, and [`ParRegionPool::reap_orphans`] reclaims it
+/// explicitly:
+///
+/// ```
+/// use region_core::par::{ParRegionPool, ParRegionError};
+///
+/// let pool = ParRegionPool::new();
+/// let mut main = pool.register_thread();
+/// let r = main.create_region();
+/// std::thread::spawn({
+///     let pool = pool.clone();
+///     move || {
+///         let mut t = pool.register_thread();
+///         t.retain(r); // a raw reference the panic will strand
+///         panic!("worker dies mid-schedule");
+///     }
+/// })
+/// .join()
+/// .unwrap_err();
+/// let e = pool.try_delete_checked(r).unwrap_err();
+/// assert!(matches!(e, ParRegionError::BlockedByOrphans { .. }));
+/// let report = pool.reap_orphans();
+/// assert_eq!(report.reaped.len(), 1);
+/// assert!(!pool.is_live(r));
 /// ```
 #[derive(Clone, Debug)]
 pub struct ParRegionPool {
@@ -148,8 +279,9 @@ impl ParRegionPool {
     pub fn new() -> ParRegionPool {
         ParRegionPool {
             shared: Arc::new(PoolShared {
-                regions: Mutex::new(Vec::new()),
+                regions: Mutex::new(RegionTable::default()),
                 threads: Mutex::new(Vec::new()),
+                cells: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -158,52 +290,482 @@ impl ParRegionPool {
     /// the only per-thread setup cost; afterwards count adjustments are
     /// unsynchronized (`Relaxed` on thread-owned counters).
     pub fn register_thread(&self) -> ParThread {
-        let counts = Arc::new(ThreadCounts { counts: boxcar::Counts::new() });
-        lock(&self.shared.threads).push(counts.clone());
-        ParThread { pool: self.clone(), counts, cache: Vec::new() }
+        let ledger = Arc::new(ThreadLedger::new());
+        lock(&self.shared.threads).push(ledger.clone());
+        ParThread { pool: self.clone(), ledger, cache: Vec::new() }
     }
 
-    /// `true` if the region has not been deleted.
+    /// Creates a shared reference cell the pool knows about: its current
+    /// referent is included in [`audit`](ParRegionPool::audit)'s
+    /// recomputation and checked by [`reap_orphans`] before a region is
+    /// force-reclaimed.
+    pub fn register_cell(&self) -> Arc<RefCell32> {
+        let cell = Arc::new(RefCell32::new());
+        lock(&self.shared.cells).push(cell.clone());
+        cell
+    }
+
+    /// `true` if the region has not been deleted (a quarantined region is
+    /// still alive).
     pub fn is_live(&self, r: ParRegionId) -> bool {
-        lock(&self.shared.regions).get(r.index()).copied().unwrap_or(false)
+        matches!(
+            lock(&self.shared.regions).state.get(r.index()),
+            Some(RegionState::Live | RegionState::Quarantined)
+        )
+    }
+
+    /// `true` if a delete attempt flagged the region as blocked by
+    /// orphaned counts and it has not been deleted since.
+    pub fn is_quarantined(&self, r: ParRegionId) -> bool {
+        lock(&self.shared.regions).state.get(r.index()).copied() == Some(RegionState::Quarantined)
+    }
+
+    /// Every region currently alive (live or quarantined), in id order.
+    pub fn live_regions(&self) -> Vec<ParRegionId> {
+        lock(&self.shared.regions)
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, RegionState::Live | RegionState::Quarantined))
+            .map(|(i, _)| ParRegionId(i as u32))
+            .collect()
+    }
+
+    /// Every region currently quarantined, in id order.
+    pub fn quarantined(&self) -> Vec<ParRegionId> {
+        lock(&self.shared.regions)
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == RegionState::Quarantined)
+            .map(|(i, _)| ParRegionId(i as u32))
+            .collect()
     }
 
     /// Attempts to delete a region: takes the pool lock (the paper's
-    /// global synchronization for deletion), sums every thread's local
-    /// count, and deletes iff the sum is zero.
+    /// global synchronization for deletion), sums every live thread's
+    /// local count plus the orphan ledger, and deletes iff the sum is
+    /// zero.
+    ///
+    /// On failure the typed error says *why*: blocked by live threads'
+    /// references (retry once they release), or blocked by counts
+    /// orphaned by dead threads — in which case the region is moved to
+    /// the quarantined state for [`reap_orphans`].
+    pub fn try_delete_checked(&self, r: ParRegionId) -> Result<(), ParRegionError> {
+        let mut regions = lock(&self.shared.regions);
+        let i = r.index();
+        match regions.state.get(i) {
+            None | Some(RegionState::Deleted) => {
+                return Err(ParRegionError::DeadOrUnknown { region: r })
+            }
+            Some(RegionState::Live | RegionState::Quarantined) => {}
+        }
+        let threads = lock(&self.shared.threads);
+        let live_sum: i64 = threads.iter().map(|t| t.counts.get(i)).sum();
+        let orphan_sum = regions.orphan.get(i).copied().unwrap_or(0);
+        if live_sum + orphan_sum == 0 {
+            regions.state[i] = RegionState::Deleted;
+            return Ok(());
+        }
+        if orphan_sum != 0 {
+            regions.state[i] = RegionState::Quarantined;
+            Err(ParRegionError::BlockedByOrphans { region: r, live_sum, orphan_sum })
+        } else {
+            Err(ParRegionError::BlockedByLiveRefs { region: r, sum: live_sum })
+        }
+    }
+
+    /// [`try_delete_checked`](ParRegionPool::try_delete_checked) with the
+    /// historical bool interface: `true` on deletion, `false` when
+    /// blocked (by live references *or* orphans).
     ///
     /// # Panics
     ///
     /// Panics if the region was already deleted or never existed.
     pub fn try_delete(&self, r: ParRegionId) -> bool {
-        let mut regions = lock(&self.shared.regions);
-        assert!(
-            regions.get(r.index()).copied() == Some(true),
-            "try_delete of dead or unknown region {r:?}"
-        );
-        let threads = lock(&self.shared.threads);
-        let sum: i64 = threads.iter().map(|t| t.counts.get(r.index())).sum();
-        if sum != 0 {
-            return false;
+        match self.try_delete_checked(r) {
+            Ok(()) => true,
+            Err(ParRegionError::DeadOrUnknown { .. }) => {
+                panic!("try_delete of dead or unknown region {r:?}")
+            }
+            Err(_) => false,
         }
-        regions[r.index()] = false;
-        true
     }
 
-    /// Exact global reference count (sums local counts under the lock);
-    /// for tests and diagnostics.
+    /// Exact global reference count — the sum of every live thread's
+    /// local count plus the orphan ledger, taken under the lock; for
+    /// tests and diagnostics.
     pub fn global_count(&self, r: ParRegionId) -> i64 {
-        let _regions = lock(&self.shared.regions);
+        let regions = lock(&self.shared.regions);
         let threads = lock(&self.shared.threads);
-        threads.iter().map(|t| t.counts.get(r.index())).sum()
+        let live: i64 = threads.iter().map(|t| t.counts.get(r.index())).sum();
+        live + regions.orphan.get(r.index()).copied().unwrap_or(0)
+    }
+
+    /// The orphan ledger entry for a region (counts stranded by dead
+    /// threads, net); diagnostics.
+    pub fn orphan_count(&self, r: ParRegionId) -> i64 {
+        lock(&self.shared.regions).orphan.get(r.index()).copied().unwrap_or(0)
+    }
+
+    /// Reclaims quarantined regions, explicitly and with a report.
+    ///
+    /// For each quarantined region:
+    ///
+    /// * if the global sum has settled to zero in the meantime (a live
+    ///   thread released the orphaned reference), it is deleted normally
+    ///   and listed in [`ReapReport::settled`];
+    /// * if **no live thread** holds any count or RAII handle on it and
+    ///   **no registered cell** publishes it, the orphaned residue can
+    ///   only be raw counts stranded by dead threads — the region is
+    ///   force-deleted, its ledger entries zeroed, and the action listed
+    ///   in [`ReapReport::reaped`] (never silent: the caller sees exactly
+    ///   how many counts were written off);
+    /// * otherwise it stays quarantined and is listed in
+    ///   [`ReapReport::still_blocked`] with the evidence.
+    ///
+    /// Supervisor-phase: call from a quiescent point. Reaping zeroes the
+    /// per-thread counters of the reaped region, which races with an
+    /// owner thread actively adjusting them — don't reap while workers
+    /// are mid-schedule.
+    pub fn reap_orphans(&self) -> ReapReport {
+        let mut regions = lock(&self.shared.regions);
+        let threads = lock(&self.shared.threads);
+        let cells: Vec<Arc<RefCell32>> = lock(&self.shared.cells).clone();
+        let mut report = ReapReport::default();
+        for i in 0..regions.state.len() {
+            if regions.state[i] != RegionState::Quarantined {
+                continue;
+            }
+            let r = ParRegionId(i as u32);
+            let live_sum: i64 = threads.iter().map(|t| t.counts.get(i)).sum();
+            let orphan_sum = regions.orphan.get(i).copied().unwrap_or(0);
+            if live_sum + orphan_sum == 0 {
+                regions.state[i] = RegionState::Deleted;
+                report.settled.push(r);
+                continue;
+            }
+            let held: u64 = threads
+                .iter()
+                .map(|t| {
+                    let h = lock(&t.held);
+                    h.per_region.get(i).copied().unwrap_or(0)
+                })
+                .sum();
+            let published =
+                cells.iter().filter(|c| c.get() == Some(r)).count() as u64;
+            let positive_live =
+                threads.iter().any(|t| t.counts.get(i) > 0);
+            if held == 0 && published == 0 && !positive_live {
+                // Residue is attributable only to dead threads' raw
+                // counts (their RAII handles were released at settle) and
+                // live threads' negative (release-side) counts. Zero the
+                // whole column so the books stay balanced post-delete.
+                for t in threads.iter() {
+                    t.counts.reset(i);
+                    t.raw.reset(i);
+                }
+                regions.orphan[i] = 0;
+                regions.orphan_raw[i] = 0;
+                regions.state[i] = RegionState::Deleted;
+                report.reaped.push(ReapedRegion { region: r, orphan_count: orphan_sum, live_residue: live_sum });
+            } else {
+                report.still_blocked.push(BlockedRegion {
+                    region: r,
+                    live_sum,
+                    orphan_sum,
+                    held_refs: held,
+                    published_cells: published,
+                });
+            }
+        }
+        report
+    }
+
+    /// Recomputes every region's expected reference count from first
+    /// principles and diffs it against the maintained local counts — the
+    /// pool's counterpart to the runtime's `sanitize()`.
+    ///
+    /// For a live (or quarantined) region the *recomputed* count is:
+    /// registered cells currently publishing it, plus RAII handles held
+    /// across live threads, plus the raw-retain tally (live threads' raw
+    /// ledgers + the orphaned raw residue). The *counted* value is the
+    /// live threads' local counts plus the orphan ledger. Any difference
+    /// is a [`ParCountMismatch`] — a lost update, a double settle, or an
+    /// exchange on an unregistered cell.
+    ///
+    /// Deleted regions must show a zero total ([`DeadResidue`] otherwise
+    /// — somebody adjusted counts after deletion), and no registered
+    /// cell may publish a deleted region ([`DanglingCell`]).
+    ///
+    /// Supervisor-phase: run at a quiescent point; an exchange in flight
+    /// between its swap and its count adjustments would be reported as a
+    /// (transient) mismatch.
+    pub fn audit(&self) -> ParAuditReport {
+        let regions = lock(&self.shared.regions);
+        let threads = lock(&self.shared.threads);
+        let cells: Vec<Arc<RefCell32>> = lock(&self.shared.cells).clone();
+        let n = regions.state.len();
+        let mut report = ParAuditReport {
+            regions_audited: n as u64,
+            threads_audited: threads.len() as u64,
+            cells_audited: cells.len() as u64,
+            ..ParAuditReport::default()
+        };
+
+        let mut published = vec![0i64; n];
+        for (ci, cell) in cells.iter().enumerate() {
+            if let Some(r) = cell.get() {
+                if let Some(p) = published.get_mut(r.index()) {
+                    *p += 1;
+                }
+                if regions.state.get(r.index()).copied() == Some(RegionState::Deleted) {
+                    report.dangling_cells.push(DanglingCell { cell: ci, region: r });
+                }
+            }
+        }
+
+        for i in 0..n {
+            let r = ParRegionId(i as u32);
+            let live_sum: i64 = threads.iter().map(|t| t.counts.get(i)).sum();
+            let counted = live_sum + regions.orphan.get(i).copied().unwrap_or(0);
+            match regions.state[i] {
+                RegionState::Deleted => {
+                    if counted != 0 {
+                        report.dead_residue.push(DeadResidue { region: r, residue: counted });
+                    }
+                }
+                RegionState::Live | RegionState::Quarantined => {
+                    if regions.state[i] == RegionState::Quarantined {
+                        report.quarantined += 1;
+                    }
+                    let held: i64 = threads
+                        .iter()
+                        .map(|t| {
+                            let h = lock(&t.held);
+                            h.per_region.get(i).copied().unwrap_or(0) as i64
+                        })
+                        .sum();
+                    let raw: i64 = threads.iter().map(|t| t.raw.get(i)).sum::<i64>()
+                        + regions.orphan_raw.get(i).copied().unwrap_or(0);
+                    let recomputed = published[i] + held + raw;
+                    if recomputed != counted {
+                        report.mismatches.push(ParCountMismatch { region: r, counted, recomputed });
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// One region the reaper force-deleted, with the counts written off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReapedRegion {
+    /// The reclaimed region.
+    pub region: ParRegionId,
+    /// The orphan-ledger residue that was zeroed.
+    pub orphan_count: i64,
+    /// The (non-positive) live-thread residue that was zeroed with it.
+    pub live_residue: i64,
+}
+
+/// One quarantined region the reaper refused to touch, with the evidence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockedRegion {
+    /// The region left quarantined.
+    pub region: ParRegionId,
+    /// Sum of live threads' local counts.
+    pub live_sum: i64,
+    /// The orphan-ledger residue.
+    pub orphan_sum: i64,
+    /// RAII handles still held by live threads.
+    pub held_refs: u64,
+    /// Registered cells currently publishing the region.
+    pub published_cells: u64,
+}
+
+/// Outcome of one [`ParRegionPool::reap_orphans`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct ReapReport {
+    /// Quarantined regions whose counts had settled to zero: deleted
+    /// normally, nothing written off.
+    pub settled: Vec<ParRegionId>,
+    /// Regions force-deleted with orphaned counts written off.
+    pub reaped: Vec<ReapedRegion>,
+    /// Regions still quarantined because live state references them.
+    pub still_blocked: Vec<BlockedRegion>,
+}
+
+impl ReapReport {
+    /// `true` if no region remains quarantined after the pass.
+    pub fn is_fully_reclaimed(&self) -> bool {
+        self.still_blocked.is_empty()
+    }
+}
+
+impl std::fmt::Display for ReapReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reap: {} settled, {} reaped, {} still blocked",
+            self.settled.len(),
+            self.reaped.len(),
+            self.still_blocked.len()
+        )?;
+        for r in &self.reaped {
+            write!(
+                f,
+                "\n  reaped {:?}: wrote off orphan {} (live residue {})",
+                r.region, r.orphan_count, r.live_residue
+            )?;
+        }
+        for b in &self.still_blocked {
+            write!(
+                f,
+                "\n  blocked {:?}: live {} orphan {} held {} published {}",
+                b.region, b.live_sum, b.orphan_sum, b.held_refs, b.published_cells
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A live region whose recomputed count disagrees with the counted one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParCountMismatch {
+    /// The region concerned.
+    pub region: ParRegionId,
+    /// Live threads' local counts + orphan ledger (the maintained view).
+    pub counted: i64,
+    /// Cells + held handles + raw tally (the recomputed view).
+    pub recomputed: i64,
+}
+
+/// A deleted region whose counts have drifted off zero since deletion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadResidue {
+    /// The deleted region.
+    pub region: ParRegionId,
+    /// The nonzero total found.
+    pub residue: i64,
+}
+
+/// A registered cell publishing a reference to a deleted region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DanglingCell {
+    /// Index of the cell in registration order.
+    pub cell: usize,
+    /// The deleted region it points at.
+    pub region: ParRegionId,
+}
+
+/// Outcome of one [`ParRegionPool::audit`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct ParAuditReport {
+    /// Region slots inspected (live, quarantined, and deleted).
+    pub regions_audited: u64,
+    /// Live thread ledgers inspected.
+    pub threads_audited: u64,
+    /// Registered cells inspected.
+    pub cells_audited: u64,
+    /// Regions found in the quarantined state.
+    pub quarantined: u64,
+    /// Live regions where the two views disagree.
+    pub mismatches: Vec<ParCountMismatch>,
+    /// Deleted regions with a nonzero count total.
+    pub dead_residue: Vec<DeadResidue>,
+    /// Registered cells pointing at deleted regions.
+    pub dangling_cells: Vec<DanglingCell>,
+}
+
+impl ParAuditReport {
+    /// `true` if the recomputation agrees with the counts everywhere and
+    /// nothing dangles.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty() && self.dead_residue.is_empty() && self.dangling_cells.is_empty()
+    }
+}
+
+impl std::fmt::Display for ParAuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "par audit: {} region(s), {} thread(s), {} cell(s), {} quarantined — ",
+            self.regions_audited, self.threads_audited, self.cells_audited, self.quarantined
+        )?;
+        if self.is_clean() {
+            return f.write_str("clean");
+        }
+        write!(
+            f,
+            "{} mismatch(es), {} dead residue(s), {} dangling cell(s)",
+            self.mismatches.len(),
+            self.dead_residue.len(),
+            self.dangling_cells.len()
+        )?;
+        for m in &self.mismatches {
+            write!(
+                f,
+                "\n  mismatch: {:?} counted {} recomputed {}",
+                m.region, m.counted, m.recomputed
+            )?;
+        }
+        for d in &self.dead_residue {
+            write!(f, "\n  dead residue: {:?} total {}", d.region, d.residue)?;
+        }
+        for c in &self.dangling_cells {
+            write!(f, "\n  dangling cell {} -> deleted {:?}", c.cell, c.region)?;
+        }
+        Ok(())
+    }
+}
+
+/// An RAII-owned reference to a region, created by
+/// [`ParThread::acquire`].
+///
+/// Dropping the handle releases the reference (one `Relaxed` decrement on
+/// the owning thread's counter). If the owning [`ParThread`] has already
+/// settled — it was dropped, possibly during a panic unwind, and released
+/// every handle its ledger recorded — the drop is a no-op, so a handle
+/// can never double-release.
+#[derive(Debug)]
+pub struct ParRef {
+    ledger: Arc<ThreadLedger>,
+    slot: Arc<AtomicI64>,
+    region: ParRegionId,
+}
+
+impl ParRef {
+    /// The region this handle keeps alive.
+    pub fn region(&self) -> ParRegionId {
+        self.region
+    }
+}
+
+impl Drop for ParRef {
+    fn drop(&mut self) {
+        let mut held = lock(&self.ledger.held);
+        if held.settled {
+            return; // the dying thread already released this handle
+        }
+        let slot = &mut held.per_region[self.region.index()];
+        *slot = slot.saturating_sub(1);
+        self.slot.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// A thread's handle into a [`ParRegionPool`].
+///
+/// Dropping the handle — in an orderly return *or during a panic unwind*
+/// — settles the thread's ledger into the pool: RAII-held references are
+/// released, residual ± counts are folded into the orphan ledger, and
+/// the thread is removed from the pool, so the sum-to-zero protocol
+/// stays meaningful after a crash.
 #[derive(Debug)]
 pub struct ParThread {
     pool: ParRegionPool,
-    counts: Arc<ThreadCounts>,
+    ledger: Arc<ThreadLedger>,
     /// Cached counter handles so the hot path is one Relaxed RMW.
     cache: Vec<Option<Arc<AtomicI64>>>,
 }
@@ -212,9 +774,22 @@ impl ParThread {
     /// Creates a region (global synchronization, like deletion).
     pub fn create_region(&mut self) -> ParRegionId {
         let mut regions = lock(&self.pool.shared.regions);
-        let id = ParRegionId(regions.len() as u32);
-        regions.push(true);
+        let id = ParRegionId(regions.state.len() as u32);
+        regions.state.push(RegionState::Live);
+        regions.orphan.push(0);
+        regions.orphan_raw.push(0);
         id
+    }
+
+    fn counter_arc(&mut self, r: ParRegionId) -> Arc<AtomicI64> {
+        let i = r.index();
+        if self.cache.len() <= i {
+            self.cache.resize(i + 1, None);
+        }
+        if self.cache[i].is_none() {
+            self.cache[i] = Some(self.ledger.counts.slot(i));
+        }
+        self.cache[i].clone().expect("just filled")
     }
 
     fn counter(&mut self, r: ParRegionId) -> &AtomicI64 {
@@ -223,22 +798,46 @@ impl ParThread {
             self.cache.resize(i + 1, None);
         }
         if self.cache[i].is_none() {
-            self.cache[i] = Some(self.counts.counts.slot(i));
+            self.cache[i] = Some(self.ledger.counts.slot(i));
         }
         self.cache[i].as_ref().expect("just filled")
     }
 
+    /// Adjusts only the local count — shared by the tracked entry points.
+    fn bump(&mut self, r: ParRegionId, delta: i64) {
+        self.counter(r).fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Records that this thread created a reference to `r` — no
-    /// synchronization or communication (paper §1).
+    /// synchronization or communication (paper §1). The reference lives
+    /// in program memory the pool cannot see; the raw tally keeps
+    /// [`ParRegionPool::audit`] able to balance the books regardless.
     pub fn retain(&mut self, r: ParRegionId) {
-        self.counter(r).fetch_add(1, Ordering::Relaxed);
+        self.bump(r, 1);
+        self.ledger.raw.slot(r.index()).fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records that this thread destroyed a reference to `r`. The local
     /// count may go negative if the reference was created elsewhere; only
     /// the cross-thread sum matters.
     pub fn release(&mut self, r: ParRegionId) {
-        self.counter(r).fetch_sub(1, Ordering::Relaxed);
+        self.bump(r, -1);
+        self.ledger.raw.slot(r.index()).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Creates an **owned** reference to `r`: the count is incremented
+    /// and the handle recorded in this thread's ledger, so the reference
+    /// is released exactly once no matter how the thread dies.
+    pub fn acquire(&mut self, r: ParRegionId) -> ParRef {
+        let slot = self.counter_arc(r);
+        slot.fetch_add(1, Ordering::Relaxed);
+        let mut held = lock(&self.ledger.held);
+        if held.per_region.len() <= r.index() {
+            held.per_region.resize(r.index() + 1, 0);
+        }
+        held.per_region[r.index()] += 1;
+        drop(held);
+        ParRef { ledger: self.ledger.clone(), slot, region: r }
     }
 
     /// Publishes a reference into a shared cell with an **atomic
@@ -248,11 +847,47 @@ impl ParThread {
         let new_raw = new.map_or(0, ParRegionId::to_cell);
         let old_raw = cell.raw.swap(new_raw, Ordering::AcqRel);
         if let Some(n) = new {
-            self.retain(n);
+            self.bump(n, 1);
         }
         if let Some(o) = ParRegionId::from_cell(old_raw) {
-            self.release(o);
+            self.bump(o, -1);
         }
+    }
+}
+
+impl Drop for ParThread {
+    fn drop(&mut self) {
+        // Settle. Lock order everywhere: regions -> threads -> held.
+        let mut regions = lock(&self.pool.shared.regions);
+        let mut threads = lock(&self.pool.shared.threads);
+        let mut held = lock(&self.ledger.held);
+        held.settled = true;
+        // Release every RAII handle the ledger still records: the thread
+        // owned them, they die with it. (Handles already dropped removed
+        // themselves; handles leaked or still alive during an unwind are
+        // exactly what this pass catches.)
+        for (i, slot) in held.per_region.iter_mut().enumerate() {
+            if *slot > 0 {
+                self.ledger.counts.slot(i).fetch_sub(*slot as i64, Ordering::Relaxed);
+                *slot = 0;
+            }
+        }
+        drop(held);
+        // Fold residual counts into the pool-owned orphan ledger so the
+        // global sum is unchanged by the thread's death.
+        for i in 0..regions.state.len() {
+            let c = self.ledger.counts.get(i);
+            if c != 0 {
+                regions.orphan[i] += c;
+                self.ledger.counts.reset(i);
+            }
+            let rw = self.ledger.raw.get(i);
+            if rw != 0 {
+                regions.orphan_raw[i] += rw;
+                self.ledger.raw.reset(i);
+            }
+        }
+        threads.retain(|t| !Arc::ptr_eq(t, &self.ledger));
     }
 }
 
@@ -344,7 +979,9 @@ mod tests {
             }
         });
         let held = cell.get().expect("cell ends non-null");
-        // All regions except the held one must be deletable.
+        // All regions except the held one must be deletable. (The worker
+        // threads have settled into the orphan ledger by now; the sums
+        // must be unchanged by their deaths.)
         for &r in &regions {
             if r != held {
                 assert!(pool.try_delete(r), "region {r:?} had leftover counts");
@@ -358,18 +995,16 @@ mod tests {
 
     #[test]
     fn pool_survives_a_poisoned_lock() {
-        // `try_delete` of an unknown region panics *inside* the regions
-        // critical section, poisoning the mutex. The poison-ignoring
-        // `lock` helper must keep the pool fully usable for every other
-        // worker afterwards — one faulted worker degrades its own jobs,
-        // not the whole pool (chaos-harness invariant).
+        // A worker that panics inside pool code must degrade its own jobs,
+        // not the whole pool (chaos-harness invariant): the poison-ignoring
+        // `lock` helper keeps the pool fully usable for every other worker.
         let pool = ParRegionPool::new();
         let mut t = pool.register_thread();
         let r = t.create_region();
         t.retain(r);
         let poisoner = pool.clone();
         let panicked = std::thread::spawn(move || {
-            poisoner.try_delete(ParRegionId(999)); // panics holding the lock
+            poisoner.try_delete(ParRegionId(999)); // panics: unknown region
         })
         .join();
         assert!(panicked.is_err(), "expected the bad delete to panic");
@@ -381,5 +1016,209 @@ mod tests {
         t.release(r);
         assert!(pool.try_delete(r));
         assert!(pool.try_delete(r2));
+    }
+
+    #[test]
+    fn late_registered_thread_sees_preexisting_regions() {
+        // Regression: a ParThread registered *after* regions exist reads
+        // its count slots lazily via boxcar growth; retain/release and
+        // exchange against pre-existing regions must balance exactly.
+        let pool = ParRegionPool::new();
+        let mut early = pool.register_thread();
+        let r0 = early.create_region();
+        let r1 = early.create_region();
+        let r2 = early.create_region();
+        early.retain(r2);
+
+        let mut late = pool.register_thread();
+        // Release a reference the early thread created: late's slot 2 must
+        // grow on demand and go negative.
+        late.release(r2);
+        assert_eq!(pool.global_count(r2), 0);
+        assert!(pool.try_delete(r2));
+
+        // Retain/release cycles on the oldest region (slot 0) from the
+        // late thread.
+        late.retain(r0);
+        assert_eq!(pool.global_count(r0), 1);
+        assert!(!pool.try_delete(r0));
+        late.release(r0);
+        assert!(pool.try_delete(r0));
+
+        // Exchange against a pre-existing region, via a registered cell
+        // so the audit can balance the books.
+        let cell = pool.register_cell();
+        late.exchange_ref(&cell, Some(r1));
+        assert_eq!(pool.global_count(r1), 1);
+        let audit = pool.audit();
+        assert!(audit.is_clean(), "{audit}");
+        late.exchange_ref(&cell, None);
+        assert!(pool.try_delete(r1));
+        assert!(pool.audit().is_clean());
+    }
+
+    #[test]
+    fn par_ref_raii_releases_once() {
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        let h1 = t.acquire(r);
+        let h2 = t.acquire(r);
+        assert_eq!(h1.region(), r);
+        assert_eq!(pool.global_count(r), 2);
+        assert!(!pool.try_delete(r));
+        drop(h1);
+        assert_eq!(pool.global_count(r), 1);
+        drop(h2);
+        assert!(pool.try_delete(r));
+        assert!(pool.audit().is_clean());
+    }
+
+    #[test]
+    fn thread_drop_settles_held_refs_and_orphans() {
+        let pool = ParRegionPool::new();
+        let mut main = pool.register_thread();
+        let r_held = main.create_region();
+        let r_raw = main.create_region();
+        std::thread::spawn({
+            let pool = pool.clone();
+            move || {
+                let mut t = pool.register_thread();
+                let h = t.acquire(r_held);
+                std::mem::forget(h); // leaked handle: only the settle can release it
+                t.retain(r_raw); // raw reference the panic strands
+                panic!("worker dies");
+            }
+        })
+        .join()
+        .unwrap_err();
+        // The leaked RAII handle was released by the settle...
+        assert_eq!(pool.global_count(r_held), 0);
+        assert!(pool.try_delete(r_held));
+        // ...while the raw retain became an orphan count.
+        assert_eq!(pool.global_count(r_raw), 1);
+        assert_eq!(pool.orphan_count(r_raw), 1);
+        let e = pool.try_delete_checked(r_raw).unwrap_err();
+        assert!(matches!(e, ParRegionError::BlockedByOrphans { orphan_sum: 1, .. }), "{e}");
+        assert!(pool.is_quarantined(r_raw));
+        assert!(pool.is_live(r_raw), "quarantined is still alive");
+        // The audit balances: the raw tally explains the orphan count.
+        let audit = pool.audit();
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(audit.quarantined, 1);
+        // The reaper reclaims it, explicitly.
+        let report = pool.reap_orphans();
+        assert_eq!(report.reaped.len(), 1);
+        assert_eq!(report.reaped[0].orphan_count, 1);
+        assert!(report.is_fully_reclaimed());
+        assert!(!pool.is_live(r_raw));
+        assert!(pool.audit().is_clean());
+    }
+
+    #[test]
+    fn live_blocked_and_orphan_blocked_are_distinguished() {
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        t.retain(r);
+        let e = pool.try_delete_checked(r).unwrap_err();
+        assert!(matches!(e, ParRegionError::BlockedByLiveRefs { sum: 1, .. }), "{e}");
+        assert!(!pool.is_quarantined(r), "live-blocked must not quarantine");
+        t.release(r);
+        assert!(pool.try_delete_checked(r).is_ok());
+    }
+
+    #[test]
+    fn reaper_refuses_published_and_held_regions() {
+        let pool = ParRegionPool::new();
+        let cell = pool.register_cell();
+        let mut main = pool.register_thread();
+        let r = main.create_region();
+        // A dead worker leaves an orphan count AND a published reference.
+        std::thread::spawn({
+            let pool = pool.clone();
+            let cell = cell.clone();
+            move || {
+                let mut t = pool.register_thread();
+                t.retain(r); // stranded raw count
+                t.exchange_ref(&cell, Some(r)); // published, still standing
+                panic!("worker dies");
+            }
+        })
+        .join()
+        .unwrap_err();
+        assert_eq!(pool.global_count(r), 2);
+        assert!(matches!(
+            pool.try_delete_checked(r),
+            Err(ParRegionError::BlockedByOrphans { .. })
+        ));
+        // Still published: the reaper must refuse.
+        let report = pool.reap_orphans();
+        assert_eq!(report.reaped.len(), 0);
+        assert_eq!(report.still_blocked.len(), 1);
+        assert_eq!(report.still_blocked[0].published_cells, 1);
+        assert!(pool.is_live(r));
+        // Clear the cell; the raw residue alone is reapable.
+        main.exchange_ref(&cell, None);
+        let report = pool.reap_orphans();
+        assert_eq!(report.reaped.len(), 1);
+        assert_eq!(report.reaped[0].orphan_count, 2);
+        assert_eq!(report.reaped[0].live_residue, -1);
+        assert!(!pool.is_live(r));
+        let audit = pool.audit();
+        assert!(audit.is_clean(), "{audit}");
+    }
+
+    #[test]
+    fn quarantined_region_settles_when_counts_balance() {
+        let pool = ParRegionPool::new();
+        let mut main = pool.register_thread();
+        let r = main.create_region();
+        std::thread::spawn({
+            let pool = pool.clone();
+            move || {
+                let mut t = pool.register_thread();
+                t.retain(r);
+                panic!("worker dies");
+            }
+        })
+        .join()
+        .unwrap_err();
+        assert!(matches!(
+            pool.try_delete_checked(r),
+            Err(ParRegionError::BlockedByOrphans { .. })
+        ));
+        assert!(pool.is_quarantined(r));
+        // A live thread releases the stranded reference (it found and
+        // destroyed the dead worker's pointer): the sum settles and the
+        // region deletes normally — listed as settled, nothing written off.
+        main.release(r);
+        let report = pool.reap_orphans();
+        assert_eq!(report.settled, vec![r]);
+        assert!(report.reaped.is_empty());
+        assert!(!pool.is_live(r));
+    }
+
+    #[test]
+    fn audit_detects_unbalanced_books() {
+        // An exchange through an *unregistered* cell hides a published
+        // reference from the auditor — exactly the imbalance audit() is
+        // built to flag.
+        let pool = ParRegionPool::new();
+        let mut t = pool.register_thread();
+        let r = t.create_region();
+        let hidden = RefCell32::new();
+        t.exchange_ref(&hidden, Some(r));
+        let audit = pool.audit();
+        assert!(!audit.is_clean());
+        assert_eq!(audit.mismatches.len(), 1);
+        assert_eq!(audit.mismatches[0].counted, 1);
+        assert_eq!(audit.mismatches[0].recomputed, 0);
+        // Through a registered cell the books balance.
+        t.exchange_ref(&hidden, None);
+        let cell = pool.register_cell();
+        t.exchange_ref(&cell, Some(r));
+        let audit = pool.audit();
+        assert!(audit.is_clean(), "{audit}");
     }
 }
