@@ -46,8 +46,19 @@ REGION_SANITIZE=1 ./target/release/chaos --quick --scenario par-chaos >/dev/null
 echo "== REGION_SANITIZE=1 smoke (one fig8 row, audited after the run) =="
 REGION_SANITIZE=1 ./target/release/fig8 --quick --only tile >/dev/null
 
+echo "== scan-batching parity under the sanitizer =="
+# The GC/malloc range conversions (DESIGN §11 producer table) changed
+# golden-trace *record counts* but must never change the word-level
+# stream, the charge counters, or any cache statistic. These suites
+# prove it property-by-property and for a full collect cycle.
+REGION_SANITIZE=1 cargo test -q -p simheap --test props
+REGION_SANITIZE=1 cargo test -q -p conservative-gc --test scan_parity
+
 echo "== results schema self-compare =="
 ./target/release/compare_results results/fig8.json results/fig8.json --ignore-time >/dev/null
+# fig10 was re-recorded after the range conversions; the quick run above
+# rewrote it, so this checks the committed counters survived the rewrite.
+./target/release/compare_results results/fig10.json results/fig10.json --ignore-time >/dev/null
 
 echo "== criterion benches, quick mode =="
 BENCH_QUICK=1 cargo bench -p bench-harness >/dev/null

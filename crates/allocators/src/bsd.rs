@@ -66,13 +66,15 @@ impl BsdMalloc {
     fn carve_page(&mut self, heap: &mut SimHeap, class: u32) {
         let bsize = 1u32 << (class + MIN_CLASS_LOG);
         let page = self.os.sbrk_pages(heap, 1);
+        // One batched write range threads the whole page onto the
+        // freelist; word stream identical to the historic store loop.
         let mut head = self.heads[class as usize];
-        let mut off = 0;
-        while off + bsize <= PAGE_SIZE {
-            heap.store_addr(page + off, head);
+        let mut links = Vec::with_capacity((PAGE_SIZE / bsize) as usize);
+        for off in (0..PAGE_SIZE).step_by(bsize as usize) {
+            links.push(head.raw());
             head = page + off;
-            off += bsize;
         }
+        heap.store_u32_range(page, bsize, &links);
         self.heads[class as usize] = head;
     }
 }

@@ -112,13 +112,20 @@ impl LeaMalloc {
         let mut cur = self.bins[idx];
         let mut prev = Addr::NULL;
         if size >= SMALL_LIMIT {
+            // Sorted-bin walk, batched: each continuing step reads the
+            // chunk's header then its fd — two consecutive words, one
+            // len-2 read range. The decision itself comes from an
+            // uncounted peek so the charged stream stays exactly the
+            // historic one: head+fd per continuing node, head only at the
+            // stopping node.
             while !cur.is_null() {
-                let csize = Self::chunk_size(Self::head(heap, cur));
-                if csize >= size {
+                if Self::chunk_size(heap.peek_u32(cur + WORD)) >= size {
+                    let _ = Self::head(heap, cur);
                     break;
                 }
+                let (_, fd) = heap.load_u32_pair(cur + WORD);
                 prev = cur;
-                cur = heap.load_addr(cur + 2 * WORD); // fd
+                cur = Addr::new(fd);
             }
         }
         // link: prev <-> c <-> cur
@@ -134,10 +141,11 @@ impl LeaMalloc {
         }
     }
 
-    /// Unlinks a free chunk from its bin.
+    /// Unlinks a free chunk from its bin. The unconditional fd/bk loads
+    /// are consecutive words: one batched len-2 read range.
     fn bin_unlink(&mut self, heap: &mut SimHeap, c: Addr, size: u32) {
-        let fd = heap.load_addr(c + 2 * WORD);
-        let bk = heap.load_addr(c + 3 * WORD);
+        let (fd, bk) = heap.load_u32_pair(c + 2 * WORD);
+        let (fd, bk) = (Addr::new(fd), Addr::new(bk));
         if bk.is_null() {
             self.bins[bin_index(size)] = fd;
         } else {
@@ -198,14 +206,17 @@ impl LeaMalloc {
         let start = bin_index(nb);
         for idx in start..NBINS {
             let mut c = self.bins[idx];
+            // Best-fit walk, batched like `bin_insert`: peek decides,
+            // then either the single head load (fit found) or one head+fd
+            // read range (continue) is charged — the historic stream.
             while !c.is_null() {
-                let head = Self::head(heap, c);
-                let size = Self::chunk_size(head);
-                if size >= nb {
+                if Self::chunk_size(heap.peek_u32(c + WORD)) >= nb {
+                    let size = Self::chunk_size(Self::head(heap, c));
                     self.bin_unlink(heap, c, size);
                     return self.place(heap, c, size, nb);
                 }
-                c = heap.load_addr(c + 2 * WORD);
+                let (_, fd) = heap.load_u32_pair(c + WORD);
+                c = Addr::new(fd);
             }
         }
         Addr::NULL
@@ -256,12 +267,19 @@ impl RawMalloc for LeaMalloc {
         let accounted = self.live.remove(&ptr.raw()).expect("invalid or double free");
         self.stats.on_free(u64::from(accounted));
         let mut c = ptr - 2 * WORD;
-        let head = Self::head(heap, c);
+        // Boundary-tag reads, batched: when the previous chunk is free the
+        // header and the `prev_size` word below it are both needed — one
+        // descending len-2 read range (header first, as the historic
+        // load order had it). A peek decides which stream to charge.
+        let (head, psize) = if heap.peek_u32(c + WORD) & PINUSE == 0 {
+            heap.load_u32_pair_rev(c + WORD)
+        } else {
+            (Self::head(heap, c), 0)
+        };
         assert!(head & CINUSE != 0, "freeing a free chunk");
         let mut size = Self::chunk_size(head);
         // Backward coalesce (boundary tag).
         if head & PINUSE == 0 {
-            let psize = heap.load_u32(c);
             let prev = c - psize;
             self.bin_unlink(heap, prev, psize);
             c = prev;

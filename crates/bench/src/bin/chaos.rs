@@ -20,7 +20,7 @@
 //! | `alloc-faults`  | every-Mth + seeded 1-in-N allocation faults, Nth-page-acquisition faults |
 //! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
-//! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions) through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
+//! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees) through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
 //! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
@@ -494,7 +494,7 @@ fn fold_str(mut h: u64, s: &str) -> u64 {
     h
 }
 
-/// Renders a seeded random C@ program from one of two template
+/// Renders a seeded random C@ program from one of three template
 /// families. Every generated program is well-typed; what varies under
 /// fault injection is how far it gets.
 ///
@@ -503,12 +503,16 @@ fn fold_str(mut h: u64, s: &str) -> u64 {
 ///   stack reference, or leaves regions for the VM teardown;
 /// * family 1 — struct arrays indexed at the bounds-adjacent first and
 ///   last elements, filled inside nested per-iteration regions that are
-///   deleted as soon as their summary escapes by value.
+///   deleted as soon as their summary escapes by value;
+/// * family 2 — a recursively generated call tree of functions whose
+///   nested regions live and die with the call stack, over
+///   self-recursive list builders.
 fn gen_program(rng: &mut Rng, family: u64) -> String {
-    if family == 1 {
-        return gen_array_program(rng);
+    match family {
+        1 => gen_array_program(rng),
+        2 => gen_recursive_program(rng),
+        _ => gen_list_program(rng),
     }
-    gen_list_program(rng)
 }
 
 /// Family 0: linked lists, blocked deletes (the original vm-chaos
@@ -618,6 +622,79 @@ void main() {{
     )
 }
 
+/// Family 2: a recursively *generated* call tree. The generator itself
+/// recurses over a seeded shape, and every node of the shape becomes a
+/// C@ function: leaves build and sum short lists via the self-recursive
+/// `grow`/`tally` helpers on the caller's region; interior functions
+/// open a nested region, hand it (or the caller's region — seeded per
+/// call site) to their children, and delete it on the way out, so region
+/// lifetimes nest with the call tree. A seeded minority of interior
+/// nodes keeps a reference live across the first `deleteregion`,
+/// exercising the blocked-delete path deep inside the call stack.
+///
+/// Functions are emitted children-first, so every call site names an
+/// already-emitted function; only `grow`/`tally` call themselves.
+fn gen_recursive_program(rng: &mut Rng) -> String {
+    fn emit(rng: &mut Rng, depth: u64, next_id: &mut u32, out: &mut Vec<String>) -> u32 {
+        let id = *next_id;
+        *next_id += 1;
+        if depth == 0 || rng.below(4) == 0 {
+            // Leaf: allocate into whichever region the parent passed.
+            let n = 1 + rng.below(12);
+            out.push(format!("int f{id}(Region r) {{\n    return tally(grow(r, {n}));\n}}\n"));
+            return id;
+        }
+        let n_kids = 1 + rng.below(3);
+        let mut calls = String::new();
+        for _ in 0..n_kids {
+            let kid = emit(rng, depth - 1, next_id, out);
+            let target = if rng.below(3) == 0 { "r" } else { "s" };
+            calls.push_str(&format!("    t = t + f{kid}({target});\n"));
+        }
+        let hold = if rng.below(3) == 0 {
+            "    node@ keep = grow(s, 1);\n    print(deleteregion(s));\n    keep = null;\n"
+        } else {
+            ""
+        };
+        out.push(format!(
+            "int f{id}(Region r) {{\n    Region s = newregion();\n    int t = 0;\n\
+             {calls}{hold}    print(deleteregion(s));\n    return t;\n}}\n"
+        ));
+        id
+    }
+
+    let mut out = Vec::new();
+    let mut next_id = 0;
+    let depth = 1 + rng.below(3);
+    let root = emit(rng, depth, &mut next_id, &mut out);
+    let funcs = out.concat();
+    format!(
+        r#"
+struct node {{ int v; node@ next; }};
+
+node@ grow(Region r, int n) {{
+    if (n == 0) {{ return null; }}
+    node@ p = ralloc(r, node);
+    p.v = n;
+    p.next = grow(r, n - 1);
+    return p;
+}}
+
+int tally(node@ l) {{
+    if (l == null) {{ return 0; }}
+    return l.v + tally(l.next);
+}}
+
+{funcs}
+void main() {{
+    Region top = newregion();
+    print(f{root}(top));
+    print(deleteregion(top));
+}}
+"#
+    )
+}
+
 /// Seeded random C@ programs through the full compiler + VM pipeline
 /// with a [`FaultPlan`] injected into the VM's runtime: whatever the
 /// fault timing, the VM must **trap** (a typed [`cq_lang::VmError`]) or
@@ -630,15 +707,16 @@ fn scenario_vm(seed: u64, ops: u64) -> Tally {
     let mut tally = Tally::default();
     let programs = (ops / 100).max(12);
     let (mut finished, mut trapped) = (0u64, 0u64);
-    let mut family_runs = [0u64; 2];
+    let mut family_runs = [0u64; 3];
     for i in 0..programs {
         tally.ops += 1;
-        // Programs 0 and 1 pin one template family each so both families
-        // are exercised structurally, not by a bet on the dice.
+        // Programs 0–2 pin one template family each so every family is
+        // exercised structurally, not by a bet on the dice.
         let family = match i {
             0 => 0,
             1 => 1,
-            _ => rng.below(2),
+            2 => 2,
+            _ => rng.below(3),
         };
         family_runs[family as usize] += 1;
         tally.digest = fold(tally.digest, 30 + family);
@@ -1043,6 +1121,50 @@ fn install_panic_filter() {
             prev(info);
         }
     }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every seeded shape of the recursive family must compile, run to
+    /// completion without faults, and leave the runtime sanitize-clean.
+    #[test]
+    fn recursive_programs_compile_and_run_clean_for_many_seeds() {
+        for seed in 0..32u64 {
+            let mut rng = Rng::seeded(seed);
+            let source = gen_recursive_program(&mut rng);
+            let program = cq_lang::compile(&source)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to compile: {e}\n{source}"));
+            let mut vm = cq_lang::Vm::new(program, region_core::SafetyMode::Safe);
+            vm.run().unwrap_or_else(|t| {
+                panic!("seed {seed} trapped without faults: {}\n{source}", t.message)
+            });
+            let report = vm.runtime_mut().sanitize();
+            assert!(report.is_clean(), "seed {seed} left a dirty runtime: {report}");
+        }
+    }
+
+    /// Golden digest for `--scenario vm-chaos` at the default seed: drift
+    /// in the program generators, the fault plans, or the digest fold
+    /// shows up here instead of silently rewriting soak history. If a
+    /// generator change is intentional, re-record the constant from the
+    /// assertion message.
+    #[test]
+    fn vm_chaos_digest_is_stable_for_default_seed() {
+        let a = scenario_vm(0xC4A05, 600);
+        let b = scenario_vm(0xC4A05, 600);
+        assert_eq!(a.digest, b.digest, "same-seed vm-chaos runs diverged");
+        assert_eq!(
+            a.digest, VM_CHAOS_GOLDEN_DIGEST,
+            "vm-chaos digest drifted from the recorded golden (got {:#018x})",
+            a.digest
+        );
+    }
+
+    /// Recorded from `scenario_vm(0xC4A05, 600)` when the third template
+    /// family (recursive call trees) landed.
+    const VM_CHAOS_GOLDEN_DIGEST: u64 = 0x31d7_53dc_220f_b996;
 }
 
 fn main() {

@@ -1,13 +1,23 @@
 //! Workload execution and measurement shared by every table/figure
 //! binary.
 
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use cache_sim::{MemStats, MemorySystem};
 use region_core::{AllocStats, SafetyCosts};
+use simheap::SimHeap;
 use workloads::{MallocEnv, MallocKind, RegionEnv, RegionKind, Workload};
 
 use crate::supervise::{supervise, JobOutcome, SuperviseConfig};
+
+/// Locks the warm-heap pool, tolerating poison: a panic inside a matrix
+/// cell happens while the pool is *unlocked* (heaps are popped before and
+/// pushed after a run), so a poisoned lock only means some other cell
+/// died — the pooled heaps themselves are fine to reuse.
+fn lock_pool(pool: &Mutex<Vec<SimHeap>>) -> MutexGuard<'_, Vec<SimHeap>> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Workload scale, from the `SCALE` environment variable (default 2).
 /// Passing `--quick` to a benchmark binary forces scale 1 (CI smoke
@@ -63,7 +73,20 @@ impl Measurement {
 /// Runs the malloc/free variant of a workload under one allocator.
 /// `traced` attaches the cache simulator (slower; for Figure 10).
 pub fn measure_malloc(w: Workload, kind: MallocKind, scale: u32, traced: bool) -> Measurement {
-    let mut env = MallocEnv::new(kind);
+    measure_malloc_on(w, kind, scale, traced, SimHeap::new()).0
+}
+
+/// [`measure_malloc`] on a recycled heap, returning the (reset-ready) heap
+/// for the next run. The environment resets the heap before use, so the
+/// measurement is bit-identical to a fresh-heap run.
+pub fn measure_malloc_on(
+    w: Workload,
+    kind: MallocKind,
+    scale: u32,
+    traced: bool,
+    heap: SimHeap,
+) -> (Measurement, SimHeap) {
+    let mut env = MallocEnv::on_heap(kind, heap);
     if traced {
         env.heap().attach_sink(Box::new(MemorySystem::default()));
     }
@@ -73,14 +96,14 @@ pub fn measure_malloc(w: Workload, kind: MallocKind, scale: u32, traced: bool) -
     let mem = env.mem_time();
     let os_pages = env.os_pages();
     let stats = *env.stats();
+    let mut heap = env.into_heap();
     let cache = if traced {
-        let mut heap = env.into_heap();
         let sink = heap.detach_sink().expect("sink attached");
         Some(MemorySystem::from_sink(sink).stats())
     } else {
         None
     };
-    Measurement {
+    let m = Measurement {
         workload: w.name(),
         allocator: kind.name(),
         total,
@@ -91,22 +114,44 @@ pub fn measure_malloc(w: Workload, kind: MallocKind, scale: u32, traced: bool) -
         costs: None,
         cache,
         checksum,
-    }
+    };
+    (m, heap)
 }
 
 /// Runs the region variant of a workload under one region backend.
 pub fn measure_region(w: Workload, kind: RegionKind, scale: u32, traced: bool) -> Measurement {
-    run_region_fn(w.name(), kind, scale, traced, |env| w.run_region(env, scale))
+    measure_region_on(w, kind, scale, traced, SimHeap::new()).0
+}
+
+/// [`measure_region`] on a recycled heap (see [`measure_malloc_on`]).
+pub fn measure_region_on(
+    w: Workload,
+    kind: RegionKind,
+    scale: u32,
+    traced: bool,
+    heap: SimHeap,
+) -> (Measurement, SimHeap) {
+    run_region_fn(w.name(), kind, scale, traced, heap, |env| w.run_region(env, scale))
 }
 
 /// Runs moss's "slow" (single-region, interleaved) layout — the extra
 /// bar of Figures 9 and 10.
 pub fn measure_region_slow(kind: RegionKind, scale: u32, traced: bool) -> Measurement {
-    let mut m = run_region_fn("moss", kind, scale, traced, |env| {
+    measure_region_slow_on(kind, scale, traced, SimHeap::new()).0
+}
+
+/// [`measure_region_slow`] on a recycled heap (see [`measure_malloc_on`]).
+pub fn measure_region_slow_on(
+    kind: RegionKind,
+    scale: u32,
+    traced: bool,
+    heap: SimHeap,
+) -> (Measurement, SimHeap) {
+    let (mut m, heap) = run_region_fn("moss", kind, scale, traced, heap, |env| {
         workloads::moss::run_region_slow(env, scale)
     });
     m.allocator = "Slow";
-    m
+    (m, heap)
 }
 
 fn run_region_fn(
@@ -114,9 +159,10 @@ fn run_region_fn(
     kind: RegionKind,
     _scale: u32,
     traced: bool,
+    heap: SimHeap,
     run: impl FnOnce(&mut RegionEnv) -> u64,
-) -> Measurement {
-    let mut env = RegionEnv::new(kind);
+) -> (Measurement, SimHeap) {
+    let mut env = RegionEnv::on_heap(kind, heap);
     if traced {
         env.heap().attach_sink(Box::new(MemorySystem::default()));
     }
@@ -137,14 +183,14 @@ fn run_region_fn(
             );
         }
     }
+    let mut heap = env.into_heap();
     let cache = if traced {
-        let mut heap = env.into_heap();
         let sink = heap.detach_sink().expect("sink attached");
         Some(MemorySystem::from_sink(sink).stats())
     } else {
         None
     };
-    Measurement {
+    let m = Measurement {
         workload: name,
         allocator: kind.name(),
         total,
@@ -155,7 +201,8 @@ fn run_region_fn(
         costs,
         cache,
         checksum,
-    }
+    };
+    (m, heap)
 }
 
 // ----------------------------------------------------------------------
@@ -176,10 +223,19 @@ pub enum Job {
 impl Job {
     /// Runs this cell and returns its measurement.
     pub fn run(self, scale: u32, traced: bool) -> Measurement {
+        self.run_warm(SimHeap::new(), scale, traced).0
+    }
+
+    /// Runs this cell on a recycled heap and hands the heap back for the
+    /// next cell. The environment resets the heap before use, so every
+    /// counter, checksum, and footprint row is bit-identical to a
+    /// fresh-heap run; only the host allocation backing the simulated
+    /// memory is reused.
+    pub fn run_warm(self, heap: SimHeap, scale: u32, traced: bool) -> (Measurement, SimHeap) {
         match self {
-            Job::Malloc(w, kind) => measure_malloc(w, kind, scale, traced),
-            Job::Region(w, kind) => measure_region(w, kind, scale, traced),
-            Job::MossSlow(kind) => measure_region_slow(kind, scale, traced),
+            Job::Malloc(w, kind) => measure_malloc_on(w, kind, scale, traced, heap),
+            Job::Region(w, kind) => measure_region_on(w, kind, scale, traced, heap),
+            Job::MossSlow(kind) => measure_region_slow_on(kind, scale, traced, heap),
         }
     }
 }
@@ -247,9 +303,23 @@ pub fn run_matrix_checked(
     workers: usize,
 ) -> Vec<Result<Measurement, String>> {
     let cfg = SuperviseConfig { workers, ..SuperviseConfig::default() };
+    // Warm heap pool: finished cells return their SimHeap and the next
+    // cell adopts it (reset-and-reuse), so a long matrix allocates ~one
+    // heap per worker instead of one per cell. A cell that panics drops
+    // its heap with the unwound environment — a possibly-corrupt heap is
+    // never recycled, keeping fault containment intact.
+    let pool: Arc<Mutex<Vec<SimHeap>>> = Arc::new(Mutex::new(Vec::new()));
     let closures: Vec<_> = jobs
         .iter()
-        .map(|&job| move |_attempt: u32| job.run(scale, traced))
+        .map(|&job| {
+            let pool = Arc::clone(&pool);
+            move |_attempt: u32| {
+                let warm = lock_pool(&pool).pop().unwrap_or_else(SimHeap::new);
+                let (m, heap) = job.run_warm(warm, scale, traced);
+                lock_pool(&pool).push(heap);
+                m
+            }
+        })
         .collect();
     supervise(closures, &cfg)
         .into_iter()
@@ -397,6 +467,43 @@ mod tests {
         assert_eq!(rows[1].checksum, serial.checksum);
         assert_eq!(rows[1].os_pages, serial.os_pages);
         assert_eq!(rows[1].stats.total_allocs, serial.stats.total_allocs);
+    }
+
+    #[test]
+    fn warm_heap_reuse_is_invisible_in_measurements() {
+        // More jobs than workers forces every worker to recycle its heap
+        // across cells; a traced cell in the middle checks that an
+        // attached sink never leaks into the next adopter. Every
+        // deterministic field must match a fresh-heap serial run, for
+        // 1 worker and for several.
+        let jobs = [
+            Job::Region(Workload::Tile, RegionKind::Safe),
+            Job::Malloc(Workload::Tile, MallocKind::Gc),
+            Job::Malloc(Workload::Cfrac, MallocKind::Lea),
+            Job::Region(Workload::Cfrac, RegionKind::Unsafe),
+            Job::Malloc(Workload::Tile, MallocKind::Bsd),
+            Job::Region(Workload::Tile, RegionKind::Emulated(MallocKind::Sun)),
+        ];
+        let fresh: Vec<Measurement> = jobs.iter().map(|j| j.run(1, false)).collect();
+        for workers in [1, 3] {
+            let warm = run_matrix_with(&jobs, 1, false, workers);
+            for (f, w) in fresh.iter().zip(&warm) {
+                assert_eq!(f.checksum, w.checksum, "{}/{} x{workers}", f.workload, f.allocator);
+                assert_eq!(f.os_pages, w.os_pages, "{}/{} x{workers}", f.workload, f.allocator);
+                assert_eq!(f.stats, w.stats, "{}/{} x{workers}", f.workload, f.allocator);
+                assert_eq!(f.costs, w.costs, "{}/{} x{workers}", f.workload, f.allocator);
+            }
+        }
+        // And a traced run recycled onto a previously-traced heap keeps
+        // cache counters bit-identical to a fresh traced run.
+        let traced_jobs = [
+            Job::Malloc(Workload::Tile, MallocKind::Gc),
+            Job::Malloc(Workload::Tile, MallocKind::Gc),
+        ];
+        let rows = run_matrix_with(&traced_jobs, 1, true, 1);
+        let fresh = traced_jobs[0].run(1, true);
+        assert_eq!(rows[0].cache, fresh.cache);
+        assert_eq!(rows[1].cache, fresh.cache, "recycled heap must trace identically");
     }
 
     #[test]

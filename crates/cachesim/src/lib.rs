@@ -310,19 +310,37 @@ impl MemorySystem {
     /// counters are bit-identical to expanding the range through
     /// [`MemorySystem::access`].
     fn on_read_range(&mut self, r: AccessRange) {
+        // For an ascending non-wrapping range the line-run length is
+        // closed-form (bytes left in the leader's line over the stride), so
+        // no per-word address walk remains. Wrapping ranges — descending
+        // boundary-tag pairs encoded with a huge wrapping stride — keep the
+        // per-word scan, which is the definitionally correct fallback.
+        let line_bytes = 1u64 << self.l1.line_shift;
+        let no_wrap = u64::from(r.start)
+            + u64::from(r.len.saturating_sub(1)) * u64::from(r.stride)
+            <= u64::from(u32::MAX);
         let mut i = 0;
         while i < r.len {
             let addr = r.start.wrapping_add(i.wrapping_mul(r.stride));
-            let line = addr >> self.l1.line_shift;
             self.now += self.config.gap_cycles;
             self.retire_completed();
             self.on_read(addr);
-            let mut j = i + 1;
-            while j < r.len
-                && r.start.wrapping_add(j.wrapping_mul(r.stride)) >> self.l1.line_shift == line
-            {
-                j += 1;
-            }
+            let j = if r.stride == 0 {
+                r.len
+            } else if no_wrap {
+                let left = (u64::from(addr) | (line_bytes - 1)) + 1 - u64::from(addr);
+                let run = left.div_ceil(u64::from(r.stride));
+                (u64::from(i) + run).min(u64::from(r.len)) as u32
+            } else {
+                let line = addr >> self.l1.line_shift;
+                let mut j = i + 1;
+                while j < r.len
+                    && r.start.wrapping_add(j.wrapping_mul(r.stride)) >> self.l1.line_shift == line
+                {
+                    j += 1;
+                }
+                j
+            };
             let trailers = u64::from(j - i - 1);
             self.stats.reads += trailers;
             self.stats.l1_hits += trailers;

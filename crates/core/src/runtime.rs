@@ -211,7 +211,16 @@ impl RegionRuntime {
 
     /// Creates a runtime with the given configuration.
     pub fn with_config(config: RegionConfig) -> RegionRuntime {
-        let mut heap = SimHeap::with_config(config.heap);
+        RegionRuntime::with_config_on(config, SimHeap::with_config(config.heap))
+    }
+
+    /// Creates a runtime with the given configuration on a recycled heap
+    /// (warm per-worker reuse). The heap is reset first — same break
+    /// pointer, zeroed memory, fresh counters, no sink — so every address
+    /// the runtime hands out replays exactly as on a brand-new heap;
+    /// only the host allocation backing the heap is reused.
+    pub fn with_config_on(config: RegionConfig, mut heap: SimHeap) -> RegionRuntime {
+        heap.reset_with(config.heap);
         let stack_base = heap.sbrk_pages(config.stack_pages);
         let stack_slots = config.stack_pages * (PAGE_SIZE / WORD);
         RegionRuntime {

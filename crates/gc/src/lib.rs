@@ -210,23 +210,31 @@ impl BoehmGc {
                 PageKind::SpanInterior { .. } => {}
             }
         }
-        // Mark from roots: the shadow stack, then registered globals.
+        // Mark from roots: the shadow stack, then registered globals. Each
+        // scan is one batched read range (DESIGN §11) whose word expansion
+        // equals the historic load-per-slot loop; marking touches only
+        // host-side bitmaps, so the traced access stream is unchanged.
+        // `buf` is reused across every scan to keep the hot trace loop
+        // allocation-free.
         let mut work: Vec<(Addr, u32)> = Vec::new();
-        for slot in 0..self.top_slot {
-            let v = heap.load_addr(self.root_base + slot * WORD);
-            work.extend(self.mark_word(v));
+        let mut buf: Vec<u32> = Vec::new();
+        heap.scan_words_into(self.root_base, self.top_slot, &mut buf);
+        for &v in &buf {
+            work.extend(self.mark_word(Addr::new(v)));
         }
-        for &(start, len) in &self.global_roots.clone() {
-            let words = len / WORD;
-            for w in 0..words {
-                let v = heap.load_addr(start + w * WORD);
+        for gi in 0..self.global_roots.len() {
+            let (start, len) = self.global_roots[gi];
+            heap.scan_words_into(start, len / WORD, &mut buf);
+            for i in 0..buf.len() {
+                let v = Addr::new(buf[i]);
                 work.extend(self.mark_word(v));
             }
         }
         // Trace: conservatively scan every word of every reached object.
         while let Some((base, size)) = work.pop() {
-            for w in 0..size / WORD {
-                let v = heap.load_addr(base + w * WORD);
+            heap.scan_words_into(base, size / WORD, &mut buf);
+            for i in 0..buf.len() {
+                let v = Addr::new(buf[i]);
                 work.extend(self.mark_word(v));
             }
         }
@@ -238,6 +246,7 @@ impl BoehmGc {
         // run to run.
         let mut page_indices: Vec<u32> = self.pages.keys().copied().collect();
         page_indices.sort_unstable();
+        let mut links: Vec<u32> = Vec::new();
         for pi in page_indices {
             let (class, dead) = match self.pages.get_mut(&pi) {
                 Some(PageKind::Class { class, alloc, mark }) => {
@@ -263,14 +272,33 @@ impl BoehmGc {
                 }
                 _ => continue,
             };
+            // Thread the dead blocks onto the freelist with batched write
+            // ranges: `dead` is ascending, so maximal runs of consecutive
+            // block indices become one `store_u32_range` each (stride =
+            // block size), with the head chain computed host-side. The
+            // word-level store stream — addresses, values, order — is
+            // identical to the historic store-per-block loop.
             let bsize = 1u32 << (class + MIN_CLASS_LOG);
-            for idx in dead {
-                let base = Addr::new(pi * PAGE_SIZE) + idx * bsize;
-                let accounted = self.live.remove(&base.raw()).expect("block in live map");
-                self.stats.on_free(u64::from(accounted));
-                heap.store_addr(base, self.heads[class as usize]);
-                self.heads[class as usize] = base;
+            let page_base = Addr::new(pi * PAGE_SIZE);
+            let mut head = self.heads[class as usize];
+            let mut i = 0;
+            while i < dead.len() {
+                let mut j = i + 1;
+                while j < dead.len() && dead[j] == dead[j - 1] + 1 {
+                    j += 1;
+                }
+                links.clear();
+                for &idx in &dead[i..j] {
+                    let base = page_base + idx * bsize;
+                    let accounted = self.live.remove(&base.raw()).expect("block in live map");
+                    self.stats.on_free(u64::from(accounted));
+                    links.push(head.raw());
+                    head = base;
+                }
+                heap.store_u32_range(page_base + dead[i] * bsize, bsize, &links);
+                i = j;
             }
+            self.heads[class as usize] = head;
         }
         self.bytes_since_gc = 0;
         self.threshold = self.stats.live_bytes.max(MIN_THRESHOLD);
@@ -280,13 +308,15 @@ impl BoehmGc {
         let bsize = 1u32 << (class + MIN_CLASS_LOG);
         let page = self.sbrk(heap, 1);
         self.pages.insert(page.page_index(), PageKind::Class { class, alloc: [0; 4], mark: [0; 4] });
+        // One batched write range threads the whole page onto the
+        // freelist; word stream identical to the historic store loop.
         let mut head = self.heads[class as usize];
-        let mut off = 0;
-        while off + bsize <= PAGE_SIZE {
-            heap.store_addr(page + off, head);
+        let mut links = Vec::with_capacity((PAGE_SIZE / bsize) as usize);
+        for off in (0..PAGE_SIZE).step_by(bsize as usize) {
+            links.push(head.raw());
             head = page + off;
-            off += bsize;
         }
+        heap.store_u32_range(page, bsize, &links);
         self.heads[class as usize] = head;
     }
 

@@ -1,0 +1,152 @@
+//! Scan-batching parity for a full collection cycle.
+//!
+//! The collector's root/global/trace scans and its sweep freelist
+//! threading emit batched `Range` records (DESIGN §11). The protocol
+//! contract is that batching changes *record counts only*: the
+//! word-level access stream, the heap's load/store counters, and every
+//! cache-simulator statistic must be bit-identical to the historic
+//! word-by-word implementation. These tests drive one deterministic
+//! GC world — allocations across several size classes, a pointer graph,
+//! stack and global roots, two collections with garbage in between —
+//! through every consumption mode and diff the observations.
+
+use cache_sim::MemorySystem;
+use conservative_gc::BoehmGc;
+use malloc_suite::RawMalloc;
+use simheap::{
+    Access, AccessEvent, AccessSink, Addr, EventRecordingSink, RecordingSink, SimHeap,
+};
+
+/// Deterministic PCG-style generator so every heap sees one program.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u32 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+}
+
+const NROOTS: u32 = 8;
+const NGLOBALS: u32 = 64;
+
+/// Builds the GC world on the given heap and runs two collections: the
+/// first with most objects reachable, the second after dropping half
+/// the roots and globals so the sweep threads real runs of dead blocks.
+fn build_and_collect(heap: &mut SimHeap) -> (u64, u64) {
+    let mut gc = BoehmGc::new(heap);
+    let globals = heap.sbrk(NGLOBALS * 4);
+    gc.add_global_roots(globals, NGLOBALS * 4);
+    gc.push_roots(heap, NROOTS);
+    let mut rng = Lcg(0x5EED_CAFE);
+    let mut objs: Vec<Addr> = Vec::new();
+    for i in 0..240u32 {
+        // Sizes span small bitmap classes up to a multi-class large
+        // object, so both bitmap sweep and span reclamation run.
+        let size = match rng.next() % 5 {
+            0 => 12,
+            1 => 16,
+            2 => 40,
+            3 => 100,
+            _ => 700,
+        };
+        let a = gc.malloc(heap, size);
+        if !objs.is_empty() && rng.next() % 2 == 0 {
+            let prev = objs[rng.next() as usize % objs.len()];
+            heap.store_addr(a, prev);
+        }
+        objs.push(a);
+        gc.set_root(heap, i % NROOTS, a);
+        if rng.next() % 3 == 0 {
+            heap.store_addr(globals + 4 * (rng.next() % NGLOBALS), a);
+        }
+    }
+    gc.collect(heap);
+    for r in (0..NROOTS).step_by(2) {
+        gc.set_root(heap, r, Addr::NULL);
+    }
+    for g in (1..NGLOBALS).step_by(2) {
+        heap.store_addr(globals + 4 * g, Addr::NULL);
+    }
+    gc.collect(heap);
+    (heap.load_count(), heap.store_count())
+}
+
+/// Untraced, word-logged, and event-logged runs agree on the counters;
+/// the canonical expansion of the event log *is* the word log; and the
+/// event log is genuinely batched (fewer records than words).
+#[test]
+fn collect_stream_expansion_matches_word_log() {
+    let mut plain = SimHeap::new();
+    let plain_counts = build_and_collect(&mut plain);
+
+    let mut words = SimHeap::new();
+    words.attach_sink(Box::new(RecordingSink::default()));
+    let word_counts = build_and_collect(&mut words);
+
+    let mut events = SimHeap::new();
+    events.attach_sink(Box::new(EventRecordingSink::default()));
+    let event_counts = build_and_collect(&mut events);
+
+    assert_eq!(plain_counts, word_counts, "tracing changed the charge counters");
+    assert_eq!(plain_counts, event_counts);
+
+    let wlog =
+        words.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+    let elog =
+        events.detach_sink().unwrap().into_any().downcast::<EventRecordingSink>().unwrap().log;
+    let mut expanded: Vec<Access> = Vec::new();
+    for ev in &elog {
+        ev.for_each_word(|a| expanded.push(a));
+    }
+    assert_eq!(expanded, wlog, "event expansion diverged from the word stream");
+    assert!(
+        elog.iter().any(|e| matches!(e, AccessEvent::Range(_))),
+        "the collector emitted no range records"
+    );
+    assert!(
+        elog.len() < wlog.len(),
+        "batching did not shrink the record count ({} events for {} words)",
+        elog.len(),
+        wlog.len()
+    );
+}
+
+/// A sink that defeats the cache simulator's native range consumption by
+/// re-expanding every event to words first. Native and forced-expansion
+/// runs must produce bit-identical cache statistics.
+struct ForceExpand(MemorySystem);
+
+impl AccessSink for ForceExpand {
+    fn access(&mut self, a: Access) {
+        self.0.access(a);
+    }
+    fn event(&mut self, ev: AccessEvent) {
+        ev.for_each_word(|a| self.0.access(a));
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+#[test]
+fn collect_cache_counters_match_under_forced_expansion() {
+    let mut native = SimHeap::new();
+    native.attach_sink(Box::new(MemorySystem::default()));
+    build_and_collect(&mut native);
+
+    let mut forced = SimHeap::new();
+    forced.attach_sink(Box::new(ForceExpand(MemorySystem::default())));
+    build_and_collect(&mut forced);
+
+    let n = MemorySystem::from_sink(native.detach_sink().unwrap()).stats();
+    let f = forced
+        .detach_sink()
+        .unwrap()
+        .into_any()
+        .downcast::<ForceExpand>()
+        .unwrap()
+        .0
+        .stats();
+    assert_eq!(n, f, "native range consumption diverged from word expansion");
+}

@@ -585,6 +585,170 @@ impl SimHeap {
             .collect()
     }
 
+    /// Scans `len` contiguous words starting at `start` into `out`
+    /// (cleared first), observationally equivalent to `len` calls of
+    /// [`SimHeap::load_u32`]: same counter totals, and the single batched
+    /// [`AccessEvent::Range`] it announces expands to the same per-word
+    /// access stream. The buffer-reusing twin of [`SimHeap::scan_words`],
+    /// for hot loops (the GC's conservative trace) that would otherwise
+    /// allocate per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched word is unmapped/misaligned, exactly as the
+    /// per-word loop would.
+    pub fn scan_words_into(&mut self, start: Addr, len: u32, out: &mut Vec<u32>) {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        self.check_word(start, "load");
+        let last = u64::from(start.raw()) + u64::from(len) * u64::from(WORD);
+        assert!(
+            last <= self.memory.len() as u64,
+            "simulated segfault: bulk load of {len} words at {start} past break {}",
+            self.brk()
+        );
+        self.loads += u64::from(len);
+        if self.tracing {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: start.raw(),
+                len,
+                stride: WORD,
+                size: WORD as u8,
+                kind: AccessKind::Read,
+            }));
+        }
+        let i = start.raw() as usize;
+        out.extend(
+            self.memory[i..i + (len * WORD) as usize]
+                .chunks_exact(WORD as usize)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+    }
+
+    /// Scans `len` contiguous words starting at `start` and returns them;
+    /// see [`SimHeap::scan_words_into`] for the contract.
+    pub fn scan_words(&mut self, start: Addr, len: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(len as usize);
+        self.scan_words_into(start, len, &mut out);
+        out
+    }
+
+    /// Loads the two consecutive words at `addr` and `addr + WORD` as one
+    /// batched len-2 [`AccessEvent::Range`], observationally equivalent to
+    /// two [`SimHeap::load_u32`] calls. For paired link fields (`fd`/`bk`)
+    /// in freelist chunks.
+    pub fn load_u32_pair(&mut self, addr: Addr) -> (u32, u32) {
+        self.check_word(addr, "load");
+        self.check_word(addr + WORD, "load");
+        self.loads += 2;
+        if self.tracing {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: addr.raw(),
+                len: 2,
+                stride: WORD,
+                size: WORD as u8,
+                kind: AccessKind::Read,
+            }));
+        }
+        let i = addr.raw() as usize;
+        (
+            u32::from_le_bytes([self.memory[i], self.memory[i + 1], self.memory[i + 2], self.memory[i + 3]]),
+            u32::from_le_bytes([self.memory[i + 4], self.memory[i + 5], self.memory[i + 6], self.memory[i + 7]]),
+        )
+    }
+
+    /// Loads the word at `addr` then the word at `addr - WORD`, in that
+    /// order, as one batched len-2 [`AccessEvent::Range`] with wrapping
+    /// stride `-WORD` (the canonical expansion uses wrapping arithmetic,
+    /// so a descending range is well-formed). Observationally equivalent
+    /// to `load_u32(addr)` followed by `load_u32(addr - WORD)`. This is
+    /// the boundary-tag producer: a header word and the `prev_size` word
+    /// below it are read together when coalescing backward.
+    pub fn load_u32_pair_rev(&mut self, addr: Addr) -> (u32, u32) {
+        self.check_word(addr, "load");
+        self.check_word(addr - WORD, "load");
+        self.loads += 2;
+        if self.tracing {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: addr.raw(),
+                len: 2,
+                stride: WORD.wrapping_neg(),
+                size: WORD as u8,
+                kind: AccessKind::Read,
+            }));
+        }
+        let i = addr.raw() as usize;
+        (
+            u32::from_le_bytes([self.memory[i], self.memory[i + 1], self.memory[i + 2], self.memory[i + 3]]),
+            u32::from_le_bytes([self.memory[i - 4], self.memory[i - 3], self.memory[i - 2], self.memory[i - 1]]),
+        )
+    }
+
+    /// Stores `values[i]` at `start + i*stride`, observationally
+    /// equivalent to `values.len()` calls of [`SimHeap::store_u32`]: same
+    /// counter totals, and the single batched write [`AccessEvent::Range`]
+    /// it announces expands to the same per-word access stream. Unlike
+    /// [`SimHeap::fill`] the stored values may differ per slot — this is
+    /// the freelist-threading producer (each free block's first word
+    /// points at the previous head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is not word-aligned or any touched word is
+    /// unmapped/misaligned, exactly as the per-word loop would.
+    pub fn store_u32_range(&mut self, start: Addr, stride: u32, values: &[u32]) {
+        let len = values.len() as u32;
+        if len == 0 {
+            return;
+        }
+        assert!(stride % WORD == 0, "misaligned stride {stride} in bulk store at {start}");
+        self.check_word(start, "store");
+        let last = u64::from(start.raw()) + u64::from(len - 1) * u64::from(stride);
+        assert!(
+            last + u64::from(WORD) <= self.memory.len() as u64,
+            "simulated segfault: bulk store of {len} words (stride {stride}) at {start} past break {}",
+            self.brk()
+        );
+        self.stores += u64::from(len);
+        if self.tracing {
+            self.emit_event(AccessEvent::Range(AccessRange {
+                start: start.raw(),
+                len,
+                stride,
+                size: WORD as u8,
+                kind: AccessKind::Write,
+            }));
+        }
+        for (i, v) in values.iter().enumerate() {
+            let j = (start.raw() + i as u32 * stride) as usize;
+            self.memory[j..j + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Resets the heap to its post-construction state under `config` while
+    /// keeping the host allocation warm: the break returns to one guard
+    /// page, counters go to zero, any sink is dropped, and the backing
+    /// buffer's capacity is retained so a reused heap regrows without
+    /// fresh host page faults. Regrown memory is zeroed (`Vec::resize`
+    /// zero-fills), so a recycled heap is indistinguishable from
+    /// [`SimHeap::with_config`] to the simulated program.
+    pub fn reset_with(&mut self, config: HeapConfig) {
+        self.memory.truncate(PAGE_SIZE as usize);
+        self.memory[..].fill(0);
+        self.config = config;
+        self.sink = None;
+        self.tracing = false;
+        self.loads = 0;
+        self.stores = 0;
+    }
+
+    /// [`SimHeap::reset_with`] under the default configuration.
+    pub fn reset(&mut self) {
+        self.reset_with(HeapConfig::default());
+    }
+
     /// Reads `len` bytes into a host `Vec` without counting simulated
     /// accesses. Intended for test assertions and I/O boundaries (e.g.
     /// printing a simulated string), not for simulated computation.
@@ -620,7 +784,7 @@ impl SimHeap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{CountingSink, RecordingSink};
+    use crate::trace::{CountingSink, EventRecordingSink, RecordingSink};
 
     #[test]
     fn new_heap_has_only_guard_page() {
@@ -909,6 +1073,142 @@ mod tests {
         let mut heap = SimHeap::new();
         let a = heap.sbrk_pages(1);
         heap.store_u32_fast(a + 2, 1);
+    }
+
+    #[test]
+    fn scan_words_matches_scalar_loads() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        for w in 0..16u32 {
+            heap.store_u32(a + w * WORD, w * 3 + 1);
+        }
+        let (l0, s0) = (heap.load_count(), heap.store_count());
+        let got = heap.scan_words(a, 16);
+        assert_eq!(got, (0..16).map(|w| w * 3 + 1).collect::<Vec<u32>>());
+        assert_eq!(heap.load_count() - l0, 16);
+        assert_eq!(heap.store_count(), s0);
+        // Empty scans touch nothing.
+        assert!(heap.scan_words(a, 0).is_empty());
+        assert_eq!(heap.load_count() - l0, 16);
+    }
+
+    #[test]
+    fn scan_words_into_reuses_buffer() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32(a + 8, 42);
+        let mut buf = vec![9, 9, 9];
+        heap.scan_words_into(a + 8, 1, &mut buf);
+        assert_eq!(buf, vec![42]);
+        heap.scan_words_into(a, 0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn scan_words_checks_bounds() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.scan_words(a + PAGE_SIZE - 2 * WORD, 3);
+    }
+
+    #[test]
+    fn scan_words_emits_one_range_event() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(EventRecordingSink::default()));
+        heap.scan_words(a, 8);
+        let log = heap
+            .detach_sink()
+            .unwrap()
+            .into_any()
+            .downcast::<EventRecordingSink>()
+            .unwrap()
+            .log;
+        assert_eq!(log.len(), 1);
+        assert!(matches!(
+            log[0],
+            AccessEvent::Range(r) if r.start == a.raw() && r.len == 8 && r.stride == WORD
+                && r.kind == AccessKind::Read
+        ));
+    }
+
+    #[test]
+    fn load_u32_pair_matches_two_loads() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32(a + 8, 5);
+        heap.store_u32(a + 12, 7);
+        let (l0, _) = (heap.load_count(), heap.store_count());
+        assert_eq!(heap.load_u32_pair(a + 8), (5, 7));
+        assert_eq!(heap.load_count() - l0, 2);
+    }
+
+    #[test]
+    fn load_u32_pair_rev_reads_descending() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32(a + 16, 0xAA);
+        heap.store_u32(a + 12, 0xBB);
+        heap.attach_sink(Box::new(RecordingSink::default()));
+        assert_eq!(heap.load_u32_pair_rev(a + 16), (0xAA, 0xBB));
+        let log = heap.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+        assert_eq!(
+            log,
+            vec![Access::read((a + 16).raw(), 4), Access::read((a + 12).raw(), 4)],
+            "expansion order is header then prev_size"
+        );
+        assert_eq!(heap.load_count(), 2);
+    }
+
+    #[test]
+    fn store_u32_range_matches_scalar_stores() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        let (_, s0) = (heap.load_count(), heap.store_count());
+        heap.store_u32_range(a, 16, &[10, 20, 30]);
+        assert_eq!(heap.store_count() - s0, 3);
+        assert_eq!(heap.load_u32(a), 10);
+        assert_eq!(heap.load_u32(a + 16), 20);
+        assert_eq!(heap.load_u32(a + 32), 30);
+        // Empty stores touch nothing.
+        heap.store_u32_range(a, 16, &[]);
+        assert_eq!(heap.store_count() - s0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated segfault")]
+    fn store_u32_range_checks_bounds() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(1);
+        heap.store_u32_range(a + PAGE_SIZE - WORD, WORD, &[1, 2]);
+    }
+
+    #[test]
+    fn reset_restores_fresh_heap_semantics() {
+        let mut heap = SimHeap::new();
+        let a = heap.sbrk_pages(3);
+        heap.fill(a, 3 * PAGE_SIZE, 0xEE);
+        heap.attach_sink(Box::new(CountingSink::default()));
+        heap.load_u32(a);
+        heap.reset();
+        assert_eq!(heap.os_bytes(), u64::from(PAGE_SIZE), "break back to guard page");
+        assert_eq!((heap.load_count(), heap.store_count()), (0, 0));
+        assert!(!heap.is_tracing());
+        let b = heap.sbrk_pages(3);
+        assert_eq!(b, a, "addresses replay identically after reset");
+        for w in 0..3 * PAGE_SIZE / WORD {
+            assert_eq!(heap.peek_u32(b + w * WORD), 0, "regrown memory is zeroed");
+        }
+    }
+
+    #[test]
+    fn reset_with_applies_new_config() {
+        let mut heap = SimHeap::new();
+        heap.sbrk_pages(8);
+        heap.reset_with(HeapConfig { max_bytes: 2 * u64::from(PAGE_SIZE), ..HeapConfig::default() });
+        assert!(heap.try_sbrk_pages(1).is_ok());
+        assert!(heap.try_sbrk_pages(4).is_err(), "new limit enforced after reset");
     }
 
     #[test]

@@ -165,7 +165,10 @@ impl AccessEvent {
 /// inherits the default `event`, which expands each event canonically. A
 /// sink overriding `event` for speed must be observationally identical to
 /// the expansion.
-pub trait AccessSink {
+///
+/// Sinks are `Send` so a heap (with or without a sink attached) can move
+/// between benchmark worker threads.
+pub trait AccessSink: Send {
     /// Called once per word-level memory access, in program order (unless
     /// [`AccessSink::event`] is overridden).
     fn access(&mut self, access: Access);

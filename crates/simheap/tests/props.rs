@@ -207,6 +207,108 @@ proptest! {
         prop_assert_eq!(blog, slog);
     }
 
+    /// (f) `scan_words` is observationally `len` consecutive scalar
+    /// loads, traced or not: byte-identical words, identical counters,
+    /// and — traced — its one Range record expands to exactly the word
+    /// stream a scalar-load loop announces.
+    #[test]
+    fn scan_words_matches_scalar_loop(
+        woff in 0u32..64,
+        len in 0u32..96,
+        traced in any::<bool>(),
+        mult in any::<u32>(),
+    ) {
+        let mut bulk = SimHeap::new();
+        let base = bulk.sbrk_pages(AREA / PAGE_SIZE);
+        let mut scalar = SimHeap::new();
+        scalar.sbrk_pages(AREA / PAGE_SIZE);
+        for w in 0..AREA / WORD {
+            let v = w.wrapping_mul(mult | 1);
+            bulk.store_u32(base + w * WORD, v);
+            scalar.store_u32(base + w * WORD, v);
+        }
+        if traced {
+            bulk.attach_sink(Box::new(RecordingSink::default()));
+            scalar.attach_sink(Box::new(RecordingSink::default()));
+        }
+        let start = base + woff * WORD;
+        let got = bulk.scan_words(start, len);
+        let want: Vec<u32> = (0..len).map(|i| scalar.load_u32(start + i * WORD)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(bulk.load_count(), scalar.load_count());
+        prop_assert_eq!(bulk.store_count(), scalar.store_count());
+        if traced {
+            let blog = bulk.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            let slog = scalar.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            prop_assert_eq!(blog, slog);
+        }
+    }
+
+    /// (g) `store_u32_range` is observationally a scalar store loop,
+    /// traced or not: identical final memory, counters, and (traced)
+    /// word-expanded stream.
+    #[test]
+    fn store_range_matches_scalar_stores(
+        woff in 0u32..32,
+        stride_words in 1u32..5,
+        vals in proptest::collection::vec(any::<u32>(), 0..48),
+        traced in any::<bool>(),
+    ) {
+        let mut bulk = SimHeap::new();
+        let base = bulk.sbrk_pages(AREA / PAGE_SIZE);
+        let mut scalar = SimHeap::new();
+        scalar.sbrk_pages(AREA / PAGE_SIZE);
+        if traced {
+            bulk.attach_sink(Box::new(RecordingSink::default()));
+            scalar.attach_sink(Box::new(RecordingSink::default()));
+        }
+        let start = base + woff * WORD;
+        let stride = stride_words * WORD;
+        bulk.store_u32_range(start, stride, &vals);
+        for (i, &v) in vals.iter().enumerate() {
+            scalar.store_u32(start + (i as u32) * stride, v);
+        }
+        prop_assert_eq!(bulk.load_count(), scalar.load_count());
+        prop_assert_eq!(bulk.store_count(), scalar.store_count());
+        if traced {
+            let blog = bulk.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            let slog = scalar.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            prop_assert_eq!(blog, slog);
+        }
+        prop_assert_eq!(bulk.snapshot(base, AREA), scalar.snapshot(base, AREA));
+    }
+
+    /// (h) The word-pair readers are observationally two scalar loads in
+    /// their declared order — ascending for `load_u32_pair`, descending
+    /// for `load_u32_pair_rev` — traced or not.
+    #[test]
+    fn word_pairs_match_scalar_loads(woff in 1u32..512, traced in any::<bool>(), mult in any::<u32>()) {
+        let mut bulk = SimHeap::new();
+        let base = bulk.sbrk_pages(AREA / PAGE_SIZE);
+        let mut scalar = SimHeap::new();
+        scalar.sbrk_pages(AREA / PAGE_SIZE);
+        for w in 0..AREA / WORD {
+            let v = w.wrapping_mul(mult | 1);
+            bulk.store_u32(base + w * WORD, v);
+            scalar.store_u32(base + w * WORD, v);
+        }
+        if traced {
+            bulk.attach_sink(Box::new(RecordingSink::default()));
+            scalar.attach_sink(Box::new(RecordingSink::default()));
+        }
+        let a = base + woff * WORD;
+        let fwd = bulk.load_u32_pair(a);
+        prop_assert_eq!(fwd, (scalar.load_u32(a), scalar.load_u32(a + WORD)));
+        let rev = bulk.load_u32_pair_rev(a);
+        prop_assert_eq!(rev, (scalar.load_u32(a), scalar.load_u32(a - WORD)));
+        prop_assert_eq!(bulk.load_count(), scalar.load_count());
+        if traced {
+            let blog = bulk.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            let slog = scalar.detach_sink().unwrap().into_any().downcast::<RecordingSink>().unwrap().log;
+            prop_assert_eq!(blog, slog);
+        }
+    }
+
     #[test]
     fn sbrk_never_moves_down_and_zeroes(pages in proptest::collection::vec(1u32..4, 1..12)) {
         let mut heap = SimHeap::new();

@@ -53,7 +53,14 @@ pub struct MallocEnv {
 impl MallocEnv {
     /// Creates an environment for the given allocator.
     pub fn new(kind: MallocKind) -> MallocEnv {
-        let mut heap = SimHeap::new();
+        MallocEnv::on_heap(kind, SimHeap::new())
+    }
+
+    /// Creates an environment on a recycled heap (warm per-worker reuse).
+    /// The heap is reset first, so the run is bit-identical to one on a
+    /// fresh heap; only the host allocation backing it is reused.
+    pub fn on_heap(kind: MallocKind, mut heap: SimHeap) -> MallocEnv {
+        heap.reset();
         let alloc: Box<dyn RawMalloc> = match kind {
             MallocKind::Sun => Box::new(SunMalloc::new()),
             MallocKind::Bsd => Box::new(BsdMalloc::new()),
@@ -183,11 +190,24 @@ pub struct RegionEnv {
 impl RegionEnv {
     /// Creates an environment of the given kind.
     pub fn new(kind: RegionKind) -> RegionEnv {
+        RegionEnv::on_heap(kind, SimHeap::new())
+    }
+
+    /// Creates an environment on a recycled heap (warm per-worker reuse).
+    /// The heap is reset first, so the run is bit-identical to one on a
+    /// fresh heap; only the host allocation backing it is reused.
+    pub fn on_heap(kind: RegionKind, mut heap: SimHeap) -> RegionEnv {
         let backend = match kind {
-            RegionKind::Safe => RegionBackend::Real(Box::new(RegionRuntime::new_safe())),
-            RegionKind::Unsafe => RegionBackend::Real(Box::new(RegionRuntime::new_unsafe())),
+            RegionKind::Safe => RegionBackend::Real(Box::new(RegionRuntime::with_config_on(
+                RegionConfig::default(),
+                heap,
+            ))),
+            RegionKind::Unsafe => RegionBackend::Real(Box::new(RegionRuntime::with_config_on(
+                RegionConfig { mode: SafetyMode::Unsafe, ..RegionConfig::default() },
+                heap,
+            ))),
             RegionKind::Emulated(mk) => {
-                let mut heap = SimHeap::new();
+                heap.reset();
                 let alloc: Box<dyn RawMalloc> = match mk {
                     MallocKind::Sun => Box::new(SunMalloc::new()),
                     MallocKind::Bsd => Box::new(BsdMalloc::new()),
