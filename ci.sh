@@ -43,6 +43,23 @@ echo "== chaos soak (fault injection + sanitizer + VM), --quick =="
 echo "== par-chaos: contained worker faults, quarantine + reap, sanitize on =="
 REGION_SANITIZE=1 ./target/release/chaos --quick --scenario par-chaos >/dev/null
 
+echo "== elision differential (vm-chaos A/B, sanitize on) =="
+# Every random C@ program runs twice — paper-faithful codegen vs the
+# sameregion inference pass — and must be bit-identical in output, VM
+# instruction count, and final-heap digest, with a conserved barrier
+# split and zero ElisionUnsound violations, under the region sanitizer.
+REGION_SANITIZE=1 ./target/release/chaos --quick --scenario vm-chaos >/dev/null
+REGION_SANITIZE=1 cargo test -q -p cq-lang
+
+echo "== elision A/B on the workload suite (records BENCH_elision.json) =="
+# Interleaved min-of-N with the hand-annotated sameregion stores off/on;
+# asserts identical checksums, a conserved barrier split, deterministic
+# counters across reps, and a reduction on grobner/tile/mudlle. The
+# committed BENCH_elision.json is the default-scale record; the quick
+# rerun goes to target/ so it can't clobber it.
+BENCH_ELISION_OUT=target/BENCH_elision_quick.json \
+    ./target/release/fig11 --elision-ab --quick >/dev/null
+
 echo "== REGION_SANITIZE=1 smoke (one fig8 row, audited after the run) =="
 REGION_SANITIZE=1 ./target/release/fig8 --quick --only tile >/dev/null
 
@@ -59,6 +76,11 @@ echo "== results schema self-compare =="
 # fig10 was re-recorded after the range conversions; the quick run above
 # rewrote it, so this checks the committed counters survived the rewrite.
 ./target/release/compare_results results/fig10.json results/fig10.json --ignore-time >/dev/null
+# fig11/cq_bench now carry the barriers_elided column (missing-as-zero
+# for documents recorded before it existed); the quick runs above wrote
+# them with elision off/on respectively.
+./target/release/compare_results results/fig11.json results/fig11.json --ignore-time >/dev/null
+./target/release/compare_results results/cq_bench.json results/cq_bench.json --ignore-time >/dev/null
 
 echo "== criterion benches, quick mode =="
 BENCH_QUICK=1 cargo bench -p bench-harness >/dev/null

@@ -20,7 +20,7 @@
 //! | `alloc-faults`  | every-Mth + seeded 1-in-N allocation faults, Nth-page-acquisition faults |
 //! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
-//! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees) through the compiler + VM with alloc/sbrk faults and fuel exhaustion; the VM must trap, never panic |
+//! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees; region-typed returns) through the compiler + VM with alloc/sbrk faults and fuel exhaustion, each run A/B with barrier elision off and on under [`supervise`] — the runs must be observationally identical outside the barrier split, and the VM must trap, never panic |
 //! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
@@ -494,7 +494,7 @@ fn fold_str(mut h: u64, s: &str) -> u64 {
     h
 }
 
-/// Renders a seeded random C@ program from one of three template
+/// Renders a seeded random C@ program from one of four template
 /// families. Every generated program is well-typed; what varies under
 /// fault injection is how far it gets.
 ///
@@ -506,11 +506,15 @@ fn fold_str(mut h: u64, s: &str) -> u64 {
 ///   deleted as soon as their summary escapes by value;
 /// * family 2 — a recursively generated call tree of functions whose
 ///   nested regions live and die with the call stack, over
-///   self-recursive list builders.
+///   self-recursive list builders;
+/// * family 3 — region-typed function returns: helpers that return
+///   fresh region pointers (and whole `Region` values) which callers
+///   settle into locals and store into fields.
 fn gen_program(rng: &mut Rng, family: u64) -> String {
     match family {
         1 => gen_array_program(rng),
         2 => gen_recursive_program(rng),
+        3 => gen_return_program(rng),
         _ => gen_list_program(rng),
     }
 }
@@ -695,44 +699,257 @@ void main() {{
     )
 }
 
+/// Family 3: region-typed function returns. Every allocation flows out
+/// of a helper as a returned region pointer — `mk` returns a fresh
+/// node, `extend` links a returned node onto a returned tail, `chain`
+/// loops over `extend` — and `pick` returns a whole `Region` chosen
+/// between its arguments, so the caller's facts come entirely from
+/// call-return transfer. A seeded minority keeps a reference live
+/// across the first `deleteregion` to exercise the blocked path.
+fn gen_return_program(rng: &mut Rng) -> String {
+    let n1 = 1 + rng.below(16);
+    let n2 = 1 + rng.below(16);
+    let which = rng.below(2);
+    let grow = 1 + rng.below(6);
+    let body = if rng.below(3) == 0 {
+        "node@ keep = x;\n    print(deleteregion(a));\n    keep = null;"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+struct node {{ int v; node@ next; }};
+
+node@ mk(Region r, int v) {{
+    node@ p = ralloc(r, node);
+    p.v = v;
+    return p;
+}}
+
+node@ extend(Region r, node@ tail, int n) {{
+    node@ p = mk(r, n);
+    p.next = tail;
+    return p;
+}}
+
+node@ chain(Region r, int n) {{
+    node@ h = null;
+    while (n > 0) {{
+        h = extend(r, h, n);
+        n = n - 1;
+    }}
+    return h;
+}}
+
+Region pick(Region a, Region b, int which) {{
+    if (which != 0) {{ return a; }}
+    return b;
+}}
+
+int total(node@ l) {{
+    int s = 0;
+    while (l != null) {{ s = s + l.v; l = l.next; }}
+    return s;
+}}
+
+void main() {{
+    Region a = newregion();
+    Region b = newregion();
+    Region c = pick(a, b, {which});
+    node@ x = chain(c, {n1});
+    node@ y = chain(a, {n2});
+    int i = 0;
+    while (i < {grow}) {{
+        y = extend(a, y, i + 50);
+        i = i + 1;
+    }}
+    print(total(x));
+    print(total(y));
+    {body}
+    x = null;
+    y = null;
+    print(deleteregion(a));
+    print(deleteregion(b));
+}}
+"#
+    )
+}
+
 /// Seeded random C@ programs through the full compiler + VM pipeline
 /// with a [`FaultPlan`] injected into the VM's runtime: whatever the
 /// fault timing, the VM must **trap** (a typed [`cq_lang::VmError`]) or
 /// finish — never panic — and its runtime must sanitize clean
 /// afterwards.
-fn scenario_vm(seed: u64, ops: u64) -> Tally {
+/// Everything observable about one VM run of a generated program.
+/// The differential below demands that *all* of it except the barrier
+/// split is bit-identical with elision on and off.
+struct VmObs {
+    output: Vec<i32>,
+    instructions: u64,
+    trap: Option<String>,
+    /// FNV fold of every mapped heap byte at exit.
+    heap_digest: u64,
+    /// Full write barriers executed (global + region + unknown).
+    barriers_full: u64,
+    /// Barrier-free (statically elided) region-pointer stores executed.
+    barriers_elided: u64,
+    total_allocs: u64,
+    total_bytes: u64,
+    data_pages: u64,
+}
+
+/// Compiles `source` (with or without barrier elision) and runs it to
+/// completion or trap under the given fuel budget and fault plan,
+/// asserting the runtime sanitizes clean and recorded no rc violation
+/// — an [`ElisionUnsound`] here means the inference lied.
+///
+/// [`ElisionUnsound`]: region_core::RcViolation::ElisionUnsound
+fn run_vm_once(
+    i: u64,
+    source: &str,
+    elide: bool,
+    fuel: Option<u64>,
+    plan: Option<FaultPlan>,
+) -> VmObs {
     use region_core::SafetyMode;
 
+    let program = if elide { cq_lang::compile_elide(source) } else { cq_lang::compile(source) }
+        .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
+    let mut vm = cq_lang::Vm::new(program, SafetyMode::Safe);
+    if let Some(fuel) = fuel {
+        vm.set_fuel(fuel);
+    }
+    if let Some(plan) = plan {
+        vm.runtime_mut().set_fault_plan(plan);
+    }
+    let trap = vm.run().err().map(|t| t.message);
+    let report = vm.runtime_mut().sanitize();
+    assert!(report.is_clean(), "VM runtime dirty after program {i} (elide {elide}): {report}");
+    assert!(
+        vm.runtime().violations().is_empty(),
+        "rc violations after program {i} (elide {elide}): {:?}\n{source}",
+        vm.runtime().violations()
+    );
+    let heap = vm.runtime().heap();
+    let mut heap_digest = 0xcbf2_9ce4_8422_2325u64;
+    for b in heap.snapshot(Addr::new(0), heap.brk().raw()) {
+        heap_digest = fold(heap_digest, u64::from(b));
+    }
+    let costs = vm.runtime().costs();
+    let stats = vm.runtime().stats();
+    VmObs {
+        output: vm.output().to_vec(),
+        instructions: vm.instructions(),
+        trap,
+        heap_digest,
+        barriers_full: costs.barriers_global + costs.barriers_region + costs.barriers_unknown,
+        barriers_elided: costs.barriers_elided,
+        total_allocs: stats.total_allocs,
+        total_bytes: stats.total_bytes,
+        data_pages: vm.runtime().data_pages(),
+    }
+}
+
+/// What one supervised worker reports back for one generated program:
+/// the baseline run's observables folded into a per-program digest,
+/// plus the barrier split on both sides of the A/B.
+struct VmRun {
+    digest: u64,
+    finished: bool,
+    injected_fault: bool,
+    sanitize_runs: u64,
+    barriers_base: u64,
+    barriers_opt: u64,
+    elided: u64,
+}
+
+/// Runs one generated program twice — elision off, then on — under
+/// identical fuel and fault plans, and asserts the runs are
+/// observationally identical everywhere except the barrier split:
+/// same output, same trap (or none), same executed-instruction count,
+/// same allocation totals, and a bit-identical final heap. The only
+/// licensed difference is that full barriers become elided stores,
+/// one for one.
+fn run_vm_differential(
+    i: u64,
+    source: &str,
+    fuel: Option<u64>,
+    plan: Option<FaultPlan>,
+) -> VmRun {
+    let base = run_vm_once(i, source, false, fuel, plan.clone());
+    let opt = run_vm_once(i, source, true, fuel, plan);
+    assert_eq!(base.output, opt.output, "elision changed output (program {i})\n{source}");
+    assert_eq!(base.trap, opt.trap, "elision changed the trap (program {i})\n{source}");
+    assert_eq!(
+        base.instructions, opt.instructions,
+        "elision changed the executed-instruction count (program {i})\n{source}"
+    );
+    assert_eq!(
+        base.heap_digest, opt.heap_digest,
+        "elision changed the final heap (program {i})\n{source}"
+    );
+    assert_eq!(base.total_allocs, opt.total_allocs, "elision changed allocs (program {i})");
+    assert_eq!(base.total_bytes, opt.total_bytes, "elision changed alloc bytes (program {i})");
+    assert_eq!(base.data_pages, opt.data_pages, "elision changed page usage (program {i})");
+    assert_eq!(base.barriers_elided, 0, "baseline compile emitted an elided store (program {i})");
+    assert_eq!(
+        base.barriers_full,
+        opt.barriers_full + opt.barriers_elided,
+        "elision changed the number of classified stores (program {i})\n{source}"
+    );
+    // The digest folds only the baseline run — the A/B just proved the
+    // eliding run observationally identical.
+    let mut d = 0u64;
+    match &base.trap {
+        None => d = fold(d, 31),
+        Some(msg) => d = fold_str(fold(d, 32), msg),
+    }
+    for &v in &base.output {
+        d = fold(d, v as u64);
+    }
+    d = fold(d, base.instructions);
+    VmRun {
+        digest: d,
+        finished: base.trap.is_none(),
+        injected_fault: base.trap.as_deref().is_some_and(|m| m.contains("injected fault")),
+        sanitize_runs: 2,
+        barriers_base: base.barriers_full,
+        barriers_opt: opt.barriers_full,
+        elided: opt.barriers_elided,
+    }
+}
+
+fn scenario_vm(seed: u64, ops: u64) -> Tally {
     let mut rng = Rng::seeded(seed ^ 0x5EED_C0DE);
     let mut tally = Tally::default();
     let programs = (ops / 100).max(12);
-    let (mut finished, mut trapped) = (0u64, 0u64);
-    let mut family_runs = [0u64; 3];
+    let mut family_runs = [0u64; 4];
+    // Generate every program (and its fuel/fault dice) serially so the
+    // rng stream is independent of the supervised execution order.
+    let mut jobs: Vec<Box<dyn Fn(u32) -> VmRun + Send + Sync>> = Vec::new();
     for i in 0..programs {
         tally.ops += 1;
-        // Programs 0–2 pin one template family each so every family is
+        // Programs 0–3 pin one template family each so every family is
         // exercised structurally, not by a bet on the dice.
         let family = match i {
             0 => 0,
             1 => 1,
             2 => 2,
-            _ => rng.below(3),
+            3 => 3,
+            _ => rng.below(4),
         };
         family_runs[family as usize] += 1;
         tally.digest = fold(tally.digest, 30 + family);
         let source = gen_program(&mut rng, family);
-        let program = cq_lang::compile(&source)
-            .unwrap_or_else(|e| panic!("generated program must compile: {e}\n{source}"));
-        let mut vm = cq_lang::Vm::new(program, SafetyMode::Safe);
         // Program 0 always runs clean and program 1 always faults its
         // very first allocation, so the finished/trapped floor below is
         // structural rather than a bet on the dice.
-        if i != 0 {
+        let (fuel, plan) = if i == 0 {
+            (None, None)
+        } else {
             // Small budgets make some runs die of fuel exhaustion: the
             // fuel trap must be as clean as a fault trap.
-            if rng.below(6) == 0 {
-                vm.set_fuel(200 + rng.below(2000));
-            }
+            let fuel = if rng.below(6) == 0 { Some(200 + rng.below(2000)) } else { None };
             let plan = if i == 1 {
                 FaultPlan::seeded(seed ^ i).fail_every_mth_alloc(1)
             } else {
@@ -745,38 +962,49 @@ fn scenario_vm(seed: u64, ops: u64) -> Tally {
             } else {
                 plan
             };
-            vm.runtime_mut().set_fault_plan(plan);
-        }
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| vm.run()))
-                .unwrap_or_else(|p| {
-                    let msg = p
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                        .unwrap_or_else(|| "non-string payload".into());
-                    panic!("VM panicked instead of trapping (program {i}): {msg}\n{source}")
-                });
-        match outcome {
-            Ok(()) => {
-                finished += 1;
-                tally.digest = fold(tally.digest, 31);
+            (fuel, Some(plan))
+        };
+        jobs.push(Box::new(move |_attempt| {
+            run_vm_differential(i, &source, fuel, plan.clone())
+        }));
+    }
+    // Untrusted generated code runs under the supervisor: a panic is
+    // contained and reported (then failed, with the program index), and
+    // a wedged program is abandoned at the deadline instead of hanging
+    // the soak.
+    let cfg = SuperviseConfig {
+        workers: 4,
+        deadline: Some(std::time::Duration::from_secs(120)),
+        max_attempts: 1,
+        backoff: std::time::Duration::from_millis(1),
+        retry_timeouts: false,
+    };
+    let reports = supervise(jobs, &cfg);
+    let (mut finished, mut trapped) = (0u64, 0u64);
+    let (mut base_total, mut opt_total, mut elided_total) = (0u64, 0u64, 0u64);
+    for rep in reports {
+        let run = match rep.outcome {
+            JobOutcome::Completed(run) => run,
+            JobOutcome::Panicked(msg) => {
+                panic!("vm-chaos program {} failed under supervision: {msg}", rep.job)
             }
-            Err(trap) => {
-                trapped += 1;
-                tally.digest = fold_str(fold(tally.digest, 32), &trap.message);
-                if trap.message.contains("injected fault") {
-                    tally.alloc_faults += 1;
-                }
+            JobOutcome::TimedOut(d) => {
+                panic!("vm-chaos program {} wedged past the deadline ({d:?})", rep.job)
             }
+        };
+        if run.finished {
+            finished += 1;
+        } else {
+            trapped += 1;
         }
-        for &v in vm.output() {
-            tally.digest = fold(tally.digest, v as u64);
+        if run.injected_fault {
+            tally.alloc_faults += 1;
         }
-        tally.digest = fold(tally.digest, vm.instructions());
-        let report = vm.runtime_mut().sanitize();
-        tally.sanitize_runs += 1;
-        assert!(report.is_clean(), "VM runtime dirty after program {i}: {report}");
+        tally.sanitize_runs += run.sanitize_runs;
+        tally.digest = fold(tally.digest, run.digest);
+        base_total += run.barriers_base;
+        opt_total += run.barriers_opt;
+        elided_total += run.elided;
     }
     assert!(finished > 0, "no generated program ever finished");
     assert!(trapped > 0, "no generated program ever trapped");
@@ -784,6 +1012,8 @@ fn scenario_vm(seed: u64, ops: u64) -> Tally {
         family_runs.iter().all(|&n| n > 0),
         "a template family was never generated: {family_runs:?}"
     );
+    assert!(elided_total > 0, "the inference never elided a barrier across the whole soak");
+    assert!(opt_total <= base_total, "elision added barriers: {opt_total} > {base_total}");
     tally
 }
 
@@ -1145,6 +1375,23 @@ mod tests {
         }
     }
 
+    /// Every seeded shape of the region-typed-returns family must
+    /// compile, run identically with elision off and on, and elide at
+    /// least one barrier: every store in the family's helpers is a
+    /// provable sameregion store, so a seed that elides nothing means
+    /// the call-return transfer broke.
+    #[test]
+    fn return_programs_elide_and_stay_observationally_identical() {
+        for seed in 0..32u64 {
+            let mut rng = Rng::seeded(seed);
+            let source = gen_return_program(&mut rng);
+            let run = run_vm_differential(seed, &source, None, None);
+            assert!(run.finished, "seed {seed} trapped without faults\n{source}");
+            assert!(run.elided > 0, "seed {seed} elided nothing\n{source}");
+            assert!(run.barriers_opt < run.barriers_base, "seed {seed} kept every barrier");
+        }
+    }
+
     /// Golden digest for `--scenario vm-chaos` at the default seed: drift
     /// in the program generators, the fault plans, or the digest fold
     /// shows up here instead of silently rewriting soak history. If a
@@ -1162,9 +1409,10 @@ mod tests {
         );
     }
 
-    /// Recorded from `scenario_vm(0xC4A05, 600)` when the third template
-    /// family (recursive call trees) landed.
-    const VM_CHAOS_GOLDEN_DIGEST: u64 = 0x31d7_53dc_220f_b996;
+    /// Recorded from `scenario_vm(0xC4A05, 600)` when the fourth
+    /// template family (region-typed returns) and the elision
+    /// differential landed.
+    const VM_CHAOS_GOLDEN_DIGEST: u64 = 0x35e0_ccd2_9eaf_ba09;
 }
 
 fn main() {

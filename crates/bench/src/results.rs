@@ -228,6 +228,11 @@ const EXACT_FIELDS: &[&str] = &[
     "checksum",
 ];
 
+/// Exact fields added after the first recorded documents. Older files
+/// simply lack the key, which means "zero", not "different run" — so a
+/// missing cell compares equal to an explicit 0.
+const EXACT_FIELDS_DEFAULT_ZERO: &[&str] = &["barriers_elided"];
+
 /// Row fields measured in wall-clock time; compared within a tolerance
 /// (or ignored entirely with `ignore_time`).
 const TIME_FIELDS: &[&str] = &["total_ms", "mem_ms"];
@@ -335,6 +340,16 @@ pub fn compare_docs_full(
                     "row {i} ({}): {field} changed, old {a:?}, new {b:?}",
                     label(o)
                 )),
+            }
+        }
+        for &field in EXACT_FIELDS_DEFAULT_ZERO {
+            let a = o.get(field).and_then(Json::as_num).unwrap_or(0.0);
+            let b = n.get(field).and_then(Json::as_num).unwrap_or(0.0);
+            if a != b {
+                cmp.errors.push(format!(
+                    "row {i} ({}): {field} changed, old {a:?}, new {b:?}",
+                    label(o)
+                ));
             }
         }
         if ignore_time {
@@ -450,6 +465,39 @@ mod tests {
         // Schema version gates everything else.
         let v1 = Json::parse(r#"{"schema_version": 1, "rows": []}"#).unwrap();
         assert!(compare_docs(&old, &v1, 25.0, false)[0].contains("schema_version"));
+    }
+
+    #[test]
+    fn missing_barriers_elided_reads_as_zero() {
+        // A document recorded before the elision column existed...
+        let old = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig11", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "tile", "allocator": "Safe", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "safety_instrs": 42, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        // ...compares clean against a rerun that writes an explicit 0.
+        let zero = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig11", "commit": "b", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "tile", "allocator": "Safe", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "safety_instrs": 42,
+                 "barriers_elided": 0, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        assert!(compare_docs(&old, &zero, 25.0, false).is_empty());
+
+        // But a rerun that actually elided barriers is a real difference.
+        let elided = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig11", "commit": "c", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "tile", "allocator": "Safe", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "safety_instrs": 42,
+                 "barriers_elided": 9, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        assert!(compare_docs(&old, &elided, 25.0, false)[0].contains("barriers_elided"));
     }
 
     #[test]

@@ -118,9 +118,26 @@ pub fn measure_malloc_on(
     (m, heap)
 }
 
+/// Whether benchmark region runs elide hand-annotated *sameregion*
+/// barriers (`BENCH_ELIDE=1`). Off by default, so every published
+/// counter reproduces; the elision A/B turns it on per run instead.
+pub fn elide_from_env() -> bool {
+    std::env::var("BENCH_ELIDE").is_ok_and(|v| v == "1")
+}
+
 /// Runs the region variant of a workload under one region backend.
 pub fn measure_region(w: Workload, kind: RegionKind, scale: u32, traced: bool) -> Measurement {
     measure_region_on(w, kind, scale, traced, SimHeap::new()).0
+}
+
+/// [`measure_region`] with barrier elision explicitly on or off,
+/// ignoring `BENCH_ELIDE` — the elision A/B drives both arms from one
+/// process.
+pub fn measure_region_elide(w: Workload, kind: RegionKind, scale: u32, elide: bool) -> Measurement {
+    run_region_elide(w.name(), kind, scale, false, elide, SimHeap::new(), |env| {
+        w.run_region(env, scale)
+    })
+    .0
 }
 
 /// [`measure_region`] on a recycled heap (see [`measure_malloc_on`]).
@@ -157,12 +174,25 @@ pub fn measure_region_slow_on(
 fn run_region_fn(
     name: &'static str,
     kind: RegionKind,
-    _scale: u32,
+    scale: u32,
     traced: bool,
     heap: SimHeap,
     run: impl FnOnce(&mut RegionEnv) -> u64,
 ) -> (Measurement, SimHeap) {
+    run_region_elide(name, kind, scale, traced, elide_from_env(), heap, run)
+}
+
+fn run_region_elide(
+    name: &'static str,
+    kind: RegionKind,
+    _scale: u32,
+    traced: bool,
+    elide: bool,
+    heap: SimHeap,
+    run: impl FnOnce(&mut RegionEnv) -> u64,
+) -> (Measurement, SimHeap) {
     let mut env = RegionEnv::on_heap(kind, heap);
+    env.set_elide(elide);
     if traced {
         env.heap().attach_sink(Box::new(MemorySystem::default()));
     }
@@ -396,6 +426,7 @@ pub fn results_json(name: &str, rows: &[Measurement]) -> String {
         out.push_str(&format!("\"max_live_bytes\": {}, ", s.max_live_bytes));
         if let Some(c) = &m.costs {
             out.push_str(&format!("\"safety_instrs\": {}, ", c.total_instrs()));
+            out.push_str(&format!("\"barriers_elided\": {}, ", c.barriers_elided));
         }
         if let Some(c) = &m.cache {
             out.push_str(&format!(

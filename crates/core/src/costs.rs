@@ -26,6 +26,13 @@ pub const REGION_WRITE_INSTRS: u64 = 23;
 /// more expensive runtime routine"; estimated as dispatch + region-write).
 pub const UNKNOWN_WRITE_INSTRS: u64 = 31;
 
+/// Instruction cost of a write whose barrier was statically elided by the
+/// compiler's sameregion inference (the paper's `sameregion` qualifier,
+/// §3.3). The store itself remains plus the null test the qualifier's
+/// proof obligation still requires; all page-map lookups and count
+/// adjustments are gone.
+pub const ELIDED_WRITE_INSTRS: u64 = 2;
+
 /// Estimated instructions to scan or unscan one stack slot (load the slot,
 /// null test, page-map lookup, count adjustment).
 pub const SCAN_SLOT_INSTRS: u64 = 8;
@@ -54,6 +61,10 @@ pub struct SafetyCosts {
     pub barriers_region: u64,
     /// Writes classified at runtime (the expensive dispatch path).
     pub barriers_unknown: u64,
+    /// Region-pointer writes whose barrier was statically elided
+    /// (compile-time *sameregion* proof); charged
+    /// [`ELIDED_WRITE_INSTRS`] each instead of a full barrier.
+    pub barriers_elided: u64,
     /// Simulated instructions spent in write barriers.
     pub barrier_instrs: u64,
     /// Frames scanned by `deleteregion` stack scans.

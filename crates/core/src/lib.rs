@@ -69,8 +69,9 @@ mod stats;
 
 pub use arena::Arena;
 pub use costs::{
-    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, GLOBAL_WRITE_INSTRS,
-    REGION_WRITE_INSTRS, SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS, UNKNOWN_WRITE_INSTRS,
+    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
+    GLOBAL_WRITE_INSTRS, REGION_WRITE_INSTRS, SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS,
+    UNKNOWN_WRITE_INSTRS,
 };
 pub use descriptor::{DescId, DescriptorTable, TypeDescriptor};
 pub use error::{ParRegionError, RegionError};

@@ -14,8 +14,8 @@ use std::collections::BTreeSet;
 use simheap::{align_up, Addr, HeapConfig, SimHeap, PAGE_SIZE, WORD};
 
 use crate::costs::{
-    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, GLOBAL_WRITE_INSTRS,
-    REGION_WRITE_INSTRS, UNKNOWN_WRITE_INSTRS,
+    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
+    GLOBAL_WRITE_INSTRS, REGION_WRITE_INSTRS, UNKNOWN_WRITE_INSTRS,
 };
 use crate::descriptor::{DescId, DescriptorTable, TypeDescriptor};
 use crate::error::RegionError;
@@ -811,6 +811,73 @@ impl RegionRuntime {
         self.heap.store_addr(loc, new);
     }
 
+    /// Stores region pointer `new` into a location inside a region whose
+    /// barrier the compiler elided with a *sameregion* proof: `new` is
+    /// statically known to be null or to live in the same region as
+    /// `loc`, so the barrier of Figure 5 would move no counts. Charges
+    /// [`ELIDED_WRITE_INSTRS`] instead of [`REGION_WRITE_INSTRS`] and
+    /// skips the old-value load entirely.
+    ///
+    /// The proof obligation is checked at runtime: an elided store whose
+    /// value is in a *different* region records
+    /// [`RcViolation::ElisionUnsound`] (surfaced by `sanitize()`) and
+    /// falls back to the full barrier so counts stay exact — the
+    /// violation, not a corrupted count, is the signal.
+    pub fn store_ptr_region_same(&mut self, loc: Addr, new: Addr) {
+        if self.is_safe() {
+            // `loc`'s region is a static fact the compiler already proved;
+            // the uncounted mirror peek keeps the re-check from charging a
+            // second classify on top of the value's.
+            let lr = self.region_of_peek(loc);
+            debug_assert!(lr.is_some(), "store_ptr_region_same to a non-region location");
+            let vr = self.region_of(new);
+            if vr.is_some() && vr != lr {
+                self.violations
+                    .push(RcViolation::ElisionUnsound { loc_region: lr, value_region: vr });
+                self.costs.barriers_region += 1;
+                self.costs.barrier_instrs += REGION_WRITE_INSTRS;
+                let old = self.heap.load_addr(loc);
+                self.barrier_update(lr, old, new);
+                self.heap.store_addr(loc, new);
+                return;
+            }
+            self.costs.barriers_elided += 1;
+            self.costs.barrier_instrs += ELIDED_WRITE_INSTRS;
+        }
+        self.heap.store_addr(loc, new);
+    }
+
+    /// Stores region pointer `new` into global storage with the barrier
+    /// elided: the compiler proved every value stored at `loc` is null,
+    /// so no count can move. Charges [`ELIDED_WRITE_INSTRS`] instead of
+    /// [`GLOBAL_WRITE_INSTRS`]. The location is still recorded in
+    /// `global_ptr_locs` so the sanitizer audits it; a non-null store
+    /// records [`RcViolation::ElisionUnsound`] and takes the full
+    /// barrier.
+    pub fn store_ptr_global_norc(&mut self, loc: Addr, new: Addr) {
+        if self.is_safe() {
+            debug_assert!(
+                self.region_of_peek(loc).is_none(),
+                "store_ptr_global_norc to a location inside a region"
+            );
+            self.global_ptr_locs.insert(loc.raw());
+            let vr = self.region_of(new);
+            if vr.is_some() {
+                self.violations
+                    .push(RcViolation::ElisionUnsound { loc_region: None, value_region: vr });
+                self.costs.barriers_global += 1;
+                self.costs.barrier_instrs += GLOBAL_WRITE_INSTRS;
+                let old = self.heap.load_addr(loc);
+                self.barrier_update(None, old, new);
+                self.heap.store_addr(loc, new);
+                return;
+            }
+            self.costs.barriers_elided += 1;
+            self.costs.barrier_instrs += ELIDED_WRITE_INSTRS;
+        }
+        self.heap.store_addr(loc, new);
+    }
+
     /// Stores region pointer `new` at a location that could not be
     /// classified at compile time — the paper's "more expensive runtime
     /// routine" (§4.2.2). Dispatches on whether `loc` is on the shadow
@@ -1458,6 +1525,60 @@ mod tests {
         assert_eq!(rt.costs().barriers_global, 1);
         assert_eq!(rt.costs().barriers_region, 1);
         assert_eq!(rt.costs().barriers_unknown, 1);
+    }
+
+    #[test]
+    fn elided_store_is_cheap_and_sanitize_stays_clean() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r = rt.new_region();
+        let a = rt.ralloc(r, d);
+        let b = rt.ralloc(r, d);
+        // Same-region field store: no count moves, 2 instrs, no old-value load.
+        let l0 = rt.heap().load_count();
+        rt.store_ptr_region_same(a + 4, b);
+        assert_eq!(rt.heap().load_count() - l0, 1, "only the value's page-map classify");
+        rt.store_ptr_region_same(b + 4, Addr::NULL);
+        // Null global store: no count moves either.
+        rt.store_ptr_global_norc(g, Addr::NULL);
+        assert_eq!(rt.costs().barriers_elided, 3);
+        assert_eq!(rt.costs().barrier_instrs, 3 * ELIDED_WRITE_INSTRS);
+        assert_eq!(rt.rc(r), 0, "intra-region references are uncounted");
+        let rep = rt.sanitize();
+        assert!(rep.is_clean(), "{rep}");
+        assert_eq!(rep.global_locs_walked, 1, "elided global loc still audited");
+        rt.store_ptr_region_same(a + 4, Addr::NULL);
+        assert!(rt.delete_region(r));
+        assert!(rt.sanitize().is_clean());
+    }
+
+    #[test]
+    fn unsound_elision_is_recorded_and_falls_back_to_the_barrier() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let g = rt.alloc_globals(WORD);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        // Cross-region value through the "same-region" entry point: the
+        // claim is false; the runtime records it and keeps counts exact.
+        rt.store_ptr_region_same(a + 4, b);
+        assert_eq!(rt.rc(r2), 1, "fallback barrier still moved the count");
+        rt.store_ptr_global_norc(g, a);
+        assert_eq!(rt.rc(r1), 1);
+        assert_eq!(rt.costs().barriers_elided, 0);
+        let rep = rt.sanitize();
+        assert!(!rep.is_clean());
+        assert_eq!(
+            rep.violations,
+            [
+                RcViolation::ElisionUnsound { loc_region: Some(r1), value_region: Some(r2) },
+                RcViolation::ElisionUnsound { loc_region: None, value_region: Some(r1) },
+            ]
+        );
+        assert!(rep.rc_mismatches.is_empty(), "counts themselves stayed exact");
     }
 
     #[test]

@@ -60,6 +60,17 @@ pub enum RcViolation {
         /// The (negative) count after the decrement.
         rc: i64,
     },
+    /// An elided (barrier-free) store turned out not to satisfy its
+    /// must-same-region proof obligation: the stored value lives in a
+    /// region other than the location's own. The compiler's inference
+    /// was unsound for this site.
+    ElisionUnsound {
+        /// Region owning the stored-to location (`None` for global
+        /// storage, where the obligation is "stored value is null").
+        loc_region: Option<RegionId>,
+        /// Region of the stored value.
+        value_region: Option<RegionId>,
+    },
 }
 
 impl fmt::Display for RcViolation {
@@ -73,6 +84,12 @@ impl fmt::Display for RcViolation {
             }
             RcViolation::NegativeRc { region, rc } => {
                 write!(f, "reference count of {region:?} went negative ({rc})")
+            }
+            RcViolation::ElisionUnsound { loc_region, value_region } => {
+                write!(
+                    f,
+                    "elided store of a value in {value_region:?} to a location in {loc_region:?}"
+                )
             }
         }
     }

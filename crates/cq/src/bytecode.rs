@@ -35,6 +35,11 @@ pub enum Insn {
     /// Pop a region pointer into globals+`off` with the 16-instruction
     /// global write barrier (Figure 5).
     StoreGlobalPtr(u32),
+    /// Pop a region pointer into globals+`off` **without** reference
+    /// counting: the inference pass proved every store to this global is
+    /// null, so the barrier would move no counts (the *sameregion*
+    /// analysis of §3.3 applied to global storage).
+    StoreGlobalPtrNoRc(u32),
     /// Push the address of globals+`off` (for `&global_struct`).
     AddrOfGlobal(u32),
     // --- fields and arrays ---
@@ -48,6 +53,11 @@ pub enum Insn {
     /// Pop value then pointer; the location's kind is unknown at compile
     /// time (a `*`-pointer target) — classify at runtime (§4.2.2).
     StoreFieldUnknown(u32),
+    /// Pop value then pointer; store a region pointer at `ptr+off` with
+    /// the barrier elided — the inference pass proved the value is null
+    /// or lives in the same region as the target object (the paper's
+    /// *sameregion* case, §3.3), so no counts can move.
+    StoreFieldRPtrSame(u32),
     /// Pop index then `int@` base; push the int at `base + 4*index`.
     IndexLoad,
     /// Pop value, index, `int@` base; store the int (pointer-free data).

@@ -24,6 +24,7 @@ use region_core::TypeDescriptor;
 
 use crate::ast::*;
 use crate::bytecode::{Func, Insn, ParamSlot, Program};
+use crate::infer::ElisionPlan;
 use crate::sema::{analyze, Decls, Ty};
 use crate::CompileError;
 
@@ -33,11 +34,29 @@ use crate::CompileError;
 ///
 /// Returns the first lexical, syntactic, or type error with its line.
 pub fn compile(source: &str) -> Result<Program, CompileError> {
+    compile_inner(source, false)
+}
+
+/// Compiles with the *sameregion* inference of [`crate::infer`] enabled:
+/// stores the analysis proves cannot move reference counts are emitted as
+/// the barrier-free [`Insn::StoreFieldRPtrSame`] /
+/// [`Insn::StoreGlobalPtrNoRc`]. Everything else is identical to
+/// [`compile`], which keeps the paper-faithful Figure 5 codegen.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or type error with its line.
+pub fn compile_elide(source: &str) -> Result<Program, CompileError> {
+    compile_inner(source, true)
+}
+
+fn compile_inner(source: &str, elide: bool) -> Result<Program, CompileError> {
     let unit = crate::parser::parse(source)?;
     let decls = analyze(&unit)?;
+    let plan = if elide { Some(crate::infer::infer(&unit, &decls)) } else { None };
     let mut funcs = Vec::new();
-    for f in &unit.funcs {
-        funcs.push(FuncCompiler::new(&decls, f).compile()?);
+    for (fi, f) in unit.funcs.iter().enumerate() {
+        funcs.push(FuncCompiler::new(&decls, f, plan.as_ref().map(|p| (p, fi))).compile()?);
     }
     let descriptors = decls
         .structs
@@ -76,6 +95,13 @@ struct FuncCompiler<'a> {
     code: Vec<Insn>,
     lines: Vec<u32>,
     loops: Vec<LoopCtx>,
+    /// Elision plan and this function's index, when compiling with the
+    /// sameregion inference enabled.
+    plan: Option<(&'a ElisionPlan, usize)>,
+    /// Sequential number of the next `Stmt::Assign`, matching the
+    /// numbering `infer` uses (statements in source order; `for` visits
+    /// init, body, step).
+    next_site: u32,
 }
 
 /// Break/continue bookkeeping for one enclosing loop.
@@ -94,7 +120,11 @@ struct LoopCtx {
 }
 
 impl<'a> FuncCompiler<'a> {
-    fn new(decls: &'a Decls, func: &'a FuncDef) -> FuncCompiler<'a> {
+    fn new(
+        decls: &'a Decls,
+        func: &'a FuncDef,
+        plan: Option<(&'a ElisionPlan, usize)>,
+    ) -> FuncCompiler<'a> {
         let ret = decls.resolve(&func.ret, func.line, true).expect("checked by analyze");
         FuncCompiler {
             decls,
@@ -108,7 +138,17 @@ impl<'a> FuncCompiler<'a> {
             code: Vec::new(),
             lines: Vec::new(),
             loops: Vec::new(),
+            plan,
+            next_site: 0,
         }
+    }
+
+    /// Numbers this assign site and reports whether the inference proved
+    /// its barrier redundant.
+    fn take_elide(&mut self) -> bool {
+        let site = self.next_site;
+        self.next_site += 1;
+        self.plan.is_some_and(|(p, fi)| p.elides(fi, site))
     }
 
     /// Emits `ClearRtmp` for the region-pointer locals of every scope
@@ -446,8 +486,11 @@ impl<'a> FuncCompiler<'a> {
         }
     }
 
-    /// Compiles `target = value`, classifying the write (§4.2.2).
+    /// Compiles `target = value`, classifying the write (§4.2.2) and
+    /// dropping the barrier where the sameregion inference proved it
+    /// redundant (§3.3).
     fn assign(&mut self, target: &Expr, value: &Expr, line: u32) -> Result<(), CompileError> {
+        let elide = self.take_elide();
         match target {
             Expr::Var { name, .. } => {
                 if let Some(local) = self.lookup(name) {
@@ -477,7 +520,10 @@ impl<'a> FuncCompiler<'a> {
                     return Err(self.type_mismatch(line, gty, vty));
                 }
                 self.stack.pop();
-                if gty.is_region_ptr() {
+                if gty.is_region_ptr() && elide {
+                    // Proven null-stable: the barrier would move no counts.
+                    self.emit(Insn::StoreGlobalPtrNoRc(off), line);
+                } else if gty.is_region_ptr() {
                     self.emit(Insn::StoreGlobalPtr(off), line); // 16-insn barrier
                 } else {
                     self.emit(Insn::StoreGlobal(off), line);
@@ -495,6 +541,10 @@ impl<'a> FuncCompiler<'a> {
                 self.stack.pop();
                 let insn = if !fty.is_region_ptr() {
                     Insn::StoreFieldInt(off)
+                } else if base_is_region && elide {
+                    // Proven same-region (value and overwritten value both
+                    // null-or-in the base's region): no counts can move.
+                    Insn::StoreFieldRPtrSame(off)
                 } else if base_is_region {
                     Insn::StoreFieldRPtr(off) // 23-insn region barrier
                 } else {
@@ -1069,5 +1119,96 @@ mod tests {
         let err = fails("void main() {\n  x = 3;\n}");
         assert_eq!(err.line, 2);
         assert!(err.message.contains("unknown variable"));
+    }
+
+    /// Instructions of the named function under the eliding compiler.
+    fn elided(src: &str, func: &str) -> Vec<Insn> {
+        let p = compile_elide(src).expect("program should compile");
+        p.funcs.iter().find(|f| f.name == func).expect("function exists").code.clone()
+    }
+
+    #[test]
+    fn elision_drops_the_figure3_cons_barrier() {
+        let src = r#"
+            struct list { int i; list@ next; };
+            list@ cons(Region r, int x, list@ l) {
+                list@ p = ralloc(r, list);
+                p.i = x;
+                p.next = l;
+                return p;
+            }
+            list@ copy_list(Region r, list@ l) {
+                if (l == null) return null;
+                else return cons(r, l.i, copy_list(r, l.next));
+            }
+            void main() {
+                Region tmp = newregion();
+                list@ l = cons(tmp, 1, null);
+                l = copy_list(tmp, l);
+                deleteregion(tmp);
+            }
+        "#;
+        let code = elided(src, "cons");
+        assert!(code.contains(&Insn::StoreFieldRPtrSame(4)), "p.next = l proven sameregion");
+        assert!(!code.contains(&Insn::StoreFieldRPtr(4)), "no residual barrier");
+        // The plain compiler still emits the paper-faithful barrier.
+        let base = compile(src).unwrap();
+        let cons = base.funcs.iter().find(|f| f.name == "cons").unwrap();
+        assert!(cons.code.contains(&Insn::StoreFieldRPtr(4)));
+        assert!(!cons.code.contains(&Insn::StoreFieldRPtrSame(4)));
+    }
+
+    #[test]
+    fn elision_keeps_the_barrier_across_regions() {
+        let code = elided(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                Region s = newregion();
+                list@ p = ralloc(r, list);
+                list@ q = ralloc(s, list);
+                p.next = q;
+            }
+        "#,
+            "main",
+        );
+        assert!(code.contains(&Insn::StoreFieldRPtr(4)), "cross-region store keeps its barrier");
+        assert!(!code.contains(&Insn::StoreFieldRPtrSame(4)));
+    }
+
+    #[test]
+    fn elision_rewrites_null_stable_global_stores() {
+        let code = elided(
+            r#"
+            struct list { int i; list@ next; };
+            global list@ head;
+            void main() {
+                head = null;
+                head = null;
+            }
+        "#,
+            "main",
+        );
+        assert!(code.contains(&Insn::StoreGlobalPtrNoRc(0)), "null-stable global elides rc work");
+        assert!(!code.contains(&Insn::StoreGlobalPtr(0)));
+    }
+
+    #[test]
+    fn elision_keeps_global_barrier_once_a_real_pointer_lands() {
+        let code = elided(
+            r#"
+            struct list { int i; list@ next; };
+            global list@ head;
+            void main() {
+                Region r = newregion();
+                head = ralloc(r, list);
+                head = null;
+            }
+        "#,
+            "main",
+        );
+        assert!(code.contains(&Insn::StoreGlobalPtr(0)), "non-null store demotes the global");
+        assert!(!code.contains(&Insn::StoreGlobalPtrNoRc(0)));
     }
 }

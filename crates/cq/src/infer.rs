@@ -1,0 +1,1385 @@
+//! Static *sameregion* inference and barrier elision (paper §3.3).
+//!
+//! The paper lets programmers annotate pointers `sameregion` so the
+//! compiler can skip the reference-count barrier on stores that provably
+//! cannot create a cross-region reference. C@ has no annotations, so this
+//! pass recovers the facts by forward dataflow analysis over the AST
+//! (the compile-time region analysis of the Mercury RBMM transformation,
+//! applied to explicit regions):
+//!
+//! * **Per-variable facts** form a small lattice: `Null` (definitely
+//!   null), `InRegion(k)` (null or an object in the region denoted by
+//!   symbol `k`), `RegionIs(k)` (a region handle equal to symbol `k`),
+//!   and `Unknown` (⊤). Allocations seed facts (`ralloc(r, S)` is in
+//!   `r`'s region), assignments and field loads propagate them, calls
+//!   transfer them through context-insensitive summaries, and joins at
+//!   control-flow merges widen (`InRegion(k₁) ⊔ InRegion(k₂≠k₁) = ⊤`).
+//! * **Region symbols are site-stable**: each syntactic source of a
+//!   region value (a `newregion()`, a `regionof`, a region-typed call or
+//!   global load, a parameter) gets one symbol. Re-executing a source
+//!   site (a loop) may produce a *different* region, so evaluating the
+//!   site first kills every fact that mentions its symbol — this is what
+//!   makes must-equality sound across loop back-edges.
+//! * **Field and global invariants** are greatest fixpoints, computed by
+//!   starting optimistic and demoting: a struct field is *same-region
+//!   stable* while every store to it (including stores through `*`
+//!   pointers, which may target a casted region object) is provably null
+//!   or in the target object's own region; a pointer global is *null
+//!   stable* while every store to it is provably null. Both start true —
+//!   sound because objects and globals are cleared (null) at birth, so
+//!   the invariant holds inductively if every store preserves it.
+//! * **Co-region parameter invariants** are a third greatest fixpoint:
+//!   each parameter starts out believed co-regional with the function's
+//!   first `Region` parameter (the anchor), and any live call site that
+//!   cannot prove the claim demotes it. Self-recursive functions (a tree
+//!   insert passing a child link back down with the same region) get to
+//!   assume exactly the invariant their sites preserve — induction over
+//!   the call tree, with the non-recursive entry calls as the base case.
+//!   Return summaries that join several parameters widen to a *set*
+//!   ([`SumFact::Params`]); a call site resolves the disjunction
+//!   precisely when all named parameters carry one region symbol.
+//!
+//! A store `p.f = v` is compiled to the barrier-free
+//! [`StoreFieldRPtrSame`](crate::bytecode::Insn::StoreFieldRPtrSame) only
+//! when (a) `v` is provably null or in `p`'s own region — the *new* value
+//! moves no counts — **and** (b) field `f` is same-region stable — the
+//! overwritten *old* value moves no counts either. Likewise `g = null`
+//! compiles to [`StoreGlobalPtrNoRc`](crate::bytecode::Insn::StoreGlobalPtrNoRc)
+//! only when global `g` is null stable. Everything the analysis cannot
+//! prove keeps the paper-faithful Figure 5 barrier.
+//!
+//! The analysis assumes what the language itself assumes (§3.1): array
+//! index arithmetic on `S@` stays inside the allocated block. Programs
+//! that index out of bounds are already unsafe in C@; the runtime's
+//! elided stores re-check the claim and record an `ElisionUnsound`
+//! violation rather than corrupting counts.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::ast::*;
+use crate::sema::{Decls, StructId, Ty};
+
+/// A region symbol: a site-stable name for "the region produced by this
+/// source site" (or "the region this parameter's object lives in").
+type Sym = u32;
+
+/// One abstract value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fact {
+    /// Definitely the null pointer (or null region handle).
+    Null,
+    /// Null, or an object inside the region named by the symbol.
+    InRegion(Sym),
+    /// A region handle equal to the symbol's region (or the null handle,
+    /// from which every allocation traps before producing a value).
+    RegionIs(Sym),
+    /// No information (⊤).
+    Unknown,
+}
+
+impl Fact {
+    /// Lattice join: equal facts stand, `Null` is below `InRegion`,
+    /// everything else widens to `Unknown`.
+    pub fn join(self, other: Fact) -> Fact {
+        match (self, other) {
+            _ if self == other => self,
+            (Fact::Null, Fact::InRegion(k)) | (Fact::InRegion(k), Fact::Null) => Fact::InRegion(k),
+            _ => Fact::Unknown,
+        }
+    }
+
+    fn mentions(self, s: Sym) -> bool {
+        matches!(self, Fact::InRegion(k) | Fact::RegionIs(k) if k == s)
+    }
+
+    fn sym(self) -> Option<Sym> {
+        match self {
+            Fact::InRegion(k) | Fact::RegionIs(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// A summary fact about a parameter or return value, phrased relative to
+/// the callee's parameters (context-insensitive, joined over call sites).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SumFact {
+    /// No call site / return seen yet (⊥).
+    Bottom,
+    /// Always null.
+    Null,
+    /// Null, or tied to the region of *one of* the parameters in the
+    /// nonzero bitmask (bit `i` = parameter `i`): for a `Region` value
+    /// the handle passed as that parameter; for a pointer, an object in
+    /// the region associated with it. A singleton mask is a
+    /// must-equality; a wider mask is a disjunction — e.g. a tree insert
+    /// that returns either a node fresh in the region parameter or the
+    /// tree parameter itself. Call sites resolve a disjunction by
+    /// joining the disjuncts' argument facts, so it stays precise
+    /// exactly when every masked parameter names the same region.
+    Params(u32),
+    /// No information (⊤).
+    Unknown,
+}
+
+/// Parameter indices expressible in a [`SumFact::Params`] mask; later
+/// parameters widen to [`SumFact::Unknown`].
+const MAX_SUM_PARAMS: usize = 32;
+
+impl SumFact {
+    /// The singleton summary "tied to parameter `i`'s region".
+    fn param(i: usize) -> SumFact {
+        if i < MAX_SUM_PARAMS {
+            SumFact::Params(1 << i)
+        } else {
+            SumFact::Unknown
+        }
+    }
+
+    /// The parameter index, for singleton masks only. Must-equality
+    /// consumers (parameter grouping) use this; disjunctions don't tie
+    /// two parameters to one region.
+    fn single(self) -> Option<usize> {
+        match self {
+            SumFact::Params(m) if m.count_ones() == 1 => Some(m.trailing_zeros() as usize),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: SumFact) -> SumFact {
+        match (self, other) {
+            (SumFact::Bottom, x) | (x, SumFact::Bottom) => x,
+            (SumFact::Params(a), SumFact::Params(b)) => SumFact::Params(a | b),
+            _ if self == other => self,
+            (SumFact::Null, p @ SumFact::Params(_)) | (p @ SumFact::Params(_), SumFact::Null) => p,
+            _ => SumFact::Unknown,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+struct FuncSummary {
+    params: Vec<SumFact>,
+    ret: SumFact,
+}
+
+/// The whole-program state the outer fixpoint iterates on.
+struct Invariants {
+    /// Region-pointer-typed `(struct, offset)` fields still believed
+    /// same-region stable.
+    field_same: HashSet<(StructId, u32)>,
+    /// Region-pointer globals still believed null stable.
+    global_null: Vec<bool>,
+    sums: Vec<FuncSummary>,
+    /// Per function, per parameter: still believed *co-regional with the
+    /// function's first `Region` parameter* (the anchor) — for a pointer
+    /// parameter "null or an object in the anchor's region", for a
+    /// `Region` parameter "the anchor handle itself". Starts optimistic
+    /// and demotes at any call site that cannot prove the claim, the
+    /// same greatest-fixpoint shape as `field_same`: self-recursive
+    /// sites (a tree insert passing `t.l` back down alongside the same
+    /// region) get to assume the claim they preserve, which ascending
+    /// summary joins alone cannot express.
+    co: Vec<Vec<bool>>,
+}
+
+/// Index of a function's anchor parameter: the first `Region`-typed one.
+fn anchor_param(params: &[Ty]) -> Option<usize> {
+    params.iter().position(|&t| t == Ty::Region)
+}
+
+/// The elision decisions for one program: per function, the set of
+/// `Stmt::Assign` sites (numbered in compile order — statements in
+/// source order, `if` then/else in order, `for` as init, body, step)
+/// whose barrier may be dropped.
+#[derive(Clone, Debug, Default)]
+pub struct ElisionPlan {
+    sites: Vec<BTreeSet<u32>>,
+}
+
+impl ElisionPlan {
+    /// True if assign site `site` of function `func` may skip its barrier.
+    pub fn elides(&self, func: usize, site: u32) -> bool {
+        self.sites.get(func).is_some_and(|s| s.contains(&site))
+    }
+
+    /// Total elidable sites across the program.
+    pub fn n_elided(&self) -> usize {
+        self.sites.iter().map(BTreeSet::len).sum()
+    }
+}
+
+/// Runs the inference over a resolved unit and returns the elision plan.
+///
+/// The unit must already have passed [`crate::sema::analyze`]; bodies
+/// that would fail the compiler's own type checks simply contribute no
+/// elisions (the compiler reports the error as usual).
+pub fn infer(unit: &Unit, decls: &Decls) -> ElisionPlan {
+    let mut inv = Invariants {
+        field_same: decls
+            .structs
+            .iter()
+            .enumerate()
+            .flat_map(|(sid, s)| {
+                s.fields
+                    .iter()
+                    .filter(|(_, ty, _)| ty.is_region_ptr())
+                    .map(move |&(_, _, off)| (sid, off))
+            })
+            .collect(),
+        global_null: decls.globals.iter().map(|g| g.ty.is_region_ptr()).collect(),
+        sums: decls
+            .funcs
+            .iter()
+            .map(|sig| FuncSummary { params: vec![SumFact::Bottom; sig.params.len()], ret: SumFact::Bottom })
+            .collect(),
+        co: decls
+            .funcs
+            .iter()
+            .map(|sig| {
+                let anchor = anchor_param(&sig.params);
+                sig.params
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &t)| {
+                        anchor.is_some_and(|a| j != a) && (t == Ty::Region || t.is_region_ptr())
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    // Phase 1: converge call summaries under the fully-optimistic
+    // invariants, without applying any demotions yet. Applying a demotion
+    // under a still-Bottom parameter summary would permanently poison a
+    // field that the converged summary proves same-region (Figure 3's
+    // `cons` is exactly this case). Summaries only widen, so this
+    // terminates.
+    // Phase 2: the full loop — demotions shrink the invariants, which
+    // may widen facts, which may widen summaries, which may demote more;
+    // every component moves one way only, so the loop reaches a state
+    // where one more pass changes nothing: the self-consistent
+    // (greatest-fixpoint) invariant set the soundness argument needs.
+    let cap = 4
+        + inv.field_same.len()
+        + inv.global_null.len()
+        + 3 * inv.sums.len()
+        + inv.co.iter().map(Vec::len).sum::<usize>();
+    for apply_demotions in [false, true] {
+        for _ in 0..cap {
+            let mut delta = Delta::default();
+            for (fi, f) in unit.funcs.iter().enumerate() {
+                Analyzer::run(decls, &inv, fi, f, &mut delta, false);
+            }
+            let mut changed = false;
+            if apply_demotions {
+                for key in &delta.demote_fields {
+                    changed |= inv.field_same.remove(key);
+                }
+                for &g in &delta.demote_globals {
+                    changed |= std::mem::replace(&mut inv.global_null[g], false);
+                }
+                for &(fi, j) in &delta.demote_co {
+                    changed |= std::mem::replace(&mut inv.co[fi][j], false);
+                }
+            }
+            for (fi, sum) in delta.contrib.into_iter() {
+                let cur = &mut inv.sums[fi];
+                for (p, c) in cur.params.iter_mut().zip(sum.params) {
+                    let j = p.join(c);
+                    changed |= j != *p;
+                    *p = j;
+                }
+                let j = cur.ret.join(sum.ret);
+                changed |= j != cur.ret;
+                cur.ret = j;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    // Decide pass: same analysis once more under the converged
+    // invariants, this time recording which sites may elide.
+    let mut plan = ElisionPlan { sites: vec![BTreeSet::new(); unit.funcs.len()] };
+    for (fi, f) in unit.funcs.iter().enumerate() {
+        let mut delta = Delta::default();
+        plan.sites[fi] = Analyzer::run(decls, &inv, fi, f, &mut delta, true);
+    }
+    plan
+}
+
+/// What one analysis pass wants to change in the invariants.
+#[derive(Default)]
+struct Delta {
+    demote_fields: HashSet<(StructId, u32)>,
+    demote_globals: HashSet<usize>,
+    /// `(function, parameter)` co-region claims contradicted by a live
+    /// call site this pass.
+    demote_co: HashSet<(usize, usize)>,
+    /// Per-callee joined contributions (param facts from live call sites,
+    /// return facts from the analyzed function itself).
+    contrib: HashMap<usize, FuncSummary>,
+}
+
+impl Delta {
+    fn contrib_mut(&mut self, decls: &Decls, fi: usize) -> &mut FuncSummary {
+        self.contrib.entry(fi).or_insert_with(|| FuncSummary {
+            params: vec![SumFact::Bottom; decls.funcs[fi].params.len()],
+            ret: SumFact::Bottom,
+        })
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct VarInfo {
+    ty: Ty,
+    fact: Fact,
+}
+
+/// Scope stack of variable facts. `None` means the current program point
+/// is unreachable (after `break`/`continue`/`return`); statements are
+/// still walked to keep site and symbol numbering aligned, but facts are
+/// neither derived nor consumed.
+type Env = Vec<HashMap<String, VarInfo>>;
+
+fn join_env(a: &Env, b: &Env) -> Env {
+    debug_assert_eq!(a.len(), b.len(), "joining envs from different scope depths");
+    a.iter()
+        .zip(b)
+        .map(|(sa, sb)| {
+            let mut out = HashMap::new();
+            for (name, va) in sa {
+                let fact = match sb.get(name) {
+                    Some(vb) => va.fact.join(vb.fact),
+                    None => Fact::Unknown,
+                };
+                out.insert(name.clone(), VarInfo { ty: va.ty, fact });
+            }
+            for (name, vb) in sb {
+                out.entry(name.clone()).or_insert(VarInfo { ty: vb.ty, fact: Fact::Unknown });
+            }
+            out
+        })
+        .collect()
+}
+
+fn join_opt(a: Option<Env>, b: Option<Env>) -> Option<Env> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(join_env(&a, &b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+struct Analyzer<'a> {
+    decls: &'a Decls,
+    inv: &'a Invariants,
+    delta: &'a mut Delta,
+    next_sym: Sym,
+    next_site: u32,
+    record: bool,
+    sites: BTreeSet<u32>,
+    ret: SumFact,
+    /// Region symbol per parameter index (unified across parameters the
+    /// summaries tie together).
+    param_syms: Vec<Option<Sym>>,
+    /// Smallest parameter index per symbol, for phrasing return facts.
+    sym_param: HashMap<Sym, usize>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn run(
+        decls: &'a Decls,
+        inv: &'a Invariants,
+        func_idx: usize,
+        f: &FuncDef,
+        delta: &'a mut Delta,
+        record: bool,
+    ) -> BTreeSet<u32> {
+        let sig = &decls.funcs[func_idx];
+        let mut a = Analyzer {
+            decls,
+            inv,
+            delta,
+            next_sym: 0,
+            next_site: 0,
+            record,
+            sites: BTreeSet::new(),
+            ret: SumFact::Bottom,
+            param_syms: vec![None; sig.params.len()],
+            sym_param: HashMap::new(),
+        };
+        // Group parameters proven co-regional: parameter j with a
+        // singleton summary Param(i) shares i's symbol, and a parameter
+        // whose (still-standing) co-region invariant ties it to the
+        // anchor shares the anchor's symbol.
+        let psum = &inv.sums[func_idx].params;
+        let anchor = anchor_param(&sig.params);
+        let mut scope = HashMap::new();
+        for (j, &ty) in sig.params.iter().enumerate() {
+            if !(ty == Ty::Region || ty.is_region_ptr()) {
+                continue;
+            }
+            let mut root = j;
+            let mut hops = 0;
+            while let Some(i) = psum[root].single() {
+                if i == root || hops > psum.len() {
+                    break;
+                }
+                root = i;
+                hops += 1;
+            }
+            if let Some(anc) = anchor {
+                if root != anc && inv.co[func_idx][root] {
+                    root = anc;
+                }
+            }
+            let sym = match a.param_syms[root] {
+                Some(s) => s,
+                None => {
+                    let s = a.fresh_sym();
+                    a.param_syms[root] = Some(s);
+                    a.sym_param.entry(s).or_insert(root);
+                    s
+                }
+            };
+            a.param_syms[j] = Some(sym);
+        }
+        for (j, ((te, name), &ty)) in f.params.iter().zip(&sig.params).enumerate() {
+            let _ = te;
+            let fact = if psum[j] == SumFact::Null {
+                Fact::Null
+            } else if ty == Ty::Region {
+                Fact::RegionIs(a.param_syms[j].expect("region param sym"))
+            } else if ty.is_region_ptr() {
+                Fact::InRegion(a.param_syms[j].expect("ptr param sym"))
+            } else {
+                Fact::Unknown
+            };
+            scope.insert(name.clone(), VarInfo { ty, fact });
+        }
+        let mut env = Some(vec![scope]);
+        let live_exit = a.block(&f.body, &mut env);
+        if live_exit {
+            // Falling off the end of a non-void function returns 0 (null).
+            let ret_ty = sig.ret;
+            if ret_ty != Ty::Void {
+                a.ret = a.ret.join(SumFact::Null);
+            }
+        }
+        let own = FuncSummary { params: vec![SumFact::Bottom; sig.params.len()], ret: a.ret };
+        let c = a.delta.contrib_mut(decls, func_idx);
+        c.ret = c.ret.join(own.ret);
+        a.sites
+    }
+
+    fn fresh_sym(&mut self) -> Sym {
+        let s = self.next_sym;
+        self.next_sym += 1;
+        s
+    }
+
+    /// Evaluating a region-source site: kill every fact that mentions its
+    /// symbol (a re-execution may produce a different region), then hand
+    /// the symbol out again.
+    fn source_sym(&mut self, env: &mut Option<Env>) -> Sym {
+        let s = self.fresh_sym();
+        if let Some(env) = env {
+            for scope in env.iter_mut() {
+                for v in scope.values_mut() {
+                    if v.fact.mentions(s) {
+                        v.fact = Fact::Unknown;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn lookup(&self, env: &Env, name: &str) -> Option<VarInfo> {
+        env.iter().rev().find_map(|s| s.get(name).cloned())
+    }
+
+    fn set_var(&mut self, env: &mut Env, name: &str, fact: Fact) {
+        for scope in env.iter_mut().rev() {
+            if let Some(v) = scope.get_mut(name) {
+                v.fact = fact;
+                return;
+            }
+        }
+    }
+
+    /// Walks one scope's statements. Returns whether the exit falls
+    /// through (false once a `break`/`continue`/`return` made the rest of
+    /// the block dead — dead statements are still walked for numbering).
+    fn block(&mut self, stmts: &[Stmt], env: &mut Option<Env>) -> bool {
+        if let Some(env) = env {
+            env.push(HashMap::new());
+        }
+        let mut dead_env: Option<Env> = None; // placeholder while dead
+        let mut live = env.is_some();
+        for s in stmts {
+            if live {
+                live = self.stmt(s, env);
+                if !live {
+                    dead_env = env.take();
+                }
+            } else {
+                let mut none = None;
+                self.stmt(s, &mut none);
+            }
+        }
+        if !live {
+            *env = dead_env; // keep scope shape for the pop below
+        }
+        if let Some(env) = env {
+            env.pop();
+        }
+        live
+    }
+
+    /// Transfers one statement. Returns false if control never falls
+    /// through (break/continue/return).
+    fn stmt(&mut self, s: &Stmt, env: &mut Option<Env>) -> bool {
+        match s {
+            Stmt::Decl { ty, name, init, .. } => {
+                let (_, vfact) = self.eval(init, env);
+                let rty = match self.decls.resolve(ty, 0, false) {
+                    Ok(t) => t,
+                    Err(_) => return true,
+                };
+                let fact = self.settle_region_fact(rty, vfact, env);
+                if let Some(env) = env {
+                    env.last_mut()
+                        .expect("scope")
+                        .insert(name.clone(), VarInfo { ty: rty, fact });
+                }
+                true
+            }
+            Stmt::Assign { target, value, .. } => {
+                self.assign(target, value, env);
+                true
+            }
+            Stmt::Expr { expr, .. } => {
+                self.eval(expr, env);
+                true
+            }
+            Stmt::Print { value, .. } => {
+                self.eval(value, env);
+                true
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.eval(cond, env);
+                let mut env_else = env.clone();
+                let live_t = self.block(then_branch, env);
+                let live_e = self.block(else_branch, &mut env_else);
+                let joined = join_opt(
+                    if live_t { env.take() } else { None },
+                    if live_e { env_else.take() } else { None },
+                );
+                *env = joined;
+                live_t || live_e
+            }
+            Stmt::While { cond, body, .. } => {
+                self.fixpoint_loop(env, |a, env| {
+                    a.eval(cond, env);
+                    let after_cond = env.clone();
+                    let live = a.block(body, env);
+                    let body_out = if live { env.take() } else { None };
+                    LoopPass { exit: after_cond, back: body_out, step: None }
+                });
+                true
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                // Own scope around init, mirroring the compiler.
+                if let Some(env) = env.as_mut() {
+                    env.push(HashMap::new());
+                }
+                let was_live = env.is_some();
+                let live_init = self.stmt(init, env);
+                debug_assert!(live_init || !was_live);
+                self.fixpoint_loop(env, |a, env| {
+                    a.eval(cond, env);
+                    let after_cond = env.clone();
+                    let live = a.block(body, env);
+                    let body_out = if live { env.take() } else { None };
+                    LoopPass { exit: after_cond, back: body_out, step: Some(step) }
+                });
+                if let Some(env) = env.as_mut() {
+                    env.pop();
+                }
+                true
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    let (_, fact) = self.eval(e, env);
+                    if env.is_some() {
+                        self.ret = self.ret.join(self.fact_to_sum(fact));
+                    }
+                }
+                false
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => false,
+        }
+    }
+
+    /// Phrases a fact relative to the parameters, for the return summary.
+    fn fact_to_sum(&self, fact: Fact) -> SumFact {
+        match fact {
+            Fact::Null => SumFact::Null,
+            Fact::InRegion(k) | Fact::RegionIs(k) => match self.sym_param.get(&k) {
+                Some(&i) => SumFact::param(i),
+                None => SumFact::Unknown,
+            },
+            Fact::Unknown => SumFact::Unknown,
+        }
+    }
+
+    /// Runs one loop to its env fixpoint, then one recorded pass under
+    /// the stable entry env. `break`/`continue` paths conservatively join
+    /// into the exit: both drop the strongest claims via `join_env`, and
+    /// `continue` additionally feeds the back-edge (it re-runs the
+    /// condition, which the next pass walks from the joined entry).
+    fn fixpoint_loop<'e>(
+        &mut self,
+        env: &mut Option<Env>,
+        mut pass: impl FnMut(&mut Analyzer<'a>, &mut Option<Env>) -> LoopPass<'e>,
+    ) {
+        let sym_mark = self.next_sym;
+        let site_mark = self.next_site;
+        let record = self.record;
+        self.record = false;
+        let mut entry = env.clone();
+        // Facts only widen at the head join, so this converges in a few
+        // rounds; the cap is a safety net (then the env is already the
+        // accumulated join, which is sound).
+        for _ in 0..32 {
+            self.next_sym = sym_mark;
+            self.next_site = site_mark;
+            let mut cur = entry.clone();
+            let out = pass(self, &mut cur);
+            let back = self.run_step(out.back, out.step);
+            let joined = match (entry.clone(), back) {
+                (Some(e), Some(b)) => Some(join_env(&e, &b)),
+                (e, None) => e,
+                (None, b) => b,
+            };
+            if joined == entry {
+                break;
+            }
+            entry = joined;
+        }
+        // Recorded pass from the stable entry; the loop exits where the
+        // condition was last evaluated.
+        self.record = record;
+        self.next_sym = sym_mark;
+        self.next_site = site_mark;
+        let mut cur = entry;
+        let out = pass(self, &mut cur);
+        self.run_step(out.back, out.step);
+        *env = out.exit;
+    }
+
+    fn run_step(&mut self, back: Option<Env>, step: Option<&Stmt>) -> Option<Env> {
+        match step {
+            None => back,
+            Some(step) => {
+                let mut e = back;
+                self.stmt(step, &mut e);
+                e
+            }
+        }
+    }
+
+    /// A `Region`-typed value with no better fact gets a fresh site
+    /// symbol: the variable now holds one fixed handle, so later
+    /// allocations from it are provably co-regional.
+    fn settle_region_fact(&mut self, ty: Ty, fact: Fact, env: &mut Option<Env>) -> Fact {
+        if ty == Ty::Region && !matches!(fact, Fact::RegionIs(_) | Fact::Null) {
+            Fact::RegionIs(self.source_sym(env))
+        } else {
+            fact
+        }
+    }
+
+    fn assign(&mut self, target: &Expr, value: &Expr, env: &mut Option<Env>) {
+        let site = self.next_site;
+        self.next_site += 1;
+        match target {
+            Expr::Var { name, .. } => {
+                let local = env.as_ref().and_then(|e| self.lookup(e, name));
+                if let Some(local) = local {
+                    let (_, vfact) = self.eval(value, env);
+                    let fact = self.settle_region_fact(local.ty, vfact, env);
+                    if let Some(env) = env.as_mut() {
+                        self.set_var(env, name, fact);
+                    }
+                    return;
+                }
+                // Not a visible local: a global (or an error the compiler
+                // will report). Only region-pointer globals barrier.
+                let (_, vfact) = self.eval(value, env);
+                let Some(&gi) = self.decls.global_ids.get(name.as_str()) else {
+                    return;
+                };
+                if env.is_none() || !self.decls.globals[gi].ty.is_region_ptr() {
+                    return;
+                }
+                if vfact != Fact::Null {
+                    self.delta.demote_globals.insert(gi);
+                }
+                if self.record && vfact == Fact::Null && self.inv.global_null[gi] {
+                    self.sites.insert(site);
+                }
+            }
+            Expr::Field { base, field, .. } => {
+                let (bty, bfact) = self.eval(base, env);
+                let (_, vfact) = self.eval(value, env);
+                let (sid, is_region) = match bty {
+                    Ty::RPtr(s) => (s, true),
+                    Ty::NPtr(s) => (s, false),
+                    _ => return,
+                };
+                let Some((fty, off)) = self.decls.structs[sid].field(field) else {
+                    return;
+                };
+                if env.is_none() || !fty.is_region_ptr() {
+                    return;
+                }
+                // Does this store provably keep the stored value inside
+                // the target object's own region?
+                let same = vfact == Fact::Null
+                    || (is_region
+                        && matches!((bfact, vfact),
+                            (Fact::InRegion(kb), Fact::InRegion(kv)) if kb == kv));
+                if !same {
+                    self.delta.demote_fields.insert((sid, off));
+                }
+                // Only statically-region stores elide; `*`-pointer stores
+                // keep the runtime dispatch (they may target globals or
+                // scanned stack slots, not just regions).
+                if self.record && is_region && same && self.inv.field_same.contains(&(sid, off)) {
+                    self.sites.insert(site);
+                }
+            }
+            Expr::Index { base, index, .. } => {
+                self.eval(base, env);
+                self.eval(index, env);
+                self.eval(value, env);
+            }
+            _ => {
+                self.eval(value, env);
+            }
+        }
+    }
+
+    /// Evaluates an expression to (type, fact). Typing mirrors the
+    /// compiler; anything surprising (an error the compiler will report)
+    /// degrades to `Unknown`, never panics.
+    fn eval(&mut self, e: &Expr, env: &mut Option<Env>) -> (Ty, Fact) {
+        match e {
+            Expr::Int { .. } => (Ty::Int, Fact::Unknown),
+            Expr::Null { .. } => (Ty::Null, Fact::Null),
+            Expr::Var { name, .. } => {
+                if let Some(v) = env.as_ref().and_then(|e| self.lookup(e, name)) {
+                    return (v.ty, if env.is_some() { v.fact } else { Fact::Unknown });
+                }
+                let Some(&gi) = self.decls.global_ids.get(name.as_str()) else {
+                    return (Ty::Int, Fact::Unknown);
+                };
+                let g = &self.decls.globals[gi];
+                let fact = if env.is_none() {
+                    Fact::Unknown
+                } else if g.ty.is_region_ptr() && self.inv.global_null[gi] {
+                    Fact::Null
+                } else if g.ty == Ty::Region {
+                    // A fixed handle at this load; co-regional with
+                    // nothing else we know.
+                    Fact::RegionIs(self.source_sym(env))
+                } else {
+                    Fact::Unknown
+                };
+                (g.ty, fact)
+            }
+            Expr::Field { base, field, .. } => {
+                let (bty, bfact) = self.eval(base, env);
+                let (sid, is_region) = match bty {
+                    Ty::RPtr(s) => (s, true),
+                    Ty::NPtr(s) => (s, false),
+                    _ => return (Ty::Int, Fact::Unknown),
+                };
+                let Some((fty, off)) = self.decls.structs[sid].field(field) else {
+                    return (Ty::Int, Fact::Unknown);
+                };
+                let fact = match bfact {
+                    // A same-region-stable field of an object in region k
+                    // holds null or a pointer into k.
+                    Fact::InRegion(k)
+                        if is_region
+                            && fty.is_region_ptr()
+                            && self.inv.field_same.contains(&(sid, off)) =>
+                    {
+                        Fact::InRegion(k)
+                    }
+                    _ => Fact::Unknown,
+                };
+                (fty, fact)
+            }
+            Expr::Index { base, index, .. } => {
+                let (bty, bfact) = self.eval(base, env);
+                self.eval(index, env);
+                match bty {
+                    // Address arithmetic stays inside the array's block
+                    // (§3.1), hence inside its region.
+                    Ty::RPtr(s) => (Ty::RPtr(s), bfact),
+                    _ => (Ty::Int, Fact::Unknown),
+                }
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                self.eval(lhs, env);
+                self.eval(rhs, env);
+                (Ty::Int, Fact::Unknown)
+            }
+            Expr::Un { operand, .. } => {
+                self.eval(operand, env);
+                (Ty::Int, Fact::Unknown)
+            }
+            Expr::Call { name, args, .. } => {
+                let facts: Vec<(Ty, Fact)> = args.iter().map(|a| self.eval(a, env)).collect();
+                let Some(&fi) = self.decls.func_ids.get(name.as_str()) else {
+                    return (Ty::Int, Fact::Unknown);
+                };
+                let sig = &self.decls.funcs[fi];
+                if sig.params.len() != args.len() {
+                    return (sig.ret, Fact::Unknown);
+                }
+                if env.is_some() {
+                    // Contribute this call site's argument facts to the
+                    // callee's parameter summary: arg j sharing a symbol
+                    // with another arg i is "in the region of param i".
+                    let c = self.delta.contrib_mut(self.decls, fi);
+                    for (j, &(_, fj)) in facts.iter().enumerate() {
+                        let contribution = match fj {
+                            Fact::Null => SumFact::Null,
+                            _ => match fj.sym() {
+                                Some(k) => facts
+                                    .iter()
+                                    .enumerate()
+                                    .find(|&(i, &(_, f2))| i != j && f2.sym() == Some(k))
+                                    .map_or(SumFact::Unknown, |(i, _)| SumFact::param(i)),
+                                None => SumFact::Unknown,
+                            },
+                        };
+                        c.params[j] = c.params[j].join(contribution);
+                    }
+                    // Verify the callee's still-standing co-region
+                    // invariants at this live site; a claim that cannot
+                    // be proven here demotes (greatest fixpoint, like
+                    // field stability). Pointer arguments may be null or
+                    // in the anchor's region; Region arguments must be
+                    // the anchor handle itself.
+                    if let Some(anc) = anchor_param(&sig.params) {
+                        let anchor_sym = facts.get(anc).and_then(|&(_, f)| f.sym());
+                        for (j, &(_, fj)) in facts.iter().enumerate() {
+                            if !self.inv.co[fi].get(j).copied().unwrap_or(false) {
+                                continue;
+                            }
+                            let ok = match fj {
+                                Fact::Null => sig.params[j] != Ty::Region,
+                                _ => fj.sym().is_some() && fj.sym() == anchor_sym,
+                            };
+                            if !ok {
+                                self.delta.demote_co.insert((fi, j));
+                            }
+                        }
+                    }
+                }
+                let ret = sig.ret;
+                let fact = if env.is_none() {
+                    Fact::Unknown
+                } else {
+                    match self.inv.sums[fi].ret {
+                        // Bottom: the callee never returns normally; the
+                        // result is unreachable, any fact is sound.
+                        SumFact::Bottom | SumFact::Null if ret == Ty::Region => {
+                            Fact::RegionIs(self.source_sym(env))
+                        }
+                        SumFact::Bottom | SumFact::Null => Fact::Null,
+                        SumFact::Params(mask) => {
+                            // The result is null or lives in the region
+                            // of *some* masked parameter: join the
+                            // disjuncts' argument facts (null is the
+                            // identity). Precise iff every masked
+                            // argument names one region at this site.
+                            let mut acc = Fact::Null;
+                            for i in (0..MAX_SUM_PARAMS).filter(|i| mask & (1 << i) != 0) {
+                                acc = acc.join(match facts.get(i).map(|&(_, f)| f) {
+                                    Some(Fact::RegionIs(k) | Fact::InRegion(k)) => {
+                                        Fact::InRegion(k)
+                                    }
+                                    Some(Fact::Null) => Fact::Null,
+                                    _ => Fact::Unknown,
+                                });
+                            }
+                            match acc {
+                                Fact::InRegion(k) if ret == Ty::Region => Fact::RegionIs(k),
+                                Fact::InRegion(k) => Fact::InRegion(k),
+                                Fact::Null if ret != Ty::Region => Fact::Null,
+                                _ if ret == Ty::Region => Fact::RegionIs(self.source_sym(env)),
+                                _ => Fact::Unknown,
+                            }
+                        }
+                        SumFact::Unknown if ret == Ty::Region => {
+                            Fact::RegionIs(self.source_sym(env))
+                        }
+                        SumFact::Unknown => Fact::Unknown,
+                    }
+                };
+                (ret, fact)
+            }
+            Expr::NewRegion { .. } => {
+                let fact =
+                    if env.is_some() { Fact::RegionIs(self.source_sym(env)) } else { Fact::Unknown };
+                (Ty::Region, fact)
+            }
+            Expr::DeleteRegion { var, .. } => {
+                // On success the variable becomes the null handle; keep a
+                // fresh symbol (allocations from null trap, so any fact
+                // derived from it is vacuous on that path).
+                if env.is_some() {
+                    let s = self.source_sym(env);
+                    if let Some(env) = env.as_mut() {
+                        if self.lookup(env, var).is_some() {
+                            self.set_var(env, var, Fact::RegionIs(s));
+                        }
+                    }
+                }
+                (Ty::Int, Fact::Unknown)
+            }
+            Expr::Ralloc { region, struct_name, .. } => {
+                let (_, rfact) = self.eval(region, env);
+                let sid = self.decls.struct_ids.get(struct_name.as_str()).copied();
+                let ty = sid.map_or(Ty::Int, Ty::RPtr);
+                let fact = match rfact {
+                    Fact::RegionIs(k) => Fact::InRegion(k),
+                    _ => Fact::Unknown,
+                };
+                (ty, fact)
+            }
+            Expr::RArrayAlloc { region, count, struct_name, .. } => {
+                let (_, rfact) = self.eval(region, env);
+                self.eval(count, env);
+                let sid = self.decls.struct_ids.get(struct_name.as_str()).copied();
+                let ty = sid.map_or(Ty::Int, Ty::RPtr);
+                let fact = match rfact {
+                    Fact::RegionIs(k) => Fact::InRegion(k),
+                    _ => Fact::Unknown,
+                };
+                (ty, fact)
+            }
+            Expr::RStrAlloc { region, count, .. } => {
+                let (_, rfact) = self.eval(region, env);
+                self.eval(count, env);
+                let fact = match rfact {
+                    Fact::RegionIs(k) => Fact::InRegion(k),
+                    _ => Fact::Unknown,
+                };
+                (Ty::IntArray, fact)
+            }
+            Expr::RegionOf { operand, .. } => {
+                let (_, ofact) = self.eval(operand, env);
+                let fact = if env.is_none() {
+                    Fact::Unknown
+                } else {
+                    match ofact {
+                        // regionof(p) for p in region k is k's handle (or
+                        // the null handle, from which allocation traps).
+                        Fact::InRegion(k) => Fact::RegionIs(k),
+                        // Otherwise: some fixed handle — name it.
+                        _ => Fact::RegionIs(self.source_sym(env)),
+                    }
+                };
+                (Ty::Region, fact)
+            }
+            Expr::Cast { ty, operand, .. } => {
+                self.eval(operand, env);
+                let t = self.decls.resolve(ty, 0, false).unwrap_or(Ty::Int);
+                // Casts launder provenance (§3.1's unsafe escape hatch).
+                (t, Fact::Unknown)
+            }
+            Expr::AddrOfGlobal { name, .. } => {
+                let ty = self
+                    .decls
+                    .global_ids
+                    .get(name.as_str())
+                    .and_then(|&gi| self.decls.globals[gi].struct_value)
+                    .map_or(Ty::Int, Ty::NPtr);
+                (ty, Fact::Unknown)
+            }
+        }
+    }
+}
+
+struct LoopPass<'e> {
+    /// Env where the loop exits (after the condition evaluated false).
+    exit: Option<Env>,
+    /// Env flowing around the back edge (body fall-through), before the
+    /// `for` step.
+    back: Option<Env>,
+    /// `for` step statement, run on the back edge.
+    step: Option<&'e Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sema::analyze;
+
+    fn plan_for(src: &str) -> (Unit, ElisionPlan) {
+        let unit = crate::parser::parse(src).unwrap();
+        let decls = analyze(&unit).unwrap();
+        let plan = infer(&unit, &decls);
+        (unit, plan)
+    }
+
+    #[test]
+    fn join_is_commutative_and_widens() {
+        use Fact::*;
+        assert_eq!(Null.join(InRegion(3)), InRegion(3));
+        assert_eq!(InRegion(3).join(Null), InRegion(3));
+        assert_eq!(InRegion(3).join(InRegion(3)), InRegion(3));
+        assert_eq!(InRegion(3).join(InRegion(4)), Unknown);
+        assert_eq!(RegionIs(1).join(RegionIs(2)), Unknown);
+        assert_eq!(RegionIs(1).join(InRegion(1)), Unknown);
+        assert_eq!(Unknown.join(Null), Unknown);
+    }
+
+    #[test]
+    fn sum_join_treats_bottom_as_identity() {
+        use SumFact::*;
+        assert_eq!(Bottom.join(SumFact::param(2)), SumFact::param(2));
+        assert_eq!(Null.join(SumFact::param(2)), SumFact::param(2));
+        // Different parameters union into a disjunction, not ⊤ …
+        assert_eq!(SumFact::param(2).join(SumFact::param(3)), Params(0b1100));
+        // … which only must-equality consumers refuse.
+        assert_eq!(Params(0b1100).single(), None);
+        assert_eq!(SumFact::param(2).single(), Some(2));
+        assert_eq!(SumFact::param(MAX_SUM_PARAMS), Unknown);
+        assert_eq!(Bottom.join(Bottom), Bottom);
+    }
+
+    #[test]
+    fn same_region_allocations_elide() {
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                list@ q = ralloc(r, list);
+                p.next = q;
+                p.i = 1;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1, "exactly the pointer-field store elides");
+        assert!(plan.elides(0, 0), "site 0 is `p.next = q`");
+    }
+
+    #[test]
+    fn cross_region_store_keeps_barrier() {
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r1 = newregion();
+                Region r2 = newregion();
+                list@ p = ralloc(r1, list);
+                list@ q = ralloc(r2, list);
+                p.next = q;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 0);
+    }
+
+    #[test]
+    fn null_store_elides_only_while_field_stays_stable() {
+        // Storing null is always same-region for the *new* value, but the
+        // field must also be stable so the *old* value moves no counts.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r1 = newregion();
+                Region r2 = newregion();
+                list@ p = ralloc(r1, list);
+                list@ q = ralloc(r2, list);
+                p.next = q;
+                p.next = null;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 0, "the cross-region store poisons the field");
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                p.next = null;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1);
+    }
+
+    #[test]
+    fn loop_reassignment_widens_region_fact() {
+        // q ends up allocated from a possibly-reassigned region: the
+        // back-edge join widens r to Unknown, so the store keeps its
+        // barrier (may-alias through loops).
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                list@ q = p;
+                int i = 0;
+                while (i < 2) {
+                    q = ralloc(r, list);
+                    r = newregion();
+                    i = i + 1;
+                }
+                p.next = q;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 0);
+    }
+
+    #[test]
+    fn fresh_region_per_iteration_still_elides_inside_the_loop() {
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                int i = 0;
+                while (i < 3) {
+                    Region r = newregion();
+                    list@ a = ralloc(r, list);
+                    list@ b = ralloc(r, list);
+                    a.next = b;
+                    i = i + 1;
+                }
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1, "a.next = b is same-region every iteration");
+    }
+
+    #[test]
+    fn star_pointer_store_widens_and_poisons_the_field() {
+        // The cast makes the store value untrackable; the field demotes,
+        // so even the provably-same-region store keeps its barrier.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            global list gv;
+            void main() {
+                Region r = newregion();
+                list@ p = ralloc(r, list);
+                list@ q = ralloc(r, list);
+                list* u = cast<list*>(p);
+                u.next = q;
+                p.next = q;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 0);
+    }
+
+    #[test]
+    fn interprocedural_cons_elides_like_figure3() {
+        // The paper's Figure 3: every call site passes a list allocated
+        // in the same region as `r`, so `p.next = l` inside cons is
+        // provably same-region — the paper's flagship sameregion case.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            list@ cons(Region r, int x, list@ l) {
+                list@ p = ralloc(r, list);
+                p.i = x;
+                p.next = l;
+                return p;
+            }
+            list@ copy_list(Region r, list@ l) {
+                if (l == null) return null;
+                else return cons(r, l.i, copy_list(r, l.next));
+            }
+            void main() {
+                Region tmp = newregion();
+                list@ l = cons(tmp, 1, null);
+                l = copy_list(tmp, l);
+                deleteregion(tmp);
+            }
+        "#,
+        );
+        assert!(plan.elides(0, 1), "p.next = l inside cons is same-region");
+        assert_eq!(plan.n_elided(), 1);
+    }
+
+    #[test]
+    fn disjunctive_return_resolves_when_the_regions_coincide() {
+        // insert returns either a node fresh in the region parameter or
+        // the tree parameter itself — a Params disjunction. Every call
+        // site passes a tree living in that same region, so the
+        // disjuncts join to one region and the child-link stores elide.
+        let (_, plan) = plan_for(
+            r#"
+            struct tree { int v; tree@ l; tree@ r; };
+            tree@ insert(Region rg, tree@ t, int v) {
+                if (t == null) {
+                    tree@ n = ralloc(rg, tree);
+                    n.v = v;
+                    return n;
+                }
+                if (v < t.v) t.l = insert(rg, t.l, v);
+                else t.r = insert(rg, t.r, v);
+                return t;
+            }
+            void main() {
+                Region rg = newregion();
+                tree@ t = null;
+                t = insert(rg, t, 5);
+                t = insert(rg, t, 3);
+                t = insert(rg, t, 8);
+                deleteregion(rg);
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 2, "both t.l and t.r child links elide");
+    }
+
+    #[test]
+    fn call_with_mixed_regions_widens_the_parameter() {
+        // One call site ties l to r, the other to a different region:
+        // the parameter summary joins to Unknown and nothing elides.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void link(Region r, list@ l) {
+                list@ p = ralloc(r, list);
+                p.next = l;
+            }
+            void main() {
+                Region a = newregion();
+                Region b = newregion();
+                link(a, ralloc(a, list));
+                link(a, ralloc(b, list));
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 0);
+    }
+
+    #[test]
+    fn null_stable_global_elides_its_stores() {
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            global list@ always_null;
+            global list@ escapes;
+            void main() {
+                Region r = newregion();
+                always_null = null;
+                escapes = ralloc(r, list);
+                escapes = null;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1, "only the null-stable global elides");
+        assert!(plan.elides(0, 0));
+    }
+
+    #[test]
+    fn field_loads_propagate_through_stable_fields() {
+        // l.next is same-region with l (the field is stable), so the
+        // store q.next = l.next is provably same-region.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            void main() {
+                Region r = newregion();
+                list@ l = ralloc(r, list);
+                list@ m = ralloc(r, list);
+                l.next = m;
+                list@ q = ralloc(r, list);
+                q.next = l.next;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 2);
+    }
+
+    #[test]
+    fn array_element_addresses_share_the_arrays_region() {
+        let (_, plan) = plan_for(
+            r#"
+            struct node { int v; node@ peer; };
+            void main() {
+                Region r = newregion();
+                node@ arr = rarrayalloc(r, 8, node);
+                node@ one = arr[3];
+                one.peer = arr[5];
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1);
+    }
+
+    #[test]
+    fn region_typed_returns_transfer_facts() {
+        // pick() returns one of its Region parameters; the analysis
+        // cannot tell which, but both calls pass the same region, so the
+        // summary stays Param and the allocation facts line up.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            Region pick(Region r) {
+                return r;
+            }
+            void main() {
+                Region a = newregion();
+                list@ p = ralloc(pick(a), list);
+                list@ q = ralloc(pick(a), list);
+                p.next = q;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1, "returned region is the argument's region");
+    }
+
+    #[test]
+    fn unknown_region_return_still_settles_into_a_local() {
+        // A function returning a fresh region: callers can't relate it
+        // to anything, but once stored in a local the handle is fixed,
+        // so two allocations from the local are co-regional.
+        let (_, plan) = plan_for(
+            r#"
+            struct list { int i; list@ next; };
+            global Region stash;
+            Region fetch() {
+                return stash;
+            }
+            void main() {
+                Region r = fetch();
+                list@ p = ralloc(r, list);
+                list@ q = ralloc(r, list);
+                p.next = q;
+            }
+        "#,
+        );
+        assert_eq!(plan.n_elided(), 1);
+    }
+}

@@ -63,12 +63,13 @@
 pub mod ast;
 pub mod bytecode;
 mod compile;
+pub mod infer;
 pub mod parser;
 pub mod sema;
 pub mod token;
 mod vm;
 
-pub use compile::compile;
+pub use compile::{compile, compile_elide};
 pub use vm::{Vm, VmError};
 
 /// A compile-time error with its 1-based source line.

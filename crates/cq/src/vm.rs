@@ -187,6 +187,10 @@ impl Vm {
                     let v = self.stack.pop().expect("value");
                     self.runtime.store_ptr_global(self.globals + off, Addr::new(v));
                 }
+                Insn::StoreGlobalPtrNoRc(off) => {
+                    let v = self.stack.pop().expect("value");
+                    self.runtime.store_ptr_global_norc(self.globals + off, Addr::new(v));
+                }
                 Insn::AddrOfGlobal(off) => self.stack.push((self.globals + off).raw()),
                 Insn::LoadField(off) => {
                     let p = self.stack.pop().expect("pointer");
@@ -211,6 +215,14 @@ impl Vm {
                         trap!(frames, "null pointer dereference");
                     }
                     self.runtime.store_ptr_region(Addr::new(p) + off, Addr::new(v));
+                }
+                Insn::StoreFieldRPtrSame(off) => {
+                    let v = self.stack.pop().expect("value");
+                    let p = self.stack.pop().expect("pointer");
+                    if p == 0 {
+                        trap!(frames, "null pointer dereference");
+                    }
+                    self.runtime.store_ptr_region_same(Addr::new(p) + off, Addr::new(v));
                 }
                 Insn::StoreFieldUnknown(off) => {
                     let v = self.stack.pop().expect("value");

@@ -182,6 +182,9 @@ pub struct RegionEnv {
     backend: RegionBackend,
     kind: RegionKind,
     mem_time: Duration,
+    /// Whether [`RegionEnv::store_ptr_region_same`] actually elides its
+    /// barrier (off by default, so published counters reproduce).
+    elide: bool,
     /// Parallel descriptor tables give identical `Dh` values.
     descs_real: Vec<region_core::DescId>,
     descs_emu: Vec<region_core::DescId>,
@@ -217,7 +220,14 @@ impl RegionEnv {
                 RegionBackend::Emulated { heap, er: Box::new(EmulatedRegions::new(alloc)) }
             }
         };
-        RegionEnv { backend, kind, mem_time: Duration::ZERO, descs_real: Vec::new(), descs_emu: Vec::new() }
+        RegionEnv {
+            backend,
+            kind,
+            mem_time: Duration::ZERO,
+            elide: false,
+            descs_real: Vec::new(),
+            descs_emu: Vec::new(),
+        }
     }
 
     /// Creates a safe environment with a custom runtime configuration
@@ -231,9 +241,18 @@ impl RegionEnv {
             backend: RegionBackend::Real(Box::new(RegionRuntime::with_config(config))),
             kind,
             mem_time: Duration::ZERO,
+            elide: false,
             descs_real: Vec::new(),
             descs_emu: Vec::new(),
         }
+    }
+
+    /// Turns barrier elision on or off for this environment's
+    /// [`RegionEnv::store_ptr_region_same`] calls. Off by default: the
+    /// annotated workloads then behave exactly as before, so published
+    /// Figure 11 counters stay reproducible.
+    pub fn set_elide(&mut self, on: bool) {
+        self.elide = on;
     }
 
     /// Which backend this is.
@@ -324,6 +343,32 @@ impl RegionEnv {
         let t = Instant::now();
         match &mut self.backend {
             RegionBackend::Real(rt) => rt.store_ptr_region(loc, v),
+            RegionBackend::Emulated { heap, er } => er.store_ptr_region(heap, loc, v),
+        }
+        self.mem_time += t.elapsed();
+    }
+
+    /// Barrier-free store of a region pointer the caller has *proved*
+    /// stays inside `loc`'s own region — the paper's `sameregion`
+    /// qualifier (§3.3) applied by hand to a workload's hot stores.
+    /// Under the real runtime this charges [`ELIDED_WRITE_INSTRS`] and
+    /// still verifies the claim (an unsound call records an
+    /// `ElisionUnsound` violation and falls back to the full barrier);
+    /// the emulated backend has no counts to skip, so it degrades to
+    /// the ordinary region store.
+    ///
+    /// Until [`RegionEnv::set_elide`] turns elision on, this is the
+    /// ordinary barriered store, so annotating a site is behaviorally
+    /// neutral by default.
+    ///
+    /// [`ELIDED_WRITE_INSTRS`]: region_core::ELIDED_WRITE_INSTRS
+    pub fn store_ptr_region_same(&mut self, loc: Addr, v: Addr) {
+        if !self.elide {
+            return self.store_ptr_region(loc, v);
+        }
+        let t = Instant::now();
+        match &mut self.backend {
+            RegionBackend::Real(rt) => rt.store_ptr_region_same(loc, v),
             RegionBackend::Emulated { heap, er } => er.store_ptr_region(heap, loc, v),
         }
         self.mem_time += t.elapsed();

@@ -431,7 +431,9 @@ fn node_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, coef: u64, 
     let n = env.ralloc(r, d);
     env.heap().store_u32(n + T_COEF, coef as u32);
     env.heap().store_u32(n + T_EXPS, exps);
-    env.store_ptr_region(n + T_NEXT, next);
+    // sameregion: every caller passes `next` as null or a node of the
+    // same polynomial, allocated in `r` like `n` itself.
+    env.store_ptr_region_same(n + T_NEXT, next);
     n
 }
 
@@ -454,7 +456,8 @@ fn copy_poly_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, mut p:
         if head.is_null() {
             head = n;
         } else {
-            env.store_ptr_region(tail + T_NEXT, n);
+            // sameregion: `tail` and `n` both come from node_r on `r`.
+            env.store_ptr_region_same(tail + T_NEXT, n);
         }
         tail = n;
         p = env.heap().load_addr(p + T_NEXT);
@@ -473,7 +476,8 @@ fn scale_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, p: Addr, c
         if head.is_null() {
             head = n;
         } else {
-            env.store_ptr_region(tail + T_NEXT, n);
+            // sameregion: `tail` and `n` both come from node_r on `r`.
+            env.store_ptr_region_same(tail + T_NEXT, n);
         }
         tail = n;
         cur = env.heap().load_addr(cur + T_NEXT);
@@ -494,7 +498,8 @@ fn sub_r(env: &mut RegionEnv, r: crate::env::Rh, d: crate::env::Dh, a: Addr, b: 
         if head.is_null() {
             *head = n;
         } else {
-            env.store_ptr_region(*tail + T_NEXT, n);
+            // sameregion: `tail` and `n` both come from node_r on `r`.
+            env.store_ptr_region_same(*tail + T_NEXT, n);
         }
         *tail = n;
     };

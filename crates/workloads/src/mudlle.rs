@@ -508,8 +508,10 @@ fn alloc_cell_r(
 ) -> Addr {
     let c = env.ralloc(r, d_cell);
     env.heap().store_u32(c + C_TAG, tag);
-    env.store_ptr_region(c + C_A, a);
-    env.store_ptr_region(c + C_B, b);
+    // sameregion: every caller passes `a`/`b` as null, a cell of the
+    // same parse tree in `r`, or an atom buffer rstralloc'd in `r`.
+    env.store_ptr_region_same(c + C_A, a);
+    env.store_ptr_region_same(c + C_B, b);
     env.heap().store_u32(c + C_IVAL, ival);
     c
 }
@@ -570,7 +572,8 @@ fn emit_r(env: &mut RegionEnv, st: &mut EmitR, op: u8, args: &[u8]) {
     let used = cf(env.heap(), st.tail, CH_USED);
     if used + need > CH_CAP {
         let fresh = alloc_chunk_r(env, st.region, st.d_chunk);
-        env.store_ptr_region(st.tail + CH_NEXT, fresh);
+        // sameregion: the whole chunk chain lives in `st.region`.
+        env.store_ptr_region_same(st.tail + CH_NEXT, fresh);
         st.tail = fresh;
     }
     let used = cf(env.heap(), st.tail, CH_USED);

@@ -270,10 +270,12 @@ pub fn run_region(env: &mut RegionEnv, scale: u32) -> u64 {
                 let head = env.heap().load_addr(buckets + (hash % NBUCKETS) * 4);
                 env.heap().store_u32(entry + E_COUNT, 1);
                 env.heap().store_u32(entry + E_HASH, hash);
-                env.store_ptr_region(entry + E_NEXT, head);
-                env.store_ptr_region(entry + E_WORD, word);
+                // sameregion: the bucket array, every chained entry, and
+                // the copied word are all allocated in this block's `r`.
+                env.store_ptr_region_same(entry + E_NEXT, head);
+                env.store_ptr_region_same(entry + E_WORD, word);
                 env.heap().store_u32(entry + E_LEN, wlen);
-                env.store_ptr_region(buckets + (hash % NBUCKETS) * 4, entry);
+                env.store_ptr_region_same(buckets + (hash % NBUCKETS) * 4, entry);
             } else {
                 let c = env.heap().load_u32(found + E_COUNT);
                 env.heap().store_u32(found + E_COUNT, c + 1);
