@@ -34,6 +34,26 @@ for wl in grobner mudlle lcc moss; do
     ./target/release/fig10 --quick --check-golden "$wl"
 done
 
+echo "== golden end-states (RSNP snapshots, field-level diff on drift) =="
+# Committed full runtime snapshots of the safe-region end state for tile
+# and cfrac; a byte mismatch is reported by the first drifted field
+# (region id / heap page / counter name) via bench::diff.
+./target/release/fig10 --quick --check-golden-state tile
+./target/release/fig10 --quick --check-golden-state cfrac
+
+echo "== snapshot round-trip + corrupt-input rejection (DESIGN §14) =="
+# Every-prefix replay equality, truncation/bit-flip/bad-header typed
+# rejection, and the doctored-books sanitize gate live in the core lib
+# and property suites.
+cargo test -q -p region-core --lib snapshot
+cargo test -q -p region-core --test snapshot_props
+
+echo "== kill-and-restore chaos (>=20 seeded kill points), sanitize on =="
+# Quick pass replays 25 kill-restores to digest equality and feeds the
+# corrupt-snapshot battery; the 100-seed sweep runs in the full (non
+# --quick) chaos invocation.
+REGION_SANITIZE=1 ./target/release/chaos --quick --scenario kill-restore >/dev/null
+
 echo "== parallel region pool smoke (digest + audit, sanitize on) =="
 REGION_SANITIZE=1 BENCH_WORKERS="${BENCH_WORKERS:-4}" ./target/release/par_regions --quick >/dev/null
 

@@ -13,7 +13,7 @@
 //! * the whole soak is deterministic: the same seed produces a
 //!   bit-identical event digest on a second run.
 //!
-//! Three scenarios cover the three fault families:
+//! The scenarios cover the fault families:
 //!
 //! | scenario | injects |
 //! |---|---|
@@ -22,6 +22,7 @@
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
 //! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees; region-typed returns) through the compiler + VM with alloc/sbrk faults and fuel exhaustion, each run A/B with barrier elision off and on under [`supervise`] — the runs must be observationally identical outside the barrier split, and the VM must trap, never panic |
 //! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API |
+//! | `kill-restore`  | kills the soak at a seeded uniform op index (including mid-fault-window, under the alloc-fault plan), snapshots runtime + driver, restores into a fresh context through the sanitize and pool-audit gates, and replays the remainder — the digest and every counter must equal the uninterrupted control run; corrupted snapshots (truncation, bit flips, bad magic/version, trailing bytes) must be rejected with a typed [`SnapshotError`], never a panic |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
 //! scenario), `--scenario <name>` (run one scenario only). Exit code 0
@@ -29,8 +30,8 @@
 
 use bench_harness::{supervise, JobOutcome, SuperviseConfig};
 use region_core::{
-    FaultPlan, FaultSite, ParRegionError, RegionConfig, RegionError, RegionId, RegionRuntime,
-    TypeDescriptor,
+    DescId, FaultPlan, FaultSite, ParRegionError, RegionConfig, RegionError, RegionId,
+    RegionRuntime, SnapReader, SnapWriter, SnapshotError, TypeDescriptor,
 };
 use simheap::{Addr, HeapConfig, PAGE_SIZE};
 
@@ -88,6 +89,25 @@ fn err_code(e: RegionError) -> u64 {
             };
             fold(fold(9, s), count)
         }
+        RegionError::Snapshot(e) => fold(10, snap_err_code(e)),
+    }
+}
+
+/// Folds a typed snapshot rejection into the digest — the kill-restore
+/// scenario's corrupt-input battery makes these part of the observable
+/// history.
+fn snap_err_code(e: SnapshotError) -> u64 {
+    match e {
+        SnapshotError::BadMagic => 1,
+        SnapshotError::UnsupportedVersion { version } => fold(2, u64::from(version)),
+        SnapshotError::Truncated { section } => fold_str(3, section),
+        SnapshotError::Malformed { section, offset } => {
+            fold(fold_str(4, section), offset as u64)
+        }
+        SnapshotError::TrailingBytes { extra } => fold(5, extra as u64),
+        SnapshotError::SanitizeFailed { rc_mismatches, mirror_mismatches } => {
+            fold(fold(6, rc_mismatches as u64), mirror_mismatches as u64)
+        }
     }
 }
 
@@ -125,7 +145,7 @@ impl Obj {
 }
 
 /// Everything counted over one scenario; digests must match re-runs.
-#[derive(Default)]
+#[derive(Default, PartialEq, Eq, Debug)]
 struct Tally {
     ops: u64,
     digest: u64,
@@ -142,6 +162,12 @@ struct Tally {
     quarantined: u64,
     /// Quarantined regions `reap_orphans` reclaimed (par-chaos).
     reaped: u64,
+    /// Kill-and-restore cycles that replayed to the control run's digest
+    /// (kill-restore).
+    restores: u64,
+    /// Corrupted snapshot inputs rejected with a typed error, no panic
+    /// (kill-restore).
+    corrupt_rejected: u64,
 }
 
 impl Tally {
@@ -439,6 +465,238 @@ impl Soak {
         self.note(self.rt.os_heap_bytes());
         self.tally
     }
+
+    /// Serializes the complete soak — the runtime's `RSNP` snapshot plus
+    /// the driver's own state (rng, region lists, object pool, tally) —
+    /// so a kill at any op index can be resumed bit-identically.
+    fn capture(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.bytes(&self.rt.capture_snapshot());
+        w.u64(self.rng.0);
+        w.u32(self.node.index());
+        for list in [&self.live, &self.dead] {
+            w.u32(list.len() as u32);
+            for &r in list {
+                w.u32(r.index());
+            }
+        }
+        w.u32(self.pool.len() as u32);
+        for &obj in &self.pool {
+            match obj {
+                Obj::Node(r, a) => {
+                    w.u8(0);
+                    w.u32(r.index());
+                    w.u32(a.raw());
+                }
+                Obj::Array(r, a, n) => {
+                    w.u8(1);
+                    w.u32(r.index());
+                    w.u32(a.raw());
+                    w.u32(n);
+                }
+            }
+        }
+        w.u32(self.globals.raw());
+        w.u32(self.n_globals);
+        w.u32(self.frames);
+        let t = &self.tally;
+        for v in [
+            t.ops,
+            t.digest,
+            t.alloc_faults,
+            t.page_faults,
+            t.sbrk_faults,
+            t.oom,
+            t.blocked_deletes,
+            t.double_deletes,
+            t.sanitize_runs,
+            t.worker_panics,
+            t.quarantined,
+            t.reaped,
+            t.restores,
+            t.corrupt_rejected,
+        ] {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a soak from [`Soak::capture`] bytes. The embedded runtime
+    /// snapshot passes through [`RegionRuntime::restore_snapshot`] — and
+    /// with it the mandatory sanitize gate — before the driver resumes.
+    fn restore(bytes: &[u8]) -> Result<Soak, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        r.section("soak-runtime");
+        let rt = RegionRuntime::restore_snapshot(r.bytes()?)?;
+        r.section("soak-driver");
+        let rng = Rng(r.u64()?);
+        let node = DescId::from_index(r.u32()?);
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = r.u32()?;
+            for _ in 0..n {
+                list.push(RegionId::from_index(r.u32()?));
+            }
+        }
+        let [live, dead] = lists;
+        let n_pool = r.u32()?;
+        let mut pool = Vec::new();
+        for _ in 0..n_pool {
+            let obj = match r.u8()? {
+                0 => Obj::Node(RegionId::from_index(r.u32()?), Addr::new(r.u32()?)),
+                1 => Obj::Array(
+                    RegionId::from_index(r.u32()?),
+                    Addr::new(r.u32()?),
+                    r.u32()?,
+                ),
+                _ => return Err(r.malformed()),
+            };
+            pool.push(obj);
+        }
+        let globals = Addr::new(r.u32()?);
+        let n_globals = r.u32()?;
+        let frames = r.u32()?;
+        let mut t = [0u64; 14];
+        for v in &mut t {
+            *v = r.u64()?;
+        }
+        r.finish()?;
+        let tally = Tally {
+            ops: t[0],
+            digest: t[1],
+            alloc_faults: t[2],
+            page_faults: t[3],
+            sbrk_faults: t[4],
+            oom: t[5],
+            blocked_deletes: t[6],
+            double_deletes: t[7],
+            sanitize_runs: t[8],
+            worker_panics: t[9],
+            quarantined: t[10],
+            reaped: t[11],
+            restores: t[12],
+            corrupt_rejected: t[13],
+        };
+        Ok(Soak { rt, rng, node, live, dead, pool, globals, n_globals, frames, tally })
+    }
+}
+
+/// Kill-and-restore chaos: every trial runs the same seeded soak twice —
+/// once straight through (the control), once killed at a uniformly seeded
+/// op index (under the alloc-fault plan, so kills land before, inside,
+/// and after injected-fault windows), snapshotted, dropped, restored
+/// through the sanitize + pool-audit gates, and replayed. The resumed
+/// run's digest and *every* counter must equal the control's. A seeded
+/// corrupt-input battery (truncations, bit flips, bad magic, bad
+/// version, trailing bytes) then asserts every rejection is a typed
+/// [`SnapshotError`], never a panic.
+fn scenario_kill_restore(seed: u64, ops: u64) -> Tally {
+    use region_core::par::ParRegionPool;
+
+    let trials = (ops / 30).max(8);
+    let mut meta = Rng::seeded(seed ^ 0x4B13_57E5);
+    let mut tally = Tally::default();
+    for trial in 0..trials {
+        let trial_seed = seed ^ fold(0x5AFE, trial);
+        let trial_ops = 120 + meta.below(120);
+        // Uniform over [0, trial_ops]: kills before the first op and
+        // after the last are as legal as any mid-stream point.
+        let kill_at = meta.below(trial_ops + 1);
+        let plan = || {
+            FaultPlan::seeded(trial_seed).fail_every_mth_alloc(23).fail_allocs_one_in(61)
+        };
+
+        let mut control = Soak::new(trial_seed, RegionConfig::default(), Some(plan()));
+        for _ in 0..trial_ops {
+            control.step();
+        }
+        let want = control.finish();
+
+        let mut victim = Soak::new(trial_seed, RegionConfig::default(), Some(plan()));
+        for _ in 0..kill_at {
+            victim.step();
+        }
+        let image = victim.capture();
+        drop(victim); // the kill: nothing survives but the bytes
+        let mut revived = Soak::restore(&image)
+            .unwrap_or_else(|e| panic!("trial {trial}: clean snapshot refused: {e}"));
+        // The runtime's sanitize gate ran inside restore; the restored
+        // process's parallel-pool subsystem must audit clean too before
+        // the replay is allowed to proceed.
+        let audit = ParRegionPool::new().audit();
+        assert!(audit.is_clean(), "trial {trial}: pool audit dirty after restore: {audit}");
+        tally.sanitize_runs += 1;
+        for _ in kill_at..trial_ops {
+            revived.step();
+        }
+        let got = revived.finish();
+        assert_eq!(
+            got.digest, want.digest,
+            "trial {trial}: replay after kill at op {kill_at}/{trial_ops} diverged from control"
+        );
+        assert_eq!(got, want, "trial {trial}: counters diverged despite equal digests");
+        tally.restores += 1;
+        tally.ops += trial_ops;
+        tally.digest = fold(fold(tally.digest, want.digest), kill_at);
+        tally.alloc_faults += want.alloc_faults;
+        tally.page_faults += want.page_faults;
+        tally.sbrk_faults += want.sbrk_faults;
+        tally.oom += want.oom;
+        tally.blocked_deletes += want.blocked_deletes;
+        tally.double_deletes += want.double_deletes;
+        tally.sanitize_runs += want.sanitize_runs;
+    }
+
+    // Corrupt-input battery on a real mid-flight runtime snapshot: every
+    // outcome must be a typed error (folded into the digest — rejection
+    // reasons are observable history), never a panic.
+    let mut probe = Soak::new(seed ^ 0x0BAD, RegionConfig::default(), Some(
+        FaultPlan::seeded(seed ^ 0x0BAD).fail_every_mth_alloc(17),
+    ));
+    for _ in 0..200 {
+        probe.step();
+    }
+    let snap = probe.rt.capture_snapshot();
+    let reject = |e: SnapshotError, t: &mut Tally| {
+        t.corrupt_rejected += 1;
+        t.digest = fold(t.digest, snap_err_code(e));
+    };
+    // Bad magic and unsupported version.
+    let mut c = snap.clone();
+    c[0] ^= 0x40;
+    reject(RegionRuntime::restore_snapshot(&c).expect_err("bad magic accepted"), &mut tally);
+    let mut c = snap.clone();
+    c[4] = 0xEE;
+    reject(RegionRuntime::restore_snapshot(&c).expect_err("future version accepted"), &mut tally);
+    // Seeded truncations, dense near the start (section headers) and
+    // spread across the body.
+    for i in 0..24u64 {
+        let cut = if i < 8 { i as usize } else { (meta.below(snap.len() as u64)) as usize };
+        let e = RegionRuntime::restore_snapshot(&snap[..cut])
+            .expect_err("truncated snapshot accepted");
+        assert!(
+            matches!(e, SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }),
+            "truncation at {cut} produced {e:?}"
+        );
+        reject(e, &mut tally);
+    }
+    // Trailing garbage.
+    let mut c = snap.clone();
+    c.push(0);
+    reject(RegionRuntime::restore_snapshot(&c).expect_err("trailing byte accepted"), &mut tally);
+    // Seeded bit flips: a flip may corrupt structure (typed rejection) or
+    // land in bytes no invariant depends on (restores fine) — both are
+    // legal; a panic is not.
+    for _ in 0..64 {
+        let mut c = snap.clone();
+        let at = meta.below(snap.len() as u64) as usize;
+        c[at] ^= 1 << meta.below(8);
+        match RegionRuntime::restore_snapshot(&c) {
+            Ok(_) => tally.digest = fold(tally.digest, 77),
+            Err(e) => reject(e, &mut tally),
+        }
+    }
+    tally
 }
 
 fn scenario_alloc_faults(seed: u64, ops: u64) -> Tally {
@@ -1272,12 +1530,14 @@ struct RunSummary {
     worker_panics: u64,
     quarantined: u64,
     reaped: u64,
+    restores: u64,
+    corrupt_rejected: u64,
     scenarios_run: u64,
 }
 
 /// Scenario names accepted by `--scenario`, in run order.
-const SCENARIO_NAMES: [&str; 5] =
-    ["alloc-faults", "sbrk-squeeze", "oom", "vm-chaos", "par-chaos"];
+const SCENARIO_NAMES: [&str; 6] =
+    ["alloc-faults", "sbrk-squeeze", "oom", "vm-chaos", "par-chaos", "kill-restore"];
 
 fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
     let scenarios = [
@@ -1286,6 +1546,7 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
         ("oom", scenario_oom as fn(u64, u64) -> Tally, ops / 2),
         ("vm-chaos", scenario_vm as fn(u64, u64) -> Tally, ops / 2),
         ("par-chaos", scenario_par as fn(u64, u64) -> Tally, ops / 2),
+        ("kill-restore", scenario_kill_restore as fn(u64, u64) -> Tally, ops / 2),
     ];
     debug_assert!(
         scenarios.iter().map(|(name, _, _)| *name).eq(SCENARIO_NAMES),
@@ -1301,7 +1562,8 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
         println!(
             "  {name:<13} ops {:>6}  faults {:>4} (alloc {} page {} sbrk {} oom {})  \
              blocked deletes {}  double deletes {}  worker panics {}  \
-             quarantined {}  reaped {}  sanitize runs {}  digest {:016x}",
+             quarantined {}  reaped {}  restores {}  corrupt rejected {}  \
+             sanitize runs {}  digest {:016x}",
             t.ops,
             t.faults(),
             t.alloc_faults,
@@ -1313,6 +1575,8 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
             t.worker_panics,
             t.quarantined,
             t.reaped,
+            t.restores,
+            t.corrupt_rejected,
             t.sanitize_runs,
             t.digest
         );
@@ -1329,6 +1593,8 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
         sum.worker_panics += t.worker_panics;
         sum.quarantined += t.quarantined;
         sum.reaped += t.reaped;
+        sum.restores += t.restores;
+        sum.corrupt_rejected += t.corrupt_rejected;
         sum.scenarios_run += 1;
     }
     sum.digest = digest;
@@ -1471,6 +1737,18 @@ fn main() {
         assert!(a.double_deletes > 0, "double-delete path never exercised");
         assert!(a.ops >= if quick { 3000 } else { 12_000 });
     }
+    if ran("kill-restore") {
+        // The acceptance floor: a full soak replays >= 100 kill points to
+        // the control digest (quick: >= 20), and the corrupt-input battery
+        // rejected everything it was fed without a panic.
+        let floor = if quick { 20 } else { 100 };
+        assert!(
+            a.restores >= floor,
+            "too few kill-restore replays: {} < {floor}",
+            a.restores
+        );
+        assert!(a.corrupt_rejected > 0, "the corrupt-input battery never ran");
+    }
     if ran("par-chaos") {
         // The acceptance floor: a full soak injects ≥ 200 worker panics,
         // every one contained (the Panicked-marker assert in the
@@ -1489,6 +1767,7 @@ fn main() {
     println!(
         "OK: {} ops, {} faults (alloc {} page {} sbrk {} oom {}), {} blocked deletes, \
          {} worker panics contained, {} quarantined / {} reaped, \
+         {} kill-restores replayed, {} corrupt snapshots rejected, \
          {} sanitize audits, digest {:016x} (bit-identical re-run)",
         a.ops,
         a.faults,
@@ -1500,6 +1779,8 @@ fn main() {
         a.worker_panics,
         a.quarantined,
         a.reaped,
+        a.restores,
+        a.corrupt_rejected,
         a.sanitize_runs,
         a.digest
     );

@@ -9,7 +9,10 @@
 //! access feeds the cache model), so fanning the matrix across worker
 //! threads pays off most here.
 
-use bench_harness::golden::{golden_path, record_region_trace, GoldenTrace};
+use bench_harness::diff::snapshot_divergence;
+use bench_harness::golden::{
+    golden_path, golden_state_path, record_region_state, record_region_trace, GoldenTrace,
+};
 use bench_harness::runner::{
     run_matrix, scale_from_env, write_results_json, Job, Measurement,
 };
@@ -30,7 +33,10 @@ fn workload_by_name(name: &str) -> Workload {
 
 /// `--record-golden <workload>` / `--check-golden <workload>`: pin down
 /// or re-verify the safe-region access stream feeding the cache model.
-/// Returns `true` if a golden-trace mode ran (the matrix is skipped).
+/// `--record-golden-state` / `--check-golden-state` do the same for the
+/// *end state*: the full `RSNP` runtime snapshot after the workload, with
+/// [`snapshot_divergence`] naming the first drifted field on mismatch.
+/// Returns `true` if a golden mode ran (the matrix is skipped).
 fn golden_mode(scale: u32) -> bool {
     let args: Vec<String> = std::env::args().collect();
     let value_of =
@@ -74,6 +80,43 @@ fn golden_mode(scale: u32) -> bool {
             ),
             Err(e) => {
                 eprintln!("fig10: golden trace for {name} DIVERGED: {e}");
+                std::process::exit(1);
+            }
+        }
+        return true;
+    }
+    if let Some(name) = value_of("--record-golden-state") {
+        let w = workload_by_name(name);
+        let snap = record_region_state(w, scale);
+        let path = golden_state_path("fig10", name, scale);
+        std::fs::create_dir_all(path.parent().expect("under results/")).expect("mkdir");
+        std::fs::write(&path, &snap).expect("write golden state");
+        println!(
+            "recorded golden end-state for {name} at scale {scale}: {} bytes -> {}",
+            snap.len(),
+            path.display()
+        );
+        return true;
+    }
+    if let Some(name) = value_of("--check-golden-state") {
+        let w = workload_by_name(name);
+        let path = golden_state_path("fig10", name, scale);
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "fig10: no golden state at {} ({e}); record one with \
+                 --record-golden-state {name}",
+                path.display()
+            );
+            std::process::exit(2);
+        });
+        let fresh = record_region_state(w, scale);
+        match snapshot_divergence(&golden, &fresh) {
+            None => println!(
+                "golden end-state for {name} holds: {} bytes, bit-identical",
+                fresh.len()
+            ),
+            Some(msg) => {
+                eprintln!("fig10: golden end-state for {name} DIVERGED: {msg}");
                 std::process::exit(1);
             }
         }

@@ -339,6 +339,32 @@ pub fn golden_path(bench: &str, workload: &str, scale: u32) -> std::path::PathBu
         .join(format!("{bench}-{workload}-s{scale}.trace"))
 }
 
+/// The on-disk location for a figure's golden end-of-run *state*
+/// snapshot (the `RSNP` bytes of
+/// [`RegionRuntime::capture_snapshot`](region_core::RegionRuntime::capture_snapshot)).
+///
+/// Where a golden trace pins the access *stream*, a golden state pins
+/// the complete final runtime — every heap byte, region record, counter,
+/// and page-map entry — so a behaviour change that happens to leave the
+/// stream-shape alone (or one too cheap to trace) is still caught, and
+/// [`crate::diff::snapshot_divergence`] can name the exact field that
+/// moved.
+pub fn golden_state_path(bench: &str, workload: &str, scale: u32) -> std::path::PathBuf {
+    std::path::Path::new("results")
+        .join("golden")
+        .join(format!("{bench}-{workload}-s{scale}.state"))
+}
+
+/// Runs the safe-region variant of a workload untraced and captures the
+/// final runtime state as snapshot bytes. The whole heap is simulated,
+/// so the bytes are deterministic: any two runs of the same workload at
+/// the same scale on any machine produce identical output.
+pub fn record_region_state(w: Workload, scale: u32) -> Vec<u8> {
+    let mut env = RegionEnv::new(RegionKind::Safe);
+    w.run_region(&mut env, scale);
+    env.runtime().expect("safe-region env has a real runtime").capture_snapshot()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,14 @@ impl DescId {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from [`DescId::index`] output — for callers (like a
+    /// snapshotted driver) that persist ids across a save/restore of the
+    /// runtime that issued them. The id is only meaningful against a table
+    /// with the same registration history.
+    pub fn from_index(index: u32) -> DescId {
+        DescId(index)
+    }
 }
 
 /// Layout information for one allocated type: its size and where its

@@ -15,6 +15,7 @@ use simheap::HeapError;
 use crate::fault::FaultSite;
 use crate::par::ParRegionId;
 use crate::runtime::RegionId;
+use crate::snapshot::SnapshotError;
 
 /// Everything that can go wrong in the region runtime.
 ///
@@ -75,6 +76,10 @@ pub enum RegionError {
         /// page acquisitions and allocations; granted bytes for sbrk).
         count: u64,
     },
+    /// A runtime snapshot could not be decoded or failed its restore
+    /// gate; wraps the typed [`SnapshotError`] so `try_*`-style callers
+    /// see one failure surface for heap, region, and snapshot errors.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for RegionError {
@@ -108,6 +113,7 @@ impl fmt::Display for RegionError {
             RegionError::FaultInjected { site, count } => {
                 write!(f, "injected fault: {site} #{count}")
             }
+            RegionError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -173,6 +179,12 @@ impl fmt::Display for ParRegionError {
 
 impl std::error::Error for ParRegionError {}
 
+impl From<SnapshotError> for RegionError {
+    fn from(e: SnapshotError) -> RegionError {
+        RegionError::Snapshot(e)
+    }
+}
+
 impl From<HeapError> for RegionError {
     fn from(e: HeapError) -> RegionError {
         match e {
@@ -208,6 +220,13 @@ mod tests {
         assert!(RegionError::OutOfMemory { requested: 1, limit: 0 }
             .to_string()
             .contains("simulated out of memory"));
+    }
+
+    #[test]
+    fn snapshot_errors_convert() {
+        let e: RegionError = SnapshotError::BadMagic.into();
+        assert_eq!(e, RegionError::Snapshot(SnapshotError::BadMagic));
+        assert!(e.to_string().contains("bad magic"));
     }
 
     #[test]

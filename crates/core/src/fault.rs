@@ -122,6 +122,43 @@ impl FaultPlan {
         self.injected
     }
 
+    /// Snapshot support: the plan's complete internal state — schedule and
+    /// progress counters — in the order [`FaultPlan::from_raw_state`]
+    /// consumes it. A plan rebuilt from this state continues injecting at
+    /// exactly the point the original left off (same dice stream, same
+    /// ordinals), which is what lets a snapshot be taken *inside* a fault
+    /// window and still replay bit-identically.
+    pub(crate) fn raw_state(&self) -> (&[u64], Option<u64>, Option<u64>, Option<u64>, [u64; 4]) {
+        (
+            &self.fail_pages,
+            self.every_mth_alloc,
+            self.alloc_one_in,
+            self.sbrk_after,
+            [self.rng, self.pages_seen, self.allocs_seen, self.injected],
+        )
+    }
+
+    /// Rebuilds a plan from [`FaultPlan::raw_state`] output.
+    pub(crate) fn from_raw_state(
+        fail_pages: Vec<u64>,
+        every_mth_alloc: Option<u64>,
+        alloc_one_in: Option<u64>,
+        sbrk_after: Option<u64>,
+        counters: [u64; 4],
+    ) -> FaultPlan {
+        let [rng, pages_seen, allocs_seen, injected] = counters;
+        FaultPlan {
+            fail_pages,
+            every_mth_alloc,
+            alloc_one_in,
+            sbrk_after,
+            rng,
+            pages_seen,
+            allocs_seen,
+            injected,
+        }
+    }
+
     fn next_rand(&mut self) -> u64 {
         // xorshift64* — tiny, deterministic, good enough for fault dice.
         let mut x = self.rng;
@@ -181,6 +218,21 @@ mod tests {
         let fired: Vec<bool> = (0..9).map(|_| p.check_alloc().is_some()).collect();
         assert_eq!(fired, [false, false, true, false, false, true, false, false, true]);
         assert_eq!(p.injected(), 3);
+    }
+
+    #[test]
+    fn raw_state_round_trip_continues_the_dice_stream() {
+        let mut p = FaultPlan::seeded(7).fail_allocs_one_in(5).fail_page_acquisition(9);
+        for _ in 0..100 {
+            p.check_alloc();
+            p.check_page();
+        }
+        let (pages, mth, one_in, sbrk, counters) = p.raw_state();
+        let mut q = FaultPlan::from_raw_state(pages.to_vec(), mth, one_in, sbrk, counters);
+        let a: Vec<_> = (0..100).map(|_| p.check_alloc()).collect();
+        let b: Vec<_> = (0..100).map(|_| q.check_alloc()).collect();
+        assert_eq!(a, b, "rebuilt plan must continue the exact dice stream");
+        assert_eq!(p.injected(), q.injected());
     }
 
     #[test]

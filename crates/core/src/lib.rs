@@ -64,6 +64,7 @@ mod fault;
 pub mod par;
 mod runtime;
 mod sanitize;
+mod snapshot;
 mod stack;
 mod stats;
 
@@ -78,4 +79,5 @@ pub use error::{ParRegionError, RegionError};
 pub use fault::{FaultPlan, FaultSite};
 pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
 pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
+pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::AllocStats;

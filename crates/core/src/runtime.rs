@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use simheap::{align_up, Addr, HeapConfig, SimHeap, PAGE_SIZE, WORD};
+use simheap::{align_up, Addr, HeapConfig, HeapImage, SimHeap, PAGE_SIZE, WORD};
 
 use crate::costs::{
     SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
@@ -21,6 +21,7 @@ use crate::descriptor::{DescId, DescriptorTable, TypeDescriptor};
 use crate::error::RegionError;
 use crate::fault::{FaultPlan, FaultSite};
 use crate::sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
+use crate::snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use crate::stats::AllocStats;
 
 /// Whether the runtime maintains reference counts.
@@ -1208,6 +1209,560 @@ impl RegionRuntime {
         }
         report
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (orthogonal persistence, DESIGN §14)
+    // ------------------------------------------------------------------
+
+    /// Serializes the runtime's *complete* observable state — heap image
+    /// (pages with zero-page run-length elision, break, counters, fault
+    /// budget), configuration, descriptor table, region table with both
+    /// bump allocators, page pool, two-level page map and its host mirror,
+    /// allocation statistics, safety costs, the shadow stack (frames,
+    /// top slot, high-water mark), OS-footprint accounting, the
+    /// fault-injection schedule *including its progress counters* (so a
+    /// snapshot taken inside a fault window replays the remaining faults
+    /// exactly), recorded violations, and the global pointer ledger — into
+    /// a versioned `RSNP` byte stream.
+    ///
+    /// [`RegionRuntime::restore_snapshot`] rebuilds a runtime that is
+    /// bit-identical to this one: continuing from the restored state
+    /// produces the same addresses, digests, counters, trace suffix, and
+    /// `sanitize()` verdict as the uninterrupted run, and
+    /// re-capturing the restored runtime yields these exact bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace sink is attached to the heap (sinks are live
+    /// host objects with no serial form); detach it first and re-attach
+    /// after restore.
+    pub fn capture_snapshot(&self) -> Vec<u8> {
+        let image = self.heap.capture_image();
+        let mut w = SnapWriter::new();
+        w.raw(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        // -- heap image --
+        w.u64(image.config.max_bytes);
+        w.opt_u64(image.config.sbrk_fault_after);
+        w.u64(image.loads);
+        w.u64(image.stores);
+        let psize = PAGE_SIZE as usize;
+        let n_pages = image.bytes.len() / psize;
+        w.u32(n_pages as u32);
+        for p in 0..n_pages {
+            let page = &image.bytes[p * psize..(p + 1) * psize];
+            if page.iter().all(|&b| b == 0) {
+                w.u8(0); // zero page: one marker byte instead of 4 KB
+            } else {
+                w.u8(1);
+                w.raw(page);
+            }
+        }
+        // -- region config --
+        w.u8(match self.config.mode {
+            SafetyMode::Safe => 0,
+            SafetyMode::Unsafe => 1,
+        });
+        w.u8(u8::from(self.config.stagger));
+        w.u8(u8::from(self.config.clear_on_alloc));
+        w.u32(self.config.stack_pages);
+        w.u64(self.config.heap.max_bytes);
+        w.opt_u64(self.config.heap.sbrk_fault_after);
+        // -- descriptors (ids are registration order) --
+        w.u32(self.descs.len() as u32);
+        for i in 0..self.descs.len() as u32 {
+            let d = self.descs.get(DescId(i));
+            w.bytes(d.name().as_bytes());
+            w.u32(d.size());
+            w.u32(d.ptr_offsets().len() as u32);
+            for &off in d.ptr_offsets() {
+                w.u32(off);
+            }
+        }
+        // -- regions --
+        w.u32(self.regions.len() as u32);
+        for info in &self.regions {
+            w.i64(info.rc);
+            w.u8(u8::from(info.live));
+            for bump in [&info.normal, &info.string] {
+                w.u32(bump.pages.len() as u32);
+                for &(p, off) in &bump.pages {
+                    w.u32(p.raw());
+                    w.u32(off);
+                }
+                w.u32(bump.alloc_from);
+            }
+            w.u64(info.bytes);
+            w.u64(info.allocs);
+        }
+        // -- page pool and page map --
+        w.u32(self.free_pages.len() as u32);
+        for &p in &self.free_pages {
+            w.u32(p.raw());
+        }
+        w.u32(self.map_root.len() as u32);
+        for &c in &self.map_root {
+            w.opt_u32(c.map(Addr::raw));
+        }
+        w.u32(self.map_mirror.len() as u32);
+        for &m in &self.map_mirror {
+            w.u32(m);
+        }
+        // -- stats and costs --
+        let s = &self.stats;
+        for v in [
+            s.total_allocs,
+            s.total_bytes,
+            s.live_bytes,
+            s.max_live_bytes,
+            s.total_regions,
+            s.live_regions,
+            s.max_live_regions,
+            s.max_region_bytes,
+        ] {
+            w.u64(v);
+        }
+        let c = &self.costs;
+        for v in [
+            c.barriers_global,
+            c.barriers_region,
+            c.barriers_unknown,
+            c.barriers_elided,
+            c.barrier_instrs,
+            c.frames_scanned,
+            c.slots_scanned,
+            c.frames_unscanned,
+            c.slots_unscanned,
+            c.scan_instrs,
+            c.cleanup_objects,
+            c.cleanup_ptrs,
+            c.cleanup_pages,
+            c.cleanup_instrs,
+            c.deletes,
+            c.deletes_failed,
+        ] {
+            w.u64(v);
+        }
+        // -- shadow stack --
+        w.u32(self.stack_base.raw());
+        w.u32(self.stack_slots);
+        w.u32(self.frames.len() as u32);
+        for f in &self.frames {
+            w.u32(f.base_slot);
+            w.u32(f.n_slots);
+        }
+        w.u32(self.top_slot);
+        w.u64(self.hwm as u64);
+        // -- OS-footprint accounting --
+        w.u64(self.data_pages);
+        w.u64(self.map_pages);
+        w.u64(self.globals_pages);
+        // -- fault plan (schedule + progress) --
+        let (fail_pages, mth, one_in, sbrk, counters) = self.faults.raw_state();
+        w.u32(fail_pages.len() as u32);
+        for &n in fail_pages {
+            w.u64(n);
+        }
+        w.opt_u64(mth);
+        w.opt_u64(one_in);
+        w.opt_u64(sbrk);
+        for v in counters {
+            w.u64(v);
+        }
+        // -- recorded violations --
+        w.u32(self.violations.len() as u32);
+        for v in &self.violations {
+            match *v {
+                RcViolation::IncOfDeleted { region } => {
+                    w.u8(0);
+                    w.u32(region.0);
+                }
+                RcViolation::DecOfDeleted { region } => {
+                    w.u8(1);
+                    w.u32(region.0);
+                }
+                RcViolation::NegativeRc { region, rc } => {
+                    w.u8(2);
+                    w.u32(region.0);
+                    w.i64(rc);
+                }
+                RcViolation::ElisionUnsound { loc_region, value_region } => {
+                    w.u8(3);
+                    w.opt_u32(loc_region.map(|r| r.0));
+                    w.opt_u32(value_region.map(|r| r.0));
+                }
+            }
+        }
+        // -- global pointer ledger --
+        w.u32(self.global_ptr_locs.len() as u32);
+        for &loc in &self.global_ptr_locs {
+            w.u32(loc);
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a runtime from [`RegionRuntime::capture_snapshot`] bytes.
+    ///
+    /// Untrusted input never panics: bad magic, an unknown version,
+    /// truncation anywhere, unknown tags, structurally impossible values
+    /// (out-of-range pages, invalid descriptors, a fault plan that would
+    /// divide by zero), and trailing garbage are all rejected with a
+    /// typed [`SnapshotError`]. Before the runtime is handed back it must
+    /// pass two gates: a fully bounds-checked re-walk of every live
+    /// region's objects (so corrupted object headers cannot fault a later
+    /// cleanup or sanitize pass), and a mandatory
+    /// [`RegionRuntime::sanitize`] pass whose books must recompute —
+    /// reference counts and the page-map mirror must agree with the
+    /// decoded state. Violations recorded *before* capture are data and
+    /// round-trip without tripping the gate.
+    ///
+    /// The restored heap has no trace sink attached (callers re-attach
+    /// after restore if they were tracing).
+    pub fn restore_snapshot(bytes: &[u8]) -> Result<RegionRuntime, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        if r.raw(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { version });
+        }
+        // -- heap image --
+        r.section("heap");
+        let heap_config =
+            HeapConfig { max_bytes: r.u64()?, sbrk_fault_after: r.opt_u64()? };
+        let loads = r.u64()?;
+        let stores = r.u64()?;
+        let n_pages = r.u32()?;
+        let psize = PAGE_SIZE as usize;
+        if (u64::from(n_pages) + 1) * u64::from(PAGE_SIZE) > u64::from(u32::MAX) {
+            return Err(r.malformed());
+        }
+        let mut body = Vec::new();
+        for _ in 0..n_pages {
+            match r.u8()? {
+                0 => body.resize(body.len() + psize, 0),
+                1 => body.extend_from_slice(r.raw(psize)?),
+                _ => return Err(r.malformed()),
+            }
+        }
+        let heap = SimHeap::from_image(&HeapImage { config: heap_config, bytes: body, loads, stores });
+        let brk = heap.brk().raw();
+        // Every decoded address that later code dereferences must point at
+        // a whole mapped non-guard page; everything else is `Malformed`.
+        let page_ok =
+            |p: u32| p >= PAGE_SIZE && p % PAGE_SIZE == 0 && u64::from(p) + u64::from(PAGE_SIZE) <= u64::from(brk);
+        // -- region config --
+        r.section("config");
+        let mode = match r.u8()? {
+            0 => SafetyMode::Safe,
+            1 => SafetyMode::Unsafe,
+            _ => return Err(r.malformed()),
+        };
+        let stagger = decode_bool(&mut r)?;
+        let clear_on_alloc = decode_bool(&mut r)?;
+        let stack_pages = r.u32()?;
+        let config = RegionConfig {
+            mode,
+            stagger,
+            clear_on_alloc,
+            stack_pages,
+            heap: HeapConfig { max_bytes: r.u64()?, sbrk_fault_after: r.opt_u64()? },
+        };
+        // -- descriptors --
+        r.section("descriptors");
+        let n_descs = r.u32()?;
+        if n_descs >= (1 << 30) {
+            return Err(r.malformed());
+        }
+        let mut descs = DescriptorTable::new();
+        for _ in 0..n_descs {
+            let name = std::str::from_utf8(r.bytes()?).map_err(|_| r.malformed())?.to_string();
+            let size = r.u32()?;
+            if size == 0 {
+                return Err(r.malformed());
+            }
+            let n_offs = r.u32()?;
+            let mut offs = Vec::new();
+            let mut prev: Option<u32> = None;
+            for _ in 0..n_offs {
+                let off = r.u32()?;
+                let in_bounds = off % WORD == 0 && u64::from(off) + u64::from(WORD) <= u64::from(size);
+                if !in_bounds || prev.is_some_and(|p| off <= p) {
+                    return Err(r.malformed());
+                }
+                prev = Some(off);
+                offs.push(off);
+            }
+            descs.register(TypeDescriptor::new(name, size, offs));
+        }
+        // -- regions --
+        r.section("regions");
+        let n_regions = r.u32()?;
+        let mut regions = Vec::new();
+        for _ in 0..n_regions {
+            let rc = r.i64()?;
+            let live = decode_bool(&mut r)?;
+            let mut bumps = [BumpState::default(), BumpState::default()];
+            for b in &mut bumps {
+                let n = r.u32()?;
+                for _ in 0..n {
+                    let p = r.u32()?;
+                    let off = r.u32()?;
+                    if !page_ok(p) || off > PAGE_SIZE || off % WORD != 0 {
+                        return Err(r.malformed());
+                    }
+                    b.pages.push((Addr::new(p), off));
+                }
+                b.alloc_from = r.u32()?;
+                if b.alloc_from > PAGE_SIZE {
+                    return Err(r.malformed());
+                }
+            }
+            let [normal, string] = bumps;
+            let bytes = r.u64()?;
+            let allocs = r.u64()?;
+            regions.push(RegionInfo { rc, live, normal, string, bytes, allocs });
+        }
+        // -- page pool and page map --
+        r.section("page-pool");
+        let n_free = r.u32()?;
+        let mut free_pages = Vec::new();
+        for _ in 0..n_free {
+            let p = r.u32()?;
+            if !page_ok(p) {
+                return Err(r.malformed());
+            }
+            free_pages.push(Addr::new(p));
+        }
+        r.section("page-map");
+        let n_root = r.u32()?;
+        let mut map_root = Vec::new();
+        for _ in 0..n_root {
+            let c = r.opt_u32()?;
+            if let Some(c) = c {
+                if !page_ok(c) {
+                    return Err(r.malformed());
+                }
+            }
+            map_root.push(c.map(Addr::new));
+        }
+        let n_mirror = r.u32()?;
+        let mut map_mirror = Vec::new();
+        for _ in 0..n_mirror {
+            let m = r.u32()?;
+            // `owner + 1` encoding: a nonzero entry must name a region.
+            if m != 0 && u64::from(m) > u64::from(n_regions) {
+                return Err(r.malformed());
+            }
+            map_mirror.push(m);
+        }
+        // -- stats and costs --
+        r.section("stats");
+        let stats = AllocStats {
+            total_allocs: r.u64()?,
+            total_bytes: r.u64()?,
+            live_bytes: r.u64()?,
+            max_live_bytes: r.u64()?,
+            total_regions: r.u64()?,
+            live_regions: r.u64()?,
+            max_live_regions: r.u64()?,
+            max_region_bytes: r.u64()?,
+        };
+        r.section("costs");
+        let costs = SafetyCosts {
+            barriers_global: r.u64()?,
+            barriers_region: r.u64()?,
+            barriers_unknown: r.u64()?,
+            barriers_elided: r.u64()?,
+            barrier_instrs: r.u64()?,
+            frames_scanned: r.u64()?,
+            slots_scanned: r.u64()?,
+            frames_unscanned: r.u64()?,
+            slots_unscanned: r.u64()?,
+            scan_instrs: r.u64()?,
+            cleanup_objects: r.u64()?,
+            cleanup_ptrs: r.u64()?,
+            cleanup_pages: r.u64()?,
+            cleanup_instrs: r.u64()?,
+            deletes: r.u64()?,
+            deletes_failed: r.u64()?,
+        };
+        // -- shadow stack --
+        r.section("stack");
+        let stack_base = r.u32()?;
+        let stack_slots = r.u32()?;
+        let stack_end = u64::from(stack_base) + u64::from(stack_slots) * u64::from(WORD);
+        if stack_base < PAGE_SIZE || stack_base % WORD != 0 || stack_end > u64::from(brk) {
+            return Err(r.malformed());
+        }
+        let n_frames = r.u32()?;
+        let mut frames = Vec::new();
+        for _ in 0..n_frames {
+            let base_slot = r.u32()?;
+            let n_slots = r.u32()?;
+            if u64::from(base_slot) + u64::from(n_slots) > u64::from(stack_slots) {
+                return Err(r.malformed());
+            }
+            frames.push(Frame { base_slot, n_slots });
+        }
+        let top_slot = r.u32()?;
+        if top_slot > stack_slots {
+            return Err(r.malformed());
+        }
+        let hwm = r.u64()? as usize;
+        if hwm > frames.len() {
+            return Err(r.malformed());
+        }
+        // -- OS-footprint accounting --
+        r.section("footprint");
+        let data_pages = r.u64()?;
+        let map_pages = r.u64()?;
+        let globals_pages = r.u64()?;
+        // -- fault plan --
+        r.section("fault-plan");
+        let n_fail = r.u32()?;
+        let mut fail_pages = Vec::new();
+        for _ in 0..n_fail {
+            fail_pages.push(r.u64()?);
+        }
+        let mth = r.opt_u64()?;
+        let one_in = r.opt_u64()?;
+        // Zero periods would divide by zero in `check_alloc`; the builders
+        // reject them, so a snapshot containing one is corrupt.
+        if mth == Some(0) || one_in == Some(0) {
+            return Err(r.malformed());
+        }
+        let sbrk = r.opt_u64()?;
+        let counters = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let faults = FaultPlan::from_raw_state(fail_pages, mth, one_in, sbrk, counters);
+        // -- recorded violations --
+        r.section("violations");
+        let n_viol = r.u32()?;
+        let mut violations = Vec::new();
+        for _ in 0..n_viol {
+            let v = match r.u8()? {
+                0 => RcViolation::IncOfDeleted { region: RegionId(r.u32()?) },
+                1 => RcViolation::DecOfDeleted { region: RegionId(r.u32()?) },
+                2 => RcViolation::NegativeRc { region: RegionId(r.u32()?), rc: r.i64()? },
+                3 => RcViolation::ElisionUnsound {
+                    loc_region: r.opt_u32()?.map(RegionId),
+                    value_region: r.opt_u32()?.map(RegionId),
+                },
+                _ => return Err(r.malformed()),
+            };
+            violations.push(v);
+        }
+        // -- global pointer ledger --
+        r.section("globals");
+        let n_globals = r.u32()?;
+        let mut global_ptr_locs = BTreeSet::new();
+        for _ in 0..n_globals {
+            let loc = r.u32()?;
+            if loc % WORD != 0 || u64::from(loc) + u64::from(WORD) > u64::from(brk) {
+                return Err(r.malformed());
+            }
+            global_ptr_locs.insert(loc);
+        }
+        r.finish()?;
+
+        let rt = RegionRuntime {
+            heap,
+            config,
+            descs,
+            regions,
+            free_pages,
+            map_root,
+            map_mirror,
+            stats,
+            costs,
+            stack_base: Addr::new(stack_base),
+            stack_slots,
+            frames,
+            top_slot,
+            hwm,
+            data_pages,
+            map_pages,
+            globals_pages,
+            faults,
+            violations,
+            global_ptr_locs,
+        };
+        rt.validate_object_walk()?;
+        // Mandatory restore gate: the decoded books must recompute from
+        // first principles before execution may resume on this state.
+        let report = rt.sanitize();
+        if !report.rc_mismatches.is_empty() || !report.mirror_mismatches.is_empty() {
+            return Err(SnapshotError::SanitizeFailed {
+                rc_mismatches: report.rc_mismatches.len(),
+                mirror_mismatches: report.mirror_mismatches.len(),
+            });
+        }
+        Ok(rt)
+    }
+
+    /// Restore-time guard: re-walks every live region's normal pages the
+    /// way the cleanup scan and the sanitizer do, with every step checked,
+    /// so decoded heap bytes whose object headers are corrupt (a chaos
+    /// bit-flip, say) are rejected here with a typed error instead of
+    /// faulting a later walk. A clean snapshot always passes: the checks
+    /// are exactly the invariants `try_bump`/`try_ralloc` establish.
+    fn validate_object_walk(&self) -> Result<(), SnapshotError> {
+        let bad = || SnapshotError::Malformed { section: "object-walk", offset: 0 };
+        for info in &self.regions {
+            if !info.live {
+                continue;
+            }
+            for &(page, start) in &info.normal.pages {
+                let mut cur = page + start;
+                let end = page + PAGE_SIZE;
+                while cur + WORD <= end {
+                    let hdr = self.heap.peek_u32(cur);
+                    if hdr == 0 {
+                        break;
+                    }
+                    if hdr & ARRAY_FLAG != 0 {
+                        let idx = hdr & !ARRAY_FLAG;
+                        if idx == 0 || idx as usize > self.descs.len() || cur + 3 * WORD > end {
+                            return Err(bad());
+                        }
+                        let desc = self.descs.get(DescId(idx - 1));
+                        let n = self.heap.peek_u32(cur + WORD);
+                        let stride = self.heap.peek_u32(cur + 2 * WORD);
+                        if stride != align_up(desc.size(), WORD) {
+                            return Err(bad());
+                        }
+                        let data = cur + 3 * WORD;
+                        let span = u64::from(n) * u64::from(stride);
+                        if u64::from(data.raw()) + span > u64::from(end.raw()) {
+                            return Err(bad());
+                        }
+                        cur = data + span as u32;
+                    } else {
+                        if hdr as usize > self.descs.len() {
+                            return Err(bad());
+                        }
+                        let size = align_up(self.descs.get(DescId(hdr - 1)).size(), WORD);
+                        let data = cur + WORD;
+                        if u64::from(data.raw()) + u64::from(size) > u64::from(end.raw()) {
+                            return Err(bad());
+                        }
+                        cur = data + size;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a strict boolean byte (0/1; anything else is malformed).
+fn decode_bool(r: &mut SnapReader<'_>) -> Result<bool, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(r.malformed()),
+    }
 }
 
 #[cfg(test)]
@@ -1827,5 +2382,207 @@ mod tests {
         assert_eq!(rt.rc(r2), 1);
         rt.store_ptr_unknown(g, Addr::NULL);
         assert_eq!(rt.rc(r1), 0);
+    }
+
+    /// Builds a runtime mid-flight: live and dead regions, cross-region and
+    /// same-region pointers, arrays, string allocations, globals, unscanned
+    /// frames, a blocked delete, and a half-consumed seeded fault plan.
+    fn busy_runtime() -> (RegionRuntime, RegionId, RegionId, DescId) {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        rt.set_fault_plan(FaultPlan::seeded(11).fail_allocs_one_in(37));
+        let g = rt.alloc_globals(4 * WORD);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let dead = rt.new_region();
+        let mut last = Addr::NULL;
+        for _ in 0..120 {
+            if let Ok(a) = rt.try_ralloc(r1, d) {
+                if last != Addr::NULL {
+                    rt.store_ptr_region_same(a + 4, last);
+                }
+                last = a;
+            }
+        }
+        let arr = rt.rarrayalloc(r2, 16, d);
+        let b = rt.ralloc(r2, d);
+        rt.store_ptr_region(arr + 4, last); // r2 array -> r1
+        rt.store_ptr_global(g, b); // global -> r2
+        let _s = rt.rstralloc(r1, 1000);
+        let _ = rt.try_rstralloc(dead, 64);
+        assert!(rt.delete_region(dead));
+        assert!(!rt.delete_region(r1), "r2 still points into r1");
+        rt.push_frame(6);
+        rt.set_local(0, b);
+        rt.push_frame(2); // above the high-water mark once scanned
+        (rt, r1, r2, d)
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let (rt, _, _, _) = busy_runtime();
+        let bytes = rt.capture_snapshot();
+        let restored = RegionRuntime::restore_snapshot(&bytes).expect("clean snapshot restores");
+        assert_eq!(
+            restored.capture_snapshot(),
+            bytes,
+            "capture(restore(s)) must be byte-for-byte s"
+        );
+    }
+
+    #[test]
+    fn restored_runtime_continues_identically() {
+        let (mut a, r1, r2, d) = busy_runtime();
+        let bytes = a.capture_snapshot();
+        let mut b = RegionRuntime::restore_snapshot(&bytes).unwrap();
+        // Drive both runtimes through the same op suffix; every observable
+        // — addresses, errors, counters, fault dice, sanitize verdict —
+        // must match the uninterrupted run.
+        for rt in [&mut a, &mut b] {
+            for i in 0..200u32 {
+                match rt.try_ralloc(if i % 3 == 0 { r2 } else { r1 }, d) {
+                    Ok(x) => rt.store_ptr_unknown(x + 4, x),
+                    Err(e) => assert!(matches!(e, RegionError::FaultInjected { .. })),
+                }
+            }
+            rt.pop_frame();
+            let _ = rt.try_delete_region(r2);
+        }
+        assert_eq!(a.heap().load_count(), b.heap().load_count());
+        assert_eq!(a.heap().store_count(), b.heap().store_count());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.costs(), b.costs());
+        assert_eq!(a.fault_plan().injected(), b.fault_plan().injected());
+        assert_eq!(a.rc(r1), b.rc(r1));
+        assert_eq!(a.sanitize().is_clean(), b.sanitize().is_clean());
+        assert_eq!(a.capture_snapshot(), b.capture_snapshot());
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_rejected_without_panic() {
+        let (rt, _, _, _) = busy_runtime();
+        let bytes = rt.capture_snapshot();
+        // Exhaustive over section boundaries and cheap enough to run over
+        // every single prefix length.
+        for n in 0..bytes.len() {
+            let err = RegionRuntime::restore_snapshot(&bytes[..n])
+                .expect_err("a strict prefix can never be a valid snapshot");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. } | SnapshotError::Malformed { .. }),
+                "prefix of {n} bytes gave unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic() {
+        let (rt, _, _, _) = busy_runtime();
+        let bytes = rt.capture_snapshot();
+        let stride = (bytes.len() / 997).max(1);
+        for i in (0..bytes.len()).step_by(stride) {
+            for bit in [0u8, 3, 7] {
+                let mut c = bytes.clone();
+                c[i] ^= 1 << bit;
+                // Either a typed rejection or a state that restores and
+                // still satisfies the gates (a flip in unreferenced heap
+                // bytes can be benign). Never a panic.
+                let _ = RegionRuntime::restore_snapshot(&c);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let (rt, _, _, _) = busy_runtime();
+        let mut bytes = rt.capture_snapshot();
+        assert_eq!(
+            RegionRuntime::restore_snapshot(b"NOPE").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            RegionRuntime::restore_snapshot(&bytes).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        bytes[0] ^= 0xFF;
+        bytes[4] = 0xFE; // version 254
+        assert_eq!(
+            RegionRuntime::restore_snapshot(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion { version: 0xFE }
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (rt, _, _, _) = busy_runtime();
+        let mut bytes = rt.capture_snapshot();
+        bytes.extend_from_slice(b"xx");
+        assert_eq!(
+            RegionRuntime::restore_snapshot(&bytes).unwrap_err(),
+            SnapshotError::TrailingBytes { extra: 2 }
+        );
+    }
+
+    #[test]
+    fn doctored_books_fail_the_sanitize_gate() {
+        let (rt, _, _, _) = busy_runtime();
+        let bytes = rt.capture_snapshot();
+        // Re-encode with one region's rc inflated: structurally valid, so
+        // only the mandatory post-restore sanitize pass can catch it.
+        let region_sec = {
+            let mut r = SnapReader::new(&bytes);
+            r.raw(4).unwrap();
+            r.u32().unwrap(); // version
+            // skip heap: config(u64+opt)+loads+stores+pages
+            r.u64().unwrap();
+            r.opt_u64().unwrap();
+            r.u64().unwrap();
+            r.u64().unwrap();
+            let n_pages = r.u32().unwrap();
+            for _ in 0..n_pages {
+                if r.u8().unwrap() == 1 {
+                    r.raw(PAGE_SIZE as usize).unwrap();
+                }
+            }
+            // skip config
+            r.u8().unwrap();
+            r.u8().unwrap();
+            r.u8().unwrap();
+            r.u32().unwrap();
+            r.u64().unwrap();
+            r.opt_u64().unwrap();
+            // skip descriptors
+            let n_descs = r.u32().unwrap();
+            for _ in 0..n_descs {
+                r.bytes().unwrap();
+                r.u32().unwrap();
+                let n = r.u32().unwrap();
+                for _ in 0..n {
+                    r.u32().unwrap();
+                }
+            }
+            r.u32().unwrap(); // region count
+            r.offset() // first region's rc starts here
+        };
+        let mut doctored = bytes.clone();
+        doctored[region_sec] = doctored[region_sec].wrapping_add(5);
+        assert!(matches!(
+            RegionRuntime::restore_snapshot(&doctored),
+            Err(SnapshotError::SanitizeFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn violations_round_trip_without_tripping_the_gate() {
+        let mut rt = RegionRuntime::new_safe();
+        let r = rt.new_region();
+        assert!(rt.delete_region(r));
+        rt.inc_rc(r); // recorded as IncOfDeleted, not a panic
+        assert_eq!(rt.violations().len(), 1);
+        let bytes = rt.capture_snapshot();
+        let restored = RegionRuntime::restore_snapshot(&bytes)
+            .expect("recorded violations are data, not inconsistency");
+        assert_eq!(restored.violations(), rt.violations());
+        assert_eq!(restored.capture_snapshot(), bytes);
     }
 }

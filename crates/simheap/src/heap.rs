@@ -779,6 +779,83 @@ impl SimHeap {
     pub fn is_mapped(&self, addr: Addr) -> bool {
         addr.raw() >= PAGE_SIZE && (addr.raw() as usize) < self.memory.len()
     }
+
+    /// Captures the heap's complete untraced state as a host-side
+    /// [`HeapImage`]: configuration, every mapped byte past the guard page
+    /// (the guard page is always zero, so it is not stored), and the
+    /// load/store counters. Restoring the image with
+    /// [`SimHeap::from_image`] yields a heap that is observationally
+    /// identical to this one — same break, same bytes, same counters, same
+    /// future behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an access sink is attached: a sink is a live host-side
+    /// trait object that cannot be serialized, so callers must
+    /// [`SimHeap::detach_sink`] first (and re-attach after restore if they
+    /// want to keep tracing).
+    pub fn capture_image(&self) -> HeapImage {
+        assert!(
+            !self.tracing,
+            "capture_image while a sink is attached; detach the sink first"
+        );
+        HeapImage {
+            config: self.config,
+            bytes: self.memory[PAGE_SIZE as usize..].to_vec(),
+            loads: self.loads,
+            stores: self.stores,
+        }
+    }
+
+    /// Rebuilds a heap from a [`HeapImage`] captured by
+    /// [`SimHeap::capture_image`]. The restored heap has no sink attached
+    /// and is not tracing, exactly like a freshly constructed heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's byte length is not a whole number of pages or
+    /// would overflow the 32-bit address space. Deserializers must
+    /// validate untrusted input *before* building a `HeapImage` (the
+    /// region-core snapshot codec returns a typed error instead).
+    pub fn from_image(image: &HeapImage) -> SimHeap {
+        let len = image.bytes.len() as u64;
+        assert!(len % u64::from(PAGE_SIZE) == 0, "heap image is not a whole number of pages");
+        assert!(
+            len + u64::from(PAGE_SIZE) <= u64::from(u32::MAX),
+            "heap image exceeds the 32-bit address space"
+        );
+        let mut memory = vec![0u8; PAGE_SIZE as usize];
+        memory.extend_from_slice(&image.bytes);
+        SimHeap {
+            memory,
+            config: image.config,
+            sink: None,
+            tracing: false,
+            loads: image.loads,
+            stores: image.stores,
+        }
+    }
+}
+
+/// A host-side image of a [`SimHeap`]'s complete untraced state, produced
+/// by [`SimHeap::capture_image`] and consumed by [`SimHeap::from_image`].
+///
+/// The image deliberately excludes the attached [`AccessSink`] (a live
+/// trait object with no serial form) and the guard page (always zero).
+/// Everything else — break position, mapped bytes, configuration including
+/// any injected sbrk-fault budget, and the load/store counters — round-trips
+/// bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeapImage {
+    /// Heap configuration at capture time (limit and fault budget).
+    pub config: HeapConfig,
+    /// Every mapped byte past the guard page; always a whole number of
+    /// pages. The break at restore is `PAGE_SIZE + bytes.len()`.
+    pub bytes: Vec<u8>,
+    /// Simulated load counter at capture time.
+    pub loads: u64,
+    /// Simulated store counter at capture time.
+    pub stores: u64,
 }
 
 #[cfg(test)]
@@ -1217,6 +1294,59 @@ mod tests {
         heap.charge_loads(5);
         heap.charge_stores(2);
         assert_eq!((heap.load_count(), heap.store_count()), (5, 2));
+    }
+
+    #[test]
+    fn image_round_trips_bit_identically() {
+        let mut heap = SimHeap::with_config(HeapConfig {
+            max_bytes: 64 * u64::from(PAGE_SIZE),
+            sbrk_fault_after: Some(32 * u64::from(PAGE_SIZE)),
+        });
+        let a = heap.sbrk_pages(3);
+        heap.fill(a, 2 * PAGE_SIZE, 0x5A);
+        heap.store_u32(a + 100, 0xDEAD_BEEF);
+        let image = heap.capture_image();
+        assert_eq!(image.bytes.len(), 3 * PAGE_SIZE as usize);
+        let mut restored = SimHeap::from_image(&image);
+        assert_eq!(restored.brk(), heap.brk());
+        assert_eq!(restored.load_count(), heap.load_count());
+        assert_eq!(restored.store_count(), heap.store_count());
+        assert!(!restored.is_tracing());
+        assert_eq!(restored.load_u32(a + 100), 0xDEAD_BEEF);
+        assert_eq!(heap.load_u32(a + 100), 0xDEAD_BEEF); // keep counters in lockstep
+        // The config round-trips too: same fault budget, same limit.
+        heap.sbrk_pages(1);
+        restored.sbrk_pages(1);
+        assert_eq!(
+            heap.try_sbrk_pages(64).unwrap_err(),
+            restored.try_sbrk_pages(64).unwrap_err(),
+            "restored heap refuses growth identically"
+        );
+        // And the restored heap's own image equals the original's + the
+        // identical extra page.
+        let im2 = heap.capture_image();
+        assert_eq!(im2, restored.capture_image());
+    }
+
+    #[test]
+    #[should_panic(expected = "detach the sink first")]
+    fn capture_image_refuses_attached_sink() {
+        let mut heap = SimHeap::new();
+        heap.sbrk_pages(1);
+        heap.attach_sink(Box::new(CountingSink::default()));
+        let _ = heap.capture_image();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of pages")]
+    fn from_image_rejects_ragged_length() {
+        let image = HeapImage {
+            config: HeapConfig::default(),
+            bytes: vec![0u8; 100],
+            loads: 0,
+            stores: 0,
+        };
+        let _ = SimHeap::from_image(&image);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod heap;
 mod trace;
 
 pub use addr::{align_up, Addr, PAGE_SIZE, WORD};
-pub use heap::{HeapConfig, HeapError, SimHeap};
+pub use heap::{HeapConfig, HeapError, HeapImage, SimHeap};
 pub use trace::{
     Access, AccessEvent, AccessKind, AccessRange, AccessSink, CopyRange, CountingSink,
     EventRecordingSink, RecordingSink,
