@@ -55,12 +55,36 @@ echo "== kill-and-restore chaos (>=20 seeded kill points), sanitize on =="
 REGION_SANITIZE=1 ./target/release/chaos --quick --scenario kill-restore >/dev/null
 
 echo "== parallel region pool smoke (digest + audit, sanitize on) =="
+# Also covers the shared-space shard mode: four logical shards of one
+# address space at 1/2/N threads must land on one digest.
 REGION_SANITIZE=1 BENCH_WORKERS="${BENCH_WORKERS:-4}" ./target/release/par_regions --quick >/dev/null
+
+echo "== shard parity suite (W=1 bit-parity + canonical merge), sanitize on =="
+# A runtime on the single shard of a one-worker SharedSpace must be
+# observationally identical to one on a private SimHeap; W>1 merges must
+# be bit-identical across seeded and real-thread schedules (DESIGN §15).
+REGION_SANITIZE=1 cargo test -q -p region-core --test shard_props
+
+echo "== world snapshots: v1 still reads, v2 round-trips =="
+# RSNP v1 single-runtime snapshots (checked above) and the v2 sharded
+# world format live side by side; v1/v2 streams must reject each other
+# with typed errors, and a restored world re-captures byte-identically.
+cargo test -q -p region-core --lib world
+
+echo "== shard A/B (records BENCH_shard quick variant) =="
+# Private SimHeap vs W=1 shard books bit-identical; the 4-shard shared
+# world digest thread-count-independent. The committed BENCH_shard.json
+# is the default-scale record; the quick rerun goes to target/.
+BENCH_SHARD_OUT=target/BENCH_shard_quick.json \
+    ./target/release/par_regions --shard-ab --quick >/dev/null
 
 echo "== chaos soak (fault injection + sanitizer + VM), --quick =="
 ./target/release/chaos --quick >/dev/null
 
 echo "== par-chaos: contained worker faults, quarantine + reap, sanitize on =="
+# Phase 2 reruns the panic chaos on one shared address space: abandoned
+# shard runtimes sanitize clean, the mirror audit passes, and every
+# round's world snapshot capture->restore->recapture is byte-equal.
 REGION_SANITIZE=1 ./target/release/chaos --quick --scenario par-chaos >/dev/null
 
 echo "== elision differential (vm-chaos A/B, sanitize on) =="

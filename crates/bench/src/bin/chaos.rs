@@ -21,7 +21,7 @@
 //! | `sbrk-squeeze`  | sbrk faults once the heap passes a byte budget |
 //! | `oom`           | genuine simulated OOM from a tiny `max_bytes` |
 //! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees; region-typed returns) through the compiler + VM with alloc/sbrk faults and fuel exhaustion, each run A/B with barrier elision off and on under [`supervise`] — the runs must be observationally identical outside the barrier split, and the VM must trap, never panic |
-//! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API |
+//! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API. A second phase reruns the chaos with every worker also mutating its shard of ONE shared address space: the abandoned runtimes must sanitize clean, the published page→region mirror must match every shard's books, and the whole world must capture → restore → recapture byte-equal each round |
 //! | `kill-restore`  | kills the soak at a seeded uniform op index (including mid-fault-window, under the alloc-fault plan), snapshots runtime + driver, restores into a fresh context through the sanitize and pool-audit gates, and replays the remainder — the digest and every counter must equal the uninterrupted control run; corrupted snapshots (truncation, bit flips, bad magic/version, trailing bytes) must be rejected with a typed [`SnapshotError`], never a panic |
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
@@ -1310,12 +1310,24 @@ const PAR_JOB_OPS: u64 = 40;
 ///   totals after the cells are cleared, quarantine/reap counts), so the
 ///   same seed reproduces it bit-identically.
 ///
+/// A second phase (DESIGN §15) reruns the panic chaos with the workers
+/// *also* mutating disjoint shards of one shared address space. The
+/// per-worker runtimes live in mutex slots that outlive a panicked
+/// attempt, so a retry resumes the same runtime mid-state and a dead
+/// worker's abandoned runtime is still there to be audited: every slot
+/// must sanitize clean, [`world_mirror_mismatches`] must be zero, and
+/// `capture_world` → `restore_world` → `capture_world` must be
+/// byte-identical every round — the sharded kill-restore proof.
+///
+/// [`world_mirror_mismatches`]: region_core::world_mirror_mismatches
 /// [`ParRegionPool::audit`]: region_core::par::ParRegionPool::audit
 /// [`reap_orphans`]: region_core::par::ParRegionPool::reap_orphans
 /// [`RefCell32`]: region_core::par::RefCell32
 fn scenario_par(seed: u64, ops: u64) -> Tally {
     use region_core::par::{ParRef, ParRegionId, ParRegionPool, RefCell32};
-    use std::sync::Arc;
+    use region_core::{capture_world, restore_world, world_mirror_mismatches};
+    use simheap::{HeapBackend, HeapShard, SharedSpace, SpaceConfig};
+    use std::sync::{Arc, Mutex};
 
     let mut tally = Tally::default();
     let rounds = (ops / 60).max(3);
@@ -1510,6 +1522,281 @@ fn scenario_par(seed: u64, ops: u64) -> Tally {
         tally.sanitize_runs += 1;
         assert!(audit.is_clean(), "round {round}: audit dirty after reap: {audit}");
         assert!(pool.live_regions().is_empty(), "round {round}: regions leaked");
+        tally.ops += PAR_JOBS as u64 * PAR_JOB_OPS;
+    }
+
+    // ---- Phase 2: the same panic chaos on ONE shared address space ----
+    //
+    // Six workers, each owning a shard of a fresh [`SharedSpace`] AND
+    // registered with a shared [`ParRegionPool`]; soft workers panic once
+    // and retry, the hard worker stays dead. Panics are injected *between*
+    // operations, outside the slot lock, so the abandoned runtime stays
+    // consistent in its Mutex slot. After the faults: the pool must audit
+    // clean with the dead workers' ledgers settled (orphan ledger
+    // balanced, quarantine + reap explicit), every runtime — survivor or
+    // abandoned — must sanitize clean on the shared space, the published
+    // page→region mirror must agree with every shard's private books, and
+    // the whole world must capture → restore → recapture byte-equal.
+
+    /// One worker's shard runtime plus the op tables its deterministic
+    /// script needs across retry attempts.
+    struct ShardSlot {
+        rt: RegionRuntime<HeapShard>,
+        node: DescId,
+        regions: Vec<RegionId>,
+        objs: Vec<(Addr, RegionId)>,
+    }
+
+    impl ShardSlot {
+        fn new(mut rt: RegionRuntime<HeapShard>) -> ShardSlot {
+            let node = rt.register_type(TypeDescriptor::new("node", 16, vec![8]));
+            ShardSlot { rt, node, regions: Vec::new(), objs: Vec::new() }
+        }
+
+        /// One region op on this worker's shard, returning an observation
+        /// fold. Streams depend only on the worker's own rng, so the
+        /// fold is schedule-independent.
+        fn op(&mut self, rng: &mut Rng) -> u64 {
+            match rng.below(8) {
+                0 => {
+                    if self.regions.len() >= 12 {
+                        return 0;
+                    }
+                    let r = self.rt.new_region();
+                    self.regions.push(r);
+                    fold(51, r.index() as u64)
+                }
+                1..=3 => {
+                    if self.regions.is_empty() {
+                        return 0;
+                    }
+                    let r = self.regions[rng.below(self.regions.len() as u64) as usize];
+                    match self.rt.try_ralloc(r, self.node) {
+                        Ok(a) => {
+                            self.objs.push((a, r));
+                            fold(52, u64::from(a.raw()))
+                        }
+                        Err(e) => fold(53, err_code(e)),
+                    }
+                }
+                4 => {
+                    if self.objs.is_empty() {
+                        return 0;
+                    }
+                    let (a, _) = self.objs[rng.below(self.objs.len() as u64) as usize];
+                    let v = rng.next() as u32;
+                    self.rt.heap_mut().store_u32(a.offset(4), v);
+                    fold(54, u64::from(v))
+                }
+                5 => {
+                    if self.objs.is_empty() {
+                        return 0;
+                    }
+                    let (a, _) = self.objs[rng.below(self.objs.len() as u64) as usize];
+                    fold(55, u64::from(self.rt.heap_mut().load_u32(a)))
+                }
+                6 => {
+                    if self.objs.is_empty() {
+                        return 0;
+                    }
+                    let (loc, _) = self.objs[rng.below(self.objs.len() as u64) as usize];
+                    let (val, _) = self.objs[rng.below(self.objs.len() as u64) as usize];
+                    self.rt.store_ptr_unknown(loc.offset(8), val);
+                    56
+                }
+                _ => {
+                    if self.regions.is_empty() {
+                        return 0;
+                    }
+                    let r = self.regions[rng.below(self.regions.len() as u64) as usize];
+                    match self.rt.try_delete_region(r) {
+                        Ok(()) => {
+                            // Dangling stores into recycled pages would
+                            // corrupt object headers; drop the objects.
+                            self.objs.retain(|&(_, owner)| owner != r);
+                            57
+                        }
+                        Err(e) => fold(58, err_code(e)),
+                    }
+                }
+            }
+        }
+    }
+
+    let p2_rounds = (ops / 120).max(3);
+    for round in 0..p2_rounds {
+        let space = SharedSpace::new(SpaceConfig {
+            max_bytes: 64 * 1024 * 1024,
+            workers: PAR_JOBS as u32,
+        });
+        let pool = ParRegionPool::new();
+        let cells: Vec<Arc<RefCell32>> = (0..PAR_CELLS).map(|_| pool.register_cell()).collect();
+        let mut main_t = pool.register_thread();
+        let shared: Vec<ParRegionId> = (0..PAR_SHARED).map(|_| main_t.create_region()).collect();
+        let slots: Vec<Arc<Mutex<ShardSlot>>> = (0..PAR_JOBS)
+            .map(|w| {
+                Arc::new(Mutex::new(ShardSlot::new(RegionRuntime::with_config_on(
+                    RegionConfig::default(),
+                    space.shard(w as u32),
+                ))))
+            })
+            .collect();
+
+        let mut jobs: Vec<Box<dyn Fn(u32) -> u64 + Send + Sync>> = Vec::new();
+        for w in 0..PAR_JOBS {
+            let pool = pool.clone();
+            let cells = cells.clone();
+            let shared = shared.clone();
+            let slot = Arc::clone(&slots[w]);
+            let job_seed = seed ^ fold(round, w as u64 + 500);
+            let (soft, hard) = (w <= 2, w == 3);
+            jobs.push(Box::new(move |attempt: u32| {
+                let mut rng = Rng::seeded(job_seed ^ (u64::from(attempt) << 32));
+                let mut t = pool.register_thread();
+                let mut digest = 0u64;
+                let mut held: Vec<ParRef> = Vec::new();
+                let panic_at = 5 + rng.below(PAR_JOB_OPS - 10);
+                for op in 0..PAR_JOB_OPS {
+                    if op == panic_at && (hard || (soft && attempt == 0)) {
+                        if let Some(h) = held.pop() {
+                            std::mem::forget(h);
+                        }
+                        panic!(
+                            "{PAR_PANIC_MARKER} (shared round {round} worker {w} \
+                             attempt {attempt})"
+                        );
+                    }
+                    match rng.below(10) {
+                        // Region ops on this worker's own shard. The
+                        // slot outlives a panicked attempt, so a retry
+                        // resumes the same runtime mid-state.
+                        0..=5 => {
+                            let mut s =
+                                slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let v = s.op(&mut rng);
+                            digest = fold(digest, v);
+                        }
+                        // Owned reference to a shared pool region.
+                        6..=7 => {
+                            let i = rng.below(PAR_SHARED as u64) as usize;
+                            if held.len() >= 8 {
+                                held.remove(0);
+                            }
+                            held.push(t.acquire(shared[i]));
+                            digest = fold(fold(digest, 61), i as u64);
+                        }
+                        // Atomic-exchange publish/clear on a shared cell.
+                        _ => {
+                            let c = rng.below(PAR_CELLS as u64) as usize;
+                            let target = if rng.below(4) != 0 {
+                                Some(shared[rng.below(PAR_SHARED as u64) as usize])
+                            } else {
+                                None
+                            };
+                            t.exchange_ref(&cells[c], target);
+                            digest = fold(fold(digest, 62), c as u64);
+                        }
+                    }
+                }
+                drop(held);
+                digest
+            }));
+        }
+
+        let reports = supervise(jobs, &cfg);
+        let mut round_panics = 0u64;
+        for rep in &reports {
+            match &rep.outcome {
+                JobOutcome::Completed(d) => {
+                    round_panics += u64::from(rep.attempts - 1);
+                    tally.digest = fold(fold(fold(tally.digest, 1), u64::from(rep.attempts)), *d);
+                }
+                JobOutcome::Panicked(msg) => {
+                    assert!(
+                        msg.contains(PAR_PANIC_MARKER),
+                        "a shared-space panic escaped through worker {}: {msg}",
+                        rep.job
+                    );
+                    round_panics += u64::from(rep.attempts);
+                    tally.digest = fold(fold(tally.digest, 2), u64::from(rep.attempts));
+                }
+                JobOutcome::TimedOut(d) => {
+                    panic!("shared round {} worker {} wedged ({d:?})", round, rep.job)
+                }
+            }
+        }
+        tally.worker_panics += round_panics;
+
+        // The pool's books must balance with the dead workers settled.
+        let audit = pool.audit();
+        tally.sanitize_runs += 1;
+        assert!(audit.is_clean(), "shared round {round}: audit dirty after faults: {audit}");
+        for c in &cells {
+            main_t.exchange_ref(c, None);
+        }
+        let mut quarantined = 0u64;
+        for r in pool.live_regions() {
+            match pool.try_delete_checked(r) {
+                Ok(()) => {}
+                Err(e @ ParRegionError::BlockedByOrphans { .. }) => {
+                    quarantined += 1;
+                    tally.blocked_deletes += 1;
+                    assert!(pool.is_quarantined(r), "orphan-blocked region not quarantined: {e}");
+                }
+                Err(e) => panic!("shared round {round}: delete of {r:?} failed: {e}"),
+            }
+        }
+        tally.quarantined += quarantined;
+        let reap = pool.reap_orphans();
+        assert!(
+            reap.is_fully_reclaimed(),
+            "shared round {round}: regions left quarantined: {reap}"
+        );
+        assert_eq!(reap.reaped.len() as u64, quarantined);
+        tally.reaped += reap.reaped.len() as u64;
+        let audit = pool.audit();
+        tally.sanitize_runs += 1;
+        assert!(audit.is_clean(), "shared round {round}: audit dirty after reap: {audit}");
+
+        // The sharded world itself: every runtime — survivors and the
+        // dead worker's abandoned one — must pass the full sanitizer on
+        // the shared space, and the published mirror must agree with
+        // every shard's private page map.
+        // The watchdog in `supervise` runs attempts on detached threads
+        // that can outlive the call by an instant, so the slot Arcs may
+        // still be shared — go through the locks, not `try_unwrap`.
+        let mut world: Vec<std::sync::MutexGuard<'_, ShardSlot>> = slots
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
+        for (w, s) in world.iter_mut().enumerate() {
+            let report = s.rt.sanitize();
+            tally.sanitize_runs += 1;
+            assert!(
+                report.is_clean(),
+                "shared round {round}: shard {w} dirty after faults:\n{report}"
+            );
+        }
+        let mismatches = world_mirror_mismatches(&space, world.iter().map(|s| &s.rt));
+        assert_eq!(mismatches, 0, "shared round {round}: mirror diverged from the books");
+
+        // Kill-restore: serialize the whole sharded world, restore it
+        // (which re-runs every per-shard gate), and demand the restored
+        // world re-captures byte-identically.
+        let refs: Vec<&RegionRuntime<HeapShard>> = world.iter().map(|s| &s.rt).collect();
+        let bytes = capture_world(&space, &refs);
+        let restored = restore_world(&bytes)
+            .unwrap_or_else(|e| panic!("shared round {round}: world restore failed: {e}"));
+        let rrefs: Vec<&RegionRuntime<HeapShard>> = restored.runtimes.iter().collect();
+        let again = capture_world(&restored.space, &rrefs);
+        assert_eq!(bytes, again, "shared round {round}: sharded snapshot did not round-trip");
+        tally.restores += 1;
+        tally.digest = fold(tally.digest, bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            tally.digest = fold(tally.digest, u64::from_le_bytes(v));
+        }
         tally.ops += PAR_JOBS as u64 * PAR_JOB_OPS;
     }
     tally
@@ -1762,6 +2049,14 @@ fn main() {
         assert!(a.quarantined > 0, "no region was ever quarantined");
         assert!(a.reaped > 0, "the reaper never reclaimed a region");
         assert_eq!(a.quarantined, a.reaped, "every quarantined region must be reaped");
+        // The shared-space phase: every round snapshots the whole sharded
+        // world after the faults and round-trips it (full soak ≥ 20).
+        let floor = if quick { 3 } else { 20 };
+        assert!(
+            a.restores >= floor,
+            "too few sharded-world kill-restores: {} < {floor}",
+            a.restores
+        );
     }
 
     println!(

@@ -15,8 +15,8 @@
 //! and records `BENCH_elision.json` at the repo root.
 
 use bench_harness::runner::{
-    host_cores, measure_region, measure_region_elide, scale_from_env, write_results_json,
-    Measurement,
+    host_cores, measure_region, measure_region_elide, scale_from_env, today_utc,
+    write_results_json, Measurement,
 };
 use workloads::{RegionKind, Workload};
 
@@ -170,21 +170,3 @@ fn elision_ab(scale: u32) {
     }
 }
 
-/// UTC calendar date, `YYYY-MM-DD`, from the system clock (civil-from-days,
-/// Hinnant's algorithm) — keeps the `BENCH_*.json` convention without a
-/// date-time dependency.
-fn today_utc() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
-    let z = (secs / 86_400) as i64 + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = yoe + era * 400 + i64::from(m <= 2);
-    format!("{y:04}-{m:02}-{d:02}")
-}

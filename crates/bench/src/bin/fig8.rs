@@ -9,8 +9,15 @@
 //! in matrix order. `--only <workload>` restricts the matrix to one
 //! row — handy for CI smoke runs (e.g. the `REGION_SANITIZE=1` check).
 
-use bench_harness::runner::{kb, pages_kb, run_matrix, scale_from_env, write_results_json, Job};
+use bench_harness::runner::{
+    kb, pages_kb, par_bench_workers, run_matrix, run_matrix_with, scale_from_env,
+    write_results_json_with_par, Job, ParColumn,
+};
 use workloads::{MallocKind, RegionKind, Workload};
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
 
 fn main() {
     let scale = scale_from_env();
@@ -39,7 +46,24 @@ fn main() {
             jobs.push(Job::Region(w, RegionKind::Emulated(MallocKind::Lea)));
         }
     }
+    let serial_t0 = std::time::Instant::now();
     let rows = run_matrix(&jobs, scale, false);
+    let serial_wall = serial_t0.elapsed();
+
+    // Parallel pass: the same matrix fanned across real worker threads
+    // (min 3, so a single-core CI host still exercises cross-thread
+    // scheduling). Every simulated counter must match the serial pass
+    // bit for bit — only wall clock is allowed to move.
+    let par_workers = par_bench_workers();
+    let par_t0 = std::time::Instant::now();
+    let par_rows = run_matrix_with(&jobs, scale, false, par_workers);
+    let par_wall = par_t0.elapsed();
+    for (s, p) in rows.iter().zip(&par_rows) {
+        let cell = format!("{}/{}", s.workload, s.allocator);
+        assert_eq!(s.os_pages, p.os_pages, "{cell}: os_pages perturbed by parallelism");
+        assert_eq!(s.checksum, p.checksum, "{cell}: checksum perturbed by parallelism");
+        assert_eq!(s.stats, p.stats, "{cell}: alloc stats perturbed by parallelism");
+    }
 
     println!("Figure 8: Memory overhead, OS kbytes (requested kbytes in parens), scale {scale}");
     println!(
@@ -71,10 +95,39 @@ fn main() {
             );
         }
     }
+    // Parallel-speedup column: per-workload wall clock of the serial
+    // pass vs the fanned-out pass, plus the matrix-level wall.
+    println!();
+    println!(
+        "Parallel pass ({par_workers} workers): matrix wall {:.0} ms vs serial {:.0} ms \
+         ({:.2}x); counters bit-identical",
+        ms(par_wall),
+        ms(serial_wall),
+        ms(serial_wall) / ms(par_wall).max(1e-9),
+    );
+    println!("{:<9} {:>10} {:>10} {:>8}", "Name", "serial ms", "par ms", "speedup");
+    let mut speed: Vec<(&str, f64, f64)> = Vec::new();
+    for (s, p) in rows.iter().zip(&par_rows) {
+        match speed.last_mut() {
+            Some(e) if e.0 == s.workload => {
+                e.1 += ms(s.total);
+                e.2 += ms(p.total);
+            }
+            _ => speed.push((s.workload, ms(s.total), ms(p.total))),
+        }
+    }
+    for (w, sm, pm) in &speed {
+        println!("{w:<9} {sm:>10.0} {pm:>10.0} {:>7.2}x", sm / pm.max(1e-9));
+    }
+
     // A filtered run is a smoke check, not the artifact: only the full
     // matrix may replace results/fig8.json.
     if only.is_none() {
-        match write_results_json("fig8", &rows) {
+        let par = ParColumn {
+            workers: par_workers,
+            total_ms: par_rows.iter().map(|m| ms(m.total)).collect(),
+        };
+        match write_results_json_with_par("fig8", &rows, Some(&par)) {
             Ok(path) => println!("\nwrote {}", path.display()),
             Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
         }

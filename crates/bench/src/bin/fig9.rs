@@ -10,7 +10,10 @@
 //! The workload × allocator matrix runs on worker threads (every cell
 //! owns its own simulated heap); rows print in matrix order.
 
-use bench_harness::runner::{run_matrix, scale_from_env, write_results_json, Job, Measurement};
+use bench_harness::runner::{
+    par_bench_workers, run_matrix, run_matrix_with, scale_from_env, write_results_json_with_par,
+    Job, Measurement, ParColumn,
+};
 use workloads::{MallocKind, RegionKind, Workload};
 
 fn ms(d: std::time::Duration) -> f64 {
@@ -30,7 +33,22 @@ fn main() {
             jobs.push(Job::MossSlow(RegionKind::Safe));
         }
     }
+    let serial_t0 = std::time::Instant::now();
     let rows = run_matrix(&jobs, scale, false);
+    let serial_wall = serial_t0.elapsed();
+
+    // Parallel pass (see fig8): same matrix, real worker threads, every
+    // simulated counter bit-identical to the serial pass.
+    let par_workers = par_bench_workers();
+    let par_t0 = std::time::Instant::now();
+    let par_rows = run_matrix_with(&jobs, scale, false, par_workers);
+    let par_wall = par_t0.elapsed();
+    for (s, p) in rows.iter().zip(&par_rows) {
+        let cell = format!("{}/{}", s.workload, s.allocator);
+        assert_eq!(s.os_pages, p.os_pages, "{cell}: os_pages perturbed by parallelism");
+        assert_eq!(s.checksum, p.checksum, "{cell}: checksum perturbed by parallelism");
+        assert_eq!(s.stats, p.stats, "{cell}: alloc stats perturbed by parallelism");
+    }
 
     println!("Figure 9: execution time, total ms (memory-management ms), scale {scale}");
     println!(
@@ -67,7 +85,36 @@ fn main() {
             );
         }
     }
-    match write_results_json("fig9", &rows) {
+    // Parallel-speedup column: per-workload wall clock, serial vs the
+    // fanned-out pass.
+    println!();
+    println!(
+        "Parallel pass ({par_workers} workers): matrix wall {:.0} ms vs serial {:.0} ms \
+         ({:.2}x); counters bit-identical",
+        ms(par_wall),
+        ms(serial_wall),
+        ms(serial_wall) / ms(par_wall).max(1e-9),
+    );
+    println!("{:<9} {:>10} {:>10} {:>8}", "Name", "serial ms", "par ms", "speedup");
+    let mut speed: Vec<(&str, f64, f64)> = Vec::new();
+    for (s, p) in rows.iter().zip(&par_rows) {
+        match speed.last_mut() {
+            Some(e) if e.0 == s.workload => {
+                e.1 += ms(s.total);
+                e.2 += ms(p.total);
+            }
+            _ => speed.push((s.workload, ms(s.total), ms(p.total))),
+        }
+    }
+    for (w, sm, pm) in &speed {
+        println!("{w:<9} {sm:>10.0} {pm:>10.0} {:>7.2}x", sm / pm.max(1e-9));
+    }
+
+    let par = ParColumn {
+        workers: par_workers,
+        total_ms: par_rows.iter().map(|m| ms(m.total)).collect(),
+    };
+    match write_results_json_with_par("fig9", &rows, Some(&par)) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
     }

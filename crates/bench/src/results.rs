@@ -237,6 +237,14 @@ const EXACT_FIELDS_DEFAULT_ZERO: &[&str] = &["barriers_elided"];
 /// (or ignored entirely with `ignore_time`).
 const TIME_FIELDS: &[&str] = &["total_ms", "mem_ms"];
 
+/// Time fields added after the first recorded documents (the
+/// parallel-pass column). Unlike [`TIME_FIELDS`], a cell present in only
+/// one document compares **equal** — an old file simply predates the
+/// column, which is not a regression. When both documents carry the cell
+/// it gets the usual tolerance check, downgraded to a warning when the
+/// documents disagree on `workers` *or* `par_workers`.
+const OPT_TIME_FIELDS: &[&str] = &["par_total_ms"];
+
 /// Outcome of a document comparison, split by severity.
 ///
 /// `errors` gate a CI run; `warnings` are advisory context. The split
@@ -303,6 +311,20 @@ pub fn compare_docs_full(
         (Some(a), Some(b)) if a != b => {
             cmp.warnings.push(format!(
                 "workers differ (old {a}, new {b}): time fields compared advisorily"
+            ));
+            true
+        }
+        _ => false,
+    };
+    // Same logic for the parallel pass: its wall clock is only
+    // comparable when both documents fanned the par pass out equally.
+    // A document without `par_workers` predates the column; that alone
+    // is not worth a warning (the row cells are missing-as-equal).
+    let par_workers = |doc: &Json| doc.get("par_workers").and_then(Json::as_num);
+    let par_workers_differ = match (par_workers(old), par_workers(new)) {
+        (Some(a), Some(b)) if a != b => {
+            cmp.warnings.push(format!(
+                "par_workers differ (old {a}, new {b}): parallel time fields compared advisorily"
             ));
             true
         }
@@ -381,6 +403,31 @@ pub fn compare_docs_full(
                     "row {i} ({}): {field} present in one document only (old {a:?}, new {b:?})",
                     label(o)
                 )),
+            }
+        }
+        for &field in OPT_TIME_FIELDS {
+            // Present in only one document = the other predates the
+            // column: compares equal, by design.
+            let (Some(a), Some(b)) =
+                (o.get(field).and_then(Json::as_num), n.get(field).and_then(Json::as_num))
+            else {
+                continue;
+            };
+            if a < 1.0 && b < 1.0 {
+                continue;
+            }
+            let rel = (b - a).abs() / a.max(1e-9) * 100.0;
+            if rel > tolerance_pct {
+                let diff = format!(
+                    "row {i} ({}): {field} moved {rel:.1}% (old {a:.3} ms, new {b:.3} ms), \
+                     tolerance {tolerance_pct}%",
+                    label(o)
+                );
+                if workers_differ || par_workers_differ {
+                    cmp.warnings.push(diff);
+                } else {
+                    cmp.errors.push(diff);
+                }
             }
         }
     }
@@ -548,5 +595,76 @@ mod tests {
         .unwrap();
         let cmp = compare_docs_full(&single, &multi_wrong, 25.0, false);
         assert!(cmp.errors.iter().any(|e| e.contains("os_pages")));
+    }
+
+    #[test]
+    fn par_column_is_missing_as_equal_for_old_docs() {
+        // A document recorded before the parallel pass existed...
+        let old = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        // ...compares clean against a rerun carrying the new column, in
+        // either direction, with no warnings about it.
+        let with_par = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "b", "workers": 1,
+                "host_cores": 1, "par_workers": 3, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "par_total_ms": 60.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&old, &with_par, 25.0, false);
+        assert!(cmp.is_ok(), "new column must not gate old docs: {:?}", cmp.errors);
+        assert!(cmp.warnings.is_empty(), "no advisory noise either: {:?}", cmp.warnings);
+        let cmp = compare_docs_full(&with_par, &old, 25.0, false);
+        assert!(cmp.is_ok(), "and symmetrically: {:?}", cmp.errors);
+    }
+
+    #[test]
+    fn par_time_drift_gates_only_under_equal_par_workers() {
+        let base = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "a", "workers": 1,
+                "host_cores": 1, "par_workers": 3, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "par_total_ms": 60.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+
+        // Same par fan-out, 2x slower par pass: hard error.
+        let slow = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "b", "workers": 1,
+                "host_cores": 1, "par_workers": 3, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "par_total_ms": 120.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&base, &slow, 25.0, false);
+        assert!(
+            cmp.errors.iter().any(|e| e.contains("par_total_ms moved")),
+            "same-par_workers drift must gate: {:?}",
+            cmp.errors
+        );
+        // ...unless time is ignored.
+        assert!(compare_docs(&base, &slow, 25.0, true).is_empty());
+
+        // Different par fan-out: the same drift is advisory.
+        let wider = Json::parse(
+            r#"{"schema_version": 3, "bench": "fig9", "commit": "c", "workers": 1,
+                "host_cores": 8, "par_workers": 8, "rows": [
+                {"workload": "tile", "allocator": "Lea", "total_ms": 100.0,
+                 "mem_ms": 10.0, "par_total_ms": 120.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&base, &wider, 25.0, false);
+        assert!(cmp.is_ok(), "differing par_workers must not gate time: {:?}", cmp.errors);
+        assert!(cmp.warnings.iter().any(|w| w.contains("par_workers differ")));
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("par_total_ms moved")),
+            "drift still reported, as a warning: {:?}",
+            cmp.warnings
+        );
     }
 }

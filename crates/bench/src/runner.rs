@@ -331,6 +331,18 @@ pub fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// The worker count for the figures' **parallel pass**: `BENCH_PAR_WORKERS`
+/// if set (min 1), else at least 3 even on a single-core machine. The
+/// floor keeps single-core CI honest — the pass always exercises real
+/// cross-thread scheduling, so "parallel execution does not perturb
+/// simulated results" is checked everywhere, not just on big hosts.
+pub fn par_bench_workers() -> usize {
+    match std::env::var("BENCH_PAR_WORKERS").ok().and_then(|w| w.parse().ok()) {
+        Some(w) if w >= 1 => w,
+        _ => host_cores().max(3),
+    }
+}
+
 /// [`run_matrix`] with an explicit worker count (normally taken from the
 /// machine, overridable with `BENCH_WORKERS`).
 ///
@@ -415,14 +427,39 @@ fn run_matrix_checked_seeded(
 /// reruns are comparable with single-core baselines.
 pub const RESULTS_SCHEMA_VERSION: u64 = 3;
 
+/// The parallel-pass column attached to a results document: the worker
+/// count the pass fanned out to, and one wall-clock total per matrix row
+/// (same order as the serial rows). Kept separate from [`Measurement`]
+/// so documents without a parallel pass stay byte-identical to the
+/// pre-column format — `compare_results` treats the absent column as
+/// equal (see `OPT_TIME_FIELDS`).
+#[derive(Debug, Clone)]
+pub struct ParColumn {
+    /// How many workers the parallel pass used (`par_bench_workers()`).
+    pub workers: usize,
+    /// Wall-clock `total_ms` of each cell under the parallel pass, in
+    /// matrix order. Must be one entry per serial row.
+    pub total_ms: Vec<f64>,
+}
+
 /// Serializes measurements as a versioned JSON document and writes them
 /// to `results/<name>.json` (creating the directory), returning the
 /// path. Hand-rolled: the harness has no serialization dependency.
 pub fn write_results_json(name: &str, rows: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    write_results_json_with_par(name, rows, None)
+}
+
+/// [`write_results_json`] with an optional parallel-pass column. `None`
+/// writes the exact pre-column document.
+pub fn write_results_json_with_par(
+    name: &str,
+    rows: &[Measurement],
+    par: Option<&ParColumn>,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, results_json(name, rows))?;
+    std::fs::write(&path, results_json_with_par(name, rows, par))?;
     Ok(path)
 }
 
@@ -452,12 +489,30 @@ fn commit_id() -> String {
 /// fanned out — `compare_results` downgrades time drift to a warning
 /// when the two documents disagree on `workers`.
 pub fn results_json(name: &str, rows: &[Measurement]) -> String {
+    results_json_with_par(name, rows, None)
+}
+
+/// [`results_json`] with an optional parallel-pass column: the envelope
+/// gains `par_workers` and every row a `par_total_ms` cell. With `None`
+/// the output is byte-identical to the pre-column format, so old and new
+/// documents diff cleanly.
+pub fn results_json_with_par(name: &str, rows: &[Measurement], par: Option<&ParColumn>) -> String {
+    if let Some(p) = par {
+        assert_eq!(
+            p.total_ms.len(),
+            rows.len(),
+            "parallel pass must cover the matrix: one par_total_ms per row"
+        );
+    }
     let mut out = String::from("{\n");
     out.push_str(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION},\n"));
     out.push_str(&format!("\"bench\": \"{name}\",\n"));
     out.push_str(&format!("\"commit\": \"{}\",\n", commit_id()));
     out.push_str(&format!("\"workers\": {},\n", bench_workers()));
     out.push_str(&format!("\"host_cores\": {},\n", host_cores()));
+    if let Some(p) = par {
+        out.push_str(&format!("\"par_workers\": {},\n", p.workers));
+    }
     out.push_str("\"rows\": [\n");
     for (i, m) in rows.iter().enumerate() {
         let s = &m.stats;
@@ -466,6 +521,9 @@ pub fn results_json(name: &str, rows: &[Measurement]) -> String {
         out.push_str(&format!("\"allocator\": \"{}\", ", m.allocator));
         out.push_str(&format!("\"total_ms\": {:.3}, ", m.total.as_secs_f64() * 1e3));
         out.push_str(&format!("\"mem_ms\": {:.3}, ", m.mem.as_secs_f64() * 1e3));
+        if let Some(p) = par {
+            out.push_str(&format!("\"par_total_ms\": {:.3}, ", p.total_ms[i]));
+        }
         out.push_str(&format!("\"os_pages\": {}, ", m.os_pages));
         out.push_str(&format!("\"total_allocs\": {}, ", s.total_allocs));
         out.push_str(&format!("\"total_bytes\": {}, ", s.total_bytes));
@@ -485,6 +543,25 @@ pub fn results_json(name: &str, rows: &[Measurement]) -> String {
     }
     out.push_str("]\n}\n");
     out
+}
+
+/// UTC calendar date, `YYYY-MM-DD`, from the system clock (civil-from-days,
+/// Hinnant's algorithm) — keeps the `BENCH_*.json` convention without a
+/// date-time dependency.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
 }
 
 /// Formats a byte count as the paper's kbytes.
@@ -544,6 +621,38 @@ mod tests {
         assert_eq!(rows[1].checksum, serial.checksum);
         assert_eq!(rows[1].os_pages, serial.os_pages);
         assert_eq!(rows[1].stats.total_allocs, serial.stats.total_allocs);
+    }
+
+    #[test]
+    fn par_column_is_opt_in_and_leaves_plain_documents_untouched() {
+        let jobs = [
+            Job::Malloc(Workload::Cfrac, MallocKind::Lea),
+            Job::Region(Workload::Cfrac, RegionKind::Safe),
+        ];
+        let rows = run_matrix(&jobs, 1, false);
+        // None = byte-identical to the historical writer.
+        let plain = results_json("fig_test", &rows);
+        assert_eq!(plain, results_json_with_par("fig_test", &rows, None));
+        assert!(!plain.contains("par_"), "no par fields without a parallel pass");
+        // Some = envelope + one cell per row, nothing else moves.
+        let par = ParColumn { workers: 3, total_ms: vec![12.5, 0.25] };
+        let with = results_json_with_par("fig_test", &rows, Some(&par));
+        assert!(with.contains("\"par_workers\": 3,"));
+        assert!(with.contains("\"par_total_ms\": 12.500, "));
+        assert!(with.contains("\"par_total_ms\": 0.250, "));
+        assert_eq!(
+            with.matches("par_total_ms").count(),
+            rows.len(),
+            "exactly one par cell per row"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one par_total_ms per row")]
+    fn par_column_must_cover_every_row() {
+        let rows = run_matrix(&[Job::Malloc(Workload::Cfrac, MallocKind::Lea)], 1, false);
+        let par = ParColumn { workers: 3, total_ms: Vec::new() };
+        let _ = results_json_with_par("fig_test", &rows, Some(&par));
     }
 
     #[test]

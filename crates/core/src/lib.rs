@@ -67,6 +67,7 @@ mod sanitize;
 mod snapshot;
 mod stack;
 mod stats;
+pub mod world;
 
 pub use arena::Arena;
 pub use costs::{
@@ -81,3 +82,6 @@ pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
 pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::AllocStats;
+pub use world::{
+    capture_world, restore_world, world_mirror_mismatches, RestoredWorld, WORLD_SNAPSHOT_VERSION,
+};

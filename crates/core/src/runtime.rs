@@ -11,7 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use simheap::{align_up, Addr, HeapConfig, HeapImage, SimHeap, PAGE_SIZE, WORD};
+use simheap::{align_up, Addr, HeapBackend, HeapConfig, HeapImage, SimHeap, PAGE_SIZE, WORD};
 
 use crate::costs::{
     SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
@@ -146,8 +146,18 @@ const CHUNK_COVER: u32 = 1024;
 /// }
 /// assert!(rt.delete_region(r)); // frees all ten arrays at once
 /// ```
-pub struct RegionRuntime {
-    heap: SimHeap,
+///
+/// The runtime is generic over its backing store: `H` is a private
+/// [`SimHeap`] by default (every historical call site compiles and
+/// behaves unchanged), or a [`simheap::HeapShard`] when several
+/// runtimes — one per worker — share one sharded address space. All
+/// region bookkeeping (page map, mirror, counters, sanitizer) is
+/// per-runtime either way; the only sharded addition is that page-map
+/// writes are also announced through
+/// [`HeapBackend::publish_page_owner`] so the space-wide mirror stays
+/// current.
+pub struct RegionRuntime<H: HeapBackend = SimHeap> {
+    heap: H,
     config: RegionConfig,
     descs: DescriptorTable,
     regions: Vec<RegionInfo>,
@@ -187,7 +197,7 @@ pub struct RegionRuntime {
     global_ptr_locs: BTreeSet<u32>,
 }
 
-impl std::fmt::Debug for RegionRuntime {
+impl<H: HeapBackend> std::fmt::Debug for RegionRuntime<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RegionRuntime")
             .field("mode", &self.config.mode)
@@ -214,13 +224,15 @@ impl RegionRuntime {
     pub fn with_config(config: RegionConfig) -> RegionRuntime {
         RegionRuntime::with_config_on(config, SimHeap::with_config(config.heap))
     }
+}
 
+impl<H: HeapBackend> RegionRuntime<H> {
     /// Creates a runtime with the given configuration on a recycled heap
     /// (warm per-worker reuse). The heap is reset first — same break
     /// pointer, zeroed memory, fresh counters, no sink — so every address
     /// the runtime hands out replays exactly as on a brand-new heap;
     /// only the host allocation backing the heap is reused.
-    pub fn with_config_on(config: RegionConfig, mut heap: SimHeap) -> RegionRuntime {
+    pub fn with_config_on(config: RegionConfig, mut heap: H) -> RegionRuntime<H> {
         heap.reset_with(config.heap);
         let stack_base = heap.sbrk_pages(config.stack_pages);
         let stack_slots = config.stack_pages * (PAGE_SIZE / WORD);
@@ -286,20 +298,20 @@ impl RegionRuntime {
     }
 
     /// Read access to the underlying simulated heap.
-    pub fn heap(&self) -> &SimHeap {
+    pub fn heap(&self) -> &H {
         &self.heap
     }
 
     /// Mutable access to the underlying simulated heap (for loads/stores of
     /// non-pointer data; pointer stores must go through the
     /// `store_ptr_*` barriers in safe mode).
-    pub fn heap_mut(&mut self) -> &mut SimHeap {
+    pub fn heap_mut(&mut self) -> &mut H {
         &mut self.heap
     }
 
     /// Consumes the runtime and returns its heap (e.g. to detach an
     /// attached cache-simulator sink after a run).
-    pub fn into_heap(self) -> SimHeap {
+    pub fn into_heap(self) -> H {
         self.heap
     }
 
@@ -435,6 +447,10 @@ impl RegionRuntime {
             self.map_mirror.resize(page_index as usize + 1, 0);
         }
         self.map_mirror[page_index as usize] = cell;
+        // Sharded backends additionally announce ownership space-wide so
+        // sibling workers can audit the page without reading this worker's
+        // in-heap map; on SimHeap this is a no-op.
+        self.heap.publish_page_owner(page_index, cell);
     }
 
     fn set_page_owner(&mut self, page: Addr, owner: Option<RegionId>) {
@@ -468,6 +484,12 @@ impl RegionRuntime {
         } else {
             Some(RegionId(entry - 1))
         }
+    }
+
+    /// Host-side view of the page-map mirror, indexed by absolute page
+    /// index with the `owner + 1` cell encoding (world capture/audit).
+    pub(crate) fn map_mirror_entries(&self) -> &[u32] {
+        &self.map_mirror
     }
 
     /// Verifies that the host mirror agrees with the authoritative in-heap
@@ -1214,50 +1236,13 @@ impl RegionRuntime {
     // Snapshot / restore (orthogonal persistence, DESIGN §14)
     // ------------------------------------------------------------------
 
-    /// Serializes the runtime's *complete* observable state — heap image
-    /// (pages with zero-page run-length elision, break, counters, fault
-    /// budget), configuration, descriptor table, region table with both
-    /// bump allocators, page pool, two-level page map and its host mirror,
-    /// allocation statistics, safety costs, the shadow stack (frames,
-    /// top slot, high-water mark), OS-footprint accounting, the
-    /// fault-injection schedule *including its progress counters* (so a
-    /// snapshot taken inside a fault window replays the remaining faults
-    /// exactly), recorded violations, and the global pointer ledger — into
-    /// a versioned `RSNP` byte stream.
-    ///
-    /// [`RegionRuntime::restore_snapshot`] rebuilds a runtime that is
-    /// bit-identical to this one: continuing from the restored state
-    /// produces the same addresses, digests, counters, trace suffix, and
-    /// `sanitize()` verdict as the uninterrupted run, and
-    /// re-capturing the restored runtime yields these exact bytes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a trace sink is attached to the heap (sinks are live
-    /// host objects with no serial form); detach it first and re-attach
-    /// after restore.
-    pub fn capture_snapshot(&self) -> Vec<u8> {
-        let image = self.heap.capture_image();
-        let mut w = SnapWriter::new();
-        w.raw(&SNAPSHOT_MAGIC);
-        w.u32(SNAPSHOT_VERSION);
-        // -- heap image --
-        w.u64(image.config.max_bytes);
-        w.opt_u64(image.config.sbrk_fault_after);
-        w.u64(image.loads);
-        w.u64(image.stores);
-        let psize = PAGE_SIZE as usize;
-        let n_pages = image.bytes.len() / psize;
-        w.u32(n_pages as u32);
-        for p in 0..n_pages {
-            let page = &image.bytes[p * psize..(p + 1) * psize];
-            if page.iter().all(|&b| b == 0) {
-                w.u8(0); // zero page: one marker byte instead of 4 KB
-            } else {
-                w.u8(1);
-                w.raw(page);
-            }
-        }
+    /// Serializes every runtime field *after* the heap image — the
+    /// portion of the `RSNP` stream that is identical whether the
+    /// runtime sits on a private [`SimHeap`] (v1 snapshots) or on a
+    /// shard of a shared space (the per-runtime section of v2 world
+    /// snapshots). Byte-for-byte the v1 layout from "region config"
+    /// onward.
+    pub(crate) fn write_snapshot_body(&self, w: &mut SnapWriter) {
         // -- region config --
         w.u8(match self.config.mode {
             SafetyMode::Safe => 0,
@@ -1398,60 +1383,25 @@ impl RegionRuntime {
         for &loc in &self.global_ptr_locs {
             w.u32(loc);
         }
-        w.into_bytes()
     }
 
-    /// Rebuilds a runtime from [`RegionRuntime::capture_snapshot`] bytes.
-    ///
-    /// Untrusted input never panics: bad magic, an unknown version,
-    /// truncation anywhere, unknown tags, structurally impossible values
-    /// (out-of-range pages, invalid descriptors, a fault plan that would
-    /// divide by zero), and trailing garbage are all rejected with a
-    /// typed [`SnapshotError`]. Before the runtime is handed back it must
-    /// pass two gates: a fully bounds-checked re-walk of every live
-    /// region's objects (so corrupted object headers cannot fault a later
-    /// cleanup or sanitize pass), and a mandatory
-    /// [`RegionRuntime::sanitize`] pass whose books must recompute —
-    /// reference counts and the page-map mirror must agree with the
-    /// decoded state. Violations recorded *before* capture are data and
-    /// round-trip without tripping the gate.
-    ///
-    /// The restored heap has no trace sink attached (callers re-attach
-    /// after restore if they were tracing).
-    pub fn restore_snapshot(bytes: &[u8]) -> Result<RegionRuntime, SnapshotError> {
-        let mut r = SnapReader::new(bytes);
-        if r.raw(4)? != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion { version });
-        }
-        // -- heap image --
-        r.section("heap");
-        let heap_config =
-            HeapConfig { max_bytes: r.u64()?, sbrk_fault_after: r.opt_u64()? };
-        let loads = r.u64()?;
-        let stores = r.u64()?;
-        let n_pages = r.u32()?;
-        let psize = PAGE_SIZE as usize;
-        if (u64::from(n_pages) + 1) * u64::from(PAGE_SIZE) > u64::from(u32::MAX) {
-            return Err(r.malformed());
-        }
-        let mut body = Vec::new();
-        for _ in 0..n_pages {
-            match r.u8()? {
-                0 => body.resize(body.len() + psize, 0),
-                1 => body.extend_from_slice(r.raw(psize)?),
-                _ => return Err(r.malformed()),
-            }
-        }
-        let heap = SimHeap::from_image(&HeapImage { config: heap_config, bytes: body, loads, stores });
+    /// Decodes the stream written by [`RegionRuntime::write_snapshot_body`]
+    /// onto an already-rebuilt heap, validating every address against the
+    /// heap's break and `floor` — the lowest byte a data page may start at
+    /// (`PAGE_SIZE` for a private heap, the shard's base for a shard, so a
+    /// corrupt world snapshot cannot point one worker's books at another
+    /// worker's pages). The caller must still run
+    /// [`RegionRuntime::finish_restore`] before using the runtime.
+    pub(crate) fn read_snapshot_body(
+        r: &mut SnapReader<'_>,
+        heap: H,
+        floor: u32,
+    ) -> Result<RegionRuntime<H>, SnapshotError> {
         let brk = heap.brk().raw();
         // Every decoded address that later code dereferences must point at
         // a whole mapped non-guard page; everything else is `Malformed`.
         let page_ok =
-            |p: u32| p >= PAGE_SIZE && p % PAGE_SIZE == 0 && u64::from(p) + u64::from(PAGE_SIZE) <= u64::from(brk);
+            |p: u32| p >= floor && p % PAGE_SIZE == 0 && u64::from(p) + u64::from(PAGE_SIZE) <= u64::from(brk);
         // -- region config --
         r.section("config");
         let mode = match r.u8()? {
@@ -1459,8 +1409,8 @@ impl RegionRuntime {
             1 => SafetyMode::Unsafe,
             _ => return Err(r.malformed()),
         };
-        let stagger = decode_bool(&mut r)?;
-        let clear_on_alloc = decode_bool(&mut r)?;
+        let stagger = decode_bool(r)?;
+        let clear_on_alloc = decode_bool(r)?;
         let stack_pages = r.u32()?;
         let config = RegionConfig {
             mode,
@@ -1502,7 +1452,7 @@ impl RegionRuntime {
         let mut regions = Vec::new();
         for _ in 0..n_regions {
             let rc = r.i64()?;
-            let live = decode_bool(&mut r)?;
+            let live = decode_bool(r)?;
             let mut bumps = [BumpState::default(), BumpState::default()];
             for b in &mut bumps {
                 let n = r.u32()?;
@@ -1593,7 +1543,7 @@ impl RegionRuntime {
         let stack_base = r.u32()?;
         let stack_slots = r.u32()?;
         let stack_end = u64::from(stack_base) + u64::from(stack_slots) * u64::from(WORD);
-        if stack_base < PAGE_SIZE || stack_base % WORD != 0 || stack_end > u64::from(brk) {
+        if stack_base < floor || stack_base % WORD != 0 || stack_end > u64::from(brk) {
             return Err(r.malformed());
         }
         let n_frames = r.u32()?;
@@ -1664,9 +1614,7 @@ impl RegionRuntime {
             }
             global_ptr_locs.insert(loc);
         }
-        r.finish()?;
-
-        let rt = RegionRuntime {
+        Ok(RegionRuntime {
             heap,
             config,
             descs,
@@ -1687,20 +1635,130 @@ impl RegionRuntime {
             faults,
             violations,
             global_ptr_locs,
-        };
-        rt.validate_object_walk()?;
-        // Mandatory restore gate: the decoded books must recompute from
-        // first principles before execution may resume on this state.
-        let report = rt.sanitize();
+        })
+    }
+
+    /// Restore gates shared by v1 snapshots and v2 world snapshots: the
+    /// fully bounds-checked object re-walk, then a mandatory
+    /// [`RegionRuntime::sanitize`] pass whose books must recompute —
+    /// reference counts and the page-map mirror must agree with the
+    /// decoded state. Violations recorded *before* capture are data and
+    /// round-trip without tripping the gate.
+    pub(crate) fn finish_restore(self) -> Result<Self, SnapshotError> {
+        self.validate_object_walk()?;
+        let report = self.sanitize();
         if !report.rc_mismatches.is_empty() || !report.mirror_mismatches.is_empty() {
             return Err(SnapshotError::SanitizeFailed {
                 rc_mismatches: report.rc_mismatches.len(),
                 mirror_mismatches: report.mirror_mismatches.len(),
             });
         }
-        Ok(rt)
+        Ok(self)
+    }
+}
+
+impl RegionRuntime {
+    /// Serializes the runtime's *complete* observable state — heap image
+    /// (pages with zero-page run-length elision, break, counters, fault
+    /// budget), configuration, descriptor table, region table with both
+    /// bump allocators, page pool, two-level page map and its host mirror,
+    /// allocation statistics, safety costs, the shadow stack (frames,
+    /// top slot, high-water mark), OS-footprint accounting, the
+    /// fault-injection schedule *including its progress counters* (so a
+    /// snapshot taken inside a fault window replays the remaining faults
+    /// exactly), recorded violations, and the global pointer ledger — into
+    /// a versioned `RSNP` byte stream.
+    ///
+    /// [`RegionRuntime::restore_snapshot`] rebuilds a runtime that is
+    /// bit-identical to this one: continuing from the restored state
+    /// produces the same addresses, digests, counters, trace suffix, and
+    /// `sanitize()` verdict as the uninterrupted run, and
+    /// re-capturing the restored runtime yields these exact bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace sink is attached to the heap (sinks are live
+    /// host objects with no serial form); detach it first and re-attach
+    /// after restore.
+    pub fn capture_snapshot(&self) -> Vec<u8> {
+        let image = self.heap.capture_image();
+        let mut w = SnapWriter::new();
+        w.raw(&SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        // -- heap image --
+        w.u64(image.config.max_bytes);
+        w.opt_u64(image.config.sbrk_fault_after);
+        w.u64(image.loads);
+        w.u64(image.stores);
+        let psize = PAGE_SIZE as usize;
+        let n_pages = image.bytes.len() / psize;
+        w.u32(n_pages as u32);
+        for p in 0..n_pages {
+            let page = &image.bytes[p * psize..(p + 1) * psize];
+            if page.iter().all(|&b| b == 0) {
+                w.u8(0); // zero page: one marker byte instead of 4 KB
+            } else {
+                w.u8(1);
+                w.raw(page);
+            }
+        }
+        self.write_snapshot_body(&mut w);
+        w.into_bytes()
     }
 
+    /// Rebuilds a runtime from [`RegionRuntime::capture_snapshot`] bytes.
+    ///
+    /// Untrusted input never panics: bad magic, an unknown version,
+    /// truncation anywhere, unknown tags, structurally impossible values
+    /// (out-of-range pages, invalid descriptors, a fault plan that would
+    /// divide by zero), and trailing garbage are all rejected with a
+    /// typed [`SnapshotError`]. Before the runtime is handed back it must
+    /// pass two gates: a fully bounds-checked re-walk of every live
+    /// region's objects (so corrupted object headers cannot fault a later
+    /// cleanup or sanitize pass), and a mandatory
+    /// [`RegionRuntime::sanitize`] pass whose books must recompute —
+    /// reference counts and the page-map mirror must agree with the
+    /// decoded state. Violations recorded *before* capture are data and
+    /// round-trip without tripping the gate.
+    ///
+    /// The restored heap has no trace sink attached (callers re-attach
+    /// after restore if they were tracing).
+    pub fn restore_snapshot(bytes: &[u8]) -> Result<RegionRuntime, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        if r.raw(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { version });
+        }
+        // -- heap image --
+        r.section("heap");
+        let heap_config =
+            HeapConfig { max_bytes: r.u64()?, sbrk_fault_after: r.opt_u64()? };
+        let loads = r.u64()?;
+        let stores = r.u64()?;
+        let n_pages = r.u32()?;
+        let psize = PAGE_SIZE as usize;
+        if (u64::from(n_pages) + 1) * u64::from(PAGE_SIZE) > u64::from(u32::MAX) {
+            return Err(r.malformed());
+        }
+        let mut body = Vec::new();
+        for _ in 0..n_pages {
+            match r.u8()? {
+                0 => body.resize(body.len() + psize, 0),
+                1 => body.extend_from_slice(r.raw(psize)?),
+                _ => return Err(r.malformed()),
+            }
+        }
+        let heap = SimHeap::from_image(&HeapImage { config: heap_config, bytes: body, loads, stores });
+        let rt = RegionRuntime::read_snapshot_body(&mut r, heap, PAGE_SIZE)?;
+        r.finish()?;
+        rt.finish_restore()
+    }
+}
+
+impl<H: HeapBackend> RegionRuntime<H> {
     /// Restore-time guard: re-walks every live region's normal pages the
     /// way the cleanup scan and the sanitizer do, with every step checked,
     /// so decoded heap bytes whose object headers are corrupt (a chaos

@@ -26,13 +26,13 @@
 //! region correctly blocks deletion), and returning from `deleteregion`
 //! immediately unscans the caller's frame, restoring the invariant.
 
-use simheap::{Addr, WORD};
+use simheap::{Addr, HeapBackend, WORD};
 
 use crate::costs::{SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS};
 use crate::error::RegionError;
 use crate::runtime::{Frame, RegionRuntime};
 
-impl RegionRuntime {
+impl<H: HeapBackend> RegionRuntime<H> {
     /// Pushes a frame with `n_slots` region-pointer locals, all initialized
     /// to null (C@ requires initialization of all locals that contain
     /// region pointers, §3.1). Fails without side effects when the shadow

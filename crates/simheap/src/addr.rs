@@ -76,6 +76,17 @@ impl Addr {
         self.0 / PAGE_SIZE
     }
 
+    /// The base address of the page with index `index` — the inverse of
+    /// [`Addr::page_index`] for page-aligned addresses. Shard layout math
+    /// (worker base pages, span boundaries) is phrased with this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page lies beyond the 32-bit address space.
+    pub fn from_page(index: u32) -> Addr {
+        Addr(index.checked_mul(PAGE_SIZE).expect("page beyond the 32-bit address space"))
+    }
+
     /// The byte offset of this address within its page.
     pub fn page_offset(self) -> u32 {
         self.0 % PAGE_SIZE

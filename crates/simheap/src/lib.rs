@@ -36,12 +36,16 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod backend;
 mod heap;
+mod shard;
 mod trace;
 
 pub use addr::{align_up, Addr, PAGE_SIZE, WORD};
+pub use backend::HeapBackend;
 pub use heap::{HeapConfig, HeapError, HeapImage, SimHeap};
+pub use shard::{HeapShard, SharedSpace, SpaceConfig};
 pub use trace::{
     Access, AccessEvent, AccessKind, AccessRange, AccessSink, CopyRange, CountingSink,
-    EventRecordingSink, RecordingSink,
+    EventRecordingSink, RecordingSink, SharedEventLog, SharedLogSink, StampedEvent,
 };

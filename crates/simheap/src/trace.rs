@@ -282,6 +282,114 @@ impl AccessSink for EventRecordingSink {
     }
 }
 
+// ----------------------------------------------------------------------
+// Per-worker stamped logs with a canonical merge
+// ----------------------------------------------------------------------
+
+/// One protocol event stamped with its origin: which worker emitted it
+/// and where it sat in that worker's own emission order.
+///
+/// `(worker, seq)` is a total order over every event a sharded run
+/// produces — each worker's sequence counter is private to it — so a
+/// multi-worker trace has exactly one canonical serialization no matter
+/// how the OS interleaved the threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StampedEvent {
+    /// The worker (shard slot) that performed the access.
+    pub worker: u32,
+    /// Position in that worker's own stream, starting at 0.
+    pub seq: u64,
+    /// The access event itself.
+    pub event: AccessEvent,
+}
+
+/// A shared collection point for the stamped streams of many workers.
+///
+/// Each worker attaches a [`SharedLogSink`] (from
+/// [`SharedEventLog::sink`]) to its heap shard; events arrive in
+/// arbitrary cross-worker interleavings but [`SharedEventLog::merged`]
+/// returns them in the canonical `(worker, seq)` order, which is
+/// bit-identical for any thread count and any schedule — the property
+/// the shard regression suites pin.
+#[derive(Clone, Default, Debug)]
+pub struct SharedEventLog {
+    events: std::sync::Arc<std::sync::Mutex<Vec<StampedEvent>>>,
+}
+
+impl SharedEventLog {
+    /// Creates an empty log.
+    pub fn new() -> SharedEventLog {
+        SharedEventLog::default()
+    }
+
+    fn push(&self, ev: StampedEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
+    }
+
+    /// A sink stamping events as `worker`'s stream. Sequence numbers are
+    /// owned by the sink, so one worker must not attach two sinks with
+    /// the same id.
+    pub fn sink(&self, worker: u32) -> SharedLogSink {
+        SharedLogSink { log: self.clone(), worker, seq: 0 }
+    }
+
+    /// Every event logged so far, in canonical `(worker, seq)` order.
+    pub fn merged(&self) -> Vec<StampedEvent> {
+        let mut all = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        all.sort_by_key(|e| (e.worker, e.seq));
+        all
+    }
+
+    /// FNV-1a digest of the canonical merge — the schedule-independent
+    /// fingerprint multi-worker benches assert on.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+        for e in self.merged() {
+            fold(u64::from(e.worker));
+            fold(e.seq);
+            e.event.for_each_word(|a| {
+                fold(u64::from(a.addr));
+                fold(u64::from(a.size));
+                fold(u64::from(a.kind == AccessKind::Write));
+            });
+        }
+        h
+    }
+}
+
+/// The per-worker stamping sink of a [`SharedEventLog`]. Keeps raw
+/// protocol events (no expansion), so batching is preserved in the
+/// merged stream.
+#[derive(Debug)]
+pub struct SharedLogSink {
+    log: SharedEventLog,
+    worker: u32,
+    seq: u64,
+}
+
+impl AccessSink for SharedLogSink {
+    fn access(&mut self, access: Access) {
+        self.event(AccessEvent::Word(access));
+    }
+
+    fn event(&mut self, event: AccessEvent) {
+        self.log.push(StampedEvent { worker: self.worker, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
