@@ -87,6 +87,18 @@ echo "== par-chaos: contained worker faults, quarantine + reap, sanitize on =="
 # round's world snapshot capture->restore->recapture is byte-equal.
 REGION_SANITIZE=1 ./target/release/chaos --quick --scenario par-chaos >/dev/null
 
+echo "== region service under adversity (deadlines, backpressure, quarantine) =="
+# Quick soak of the long-lived region service: books asserted
+# byte-identical at 1/2/4 OS threads and across a same-seed rerun,
+# ledger conserved, every quarantined region reaped. The committed
+# BENCH_server.json is the full-scale record; the quick rerun goes to
+# target/ so it can't clobber it.
+REGION_SANITIZE=1 BENCH_SERVER_OUT=target/BENCH_server_quick.json \
+    ./target/release/server --quick >/dev/null
+# Full-adversity service chaos: injected faults + panics + watermark
+# pressure, conservation and clean sanitize/audit every round.
+REGION_SANITIZE=1 ./target/release/chaos --quick --scenario server-chaos >/dev/null
+
 echo "== elision differential (vm-chaos A/B, sanitize on) =="
 # Every random C@ program runs twice — paper-faithful codegen vs the
 # sameregion inference pass — and must be bit-identical in output, VM
@@ -125,6 +137,11 @@ echo "== results schema self-compare =="
 # them with elision off/on respectively.
 ./target/release/compare_results results/fig11.json results/fig11.json --ignore-time >/dev/null
 ./target/release/compare_results results/cq_bench.json results/cq_bench.json --ignore-time >/dev/null
+# server carries the p50_us/p99_us/p999_us latency columns
+# (missing-as-equal for older documents, drift is always a warning);
+# the quick run above rewrote it, so this also proves the quick books
+# survived the rewrite.
+./target/release/compare_results results/server.json results/server.json >/dev/null
 
 echo "== criterion benches, quick mode =="
 BENCH_QUICK=1 cargo bench -p bench-harness >/dev/null

@@ -23,10 +23,17 @@
 //! | `vm-chaos`      | seeded random C@ programs (linked lists; arrays + nested regions; recursive call trees; region-typed returns) through the compiler + VM with alloc/sbrk faults and fuel exhaustion, each run A/B with barrier elision off and on under [`supervise`] — the runs must be observationally identical outside the barrier split, and the VM must trap, never panic |
 //! | `par-chaos`     | supervised `ParRegionPool` workers panic mid-schedule holding published references; the pool must quarantine, audit clean, and reap — never leak or panic at the API. A second phase reruns the chaos with every worker also mutating its shard of ONE shared address space: the abandoned runtimes must sanitize clean, the published page→region mirror must match every shard's books, and the whole world must capture → restore → recapture byte-equal each round |
 //! | `kill-restore`  | kills the soak at a seeded uniform op index (including mid-fault-window, under the alloc-fault plan), snapshots runtime + driver, restores into a fresh context through the sanitize and pool-audit gates, and replays the remainder — the digest and every counter must equal the uninterrupted control run; corrupted snapshots (truncation, bit flips, bad magic/version, trailing bytes) must be rejected with a typed [`SnapshotError`], never a panic |
+//! | `server-chaos`  | full adversity rounds of the long-lived region service ([`bench_harness::run_service`]): per-request regions under injected allocation faults (bounded deterministic retry), injected worker panics (quarantine + reap), and footprint watermarks (degrade, then shed with a typed error), with ledger conservation, clean audits and sanitize every round, and the encoded books asserted byte-identical at 1/2/4 OS threads |
+//!
+//! When a Soak-shaped scenario fails, the soak re-runs its seed and
+//! writes a complete pre-first-fault image (`RSNP` runtime snapshot +
+//! driver state) under `target/triage/` before the panic continues, so
+//! the failure can be single-stepped from the last known good state.
 //!
 //! Flags: `--quick` (short CI soak), `--seed <n>`, `--ops <n>` (ops per
-//! scenario), `--scenario <name>` (run one scenario only). Exit code 0
-//! means every invariant held.
+//! scenario), `--scenario <name>` (run one scenario only),
+//! `--list-scenarios` (print the scenario names, one per line, and
+//! exit). Exit code 0 means every invariant held.
 
 use bench_harness::{supervise, JobOutcome, SuperviseConfig};
 use region_core::{
@@ -90,6 +97,7 @@ fn err_code(e: RegionError) -> u64 {
             fold(fold(9, s), count)
         }
         RegionError::Snapshot(e) => fold(10, snap_err_code(e)),
+        RegionError::Overloaded { pages, hard_pages } => fold(fold(11, pages), hard_pages),
     }
 }
 
@@ -699,16 +707,48 @@ fn scenario_kill_restore(seed: u64, ops: u64) -> Tally {
     tally
 }
 
-fn scenario_alloc_faults(seed: u64, ops: u64) -> Tally {
-    let mut plan = FaultPlan::seeded(seed)
-        .fail_every_mth_alloc(41)
-        .fail_allocs_one_in(127);
-    // A seeded scatter of page-acquisition ordinals.
-    let mut rng = Rng::seeded(seed ^ 0xface);
-    for _ in 0..(ops / 200).max(8) {
-        plan = plan.fail_page_acquisition(1 + rng.below(ops / 4 + 1));
+/// The configured soak for each Soak-shaped scenario, in one place so
+/// the triage capturer ([`capture_triage`]) replays *exactly* the
+/// stream a failing run saw. `None` for scenarios that are not driven
+/// by a single [`Soak`] (vm/par/kill-restore/server build their own
+/// machinery).
+fn soak_for(name: &str, seed: u64, ops: u64) -> Option<Soak> {
+    match name {
+        "alloc-faults" => {
+            let mut plan = FaultPlan::seeded(seed)
+                .fail_every_mth_alloc(41)
+                .fail_allocs_one_in(127);
+            // A seeded scatter of page-acquisition ordinals.
+            let mut rng = Rng::seeded(seed ^ 0xface);
+            for _ in 0..(ops / 200).max(8) {
+                plan = plan.fail_page_acquisition(1 + rng.below(ops / 4 + 1));
+            }
+            Some(Soak::new(seed, RegionConfig::default(), Some(plan)))
+        }
+        "sbrk-squeeze" => {
+            let config = RegionConfig {
+                stack_pages: 16,
+                heap: HeapConfig { max_bytes: 512 << 20, sbrk_fault_after: None },
+                ..RegionConfig::default()
+            };
+            let budget = 40 * PAGE_SIZE as u64;
+            let plan = FaultPlan::seeded(seed).fail_sbrk_after(budget);
+            Some(Soak::new(seed, config, Some(plan)))
+        }
+        "oom" => {
+            let config = RegionConfig {
+                stack_pages: 16,
+                heap: HeapConfig { max_bytes: 40 * PAGE_SIZE as u64, sbrk_fault_after: None },
+                ..RegionConfig::default()
+            };
+            Some(Soak::new(seed, config, None))
+        }
+        _ => None,
     }
-    let mut soak = Soak::new(seed, RegionConfig::default(), Some(plan));
+}
+
+fn scenario_alloc_faults(seed: u64, ops: u64) -> Tally {
+    let mut soak = soak_for("alloc-faults", seed, ops).expect("soak-shaped");
     for _ in 0..ops {
         soak.step();
     }
@@ -716,14 +756,7 @@ fn scenario_alloc_faults(seed: u64, ops: u64) -> Tally {
 }
 
 fn scenario_sbrk_squeeze(seed: u64, ops: u64) -> Tally {
-    let config = RegionConfig {
-        stack_pages: 16,
-        heap: HeapConfig { max_bytes: 512 << 20, sbrk_fault_after: None },
-        ..RegionConfig::default()
-    };
-    let budget = 40 * PAGE_SIZE as u64;
-    let plan = FaultPlan::seeded(seed).fail_sbrk_after(budget);
-    let mut soak = Soak::new(seed, config, Some(plan));
+    let mut soak = soak_for("sbrk-squeeze", seed, ops).expect("soak-shaped");
     for _ in 0..ops {
         soak.step();
     }
@@ -731,16 +764,66 @@ fn scenario_sbrk_squeeze(seed: u64, ops: u64) -> Tally {
 }
 
 fn scenario_oom(seed: u64, ops: u64) -> Tally {
-    let config = RegionConfig {
-        stack_pages: 16,
-        heap: HeapConfig { max_bytes: 40 * PAGE_SIZE as u64, sbrk_fault_after: None },
-        ..RegionConfig::default()
-    };
-    let mut soak = Soak::new(seed, config, None);
+    let mut soak = soak_for("oom", seed, ops).expect("soak-shaped");
     for _ in 0..ops {
         soak.step();
     }
     soak.finish()
+}
+
+/// Time-travel triage for a failed Soak-shaped scenario: re-runs the
+/// same seeded stream, finds the op that lands the first injected
+/// fault (or dies trying — a panicking step marks the spot just as
+/// well), then replays a fresh soak to *immediately before* that op
+/// and writes its complete image ([`Soak::capture`] — runtime `RSNP`
+/// snapshot plus driver state) under `target/triage/`.
+/// [`Soak::restore`] on the file resumes one op short of the first
+/// fault, so the failure can be single-stepped from the last known
+/// good state instead of re-soaked from op zero. Returns `None` for
+/// scenarios without a [`soak_for`] entry or streams that never fault.
+/// `CHAOS_TRIAGE_DIR` overrides the output directory.
+fn capture_triage(name: &str, seed: u64, ops: u64) -> Option<std::path::PathBuf> {
+    let mut probe = soak_for(name, seed, ops)?;
+    let mut fault_op = None;
+    for op in 0..ops {
+        let stepped =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| probe.step())).is_ok();
+        if !stepped || probe.tally.faults() > 0 {
+            fault_op = Some(op);
+            break;
+        }
+    }
+    let fault_op = fault_op?;
+    let mut pre = soak_for(name, seed, ops)?;
+    for _ in 0..fault_op {
+        pre.step();
+    }
+    assert_eq!(pre.tally.faults(), 0, "triage replay diverged from the probe");
+    let dir = std::env::var_os("CHAOS_TRIAGE_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new("target").join("triage"));
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}-seed{seed:016x}-op{fault_op}.rsnp"));
+    std::fs::write(&path, pre.capture()).ok()?;
+    Some(path)
+}
+
+/// Runs one scenario, and on failure captures the pre-first-fault
+/// triage snapshot before letting the panic continue: the soak dies
+/// exactly as it would have, but leaves a resumable image behind.
+fn run_with_triage(name: &str, f: fn(u64, u64) -> Tally, seed: u64, ops: u64) -> Tally {
+    match std::panic::catch_unwind(move || f(seed, ops)) {
+        Ok(t) => t,
+        Err(payload) => {
+            if let Some(path) = capture_triage(name, seed, ops) {
+                eprintln!(
+                    "chaos: {name} failed; pre-fault triage snapshot at {}",
+                    path.display()
+                );
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
 }
 
 /// Folds a string into the digest byte by byte (trap messages are part
@@ -1802,6 +1885,57 @@ fn scenario_par(seed: u64, ops: u64) -> Tally {
     tally
 }
 
+/// Region-service chaos: full adversity rounds of the long-lived
+/// service engine ([`bench_harness::run_service`]) — per-request
+/// regions on one shared address space under injected allocation
+/// faults (bounded deterministic retry), injected worker panics
+/// (quarantine + reap, the fleet keeps serving), and footprint
+/// watermarks (degrade, then shed with a typed `Overloaded` error).
+/// The engine itself asserts ledger conservation, a clean pool audit,
+/// and (with `sanitize_rounds`, forced on here) a clean sanitize for
+/// every session after every round; this scenario additionally runs
+/// every trial at 1, 2 and 4 OS threads and asserts the encoded books
+/// — fleet ledger, per-session ledgers, digest, footprint high-water,
+/// quarantine counters — are byte-identical across the thread counts.
+fn scenario_server(seed: u64, ops: u64) -> Tally {
+    use bench_harness::{run_service, ServiceConfig};
+
+    let trials = (ops / 700).max(1);
+    let mut tally = Tally::default();
+    for trial in 0..trials {
+        let mut cfg = ServiceConfig::quick(seed ^ fold(0x5E4D, trial));
+        cfg.sanitize_rounds = true;
+        let mut books: Option<Vec<u8>> = None;
+        for threads in [1usize, 2, 4] {
+            let r = run_service(&ServiceConfig { threads, ..cfg });
+            assert!(r.ledger.conserves(), "trial {trial}: ledger does not conserve");
+            let enc = r.encode_books();
+            match &books {
+                None => books = Some(enc),
+                Some(b) => assert_eq!(
+                    *b, enc,
+                    "trial {trial}: books diverged between 1 and {threads} threads"
+                ),
+            }
+            tally.ops += r.ledger.submitted;
+            tally.alloc_faults += r.ledger.faults;
+            tally.worker_panics += r.ledger.panics;
+            tally.quarantined += r.quarantined;
+            tally.reaped += r.reaped;
+            tally.sanitize_runs += r.sanitize_runs;
+        }
+        // The books are schedule-independent by construction; fold every
+        // word of them (shed/degraded/retry counts included) into the
+        // soak digest so a re-run diff pinpoints the drifted trial.
+        for chunk in books.expect("at least one arm ran").chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            tally.digest = fold(tally.digest, u64::from_le_bytes(v));
+        }
+    }
+    tally
+}
+
 #[derive(Default)]
 struct RunSummary {
     digest: u64,
@@ -1823,8 +1957,15 @@ struct RunSummary {
 }
 
 /// Scenario names accepted by `--scenario`, in run order.
-const SCENARIO_NAMES: [&str; 6] =
-    ["alloc-faults", "sbrk-squeeze", "oom", "vm-chaos", "par-chaos", "kill-restore"];
+const SCENARIO_NAMES: [&str; 7] = [
+    "alloc-faults",
+    "sbrk-squeeze",
+    "oom",
+    "vm-chaos",
+    "par-chaos",
+    "kill-restore",
+    "server-chaos",
+];
 
 fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
     let scenarios = [
@@ -1834,6 +1975,7 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
         ("vm-chaos", scenario_vm as fn(u64, u64) -> Tally, ops / 2),
         ("par-chaos", scenario_par as fn(u64, u64) -> Tally, ops / 2),
         ("kill-restore", scenario_kill_restore as fn(u64, u64) -> Tally, ops / 2),
+        ("server-chaos", scenario_server as fn(u64, u64) -> Tally, ops / 2),
     ];
     debug_assert!(
         scenarios.iter().map(|(name, _, _)| *name).eq(SCENARIO_NAMES),
@@ -1845,7 +1987,7 @@ fn run_all(seed: u64, ops: u64, only: Option<&str>) -> RunSummary {
         if only.is_some_and(|o| o != name) {
             continue;
         }
-        let t = f(seed, n);
+        let t = run_with_triage(name, f, seed, n);
         println!(
             "  {name:<13} ops {:>6}  faults {:>4} (alloc {} page {} sbrk {} oom {})  \
              blocked deletes {}  double deletes {}  worker panics {}  \
@@ -1966,6 +2108,48 @@ mod tests {
     /// template family (region-typed returns) and the elision
     /// differential landed.
     const VM_CHAOS_GOLDEN_DIGEST: u64 = 0x35e0_ccd2_9eaf_ba09;
+
+    /// The triage image must restore to *exactly* one op short of the
+    /// first injected fault, and replaying the remainder from it must
+    /// converge on the uninterrupted control run — the whole point of
+    /// time travel is that nothing is lost by taking the shortcut.
+    #[test]
+    fn triage_snapshot_resumes_one_op_short_of_the_first_fault() {
+        let (seed, ops) = (7, 600);
+        let dir = std::env::temp_dir().join("chaos-triage-test");
+        std::env::set_var("CHAOS_TRIAGE_DIR", &dir);
+        let path = capture_triage("alloc-faults", seed, ops)
+            .expect("the alloc-fault plan must land at least one fault");
+        let bytes = std::fs::read(&path).expect("triage image must be on disk");
+        let mut resumed = Soak::restore(&bytes).expect("triage image must restore");
+        assert_eq!(resumed.tally.faults(), 0, "image must predate the first fault");
+        let fault_op = resumed.tally.ops;
+        resumed.step();
+        assert!(
+            resumed.tally.faults() > 0,
+            "the very next op must be the one that faults"
+        );
+        for _ in fault_op + 1..ops {
+            resumed.step();
+        }
+        let control = scenario_alloc_faults(seed, ops);
+        assert_eq!(resumed.finish(), control, "time-travel replay diverged from control");
+    }
+
+    /// The service books must be byte-identical across thread counts
+    /// and carry real adversity (faults, panics, quarantines) even at
+    /// the scenario's smallest scale.
+    #[test]
+    fn server_chaos_scenario_is_deterministic_and_adversarial() {
+        bench_harness::install_service_panic_filter();
+        let a = scenario_server(11, 700);
+        let b = scenario_server(11, 700);
+        assert_eq!(a, b, "same-seed server-chaos runs diverged");
+        assert!(a.alloc_faults > 0, "no allocation faults injected");
+        assert!(a.worker_panics > 0, "no worker panics injected");
+        assert_eq!(a.quarantined, a.reaped, "every quarantined region must be reaped");
+        assert!(a.sanitize_runs > 0);
+    }
 }
 
 fn main() {
@@ -1979,6 +2163,12 @@ fn main() {
     };
     let seed = flag("--seed").unwrap_or(0xC4A05);
     let ops = flag("--ops").unwrap_or(if quick { 1500 } else { 6000 });
+    if args.iter().any(|a| a == "--list-scenarios") {
+        for name in SCENARIO_NAMES {
+            println!("{name}");
+        }
+        return;
+    }
     let only = args
         .iter()
         .position(|a| a == "--scenario")
@@ -2057,6 +2247,22 @@ fn main() {
             "too few sharded-world kill-restores: {} < {floor}",
             a.restores
         );
+    }
+    if ran("server-chaos") {
+        // The acceptance floor: a full service soak absorbs >= 100
+        // injected faults + panics (quick: >= 20), every one resolved by
+        // retry, quarantine, or a typed error — zero unhandled panics —
+        // with books byte-identical at 1/2/4 threads (asserted in the
+        // scenario) and every quarantined region reaped.
+        let floor = if quick { 20 } else { 100 };
+        let injected = a.alloc_faults + a.worker_panics;
+        assert!(
+            injected >= floor,
+            "too few injected service faults/panics: {injected} < {floor}"
+        );
+        assert!(a.quarantined > 0, "no service region was ever quarantined");
+        assert_eq!(a.quarantined, a.reaped, "every quarantined region must be reaped");
+        assert!(a.sanitize_runs > 0, "the service never sanitized a session");
     }
 
     println!(

@@ -1,0 +1,219 @@
+//! Region service under adversity — the long-lived driver for the
+//! resilience layer ([`bench_harness::server`]).
+//!
+//! A fleet of sessions serves seeded request traffic on one shared
+//! address space: every request creates a region, allocates into it,
+//! publishes a cross-thread reference through the parallel pool, then
+//! unpublishes and deletes. The run interleaves injected allocation
+//! faults (bounded deterministic retry with linear backoff), injected
+//! worker panics (quarantine + reap, the fleet keeps serving), and
+//! footprint watermarks (degrade, then shed with a typed
+//! `Overloaded` error — never a panic).
+//!
+//! The books — conserved ledger, per-session ledgers, digest,
+//! footprint high-water — are schedule-independent by construction:
+//! the same seed must produce byte-identical books at 1, 2 and N OS
+//! threads and across reruns, and this binary asserts exactly that
+//! before reporting. Wall-clock throughput and p50/p99/p999 request
+//! latency are reported alongside but never folded into the books.
+//!
+//! Writes a schema-v3 results envelope with the tail-latency columns
+//! to `results/server.json`, plus the richer `BENCH_server.json`
+//! record (`BENCH_SERVER_OUT` redirects, so CI's quick smoke does not
+//! clobber the committed default-scale record).
+
+use bench_harness::runner::{host_cores, today_utc, write_results_json_full, LatencyColumn};
+use bench_harness::{install_service_panic_filter, run_service, Measurement, ServiceConfig, ServiceReport};
+
+/// Thread counts the books must be invariant across. The last entry is
+/// also rerun to prove same-seed stability.
+const THREAD_AB: [usize; 3] = [1, 2, 4];
+
+fn measurement(label: &'static str, r: &ServiceReport) -> Measurement {
+    Measurement {
+        workload: "server",
+        allocator: label,
+        total: r.elapsed,
+        mem: r.elapsed,
+        os_pages: r.high_water_pages,
+        stats: region_core::AllocStats {
+            total_allocs: r.ledger.completed,
+            total_regions: r.ledger.submitted,
+            ..Default::default()
+        },
+        inner_stats: None,
+        costs: None,
+        cache: None,
+        checksum: r.digest,
+    }
+}
+
+fn print_report(threads: usize, r: &ServiceReport) {
+    let l = &r.ledger;
+    println!(
+        "  {threads:>2} thread(s): {} req in {:>7.1} ms ({:>8.0} req/s) — \
+         {} ok, {} shed, {} failed ({} retries, {} degraded, {} faults, {} panics)",
+        l.submitted,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.throughput_rps(),
+        l.completed,
+        l.shed,
+        l.failed,
+        l.retries,
+        l.degraded,
+        l.faults,
+        l.panics,
+    );
+}
+
+fn main() {
+    install_service_panic_filter();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args = std::env::args();
+    let mut seed = 42u64;
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--seed needs a value");
+                std::process::exit(2);
+            });
+            seed = v.parse().unwrap_or_else(|_| {
+                eprintln!("bad seed: {v}");
+                std::process::exit(2);
+            });
+        }
+    }
+    let mut cfg = if quick { ServiceConfig::quick(seed) } else { ServiceConfig::full(seed) };
+    if std::env::var("REGION_SANITIZE").is_ok_and(|v| v == "1") {
+        cfg.sanitize_rounds = true;
+    }
+
+    println!(
+        "Region service: {} sessions x {} requests over {} rounds, seed {seed}, \
+         watermarks {}, fault 1/{}, panic 1/{}",
+        cfg.sessions,
+        cfg.requests_per_session,
+        cfg.rounds,
+        cfg.marks,
+        cfg.fault_one_in,
+        cfg.panic_one_in,
+    );
+
+    // The books must not depend on the OS thread count, and a same-seed
+    // rerun must land on the same bytes. Both are asserted on the full
+    // encoded books (fleet ledger, per-session ledgers, digest,
+    // footprint, quarantine counters) — not just the digest.
+    let mut reports = Vec::new();
+    for threads in THREAD_AB {
+        let r = run_service(&ServiceConfig { threads, ..cfg });
+        print_report(threads, &r);
+        reports.push(r);
+    }
+    let books = reports[0].encode_books();
+    for (threads, r) in THREAD_AB.iter().zip(&reports).skip(1) {
+        assert_eq!(
+            books,
+            r.encode_books(),
+            "books must not depend on the thread count (1 vs {threads})"
+        );
+    }
+    let last = *THREAD_AB.last().expect("non-empty");
+    let again = run_service(&ServiceConfig { threads: last, ..cfg });
+    assert_eq!(books, again.encode_books(), "same-seed rerun must be byte-identical");
+
+    let r1 = &reports[0];
+    let rn = &reports[THREAD_AB.len() - 1];
+    assert!(rn.ledger.conserves(), "ledger must conserve");
+    println!(
+        "  ledger conserved: {} submitted == {} completed + {} shed + {} failed",
+        rn.ledger.submitted, rn.ledger.completed, rn.ledger.shed, rn.ledger.failed
+    );
+    println!(
+        "  latency p50 {:.2} us, p99 {:.2} us, p999 {:.2} us ({last} threads)",
+        rn.p50_us(),
+        rn.p99_us(),
+        rn.p999_us()
+    );
+    println!(
+        "  footprint high-water {} pages (final {}), {} quarantined, {} reaped, \
+         {} sanitize passes",
+        rn.high_water_pages, rn.final_pages, rn.quarantined, rn.reaped, rn.sanitize_runs
+    );
+    println!(
+        "  books {:016x} identical at {:?} threads and across reruns",
+        rn.digest, THREAD_AB
+    );
+
+    let rows = [measurement("svc1", r1), measurement("svcN", rn)];
+    let lat = LatencyColumn {
+        p50_us: vec![r1.p50_us(), rn.p50_us()],
+        p99_us: vec![r1.p99_us(), rn.p99_us()],
+        p999_us: vec![r1.p999_us(), rn.p999_us()],
+    };
+    match write_results_json_full("server", &rows, None, Some(&lat)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write results JSON: {e}"),
+    }
+
+    let l = &rn.ledger;
+    let json = format!(
+        "{{\n  \"comment\": \"Region service under adversity: {} sessions serving seeded \
+         request traffic on one shared address space, with injected allocation faults \
+         (bounded deterministic retry), injected worker panics (quarantine + reap), and \
+         footprint watermarks (degrade, then shed with a typed error). Books asserted \
+         byte-identical at 1/2/{last} OS threads and across same-seed reruns; ledger \
+         conserved (submitted == completed + shed + failed); clean audit and sanitize \
+         every round. Latencies are wall clock and excluded from the books.\",\n  \
+         \"date\": \"{}\",\n  \"host\": {{ \"cores\": {}, \"os\": \"{}\" }},\n  \
+         \"config\": {{ \"seed\": {seed}, \"quick\": {quick}, \"sessions\": {}, \
+         \"requests_per_session\": {}, \"rounds\": {}, \"soft_pages\": {}, \
+         \"hard_pages\": {}, \"max_attempts\": {}, \"fault_one_in\": {}, \
+         \"panic_one_in\": {} }},\n  \
+         \"ledger\": {{ \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
+         \"failed\": {}, \"retries\": {}, \"degraded\": {}, \"faults\": {}, \
+         \"panics\": {} }},\n  \
+         \"latency_us\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3} }},\n  \
+         \"throughput_rps\": {:.0},\n  \
+         \"footprint\": {{ \"high_water_pages\": {}, \"final_pages\": {} }},\n  \
+         \"isolation\": {{ \"quarantined\": {}, \"reaped\": {}, \"sanitize_runs\": {} }},\n  \
+         \"books\": \"{:016x}\",\n  \"threads_ab\": [1, 2, {last}]\n}}\n",
+        cfg.sessions,
+        today_utc(),
+        host_cores(),
+        std::env::consts::OS,
+        cfg.sessions,
+        cfg.requests_per_session,
+        cfg.rounds,
+        cfg.marks.soft_pages,
+        cfg.marks.hard_pages,
+        cfg.max_attempts,
+        cfg.fault_one_in,
+        cfg.panic_one_in,
+        l.submitted,
+        l.completed,
+        l.shed,
+        l.failed,
+        l.retries,
+        l.degraded,
+        l.faults,
+        l.panics,
+        rn.p50_us(),
+        rn.p99_us(),
+        rn.p999_us(),
+        rn.throughput_rps(),
+        rn.high_water_pages,
+        rn.final_pages,
+        rn.quarantined,
+        rn.reaped,
+        rn.sanitize_runs,
+        rn.digest,
+    );
+    let out = std::env::var("BENCH_SERVER_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -245,6 +245,15 @@ const TIME_FIELDS: &[&str] = &["total_ms", "mem_ms"];
 /// documents disagree on `workers` *or* `par_workers`.
 const OPT_TIME_FIELDS: &[&str] = &["par_total_ms"];
 
+/// Tail-latency columns recorded by the region-server bench. Like
+/// [`OPT_TIME_FIELDS`], a cell present in only one document compares
+/// **equal** (old files predate the columns). Unlike every other time
+/// field, drift is *always* a warning, never an error: tail quantiles
+/// of a single run are scheduling noise on a loaded host, and the
+/// server's correctness gate is its deterministic ledger, not its
+/// latency.
+const LATENCY_TIME_FIELDS: &[&str] = &["p50_us", "p99_us", "p999_us"];
+
 /// Outcome of a document comparison, split by severity.
 ///
 /// `errors` gate a CI run; `warnings` are advisory context. The split
@@ -428,6 +437,26 @@ pub fn compare_docs_full(
                 } else {
                     cmp.errors.push(diff);
                 }
+            }
+        }
+        for &field in LATENCY_TIME_FIELDS {
+            // Missing in either document = the other predates the
+            // columns: compares equal, by design.
+            let (Some(a), Some(b)) =
+                (o.get(field).and_then(Json::as_num), n.get(field).and_then(Json::as_num))
+            else {
+                continue;
+            };
+            if a < 1.0 && b < 1.0 {
+                continue;
+            }
+            let rel = (b - a).abs() / a.max(1e-9) * 100.0;
+            if rel > tolerance_pct {
+                cmp.warnings.push(format!(
+                    "row {i} ({}): {field} moved {rel:.1}% (old {a:.3} us, new {b:.3} us), \
+                     tolerance {tolerance_pct}% — advisory, tail latency never gates",
+                    label(o)
+                ));
             }
         }
     }
@@ -666,5 +695,60 @@ mod tests {
             "drift still reported, as a warning: {:?}",
             cmp.warnings
         );
+    }
+
+    #[test]
+    fn latency_columns_are_missing_as_equal_and_drift_is_only_advisory() {
+        // A document recorded before the latency columns existed...
+        let old = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        // ...compares clean against a rerun carrying them, both ways,
+        // with no advisory noise.
+        let with_lat = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "b", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "p50_us": 0.9, "p99_us": 250.0, "p999_us": 400.0,
+                 "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&old, &with_lat, 25.0, false);
+        assert!(cmp.is_ok(), "latency columns must not gate old docs: {:?}", cmp.errors);
+        assert!(cmp.warnings.is_empty(), "no advisory noise either: {:?}", cmp.warnings);
+        let cmp = compare_docs_full(&with_lat, &old, 25.0, false);
+        assert!(cmp.is_ok(), "and symmetrically: {:?}", cmp.errors);
+
+        // 2x tail-latency drift between two same-shape documents: a
+        // warning, never an error — tail quantiles are scheduling noise.
+        let slow = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "c", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "p50_us": 0.9, "p99_us": 500.0, "p999_us": 900.0,
+                 "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&with_lat, &slow, 25.0, false);
+        assert!(cmp.is_ok(), "latency drift must never gate: {:?}", cmp.errors);
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("p99_us moved")),
+            "p99 drift reported as a warning: {:?}",
+            cmp.warnings
+        );
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("p999_us moved")),
+            "p999 drift reported as a warning: {:?}",
+            cmp.warnings
+        );
+        // Sub-microsecond p50 cells are noise-skipped, and ignore_time
+        // silences the columns entirely.
+        assert!(!cmp.warnings.iter().any(|w| w.contains("p50_us")), "{:?}", cmp.warnings);
+        let cmp = compare_docs_full(&with_lat, &slow, 25.0, true);
+        assert!(cmp.is_ok() && cmp.warnings.is_empty(), "{:?}", cmp.warnings);
     }
 }

@@ -442,6 +442,23 @@ pub struct ParColumn {
     pub total_ms: Vec<f64>,
 }
 
+/// Tail-latency columns attached by service-shaped benches (the region
+/// server): per-row p50/p99/p999 request latency in microseconds. Like
+/// [`ParColumn`], kept separate from [`Measurement`] so documents
+/// without the columns stay byte-identical to the older format —
+/// `compare_results` treats the absent columns as equal and, because
+/// latency is wall-clock shaped, downgrades drift to a warning (see
+/// `LATENCY_TIME_FIELDS`).
+#[derive(Debug, Clone)]
+pub struct LatencyColumn {
+    /// Median request latency per row, in microseconds.
+    pub p50_us: Vec<f64>,
+    /// 99th-percentile request latency per row, in microseconds.
+    pub p99_us: Vec<f64>,
+    /// 99.9th-percentile request latency per row, in microseconds.
+    pub p999_us: Vec<f64>,
+}
+
 /// Serializes measurements as a versioned JSON document and writes them
 /// to `results/<name>.json` (creating the directory), returning the
 /// path. Hand-rolled: the harness has no serialization dependency.
@@ -460,6 +477,21 @@ pub fn write_results_json_with_par(
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, results_json_with_par(name, rows, par))?;
+    Ok(path)
+}
+
+/// [`write_results_json_with_par`] plus the optional tail-latency
+/// columns. `None` for both extras writes the exact pre-column document.
+pub fn write_results_json_full(
+    name: &str,
+    rows: &[Measurement],
+    par: Option<&ParColumn>,
+    lat: Option<&LatencyColumn>,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, results_json_full(name, rows, par, lat))?;
     Ok(path)
 }
 
@@ -497,11 +529,32 @@ pub fn results_json(name: &str, rows: &[Measurement]) -> String {
 /// the output is byte-identical to the pre-column format, so old and new
 /// documents diff cleanly.
 pub fn results_json_with_par(name: &str, rows: &[Measurement], par: Option<&ParColumn>) -> String {
+    results_json_full(name, rows, par, None)
+}
+
+/// [`results_json_with_par`] plus the optional tail-latency columns:
+/// every row gains `p50_us`/`p99_us`/`p999_us` cells. With `None` the
+/// output is byte-identical to [`results_json_with_par`], so service
+/// documents diff cleanly against plain ones.
+pub fn results_json_full(
+    name: &str,
+    rows: &[Measurement],
+    par: Option<&ParColumn>,
+    lat: Option<&LatencyColumn>,
+) -> String {
     if let Some(p) = par {
         assert_eq!(
             p.total_ms.len(),
             rows.len(),
             "parallel pass must cover the matrix: one par_total_ms per row"
+        );
+    }
+    if let Some(l) = lat {
+        assert!(
+            l.p50_us.len() == rows.len()
+                && l.p99_us.len() == rows.len()
+                && l.p999_us.len() == rows.len(),
+            "latency columns must cover the matrix: one quantile triple per row"
         );
     }
     let mut out = String::from("{\n");
@@ -523,6 +576,11 @@ pub fn results_json_with_par(name: &str, rows: &[Measurement], par: Option<&ParC
         out.push_str(&format!("\"mem_ms\": {:.3}, ", m.mem.as_secs_f64() * 1e3));
         if let Some(p) = par {
             out.push_str(&format!("\"par_total_ms\": {:.3}, ", p.total_ms[i]));
+        }
+        if let Some(l) = lat {
+            out.push_str(&format!("\"p50_us\": {:.3}, ", l.p50_us[i]));
+            out.push_str(&format!("\"p99_us\": {:.3}, ", l.p99_us[i]));
+            out.push_str(&format!("\"p999_us\": {:.3}, ", l.p999_us[i]));
         }
         out.push_str(&format!("\"os_pages\": {}, ", m.os_pages));
         out.push_str(&format!("\"total_allocs\": {}, ", s.total_allocs));
@@ -653,6 +711,41 @@ mod tests {
         let rows = run_matrix(&[Job::Malloc(Workload::Cfrac, MallocKind::Lea)], 1, false);
         let par = ParColumn { workers: 3, total_ms: Vec::new() };
         let _ = results_json_with_par("fig_test", &rows, Some(&par));
+    }
+
+    #[test]
+    fn latency_columns_are_opt_in_and_leave_plain_documents_untouched() {
+        let jobs = [
+            Job::Malloc(Workload::Cfrac, MallocKind::Lea),
+            Job::Region(Workload::Cfrac, RegionKind::Safe),
+        ];
+        let rows = run_matrix(&jobs, 1, false);
+        // None = byte-identical to the historical writer.
+        let plain = results_json_with_par("fig_test", &rows, None);
+        assert_eq!(plain, results_json_full("fig_test", &rows, None, None));
+        assert!(!plain.contains("p50_us"), "no latency fields without a latency pass");
+        // Some = three cells per row, nothing else moves.
+        let lat = LatencyColumn {
+            p50_us: vec![0.9, 1.1],
+            p99_us: vec![250.0, 260.5],
+            p999_us: vec![400.0, 410.25],
+        };
+        let with = results_json_full("fig_test", &rows, None, Some(&lat));
+        assert!(with.contains("\"p50_us\": 0.900, "));
+        assert!(with.contains("\"p99_us\": 260.500, "));
+        assert!(with.contains("\"p999_us\": 410.250, "));
+        for f in ["p50_us", "p99_us", "p999_us"] {
+            assert_eq!(with.matches(f).count(), rows.len(), "one {f} cell per row");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one quantile triple per row")]
+    fn latency_columns_must_cover_every_row() {
+        let rows = run_matrix(&[Job::Malloc(Workload::Cfrac, MallocKind::Lea)], 1, false);
+        let lat =
+            LatencyColumn { p50_us: vec![1.0], p99_us: Vec::new(), p999_us: vec![2.0] };
+        let _ = results_json_full("fig_test", &rows, None, Some(&lat));
     }
 
     #[test]

@@ -1,0 +1,885 @@
+//! The region **service** engine: a long-lived, deterministic
+//! request-serving workload with deadlines, retry, admission control,
+//! and session isolation (DESIGN §16).
+//!
+//! The paper's headline claim is that region create/delete are cheap
+//! enough to use *per request*. This module stress-tests that claim at
+//! service scale: seeded traffic where every request gets its own
+//! region (create → allocate → publish/share → delete), sessions churn
+//! across [`region_core::par::ParRegionPool`] workers on one
+//! [`simheap::SharedSpace`], and the harness reports throughput,
+//! p50/p99/p999 latency, footprint high-water, and a **conserved
+//! request ledger** — `submitted == completed + shed + failed`, retries
+//! tallied separately.
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! * **deadlines + retry** — each (session × round) batch runs under a
+//!   [`crate::supervise`] watchdog; a worker panic is retried once with
+//!   deterministic linear backoff, and an injected allocation fault
+//!   replays the failed request into a *fresh region* up to
+//!   [`ServiceConfig::max_attempts`] times with the same backoff law;
+//! * **admission control** — every request is admitted against
+//!   [`region_core::Watermarks`] on the observed simulated-OS
+//!   footprint: below soft it runs unchanged, in `[soft, hard)` it runs
+//!   a *degraded* (shrunk) allocation plan, at or above hard it is shed
+//!   with the typed [`RegionError::Overloaded`] — never a panic;
+//! * **session isolation** — an injected worker panic strands a pool
+//!   reference that quarantines only *that session's* pool region;
+//!   [`region_core::par::ParRegionPool::reap_orphans`] reclaims it at
+//!   the next round barrier while every other session keeps serving.
+//!
+//! # Determinism
+//!
+//! Everything in [`ServiceReport::encode_books`] is a pure function of
+//! [`ServiceConfig`] — bit-identical across reruns at the same seed and
+//! across 1/2/N service threads. The construction:
+//!
+//! * sessions are fully independent: each owns one shard of the shared
+//!   space, its own pool cells, its own ledger, and per-request RNG
+//!   streams seeded from `(seed, session, request)` (a crashed attempt
+//!   replays identically);
+//! * the *global* footprint is read only at round barriers, on the
+//!   coordinator thread; within a round each session sees
+//!   `round base + its own growth`, a schedule-independent quantity;
+//! * pool region **identities** are assigned under a global lock and
+//!   therefore schedule-dependent — no `ParRegionId` is ever folded
+//!   into the digest or branched on, only *counts* of quarantine and
+//!   reap events;
+//! * wall-clock latencies are measured and reported but excluded from
+//!   the digest and the encoded books.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use region_core::par::{ParRegionPool, ParThread, RefCell32};
+use region_core::{
+    AdmissionController, ParRegionError, RegionConfig, RegionError, RegionId, RegionRuntime,
+    Watermarks,
+};
+use simheap::{HeapShard, SharedSpace, SpaceConfig};
+
+use crate::supervise::{supervise, JobOutcome, SuperviseConfig};
+
+/// Marker carried by every panic the service injects. Starts with the
+/// chaos binary's own marker prefix so its panic-hook filter silences
+/// these too; [`install_service_panic_filter`] matches the full string
+/// for standalone binaries.
+pub const SERVICE_PANIC_MARKER: &str = "par-chaos injected panic [service worker]";
+
+/// Full configuration of one service run. `Copy` on purpose: jobs
+/// capture it by value, and every field is a scalar so a config can be
+/// logged or folded without ceremony.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Master seed; all per-request randomness derives from it.
+    pub seed: u64,
+    /// Logical sessions. Each owns one shard of the shared space, so
+    /// this is also the space's worker count (1..=255).
+    pub sessions: u32,
+    /// Requests served per session over the whole run.
+    pub requests_per_session: u32,
+    /// Barrier-separated rounds the requests are spread over; the
+    /// global footprint is re-read at each barrier.
+    pub rounds: u32,
+    /// Service worker threads draining session batches each round. Has
+    /// no effect on any encoded book — only wall clock.
+    pub threads: usize,
+    /// Soft/hard admission watermarks on the simulated OS footprint.
+    pub marks: Watermarks,
+    /// Attempts per request when allocation faults are injected (min 1).
+    pub max_attempts: u32,
+    /// Linear-backoff base: retry `n` sleeps `backoff * n` first. Used
+    /// both for in-request fault retries and for the supervisor's
+    /// panic retries.
+    pub backoff: Duration,
+    /// Per-batch watchdog deadline handed to [`crate::supervise`].
+    /// Generous by design: it is a liveness backstop, and a fired
+    /// timeout (unlike every other failure here) would not be
+    /// deterministic.
+    pub deadline: Option<Duration>,
+    /// Fail one in this many region allocations via
+    /// [`region_core::FaultPlan`] (0 disables fault injection).
+    pub fault_one_in: u64,
+    /// Per-request panic dice (0 disables): a request that rolls a
+    /// panic crashes its worker on the batch's first attempt, stranding
+    /// a pool reference for the quarantine/reap path.
+    pub panic_one_in: u64,
+    /// Size of the shared address space.
+    pub space_max_bytes: u64,
+    /// Run the region sanitizer on every session at every round
+    /// barrier (O(heap) — chaos and `REGION_SANITIZE=1` runs want it,
+    /// throughput measurements do not).
+    pub sanitize_rounds: bool,
+}
+
+impl ServiceConfig {
+    /// The default-scale service soak: enough traffic to climb through
+    /// both watermarks, with faults and panics on.
+    pub fn full(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            seed,
+            sessions: 6,
+            requests_per_session: 360,
+            rounds: 8,
+            threads: 2,
+            marks: Watermarks::new(145, 172),
+            max_attempts: 3,
+            backoff: Duration::from_micros(40),
+            deadline: Some(Duration::from_secs(30)),
+            fault_one_in: 23,
+            panic_one_in: 61,
+            space_max_bytes: 256 << 20,
+            sanitize_rounds: false,
+        }
+    }
+
+    /// Reduced-scale variant for `--quick` / CI: fewer sessions and
+    /// requests, proportionally lower watermarks, same structure.
+    pub fn quick(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            sessions: 4,
+            requests_per_session: 80,
+            rounds: 4,
+            marks: Watermarks::new(28, 35),
+            fault_one_in: 19,
+            panic_one_in: 37,
+            ..ServiceConfig::full(seed)
+        }
+    }
+}
+
+/// The conserved request ledger, per session or summed over the fleet.
+///
+/// The service-level invariant — checked at every round barrier — is
+/// [`Ledger::conserves`]: every submitted request is accounted for
+/// exactly once as completed, shed, or failed. Retries, faults, panics,
+/// and degraded plans are tallied separately; they describe *how* a
+/// request resolved, not *whether*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Requests that reached a resolution.
+    pub submitted: u64,
+    /// Requests served to completion (possibly degraded, possibly
+    /// after retries).
+    pub completed: u64,
+    /// Requests refused with [`RegionError::Overloaded`].
+    pub shed: u64,
+    /// Requests that exhausted every attempt against injected faults.
+    pub failed: u64,
+    /// Replays: in-request fault retries plus post-panic batch resumes.
+    pub retries: u64,
+    /// Requests served with a shrunk (degraded) allocation plan.
+    pub degraded: u64,
+    /// Injected allocation faults observed (including on retries and on
+    /// cache growth).
+    pub faults: u64,
+    /// Injected worker panics taken.
+    pub panics: u64,
+}
+
+impl Ledger {
+    /// The conservation invariant: nothing lost, nothing double-counted.
+    pub fn conserves(&self) -> bool {
+        self.submitted == self.completed + self.shed + self.failed
+    }
+
+    /// Adds another ledger's counts into this one.
+    pub fn add(&mut self, other: &Ledger) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.degraded += other.degraded;
+        self.faults += other.faults;
+        self.panics += other.panics;
+    }
+
+    /// Canonical little-endian byte encoding, for byte-identity
+    /// assertions across reruns.
+    pub fn encode(&self) -> Vec<u8> {
+        let fields = [
+            self.submitted,
+            self.completed,
+            self.shed,
+            self.failed,
+            self.retries,
+            self.degraded,
+            self.faults,
+            self.panics,
+        ];
+        let mut out = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Everything one service run reports.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Fleet-wide ledger (the per-session ledgers summed).
+    pub ledger: Ledger,
+    /// Per-session ledgers, in session order — the isolation property
+    /// tests compare these directly.
+    pub per_session: Vec<Ledger>,
+    /// FNV fold of the whole observable history (admission verdicts,
+    /// error codes, allocation addresses, quarantine/reap counts).
+    pub digest: u64,
+    /// Largest admission-input footprint any request observed, in
+    /// simulated OS pages.
+    pub high_water_pages: u64,
+    /// Final summed footprint of all session shards, in pages.
+    pub final_pages: u64,
+    /// Pool regions quarantined by stranded panic references.
+    pub quarantined: u64,
+    /// Quarantined regions reclaimed by the reaper.
+    pub reaped: u64,
+    /// Sanitizer passes run at round barriers (0 unless
+    /// [`ServiceConfig::sanitize_rounds`]).
+    pub sanitize_runs: u64,
+    /// All per-request wall-clock latencies, sorted ascending, in
+    /// nanoseconds. Reported, never encoded.
+    pub lat_ns: Vec<u64>,
+    /// Wall clock of the whole run.
+    pub elapsed: Duration,
+}
+
+impl ServiceReport {
+    /// Latency at quantile `num/den` (nearest-rank on the sorted vec).
+    fn quantile_ns(&self, num: u64, den: u64) -> u64 {
+        if self.lat_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.lat_ns.len() as u64 - 1) * num) / den;
+        self.lat_ns[idx as usize]
+    }
+
+    /// Median request latency in (fractional) microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_ns(50, 100) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile request latency in (fractional) microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_ns(99, 100) as f64 / 1_000.0
+    }
+
+    /// 99.9th-percentile request latency in (fractional) microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.quantile_ns(999, 1000) as f64 / 1_000.0
+    }
+
+    /// Resolved requests per second over the run's wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.ledger.submitted as f64 / secs
+    }
+
+    /// Canonical byte encoding of every deterministic book: the fleet
+    /// ledger, each session ledger, the digest, and the footprint and
+    /// quarantine counters. Two same-seed runs — at any thread count —
+    /// must produce byte-identical output.
+    pub fn encode_books(&self) -> Vec<u8> {
+        let mut out = self.ledger.encode();
+        for s in &self.per_session {
+            out.extend_from_slice(&s.encode());
+        }
+        for v in [
+            self.digest,
+            self.high_water_pages,
+            self.final_pages,
+            self.quarantined,
+            self.reaped,
+            self.sanitize_runs,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// xorshift64* with a splitmix-scrambled seed — the same generator the
+/// chaos soak uses, duplicated here so the engine stays dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn seeded(seed: u64) -> Rng {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Rng((z ^ (z >> 31)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// FNV-1a fold, the digest primitive shared with the chaos soak.
+fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x1000_0000_01b3)
+}
+
+/// Error fold for the digest, one stable tag per variant. Scalar
+/// payloads only — never a schedule-dependent region identity.
+fn err_fold(e: RegionError) -> u64 {
+    match e {
+        RegionError::OutOfMemory { requested, limit } => fold(fold(1, requested), limit),
+        RegionError::RegionDeleted { .. } => 2,
+        RegionError::DeleteBlocked { rc, .. } => fold(3, rc as u64),
+        RegionError::SizeOverflow { .. } => 4,
+        RegionError::ObjectTooLarge { bytes } => fold(5, u64::from(bytes)),
+        RegionError::ZeroAlloc => 6,
+        RegionError::NullDeref => 7,
+        RegionError::StackOverflow { .. } => 8,
+        RegionError::FaultInjected { count, .. } => fold(9, count),
+        RegionError::Snapshot(_) => 10,
+        RegionError::Overloaded { pages, hard_pages } => fold(fold(11, pages), hard_pages),
+    }
+}
+
+/// One request's allocation plan, already degraded if admission said so.
+struct Plan {
+    allocs: u32,
+    size: u32,
+    cache: u32,
+}
+
+/// Bytes appended to the session's long-lived cache region per
+/// completed request — the footprint staircase that walks the service
+/// through the watermarks.
+const CACHE_CHUNK: u32 = 384;
+
+fn plan_for(rng: &mut Rng, degraded: bool) -> Plan {
+    let allocs = 2 + rng.below(4) as u32; // 2..=5 allocations
+    let size = 64 + (rng.below(448) as u32 & !3); // 64..=508 bytes, word-aligned
+    if degraded {
+        // Graceful degradation: half the allocations at half the size,
+        // and half the cache growth — the service slows its own
+        // approach to the hard watermark instead of falling over it.
+        Plan { allocs: (allocs / 2).max(1), size: (size / 2).max(16), cache: CACHE_CHUNK / 2 }
+    } else {
+        Plan { allocs, size, cache: CACHE_CHUNK }
+    }
+}
+
+/// Everything one session owns. Lives in an `Arc<Mutex<..>>` so the
+/// state survives a crashed worker attempt; panics are injected only
+/// *after* the lock is released, so the mutex is never poisoned on the
+/// injected path (the `lock` helper recovers regardless).
+struct SessionSlot {
+    rt: RegionRuntime<HeapShard>,
+    cells: Vec<Arc<RefCell32>>,
+    adm: AdmissionController,
+    ledger: Ledger,
+    digest: u64,
+    /// Cursor into this session's request stream; a retried batch
+    /// resumes here.
+    next_req: u32,
+    /// Request region left half-served by a crashed attempt; the retry
+    /// deletes it before resuming.
+    in_flight: Option<RegionId>,
+    /// Pool regions this session's crashes stranded references to;
+    /// drained (quarantined + reaped) at the round barrier.
+    poisoned: Vec<region_core::par::ParRegionId>,
+    /// Long-lived cache region driving the footprint staircase.
+    cache: Option<RegionId>,
+    /// This session's footprint at the current round's barrier.
+    round_start_pages: u64,
+    lat_ns: Vec<u64>,
+}
+
+fn lock(slot: &Arc<Mutex<SessionSlot>>) -> MutexGuard<'_, SessionSlot> {
+    slot.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn own_pages(rt: &RegionRuntime<HeapShard>) -> u64 {
+    rt.data_pages() + rt.map_pages()
+}
+
+/// Outcome of [`serve_one`]: either the request resolved, or the
+/// worker must now take its injected panic (after releasing the slot
+/// lock).
+enum Served {
+    Done,
+    PanicNow,
+}
+
+/// Serves request `req` of session `session`: admission → plan →
+/// (create → allocate → publish/share → delete) with bounded fault
+/// retry. All randomness is re-derived from `(seed, session, req)`, so
+/// a post-panic replay of the same request is bit-identical.
+fn serve_one(
+    slot: &mut SessionSlot,
+    t: &mut ParThread,
+    pool: &ParRegionPool,
+    cfg: ServiceConfig,
+    base_pages: u64,
+    session: u32,
+    req: u32,
+    attempt: u32,
+) -> Served {
+    let t0 = Instant::now();
+    let mut rng = Rng::seeded(fold(fold(cfg.seed, u64::from(session)), u64::from(req)));
+
+    // Admission: round-barrier base plus this session's own growth — a
+    // schedule-independent footprint view.
+    let fp = base_pages + (own_pages(&slot.rt) - slot.round_start_pages);
+    let adm = slot.adm.admit(fp);
+    slot.digest = fold(slot.digest, adm.code());
+    if adm == region_core::Admission::Shed {
+        let e = RegionError::Overloaded { pages: fp, hard_pages: slot.adm.marks().hard_pages };
+        slot.digest = fold(slot.digest, err_fold(e));
+        slot.ledger.submitted += 1;
+        slot.ledger.shed += 1;
+        slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
+        return Served::Done;
+    }
+    let degraded = adm == region_core::Admission::Degrade;
+    let plan = plan_for(&mut rng, degraded);
+
+    // Injected worker crash: only on the batch's first attempt
+    // (supervise passes attempt 0 on the first try), so the
+    // supervisor's single retry deterministically resolves the request.
+    // Strand a pool reference (quarantines this session's pool region)
+    // and leave a half-served request region for the retry to clean up.
+    if cfg.panic_one_in > 0 && attempt == 0 && rng.below(cfg.panic_one_in) == 0 {
+        let pr = t.create_region();
+        t.retain(pr); // the reference dies with the worker -> orphaned
+        slot.poisoned.push(pr);
+        if let Ok(r) = slot.rt.try_new_region() {
+            let _ = slot.rt.try_rstralloc(r, 64);
+            slot.in_flight = Some(r);
+        }
+        slot.ledger.panics += 1;
+        slot.digest = fold(slot.digest, 0xdead);
+        return Served::PanicNow;
+    }
+
+    // Bounded retry against injected allocation faults: each attempt
+    // replays the whole request into a fresh region, preceded by the
+    // deterministic linear backoff `backoff * retry`.
+    let mut ok = false;
+    for a in 1..=cfg.max_attempts.max(1) {
+        if a > 1 {
+            slot.ledger.retries += 1;
+            std::thread::sleep(cfg.backoff.saturating_mul(a - 1));
+        }
+        match attempt_request(slot, t, pool, &plan, req) {
+            Ok(d) => {
+                slot.digest = fold(slot.digest, d);
+                ok = true;
+                break;
+            }
+            Err(e) => {
+                slot.ledger.faults += 1;
+                slot.digest = fold(slot.digest, err_fold(e));
+            }
+        }
+    }
+    slot.ledger.submitted += 1;
+    if ok {
+        slot.ledger.completed += 1;
+        if degraded {
+            slot.ledger.degraded += 1;
+        }
+        grow_cache(slot, plan.cache);
+    } else {
+        slot.ledger.failed += 1;
+    }
+    slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
+    Served::Done
+}
+
+/// One attempt at a request: fresh region, publish a pool region into
+/// one of the session's cells, run the allocation plan, unpublish,
+/// delete both. Cleanup runs on the fault path too — a failed attempt
+/// leaves no residue for the next one.
+fn attempt_request(
+    slot: &mut SessionSlot,
+    t: &mut ParThread,
+    pool: &ParRegionPool,
+    plan: &Plan,
+    req: u32,
+) -> Result<u64, RegionError> {
+    let r = slot.rt.try_new_region()?;
+    let pr = t.create_region();
+    let cell = &slot.cells[req as usize % slot.cells.len()];
+    t.retain(pr); // the request's own live reference
+    t.exchange_ref(cell, Some(pr)); // publish for other threads to see
+    let mut d = 0u64;
+    let res: Result<(), RegionError> = (|| {
+        for _ in 0..plan.allocs {
+            let a = slot.rt.try_rstralloc(r, plan.size)?;
+            d = fold(d, u64::from(a.0));
+        }
+        Ok(())
+    })();
+    t.exchange_ref(cell, None); // unpublish
+    t.release(pr);
+    let deleted = pool.try_delete(pr);
+    debug_assert!(deleted, "request pool region had residual counts");
+    let del = slot.rt.try_delete_region(r);
+    debug_assert!(del.is_ok(), "request region delete blocked: {del:?}");
+    res.map(|()| fold(d, 7))
+}
+
+/// Appends `bytes` to the session's long-lived cache region. A fault
+/// here is tolerated (the cache just grows slower) but still tallied.
+fn grow_cache(slot: &mut SessionSlot, bytes: u32) {
+    if bytes == 0 {
+        return;
+    }
+    if slot.cache.is_none() {
+        match slot.rt.try_new_region() {
+            Ok(r) => slot.cache = Some(r),
+            Err(e) => {
+                slot.ledger.faults += 1;
+                slot.digest = fold(slot.digest, err_fold(e));
+                return;
+            }
+        }
+    }
+    let cr = slot.cache.expect("just ensured");
+    match slot.rt.try_rstralloc(cr, bytes) {
+        Ok(a) => slot.digest = fold(slot.digest, u64::from(a.0)),
+        Err(e) => {
+            slot.ledger.faults += 1;
+            slot.digest = fold(slot.digest, err_fold(e));
+        }
+    }
+}
+
+/// Runs the full service and returns its report. Panics (failing the
+/// harness) if any internal invariant breaks: an escaped worker panic,
+/// a dirty pool audit, a non-conserving ledger at a round barrier, or a
+/// dirty sanitize pass when [`ServiceConfig::sanitize_rounds`] is on.
+pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
+    let cfg = *cfg;
+    assert!(cfg.sessions >= 1 && cfg.sessions <= 255, "sessions must be 1..=255");
+    let started = Instant::now();
+    let space = SharedSpace::new(SpaceConfig { max_bytes: cfg.space_max_bytes, workers: cfg.sessions });
+    let pool = ParRegionPool::new();
+
+    let slots: Vec<Arc<Mutex<SessionSlot>>> = (0..cfg.sessions)
+        .map(|s| {
+            let mut rt = RegionRuntime::with_config_on(RegionConfig::default(), space.shard(s));
+            if cfg.fault_one_in > 0 {
+                rt.set_fault_plan(
+                    region_core::FaultPlan::seeded(fold(cfg.seed, 0x5eed ^ u64::from(s)))
+                        .fail_allocs_one_in(cfg.fault_one_in),
+                );
+            }
+            Arc::new(Mutex::new(SessionSlot {
+                rt,
+                cells: (0..4).map(|_| pool.register_cell()).collect(),
+                adm: AdmissionController::new(cfg.marks),
+                ledger: Ledger::default(),
+                digest: fold(0xcbf2_9ce4_8422_2325, u64::from(s)),
+                next_req: 0,
+                in_flight: None,
+                poisoned: Vec::new(),
+                cache: None,
+                round_start_pages: 0,
+                lat_ns: Vec::new(),
+            }))
+        })
+        .collect();
+
+    let chunk = cfg.requests_per_session.div_ceil(cfg.rounds.max(1));
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut quarantined = 0u64;
+    let mut reaped = 0u64;
+    let mut sanitize_runs = 0u64;
+    let mut high_water = 0u64;
+    let mut panics_seen = 0u64;
+
+    for round in 0..cfg.rounds.max(1) {
+        // Barrier: read the global footprint single-threaded, and pin
+        // each session's round-start pages.
+        let mut base = 0u64;
+        for slot in &slots {
+            let mut s = lock(slot);
+            let p = own_pages(&s.rt);
+            s.round_start_pages = p;
+            base += p;
+        }
+        let hi = (chunk * (round + 1)).min(cfg.requests_per_session);
+
+        let jobs: Vec<Box<dyn Fn(u32) + Send + Sync>> = slots
+            .iter()
+            .enumerate()
+            .map(|(si, slot)| {
+                let slot = Arc::clone(slot);
+                let pool = pool.clone();
+                let session = si as u32;
+                let job = move |attempt: u32| {
+                    let mut t = pool.register_thread();
+                    let mut panic_now = false;
+                    {
+                        let mut s = lock(&slot);
+                        // A retried batch first clears the crashed
+                        // attempt's half-served region, then resumes at
+                        // the cursor — the crashed request replays.
+                        if attempt > 0 {
+                            if let Some(r) = s.in_flight.take() {
+                                let del = s.rt.try_delete_region(r);
+                                debug_assert!(del.is_ok(), "crash residue delete blocked");
+                            }
+                            s.ledger.retries += 1;
+                        }
+                        while s.next_req < hi {
+                            let req = s.next_req;
+                            match serve_one(&mut s, &mut t, &pool, cfg, base, session, req, attempt)
+                            {
+                                Served::Done => s.next_req += 1,
+                                Served::PanicNow => {
+                                    panic_now = true;
+                                    break;
+                                }
+                            }
+                        }
+                    } // slot lock released before the injected panic
+                    if panic_now {
+                        panic!(
+                            "{SERVICE_PANIC_MARKER} (session {session} round {round} \
+                             attempt {attempt})"
+                        );
+                    }
+                };
+                Box::new(job) as Box<dyn Fn(u32) + Send + Sync>
+            })
+            .collect();
+
+        let reports = supervise(
+            jobs,
+            &SuperviseConfig {
+                workers: cfg.threads.max(1),
+                deadline: cfg.deadline,
+                max_attempts: 2,
+                backoff: cfg.backoff,
+                retry_timeouts: true,
+            },
+        );
+
+        // Supervisor books must agree with the slot books: one retry
+        // per injected panic, nothing escaped, nothing timed out.
+        let mut round_panics = 0u64;
+        for rep in &reports {
+            match &rep.outcome {
+                JobOutcome::Completed(()) => {}
+                JobOutcome::Panicked(msg) => {
+                    panic!("service worker {} exhausted retries: {msg}", rep.job)
+                }
+                JobOutcome::TimedOut(d) => {
+                    panic!("service worker {} missed its deadline ({d:?})", rep.job)
+                }
+            }
+            round_panics += u64::from(rep.attempts - 1);
+        }
+        let slot_panics: u64 = slots
+            .iter()
+            .map(|s| {
+                let s = lock(s);
+                s.ledger.panics
+            })
+            .sum();
+
+        // Round barrier verification: quarantine + reap the poisoned
+        // pool regions, audit the pool, check ledger conservation, and
+        // optionally sanitize every session heap.
+        let mut round_fleet = Ledger::default();
+        for slot in &slots {
+            let mut s = lock(slot);
+            debug_assert!(s.in_flight.is_none(), "in-flight residue survived the round");
+            for pr in std::mem::take(&mut s.poisoned) {
+                match pool.try_delete_checked(pr) {
+                    Err(ParRegionError::BlockedByOrphans { .. }) => quarantined += 1,
+                    other => panic!("stranded region was not orphan-blocked: {other:?}"),
+                }
+            }
+            round_fleet.add(&s.ledger);
+            if cfg.sanitize_rounds {
+                let rep = s.rt.sanitize();
+                assert!(rep.is_clean(), "session sanitize dirty after round {round}: {rep}");
+                assert!(s.rt.violations().is_empty(), "rc violations after round {round}");
+                sanitize_runs += 1;
+            }
+            high_water = high_water.max(s.adm.high_water_pages());
+        }
+        assert_eq!(
+            round_panics,
+            slot_panics - panics_seen,
+            "supervisor retry count diverged from injected panic count"
+        );
+        panics_seen = slot_panics;
+        if !pool.quarantined().is_empty() {
+            let rep = pool.reap_orphans();
+            assert!(rep.is_fully_reclaimed(), "reap left regions blocked: {rep}");
+            reaped += rep.reaped.len() as u64 + rep.settled.len() as u64;
+        }
+        let audit = pool.audit();
+        assert!(audit.is_clean(), "pool audit dirty after round {round}: {audit}");
+        assert!(
+            round_fleet.conserves(),
+            "ledger does not conserve after round {round}: {round_fleet:?}"
+        );
+        digest = fold(fold(digest, u64::from(round)), quarantined);
+        digest = fold(digest, reaped);
+    }
+
+    // Teardown: drop the cache regions, fold each session's books in
+    // session order, and run a final sanitize pass per session.
+    let mut fleet = Ledger::default();
+    let mut per_session = Vec::with_capacity(slots.len());
+    let mut lat_ns = Vec::new();
+    let mut final_pages = 0u64;
+    for slot in &slots {
+        let mut s = lock(slot);
+        if let Some(cr) = s.cache.take() {
+            let del = s.rt.try_delete_region(cr);
+            debug_assert!(del.is_ok(), "cache region delete blocked: {del:?}");
+        }
+        let rep = s.rt.sanitize();
+        assert!(rep.is_clean(), "final session sanitize dirty: {rep}");
+        sanitize_runs += 1;
+        fleet.add(&s.ledger);
+        per_session.push(s.ledger);
+        digest = fold(digest, s.digest);
+        final_pages += own_pages(&s.rt);
+        lat_ns.append(&mut s.lat_ns);
+    }
+    lat_ns.sort_unstable();
+    assert!(fleet.conserves(), "final ledger does not conserve: {fleet:?}");
+    assert_eq!(
+        fleet.submitted,
+        u64::from(cfg.sessions) * u64::from(cfg.requests_per_session),
+        "requests lost or invented"
+    );
+
+    ServiceReport {
+        ledger: fleet,
+        per_session,
+        digest,
+        high_water_pages: high_water,
+        final_pages,
+        quarantined,
+        reaped,
+        sanitize_runs,
+        lat_ns,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Installs a panic hook that silences the service's own injected
+/// panics (they carry [`SERVICE_PANIC_MARKER`]) while reporting every
+/// other panic through the previously installed hook.
+pub fn install_service_panic_filter() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<String>()
+            .map(|s| s.contains(SERVICE_PANIC_MARKER))
+            .or_else(|| {
+                payload.downcast_ref::<&str>().map(|s| s.contains(SERVICE_PANIC_MARKER))
+            })
+            .unwrap_or(false);
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> ServiceConfig {
+        ServiceConfig {
+            sessions: 2,
+            requests_per_session: 24,
+            rounds: 3,
+            threads: 1,
+            marks: Watermarks::new(10, 16),
+            fault_one_in: 7,
+            panic_one_in: 11,
+            backoff: Duration::from_micros(1),
+            ..ServiceConfig::full(seed)
+        }
+    }
+
+    #[test]
+    fn same_seed_reruns_are_byte_identical() {
+        install_service_panic_filter();
+        let a = run_service(&tiny(42));
+        let b = run_service(&tiny(42));
+        assert_eq!(a.encode_books(), b.encode_books());
+        assert!(a.ledger.conserves());
+        assert!(a.ledger.panics > 0, "panic path never exercised");
+        assert!(a.ledger.faults > 0, "fault path never exercised");
+        assert_eq!(a.quarantined, a.ledger.panics, "every panic quarantines one region");
+        assert_eq!(a.quarantined, a.reaped, "every quarantined region was reaped");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_books() {
+        install_service_panic_filter();
+        let base = run_service(&tiny(7));
+        for threads in [2, 4] {
+            let cfg = ServiceConfig { threads, ..tiny(7) };
+            let r = run_service(&cfg);
+            assert_eq!(base.encode_books(), r.encode_books(), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn watermarks_degrade_then_shed() {
+        install_service_panic_filter();
+        // Probe unbounded first, then pin the watermarks just under the
+        // observed high water: the staircase alone must now walk the
+        // service through degrade into shed.
+        let free = ServiceConfig {
+            requests_per_session: 120,
+            fault_one_in: 0,
+            panic_one_in: 0,
+            marks: Watermarks::unbounded(),
+            ..tiny(3)
+        };
+        let probe = run_service(&free);
+        assert_eq!(probe.ledger.shed, 0);
+        assert_eq!(probe.ledger.degraded, 0);
+        assert_eq!(probe.ledger.completed, probe.ledger.submitted);
+        let hard = probe.high_water_pages * 2 / 3;
+        let cfg = ServiceConfig { marks: Watermarks::new(probe.high_water_pages / 2, hard), ..free };
+        let r = run_service(&cfg);
+        assert!(r.ledger.degraded > 0, "never degraded: {:?}", r.ledger);
+        assert!(r.ledger.shed > 0, "never shed: {:?}", r.ledger);
+        assert!(r.ledger.completed > 0, "nothing completed: {:?}", r.ledger);
+        assert!(r.high_water_pages >= hard, "high water below the hard mark");
+    }
+
+    #[test]
+    fn latencies_and_throughput_are_populated() {
+        install_service_panic_filter();
+        let r = run_service(&tiny(9));
+        assert_eq!(r.lat_ns.len() as u64, r.ledger.submitted);
+        assert!(r.p50_us() <= r.p99_us() && r.p99_us() <= r.p999_us());
+        assert!(r.throughput_rps() > 0.0);
+    }
+}

@@ -80,6 +80,17 @@ pub enum RegionError {
     /// gate; wraps the typed [`SnapshotError`] so `try_*`-style callers
     /// see one failure surface for heap, region, and snapshot errors.
     Snapshot(SnapshotError),
+    /// A region service shed this request: the observed OS footprint was
+    /// at or above the hard admission watermark
+    /// ([`crate::pressure::Watermarks`]). Load shedding is a typed,
+    /// recoverable refusal — never a panic — so callers can retry later
+    /// or report the rejection (DESIGN §16).
+    Overloaded {
+        /// Footprint (simulated OS pages) observed at admission.
+        pages: u64,
+        /// The hard watermark that was reached.
+        hard_pages: u64,
+    },
 }
 
 impl fmt::Display for RegionError {
@@ -114,6 +125,10 @@ impl fmt::Display for RegionError {
                 write!(f, "injected fault: {site} #{count}")
             }
             RegionError::Snapshot(e) => write!(f, "{e}"),
+            RegionError::Overloaded { pages, hard_pages } => write!(
+                f,
+                "request shed: footprint {pages} pages at or above hard watermark {hard_pages}"
+            ),
         }
     }
 }
@@ -220,6 +235,9 @@ mod tests {
         assert!(RegionError::OutOfMemory { requested: 1, limit: 0 }
             .to_string()
             .contains("simulated out of memory"));
+        assert!(RegionError::Overloaded { pages: 900, hard_pages: 800 }
+            .to_string()
+            .contains("request shed"));
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod descriptor;
 mod error;
 mod fault;
 pub mod par;
+pub mod pressure;
 mod runtime;
 mod sanitize;
 mod snapshot;
@@ -78,6 +79,7 @@ pub use costs::{
 pub use descriptor::{DescId, DescriptorTable, TypeDescriptor};
 pub use error::{ParRegionError, RegionError};
 pub use fault::{FaultPlan, FaultSite};
+pub use pressure::{Admission, AdmissionController, Watermarks};
 pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
 pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

@@ -1,0 +1,254 @@
+//! Admission control under memory pressure: footprint watermarks for a
+//! long-lived region service (DESIGN §16).
+//!
+//! A region-per-request service cannot let its simulated OS footprint
+//! grow without bound: the paper's runtime recycles freed pages inside
+//! the allocator but never returns them to the OS, so the only way to
+//! bound the footprint is to stop *admitting* work before the heap grows
+//! past it. This module implements the classic two-watermark policy:
+//!
+//! * below the **soft** watermark every request is admitted unchanged
+//!   ([`Admission::Accept`]);
+//! * between soft and hard the service **degrades** — requests are still
+//!   served, but with a shrunk allocation plan
+//!   ([`Admission::Degrade`]);
+//! * at or above the **hard** watermark requests are **shed** with the
+//!   typed [`crate::RegionError::Overloaded`] — never a panic
+//!   ([`Admission::Shed`]).
+//!
+//! The decision is a *pure function* of the observed footprint and the
+//! configured [`Watermarks`]: no clocks, no randomness, no host state.
+//! A service that feeds it a deterministic footprint (simulated
+//! OS-footprint pages, not host RSS) therefore makes bit-identical
+//! admission decisions on every same-seed run, which is what lets the
+//! chaos harness assert ledger conservation across reruns and thread
+//! counts.
+
+use std::fmt;
+
+/// Soft and hard footprint watermarks, in simulated OS pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Footprint at which the service starts degrading request plans.
+    pub soft_pages: u64,
+    /// Footprint at which the service starts shedding requests.
+    pub hard_pages: u64,
+}
+
+impl Watermarks {
+    /// Watermarks with `soft <= hard` enforced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soft_pages > hard_pages` — an inverted pair would
+    /// shed before degrading, which is a configuration bug, not a load
+    /// condition.
+    pub fn new(soft_pages: u64, hard_pages: u64) -> Watermarks {
+        assert!(
+            soft_pages <= hard_pages,
+            "inverted watermarks: soft {soft_pages} > hard {hard_pages}"
+        );
+        Watermarks { soft_pages, hard_pages }
+    }
+
+    /// Watermarks high enough that no realistic footprint ever trips
+    /// them — admission always accepts. Used by tests that want the
+    /// service logic without backpressure.
+    pub fn unbounded() -> Watermarks {
+        Watermarks { soft_pages: u64::MAX, hard_pages: u64::MAX }
+    }
+}
+
+impl fmt::Display for Watermarks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soft {} / hard {} pages", self.soft_pages, self.hard_pages)
+    }
+}
+
+/// The three-way admission verdict for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Footprint below the soft watermark: serve the request unchanged.
+    Accept,
+    /// Footprint in `[soft, hard)`: serve the request with a degraded
+    /// (shrunk) allocation plan.
+    Degrade,
+    /// Footprint at or above the hard watermark: refuse the request
+    /// with [`crate::RegionError::Overloaded`].
+    Shed,
+}
+
+impl Admission {
+    /// The pure admission decision: compares a footprint against the
+    /// watermarks. This is the whole policy — everything else in
+    /// [`AdmissionController`] is bookkeeping.
+    pub fn decide(footprint_pages: u64, marks: Watermarks) -> Admission {
+        if footprint_pages >= marks.hard_pages {
+            Admission::Shed
+        } else if footprint_pages >= marks.soft_pages {
+            Admission::Degrade
+        } else {
+            Admission::Accept
+        }
+    }
+
+    /// A small stable code for digest folding (chaos harnesses record
+    /// admission decisions as observable history).
+    pub fn code(self) -> u64 {
+        match self {
+            Admission::Accept => 0,
+            Admission::Degrade => 1,
+            Admission::Shed => 2,
+        }
+    }
+}
+
+/// Stateful wrapper over [`Admission::decide`]: tracks the footprint
+/// high-water mark and counts decisions, so a service can report
+/// `footprint high-water` and `accepted/degraded/shed` without keeping
+/// its own books.
+///
+/// The counters are pure functions of the sequence of footprints fed to
+/// [`AdmissionController::admit`] — the controller adds no state of its
+/// own to the decision.
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    marks: Watermarks,
+    high_water_pages: u64,
+    accepted: u64,
+    degraded: u64,
+    shed: u64,
+}
+
+impl AdmissionController {
+    /// A controller with zeroed books.
+    pub fn new(marks: Watermarks) -> AdmissionController {
+        AdmissionController { marks, high_water_pages: 0, accepted: 0, degraded: 0, shed: 0 }
+    }
+
+    /// Decides one request at the given footprint, updating the
+    /// high-water mark and the decision counters.
+    pub fn admit(&mut self, footprint_pages: u64) -> Admission {
+        self.high_water_pages = self.high_water_pages.max(footprint_pages);
+        let a = Admission::decide(footprint_pages, self.marks);
+        match a {
+            Admission::Accept => self.accepted += 1,
+            Admission::Degrade => self.degraded += 1,
+            Admission::Shed => self.shed += 1,
+        }
+        a
+    }
+
+    /// The configured watermarks.
+    pub fn marks(&self) -> Watermarks {
+        self.marks
+    }
+
+    /// Largest footprint ever fed to [`AdmissionController::admit`].
+    pub fn high_water_pages(&self) -> u64 {
+        self.high_water_pages
+    }
+
+    /// Requests admitted unchanged.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests admitted with a degraded plan.
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Requests refused with [`crate::RegionError::Overloaded`].
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_bands_are_half_open() {
+        let m = Watermarks::new(10, 20);
+        assert_eq!(Admission::decide(0, m), Admission::Accept);
+        assert_eq!(Admission::decide(9, m), Admission::Accept);
+        assert_eq!(Admission::decide(10, m), Admission::Degrade);
+        assert_eq!(Admission::decide(19, m), Admission::Degrade);
+        assert_eq!(Admission::decide(20, m), Admission::Shed);
+        assert_eq!(Admission::decide(u64::MAX, m), Admission::Shed);
+    }
+
+    #[test]
+    fn decision_is_monotone_in_footprint() {
+        // More pressure can only move the verdict toward shedding.
+        let m = Watermarks::new(7, 31);
+        let mut last = 0;
+        for fp in 0..64 {
+            let code = Admission::decide(fp, m).code();
+            assert!(code >= last, "verdict regressed at footprint {fp}");
+            last = code;
+        }
+    }
+
+    #[test]
+    fn equal_watermarks_skip_the_degrade_band() {
+        let m = Watermarks::new(5, 5);
+        assert_eq!(Admission::decide(4, m), Admission::Accept);
+        assert_eq!(Admission::decide(5, m), Admission::Shed);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted watermarks")]
+    fn inverted_watermarks_are_rejected() {
+        let _ = Watermarks::new(9, 3);
+    }
+
+    #[test]
+    fn unbounded_never_sheds() {
+        let m = Watermarks::unbounded();
+        assert_eq!(Admission::decide(u64::MAX - 1, m), Admission::Accept);
+    }
+
+    #[test]
+    fn controller_books_match_a_replay() {
+        // Same footprint sequence twice: identical decisions and books —
+        // the purity the service's determinism proof leans on.
+        let run = |fps: &[u64]| {
+            let mut c = AdmissionController::new(Watermarks::new(3, 6));
+            let decisions: Vec<Admission> = fps.iter().map(|&f| c.admit(f)).collect();
+            (decisions, c.accepted(), c.degraded(), c.shed(), c.high_water_pages())
+        };
+        let fps = [0, 2, 3, 5, 6, 9, 1, 6, 2];
+        assert_eq!(run(&fps), run(&fps));
+        let (decisions, accepted, degraded, shed, high) = run(&fps);
+        assert_eq!(accepted + degraded + shed, fps.len() as u64);
+        assert_eq!(accepted, 4);
+        assert_eq!(degraded, 2);
+        assert_eq!(shed, 3);
+        assert_eq!(high, 9);
+        assert_eq!(decisions[4], Admission::Shed);
+    }
+
+    #[test]
+    fn shed_count_is_monotone_in_tighter_watermarks() {
+        // Lowering the hard watermark can only shed more of the same
+        // footprint sequence — the property the service's load-shedding
+        // tests rely on.
+        let fps: Vec<u64> = (0..100).map(|i| (i * 7) % 41).collect();
+        let shed_at = |hard: u64| {
+            let mut c = AdmissionController::new(Watermarks::new(hard.min(5), hard));
+            for &f in &fps {
+                c.admit(f);
+            }
+            c.shed()
+        };
+        let mut last = shed_at(60);
+        for hard in [40, 30, 20, 10, 5] {
+            let s = shed_at(hard);
+            assert!(s >= last, "tightening hard to {hard} shed fewer requests");
+            last = s;
+        }
+    }
+}
