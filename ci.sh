@@ -95,7 +95,22 @@ echo "== region service under adversity (deadlines, backpressure, quarantine) ==
 # target/ so it can't clobber it.
 REGION_SANITIZE=1 BENCH_SERVER_OUT=target/BENCH_server_quick.json \
     ./target/release/server --quick >/dev/null
-# Full-adversity service chaos: injected faults + panics + watermark
+
+echo "== deleteregion budget sweep (inf vs 64 vs 1, DESIGN §17) =="
+# The server binary already asserts the encoded books byte-identical
+# against one opposite-budget arm internally; this sweep additionally
+# proves the results-v3 envelope (checksums, allocs, pages) identical
+# across an unbounded, a 64-unit and a 1-unit deletion budget — only
+# the wall-clock and pause columns may drift (--ignore-time).
+for b in inf 64 1; do
+    REGION_SANITIZE=1 BENCH_SERVER_OUT="target/BENCH_server_b$b.json" \
+        ./target/release/server --quick --delete-budget "$b" >/dev/null
+    cp results/server.json "target/server_b$b.json"
+done
+./target/release/compare_results target/server_binf.json target/server_b64.json --ignore-time >/dev/null
+./target/release/compare_results target/server_b64.json target/server_b1.json --ignore-time >/dev/null
+# Full-adversity service chaos (now including the incremental-deletion
+# budget arms at 64 and 1): injected faults + panics + watermark
 # pressure, conservation and clean sanitize/audit every round.
 REGION_SANITIZE=1 ./target/release/chaos --quick --scenario server-chaos >/dev/null
 

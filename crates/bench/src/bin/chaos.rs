@@ -37,8 +37,8 @@
 
 use bench_harness::{supervise, JobOutcome, SuperviseConfig};
 use region_core::{
-    DescId, FaultPlan, FaultSite, ParRegionError, RegionConfig, RegionError, RegionId,
-    RegionRuntime, SnapReader, SnapWriter, SnapshotError, TypeDescriptor,
+    DeleteProgress, DescId, FaultPlan, FaultSite, ParRegionError, RegionConfig, RegionError,
+    RegionId, RegionRuntime, SnapReader, SnapWriter, SnapshotError, TypeDescriptor,
 };
 use simheap::{Addr, HeapConfig, PAGE_SIZE};
 
@@ -98,6 +98,7 @@ fn err_code(e: RegionError) -> u64 {
         }
         RegionError::Snapshot(e) => fold(10, snap_err_code(e)),
         RegionError::Overloaded { pages, hard_pages } => fold(fold(11, pages), hard_pages),
+        RegionError::RegionDoomed { region } => fold(12, region.index() as u64),
     }
 }
 
@@ -194,6 +195,13 @@ struct Soak {
     globals: Addr,
     n_globals: u32,
     frames: u32,
+    /// An in-progress incremental `deleteregion` — the doomed region and
+    /// the budget it runs under. At most one at a time; other ops (and
+    /// their injected faults) interleave between its increments, and a
+    /// kill may land while it is parked. The budget rides in the driver
+    /// image because the runtime snapshot deliberately does not persist
+    /// it (restore resets to `u64::MAX`).
+    parked: Option<(RegionId, u64)>,
     tally: Tally,
 }
 
@@ -221,6 +229,7 @@ impl Soak {
             globals,
             n_globals: GLOBAL_SLOTS,
             frames: 1,
+            parked: None,
             tally: Tally::default(),
         }
     }
@@ -389,6 +398,12 @@ impl Soak {
             }
         }
         let Some(r) = self.random_live() else { return self.op_create() };
+        // A third of the deletions go incremental: park the region under
+        // a small seeded budget and let later ops interleave with the
+        // remaining increments.
+        if self.parked.is_none() && self.rng.below(3) == 0 {
+            return self.op_delete_incremental(r);
+        }
         let pages_before = self.rt.data_pages();
         let allocs_before = self.rt.stats().total_allocs;
         match self.rt.try_delete_region(r) {
@@ -423,10 +438,101 @@ impl Soak {
         }
     }
 
+    /// Starts an incremental `deleteregion` under a small seeded budget.
+    /// A first increment that finishes or is refused resolves here; one
+    /// that parks leaves the region doomed for later ops to interleave
+    /// with ([`Soak::op_step_parked`]).
+    fn op_delete_incremental(&mut self, r: RegionId) {
+        let budget = 4 + self.rng.below(60);
+        self.rt.set_delete_budget(budget);
+        let pages_before = self.rt.data_pages();
+        let allocs_before = self.rt.stats().total_allocs;
+        match self.rt.try_delete_region_step(r) {
+            Ok(DeleteProgress::Done) => {
+                self.rt.set_delete_budget(u64::MAX);
+                self.note(fold(22, r.index() as u64));
+                self.live.retain(|&x| x != r);
+                self.pool.retain(|o| o.region() != r);
+                if self.dead.len() < 64 {
+                    self.dead.push(r);
+                }
+            }
+            Ok(DeleteProgress::Parked) => {
+                self.note(fold(23, r.index() as u64));
+                self.live.retain(|&x| x != r);
+                self.pool.retain(|o| o.region() != r);
+                self.parked = Some((r, budget));
+                self.assert_clean("at first increment boundary");
+            }
+            Err(e @ RegionError::DeleteBlocked { region, rc }) => {
+                assert_eq!(region, r);
+                assert!(rc > 0, "blocked delete with rc {rc}");
+                self.rt.set_delete_budget(u64::MAX);
+                assert!(self.rt.is_live(r), "refused incremental delete killed {r:?}");
+                assert_eq!(self.rt.data_pages(), pages_before, "refused delete freed pages");
+                assert_eq!(self.rt.stats().total_allocs, allocs_before);
+                self.tally.blocked_deletes += 1;
+                self.note(err_code(e));
+                self.assert_clean("after refused incremental delete");
+            }
+            Err(e) => panic!("incremental delete of live {r:?} produced {e}"),
+        }
+    }
+
+    /// Advances the parked incremental deletion by one budgeted
+    /// increment, sanitizing at the boundary. Occasionally probes first
+    /// that the doomed region refuses allocation with the typed
+    /// [`RegionError::RegionDoomed`] and that the refusal is a no-op.
+    fn op_step_parked(&mut self) {
+        let Some((r, _)) = self.parked else { return self.op_delete() };
+        if self.rng.below(4) == 0 {
+            let allocs_before = self.rt.stats().total_allocs;
+            match self.rt.try_ralloc(r, self.node) {
+                Err(e @ RegionError::RegionDoomed { region }) => {
+                    assert_eq!(region, r);
+                    assert_eq!(self.rt.stats().total_allocs, allocs_before, "doomed alloc counted");
+                    self.note(err_code(e));
+                }
+                Ok(a) => panic!("doomed {r:?} allocated {a:?}"),
+                Err(e) => panic!("doomed-alloc probe produced {e}"),
+            }
+        }
+        match self.rt.try_delete_region_step(r) {
+            Ok(DeleteProgress::Done) => {
+                self.parked = None;
+                self.rt.set_delete_budget(u64::MAX);
+                self.note(fold(24, r.index() as u64));
+                if self.dead.len() < 64 {
+                    self.dead.push(r);
+                }
+                self.assert_clean("after incremental delete finished");
+            }
+            Ok(DeleteProgress::Parked) => {
+                self.note(fold(25, r.index() as u64));
+                self.assert_clean("at increment boundary");
+            }
+            Err(e @ RegionError::DeleteBlocked { region, rc }) => {
+                // The stack scan completed on a later increment and found
+                // references: the region revives, still fully usable.
+                assert_eq!(region, r);
+                assert!(rc > 0, "blocked delete with rc {rc}");
+                self.parked = None;
+                self.rt.set_delete_budget(u64::MAX);
+                assert!(self.rt.is_live(r), "refused delete did not revive {r:?}");
+                self.live.push(r);
+                self.tally.blocked_deletes += 1;
+                self.note(err_code(e));
+                self.assert_clean("after mid-scan refusal");
+            }
+            Err(e) => panic!("parked deletion step of {r:?} produced {e}"),
+        }
+    }
+
     /// When the heap is squeezed shut (sbrk fault budget or OOM), shed
     /// load so the soak keeps making progress: clear all global roots and
     /// pop back to the main frame, then delete every region that will go.
     fn relieve(&mut self) {
+        self.drain_parked();
         for i in 0..self.n_globals {
             self.rt.store_ptr_global(self.globals + i * 4, Addr::NULL);
         }
@@ -450,9 +556,10 @@ impl Soak {
         let before = self.tally.faults();
         match self.rng.below(100) {
             0..=7 => self.op_create(),
-            8..=55 => self.op_alloc(),
-            56..=77 => self.op_store(),
-            78..=87 => self.op_call(),
+            8..=53 => self.op_alloc(),
+            54..=74 => self.op_store(),
+            75..=84 => self.op_call(),
+            85..=90 => self.op_step_parked(),
             _ => self.op_delete(),
         }
         // Under sustained memory pressure (sbrk squeeze / tiny heap),
@@ -464,7 +571,31 @@ impl Soak {
         }
     }
 
+    /// Runs the parked incremental deletion (if any) to its resolution —
+    /// completion or a reviving refusal.
+    fn drain_parked(&mut self) {
+        let Some((r, _)) = self.parked.take() else { return };
+        loop {
+            match self.rt.try_delete_region_step(r) {
+                Ok(DeleteProgress::Done) => {
+                    self.note(fold(26, r.index() as u64));
+                    break;
+                }
+                Ok(DeleteProgress::Parked) => {}
+                Err(RegionError::DeleteBlocked { .. }) => {
+                    self.live.push(r);
+                    self.tally.blocked_deletes += 1;
+                    self.note(fold(27, r.index() as u64));
+                    break;
+                }
+                Err(e) => panic!("draining parked deletion of {r:?} produced {e}"),
+            }
+        }
+        self.rt.set_delete_budget(u64::MAX);
+    }
+
     fn finish(mut self) -> Tally {
+        self.drain_parked();
         self.assert_clean("at scenario end");
         let stats = *self.rt.stats();
         self.note(stats.total_allocs);
@@ -507,6 +638,17 @@ impl Soak {
         w.u32(self.globals.raw());
         w.u32(self.n_globals);
         w.u32(self.frames);
+        // The runtime snapshot carries the parked DeletionState itself;
+        // the driver adds which region it is stepping and the budget
+        // (which the runtime deliberately does not persist).
+        match self.parked {
+            None => w.u8(0),
+            Some((r, budget)) => {
+                w.u8(1);
+                w.u32(r.index());
+                w.u64(budget);
+            }
+        }
         let t = &self.tally;
         for v in [
             t.ops,
@@ -564,6 +706,11 @@ impl Soak {
         let globals = Addr::new(r.u32()?);
         let n_globals = r.u32()?;
         let frames = r.u32()?;
+        let parked = match r.u8()? {
+            0 => None,
+            1 => Some((RegionId::from_index(r.u32()?), r.u64()?)),
+            _ => return Err(r.malformed()),
+        };
         let mut t = [0u64; 14];
         for v in &mut t {
             *v = r.u64()?;
@@ -585,7 +732,14 @@ impl Soak {
             restores: t[12],
             corrupt_rejected: t[13],
         };
-        Ok(Soak { rt, rng, node, live, dead, pool, globals, n_globals, frames, tally })
+        let mut rt = rt;
+        if let Some((_, budget)) = parked {
+            // Restore resets the (unserialized) budget to `u64::MAX`; the
+            // resumed deletion must keep increment-for-increment pace with
+            // the control run, so reinstate the budget it was parked under.
+            rt.set_delete_budget(budget);
+        }
+        Ok(Soak { rt, rng, node, live, dead, pool, globals, n_globals, frames, parked, tally })
     }
 }
 
@@ -653,6 +807,82 @@ fn scenario_kill_restore(seed: u64, ops: u64) -> Tally {
         tally.blocked_deletes += want.blocked_deletes;
         tally.double_deletes += want.double_deletes;
         tally.sanitize_runs += want.sanitize_runs;
+    }
+
+    // Mid-deletion kill battery: every trial parks a budgeted
+    // `deleteregion` mid-flight (a pointer-bearing region partway through
+    // its cleanup walk), kills at a different increment boundary,
+    // restores through the sanitize gate, reinstates the budget, and
+    // resumes — the final runtime bytes must equal an unkilled control's.
+    for k in 0..8u64 {
+        let tseed = seed ^ fold(0xD00D, k);
+        let budget = 3 + k; // small budgets spread the kills across phases
+        let build = || {
+            let mut rt = RegionRuntime::new_safe();
+            rt.set_fault_plan(FaultPlan::seeded(tseed).fail_allocs_one_in(43));
+            let node = rt.register_type(TypeDescriptor::new("kr_node", 16, vec![4]));
+            let keep = rt.new_region();
+            let doomed = rt.new_region();
+            let mut prev = Addr::NULL;
+            for i in 0..200u32 {
+                if let Ok(a) = rt.try_ralloc(doomed, node) {
+                    if i % 3 == 0 {
+                        if let Ok(t) = rt.try_ralloc(keep, node) {
+                            rt.store_ptr_region(a + 4, t); // counted, cross-region
+                        }
+                    } else {
+                        rt.store_ptr_region(a + 4, prev); // same-region list link
+                        prev = a;
+                    }
+                }
+            }
+            let _ = rt.try_rstralloc(doomed, 2000);
+            rt.push_frame(4);
+            (rt, doomed)
+        };
+
+        let (mut ctl, target) = build();
+        ctl.set_delete_budget(budget);
+        let mut ctl_incs = 0u64;
+        loop {
+            match ctl.try_delete_region_step(target) {
+                Ok(DeleteProgress::Done) => break,
+                Ok(DeleteProgress::Parked) => ctl_incs += 1,
+                Err(e) => panic!("trial {k}: control deletion failed: {e}"),
+            }
+        }
+        assert!(ctl_incs >= 2, "trial {k}: deletion too small to kill mid-flight");
+        let want = ctl.capture_snapshot();
+
+        let (mut victim, vt) = build();
+        victim.set_delete_budget(budget);
+        let kill_at = 1 + k * (ctl_incs - 1) / 8; // 1..=ctl_incs-ish, spread
+        for i in 0..kill_at {
+            match victim.try_delete_region_step(vt) {
+                Ok(DeleteProgress::Parked) => {}
+                other => panic!("trial {k}: increment {i} resolved early: {other:?}"),
+            }
+        }
+        let image = victim.capture_snapshot();
+        drop(victim); // the kill lands between increments
+        let mut revived = RegionRuntime::restore_snapshot(&image)
+            .unwrap_or_else(|e| panic!("trial {k}: mid-deletion snapshot refused: {e}"));
+        tally.sanitize_runs += 1; // restore's mandatory sanitize gate
+        revived.set_delete_budget(budget);
+        loop {
+            match revived.try_delete_region_step(vt) {
+                Ok(DeleteProgress::Done) => break,
+                Ok(DeleteProgress::Parked) => {}
+                Err(e) => panic!("trial {k}: resumed deletion failed: {e}"),
+            }
+        }
+        assert_eq!(
+            revived.capture_snapshot(),
+            want,
+            "trial {k}: kill at increment {kill_at}/{ctl_incs} diverged from control"
+        );
+        tally.restores += 1;
+        tally.digest = fold(fold(tally.digest, 0xD00D), fold(kill_at, ctl_incs));
     }
 
     // Corrupt-input battery on a real mid-flight runtime snapshot: every
@@ -1922,6 +2152,21 @@ fn scenario_server(seed: u64, ops: u64) -> Tally {
             tally.worker_panics += r.ledger.panics;
             tally.quarantined += r.quarantined;
             tally.reaped += r.reaped;
+            tally.sanitize_runs += r.sanitize_runs;
+        }
+        // Incremental rounds: the same trial under bounded deleteregion
+        // budgets (including the degenerate budget 1) must land on the
+        // very same books — the budget moves deletion work in time, it
+        // never changes what the work does. Faults, panics, and sheds
+        // all interleave with parked deletions here, and sanitize_rounds
+        // is on, so every round barrier proves parked books balance.
+        for budget in [64u64, 1] {
+            let r = run_service(&ServiceConfig { threads: 2, delete_budget: budget, ..cfg });
+            assert_eq!(
+                books.as_deref(),
+                Some(r.encode_books().as_slice()),
+                "trial {trial}: books diverged under delete budget {budget}"
+            );
             tally.sanitize_runs += r.sanitize_runs;
         }
         // The books are schedule-independent by construction; fold every

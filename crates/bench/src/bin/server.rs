@@ -66,31 +66,71 @@ fn print_report(threads: usize, r: &ServiceReport) {
     );
 }
 
+fn need(args: &mut std::env::Args, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     install_service_panic_filter();
     let quick = std::env::args().any(|a| a == "--quick");
     let mut args = std::env::args();
     let mut seed = 42u64;
+    // Recorded default: incremental deletion under a 64-unit budget.
+    // `--delete-budget inf` reproduces the stop-the-world profile.
+    let mut delete_budget = 64u64;
+    let mut open_loop_period_ns = 0u64;
     while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().unwrap_or_else(|| {
-                eprintln!("--seed needs a value");
-                std::process::exit(2);
-            });
-            seed = v.parse().unwrap_or_else(|_| {
-                eprintln!("bad seed: {v}");
-                std::process::exit(2);
-            });
+        match a.as_str() {
+            "--seed" => {
+                let v = need(&mut args, "--seed");
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed: {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--delete-budget" => {
+                let v = need(&mut args, "--delete-budget");
+                delete_budget = if v == "inf" {
+                    u64::MAX
+                } else {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad budget (want a positive integer or 'inf'): {v}");
+                        std::process::exit(2);
+                    })
+                };
+                if delete_budget == 0 {
+                    eprintln!("--delete-budget must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--open-loop" => {
+                let v = need(&mut args, "--open-loop");
+                open_loop_period_ns = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad open-loop period (want nanoseconds): {v}");
+                    std::process::exit(2);
+                });
+            }
+            _ => {}
         }
     }
     let mut cfg = if quick { ServiceConfig::quick(seed) } else { ServiceConfig::full(seed) };
+    cfg.delete_budget = delete_budget;
+    cfg.open_loop_period_ns = open_loop_period_ns;
     if std::env::var("REGION_SANITIZE").is_ok_and(|v| v == "1") {
         cfg.sanitize_rounds = true;
     }
+    let budget_str = if delete_budget == u64::MAX {
+        "inf".to_string()
+    } else {
+        delete_budget.to_string()
+    };
 
     println!(
         "Region service: {} sessions x {} requests over {} rounds, seed {seed}, \
-         watermarks {}, fault 1/{}, panic 1/{}",
+         watermarks {}, fault 1/{}, panic 1/{}, delete budget {budget_str}",
         cfg.sessions,
         cfg.requests_per_session,
         cfg.rounds,
@@ -121,6 +161,24 @@ fn main() {
     let again = run_service(&ServiceConfig { threads: last, ..cfg });
     assert_eq!(books, again.encode_books(), "same-seed rerun must be byte-identical");
 
+    // Budget A/B: the books must also be invariant across the deletion
+    // budget — incremental mode changes when deletion work runs, never
+    // what it does. The stop-the-world run doubles as the pause-time
+    // baseline for the report.
+    let other_budget = if cfg.delete_budget == u64::MAX { 64 } else { u64::MAX };
+    let stw = run_service(&ServiceConfig {
+        threads: last,
+        delete_budget: other_budget,
+        ..cfg
+    });
+    assert_eq!(
+        books,
+        stw.encode_books(),
+        "books must not depend on the deletion budget ({budget_str} vs {other_budget})"
+    );
+    let (inc, mono) =
+        if cfg.delete_budget == u64::MAX { (&stw, &reports[THREAD_AB.len() - 1]) } else { (&reports[THREAD_AB.len() - 1], &stw) };
+
     let r1 = &reports[0];
     let rn = &reports[THREAD_AB.len() - 1];
     assert!(rn.ledger.conserves(), "ledger must conserve");
@@ -133,6 +191,17 @@ fn main() {
         rn.p50_us(),
         rn.p99_us(),
         rn.p999_us()
+    );
+    println!(
+        "  deleteregion pauses: budgeted p50 {:.2} us, p99 {:.2} us, max {:.2} us \
+         over {} increments — stop-the-world p99 {:.2} us, max {:.2} us over {}",
+        inc.pause_p50_us(),
+        inc.pause_p99_us(),
+        inc.pause_max_us(),
+        inc.pause_ns.len(),
+        mono.pause_p99_us(),
+        mono.pause_max_us(),
+        mono.pause_ns.len(),
     );
     println!(
         "  footprint high-water {} pages (final {}), {} quarantined, {} reaped, \
@@ -149,6 +218,8 @@ fn main() {
         p50_us: vec![r1.p50_us(), rn.p50_us()],
         p99_us: vec![r1.p99_us(), rn.p99_us()],
         p999_us: vec![r1.p999_us(), rn.p999_us()],
+        pause_p50_us: vec![r1.pause_p50_us(), rn.pause_p50_us()],
+        pause_p99_us: vec![r1.pause_p99_us(), rn.pause_p99_us()],
     };
     match write_results_json_full("server", &rows, None, Some(&lat)) {
         Ok(path) => println!("\nwrote {}", path.display()),
@@ -159,20 +230,30 @@ fn main() {
     let json = format!(
         "{{\n  \"comment\": \"Region service under adversity: {} sessions serving seeded \
          request traffic on one shared address space, with injected allocation faults \
-         (bounded deterministic retry), injected worker panics (quarantine + reap), and \
-         footprint watermarks (degrade, then shed with a typed error). Books asserted \
-         byte-identical at 1/2/{last} OS threads and across same-seed reruns; ledger \
-         conserved (submitted == completed + shed + failed); clean audit and sanitize \
-         every round. Latencies are wall clock and excluded from the books.\",\n  \
+         (bounded deterministic retry), injected worker panics (quarantine + reap), \
+         footprint watermarks (degrade, then shed with a typed error), and a rotating \
+         pointer-bearing index region whose deletion runs through the incremental \
+         deleteregion budget. Books asserted byte-identical at 1/2/{last} OS threads, \
+         across same-seed reruns, and across the deletion budget (bounded vs \
+         stop-the-world); ledger conserved (submitted == completed + shed + failed); \
+         clean audit and sanitize every round. Latencies and pauses are wall clock and \
+         excluded from the books; latency_stw_us replays the identical run with the \
+         monolithic deleteregion for the pause-time A/B.\",\n  \
          \"date\": \"{}\",\n  \"host\": {{ \"cores\": {}, \"os\": \"{}\" }},\n  \
          \"config\": {{ \"seed\": {seed}, \"quick\": {quick}, \"sessions\": {}, \
          \"requests_per_session\": {}, \"rounds\": {}, \"soft_pages\": {}, \
          \"hard_pages\": {}, \"max_attempts\": {}, \"fault_one_in\": {}, \
-         \"panic_one_in\": {} }},\n  \
+         \"panic_one_in\": {}, \"delete_budget\": \"{budget_str}\", \
+         \"index_allocs\": {}, \"index_rotate\": {}, \"open_loop_period_ns\": {} }},\n  \
          \"ledger\": {{ \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
          \"failed\": {}, \"retries\": {}, \"degraded\": {}, \"faults\": {}, \
          \"panics\": {} }},\n  \
          \"latency_us\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3} }},\n  \
+         \"latency_stw_us\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3} }},\n  \
+         \"pause_us\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}, \
+         \"increments\": {} }},\n  \
+         \"pause_stw_us\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}, \
+         \"increments\": {} }},\n  \
          \"throughput_rps\": {:.0},\n  \
          \"footprint\": {{ \"high_water_pages\": {}, \"final_pages\": {} }},\n  \
          \"isolation\": {{ \"quarantined\": {}, \"reaped\": {}, \"sanitize_runs\": {} }},\n  \
@@ -189,6 +270,9 @@ fn main() {
         cfg.max_attempts,
         cfg.fault_one_in,
         cfg.panic_one_in,
+        cfg.index_allocs,
+        cfg.index_rotate,
+        cfg.open_loop_period_ns,
         l.submitted,
         l.completed,
         l.shed,
@@ -197,9 +281,20 @@ fn main() {
         l.degraded,
         l.faults,
         l.panics,
-        rn.p50_us(),
-        rn.p99_us(),
-        rn.p999_us(),
+        inc.p50_us(),
+        inc.p99_us(),
+        inc.p999_us(),
+        mono.p50_us(),
+        mono.p99_us(),
+        mono.p999_us(),
+        inc.pause_p50_us(),
+        inc.pause_p99_us(),
+        inc.pause_max_us(),
+        inc.pause_ns.len(),
+        mono.pause_p50_us(),
+        mono.pause_p99_us(),
+        mono.pause_max_us(),
+        mono.pause_ns.len(),
         rn.throughput_rps(),
         rn.high_water_pages,
         rn.final_pages,

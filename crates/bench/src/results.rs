@@ -252,7 +252,8 @@ const OPT_TIME_FIELDS: &[&str] = &["par_total_ms"];
 /// of a single run are scheduling noise on a loaded host, and the
 /// server's correctness gate is its deterministic ledger, not its
 /// latency.
-const LATENCY_TIME_FIELDS: &[&str] = &["p50_us", "p99_us", "p999_us"];
+const LATENCY_TIME_FIELDS: &[&str] =
+    &["p50_us", "p99_us", "p999_us", "pause_p50_us", "pause_p99_us"];
 
 /// Outcome of a document comparison, split by severity.
 ///
@@ -749,6 +750,56 @@ mod tests {
         // silences the columns entirely.
         assert!(!cmp.warnings.iter().any(|w| w.contains("p50_us")), "{:?}", cmp.warnings);
         let cmp = compare_docs_full(&with_lat, &slow, 25.0, true);
+        assert!(cmp.is_ok() && cmp.warnings.is_empty(), "{:?}", cmp.warnings);
+    }
+
+    #[test]
+    fn pause_columns_are_missing_as_equal_and_drift_is_only_advisory() {
+        // A latency-bearing document recorded before the deletion-pause
+        // columns existed...
+        let old = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "a", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "p50_us": 0.9, "p99_us": 250.0, "p999_us": 400.0,
+                 "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        // ...compares clean against a rerun carrying them, both ways.
+        let with_pause = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "b", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "p50_us": 0.9, "p99_us": 250.0, "p999_us": 400.0,
+                 "pause_p50_us": 2.0, "pause_p99_us": 40.0,
+                 "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&old, &with_pause, 25.0, false);
+        assert!(cmp.is_ok(), "pause columns must not gate old docs: {:?}", cmp.errors);
+        assert!(cmp.warnings.is_empty(), "no advisory noise either: {:?}", cmp.warnings);
+        let cmp = compare_docs_full(&with_pause, &old, 25.0, false);
+        assert!(cmp.is_ok(), "and symmetrically: {:?}", cmp.errors);
+
+        // Pause drift between same-shape documents: a warning, never an
+        // error — pauses are wall clock, the gate is the books.
+        let slow = Json::parse(
+            r#"{"schema_version": 3, "bench": "server", "commit": "c", "workers": 1,
+                "host_cores": 1, "rows": [
+                {"workload": "server", "allocator": "region", "total_ms": 100.0,
+                 "mem_ms": 10.0, "p50_us": 0.9, "p99_us": 250.0, "p999_us": 400.0,
+                 "pause_p50_us": 2.0, "pause_p99_us": 95.0,
+                 "os_pages": 7, "checksum": 5}]}"#,
+        )
+        .unwrap();
+        let cmp = compare_docs_full(&with_pause, &slow, 25.0, false);
+        assert!(cmp.is_ok(), "pause drift must never gate: {:?}", cmp.errors);
+        assert!(
+            cmp.warnings.iter().any(|w| w.contains("pause_p99_us moved")),
+            "pause_p99 drift reported as a warning: {:?}",
+            cmp.warnings
+        );
+        let cmp = compare_docs_full(&with_pause, &slow, 25.0, true);
         assert!(cmp.is_ok() && cmp.warnings.is_empty(), "{:?}", cmp.warnings);
     }
 }

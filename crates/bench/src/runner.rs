@@ -457,6 +457,22 @@ pub struct LatencyColumn {
     pub p99_us: Vec<f64>,
     /// 99.9th-percentile request latency per row, in microseconds.
     pub p999_us: Vec<f64>,
+    /// Median `deleteregion`-increment pause per row, in microseconds.
+    /// Leave empty to omit the pause columns entirely (documents written
+    /// before incremental deletion stay byte-identical; `compare_results`
+    /// treats the absent columns as equal).
+    pub pause_p50_us: Vec<f64>,
+    /// 99th-percentile `deleteregion`-increment pause per row, in
+    /// microseconds. Empty omits, like [`LatencyColumn::pause_p50_us`].
+    pub pause_p99_us: Vec<f64>,
+}
+
+impl LatencyColumn {
+    /// The pause-free column set: request quantiles only, pause columns
+    /// omitted from the document.
+    pub fn new(p50_us: Vec<f64>, p99_us: Vec<f64>, p999_us: Vec<f64>) -> LatencyColumn {
+        LatencyColumn { p50_us, p99_us, p999_us, pause_p50_us: Vec::new(), pause_p99_us: Vec::new() }
+    }
 }
 
 /// Serializes measurements as a versioned JSON document and writes them
@@ -556,6 +572,11 @@ pub fn results_json_full(
                 && l.p999_us.len() == rows.len(),
             "latency columns must cover the matrix: one quantile triple per row"
         );
+        assert!(
+            (l.pause_p50_us.is_empty() && l.pause_p99_us.is_empty())
+                || (l.pause_p50_us.len() == rows.len() && l.pause_p99_us.len() == rows.len()),
+            "pause columns must be omitted entirely or cover the matrix"
+        );
     }
     let mut out = String::from("{\n");
     out.push_str(&format!("\"schema_version\": {RESULTS_SCHEMA_VERSION},\n"));
@@ -581,6 +602,10 @@ pub fn results_json_full(
             out.push_str(&format!("\"p50_us\": {:.3}, ", l.p50_us[i]));
             out.push_str(&format!("\"p99_us\": {:.3}, ", l.p99_us[i]));
             out.push_str(&format!("\"p999_us\": {:.3}, ", l.p999_us[i]));
+            if !l.pause_p50_us.is_empty() {
+                out.push_str(&format!("\"pause_p50_us\": {:.3}, ", l.pause_p50_us[i]));
+                out.push_str(&format!("\"pause_p99_us\": {:.3}, ", l.pause_p99_us[i]));
+            }
         }
         out.push_str(&format!("\"os_pages\": {}, ", m.os_pages));
         out.push_str(&format!("\"total_allocs\": {}, ", s.total_allocs));
@@ -725,11 +750,8 @@ mod tests {
         assert_eq!(plain, results_json_full("fig_test", &rows, None, None));
         assert!(!plain.contains("p50_us"), "no latency fields without a latency pass");
         // Some = three cells per row, nothing else moves.
-        let lat = LatencyColumn {
-            p50_us: vec![0.9, 1.1],
-            p99_us: vec![250.0, 260.5],
-            p999_us: vec![400.0, 410.25],
-        };
+        let lat =
+            LatencyColumn::new(vec![0.9, 1.1], vec![250.0, 260.5], vec![400.0, 410.25]);
         let with = results_json_full("fig_test", &rows, None, Some(&lat));
         assert!(with.contains("\"p50_us\": 0.900, "));
         assert!(with.contains("\"p99_us\": 260.500, "));
@@ -737,14 +759,39 @@ mod tests {
         for f in ["p50_us", "p99_us", "p999_us"] {
             assert_eq!(with.matches(f).count(), rows.len(), "one {f} cell per row");
         }
+        // Empty pause vectors omit the pause columns entirely.
+        assert!(!with.contains("pause_p50_us"), "empty pause vectors must omit the columns");
+        // Populated ones add exactly two cells per row, nothing else moves.
+        let paused = LatencyColumn {
+            pause_p50_us: vec![2.0, 2.5],
+            pause_p99_us: vec![40.0, 41.5],
+            ..lat.clone()
+        };
+        let with_pause = results_json_full("fig_test", &rows, None, Some(&paused));
+        assert!(with_pause.contains("\"pause_p50_us\": 2.000, "));
+        assert!(with_pause.contains("\"pause_p99_us\": 41.500, "));
+        for f in ["pause_p50_us", "pause_p99_us"] {
+            assert_eq!(with_pause.matches(f).count(), rows.len(), "one {f} cell per row");
+        }
     }
 
     #[test]
     #[should_panic(expected = "one quantile triple per row")]
     fn latency_columns_must_cover_every_row() {
         let rows = run_matrix(&[Job::Malloc(Workload::Cfrac, MallocKind::Lea)], 1, false);
-        let lat =
-            LatencyColumn { p50_us: vec![1.0], p99_us: Vec::new(), p999_us: vec![2.0] };
+        let lat = LatencyColumn::new(vec![1.0], Vec::new(), vec![2.0]);
+        let _ = results_json_full("fig_test", &rows, None, Some(&lat));
+    }
+
+    #[test]
+    #[should_panic(expected = "omitted entirely or cover the matrix")]
+    fn pause_columns_must_cover_every_row_or_be_absent() {
+        let rows = run_matrix(&[Job::Malloc(Workload::Cfrac, MallocKind::Lea)], 1, false);
+        let lat = LatencyColumn {
+            pause_p50_us: vec![1.0],
+            pause_p99_us: Vec::new(),
+            ..LatencyColumn::new(vec![1.0], vec![2.0], vec![3.0])
+        };
         let _ = results_json_full("fig_test", &rows, None, Some(&lat));
     }
 

@@ -57,7 +57,7 @@ use region_core::{
     AdmissionController, ParRegionError, RegionConfig, RegionError, RegionId, RegionRuntime,
     Watermarks,
 };
-use simheap::{HeapShard, SharedSpace, SpaceConfig};
+use simheap::{Addr, HeapShard, SharedSpace, SpaceConfig};
 
 use crate::supervise::{supervise, JobOutcome, SuperviseConfig};
 
@@ -111,6 +111,31 @@ pub struct ServiceConfig {
     /// barrier (O(heap) — chaos and `REGION_SANITIZE=1` runs want it,
     /// throughput measurements do not).
     pub sanitize_rounds: bool,
+    /// Work-increment budget for every `deleteregion` in the service
+    /// ([`RegionRuntime::set_delete_budget`]): `u64::MAX` is the
+    /// historical stop-the-world deletion, anything smaller runs each
+    /// deletion as bounded increments whose individual pauses land in
+    /// [`ServiceReport::pause_ns`]. The budget changes *when* deletion
+    /// work is timed, never what work happens — books are identical
+    /// across budgets.
+    pub delete_budget: u64,
+    /// Pointer-bearing index entries allocated per completed request
+    /// into the session's rotating index region (0 disables the index).
+    /// Each entry holds two counted pointers into the cache region, so
+    /// deleting the index is a real Figure-7 cleanup walk.
+    pub index_allocs: u32,
+    /// Completed requests between index rotations (0 = never rotate).
+    /// Each rotation deletes the accumulated index region in-path —
+    /// the service's dominant pause, and the one the budget bounds.
+    pub index_rotate: u32,
+    /// Open-loop arrival period in nanoseconds (0 = closed loop).
+    /// When set, request `i` of each session is scheduled to arrive at
+    /// `session epoch + i * period + jitter` on a seeded deterministic
+    /// schedule; queueing delay (service start minus scheduled
+    /// arrival) is measured separately from service time into
+    /// [`ServiceReport::queue_ns`]. Arrival timing never touches the
+    /// heap, so the books are identical to the closed-loop run.
+    pub open_loop_period_ns: u64,
 }
 
 impl ServiceConfig {
@@ -123,14 +148,21 @@ impl ServiceConfig {
             requests_per_session: 360,
             rounds: 8,
             threads: 2,
-            marks: Watermarks::new(145, 172),
+            marks: Watermarks::new(170, 200),
             max_attempts: 3,
-            backoff: Duration::from_micros(40),
+            // Zero backoff: retries spin immediately. The old 40 µs
+            // linear backoff put `thread::sleep` wake-up latency — not
+            // region work — at the top of the latency tail.
+            backoff: Duration::ZERO,
             deadline: Some(Duration::from_secs(30)),
             fault_one_in: 23,
             panic_one_in: 61,
             space_max_bytes: 256 << 20,
             sanitize_rounds: false,
+            delete_budget: u64::MAX,
+            index_allocs: 24,
+            index_rotate: 45,
+            open_loop_period_ns: 0,
         }
     }
 
@@ -141,9 +173,10 @@ impl ServiceConfig {
             sessions: 4,
             requests_per_session: 80,
             rounds: 4,
-            marks: Watermarks::new(28, 35),
+            marks: Watermarks::new(40, 48),
             fault_one_in: 19,
             panic_one_in: 37,
+            index_rotate: 20,
             ..ServiceConfig::full(seed)
         }
     }
@@ -243,18 +276,32 @@ pub struct ServiceReport {
     /// All per-request wall-clock latencies, sorted ascending, in
     /// nanoseconds. Reported, never encoded.
     pub lat_ns: Vec<u64>,
+    /// Wall clock of every `deleteregion` pause the service took —
+    /// one entry per deletion *increment* (so one entry per deletion
+    /// when the budget is unbounded), sorted ascending, in
+    /// nanoseconds. Reported, never encoded.
+    pub pause_ns: Vec<u64>,
+    /// Open-loop queueing delays (service start minus scheduled
+    /// arrival), sorted ascending, in nanoseconds. Empty in
+    /// closed-loop runs. Reported, never encoded.
+    pub queue_ns: Vec<u64>,
     /// Wall clock of the whole run.
     pub elapsed: Duration,
+}
+
+/// Nearest-rank quantile on an ascending-sorted vector.
+fn quantile_sorted(v: &[u64], num: u64, den: u64) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    let idx = ((v.len() as u64 - 1) * num) / den;
+    v[idx as usize]
 }
 
 impl ServiceReport {
     /// Latency at quantile `num/den` (nearest-rank on the sorted vec).
     fn quantile_ns(&self, num: u64, den: u64) -> u64 {
-        if self.lat_ns.is_empty() {
-            return 0;
-        }
-        let idx = ((self.lat_ns.len() as u64 - 1) * num) / den;
-        self.lat_ns[idx as usize]
+        quantile_sorted(&self.lat_ns, num, den)
     }
 
     /// Median request latency in (fractional) microseconds.
@@ -270,6 +317,33 @@ impl ServiceReport {
     /// 99.9th-percentile request latency in (fractional) microseconds.
     pub fn p999_us(&self) -> f64 {
         self.quantile_ns(999, 1000) as f64 / 1_000.0
+    }
+
+    /// Median `deleteregion` pause in (fractional) microseconds.
+    pub fn pause_p50_us(&self) -> f64 {
+        quantile_sorted(&self.pause_ns, 50, 100) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile `deleteregion` pause in (fractional)
+    /// microseconds — the headline the work-increment budget bounds.
+    pub fn pause_p99_us(&self) -> f64 {
+        quantile_sorted(&self.pause_ns, 99, 100) as f64 / 1_000.0
+    }
+
+    /// Worst single `deleteregion` pause in (fractional) microseconds.
+    pub fn pause_max_us(&self) -> f64 {
+        self.pause_ns.last().copied().unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// Median open-loop queueing delay in (fractional) microseconds.
+    pub fn queue_p50_us(&self) -> f64 {
+        quantile_sorted(&self.queue_ns, 50, 100) as f64 / 1_000.0
+    }
+
+    /// 99th-percentile open-loop queueing delay in (fractional)
+    /// microseconds.
+    pub fn queue_p99_us(&self) -> f64 {
+        quantile_sorted(&self.queue_ns, 99, 100) as f64 / 1_000.0
     }
 
     /// Resolved requests per second over the run's wall clock.
@@ -341,6 +415,7 @@ fn err_fold(e: RegionError) -> u64 {
     match e {
         RegionError::OutOfMemory { requested, limit } => fold(fold(1, requested), limit),
         RegionError::RegionDeleted { .. } => 2,
+        RegionError::RegionDoomed { .. } => 12,
         RegionError::DeleteBlocked { rc, .. } => fold(3, rc as u64),
         RegionError::SizeOverflow { .. } => 4,
         RegionError::ObjectTooLarge { bytes } => fold(5, u64::from(bytes)),
@@ -399,9 +474,23 @@ struct SessionSlot {
     poisoned: Vec<region_core::par::ParRegionId>,
     /// Long-lived cache region driving the footprint staircase.
     cache: Option<RegionId>,
+    /// Rotating pointer-bearing index region: entries allocated per
+    /// completed request point into the cache, and every
+    /// [`ServiceConfig::index_rotate`] completions the whole region is
+    /// deleted in-path — the deletion the budget bounds.
+    index: Option<RegionId>,
+    /// Descriptor of one index entry (two counted pointer fields).
+    index_desc: region_core::DescId,
+    /// Completed requests since the last index rotation.
+    since_rotate: u32,
     /// This session's footprint at the current round's barrier.
     round_start_pages: u64,
     lat_ns: Vec<u64>,
+    pause_ns: Vec<u64>,
+    queue_ns: Vec<u64>,
+    /// Wall-clock origin of this session's open-loop arrival schedule,
+    /// pinned when it serves its first request.
+    epoch: Option<Instant>,
 }
 
 fn lock(slot: &Arc<Mutex<SessionSlot>>) -> MutexGuard<'_, SessionSlot> {
@@ -493,16 +582,31 @@ fn serve_one(
         }
     }
     slot.ledger.submitted += 1;
+    let bounded = cfg.delete_budget != u64::MAX;
     if ok {
         slot.ledger.completed += 1;
         if degraded {
             slot.ledger.degraded += 1;
         }
-        grow_cache(slot, plan.cache);
+        // With a bounded budget the response is ready here: the
+        // post-request upkeep (cache growth, index rotation) runs as
+        // budgeted increments *after* the latency window closes, each
+        // pause recorded separately. Stop-the-world mode keeps the
+        // historical accounting — upkeep, including the monolithic
+        // index deletion, lands inside the request it rode in on.
+        // Identical heap operations either way; only the clock moves.
+        if bounded {
+            slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        let target = grow_cache(slot, plan.cache);
+        grow_index(slot, cfg, target);
+        if !bounded {
+            slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
+        }
     } else {
         slot.ledger.failed += 1;
+        slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
     }
-    slot.lat_ns.push(t0.elapsed().as_nanos() as u64);
     Served::Done
 }
 
@@ -541,9 +645,11 @@ fn attempt_request(
 
 /// Appends `bytes` to the session's long-lived cache region. A fault
 /// here is tolerated (the cache just grows slower) but still tallied.
-fn grow_cache(slot: &mut SessionSlot, bytes: u32) {
+/// Returns the freshly cached block's address ([`Addr::NULL`] when
+/// nothing was cached) so the index can point at it.
+fn grow_cache(slot: &mut SessionSlot, bytes: u32) -> Addr {
     if bytes == 0 {
-        return;
+        return Addr::NULL;
     }
     if slot.cache.is_none() {
         match slot.rt.try_new_region() {
@@ -551,16 +657,84 @@ fn grow_cache(slot: &mut SessionSlot, bytes: u32) {
             Err(e) => {
                 slot.ledger.faults += 1;
                 slot.digest = fold(slot.digest, err_fold(e));
-                return;
+                return Addr::NULL;
             }
         }
     }
     let cr = slot.cache.expect("just ensured");
     match slot.rt.try_rstralloc(cr, bytes) {
-        Ok(a) => slot.digest = fold(slot.digest, u64::from(a.0)),
+        Ok(a) => {
+            slot.digest = fold(slot.digest, u64::from(a.0));
+            a
+        }
         Err(e) => {
             slot.ledger.faults += 1;
             slot.digest = fold(slot.digest, err_fold(e));
+            Addr::NULL
+        }
+    }
+}
+
+/// Appends [`ServiceConfig::index_allocs`] pointer-bearing entries to
+/// the session's rotating index region, each pointing (twice, through
+/// counted write barriers) at the request's cache block, then rotates —
+/// deletes the whole index through the deletion budget — every
+/// [`ServiceConfig::index_rotate`] completions. Allocation faults are
+/// tolerated exactly like cache growth.
+fn grow_index(slot: &mut SessionSlot, cfg: ServiceConfig, target: Addr) {
+    if cfg.index_allocs == 0 {
+        return;
+    }
+    if slot.index.is_none() {
+        match slot.rt.try_new_region() {
+            Ok(r) => slot.index = Some(r),
+            Err(e) => {
+                slot.ledger.faults += 1;
+                slot.digest = fold(slot.digest, err_fold(e));
+                return;
+            }
+        }
+    }
+    let ir = slot.index.expect("just ensured");
+    for _ in 0..cfg.index_allocs {
+        match slot.rt.try_ralloc(ir, slot.index_desc) {
+            Ok(a) => {
+                if !target.is_null() {
+                    slot.rt.store_ptr_region(a + 4, target);
+                    slot.rt.store_ptr_region(a + 12, target);
+                }
+                slot.digest = fold(slot.digest, u64::from(a.0));
+            }
+            Err(e) => {
+                slot.ledger.faults += 1;
+                slot.digest = fold(slot.digest, err_fold(e));
+            }
+        }
+    }
+    slot.since_rotate += 1;
+    if cfg.index_rotate > 0 && slot.since_rotate >= cfg.index_rotate {
+        slot.since_rotate = 0;
+        slot.index = None;
+        drain_delete(slot, ir);
+    }
+}
+
+/// Deletes `r` through the slot runtime's configured budget, timing
+/// every increment as one recorded pause. With an unbounded budget this
+/// is one increment — the whole stop-the-world deletion as a single
+/// pause entry.
+fn drain_delete(slot: &mut SessionSlot, r: RegionId) {
+    loop {
+        let t = Instant::now();
+        let step = slot.rt.try_delete_region_step(r);
+        slot.pause_ns.push(t.elapsed().as_nanos() as u64);
+        match step {
+            Ok(region_core::DeleteProgress::Done) => return,
+            Ok(region_core::DeleteProgress::Parked) => {}
+            Err(e) => {
+                debug_assert!(false, "index region delete failed: {e:?}");
+                return;
+            }
         }
     }
 }
@@ -585,6 +759,10 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
                         .fail_allocs_one_in(cfg.fault_one_in),
                 );
             }
+            rt.set_delete_budget(cfg.delete_budget);
+            // struct idx { int tag; struct ent @hot; int pad; struct ent @cold; }
+            let index_desc =
+                rt.register_type(region_core::TypeDescriptor::new("idx", 16, vec![4, 12]));
             Arc::new(Mutex::new(SessionSlot {
                 rt,
                 cells: (0..4).map(|_| pool.register_cell()).collect(),
@@ -595,8 +773,14 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
                 in_flight: None,
                 poisoned: Vec::new(),
                 cache: None,
+                index: None,
+                index_desc,
+                since_rotate: 0,
                 round_start_pages: 0,
                 lat_ns: Vec::new(),
+                pause_ns: Vec::new(),
+                queue_ns: Vec::new(),
+                epoch: None,
             }))
         })
         .collect();
@@ -645,9 +829,37 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
                         }
                         while s.next_req < hi {
                             let req = s.next_req;
+                            // Open-loop arrivals: request `req` is due at
+                            // `epoch + req * period + jitter` on a seeded
+                            // schedule that ignores service times. Early →
+                            // sleep until due (zero queueing delay); late →
+                            // the overshoot is queueing delay, measured
+                            // separately from service time. Never touches
+                            // the heap, so the books are period-invariant.
+                            let mut queued = 0u64;
+                            if cfg.open_loop_period_ns > 0 {
+                                let epoch = *s.epoch.get_or_insert_with(Instant::now);
+                                let mut arng = Rng::seeded(fold(
+                                    fold(cfg.seed ^ 0x0a11, u64::from(session)),
+                                    u64::from(req),
+                                ));
+                                let jitter = arng.below(cfg.open_loop_period_ns / 2 + 1);
+                                let due = u64::from(req) * cfg.open_loop_period_ns + jitter;
+                                let now = epoch.elapsed().as_nanos() as u64;
+                                if now < due {
+                                    std::thread::sleep(Duration::from_nanos(due - now));
+                                } else {
+                                    queued = now - due;
+                                }
+                            }
                             match serve_one(&mut s, &mut t, &pool, cfg, base, session, req, attempt)
                             {
-                                Served::Done => s.next_req += 1,
+                                Served::Done => {
+                                    if cfg.open_loop_period_ns > 0 {
+                                        s.queue_ns.push(queued);
+                                    }
+                                    s.next_req += 1;
+                                }
                                 Served::PanicNow => {
                                     panic_now = true;
                                     break;
@@ -748,9 +960,16 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
     let mut fleet = Ledger::default();
     let mut per_session = Vec::with_capacity(slots.len());
     let mut lat_ns = Vec::new();
+    let mut pause_ns = Vec::new();
+    let mut queue_ns = Vec::new();
     let mut final_pages = 0u64;
     for slot in &slots {
         let mut s = lock(slot);
+        // Index before cache: index entries hold counted references into
+        // the cache, so the cache delete would be refused while they live.
+        if let Some(ir) = s.index.take() {
+            drain_delete(&mut s, ir);
+        }
         if let Some(cr) = s.cache.take() {
             let del = s.rt.try_delete_region(cr);
             debug_assert!(del.is_ok(), "cache region delete blocked: {del:?}");
@@ -763,8 +982,12 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
         digest = fold(digest, s.digest);
         final_pages += own_pages(&s.rt);
         lat_ns.append(&mut s.lat_ns);
+        pause_ns.append(&mut s.pause_ns);
+        queue_ns.append(&mut s.queue_ns);
     }
     lat_ns.sort_unstable();
+    pause_ns.sort_unstable();
+    queue_ns.sort_unstable();
     assert!(fleet.conserves(), "final ledger does not conserve: {fleet:?}");
     assert_eq!(
         fleet.submitted,
@@ -782,6 +1005,8 @@ pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
         reaped,
         sanitize_runs,
         lat_ns,
+        pause_ns,
+        queue_ns,
         elapsed: started.elapsed(),
     }
 }
@@ -820,6 +1045,8 @@ mod tests {
             fault_one_in: 7,
             panic_one_in: 11,
             backoff: Duration::from_micros(1),
+            index_allocs: 2,
+            index_rotate: 6, // several in-run rotations across 24 requests
             ..ServiceConfig::full(seed)
         }
     }
@@ -881,5 +1108,38 @@ mod tests {
         assert_eq!(r.lat_ns.len() as u64, r.ledger.submitted);
         assert!(r.p50_us() <= r.p99_us() && r.p99_us() <= r.p999_us());
         assert!(r.throughput_rps() > 0.0);
+        assert!(!r.pause_ns.is_empty(), "index rotation never paused the service");
+        assert!(r.pause_p50_us() <= r.pause_p99_us());
+        assert!(r.queue_ns.is_empty(), "closed-loop run measured queueing delay");
+    }
+
+    #[test]
+    fn delete_budget_does_not_change_the_books() {
+        install_service_panic_filter();
+        let base = run_service(&tiny(13));
+        assert!(base.pause_ns.len() as u64 >= 2, "no rotations to compare");
+        for budget in [64, 1] {
+            let cfg = ServiceConfig { delete_budget: budget, ..tiny(13) };
+            let r = run_service(&cfg);
+            assert_eq!(base.encode_books(), r.encode_books(), "budget={budget} diverged");
+            assert!(r.pause_ns.len() >= base.pause_ns.len());
+            if budget == 1 {
+                assert!(
+                    r.pause_ns.len() > base.pause_ns.len(),
+                    "budget=1 produced no extra increments"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_measures_queueing_without_touching_the_books() {
+        install_service_panic_filter();
+        let closed = run_service(&tiny(21));
+        let cfg = ServiceConfig { open_loop_period_ns: 5_000, ..tiny(21) };
+        let open = run_service(&cfg);
+        assert_eq!(closed.encode_books(), open.encode_books(), "arrival timing leaked into books");
+        assert_eq!(open.queue_ns.len() as u64, open.ledger.submitted);
+        assert!(open.queue_p50_us() <= open.queue_p99_us());
     }
 }

@@ -91,6 +91,31 @@ pub struct SafetyCosts {
     pub deletes_failed: u64,
 }
 
+/// Attribution of `deleteregion` stack-scan work by outcome.
+///
+/// [`SafetyCosts::frames_scanned`] / [`SafetyCosts::slots_scanned`] charge
+/// every scan the runtime performs — the paper's cost model prices a
+/// refused `deleteregion` exactly like a successful one, because the work
+/// was done either way. For tuning, though, the two populations matter
+/// separately: a refused delete's scan is wasted work that the next
+/// attempt will repeat in full, so an incremental deletion that keeps
+/// getting blocked re-pays its scan on every retry. These counters split
+/// out the refused share.
+///
+/// They are host-side diagnostics, deliberately **not** part of the
+/// serialized `SafetyCosts` block (the RSNP v1 sixteen-counter layout is
+/// frozen for byte compatibility); a restored runtime starts them at
+/// zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanAttribution {
+    /// Frames scanned by `deleteregion` attempts that were then refused
+    /// (`DeleteBlocked`). Subset of [`SafetyCosts::frames_scanned`].
+    pub refused_frames: u64,
+    /// Stack slots examined by refused attempts. Subset of
+    /// [`SafetyCosts::slots_scanned`].
+    pub refused_slots: u64,
+}
+
 impl SafetyCosts {
     /// Total simulated instructions attributable to safety.
     pub fn total_instrs(&self) -> u64 {

@@ -37,6 +37,16 @@ pub enum RegionError {
         /// The dead region.
         region: RegionId,
     },
+    /// An operation named a region that is *doomed* — an incremental
+    /// `deleteregion` has begun (the zero-reference proof succeeded and
+    /// the region is parked mid-cleanup) but not yet finished. Unlike
+    /// [`RegionError::RegionDeleted`] the pages still exist, but the
+    /// region can never become usable again; allocation into it is a
+    /// typed refusal, never a panic.
+    RegionDoomed {
+        /// The parked region.
+        region: RegionId,
+    },
     /// `try_delete_region` found external references after a full stack
     /// scan; nothing was freed and the region is still usable (§4.2).
     DeleteBlocked {
@@ -102,6 +112,9 @@ impl fmt::Display for RegionError {
             ),
             RegionError::RegionDeleted { region } => {
                 write!(f, "use of deleted region {region:?}")
+            }
+            RegionError::RegionDoomed { region } => {
+                write!(f, "use of doomed region {region:?}: incremental deletion in progress")
             }
             RegionError::DeleteBlocked { region, rc } => write!(
                 f,
@@ -224,6 +237,7 @@ mod tests {
         // trap-message tests) match on.
         let r = RegionId(3);
         assert!(RegionError::RegionDeleted { region: r }.to_string().contains("use of deleted region"));
+        assert!(RegionError::RegionDoomed { region: r }.to_string().contains("use of doomed region"));
         assert!(RegionError::ObjectTooLarge { bytes: 9000 }.to_string().contains("exceeds one page"));
         assert!(RegionError::SizeOverflow { count: u32::MAX, stride: 8 }
             .to_string()

@@ -72,7 +72,7 @@ pub mod world;
 
 pub use arena::Arena;
 pub use costs::{
-    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
+    SafetyCosts, ScanAttribution, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
     GLOBAL_WRITE_INSTRS, REGION_WRITE_INSTRS, SCAN_FRAME_INSTRS, SCAN_SLOT_INSTRS,
     UNKNOWN_WRITE_INSTRS,
 };
@@ -80,7 +80,7 @@ pub use descriptor::{DescId, DescriptorTable, TypeDescriptor};
 pub use error::{ParRegionError, RegionError};
 pub use fault::{FaultPlan, FaultSite};
 pub use pressure::{Admission, AdmissionController, Watermarks};
-pub use runtime::{RegionConfig, RegionId, RegionRuntime, SafetyMode};
+pub use runtime::{DeleteProgress, RegionConfig, RegionId, RegionRuntime, SafetyMode};
 pub use sanitize::{MirrorMismatch, RcMismatch, RcViolation, SanitizeReport};
 pub use snapshot::{SnapReader, SnapWriter, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use stats::AllocStats;

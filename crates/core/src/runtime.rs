@@ -9,12 +9,12 @@
 //! region's own objects to release the counts they hold on other regions
 //! (§4.2.4).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use simheap::{align_up, Addr, HeapBackend, HeapConfig, HeapImage, SimHeap, PAGE_SIZE, WORD};
 
 use crate::costs::{
-    SafetyCosts, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
+    SafetyCosts, ScanAttribution, CLEANUP_OBJECT_INSTRS, CLEANUP_PTR_INSTRS, ELIDED_WRITE_INSTRS,
     GLOBAL_WRITE_INSTRS, REGION_WRITE_INSTRS, UNKNOWN_WRITE_INSTRS,
 };
 use crate::descriptor::{DescId, DescriptorTable, TypeDescriptor};
@@ -106,16 +106,76 @@ impl BumpState {
     }
 }
 
+/// Liveness of a region slot. Historically a boolean; incremental
+/// deletion adds the middle state: a *parked* region has passed the
+/// zero-reference proof (or skipped it, mid-scan) but still holds pages
+/// while its deletion is resumed one budgeted increment at a time. The
+/// resumable work itself lives in `RegionRuntime::deletions`, keyed by
+/// region index — a region is `Parked` iff that map has an entry for it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Liveness {
+    Live,
+    /// Deletion in progress. `scanning` is true only during the
+    /// stack-scan phase, where the region's own count is still being
+    /// maintained exactly (a scanned local may yet block the delete);
+    /// from cleanup onward any count traffic on the region is a misuse.
+    Parked { scanning: bool },
+    Dead,
+}
+
 #[derive(Debug)]
 struct RegionInfo {
     rc: i64,
-    live: bool,
+    liveness: Liveness,
     normal: BumpState,
     string: BumpState,
     /// Requested bytes (rounded to four) allocated in this region.
     bytes: u64,
     /// Number of allocations in this region.
     allocs: u64,
+}
+
+/// Progress of one incremental deletion step
+/// ([`RegionRuntime::try_delete_region_step`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeleteProgress {
+    /// The region is fully deleted; its pages are back in the pool.
+    Done,
+    /// The budget ran out mid-phase; the region is parked and the next
+    /// step resumes exactly where this one stopped.
+    Parked,
+}
+
+/// Resumable state of one parked incremental deletion. Serialized into
+/// `RSNP` snapshots alongside the region's liveness byte, so a
+/// kill-and-restore mid-deletion replays the remaining increments
+/// exactly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct DeletionState {
+    pub(crate) phase: DeletePhase,
+}
+
+/// The phase split of an incremental `deleteregion`: bring the doomed
+/// region's count up to date (stack scan), release the counts its
+/// objects hold on other regions (the Figure 7 walk, driven by an
+/// explicit mark stack instead of nested loops), then return pages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum DeletePhase {
+    /// Scanning unscanned stack frames, one frame per work unit. The
+    /// `attempt_*` totals track the scan work done by *this* delete
+    /// attempt so a refusal can be attributed
+    /// ([`crate::ScanAttribution`]).
+    ScanStack { attempt_frames: u64, attempt_slots: u64 },
+    /// The cleanup walk. `marks` is the explicit mark stack: one
+    /// `(page, start, cursor)` entry per remaining normal page, pushed
+    /// in reverse page order so popping reproduces the monolithic walk
+    /// order; `cursor` (≥ `start`) is the next unprocessed object-header
+    /// offset on the top entry.
+    Cleanup { marks: Vec<(Addr, u32, u32)> },
+    /// Returning pages to the pool, stored in reverse release order
+    /// (normal pages first, then string pages, exactly as the monolithic
+    /// path releases them).
+    ReturnPages { pages: Vec<Addr> },
 }
 
 /// A stack frame of region-pointer locals (see `stack.rs`).
@@ -195,6 +255,19 @@ pub struct RegionRuntime<H: HeapBackend = SimHeap> {
     /// (host-side bookkeeping; lets the sanitizer recompute the global
     /// contribution to reference counts exactly).
     global_ptr_locs: BTreeSet<u32>,
+    // --- incremental deletion ---
+    /// Work units one [`RegionRuntime::try_delete_region_step`] may spend
+    /// before parking (`u64::MAX` = unbounded, the historical monolithic
+    /// behavior). One unit ≈ one frame scanned, one object's counts
+    /// released, or one page returned. Host-side tuning state: not
+    /// serialized, restored runtimes default to unbounded.
+    delete_budget: u64,
+    /// Parked deletions by region index (invariant: an entry exists iff
+    /// the region's liveness is `Parked`).
+    deletions: BTreeMap<u32, DeletionState>,
+    /// Refused-scan attribution ([`ScanAttribution`]); host-side
+    /// diagnostics, not serialized.
+    scan_attr: ScanAttribution,
 }
 
 impl<H: HeapBackend> std::fmt::Debug for RegionRuntime<H> {
@@ -257,6 +330,9 @@ impl<H: HeapBackend> RegionRuntime<H> {
             faults: FaultPlan::new(),
             violations: Vec::new(),
             global_ptr_locs: BTreeSet::new(),
+            delete_budget: u64::MAX,
+            deletions: BTreeMap::new(),
+            scan_attr: ScanAttribution::default(),
         }
     }
 
@@ -534,7 +610,7 @@ impl<H: HeapBackend> RegionRuntime<H> {
         let page = self.try_acquire_page(Some(id))?;
         self.regions.push(RegionInfo {
             rc: 0,
-            live: true,
+            liveness: Liveness::Live,
             normal: BumpState::default(),
             string: BumpState::default(),
             bytes: 0,
@@ -566,13 +642,52 @@ impl<H: HeapBackend> RegionRuntime<H> {
     /// Panics if `r` was deleted.
     pub fn rc(&self, r: RegionId) -> i64 {
         let info = &self.regions[r.0 as usize];
-        assert!(info.live, "rc of deleted region {r:?}");
+        assert!(info.liveness != Liveness::Dead, "rc of deleted region {r:?}");
         info.rc
     }
 
-    /// `true` if the region has not been deleted.
+    /// `true` if the region is fully live: not deleted and not parked
+    /// mid-incremental-deletion.
     pub fn is_live(&self, r: RegionId) -> bool {
-        self.regions[r.0 as usize].live
+        self.regions[r.0 as usize].liveness == Liveness::Live
+    }
+
+    /// `true` if the region is parked mid-incremental-deletion: doomed
+    /// (no allocation can succeed) but still holding pages until the
+    /// remaining [`RegionRuntime::try_delete_region_step`] increments run.
+    pub fn is_parked(&self, r: RegionId) -> bool {
+        matches!(self.regions[r.0 as usize].liveness, Liveness::Parked { .. })
+    }
+
+    /// Region indices currently parked mid-deletion, in index order.
+    pub fn parked_regions(&self) -> Vec<RegionId> {
+        self.deletions.keys().map(|&i| RegionId(i)).collect()
+    }
+
+    /// The incremental-deletion work budget
+    /// (see [`RegionRuntime::set_delete_budget`]).
+    pub fn delete_budget(&self) -> u64 {
+        self.delete_budget
+    }
+
+    /// Sets the work-increment budget for incremental deletion: the
+    /// maximum number of work units — frames scanned, objects whose
+    /// counts are released, pages returned — one
+    /// [`RegionRuntime::try_delete_region_step`] call may spend before
+    /// parking the region. `u64::MAX` (the default) keeps every
+    /// `deleteregion` monolithic and bit-identical to the historical
+    /// behavior. The budget is host-side tuning state: it is not
+    /// serialized into snapshots, and the final books of a deletion are
+    /// identical under any budget.
+    pub fn set_delete_budget(&mut self, budget: u64) {
+        assert!(budget > 0, "delete budget must be positive");
+        self.delete_budget = budget;
+    }
+
+    /// Refused-scan attribution (see [`ScanAttribution`]). Host-side
+    /// diagnostics: not serialized, zero after a restore.
+    pub fn scan_attribution(&self) -> ScanAttribution {
+        self.scan_attr
     }
 
     /// Bump-allocates `total` bytes (word-aligned) in the given allocator
@@ -581,8 +696,10 @@ impl<H: HeapBackend> RegionRuntime<H> {
     /// acquisition failure.
     fn try_bump(&mut self, r: RegionId, total: u32, string: bool) -> Result<Addr, RegionError> {
         debug_assert_eq!(total % WORD, 0);
-        if !self.regions[r.0 as usize].live {
-            return Err(RegionError::RegionDeleted { region: r });
+        match self.regions[r.0 as usize].liveness {
+            Liveness::Live => {}
+            Liveness::Parked { .. } => return Err(RegionError::RegionDoomed { region: r }),
+            Liveness::Dead => return Err(RegionError::RegionDeleted { region: r }),
         }
         if total > PAGE_SIZE {
             return Err(RegionError::ObjectTooLarge { bytes: total });
@@ -755,8 +872,18 @@ impl<H: HeapBackend> RegionRuntime<H> {
     // are recorded as violations and surfaced by `sanitize()` — a faulted
     // benchmark cell or chaos step must not kill the whole run.
 
+    // A region parked in the stack-scan phase still maintains exact
+    // counts (its own scan may yet find a blocking local); from cleanup
+    // onward — and once dead — any count traffic on it is a misuse.
+    fn counts_maintained(&self, r: RegionId) -> bool {
+        matches!(
+            self.regions[r.0 as usize].liveness,
+            Liveness::Live | Liveness::Parked { scanning: true }
+        )
+    }
+
     pub(crate) fn inc_rc(&mut self, r: RegionId) {
-        if !self.regions[r.0 as usize].live {
+        if !self.counts_maintained(r) {
             self.violations.push(RcViolation::IncOfDeleted { region: r });
             return;
         }
@@ -764,7 +891,7 @@ impl<H: HeapBackend> RegionRuntime<H> {
     }
 
     pub(crate) fn dec_rc(&mut self, r: RegionId) {
-        if !self.regions[r.0 as usize].live {
+        if !self.counts_maintained(r) {
             self.violations.push(RcViolation::DecOfDeleted { region: r });
             return;
         }
@@ -964,39 +1091,278 @@ impl<H: HeapBackend> RegionRuntime<H> {
     ///
     /// In unsafe mode deletion is unconditional.
     pub fn try_delete_region(&mut self, r: RegionId) -> Result<(), RegionError> {
-        if !self.regions[r.0 as usize].live {
+        if self.regions[r.0 as usize].liveness == Liveness::Dead {
             return Err(RegionError::RegionDeleted { region: r });
         }
-        if self.is_safe() {
-            self.scan_stack();
-            let rc = self.regions[r.0 as usize].rc;
-            if rc != 0 {
-                self.costs.deletes_failed += 1;
-                self.unscan_top();
-                return Err(RegionError::DeleteBlocked { region: r, rc });
+        if self.delete_budget == u64::MAX
+            && self.regions[r.0 as usize].liveness == Liveness::Live
+        {
+            // Monolithic fast path, kept verbatim: with an unbounded
+            // budget the historical operation *order* (scan, count
+            // check, cleanup walk, page release, unscan) is part of the
+            // observable surface — golden access traces record it.
+            if self.is_safe() {
+                let (f, s) = self.scan_stack();
+                let rc = self.regions[r.0 as usize].rc;
+                if rc != 0 {
+                    self.costs.deletes_failed += 1;
+                    self.scan_attr.refused_frames += f;
+                    self.scan_attr.refused_slots += s;
+                    self.unscan_top();
+                    return Err(RegionError::DeleteBlocked { region: r, rc });
+                }
+                self.cleanup_region(r);
+                self.costs.deletes += 1;
             }
-            self.cleanup_region(r);
-            self.costs.deletes += 1;
+            // Release every page of both allocators.
+            let info = &mut self.regions[r.0 as usize];
+            info.liveness = Liveness::Dead;
+            let pages: Vec<Addr> = info
+                .normal
+                .pages
+                .drain(..)
+                .chain(info.string.pages.drain(..))
+                .map(|(p, _)| p)
+                .collect();
+            let bytes = info.bytes;
+            for p in pages {
+                self.release_page(p);
+            }
+            self.stats.on_region_deleted(bytes);
+            if self.is_safe() {
+                self.unscan_top();
+            }
+            return Ok(());
         }
-        // Release every page of both allocators.
-        let info = &mut self.regions[r.0 as usize];
-        info.live = false;
-        let pages: Vec<Addr> = info
-            .normal
-            .pages
-            .drain(..)
-            .chain(info.string.pages.drain(..))
-            .map(|(p, _)| p)
-            .collect();
-        let bytes = info.bytes;
-        for p in pages {
-            self.release_page(p);
+        // Bounded budget (or resuming a parked deletion): run the
+        // incremental machine to completion in place.
+        loop {
+            match self.try_delete_region_step(r)? {
+                DeleteProgress::Done => return Ok(()),
+                DeleteProgress::Parked => {}
+            }
         }
-        self.stats.on_region_deleted(bytes);
-        if self.is_safe() {
-            self.unscan_top();
+    }
+
+    /// Runs **one increment** of an incremental `deleteregion` on `r`,
+    /// spending at most [`RegionRuntime::delete_budget`] work units, and
+    /// parks the region if the work is not finished.
+    ///
+    /// The deletion is a resumable state machine
+    /// ([`DeletePhase`]): scan the shadow stack one frame at a time,
+    /// then walk the doomed region's objects off an explicit mark stack
+    /// decrementing outgoing references (Figure 7), then return pages to
+    /// the pool one at a time. The books balance at *every* increment
+    /// boundary — [`RegionRuntime::sanitize`] is clean between any two
+    /// steps — and a parked region refuses allocation with
+    /// [`RegionError::RegionDoomed`].
+    ///
+    /// The zero-reference check happens exactly once, in the same
+    /// increment that scans the last stack frame; a refusal
+    /// ([`RegionError::DeleteBlocked`]) revives the region to fully
+    /// `Live` with nothing freed, exactly like the monolithic path.
+    ///
+    /// Returns [`DeleteProgress::Done`] when the region is gone and
+    /// [`DeleteProgress::Parked`] when budget ran out mid-phase.
+    pub fn try_delete_region_step(&mut self, r: RegionId) -> Result<DeleteProgress, RegionError> {
+        let state = match self.regions[r.0 as usize].liveness {
+            Liveness::Dead => return Err(RegionError::RegionDeleted { region: r }),
+            Liveness::Live => {
+                if !self.is_safe() {
+                    // Unsafe mode has no counts to prove or release:
+                    // deletion is unconditional and the only work is
+                    // handing pages back, which is still budgeted.
+                    let info = &mut self.regions[r.0 as usize];
+                    info.liveness = Liveness::Parked { scanning: false };
+                    let mut pages: Vec<Addr> = info
+                        .normal
+                        .pages
+                        .drain(..)
+                        .chain(info.string.pages.drain(..))
+                        .map(|(p, _)| p)
+                        .collect();
+                    pages.reverse(); // popped back-to-front below
+                    DeletionState { phase: DeletePhase::ReturnPages { pages } }
+                } else {
+                    self.regions[r.0 as usize].liveness = Liveness::Parked { scanning: true };
+                    DeletionState {
+                        phase: DeletePhase::ScanStack { attempt_frames: 0, attempt_slots: 0 },
+                    }
+                }
+            }
+            Liveness::Parked { .. } => self
+                .deletions
+                .remove(&r.0)
+                .expect("parked region has a checked-out deletion state"),
+        };
+        match self.run_increment(r, state) {
+            Ok(Some(state)) => {
+                self.deletions.insert(r.0, state);
+                Ok(DeleteProgress::Parked)
+            }
+            Ok(None) => Ok(DeleteProgress::Done),
+            Err(e) => Err(e),
         }
-        Ok(())
+    }
+
+    /// Body of one increment: spend up to `delete_budget` units on
+    /// `state`, returning `Some(state)` to park or `None` when the
+    /// deletion completed. Phase transitions within one increment are
+    /// free; every unit of real work (a frame scanned, an object's
+    /// fields released, a page returned) is charged.
+    fn run_increment(
+        &mut self,
+        r: RegionId,
+        state: DeletionState,
+    ) -> Result<Option<DeletionState>, RegionError> {
+        let mut budget = self.delete_budget;
+        let mut phase = state.phase;
+        loop {
+            match phase {
+                DeletePhase::ScanStack { mut attempt_frames, mut attempt_slots } => {
+                    while self.hwm < self.frames.len() {
+                        if budget == 0 {
+                            return Ok(Some(DeletionState {
+                                phase: DeletePhase::ScanStack { attempt_frames, attempt_slots },
+                            }));
+                        }
+                        let slots = self.scan_one_frame();
+                        attempt_frames += 1;
+                        attempt_slots += u64::from(slots);
+                        budget -= 1;
+                    }
+                    // Count check and unscan ride free with the final
+                    // frame: the scan-complete increment always ends
+                    // with the newest frame unscanned, so invariant (*)
+                    // holds at every park point.
+                    let rc = self.regions[r.0 as usize].rc;
+                    if rc != 0 {
+                        self.costs.deletes_failed += 1;
+                        self.scan_attr.refused_frames += attempt_frames;
+                        self.scan_attr.refused_slots += attempt_slots;
+                        self.regions[r.0 as usize].liveness = Liveness::Live;
+                        self.unscan_top();
+                        return Err(RegionError::DeleteBlocked { region: r, rc });
+                    }
+                    self.regions[r.0 as usize].liveness = Liveness::Parked { scanning: false };
+                    self.unscan_top();
+                    // Mark stack, pushed in reverse so pops replay the
+                    // monolithic page order. Each mark is (page, start
+                    // offset, cursor); the cursor resumes mid-page.
+                    let mut marks: Vec<(Addr, u32, u32)> = self.regions[r.0 as usize]
+                        .normal
+                        .pages
+                        .iter()
+                        .map(|&(p, start)| (p, start, start))
+                        .collect();
+                    marks.reverse();
+                    phase = DeletePhase::Cleanup { marks };
+                }
+                DeletePhase::Cleanup { mut marks } => {
+                    while let Some(&(page, start, cursor)) = marks.last() {
+                        if budget == 0 {
+                            return Ok(Some(DeletionState {
+                                phase: DeletePhase::Cleanup { marks },
+                            }));
+                        }
+                        if cursor == start {
+                            self.costs.cleanup_pages += 1;
+                        }
+                        let cur = page + cursor;
+                        let end = page + PAGE_SIZE;
+                        if !(cur + WORD <= end) {
+                            marks.pop();
+                            budget -= 1;
+                            continue;
+                        }
+                        let hdr = self.heap.load_u32_fast(cur);
+                        if hdr == 0 {
+                            // "the end of unfilled pages is marked with
+                            // a NULL"
+                            marks.pop();
+                            budget -= 1;
+                            continue;
+                        }
+                        // One object is processed atomically — its
+                        // header decode and every field release happen
+                        // in this increment — and charged 1 + the
+                        // number of pointer fields released.
+                        self.costs.cleanup_objects += 1;
+                        self.costs.cleanup_instrs += CLEANUP_OBJECT_INSTRS;
+                        let next = if hdr & ARRAY_FLAG != 0 {
+                            let desc = DescId((hdr & !ARRAY_FLAG) - 1);
+                            let n = self.heap.load_u32_fast(cur + WORD);
+                            let stride = self.heap.load_u32_fast(cur + 2 * WORD);
+                            let data = cur + 3 * WORD;
+                            let offsets = self.descs.get(desc).ptr_offsets().to_vec();
+                            let all_null = match offsets[..] {
+                                [off] if n > 1 && stride > 0 => {
+                                    (0..n).all(|i| self.heap.peek_u32(data + i * stride + off) == 0)
+                                }
+                                _ => false,
+                            };
+                            if all_null {
+                                self.costs.cleanup_ptrs += u64::from(n);
+                                self.costs.cleanup_instrs += u64::from(n) * CLEANUP_PTR_INSTRS;
+                                self.heap.load_u32_range(data + offsets[0], n, stride);
+                                budget = budget.saturating_sub(u64::from(n));
+                            } else {
+                                for i in 0..n {
+                                    for &off in &offsets {
+                                        self.cleanup_release(r, data + i * stride + off);
+                                    }
+                                }
+                                budget = budget
+                                    .saturating_sub(u64::from(n) * offsets.len() as u64);
+                            }
+                            data + n * stride
+                        } else {
+                            let desc = DescId(hdr - 1);
+                            let data = cur + WORD;
+                            let (size, offsets) = {
+                                let d = self.descs.get(desc);
+                                (d.size(), d.ptr_offsets().to_vec())
+                            };
+                            for &off in &offsets {
+                                self.cleanup_release(r, data + off);
+                            }
+                            budget = budget.saturating_sub(offsets.len() as u64);
+                            data + align_up(size, WORD)
+                        };
+                        budget = budget.saturating_sub(1);
+                        marks.last_mut().unwrap().2 = next - page;
+                    }
+                    self.costs.deletes += 1;
+                    let info = &mut self.regions[r.0 as usize];
+                    let mut pages: Vec<Addr> = info
+                        .normal
+                        .pages
+                        .drain(..)
+                        .chain(info.string.pages.drain(..))
+                        .map(|(p, _)| p)
+                        .collect();
+                    pages.reverse(); // popped back-to-front below
+                    phase = DeletePhase::ReturnPages { pages };
+                }
+                DeletePhase::ReturnPages { mut pages } => {
+                    while let Some(&p) = pages.last() {
+                        if budget == 0 {
+                            return Ok(Some(DeletionState {
+                                phase: DeletePhase::ReturnPages { pages },
+                            }));
+                        }
+                        self.release_page(p);
+                        pages.pop();
+                        budget -= 1;
+                    }
+                    let info = &mut self.regions[r.0 as usize];
+                    info.liveness = Liveness::Dead;
+                    let bytes = info.bytes;
+                    self.stats.on_region_deleted(bytes);
+                    return Ok(None);
+                }
+            }
+        }
     }
 
     /// The historical boolean form of [`RegionRuntime::try_delete_region`]:
@@ -1170,13 +1536,35 @@ impl<H: HeapBackend> RegionRuntime<H> {
         }
         // 3. Every live region's objects, via descriptors (read-only
         //    Figure 7 walk); sameregion pointers are not counted.
+        //
+        //    Parked regions route by deletion phase: before or during
+        //    the stack scan the region is still fully counted, so it
+        //    walks like a live one; mid-cleanup only the *unprocessed*
+        //    remainder (from each mark's cursor) still holds counts on
+        //    other regions — everything before the cursor has already
+        //    been released; once cleanup finished (pages draining back)
+        //    the region contributes nothing, like a dead one.
         for (i, info) in self.regions.iter().enumerate() {
-            if !info.live {
-                continue;
-            }
-            report.live_regions += 1;
+            let walk: Vec<(Addr, u32)> = match info.liveness {
+                Liveness::Dead => continue,
+                Liveness::Live => {
+                    report.live_regions += 1;
+                    info.normal.pages.clone()
+                }
+                Liveness::Parked { .. } => {
+                    report.parked_regions += 1;
+                    match &self.deletions.get(&(i as u32)).expect("parked region has state").phase
+                    {
+                        DeletePhase::ScanStack { .. } => info.normal.pages.clone(),
+                        DeletePhase::Cleanup { marks } => {
+                            marks.iter().map(|&(p, _, cursor)| (p, cursor)).collect()
+                        }
+                        DeletePhase::ReturnPages { .. } => continue,
+                    }
+                }
+            };
             let owner = RegionId(i as u32);
-            for &(page, start) in &info.normal.pages {
+            for &(page, start) in &walk {
                 let mut cur = page + start;
                 let end = page + PAGE_SIZE;
                 while cur + WORD <= end {
@@ -1221,7 +1609,10 @@ impl<H: HeapBackend> RegionRuntime<H> {
             }
         }
         for (i, info) in self.regions.iter().enumerate() {
-            if info.live && recomputed[i] != info.rc {
+            // Parked regions proved rc == 0 before cleanup began and
+            // nothing may point into them afterwards, so they are held
+            // to the same recount as live ones.
+            if info.liveness != Liveness::Dead && recomputed[i] != info.rc {
                 report.rc_mismatches.push(RcMismatch {
                     region: RegionId(i as u32),
                     recorded: info.rc,
@@ -1266,9 +1657,44 @@ impl<H: HeapBackend> RegionRuntime<H> {
         }
         // -- regions --
         w.u32(self.regions.len() as u32);
-        for info in &self.regions {
+        for (i, info) in self.regions.iter().enumerate() {
             w.i64(info.rc);
-            w.u8(u8::from(info.live));
+            // Liveness byte: 0 = dead, 1 = live (the historical bool,
+            // byte-identical when no deletion is parked), 2 = parked —
+            // followed by the phase payload so a restore resumes the
+            // deletion exactly where it parked.
+            match info.liveness {
+                Liveness::Dead => w.u8(0),
+                Liveness::Live => w.u8(1),
+                Liveness::Parked { .. } => {
+                    w.u8(2);
+                    let state =
+                        self.deletions.get(&(i as u32)).expect("parked region has state");
+                    match &state.phase {
+                        DeletePhase::ScanStack { attempt_frames, attempt_slots } => {
+                            w.u8(0);
+                            w.u64(*attempt_frames);
+                            w.u64(*attempt_slots);
+                        }
+                        DeletePhase::Cleanup { marks } => {
+                            w.u8(1);
+                            w.u32(marks.len() as u32);
+                            for &(page, start, cursor) in marks {
+                                w.u32(page.raw());
+                                w.u32(start);
+                                w.u32(cursor);
+                            }
+                        }
+                        DeletePhase::ReturnPages { pages } => {
+                            w.u8(2);
+                            w.u32(pages.len() as u32);
+                            for &p in pages {
+                                w.u32(p.raw());
+                            }
+                        }
+                    }
+                }
+            }
             for bump in [&info.normal, &info.string] {
                 w.u32(bump.pages.len() as u32);
                 for &(p, off) in &bump.pages {
@@ -1450,9 +1876,66 @@ impl<H: HeapBackend> RegionRuntime<H> {
         r.section("regions");
         let n_regions = r.u32()?;
         let mut regions = Vec::new();
-        for _ in 0..n_regions {
+        let mut deletions = BTreeMap::new();
+        for idx in 0..n_regions {
             let rc = r.i64()?;
-            let live = decode_bool(r)?;
+            // Liveness byte 2 = parked mid-deletion; its phase payload
+            // precedes the bump allocators in the stream, so decode it
+            // first and cross-validate once the page lists are known.
+            let mut parked_phase: Option<DeletePhase> = None;
+            let liveness = match r.u8()? {
+                0 => Liveness::Dead,
+                1 => Liveness::Live,
+                2 => {
+                    let phase = match r.u8()? {
+                        0 => DeletePhase::ScanStack {
+                            attempt_frames: r.u64()?,
+                            attempt_slots: r.u64()?,
+                        },
+                        1 => {
+                            let n = r.u32()?;
+                            if n >= (1 << 24) {
+                                return Err(r.malformed());
+                            }
+                            let mut marks = Vec::new();
+                            for _ in 0..n {
+                                let p = r.u32()?;
+                                let start = r.u32()?;
+                                let cursor = r.u32()?;
+                                let in_page = start <= cursor
+                                    && cursor <= PAGE_SIZE
+                                    && start % WORD == 0
+                                    && cursor % WORD == 0;
+                                if !page_ok(p) || !in_page {
+                                    return Err(r.malformed());
+                                }
+                                marks.push((Addr::new(p), start, cursor));
+                            }
+                            DeletePhase::Cleanup { marks }
+                        }
+                        2 => {
+                            let n = r.u32()?;
+                            if n >= (1 << 24) {
+                                return Err(r.malformed());
+                            }
+                            let mut pages = Vec::new();
+                            for _ in 0..n {
+                                let p = r.u32()?;
+                                if !page_ok(p) {
+                                    return Err(r.malformed());
+                                }
+                                pages.push(Addr::new(p));
+                            }
+                            DeletePhase::ReturnPages { pages }
+                        }
+                        _ => return Err(r.malformed()),
+                    };
+                    let scanning = matches!(phase, DeletePhase::ScanStack { .. });
+                    parked_phase = Some(phase);
+                    Liveness::Parked { scanning }
+                }
+                _ => return Err(r.malformed()),
+            };
             let mut bumps = [BumpState::default(), BumpState::default()];
             for b in &mut bumps {
                 let n = r.u32()?;
@@ -1472,7 +1955,47 @@ impl<H: HeapBackend> RegionRuntime<H> {
             let [normal, string] = bumps;
             let bytes = r.u64()?;
             let allocs = r.u64()?;
-            regions.push(RegionInfo { rc, live, normal, string, bytes, allocs });
+            if let Some(phase) = parked_phase {
+                // Only the page-return phase exists in unsafe mode (no
+                // counts to prove or release).
+                if mode == SafetyMode::Unsafe
+                    && !matches!(phase, DeletePhase::ReturnPages { .. })
+                {
+                    return Err(r.malformed());
+                }
+                match &phase {
+                    DeletePhase::ScanStack { .. } => {}
+                    DeletePhase::Cleanup { marks } => {
+                        // The mark stack is the still-unprocessed pages
+                        // in reverse, so reversed it must be a suffix
+                        // of the normal allocator's page list, and only
+                        // the top mark may sit mid-page.
+                        if marks.len() > normal.pages.len() {
+                            return Err(r.malformed());
+                        }
+                        let tail = &normal.pages[normal.pages.len() - marks.len()..];
+                        for (m, &(p, start)) in marks.iter().rev().zip(tail) {
+                            if m.0 != p || m.1 != start {
+                                return Err(r.malformed());
+                            }
+                        }
+                        for m in &marks[..marks.len().saturating_sub(1)] {
+                            if m.2 != m.1 {
+                                return Err(r.malformed());
+                            }
+                        }
+                    }
+                    DeletePhase::ReturnPages { .. } => {
+                        // Both allocators were drained when cleanup
+                        // finished; pages survive only in the phase.
+                        if !normal.pages.is_empty() || !string.pages.is_empty() {
+                            return Err(r.malformed());
+                        }
+                    }
+                }
+                deletions.insert(idx, DeletionState { phase });
+            }
+            regions.push(RegionInfo { rc, liveness, normal, string, bytes, allocs });
         }
         // -- page pool and page map --
         r.section("page-pool");
@@ -1635,6 +2158,13 @@ impl<H: HeapBackend> RegionRuntime<H> {
             faults,
             violations,
             global_ptr_locs,
+            // Host-side tuning knobs and diagnostics are deliberately
+            // not serialized: a restored runtime defaults to monolithic
+            // deletion (the caller re-applies its budget) and fresh
+            // attribution, while `deletions` was rebuilt above.
+            delete_budget: u64::MAX,
+            deletions,
+            scan_attr: ScanAttribution::default(),
         })
     }
 
@@ -1767,11 +2297,24 @@ impl<H: HeapBackend> RegionRuntime<H> {
     /// are exactly the invariants `try_bump`/`try_ralloc` establish.
     fn validate_object_walk(&self) -> Result<(), SnapshotError> {
         let bad = || SnapshotError::Malformed { section: "object-walk", offset: 0 };
-        for info in &self.regions {
-            if !info.live {
-                continue;
-            }
-            for &(page, start) in &info.normal.pages {
+        for (i, info) in self.regions.iter().enumerate() {
+            // Same phase routing as the sanitizer: a parked region's
+            // already-cleaned prefix no longer holds decodable objects,
+            // so only walk from each mark's cursor onward.
+            let walk: Vec<(Addr, u32)> = match info.liveness {
+                Liveness::Dead => continue,
+                Liveness::Live => info.normal.pages.clone(),
+                Liveness::Parked { .. } => {
+                    match &self.deletions.get(&(i as u32)).ok_or_else(bad)?.phase {
+                        DeletePhase::ScanStack { .. } => info.normal.pages.clone(),
+                        DeletePhase::Cleanup { marks } => {
+                            marks.iter().map(|&(p, _, cursor)| (p, cursor)).collect()
+                        }
+                        DeletePhase::ReturnPages { .. } => continue,
+                    }
+                }
+            };
+            for &(page, start) in &walk {
                 let mut cur = page + start;
                 let end = page + PAGE_SIZE;
                 while cur + WORD <= end {
@@ -2642,5 +3185,215 @@ mod tests {
             .expect("recorded violations are data, not inconsistency");
         assert_eq!(restored.violations(), rt.violations());
         assert_eq!(restored.capture_snapshot(), bytes);
+    }
+
+    /// A runtime with one deletable multi-page region full of
+    /// cross-region and same-region pointers, an array, string pages,
+    /// and scanned/unscanned stack frames — everything the deletion
+    /// state machine has to get right.
+    fn deletion_workload(budget: u64) -> (RegionRuntime, RegionId, RegionId) {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        rt.set_delete_budget(budget);
+        let keep = rt.new_region();
+        let doomed = rt.new_region();
+        let k = rt.ralloc(keep, d);
+        let mut last = Addr::NULL;
+        for i in 0..600u32 {
+            let a = rt.ralloc(doomed, d);
+            if i % 3 == 0 {
+                rt.store_ptr_region(a + 4, k); // doomed -> keep, counted
+            } else if last != Addr::NULL {
+                rt.store_ptr_region_same(a + 4, last);
+            }
+            last = a;
+        }
+        let arr = rt.rarrayalloc(doomed, 40, d);
+        rt.store_ptr_region(arr + 4, k);
+        let _ = rt.rstralloc(doomed, 3000);
+        rt.push_frame(4);
+        rt.set_local(0, k);
+        rt.push_frame(2);
+        (rt, keep, doomed)
+    }
+
+    #[test]
+    fn budget_one_deletion_matches_monolithic_bit_for_bit() {
+        let (mut mono, _, victim) = deletion_workload(u64::MAX);
+        let (mut inc, _, victim2) = deletion_workload(1);
+        assert!(mono.delete_region(victim));
+        let mut steps = 0u64;
+        loop {
+            match inc.try_delete_region_step(victim2).unwrap() {
+                DeleteProgress::Done => break,
+                DeleteProgress::Parked => {
+                    steps += 1;
+                    assert!(inc.is_parked(victim2));
+                    // Books balance at every single increment boundary.
+                    if steps % 25 == 0 {
+                        let rep = inc.sanitize();
+                        assert!(rep.is_clean(), "dirty books mid-deletion: {rep}");
+                        assert_eq!(rep.parked_regions, 1);
+                    }
+                }
+            }
+        }
+        assert!(steps > 100, "budget 1 must park many times, parked {steps}x");
+        assert!(!inc.is_parked(victim2));
+        assert_eq!(mono.stats(), inc.stats());
+        assert_eq!(mono.costs(), inc.costs());
+        assert_eq!(
+            mono.capture_snapshot(),
+            inc.capture_snapshot(),
+            "incremental and monolithic deletion must land on identical state"
+        );
+    }
+
+    #[test]
+    fn doomed_region_refuses_allocation_then_reads_as_deleted() {
+        let (mut rt, _, doomed) = deletion_workload(8);
+        assert_eq!(rt.try_delete_region_step(doomed).unwrap(), DeleteProgress::Parked);
+        assert!(rt.is_parked(doomed));
+        assert!(!rt.is_live(doomed));
+        assert!(matches!(
+            rt.try_rstralloc(doomed, 8),
+            Err(RegionError::RegionDoomed { .. })
+        ));
+        assert!(matches!(
+            rt.try_ralloc(doomed, DescId(0)),
+            Err(RegionError::RegionDoomed { .. })
+        ));
+        // `try_delete_region` on a parked region resumes it to the end.
+        rt.set_delete_budget(64);
+        rt.try_delete_region(doomed).unwrap();
+        assert!(matches!(
+            rt.try_rstralloc(doomed, 8),
+            Err(RegionError::RegionDeleted { .. })
+        ));
+        assert!(rt.sanitize().is_clean());
+    }
+
+    #[test]
+    fn blocked_budgeted_delete_revives_the_region_and_attributes_the_scan() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        rt.store_ptr_region(a + 4, b); // external ref into r2
+        rt.push_frame(2);
+        rt.set_local(0, b); // stack ref too, found by the scan
+        rt.set_delete_budget(1);
+        let err = rt.try_delete_region(r2).unwrap_err();
+        assert!(matches!(err, RegionError::DeleteBlocked { rc: 2, .. }), "{err:?}");
+        assert!(rt.is_live(r2), "refusal must fully revive the region");
+        assert!(!rt.is_parked(r2));
+        assert_eq!(rt.costs().deletes_failed, 1);
+        // Satellite: the refused scan is attributed separately from the
+        // total scan counters the paper's cost model charges.
+        assert_eq!(rt.scan_attribution().refused_frames, 1);
+        assert_eq!(rt.scan_attribution().refused_slots, 2);
+        assert_eq!(rt.costs().frames_scanned, 1);
+        // The revived region is fully usable and deletable once the
+        // blocking refs go away.
+        rt.store_ptr_region(a + 4, Addr::NULL);
+        rt.set_local(0, Addr::NULL);
+        rt.try_delete_region(r2).unwrap();
+        // A successful delete adds nothing to the refused attribution.
+        assert_eq!(rt.scan_attribution().refused_frames, 1);
+        assert!(rt.costs().frames_scanned > 1);
+        assert!(rt.sanitize().is_clean());
+    }
+
+    #[test]
+    fn monolithic_refusal_is_attributed_too() {
+        let mut rt = RegionRuntime::new_safe();
+        let d = list_desc(&mut rt);
+        let r1 = rt.new_region();
+        let r2 = rt.new_region();
+        let a = rt.ralloc(r1, d);
+        let b = rt.ralloc(r2, d);
+        rt.store_ptr_region(a + 4, b);
+        rt.push_frame(3);
+        assert!(!rt.delete_region(r2));
+        assert_eq!(rt.scan_attribution().refused_frames, 1);
+        assert_eq!(rt.scan_attribution().refused_slots, 3);
+    }
+
+    #[test]
+    fn parked_deletion_snapshots_resume_exactly() {
+        let (mut rt, _, doomed) = deletion_workload(7);
+        let mut boundaries = 0u64;
+        let mut finals: Vec<Vec<u8>> = Vec::new();
+        loop {
+            match rt.try_delete_region_step(doomed).unwrap() {
+                DeleteProgress::Done => break,
+                DeleteProgress::Parked => {
+                    boundaries += 1;
+                    if boundaries % 11 != 1 {
+                        continue; // sample boundaries, keep the test quick
+                    }
+                    let bytes = rt.capture_snapshot();
+                    let mut restored =
+                        RegionRuntime::restore_snapshot(&bytes).expect("parked state restores");
+                    assert_eq!(
+                        restored.capture_snapshot(),
+                        bytes,
+                        "capture(restore(s)) must be byte-for-byte s mid-deletion"
+                    );
+                    assert!(restored.is_parked(doomed));
+                    // The restored twin finishes the deletion on its own
+                    // (restore defaults to an unbounded budget; the parked
+                    // machine resumes regardless).
+                    restored.try_delete_region(doomed).unwrap();
+                    assert!(restored.sanitize().is_clean());
+                    finals.push(restored.capture_snapshot());
+                }
+            }
+        }
+        assert!(boundaries > 10, "expected many park points, got {boundaries}");
+        assert!(!finals.is_empty());
+        let original_final = rt.capture_snapshot();
+        for f in &finals {
+            assert_eq!(
+                *f, original_final,
+                "every kill-and-restore point must converge on the same end state"
+            );
+        }
+    }
+
+    #[test]
+    fn unsafe_mode_budgeted_delete_returns_pages_incrementally() {
+        let mut rt = RegionRuntime::new_unsafe();
+        rt.set_delete_budget(1);
+        let r = rt.new_region();
+        for _ in 0..4 {
+            let _ = rt.rstralloc(r, PAGE_SIZE / 2);
+        }
+        let pages_before = rt.free_pages.len();
+        // First step parks (several pages to return at one per step).
+        assert_eq!(rt.try_delete_region_step(r).unwrap(), DeleteProgress::Parked);
+        assert!(rt.is_parked(r));
+        assert!(matches!(rt.try_rstralloc(r, 8), Err(RegionError::RegionDoomed { .. })));
+        // Mid-return snapshot round-trips.
+        let bytes = rt.capture_snapshot();
+        let restored = RegionRuntime::restore_snapshot(&bytes).unwrap();
+        assert_eq!(restored.capture_snapshot(), bytes);
+        rt.try_delete_region(r).unwrap();
+        assert!(rt.free_pages.len() > pages_before);
+        assert_eq!(*rt.costs(), SafetyCosts::default(), "unsafe mode never counts");
+    }
+
+    #[test]
+    fn set_delete_budget_rejects_zero() {
+        let mut rt = RegionRuntime::new_safe();
+        assert_eq!(rt.delete_budget(), u64::MAX);
+        rt.set_delete_budget(64);
+        assert_eq!(rt.delete_budget(), 64);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.set_delete_budget(0)
+        }));
+        assert!(r.is_err(), "a zero budget could never make progress");
     }
 }

@@ -100,6 +100,10 @@ impl fmt::Display for RcViolation {
 pub struct SanitizeReport {
     /// Regions that were live (and therefore audited).
     pub live_regions: u64,
+    /// Regions parked mid-deletion (audited by deletion phase: fully
+    /// until cleanup starts, from the cleanup cursors while it runs,
+    /// not at all once only page returns remain).
+    pub parked_regions: u64,
     /// Objects walked via descriptors across all live regions.
     pub objects_walked: u64,
     /// Pointer fields inspected during the object walk.
@@ -132,9 +136,10 @@ impl fmt::Display for SanitizeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sanitize: {} region(s), {} object(s), {} ptr field(s), {} global loc(s), \
+            "sanitize: {} region(s) ({} parked), {} object(s), {} ptr field(s), {} global loc(s), \
              {} stack slot(s), {} map entr(ies) — ",
             self.live_regions,
+            self.parked_regions,
             self.objects_walked,
             self.ptr_fields_walked,
             self.global_locs_walked,

@@ -127,23 +127,42 @@ impl<H: HeapBackend> RegionRuntime<H> {
     /// Scans all unscanned frames, bringing every region's reference count
     /// up to its exact value (called by `deleteregion`, §4.2.1). Leaves
     /// every frame — including the newest — scanned; the caller restores
-    /// the invariant with [`RegionRuntime::unscan_top`].
-    pub(crate) fn scan_stack(&mut self) {
-        for i in self.hwm..self.frames.len() {
-            let Frame { base_slot, n_slots } = self.frames[i];
-            self.costs_mut().frames_scanned += 1;
-            self.costs_mut().slots_scanned += u64::from(n_slots);
-            self.costs_mut().scan_instrs +=
-                SCAN_FRAME_INSTRS + u64::from(n_slots) * SCAN_SLOT_INSTRS;
-            for s in 0..n_slots {
-                let addr = self.slot_addr(base_slot + s);
-                let v = self.heap_mut().load_addr(addr);
-                if let Some(region) = self.region_of(v) {
-                    self.inc_rc(region);
-                }
+    /// the invariant with [`RegionRuntime::unscan_top`]. Returns the
+    /// `(frames, slots)` this call actually scanned, so `deleteregion`
+    /// can attribute the work to a refused attempt
+    /// ([`crate::ScanAttribution`]).
+    pub(crate) fn scan_stack(&mut self) -> (u64, u64) {
+        let mut frames = 0u64;
+        let mut slots = 0u64;
+        while self.hwm < self.frames.len() {
+            frames += 1;
+            slots += u64::from(self.scan_one_frame());
+        }
+        (frames, slots)
+    }
+
+    /// Scans exactly one frame — the oldest unscanned one — and advances
+    /// the high-water mark past it. One work increment of the incremental
+    /// `deleteregion` scan phase; charges and count effects are identical
+    /// to the same frame's share of a monolithic [`scan_stack`] call.
+    /// Returns the frame's slot count.
+    ///
+    /// The caller must ensure an unscanned frame exists.
+    pub(crate) fn scan_one_frame(&mut self) -> u32 {
+        debug_assert!(self.hwm < self.frames.len(), "scan_one_frame with nothing to scan");
+        let Frame { base_slot, n_slots } = self.frames[self.hwm];
+        self.costs_mut().frames_scanned += 1;
+        self.costs_mut().slots_scanned += u64::from(n_slots);
+        self.costs_mut().scan_instrs += SCAN_FRAME_INSTRS + u64::from(n_slots) * SCAN_SLOT_INSTRS;
+        for s in 0..n_slots {
+            let addr = self.slot_addr(base_slot + s);
+            let v = self.heap_mut().load_addr(addr);
+            if let Some(region) = self.region_of(v) {
+                self.inc_rc(region);
             }
         }
-        self.hwm = self.frames.len();
+        self.hwm += 1;
+        n_slots
     }
 
     /// If the newest frame is scanned, removes its locals' contributions
